@@ -1,0 +1,59 @@
+//! Per-period decision cost of each reconfiguration policy on the same
+//! statistics snapshot (the controller runs one of these every SPL).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use albic_bench::sim_round_robin;
+use albic_core::albic::{Albic, AlbicConfig};
+use albic_core::allocator::{KeyGroupAllocator, NodeSet};
+use albic_core::balancer::MilpBalancer;
+use albic_core::baselines::{Cola, Flux, PoTC};
+use albic_engine::CostModel;
+use albic_milp::MigrationBudget;
+use albic_workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn bench_policies(c: &mut Criterion) {
+    let nodes = 40usize;
+    let cfg = SyntheticConfig {
+        one_to_one_pct: 50.0,
+        background_comm: true,
+        varies: 30.0,
+        ..SyntheticConfig::cluster(nodes)
+    };
+    let workload = SyntheticWorkload::new(cfg);
+    let downstream = workload.downstream_groups();
+    let mut sim = sim_round_robin(workload, nodes);
+    let stats = sim.tick();
+    let ns = NodeSet::from_cluster(sim.cluster());
+    let cost = CostModel::default();
+
+    let mut group = c.benchmark_group("policy_decision_40n_800g");
+    group.sample_size(10);
+    group.bench_function("milp", |b| {
+        let mut p = MilpBalancer::new(MigrationBudget::Count(20)).with_solver_work(200_000);
+        b.iter(|| p.allocate(&stats, &ns, &cost));
+    });
+    group.bench_function("albic", |b| {
+        let mut p = Albic::new(
+            AlbicConfig { budget: MigrationBudget::Count(20), solver_work: 200_000, ..Default::default() },
+            downstream.clone(),
+        );
+        b.iter(|| p.allocate(&stats, &ns, &cost));
+    });
+    group.bench_function("flux", |b| {
+        let mut p = Flux::new(20);
+        b.iter(|| p.allocate(&stats, &ns, &cost));
+    });
+    group.bench_function("cola", |b| {
+        let mut p = Cola::default();
+        b.iter(|| p.allocate(&stats, &ns, &cost));
+    });
+    group.bench_function("potc_eval", |b| {
+        let p = PoTC::default();
+        b.iter(|| p.evaluate(&stats, &ns));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

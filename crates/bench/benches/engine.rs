@@ -1,0 +1,56 @@
+//! Microbenchmarks for the engine substrate: simulator ticks at paper
+//! scale and tuple throughput through the threaded runtime.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use albic_engine::operator::{Counting, Identity};
+use albic_engine::topology::TopologyBuilder;
+use albic_engine::tuple::{Tuple, Value};
+use albic_engine::{Cluster, CostModel, RoutingTable, SimEngine};
+use albic_types::NodeId;
+use albic_workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn bench_sim_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_tick");
+    group.sample_size(20);
+    for nodes in [20usize, 60] {
+        group.bench_function(format!("{nodes}n"), |b| {
+            let cfg = SyntheticConfig { background_comm: true, one_to_one_pct: 50.0, ..SyntheticConfig::cluster(nodes) };
+            let mut sim = SimEngine::with_round_robin(
+                SyntheticWorkload::new(cfg),
+                Cluster::homogeneous(nodes),
+                CostModel::default(),
+            );
+            b.iter(|| sim.tick());
+        });
+    }
+    group.finish();
+}
+
+fn bench_runtime_throughput(c: &mut Criterion) {
+    c.bench_function("runtime_10k_tuples", |b| {
+        let mut bld = TopologyBuilder::new();
+        let src = bld.source("src", 16, Arc::new(Identity));
+        let cnt = bld.operator("count", 16, Arc::new(Counting));
+        bld.edge(src, cnt);
+        let topology = bld.build().unwrap();
+        let cluster = Cluster::homogeneous(4);
+        let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
+        let routing = RoutingTable::round_robin(topology.num_key_groups(), &ids);
+        let mut rt =
+            albic_engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
+        let tuples: Vec<Tuple> =
+            (0..10_000).map(|i| Tuple::keyed(&(i % 64), Value::Int(i), i as u64)).collect();
+        b.iter(|| {
+            rt.inject(src, tuples.clone());
+            rt.quiesce(3);
+        });
+        let _ = rt.end_period();
+        rt.shutdown();
+    });
+}
+
+criterion_group!(benches, bench_sim_tick, bench_runtime_throughput);
+criterion_main!(benches);

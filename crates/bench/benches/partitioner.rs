@@ -1,0 +1,43 @@
+//! Microbenchmarks for the multilevel graph partitioner at the sizes
+//! ALBIC and COLA use it (hundreds to ~1200 key groups).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use albic_partition::{partition, GraphBuilder, PartitionConfig};
+
+fn random_graph(n: usize, edges: usize) -> albic_partition::Graph {
+    let mut b = GraphBuilder::new(n);
+    let mut state = 0xDEADBEEFu64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for _ in 0..edges {
+        let u = next() % n;
+        let v = next() % n;
+        b.add_edge(u, v, 1.0 + (next() % 7) as f64);
+    }
+    b.build()
+}
+
+fn bench_kway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kway_partition");
+    group.sample_size(10);
+    for &(n, k) in &[(400usize, 20usize), (800, 40), (1200, 60)] {
+        let g = random_graph(n, n * 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| partition(g, &PartitionConfig::k(k)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bisection(c: &mut Criterion) {
+    let g = random_graph(1000, 4000);
+    c.bench_function("bisect_1000v", |b| {
+        b.iter(|| albic_partition::bisect(&g, 0.5, 0.05, 7, 4))
+    });
+}
+
+criterion_group!(benches, bench_kway, bench_bisection);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks for the MILP layer: structured allocation solver at
+//! paper scales, the exact relaxation bound, and the reference dense
+//! simplex + branch & bound on a small instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use albic_milp::{solve_milp, AllocationProblem, Budget, GroupSpec, MigrationBudget};
+
+fn problem(nodes: usize, groups_per_node: usize) -> AllocationProblem {
+    let mut groups = Vec::new();
+    for n in 0..nodes {
+        for g in 0..groups_per_node {
+            groups.push(GroupSpec {
+                load: 3.0 + ((n * 31 + g * 17) % 13) as f64,
+                migration_cost: 1.0 + ((n + g) % 5) as f64,
+                current_node: n,
+            });
+        }
+    }
+    AllocationProblem {
+        num_nodes: nodes,
+        killed: vec![false; nodes],
+        capacity: vec![1.0; nodes],
+        groups,
+        budget: MigrationBudget::Count(20),
+        collocate: vec![],
+        pins: vec![],
+    }
+}
+
+fn bench_structured_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation_solve");
+    group.sample_size(10);
+    for nodes in [20usize, 40, 60] {
+        let p = problem(nodes, 20);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &p, |b, p| {
+            b.iter(|| p.solve(&mut Budget::work(200_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_relaxation_bound(c: &mut Criterion) {
+    let p = problem(60, 20);
+    c.bench_function("relaxation_bound_60n_1200g", |b| b.iter(|| p.relaxation_bound()));
+}
+
+fn bench_exact_milp_small(c: &mut Criterion) {
+    let p = problem(3, 3);
+    let (model, _) = p.to_model();
+    c.bench_function("exact_bnb_3n_9g", |b| {
+        b.iter(|| solve_milp(&model, &mut Budget::unlimited()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_structured_solver, bench_relaxation_bound, bench_exact_milp_small);
+criterion_main!(benches);

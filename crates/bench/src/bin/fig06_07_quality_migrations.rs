@@ -1,0 +1,8 @@
+//! Regenerates the paper figure; pass `--fast` for a reduced sweep.
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    for (name, table) in albic_bench::experiments::fig06_07(fast) {
+        table.save(&name);
+    }
+}

@@ -1,0 +1,29 @@
+//! Runs every figure experiment and writes all series under `results/`.
+//! Pass `--fast` for reduced sweeps (used by CI-style smoke runs).
+
+use albic_bench::experiments as exp;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let started = std::time::Instant::now();
+    let mut all = Vec::new();
+    all.extend(exp::fig_solver_quality(20, fast));
+    all.extend(exp::fig_solver_quality(40, fast));
+    all.extend(exp::fig_solver_quality(60, fast));
+    all.extend(exp::fig05_scalein(fast));
+    all.extend(exp::fig06_07(fast));
+    all.extend(exp::fig08_09(fast));
+    all.extend(exp::fig10(fast));
+    all.extend(exp::fig11(fast));
+    all.extend(exp::fig12(fast));
+    all.extend(exp::fig13(fast));
+    all.extend(exp::fig14(fast));
+    for (name, table) in &all {
+        table.save(name);
+    }
+    eprintln!(
+        "run_all: {} tables written to results/ in {:.1}s",
+        all.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,537 @@
+//! One function per paper figure; each returns named [`Table`]s.
+
+use albic_core::albic::{Albic, AlbicConfig};
+use albic_core::allocator::NodeSet;
+use albic_core::balancer::MilpBalancer;
+use albic_core::baselines::{Cola, Flux, NonIntegratedScaleIn, PoTC};
+use albic_core::framework::AdaptationFramework;
+use albic_core::metrics;
+use albic_engine::reconfig::ReconfigPlan;
+use albic_milp::MigrationBudget;
+use albic_types::NodeId;
+use albic_workloads::airline::AirlineJobWorkload;
+use albic_workloads::weather::WeatherJob4Workload;
+use albic_workloads::wikipedia::WikiJob1Workload;
+use albic_workloads::{SyntheticConfig, SyntheticWorkload};
+
+use crate::{banner, run_policy, run_policy_observed, sim_round_robin, sim_with_allocation, work_for_seconds, Table};
+
+/// Figs 2-4: solver quality (load distance after one adaptation round) vs
+/// the `varies` load shift, for several migration budgets and solver work
+/// budgets, against Flux. One table per `maxMigrations` value.
+pub fn fig_solver_quality(nodes: usize, fast: bool) -> Vec<(String, Table)> {
+    let fig = match nodes {
+        20 => "fig02",
+        40 => "fig03",
+        _ => "fig04",
+    };
+    banner(
+        &format!("{fig}: {nodes} nodes, {} key groups, {} operators", nodes * 20, nodes / 2),
+        "MILP consistently beats Flux at every budget; a few 'seconds' of \
+         solving already converge near the final quality",
+    );
+    let budgets: &[u64] = &[5, 10, 30, 60];
+    let max_migrations: &[usize] = if fast { &[10, 20] } else { &[10, 20, 30, 40] };
+    let varies_steps: Vec<f64> = if fast {
+        vec![0.0, 40.0, 80.0]
+    } else {
+        (0..=10).map(|v| v as f64 * 10.0).collect()
+    };
+
+    let mut out = Vec::new();
+    for &mm in max_migrations {
+        let mut table = Table::new(&["varies", "flux", "milp5s", "milp10s", "milp30s", "milp60s"]);
+        for &varies in &varies_steps {
+            let mk_engine = || {
+                let cfg = SyntheticConfig {
+                    varies,
+                    seed: 0x5E17 + varies as u64,
+                    ..SyntheticConfig::cluster(nodes)
+                };
+                sim_round_robin(SyntheticWorkload::new(cfg), nodes)
+            };
+            let mut row = vec![varies];
+            // Flux.
+            {
+                let mut engine = mk_engine();
+                let mut policy = AdaptationFramework::balancing_only(Flux::new(mm));
+                run_policy(&mut engine, &mut policy, 1);
+                let stats = engine.tick();
+                row.push(stats.load_distance(engine.cluster()));
+            }
+            // MILP at each work budget.
+            for &secs in budgets {
+                let mut engine = mk_engine();
+                let balancer = MilpBalancer::new(MigrationBudget::Count(mm))
+                    .with_solver_work(work_for_seconds(secs));
+                let mut policy = AdaptationFramework::balancing_only(balancer);
+                run_policy(&mut engine, &mut policy, 1);
+                let stats = engine.tick();
+                row.push(stats.load_distance(engine.cluster()));
+            }
+            table.row(row);
+        }
+        let name = format!("{fig}_maxmigr{mm}");
+        table.print();
+        println!(
+            "summary maxMigr={mm}: mean flux={:.2} milp60s={:.2}\n",
+            table.mean_of("flux"),
+            table.mean_of("milp60s")
+        );
+        out.push((name, table));
+    }
+    out
+}
+
+/// Fig 5: integrated vs non-integrated scale-in — load distance over
+/// periods and time to fully drain, for 1 and 5 overloaded nodes.
+pub fn fig05_scalein(fast: bool) -> Vec<(String, Table)> {
+    banner(
+        "fig05: integrating horizontal scaling with load balancing",
+        "the integrated MILP reaches a good load distance much faster while \
+         scaling in within a similar number of periods",
+    );
+    let nodes = if fast { 30 } else { 60 };
+    let to_remove = nodes / 6;
+    let mm = 20usize;
+    let periods = 14usize;
+
+    let mut dist_table = Table::new(&["period", "int_1ol", "nonint_1ol", "int_5ol", "nonint_5ol"]);
+    let mut drain_table = Table::new(&["scenario_ol", "integrated", "non_integrated"]);
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    let mut drains: Vec<(f64, f64, f64)> = Vec::new();
+
+    for &hot in &[1usize, 5] {
+        let mk_engine = || {
+            let cfg = SyntheticConfig {
+                hot_nodes: hot,
+                mean_node_load: 45.0,
+                seed: 0xF1905 + hot as u64,
+                ..SyntheticConfig::cluster(nodes)
+            };
+            sim_round_robin(SyntheticWorkload::new(cfg), nodes)
+        };
+        let victims: Vec<NodeId> = (0..to_remove).map(|i| NodeId::new((nodes - 1 - i) as u32)).collect();
+
+        let run = |integrated: bool| -> (Vec<f64>, f64) {
+            let mut engine = mk_engine();
+            // Mark nodes for removal up front (the scaling decision under
+            // test is the draining, not the sizing).
+            engine.tick();
+            engine.apply(&ReconfigPlan {
+                mark_removal: victims.clone(),
+                ..Default::default()
+            });
+            let mut int_policy;
+            let mut non_policy;
+            let policy: &mut dyn albic_engine::reconfig::ReconfigPolicy = if integrated {
+                int_policy = AdaptationFramework::balancing_only(MilpBalancer::new(
+                    MigrationBudget::Count(mm),
+                ));
+                &mut int_policy
+            } else {
+                non_policy =
+                    AdaptationFramework::balancing_only(NonIntegratedScaleIn::new(mm));
+                &mut non_policy
+            };
+            let history = run_policy(&mut engine, policy, periods);
+            let dists: Vec<f64> = history.iter().skip(1).map(|r| r.load_distance).collect();
+            // First period with no marked nodes left (all drained).
+            let drained_at = history
+                .iter()
+                .position(|r| r.period > 0 && r.marked_nodes == 0)
+                .map(|p| p as f64)
+                .unwrap_or(periods as f64);
+            (dists, drained_at)
+        };
+
+        let (int_d, int_t) = run(true);
+        let (non_d, non_t) = run(false);
+        drains.push((hot as f64, int_t, non_t));
+        series.push(int_d);
+        series.push(non_d);
+    }
+
+    let n = series.iter().map(Vec::len).min().unwrap_or(0);
+    for p in 0..n {
+        dist_table.row(vec![
+            p as f64 + 1.0,
+            series[0][p],
+            series[1][p],
+            series[2][p],
+            series[3][p],
+        ]);
+    }
+    for (hot, int_t, non_t) in drains {
+        drain_table.row(vec![hot, int_t, non_t]);
+    }
+    dist_table.print();
+    drain_table.print();
+    println!(
+        "summary: mean distance integrated(5OL)={:.2} vs non-integrated(5OL)={:.2}\n",
+        dist_table.mean_of("int_5ol"),
+        dist_table.mean_of("nonint_5ol")
+    );
+    vec![("fig05_distance".into(), dist_table), ("fig05_drain_time".into(), drain_table)]
+}
+
+/// Figs 6-7: Real Job 1 load distance (MILP vs Flux vs PoTC) and
+/// migration counts (MILP vs Flux), maxMigrations = 13.
+pub fn fig06_07(fast: bool) -> Vec<(String, Table)> {
+    banner(
+        "fig06/fig07: Real Job 1 on the Wikipedia stream (20 workers, 300 key groups)",
+        "MILP holds load distance below ~1%; Flux fluctuates up to ~7%; PoTC \
+         is erratic due to merge skew; both MILP and Flux stay within the \
+         13-migration budget",
+    );
+    let periods = if fast { 20 } else { 60 };
+    let workers = 20usize;
+    let mm = 13usize;
+    let mk = || WikiJob1Workload::new(70_000.0, 100, 0x31B1);
+
+    let mut milp_engine = sim_round_robin(mk(), workers);
+    let mut milp_policy = AdaptationFramework::balancing_only(MilpBalancer::new(
+        MigrationBudget::Count(mm),
+    ));
+    let milp_hist = run_policy(&mut milp_engine, &mut milp_policy, periods);
+
+    let mut flux_engine = sim_round_robin(mk(), workers);
+    let mut flux_policy = AdaptationFramework::balancing_only(Flux::new(mm));
+    let flux_hist = run_policy(&mut flux_engine, &mut flux_policy, periods);
+
+    // PoTC observes the same (noop-adapted) run.
+    let potc = PoTC::new(0x907C);
+    let mut potc_dists: Vec<f64> = Vec::new();
+    let mut potc_engine = sim_round_robin(mk(), workers);
+    let mut noop = albic_engine::reconfig::NoopPolicy;
+    run_policy_observed(&mut potc_engine, &mut noop, periods, |stats, cluster| {
+        let ns = NodeSet::from_cluster(cluster);
+        potc_dists.push(potc.evaluate(stats, &ns).load_distance);
+    });
+
+    let mut quality = Table::new(&["period", "milp", "flux", "potc"]);
+    for p in 1..periods {
+        quality.row(vec![
+            p as f64,
+            milp_hist[p].load_distance,
+            flux_hist[p].load_distance,
+            potc_dists[p],
+        ]);
+    }
+    let mut migrations = Table::new(&["period", "milp", "flux"]);
+    for p in 0..periods {
+        migrations.row(vec![
+            p as f64,
+            milp_hist[p].migrations as f64,
+            flux_hist[p].migrations as f64,
+        ]);
+    }
+    quality.print();
+    migrations.print();
+    println!(
+        "summary: mean distance milp={:.2} flux={:.2} potc={:.2}; mean migrations milp={:.1} flux={:.1}\n",
+        quality.mean_of("milp"),
+        quality.mean_of("flux"),
+        quality.mean_of("potc"),
+        migrations.mean_of("milp"),
+        migrations.mean_of("flux"),
+    );
+    vec![("fig06_quality".into(), quality), ("fig07_migrations".into(), migrations)]
+}
+
+/// Figs 8-9: unrestricted vs budgeted balancing — quality and cumulative
+/// migration latency.
+pub fn fig08_09(fast: bool) -> Vec<(String, Table)> {
+    banner(
+        "fig08/fig09: restricting the migration budget (Real Job 1)",
+        "unlimited budget gives the best balance but enormous cumulative \
+         migration latency; 13 groups/round costs almost nothing and stays \
+         close in quality",
+    );
+    let periods = if fast { 20 } else { 60 };
+    let workers = 20usize;
+    let mk = || WikiJob1Workload::new(70_000.0, 100, 0x8090);
+
+    let mut histories = Vec::new();
+    for budget in [MigrationBudget::Unlimited, MigrationBudget::Count(10), MigrationBudget::Count(13)] {
+        let mut engine = sim_round_robin(mk(), workers);
+        let mut policy =
+            AdaptationFramework::balancing_only(MilpBalancer::new(budget));
+        histories.push(run_policy(&mut engine, &mut policy, periods));
+    }
+
+    let mut quality = Table::new(&["period", "no_limit", "kg10", "kg13"]);
+    for p in 1..periods {
+        quality.row(vec![
+            p as f64,
+            histories[0][p].load_distance,
+            histories[1][p].load_distance,
+            histories[2][p].load_distance,
+        ]);
+    }
+    let mut overhead = Table::new(&["period", "no_limit", "kg10", "kg13"]);
+    let pauses: Vec<Vec<f64>> =
+        histories.iter().map(|h| metrics::cumulative_pause_minutes(h)).collect();
+    for p in 0..periods {
+        overhead.row(vec![p as f64, pauses[0][p], pauses[1][p], pauses[2][p]]);
+    }
+    quality.print();
+    overhead.print();
+    println!(
+        "summary: mean distance no_limit={:.2} kg13={:.2}; final pause minutes no_limit={:.1} kg13={:.1}\n",
+        quality.mean_of("no_limit"),
+        quality.mean_of("kg13"),
+        pauses[0].last().copied().unwrap_or(0.0),
+        pauses[2].last().copied().unwrap_or(0.0),
+    );
+    vec![("fig08_quality".into(), quality), ("fig09_overhead".into(), overhead)]
+}
+
+/// Helper: run ALBIC or COLA over a synthetic collocation scenario and
+/// report (mean load distance, final collocation factor).
+fn run_collocation_scenario(
+    nodes: usize,
+    one_to_one_pct: f64,
+    use_albic: bool,
+    periods: usize,
+) -> (f64, f64) {
+    let cfg = SyntheticConfig {
+        one_to_one_pct,
+        background_comm: true,
+        period_jitter: 0.02,
+        mean_node_load: 45.0,
+        seed: 0xC0110 + nodes as u64,
+        ..SyntheticConfig::cluster(nodes)
+    };
+    let workload = SyntheticWorkload::new(cfg);
+    let downstream = workload.downstream_groups();
+    let mut engine = sim_round_robin(workload, nodes);
+    let history = if use_albic {
+        let albic = Albic::new(
+            AlbicConfig { budget: MigrationBudget::Count(20), ..Default::default() },
+            downstream,
+        );
+        let mut policy = AdaptationFramework::balancing_only(albic);
+        run_policy(&mut engine, &mut policy, periods)
+    } else {
+        let mut policy = AdaptationFramework::balancing_only(Cola::default());
+        run_policy(&mut engine, &mut policy, periods)
+    };
+    let tail = &history[history.len().saturating_sub(5)..];
+    let dist = tail.iter().map(|r| r.load_distance).sum::<f64>() / tail.len() as f64;
+    let col = tail.iter().map(|r| r.collocation_factor).sum::<f64>() / tail.len() as f64;
+    (dist, col)
+}
+
+/// Fig 10: ALBIC vs COLA over the maximum obtainable collocation.
+pub fn fig10(fast: bool) -> Vec<(String, Table)> {
+    banner(
+        "fig10: load distance and collocation vs max obtainable collocation (40 nodes)",
+        "ALBIC achieves lower load distance than COLA and slightly better \
+         collocation at every collocation level",
+    );
+    let periods = if fast { 10 } else { 25 };
+    let nodes = if fast { 20 } else { 40 };
+    let steps: Vec<f64> = if fast {
+        vec![0.0, 50.0, 100.0]
+    } else {
+        (0..=10).map(|x| x as f64 * 10.0).collect()
+    };
+    let mut table =
+        Table::new(&["max_collocation", "albic_dist", "albic_col", "cola_dist", "cola_col"]);
+    for &pct in &steps {
+        let (ad, ac) = run_collocation_scenario(nodes, pct, true, periods);
+        let (cd, cc) = run_collocation_scenario(nodes, pct, false, periods);
+        table.row(vec![pct, ad, ac, cd, cc]);
+    }
+    table.print();
+    println!(
+        "summary: mean distance albic={:.2} cola={:.2}; mean collocation albic={:.1}% cola={:.1}%\n",
+        table.mean_of("albic_dist"),
+        table.mean_of("cola_dist"),
+        table.mean_of("albic_col"),
+        table.mean_of("cola_col"),
+    );
+    vec![("fig10_collocation".into(), table)]
+}
+
+/// Fig 11: ALBIC vs COLA at 50% max collocation across cluster sizes.
+pub fn fig11(fast: bool) -> Vec<(String, Table)> {
+    banner(
+        "fig11: cluster configurations at 50% max collocation",
+        "ALBIC consistently beats COLA on load distance and collocation for \
+         20/40/60-node clusters",
+    );
+    let periods = if fast { 8 } else { 20 };
+    let configs: &[usize] = if fast { &[20, 40] } else { &[20, 40, 60] };
+    let mut table =
+        Table::new(&["nodes", "albic_dist", "albic_col", "cola_dist", "cola_col"]);
+    for &nodes in configs {
+        let (ad, ac) = run_collocation_scenario(nodes, 50.0, true, periods);
+        let (cd, cc) = run_collocation_scenario(nodes, 50.0, false, periods);
+        table.row(vec![nodes as f64, ad, ac, cd, cc]);
+    }
+    table.print();
+    println!();
+    vec![("fig11_configs".into(), table)]
+}
+
+/// Shared driver for the Real Job figures 12-14.
+fn real_job_run(
+    job: JobKind,
+    use_albic: bool,
+    periods: usize,
+) -> Vec<albic_engine::sim::PeriodRecord> {
+    let workers = 20usize;
+    let groups_per_op = 100u32;
+    let (downstream, num_ops): (Vec<u32>, u32) = match job {
+        JobKind::Job2 => {
+            let w = AirlineJobWorkload::job2(70_000.0, groups_per_op, 0x12);
+            (w.downstream_groups(), 2)
+        }
+        JobKind::Job3 { .. } => {
+            let w = AirlineJobWorkload::job3(70_000.0, groups_per_op, 0x13);
+            (w.downstream_groups(), 3)
+        }
+        JobKind::Job4 => {
+            let w = WeatherJob4Workload::new(40_000.0, groups_per_op, 0x14);
+            (w.downstream_groups(), WeatherJob4Workload::NUM_OPERATORS)
+        }
+    };
+    // Worst-case initial allocation: group g of op k → node (g + k) mod n,
+    // so no communicating pair starts collocated.
+    let total = groups_per_op * num_ops;
+    let assignment: Vec<u32> = (0..total)
+        .map(|g| {
+            let op = g / groups_per_op;
+            let idx = g % groups_per_op;
+            (idx + op) % workers as u32
+        })
+        .collect();
+
+    macro_rules! drive {
+        ($w:expr) => {{
+            let mut engine = sim_with_allocation($w, workers, assignment);
+            if use_albic {
+                let albic = Albic::new(
+                    AlbicConfig {
+                        budget: MigrationBudget::Count(10),
+                        ..Default::default()
+                    },
+                    downstream,
+                );
+                let mut policy = AdaptationFramework::balancing_only(albic);
+                run_policy(&mut engine, &mut policy, periods)
+            } else {
+                let mut policy = AdaptationFramework::balancing_only(Cola::default());
+                run_policy(&mut engine, &mut policy, periods)
+            }
+        }};
+    }
+    match job {
+        JobKind::Job2 => drive!(AirlineJobWorkload::job2(70_000.0, groups_per_op, 0x12)),
+        JobKind::Job3 { cola_half_rate } => {
+            let mut w = AirlineJobWorkload::job3(70_000.0, groups_per_op, 0x13);
+            if cola_half_rate && !use_albic {
+                w.rate_scale = 0.5; // the paper halves COLA's input rate
+            }
+            drive!(w)
+        }
+        JobKind::Job4 => drive!(WeatherJob4Workload::new(40_000.0, groups_per_op, 0x14)),
+    }
+}
+
+#[derive(Clone, Copy)]
+enum JobKind {
+    Job2,
+    Job3 { cola_half_rate: bool },
+    Job4,
+}
+
+fn job_tables(
+    name: &str,
+    albic_hist: &[albic_engine::sim::PeriodRecord],
+    cola_hist: Option<&[albic_engine::sim::PeriodRecord]>,
+) -> Vec<(String, Table)> {
+    let albic_idx = metrics::load_index_series(albic_hist, 2);
+    let cola_idx = cola_hist.map(|h| metrics::load_index_series(h, 2));
+    let mut t = Table::new(&[
+        "period",
+        "albic_col",
+        "albic_dist",
+        "albic_loadindex",
+        "albic_migr",
+        "cola_col",
+        "cola_dist",
+        "cola_loadindex",
+        "cola_migr",
+    ]);
+    for p in 0..albic_hist.len() {
+        let c = cola_hist.map(|h| &h[p]);
+        t.row(vec![
+            p as f64,
+            albic_hist[p].collocation_factor,
+            albic_hist[p].load_distance,
+            albic_idx[p],
+            albic_hist[p].migrations as f64,
+            c.map(|r| r.collocation_factor).unwrap_or(f64::NAN),
+            c.map(|r| r.load_distance).unwrap_or(f64::NAN),
+            cola_idx.as_ref().map(|i| i[p]).unwrap_or(f64::NAN),
+            c.map(|r| r.migrations as f64).unwrap_or(f64::NAN),
+        ]);
+    }
+    t.print();
+    println!(
+        "summary {name}: final collocation albic={:.1}% cola={:.1}%; final load index albic={:.1}% ; mean migrations albic={:.1} cola={:.1}\n",
+        albic_hist.last().map(|r| r.collocation_factor).unwrap_or(0.0),
+        cola_hist.and_then(|h| h.last()).map(|r| r.collocation_factor).unwrap_or(f64::NAN),
+        albic_idx.last().copied().unwrap_or(100.0),
+        t.mean_of("albic_migr"),
+        t.mean_of("cola_migr"),
+    );
+    vec![(name.to_string(), t)]
+}
+
+/// Fig 12: Real Job 2 — ALBIC gradually reaches COLA's (immediate) perfect
+/// collocation, halving the load index, with ~10 migrations per period vs
+/// COLA's mass migrations.
+pub fn fig12(fast: bool) -> Vec<(String, Table)> {
+    banner(
+        "fig12: Real Job 2 (airline delays, perfectly collocatable)",
+        "COLA hits 100% collocation immediately; ALBIC converges to it \
+         gradually; ALBIC's load index falls toward ~50% while migrating \
+         ~10 groups/period against COLA's ~200",
+    );
+    let periods = if fast { 25 } else { 90 };
+    let a = real_job_run(JobKind::Job2, true, periods);
+    let c = real_job_run(JobKind::Job2, false, periods);
+    job_tables("fig12_job2", &a, Some(&c))
+}
+
+/// Fig 13: Real Job 3 — the route-keyed operator caps collocation at
+/// roughly half of Job 2's.
+pub fn fig13(fast: bool) -> Vec<(String, Table)> {
+    banner(
+        "fig13: Real Job 3 (adds RouteDelay; collocation halves)",
+        "collocation factor reaches only ~half of Job 2's because route \
+         flows cannot be collocated with airplane-keyed state",
+    );
+    let periods = if fast { 25 } else { 90 };
+    let a = real_job_run(JobKind::Job3 { cola_half_rate: true }, true, periods);
+    let c = real_job_run(JobKind::Job3 { cola_half_rate: true }, false, periods);
+    job_tables("fig13_job3", &a, Some(&c))
+}
+
+/// Fig 14: Real Job 4 — ALBIC gradually approaches COLA's ~61% collocation
+/// level while keeping ~10 migrations/period.
+pub fn fig14(fast: bool) -> Vec<(String, Table)> {
+    banner(
+        "fig14: Real Job 4 (weather rainscore join)",
+        "COLA's from-scratch collocation sits near 61%; ALBIC converges to a \
+         similar level with low load distance and 10 migrations/period",
+    );
+    let periods = if fast { 25 } else { 90 };
+    let a = real_job_run(JobKind::Job4, true, periods);
+    let c = real_job_run(JobKind::Job4, false, periods);
+    job_tables("fig14_job4", &a, Some(&c))
+}

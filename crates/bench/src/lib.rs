@@ -1,0 +1,185 @@
+//! Shared experiment harness for regenerating the paper's figures.
+//!
+//! Each `fig*` binary in `src/bin/` drives the simulator with the right
+//! workload and policies, then prints TSV series (`x<TAB>series...`) plus
+//! a human-readable summary of the paper's qualitative claim next to the
+//! measured result. `run_all` executes every figure and writes the TSVs
+//! under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use albic_core::allocator::NodeSet;
+use albic_engine::reconfig::{ClusterView, ReconfigPolicy};
+use albic_engine::sim::{PeriodRecord, SimEngine, WorkloadModel};
+use albic_engine::{Cluster, CostModel, PeriodStats, RoutingTable};
+
+/// Run `policy` over `engine` for `periods` adaptation rounds, invoking
+/// the Algorithm-1 housekeeping (terminate drained nodes) each round.
+/// Returns the metric history.
+pub fn run_policy<W: WorkloadModel>(
+    engine: &mut SimEngine<W>,
+    policy: &mut dyn ReconfigPolicy,
+    periods: usize,
+) -> Vec<PeriodRecord> {
+    for _ in 0..periods {
+        engine.terminate_drained();
+        let stats = engine.tick();
+        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let plan = policy.plan(&stats, view);
+        engine.apply(&plan);
+    }
+    engine.history().to_vec()
+}
+
+/// Like [`run_policy`], but also hands every period's statistics to a
+/// callback (used for the PoTC evaluator, which observes rather than
+/// migrates).
+pub fn run_policy_observed<W: WorkloadModel>(
+    engine: &mut SimEngine<W>,
+    policy: &mut dyn ReconfigPolicy,
+    periods: usize,
+    mut observe: impl FnMut(&PeriodStats, &Cluster),
+) -> Vec<PeriodRecord> {
+    for _ in 0..periods {
+        engine.terminate_drained();
+        let stats = engine.tick();
+        observe(&stats, engine.cluster());
+        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let plan = policy.plan(&stats, view);
+        engine.apply(&plan);
+    }
+    engine.history().to_vec()
+}
+
+/// A fresh simulator over a workload with round-robin initial allocation.
+pub fn sim_round_robin<W: WorkloadModel>(workload: W, nodes: usize) -> SimEngine<W> {
+    SimEngine::with_round_robin(workload, Cluster::homogeneous(nodes), CostModel::default())
+}
+
+/// A fresh simulator with an explicit allocation (global group id →
+/// node index).
+pub fn sim_with_allocation<W: WorkloadModel>(
+    workload: W,
+    nodes: usize,
+    assignment: Vec<u32>,
+) -> SimEngine<W> {
+    let cluster = Cluster::homogeneous(nodes);
+    let ids: Vec<albic_types::NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
+    let routing =
+        RoutingTable::from_assignment(assignment.iter().map(|&n| ids[n as usize]).collect());
+    SimEngine::new(workload, cluster, routing, CostModel::default())
+}
+
+/// Node-set snapshot helper for evaluators.
+pub fn node_set(cluster: &Cluster) -> NodeSet {
+    NodeSet::from_cluster(cluster)
+}
+
+/// A table of series, printable as TSV and writable to `results/`.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Column headers (first is the x-axis).
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Table with the given headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, values: Vec<f64>) {
+        debug_assert_eq!(values.len(), self.header.len());
+        self.rows.push(values);
+    }
+
+    /// Render as TSV.
+    pub fn to_tsv(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# {}", self.header.join("\t"));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
+            let _ = writeln!(s, "{}", cells.join("\t"));
+        }
+        s
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_tsv());
+    }
+
+    /// Write under `results/` as `<name>.tsv` (creates the directory).
+    pub fn save(&self, name: &str) {
+        let dir = Path::new("results");
+        let _ = fs::create_dir_all(dir);
+        let path = dir.join(format!("{name}.tsv"));
+        if let Err(e) = fs::write(&path, self.to_tsv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    /// Mean of one column (by header name).
+    pub fn mean_of(&self, column: &str) -> f64 {
+        let Some(idx) = self.header.iter().position(|h| h == column) else {
+            return f64::NAN;
+        };
+        if self.rows.is_empty() {
+            return f64::NAN;
+        }
+        self.rows.iter().map(|r| r[idx]).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Map the paper's CPLEX wall-clock budgets (seconds) to deterministic
+/// solver work units.
+pub fn work_for_seconds(seconds: u64) -> u64 {
+    seconds * 30_000
+}
+
+/// Print a figure banner.
+pub fn banner(fig: &str, claim: &str) {
+    println!("==================================================================");
+    println!("{fig}");
+    println!("paper claim: {claim}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(&["x", "a"]);
+        t.row(vec![1.0, 2.0]);
+        t.row(vec![3.0, 4.0]);
+        let tsv = t.to_tsv();
+        assert!(tsv.contains("# x\ta"));
+        assert!(tsv.contains("1.0000\t2.0000"));
+        assert_eq!(t.mean_of("a"), 3.0);
+        assert!(t.mean_of("missing").is_nan());
+    }
+
+    #[test]
+    fn harness_runs_a_noop_policy() {
+        use albic_engine::reconfig::NoopPolicy;
+        use albic_workloads::{SyntheticConfig, SyntheticWorkload};
+        let cfg = SyntheticConfig::cluster(4);
+        let mut sim = sim_round_robin(SyntheticWorkload::new(cfg), 4);
+        let history = run_policy(&mut sim, &mut NoopPolicy, 3);
+        assert_eq!(history.len(), 3);
+    }
+}

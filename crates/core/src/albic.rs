@@ -1,0 +1,484 @@
+//! ALBIC — Autonomic Load Balancing with Integrated Collocation
+//! (Algorithm 2).
+//!
+//! ALBIC layers collocation awareness over the MILP balancer, one
+//! adaptation round at a time:
+//!
+//! 1. **Calculate scores** — an inter-group flow `out(g_i, g_j)` is
+//!    *significant* when it exceeds `avg(g_i)·sF`, where `avg(g_i)` spreads
+//!    `out(g_i)` over all downstream key groups. Significant pairs that
+//!    already share a node go to `colGrps`; the rest to `toBeColGrps`.
+//! 2. **Maintain collocation** — `colGrps` pairs are merged into maximal
+//!    sets; a set whose migration cost would exceed `maxMigrCost` or whose
+//!    load exceeds `maxPL` is split by balanced graph partitioning
+//!    (vertices weighted by migration cost or load, whichever constraint
+//!    binds harder; edges by `out`). The resulting partitions enter the
+//!    MILP as indivisible units.
+//! 3. **Improve collocation** — one random maximum-traffic pair from
+//!    `toBeColGrps` is pinned together (cases 1-3 of the paper decide on
+//!    which node), so collocation improves gradually instead of migrating
+//!    the world at once.
+//! 4. **Solve** — the constrained MILP is solved; if the resulting load
+//!    distance exceeds `maxLD`, retry with `maxPL` reduced by `stepPL`
+//!    (fewer/smaller indivisible units); at `maxPL ≤ 0` ALBIC degrades to
+//!    the pure MILP with no collocation constraints.
+
+use albic_engine::{CostModel, PeriodStats};
+use albic_milp::{MigrationBudget, SolveStatus};
+use albic_partition::{partition, GraphBuilder, PartitionConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::allocator::{AllocOutcome, KeyGroupAllocator, NodeSet};
+use crate::balancer::MilpBalancer;
+
+/// ALBIC tuning parameters (defaults = the paper's).
+#[derive(Debug, Clone)]
+pub struct AlbicConfig {
+    /// Maximum acceptable load distance (`maxLD`, default 10).
+    pub max_ld: f64,
+    /// Initial maximum partition load (`maxPL`, default 25).
+    pub max_pl: f64,
+    /// Decrease in `maxPL` per retry (`stepPL`, default 5).
+    pub step_pl: f64,
+    /// Score factor (`sF`, default 1.5).
+    pub sf: f64,
+    /// Migration budget shared with the MILP.
+    pub budget: MigrationBudget,
+    /// Solver work budget per MILP invocation.
+    pub solver_work: u64,
+    /// RNG seed for the random max-pair selection of step 3.
+    pub seed: u64,
+}
+
+impl Default for AlbicConfig {
+    fn default() -> Self {
+        AlbicConfig {
+            max_ld: 10.0,
+            max_pl: 25.0,
+            step_pl: 5.0,
+            sf: 1.5,
+            budget: MigrationBudget::Count(10),
+            solver_work: 500_000,
+            seed: 0xA1B1C,
+        }
+    }
+}
+
+/// The ALBIC allocator.
+pub struct Albic {
+    cfg: AlbicConfig,
+    /// Per key group: total number of key groups in its operator's
+    /// downstream operators (the denominator of `avg(g_i)`); part of the
+    /// job description the controller knows.
+    downstream_groups: Vec<u32>,
+    rng: SmallRng,
+}
+
+impl Albic {
+    /// Create an ALBIC instance for a job whose group `g` has
+    /// `downstream_groups[g]` downstream key groups.
+    pub fn new(cfg: AlbicConfig, downstream_groups: Vec<u32>) -> Self {
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        Albic { cfg, downstream_groups, rng }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AlbicConfig {
+        &self.cfg
+    }
+
+    /// Step 1: score pairs. Returns `(colGrps, toBeColGrps)` where the
+    /// latter carries the flow rate for max selection.
+    fn score_pairs(
+        &self,
+        stats: &PeriodStats,
+    ) -> (Vec<(usize, usize)>, Vec<(usize, usize, f64)>) {
+        let mut collocated = Vec::new();
+        let mut to_be = Vec::new();
+        for (&(gi, gj), &rate) in &stats.out_matrix {
+            let (gi, gj) = (gi as usize, gj as usize);
+            if rate <= 0.0 || gi == gj {
+                continue;
+            }
+            let dg = self.downstream_groups.get(gi).copied().unwrap_or(0);
+            if dg == 0 {
+                continue;
+            }
+            let avg = stats.out_total[gi] / dg as f64;
+            if rate > avg * self.cfg.sf {
+                if stats.allocation[gi] == stats.allocation[gj] {
+                    collocated.push((gi, gj));
+                } else {
+                    to_be.push((gi, gj, rate));
+                }
+            }
+        }
+        (collocated, to_be)
+    }
+
+    /// Step 2: merge collocated pairs into sets and split oversized sets.
+    fn maintain_collocation(
+        &mut self,
+        stats: &PeriodStats,
+        cost: &CostModel,
+        col_grps: &[(usize, usize)],
+        max_pl: f64,
+    ) -> Vec<Vec<usize>> {
+        let n = stats.group_loads.len();
+        // Union-find.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(a, b) in col_grps {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[rb] = ra;
+            }
+        }
+        let mut sets: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for g in 0..n {
+            let r = find(&mut parent, g);
+            if r != g || col_grps.iter().any(|&(a, b)| a == g || b == g) {
+                sets.entry(r).or_default().push(g);
+            }
+        }
+
+        let budget_value = self.cfg.budget.value();
+        let mut partitions: Vec<Vec<usize>> = Vec::new();
+        let mut roots: Vec<usize> = sets.keys().copied().collect();
+        roots.sort_unstable(); // deterministic iteration
+        for r in roots {
+            let set = &sets[&r];
+            if set.len() < 2 {
+                continue;
+            }
+            let mc_sum: f64 = set
+                .iter()
+                .map(|&g| {
+                    self.cfg
+                        .budget
+                        .effective_cost(cost.migration_cost(stats.group_state_bytes[g] as usize))
+                })
+                .sum();
+            let load_sum: f64 = set.iter().map(|&g| stats.group_loads[g]).sum();
+            let p1 = if budget_value.is_finite() && budget_value > 0.0 {
+                (mc_sum / budget_value).ceil() as usize
+            } else {
+                1
+            };
+            let p2 = if max_pl > 0.0 { (load_sum / max_pl).ceil() as usize } else { set.len() };
+            let p = p1.max(p2).max(1).min(set.len());
+            if p <= 1 {
+                partitions.push(set.clone());
+                continue;
+            }
+            // Vertex weight: migration cost if the cost constraint binds
+            // harder than the load constraint, else load (ties: load).
+            let use_cost = budget_value.is_finite()
+                && budget_value > 0.0
+                && max_pl > 0.0
+                && (mc_sum / budget_value) > (load_sum / max_pl);
+            let mut b = GraphBuilder::with_vertices(
+                set.iter()
+                    .map(|&g| {
+                        if use_cost {
+                            self.cfg.budget.effective_cost(
+                                cost.migration_cost(stats.group_state_bytes[g] as usize),
+                            )
+                        } else {
+                            stats.group_loads[g]
+                        }
+                        .max(1e-6)
+                    })
+                    .collect(),
+            );
+            for (i, &gi) in set.iter().enumerate() {
+                for (j, &gj) in set.iter().enumerate().skip(i + 1) {
+                    let w = stats.out_rate(
+                        albic_types::KeyGroupId::new(gi as u32),
+                        albic_types::KeyGroupId::new(gj as u32),
+                    ) + stats.out_rate(
+                        albic_types::KeyGroupId::new(gj as u32),
+                        albic_types::KeyGroupId::new(gi as u32),
+                    );
+                    if w > 0.0 {
+                        b.add_edge(i, j, w);
+                    }
+                }
+            }
+            let seed = self.rng.gen::<u64>();
+            let result = partition(
+                &b.build(),
+                &PartitionConfig { num_parts: p, imbalance: 0.1, seed, trials: 4 },
+            );
+            let mut parts: Vec<Vec<usize>> = vec![Vec::new(); p];
+            for (i, &g) in set.iter().enumerate() {
+                parts[result.assignment[i]].push(g);
+            }
+            for part in parts {
+                if part.len() >= 2 {
+                    partitions.push(part);
+                }
+            }
+        }
+        partitions
+    }
+
+    /// Step 3: choose one max-traffic pair and derive pin constraints.
+    fn improve_collocation(
+        &mut self,
+        stats: &PeriodStats,
+        nodes: &NodeSet,
+        partitions: &[Vec<usize>],
+        to_be: &[(usize, usize, f64)],
+    ) -> Vec<(usize, usize)> {
+        if to_be.is_empty() {
+            return Vec::new();
+        }
+        let max_rate = to_be.iter().map(|&(_, _, r)| r).fold(f64::NEG_INFINITY, f64::max);
+        let best: Vec<&(usize, usize, f64)> =
+            to_be.iter().filter(|&&(_, _, r)| r >= max_rate - 1e-12).collect();
+        let &&(gi, gj, _) = &best[self.rng.gen_range(0..best.len())];
+
+        let part_of = |g: usize| partitions.iter().position(|p| p.contains(&g));
+        let n1 = stats.allocation[gi];
+        let n2 = stats.allocation[gj];
+        let (Some(i1), Some(i2)) = (nodes.index_of(n1), nodes.index_of(n2)) else {
+            return Vec::new();
+        };
+        let l1 = stats.load_of(n1);
+        let l2 = stats.load_of(n2);
+        let lighter = if l1 <= l2 { i1 } else { i2 };
+
+        match (part_of(gi), part_of(gj)) {
+            // Case 1: neither is in a partition → both to the lighter node.
+            (None, None) => vec![(gi, lighter), (gj, lighter)],
+            // Case 2: exactly one is in a partition → join it there.
+            (Some(_), None) => vec![(gi, i1), (gj, i1)],
+            (None, Some(_)) => vec![(gi, i2), (gj, i2)],
+            // Case 3: both in partitions → both partitions to the lighter
+            // node (pinning any member pins the indivisible unit).
+            (Some(_), Some(_)) => vec![(gi, lighter), (gj, lighter)],
+        }
+    }
+}
+
+impl KeyGroupAllocator for Albic {
+    fn name(&self) -> &str {
+        "albic"
+    }
+
+    fn allocate(
+        &mut self,
+        stats: &PeriodStats,
+        nodes: &NodeSet,
+        cost: &CostModel,
+    ) -> AllocOutcome {
+        let (col_grps, to_be) = self.score_pairs(stats);
+
+        let mut max_pl = self.cfg.max_pl;
+        loop {
+            let use_collocation = max_pl > 0.0;
+            let partitions = if use_collocation {
+                self.maintain_collocation(stats, cost, &col_grps, max_pl)
+            } else {
+                Vec::new()
+            };
+            let pins = if use_collocation {
+                self.improve_collocation(stats, nodes, &partitions, &to_be)
+            } else {
+                Vec::new()
+            };
+
+            let mut balancer = MilpBalancer::new(self.cfg.budget)
+                .with_solver_work(self.cfg.solver_work);
+            balancer.collocate = partitions;
+            balancer.pins = pins;
+            let (outcome, status) = balancer.solve(stats, nodes, cost);
+
+            let acceptable = status != SolveStatus::Infeasible
+                && outcome.projected_distance <= self.cfg.max_ld;
+            if acceptable || !use_collocation {
+                return outcome;
+            }
+            // Retry with smaller partitions (step 4).
+            max_pl -= self.cfg.step_pl;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albic_engine::stats::StatsCollector;
+    use albic_engine::Cluster;
+    use albic_types::{KeyGroupId, NodeId, Period};
+
+    /// Two operators, `n` groups each; group g of op 0 talks exclusively to
+    /// group g of op 1 (perfect 1-1 pattern → perfect collocation exists).
+    fn one_to_one_stats(
+        cluster: &Cluster,
+        n: usize,
+        alloc: &[u32],
+        rate: f64,
+    ) -> (PeriodStats, Vec<u32>) {
+        let mut c = StatsCollector::new();
+        for g in 0..(2 * n) {
+            c.record_processed(KeyGroupId::new(g as u32), 2000.0, 1.0);
+            c.set_state_bytes(KeyGroupId::new(g as u32), 2048.0);
+        }
+        for g in 0..n {
+            let from = KeyGroupId::new(g as u32);
+            let to = KeyGroupId::new((n + g) as u32);
+            let crossed = alloc[g] != alloc[n + g];
+            c.record_comm(from, to, rate, crossed);
+        }
+        let stats = PeriodStats::compute(
+            Period(0),
+            &c,
+            alloc.iter().map(|&x| NodeId::new(x)).collect(),
+            cluster,
+            &CostModel::default(),
+        );
+        // Upstream groups have n downstream groups; downstream have none.
+        let mut dg = vec![n as u32; n];
+        dg.extend(vec![0u32; n]);
+        (stats, dg)
+    }
+
+    #[test]
+    fn scores_detect_one_to_one_pairs() {
+        let cluster = Cluster::homogeneous(2);
+        let (stats, dg) = one_to_one_stats(&cluster, 4, &[0, 0, 1, 1, 1, 1, 0, 0], 100.0);
+        let albic = Albic::new(AlbicConfig::default(), dg);
+        let (col, to_be) = albic.score_pairs(&stats);
+        // Every pair is significant: out(g, g') = 100 = out(g), avg = 25.
+        assert_eq!(col.len() + to_be.len(), 4);
+        // No pair is currently collocated with this allocation.
+        assert!(col.is_empty());
+        assert_eq!(to_be.len(), 4);
+    }
+
+    #[test]
+    fn gradually_improves_collocation() {
+        // Worst-case initial allocation: every 1-1 pair split across nodes.
+        let cluster = Cluster::homogeneous(2);
+        let n = 6;
+        let alloc: Vec<u32> = (0..n).map(|_| 0).chain((0..n).map(|_| 1)).collect();
+        let (stats, dg) = one_to_one_stats(&cluster, n, &alloc, 500.0);
+        let mut albic = Albic::new(
+            AlbicConfig { budget: MigrationBudget::Count(4), ..Default::default() },
+            dg,
+        );
+        let ns = NodeSet::from_cluster(&cluster);
+        let out = albic.allocate(&stats, &ns, &CostModel::default());
+        // At least one pair must have been pinned together.
+        assert!(
+            !out.migrations.is_empty(),
+            "ALBIC should start collocating: {out:?}"
+        );
+        // The pinned pair ends on one node.
+        let mut final_alloc: Vec<NodeId> = stats.allocation.clone();
+        for m in &out.migrations {
+            final_alloc[m.group.index()] = m.to;
+        }
+        let collocated_pairs =
+            (0..n).filter(|&g| final_alloc[g] == final_alloc[n + g]).count();
+        assert!(collocated_pairs >= 1, "one more pair collocated per round");
+    }
+
+    #[test]
+    fn collocated_pairs_stay_together() {
+        // Pairs already collocated → they become indivisible units and the
+        // balancer never splits them.
+        let cluster = Cluster::homogeneous(2);
+        let n = 4;
+        // Pair g/(n+g) on the same node, but node 0 overloaded (3 pairs).
+        let alloc: Vec<u32> = vec![0, 0, 0, 1, 0, 0, 0, 1];
+        let (stats, dg) = one_to_one_stats(&cluster, n, &alloc, 500.0);
+        let mut albic = Albic::new(
+            AlbicConfig { budget: MigrationBudget::Unlimited, ..Default::default() },
+            dg,
+        );
+        let ns = NodeSet::from_cluster(&cluster);
+        let out = albic.allocate(&stats, &ns, &CostModel::default());
+        let mut final_alloc: Vec<NodeId> = stats.allocation.clone();
+        for m in &out.migrations {
+            final_alloc[m.group.index()] = m.to;
+        }
+        for g in 0..n {
+            assert_eq!(
+                final_alloc[g],
+                final_alloc[n + g],
+                "pair {g} split by rebalancing"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_max_ld_by_splitting_partitions() {
+        // One giant collocated clump holding most of the load: ALBIC must
+        // split it rather than tolerate a terrible load distance.
+        let cluster = Cluster::homogeneous(2);
+        let mut c = StatsCollector::new();
+        let n_groups = 8u32;
+        for g in 0..n_groups {
+            c.record_processed(KeyGroupId::new(g), 4000.0, 1.0); // 20% each
+            c.set_state_bytes(KeyGroupId::new(g), 1024.0);
+        }
+        // Chain of heavy flows keeps all groups in one collocation set,
+        // all on node 0.
+        for g in 0..n_groups - 1 {
+            c.record_comm(KeyGroupId::new(g), KeyGroupId::new(g + 1), 1000.0, false);
+        }
+        let alloc: Vec<NodeId> = vec![NodeId::new(0); n_groups as usize];
+        let stats =
+            PeriodStats::compute(Period(0), &c, alloc, &cluster, &CostModel::default());
+        let dg = vec![n_groups; n_groups as usize];
+        let mut albic = Albic::new(
+            AlbicConfig { budget: MigrationBudget::Unlimited, ..Default::default() },
+            dg,
+        );
+        let ns = NodeSet::from_cluster(&cluster);
+        let out = albic.allocate(&stats, &ns, &CostModel::default());
+        assert!(
+            out.projected_distance <= albic.cfg.max_ld + 1e-6,
+            "distance {} must respect maxLD",
+            out.projected_distance
+        );
+        assert!(!out.migrations.is_empty());
+    }
+
+    #[test]
+    fn full_partitioning_pattern_yields_no_collocation_constraints() {
+        // Even all-to-all traffic: no pair exceeds avg·sF, ALBIC degrades
+        // to pure MILP (the paper's Real Job 1 observation).
+        let cluster = Cluster::homogeneous(2);
+        let mut c = StatsCollector::new();
+        let n = 4usize;
+        for g in 0..(2 * n) as u32 {
+            c.record_processed(KeyGroupId::new(g), 2000.0, 1.0);
+            c.set_state_bytes(KeyGroupId::new(g), 1024.0);
+        }
+        for gi in 0..n as u32 {
+            for gj in n as u32..(2 * n) as u32 {
+                c.record_comm(KeyGroupId::new(gi), KeyGroupId::new(gj), 25.0, true);
+            }
+        }
+        let alloc: Vec<NodeId> =
+            (0..2 * n).map(|g| NodeId::new((g % 2) as u32)).collect();
+        let stats =
+            PeriodStats::compute(Period(0), &c, alloc, &cluster, &CostModel::default());
+        let albic = Albic::new(AlbicConfig::default(), vec![n as u32; 2 * n]);
+        let (col, to_be) = albic.score_pairs(&stats);
+        assert!(col.is_empty());
+        assert!(to_be.is_empty(), "even spread must not trigger collocation");
+    }
+}

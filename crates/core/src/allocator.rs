@@ -1,0 +1,220 @@
+//! The key-group allocator abstraction shared by the MILP balancer, ALBIC
+//! and the baselines.
+//!
+//! Allocators plan against a [`NodeSet`] rather than the engine's live
+//! [`Cluster`](albic_engine::Cluster) so the adaptation framework can ask
+//! "what would the allocation look like *if* we added/removed nodes?"
+//! (Algorithm 1 computes a potential plan before deciding on scaling, and
+//! re-plans after).
+
+use albic_engine::migration::Migration;
+use albic_engine::{Cluster, CostModel, PeriodStats};
+use albic_types::NodeId;
+
+/// A (possibly hypothetical) set of processing nodes.
+#[derive(Debug, Clone, Default)]
+pub struct NodeSet {
+    nodes: Vec<(NodeId, f64, bool)>, // (id, capacity, killed)
+}
+
+impl NodeSet {
+    /// Snapshot the live cluster.
+    pub fn from_cluster(cluster: &Cluster) -> Self {
+        NodeSet {
+            nodes: cluster.nodes().iter().map(|n| (n.id, n.capacity, n.killed)).collect(),
+        }
+    }
+
+    /// Add a hypothetical node (scale-out planning).
+    pub fn add_hypothetical(&mut self, id: NodeId, capacity: f64) {
+        self.nodes.push((id, capacity, false));
+    }
+
+    /// Mark a node as to-be-removed (scale-in planning).
+    pub fn mark_killed(&mut self, id: NodeId) {
+        if let Some(n) = self.nodes.iter_mut().find(|(nid, _, _)| *nid == id) {
+            n.2 = true;
+        }
+    }
+
+    /// All `(id, capacity, killed)` entries, in stable order.
+    pub fn entries(&self) -> &[(NodeId, f64, bool)] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of alive (not killed) nodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|(_, _, k)| !k).count()
+    }
+
+    /// Dense index of a node id, if present.
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|(nid, _, _)| *nid == id)
+    }
+
+    /// Node id at a dense index.
+    pub fn id_at(&self, idx: usize) -> NodeId {
+        self.nodes[idx].0
+    }
+}
+
+/// What an allocator produced for this period.
+#[derive(Debug, Clone, Default)]
+pub struct AllocOutcome {
+    /// The migrations to reach the planned allocation.
+    pub migrations: Vec<Migration>,
+    /// Projected load distance of the planned allocation (percentage
+    /// points).
+    pub projected_distance: f64,
+    /// Projected maximum alive-node load of the planned allocation.
+    pub projected_max_load: f64,
+    /// Projected mean alive-node load.
+    pub projected_mean_load: f64,
+    /// Lower bound on the achievable distance reported by the solver
+    /// (0 for heuristic baselines).
+    pub lower_bound: f64,
+    /// Migration budget consumed (effective units).
+    pub migration_cost: f64,
+}
+
+/// A key-group allocation strategy.
+pub trait KeyGroupAllocator {
+    /// Identifier used in experiment output.
+    fn name(&self) -> &str;
+
+    /// Plan a new allocation for the statistics just collected.
+    fn allocate(
+        &mut self,
+        stats: &PeriodStats,
+        nodes: &NodeSet,
+        cost: &CostModel,
+    ) -> AllocOutcome;
+}
+
+/// Shared helper: project per-node loads for an assignment of groups to
+/// node indices, returning `(distance, max, mean)` over the node set.
+pub fn project_loads(
+    stats: &PeriodStats,
+    nodes: &NodeSet,
+    assignment_index: &[usize],
+) -> (f64, f64, f64) {
+    let mut mass = vec![0.0f64; nodes.len()];
+    for (g, &idx) in assignment_index.iter().enumerate() {
+        mass[idx] += stats.group_loads[g];
+    }
+    let alive_count = nodes.alive_count().max(1);
+    let total: f64 = mass.iter().sum();
+    // Heterogeneity: mean is mass per unit of alive capacity times 1.
+    let alive_cap: f64 = nodes
+        .entries()
+        .iter()
+        .filter(|(_, _, k)| !k)
+        .map(|(_, c, _)| *c)
+        .sum::<f64>()
+        .max(f64::MIN_POSITIVE);
+    let _ = alive_count;
+    let mean = total / alive_cap;
+    let mut max_load = 0.0f64;
+    let mut dist = 0.0f64;
+    for (i, (_, cap, killed)) in nodes.entries().iter().enumerate() {
+        let load = mass[i] / cap;
+        if !*killed {
+            dist = dist.max((load - mean).abs());
+            max_load = max_load.max(load);
+        } else {
+            dist = dist.max((load - mean).max(0.0));
+        }
+    }
+    (dist, max_load, mean)
+}
+
+/// Shared helper: translate a dense `group → node index` assignment into
+/// engine migrations (skipping no-ops).
+pub fn migrations_from_assignment(
+    stats: &PeriodStats,
+    nodes: &NodeSet,
+    assignment_index: &[usize],
+) -> Vec<Migration> {
+    let mut out = Vec::new();
+    for (g, &idx) in assignment_index.iter().enumerate() {
+        let to = nodes.id_at(idx);
+        if stats.allocation[g] != to {
+            out.push(Migration { group: albic_types::KeyGroupId::new(g as u32), to });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albic_engine::stats::StatsCollector;
+    use albic_types::{KeyGroupId, Period};
+
+    fn fake_stats(loads: &[f64], alloc: &[u32]) -> (PeriodStats, Cluster) {
+        let cluster = Cluster::homogeneous(3);
+        let mut c = StatsCollector::new();
+        for (g, &l) in loads.iter().enumerate() {
+            // Loads scale linearly with tuples; cpu_capacity=20000 & 100% →
+            // tuples = l * 200.
+            c.record_processed(KeyGroupId::new(g as u32), l * 200.0, 1.0);
+        }
+        let allocation = alloc.iter().map(|&n| NodeId::new(n)).collect();
+        let stats = PeriodStats::compute(
+            Period(0),
+            &c,
+            allocation,
+            &cluster,
+            &CostModel::default(),
+        );
+        (stats, cluster)
+    }
+
+    #[test]
+    fn node_set_snapshot_and_hypotheticals() {
+        let mut cluster = Cluster::homogeneous(2);
+        cluster.mark_for_removal(NodeId::new(1));
+        let mut ns = NodeSet::from_cluster(&cluster);
+        assert_eq!(ns.len(), 2);
+        assert_eq!(ns.alive_count(), 1);
+        ns.add_hypothetical(NodeId::new(9), 2.0);
+        assert_eq!(ns.len(), 3);
+        assert_eq!(ns.alive_count(), 2);
+        assert_eq!(ns.index_of(NodeId::new(9)), Some(2));
+        ns.mark_killed(NodeId::new(0));
+        assert_eq!(ns.alive_count(), 1);
+    }
+
+    #[test]
+    fn project_loads_matches_measured_stats() {
+        let (stats, cluster) = fake_stats(&[10.0, 20.0, 30.0], &[0, 1, 2]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let current_idx: Vec<usize> =
+            stats.allocation.iter().map(|n| ns.index_of(*n).unwrap()).collect();
+        let (dist, max, mean) = project_loads(&stats, &ns, &current_idx);
+        assert!((mean - stats.mean_load(&cluster)).abs() < 1e-9);
+        assert!((dist - stats.load_distance(&cluster)).abs() < 1e-9);
+        assert!((max - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn migrations_skip_noops() {
+        let (stats, cluster) = fake_stats(&[10.0, 20.0], &[0, 1]);
+        let ns = NodeSet::from_cluster(&cluster);
+        // Move group 0 to node 1, keep group 1 where it is.
+        let migs = migrations_from_assignment(&stats, &ns, &[1, 1]);
+        assert_eq!(migs.len(), 1);
+        assert_eq!(migs[0].group, KeyGroupId::new(0));
+        assert_eq!(migs[0].to, NodeId::new(1));
+    }
+}

@@ -1,0 +1,222 @@
+//! The MILP load balancer (§4.3.1): adapts engine statistics into an
+//! [`AllocationProblem`] and solves it with the structured solver.
+
+use albic_engine::{CostModel, PeriodStats};
+use albic_milp::{AllocationProblem, Budget, GroupSpec, MigrationBudget, SolveStatus};
+
+use crate::allocator::{
+    migrations_from_assignment, project_loads, AllocOutcome, KeyGroupAllocator, NodeSet,
+};
+
+/// Load balancing by solving the paper's MILP.
+///
+/// Collocation side-constraints (indivisible sets, pins) can be injected by
+/// ALBIC before each solve; plain MILP balancing leaves them empty.
+#[derive(Debug, Clone)]
+pub struct MilpBalancer {
+    /// Migration budget per adaptation round.
+    pub budget: MigrationBudget,
+    /// Solver work budget per invocation (the paper's "solver seconds").
+    pub solver_work: u64,
+    /// Indivisible collocation sets (dense group indices), set by ALBIC.
+    pub collocate: Vec<Vec<usize>>,
+    /// Pin constraints `(group, node index)`, set by ALBIC.
+    pub pins: Vec<(usize, usize)>,
+}
+
+impl MilpBalancer {
+    /// A balancer with the given migration budget and a generous default
+    /// work budget.
+    pub fn new(budget: MigrationBudget) -> Self {
+        MilpBalancer { budget, solver_work: 500_000, collocate: Vec::new(), pins: Vec::new() }
+    }
+
+    /// Set the solver work budget (builder style).
+    pub fn with_solver_work(mut self, work: u64) -> Self {
+        self.solver_work = work;
+        self
+    }
+
+    /// Build the [`AllocationProblem`] for the given statistics and node
+    /// set. Public so ALBIC and tests can reuse the adaptation.
+    pub fn build_problem(
+        &self,
+        stats: &PeriodStats,
+        nodes: &NodeSet,
+        cost: &CostModel,
+    ) -> AllocationProblem {
+        let groups = stats
+            .group_loads
+            .iter()
+            .enumerate()
+            .map(|(g, &load)| GroupSpec {
+                load,
+                migration_cost: cost.migration_cost(stats.group_state_bytes[g] as usize),
+                current_node: nodes
+                    .index_of(stats.allocation[g])
+                    .expect("allocation references a node absent from the node set"),
+            })
+            .collect();
+        AllocationProblem {
+            num_nodes: nodes.len(),
+            killed: nodes.entries().iter().map(|(_, _, k)| *k).collect(),
+            capacity: nodes.entries().iter().map(|(_, c, _)| *c).collect(),
+            groups,
+            budget: self.budget,
+            collocate: self.collocate.clone(),
+            pins: self.pins.clone(),
+        }
+    }
+
+    /// Solve and return both the outcome and the raw solver result.
+    pub fn solve(
+        &self,
+        stats: &PeriodStats,
+        nodes: &NodeSet,
+        cost: &CostModel,
+    ) -> (AllocOutcome, SolveStatus) {
+        let problem = self.build_problem(stats, nodes, cost);
+        let mut budget = Budget::work(self.solver_work);
+        let solution = problem.solve(&mut budget);
+        if solution.status == SolveStatus::Infeasible {
+            // Constrained solve failed (ALBIC handles the retry); report a
+            // no-op outcome with an infinite distance marker.
+            let current_idx: Vec<usize> = stats
+                .allocation
+                .iter()
+                .map(|n| nodes.index_of(*n).expect("known node"))
+                .collect();
+            let (dist, max, mean) = project_loads(stats, nodes, &current_idx);
+            return (
+                AllocOutcome {
+                    migrations: Vec::new(),
+                    projected_distance: dist,
+                    projected_max_load: max,
+                    projected_mean_load: mean,
+                    lower_bound: solution.lower_bound,
+                    migration_cost: 0.0,
+                },
+                SolveStatus::Infeasible,
+            );
+        }
+        let (dist, max, mean) = project_loads(stats, nodes, &solution.assignment);
+        let outcome = AllocOutcome {
+            migrations: migrations_from_assignment(stats, nodes, &solution.assignment),
+            projected_distance: dist,
+            projected_max_load: max,
+            projected_mean_load: mean,
+            lower_bound: solution.lower_bound,
+            migration_cost: solution.migration_cost,
+        };
+        (outcome, solution.status)
+    }
+}
+
+impl KeyGroupAllocator for MilpBalancer {
+    fn name(&self) -> &str {
+        "milp"
+    }
+
+    fn allocate(
+        &mut self,
+        stats: &PeriodStats,
+        nodes: &NodeSet,
+        cost: &CostModel,
+    ) -> AllocOutcome {
+        self.solve(stats, nodes, cost).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albic_engine::stats::StatsCollector;
+    use albic_engine::Cluster;
+    use albic_types::{KeyGroupId, NodeId, Period};
+
+    fn stats_on(cluster: &Cluster, loads: &[f64], alloc: &[u32]) -> PeriodStats {
+        let mut c = StatsCollector::new();
+        for (g, &l) in loads.iter().enumerate() {
+            c.record_processed(KeyGroupId::new(g as u32), l * 200.0, 1.0);
+            c.set_state_bytes(KeyGroupId::new(g as u32), 4096.0);
+        }
+        PeriodStats::compute(
+            Period(0),
+            &c,
+            alloc.iter().map(|&n| NodeId::new(n)).collect(),
+            cluster,
+            &CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn balances_a_simple_skew() {
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_on(&cluster, &[10.0, 10.0, 10.0, 10.0], &[0, 0, 0, 0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut b = MilpBalancer::new(MigrationBudget::Unlimited);
+        let out = b.allocate(&stats, &ns, &CostModel::default());
+        assert!(out.projected_distance < 1e-6, "distance {}", out.projected_distance);
+        assert_eq!(out.migrations.len(), 2);
+    }
+
+    #[test]
+    fn respects_migration_count_budget() {
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_on(&cluster, &[10.0, 10.0, 10.0, 10.0], &[0, 0, 0, 0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut b = MilpBalancer::new(MigrationBudget::Count(1));
+        let out = b.allocate(&stats, &ns, &CostModel::default());
+        assert!(out.migrations.len() <= 1);
+    }
+
+    #[test]
+    fn drains_marked_nodes_with_hypothetical_kill() {
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_on(&cluster, &[10.0, 10.0, 10.0, 10.0], &[0, 0, 1, 1]);
+        let mut ns = NodeSet::from_cluster(&cluster);
+        ns.mark_killed(NodeId::new(1));
+        let mut b = MilpBalancer::new(MigrationBudget::Unlimited);
+        let out = b.allocate(&stats, &ns, &CostModel::default());
+        // Both groups on node 1 must move to node 0.
+        assert_eq!(out.migrations.len(), 2);
+        assert!(out.migrations.iter().all(|m| m.to == NodeId::new(0)));
+    }
+
+    #[test]
+    fn plans_onto_hypothetical_new_nodes() {
+        let cluster = Cluster::homogeneous(1);
+        let stats = stats_on(&cluster, &[10.0, 10.0], &[0, 0]);
+        let mut ns = NodeSet::from_cluster(&cluster);
+        let new_id = cluster.peek_next_ids(1)[0];
+        ns.add_hypothetical(new_id, 1.0);
+        let mut b = MilpBalancer::new(MigrationBudget::Unlimited);
+        let out = b.allocate(&stats, &ns, &CostModel::default());
+        assert_eq!(out.migrations.len(), 1);
+        assert_eq!(out.migrations[0].to, new_id);
+        assert!(out.projected_distance < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_constraints_produce_noop() {
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_on(&cluster, &[10.0, 10.0], &[0, 1]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut b = MilpBalancer::new(MigrationBudget::Unlimited);
+        b.collocate = vec![vec![0, 1]];
+        b.pins = vec![(0, 0), (1, 1)]; // contradicts the collocation set
+        let (out, status) = b.solve(&stats, &ns, &CostModel::default());
+        assert_eq!(status, SolveStatus::Infeasible);
+        assert!(out.migrations.is_empty());
+    }
+
+    #[test]
+    fn lower_bound_reported() {
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_on(&cluster, &[10.0, 20.0, 30.0], &[0, 0, 0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut b = MilpBalancer::new(MigrationBudget::Unlimited);
+        let out = b.allocate(&stats, &ns, &CostModel::default());
+        assert!(out.lower_bound <= out.projected_distance + 1e-6);
+    }
+}

@@ -1,0 +1,207 @@
+//! The Flux baseline (ICDE'03).
+//!
+//! At the end of each period, nodes are sorted by load in descending
+//! order; the most-loaded node moves its biggest *suitable* partition
+//! (one whose move reduces the pair's imbalance) to the least-loaded
+//! node, the second-most to the second-least, and so on. The number of
+//! moves per period is bounded by `maxMigrations`. Flux repeats passes
+//! while budget remains and moves keep helping — but it makes each
+//! decision greedily per pair, which is what lets the MILP beat it under
+//! the same budget (Fig. 6).
+
+use albic_engine::migration::Migration;
+use albic_engine::{CostModel, PeriodStats};
+use albic_types::KeyGroupId;
+
+use crate::allocator::{project_loads, AllocOutcome, KeyGroupAllocator, NodeSet};
+
+/// The Flux pairwise balancer.
+#[derive(Debug, Clone)]
+pub struct Flux {
+    /// Maximum key-group migrations per adaptation round.
+    pub max_migrations: usize,
+}
+
+impl Flux {
+    /// Flux bounded to `max_migrations` moves per round.
+    pub fn new(max_migrations: usize) -> Self {
+        Flux { max_migrations }
+    }
+}
+
+impl KeyGroupAllocator for Flux {
+    fn name(&self) -> &str {
+        "flux"
+    }
+
+    fn allocate(
+        &mut self,
+        stats: &PeriodStats,
+        nodes: &NodeSet,
+        _cost: &CostModel,
+    ) -> AllocOutcome {
+        let n = nodes.len();
+        // Working state: per-node mass and group placement (dense indices).
+        let mut assignment: Vec<usize> = stats
+            .allocation
+            .iter()
+            .map(|id| nodes.index_of(*id).expect("allocation node missing from set"))
+            .collect();
+        let mut mass = vec![0.0f64; n];
+        for (g, &idx) in assignment.iter().enumerate() {
+            mass[g_idx_guard(idx, n)] += stats.group_loads[g];
+        }
+        let caps: Vec<f64> = nodes.entries().iter().map(|(_, c, _)| *c).collect();
+        // Flux drains marked nodes only implicitly (it is not
+        // scale-aware); killed nodes sort like any other.
+        let mut budget = self.max_migrations;
+        let mut migrations: Vec<Migration> = Vec::new();
+
+        // One pass per period, exactly as the paper describes Flux: sort
+        // once, then pair most-loaded with least-loaded, second-most with
+        // second-least, and so on — one move per pair. (Flux does NOT
+        // globally optimize which moves shrink the maximum deviation,
+        // which is why the MILP beats it under the same budget.)
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let la = mass[a] / caps[a];
+            let lb = mass[b] / caps[b];
+            lb.partial_cmp(&la).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut front = 0usize;
+        let mut back = n.saturating_sub(1);
+        while front < back && budget > 0 {
+            let hi = order[front];
+            let lo = order[back];
+            let diff = mass[hi] / caps[hi] - mass[lo] / caps[lo];
+            if diff > 1e-9 {
+                // Biggest group on `hi` whose move decreases variance: its
+                // (capacity-normalized) load must be below `diff`.
+                let mut best: Option<(usize, f64)> = None;
+                for (g, &idx) in assignment.iter().enumerate() {
+                    if idx != hi {
+                        continue;
+                    }
+                    let gl = stats.group_loads[g] / caps[hi];
+                    if gl > 1e-12 && gl < diff && best.is_none_or(|(_, b)| gl > b) {
+                        best = Some((g, gl));
+                    }
+                }
+                if let Some((g, _)) = best {
+                    mass[hi] -= stats.group_loads[g];
+                    mass[lo] += stats.group_loads[g];
+                    assignment[g] = lo;
+                    migrations.push(Migration {
+                        group: KeyGroupId::new(g as u32),
+                        to: nodes.id_at(lo),
+                    });
+                    budget -= 1;
+                }
+            }
+            front += 1;
+            back -= 1;
+        }
+
+        let (dist, max, mean) = project_loads(stats, nodes, &assignment);
+        AllocOutcome {
+            migrations,
+            projected_distance: dist,
+            projected_max_load: max,
+            projected_mean_load: mean,
+            lower_bound: 0.0,
+            migration_cost: 0.0,
+        }
+    }
+}
+
+#[inline]
+fn g_idx_guard(idx: usize, n: usize) -> usize {
+    debug_assert!(idx < n);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albic_engine::stats::StatsCollector;
+    use albic_engine::Cluster;
+    use albic_types::{NodeId, Period};
+
+    fn stats_on(cluster: &Cluster, loads: &[f64], alloc: &[u32]) -> PeriodStats {
+        let mut c = StatsCollector::new();
+        for (g, &l) in loads.iter().enumerate() {
+            c.record_processed(KeyGroupId::new(g as u32), l * 200.0, 1.0);
+        }
+        PeriodStats::compute(
+            Period(0),
+            &c,
+            alloc.iter().map(|&x| NodeId::new(x)).collect(),
+            cluster,
+            &CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn moves_from_most_to_least_loaded() {
+        let cluster = Cluster::homogeneous(2);
+        // Node 0: 30 load in 3 groups; node 1: empty.
+        let stats = stats_on(&cluster, &[10.0, 10.0, 10.0], &[0, 0, 0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut flux = Flux::new(10);
+        let out = flux.allocate(&stats, &ns, &CostModel::default());
+        assert!(!out.migrations.is_empty());
+        assert!(out.migrations.iter().all(|m| m.to == NodeId::new(1)));
+        // Perfect balance impossible (odd group count) but close.
+        assert!(out.projected_distance <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn budget_limits_moves() {
+        let cluster = Cluster::homogeneous(2);
+        let stats =
+            stats_on(&cluster, &[10.0, 10.0, 10.0, 10.0, 10.0, 10.0], &[0, 0, 0, 0, 0, 0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut flux = Flux::new(1);
+        let out = flux.allocate(&stats, &ns, &CostModel::default());
+        assert_eq!(out.migrations.len(), 1);
+    }
+
+    #[test]
+    fn already_balanced_makes_no_moves() {
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_on(&cluster, &[10.0, 10.0], &[0, 1]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut flux = Flux::new(10);
+        let out = flux.allocate(&stats, &ns, &CostModel::default());
+        assert!(out.migrations.is_empty());
+    }
+
+    #[test]
+    fn unsuitable_oversized_groups_stay_put() {
+        // One huge group: moving it would invert the imbalance, so Flux
+        // must leave it.
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_on(&cluster, &[40.0, 1.0], &[0, 1]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut flux = Flux::new(10);
+        let out = flux.allocate(&stats, &ns, &CostModel::default());
+        assert!(out.migrations.is_empty(), "{:?}", out.migrations);
+    }
+
+    #[test]
+    fn multiple_pairs_balanced_in_one_round() {
+        let cluster = Cluster::homogeneous(4);
+        // Nodes 0,1 loaded; 2,3 empty.
+        let stats = stats_on(
+            &cluster,
+            &[10.0, 10.0, 8.0, 8.0],
+            &[0, 0, 1, 1],
+        );
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut flux = Flux::new(10);
+        let out = flux.allocate(&stats, &ns, &CostModel::default());
+        // Both hot nodes shed one group each.
+        assert!(out.migrations.len() >= 2);
+        assert!(out.projected_distance < 10.0);
+    }
+}

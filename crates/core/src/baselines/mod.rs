@@ -1,0 +1,23 @@
+//! The comparison baselines the paper evaluates against.
+//!
+//! * [`flux::Flux`] — Shah et al., *Flux: an adaptive partitioning
+//!   operator for continuous query systems*, ICDE'03. Pairwise
+//!   most-loaded → least-loaded moves, bounded by `maxMigrations`.
+//! * [`potc::PoTC`] — Nasir et al., *The power of both choices*, ICDE'15.
+//!   Per-key two-choice routing with an unbalanceable merge step; modeled
+//!   as an evaluator over the same per-period statistics.
+//! * [`cola::Cola`] — Khandekar et al., *COLA: optimizing stream
+//!   processing applications via graph partitioning*, Middleware'09.
+//!   From-scratch balanced graph partitioning each round.
+//! * [`non_integrated::NonIntegratedScaleIn`] — the strawman of Fig. 5:
+//!   scale-in as an independent phase (drain evenly, then balance).
+
+pub mod cola;
+pub mod flux;
+pub mod non_integrated;
+pub mod potc;
+
+pub use cola::Cola;
+pub use flux::Flux;
+pub use non_integrated::NonIntegratedScaleIn;
+pub use potc::{PoTC, PotcEval};

@@ -1,0 +1,162 @@
+//! The non-integrated scale-in strawman of Fig. 5.
+//!
+//! Scale-in is treated as an independent process: while marked nodes still
+//! hold key groups, the entire migration budget drains them, spreading
+//! their groups *evenly* (round-robin) over the remaining nodes with no
+//! regard for load; only once draining is complete does plain balancing
+//! resume. The integrated approach (MILP with `kill` flags) instead
+//! prioritizes whichever migrations are most urgent — which is exactly
+//! what Fig. 5 measures.
+
+use albic_engine::migration::Migration;
+use albic_engine::{CostModel, PeriodStats};
+use albic_types::KeyGroupId;
+
+use crate::allocator::{
+    project_loads, AllocOutcome, KeyGroupAllocator, NodeSet,
+};
+use crate::balancer::MilpBalancer;
+
+/// Drain-first scale-in combined with an inner balancer.
+pub struct NonIntegratedScaleIn {
+    /// Migrations allowed per round (shared by draining and balancing).
+    pub max_migrations: usize,
+    inner: MilpBalancer,
+    rr_cursor: usize,
+}
+
+impl NonIntegratedScaleIn {
+    /// Strawman with the given per-round migration budget.
+    pub fn new(max_migrations: usize) -> Self {
+        NonIntegratedScaleIn {
+            max_migrations,
+            inner: MilpBalancer::new(albic_milp::MigrationBudget::Count(max_migrations)),
+            rr_cursor: 0,
+        }
+    }
+}
+
+impl KeyGroupAllocator for NonIntegratedScaleIn {
+    fn name(&self) -> &str {
+        "non-integrated"
+    }
+
+    fn allocate(
+        &mut self,
+        stats: &PeriodStats,
+        nodes: &NodeSet,
+        cost: &CostModel,
+    ) -> AllocOutcome {
+        let alive: Vec<usize> = nodes
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, k))| !k)
+            .map(|(i, _)| i)
+            .collect();
+        // Groups still on killed nodes.
+        let stranded: Vec<usize> = (0..stats.group_loads.len())
+            .filter(|&g| {
+                nodes
+                    .index_of(stats.allocation[g])
+                    .map(|i| nodes.entries()[i].2)
+                    .unwrap_or(false)
+            })
+            .collect();
+
+        if !stranded.is_empty() && !alive.is_empty() {
+            // Phase A: drain evenly, ignoring load.
+            let mut migrations = Vec::new();
+            let mut assignment: Vec<usize> = stats
+                .allocation
+                .iter()
+                .map(|id| nodes.index_of(*id).expect("known node"))
+                .collect();
+            for &g in stranded.iter().take(self.max_migrations) {
+                let dest = alive[self.rr_cursor % alive.len()];
+                self.rr_cursor += 1;
+                assignment[g] = dest;
+                migrations.push(Migration {
+                    group: KeyGroupId::new(g as u32),
+                    to: nodes.id_at(dest),
+                });
+            }
+            let (dist, max, mean) = project_loads(stats, nodes, &assignment);
+            return AllocOutcome {
+                migrations,
+                projected_distance: dist,
+                projected_max_load: max,
+                projected_mean_load: mean,
+                lower_bound: 0.0,
+                migration_cost: 0.0,
+            };
+        }
+
+        // Phase B: ordinary balancing.
+        self.inner.allocate(stats, nodes, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albic_engine::stats::StatsCollector;
+    use albic_engine::Cluster;
+    use albic_types::{NodeId, Period};
+
+    fn stats_on(cluster: &Cluster, loads: &[f64], alloc: &[u32]) -> PeriodStats {
+        let mut c = StatsCollector::new();
+        for (g, &l) in loads.iter().enumerate() {
+            c.record_processed(KeyGroupId::new(g as u32), l * 200.0, 1.0);
+        }
+        PeriodStats::compute(
+            Period(0),
+            &c,
+            alloc.iter().map(|&x| NodeId::new(x)).collect(),
+            cluster,
+            &CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn drains_marked_nodes_round_robin_ignoring_load() {
+        let mut cluster = Cluster::homogeneous(3);
+        cluster.mark_for_removal(NodeId::new(2));
+        // Node 0 already hot; the drain ignores that and spreads evenly.
+        let stats = stats_on(
+            &cluster,
+            &[30.0, 30.0, 5.0, 5.0, 5.0, 5.0],
+            &[0, 0, 2, 2, 2, 2],
+        );
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut p = NonIntegratedScaleIn::new(10);
+        let out = p.allocate(&stats, &ns, &CostModel::default());
+        assert_eq!(out.migrations.len(), 4, "all stranded groups drained");
+        // Even spread: 2 groups to each alive node, including the hot one.
+        let to_node0 =
+            out.migrations.iter().filter(|m| m.to == NodeId::new(0)).count();
+        assert_eq!(to_node0, 2, "round-robin ignores load");
+    }
+
+    #[test]
+    fn budget_limits_drain_rate() {
+        let mut cluster = Cluster::homogeneous(2);
+        cluster.mark_for_removal(NodeId::new(1));
+        let stats = stats_on(&cluster, &[5.0; 8], &[1, 1, 1, 1, 1, 1, 1, 1]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut p = NonIntegratedScaleIn::new(3);
+        let out = p.allocate(&stats, &ns, &CostModel::default());
+        assert_eq!(out.migrations.len(), 3);
+    }
+
+    #[test]
+    fn balances_once_drained() {
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_on(&cluster, &[10.0, 10.0, 10.0, 10.0], &[0, 0, 0, 0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut p = NonIntegratedScaleIn::new(10);
+        let out = p.allocate(&stats, &ns, &CostModel::default());
+        assert!(!out.migrations.is_empty(), "phase B balancing kicks in");
+        assert!(out.projected_distance < 1e-6);
+    }
+}

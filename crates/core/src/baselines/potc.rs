@@ -1,0 +1,207 @@
+//! The "Power of Two Choices" baseline (Nasir et al., ICDE'15).
+//!
+//! PoTC is a *routing* scheme, not a migration scheme: every key `x` has
+//! two candidate downstream instances `h1(x)`, `h2(x)` and each tuple goes
+//! to the less-loaded of the two. State for a key is therefore split over
+//! two instances and must be periodically merged; the merge step is pinned
+//! (it "cannot be balanced", §2.2) and runs whether or not the load needed
+//! balancing — a continuous overhead.
+//!
+//! Because PoTC never migrates key groups, it does not fit the
+//! [`KeyGroupAllocator`](crate::allocator::KeyGroupAllocator) interface;
+//! instead it is an *evaluator*: given the same per-period statistics the
+//! other policies see, it computes the node loads PoTC routing would have
+//! produced. The model:
+//!
+//! * each key group's load splits in small chunks (keys) that go to the
+//!   less-loaded of two seeded hash candidates — near-perfect balancing of
+//!   the splittable work;
+//! * a `merge_fraction` share of each group's load is *additional* merge
+//!   work pinned to the group's first hash candidate — this both inflates
+//!   total load (continuous overhead) and injects the skew the paper
+//!   observes when windows fire (the fraction fluctuates with a
+//!   periodicity parameter).
+
+use albic_engine::PeriodStats;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::allocator::NodeSet;
+
+/// PoTC evaluator.
+#[derive(Debug, Clone)]
+pub struct PoTC {
+    /// Share of each group's load that becomes pinned merge work
+    /// (default 0.15).
+    pub merge_fraction: f64,
+    /// Periods between window merges; merge load spikes every
+    /// `merge_period` periods (default 2, mimicking the 1-minute windows
+    /// of Real Job 1).
+    pub merge_period: u64,
+    /// Chunks each group's splittable load is divided into (keys per
+    /// group, coarsely; default 8).
+    pub chunks: usize,
+    seed: u64,
+}
+
+impl Default for PoTC {
+    fn default() -> Self {
+        PoTC { merge_fraction: 0.3, merge_period: 2, chunks: 4, seed: 0x907C }
+    }
+}
+
+/// PoTC's modeled outcome for one period.
+#[derive(Debug, Clone)]
+pub struct PotcEval {
+    /// Bottleneck load per node (dense index into the node set).
+    pub node_loads: Vec<f64>,
+    /// Load distance over alive nodes.
+    pub load_distance: f64,
+    /// Total system load including merge overhead.
+    pub total_load: f64,
+}
+
+impl PoTC {
+    /// Evaluator with explicit seed.
+    pub fn new(seed: u64) -> Self {
+        PoTC { seed, ..Default::default() }
+    }
+
+    /// Simulate PoTC routing for one period's statistics.
+    pub fn evaluate(&self, stats: &PeriodStats, nodes: &NodeSet) -> PotcEval {
+        let alive: Vec<usize> = nodes
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, k))| !k)
+            .map(|(i, _)| i)
+            .collect();
+        let caps: Vec<f64> = nodes.entries().iter().map(|(_, c, _)| *c).collect();
+        let mut mass = vec![0.0f64; nodes.len()];
+        if alive.is_empty() {
+            return PotcEval { node_loads: mass, load_distance: 0.0, total_load: 0.0 };
+        }
+
+        // Merge spike: heavier merge work on window periods.
+        let merging = stats.period.index() % self.merge_period.max(1) == 0;
+        let merge_mult = if merging { 2.0 } else { 0.5 };
+
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ stats.period.index());
+        for (g, &load) in stats.group_loads.iter().enumerate() {
+            if load <= 0.0 {
+                continue;
+            }
+            // Per-key two-choice routing: split the group's load into
+            // chunks, each choosing the lighter of a fresh candidate pair.
+            let chunk = load / self.chunks.max(1) as f64;
+            for _ in 0..self.chunks.max(1) {
+                let a = alive[rng.gen_range(0..alive.len())];
+                let b = alive[rng.gen_range(0..alive.len())];
+                let pick =
+                    if mass[a] / caps[a] <= mass[b] / caps[b] { a } else { b };
+                mass[pick] += chunk;
+            }
+            // Pinned merge work at the group's first hash candidate. The
+            // hash is deliberately non-uniform (quadratic density): merge
+            // placement in PoTC follows the key distribution, not the load,
+            // which is the skew the paper observes.
+            let l = alive.len();
+            let r = (g.wrapping_mul(2654435761)) % (l * l);
+            let pin = alive[(r as f64).sqrt() as usize % l];
+            mass[pin] += load * self.merge_fraction * merge_mult;
+        }
+
+        let node_loads: Vec<f64> =
+            mass.iter().zip(&caps).map(|(m, c)| m / c).collect();
+        let alive_cap: f64 = alive.iter().map(|&i| caps[i]).sum();
+        let total: f64 = mass.iter().sum();
+        let mean = total / alive_cap;
+        let load_distance = alive
+            .iter()
+            .map(|&i| (node_loads[i] - mean).abs())
+            .fold(0.0, f64::max);
+        let total_load = node_loads.iter().sum();
+        PotcEval { node_loads, load_distance, total_load }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albic_engine::stats::StatsCollector;
+    use albic_engine::{Cluster, CostModel};
+    use albic_types::{KeyGroupId, NodeId, Period};
+
+    fn stats_with(cluster: &Cluster, group_loads: &[f64], period: u64) -> PeriodStats {
+        let mut c = StatsCollector::new();
+        for (g, &l) in group_loads.iter().enumerate() {
+            c.record_processed(KeyGroupId::new(g as u32), l * 200.0, 1.0);
+        }
+        let alloc = (0..group_loads.len())
+            .map(|g| NodeId::new((g % cluster.len()) as u32))
+            .collect();
+        PeriodStats::compute(Period(period), &c, alloc, cluster, &CostModel::default())
+    }
+
+    #[test]
+    fn spreads_splittable_load_evenly() {
+        let cluster = Cluster::homogeneous(4);
+        let stats = stats_with(&cluster, &[20.0; 16], 1);
+        let ns = NodeSet::from_cluster(&cluster);
+        let potc = PoTC::default();
+        let eval = potc.evaluate(&stats, &ns);
+        // Two-choice balancing keeps the splittable part tight, but merge
+        // pinning adds skew: distance > 0 yet far below total/n.
+        assert!(eval.load_distance > 0.0);
+        assert!(eval.load_distance < 40.0);
+    }
+
+    #[test]
+    fn merge_overhead_inflates_total_load() {
+        let cluster = Cluster::homogeneous(4);
+        let stats = stats_with(&cluster, &[20.0; 8], 1);
+        let ns = NodeSet::from_cluster(&cluster);
+        let potc = PoTC::default();
+        let eval = potc.evaluate(&stats, &ns);
+        let base: f64 = stats.group_loads.iter().sum();
+        assert!(
+            eval.total_load > base,
+            "continuous merge overhead must inflate load: {} vs {base}",
+            eval.total_load
+        );
+    }
+
+    #[test]
+    fn merge_periods_cause_fluctuation() {
+        let cluster = Cluster::homogeneous(4);
+        let ns = NodeSet::from_cluster(&cluster);
+        let potc = PoTC::default();
+        let d_merge = potc.evaluate(&stats_with(&cluster, &[20.0; 8], 0), &ns);
+        let d_quiet = potc.evaluate(&stats_with(&cluster, &[20.0; 8], 1), &ns);
+        assert!(
+            d_merge.total_load > d_quiet.total_load,
+            "window periods must carry more merge work"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_period() {
+        let cluster = Cluster::homogeneous(3);
+        let stats = stats_with(&cluster, &[10.0; 6], 5);
+        let ns = NodeSet::from_cluster(&cluster);
+        let potc = PoTC::default();
+        let a = potc.evaluate(&stats, &ns);
+        let b = potc.evaluate(&stats, &ns);
+        assert_eq!(a.node_loads, b.node_loads);
+    }
+
+    #[test]
+    fn killed_nodes_receive_nothing() {
+        let mut cluster = Cluster::homogeneous(3);
+        cluster.mark_for_removal(NodeId::new(2));
+        let stats = stats_with(&cluster, &[10.0; 6], 1);
+        let ns = NodeSet::from_cluster(&cluster);
+        let eval = PoTC::default().evaluate(&stats, &ns);
+        assert_eq!(eval.node_loads[2], 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The integrative adaptation framework (Algorithm 1).
+//!
+//! Run once per statistics period:
+//!
+//! 1. nodes previously marked for removal whose key groups are gone are
+//!    terminated (the engine's `terminate_drained`, invoked by the
+//!    harness/controller before the policy);
+//! 2. a *potential* allocation plan is computed (`keyGroupAlloc()`);
+//! 3. the scaling policy decides against that plan — so overloads the plan
+//!    already fixes never cause scale-out, collocation savings count
+//!    before acquiring nodes, and scale-in is vetoed when balance would
+//!    suffer;
+//! 4. if scaling changed the node set, the plan is recomputed against the
+//!    new (partly hypothetical) node set, producing one integrated set of
+//!    migrations that balances, collocates and drains under a single
+//!    migration budget.
+
+use albic_engine::reconfig::{ClusterView, ReconfigPlan, ReconfigPolicy};
+use albic_engine::PeriodStats;
+
+use crate::allocator::{KeyGroupAllocator, NodeSet};
+use crate::scaling::{ScaleDecision, ThresholdScaling};
+
+/// Algorithm 1: integrative adaptation over any [`KeyGroupAllocator`].
+pub struct AdaptationFramework<A: KeyGroupAllocator> {
+    allocator: A,
+    scaling: Option<ThresholdScaling>,
+    /// Capacity assigned to newly acquired nodes.
+    pub new_node_capacity: f64,
+}
+
+impl<A: KeyGroupAllocator> AdaptationFramework<A> {
+    /// Framework without horizontal scaling (pure balancing/collocation).
+    pub fn balancing_only(allocator: A) -> Self {
+        AdaptationFramework { allocator, scaling: None, new_node_capacity: 1.0 }
+    }
+
+    /// Framework with horizontal scaling.
+    pub fn with_scaling(allocator: A, scaling: ThresholdScaling) -> Self {
+        AdaptationFramework { allocator, scaling: Some(scaling), new_node_capacity: 1.0 }
+    }
+
+    /// Access the wrapped allocator.
+    pub fn allocator_mut(&mut self) -> &mut A {
+        &mut self.allocator
+    }
+}
+
+impl<A: KeyGroupAllocator> ReconfigPolicy for AdaptationFramework<A> {
+    fn name(&self) -> &str {
+        self.allocator.name()
+    }
+
+    fn plan(&mut self, stats: &PeriodStats, view: ClusterView<'_>) -> ReconfigPlan {
+        let nodes = NodeSet::from_cluster(view.cluster);
+        // Line 4: potential allocation plan.
+        let potential = self.allocator.allocate(stats, &nodes, view.cost);
+
+        // Line 5: scaling decision against the potential plan.
+        let decision = match &mut self.scaling {
+            Some(s) => s.decide(stats, &nodes, &potential),
+            None => ScaleDecision::None,
+        };
+
+        match decision {
+            ScaleDecision::None => ReconfigPlan {
+                migrations: potential.migrations,
+                add_nodes: Vec::new(),
+                mark_removal: Vec::new(),
+            },
+            ScaleDecision::Out(k) => {
+                // Line 7: recalc with the nodes we are about to acquire.
+                let mut hypothetical = nodes.clone();
+                for id in view.cluster.peek_next_ids(k) {
+                    hypothetical.add_hypothetical(id, self.new_node_capacity);
+                }
+                let replanned = self.allocator.allocate(stats, &hypothetical, view.cost);
+                ReconfigPlan {
+                    migrations: replanned.migrations,
+                    add_nodes: vec![self.new_node_capacity; k],
+                    mark_removal: Vec::new(),
+                }
+            }
+            ScaleDecision::In(victims) => {
+                let mut hypothetical = nodes.clone();
+                for &id in &victims {
+                    hypothetical.mark_killed(id);
+                }
+                let replanned = self.allocator.allocate(stats, &hypothetical, view.cost);
+                ReconfigPlan {
+                    migrations: replanned.migrations,
+                    add_nodes: Vec::new(),
+                    mark_removal: victims,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::MilpBalancer;
+    use albic_engine::sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
+    use albic_engine::{Cluster, CostModel};
+    use albic_milp::MigrationBudget;
+    use albic_types::Period;
+
+    /// Constant workload: `groups` groups of equal weight.
+    struct Flat {
+        groups: u32,
+        tuples_each: f64,
+    }
+    impl WorkloadModel for Flat {
+        fn num_groups(&self) -> u32 {
+            self.groups
+        }
+        fn snapshot(&mut self, _p: Period) -> WorkloadSnapshot {
+            WorkloadSnapshot {
+                group_tuples: vec![self.tuples_each; self.groups as usize],
+                group_cost: vec![1.0; self.groups as usize],
+                comm: vec![],
+                state_bytes: vec![1024.0; self.groups as usize],
+            }
+        }
+    }
+
+    #[test]
+    fn balancing_only_framework_balances() {
+        // All groups start on node 0 of a 4-node cluster.
+        let cluster = Cluster::homogeneous(4);
+        let routing = albic_engine::RoutingTable::all_on(8, cluster.nodes()[0].id);
+        let mut engine = SimEngine::new(
+            Flat { groups: 8, tuples_each: 1000.0 },
+            cluster,
+            routing,
+            CostModel::default(),
+        );
+        let mut fw = AdaptationFramework::balancing_only(MilpBalancer::new(
+            MigrationBudget::Unlimited,
+        ));
+        for _ in 0..3 {
+            let stats = engine.tick();
+            let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+            let plan = fw.plan(&stats, view);
+            engine.apply(&plan);
+        }
+        let last = engine.history().last().unwrap().clone();
+        // After adaptation the next period's distance is ~0; check the
+        // engine state by ticking once more.
+        let stats = engine.tick();
+        assert!(stats.load_distance(engine.cluster()) < 1e-6, "{last:?}");
+    }
+
+    #[test]
+    fn overload_triggers_scale_out_and_replan_targets_new_nodes() {
+        // 1 node, heavy load → must scale out, and the integrated replan
+        // must move groups onto the just-acquired nodes in the same round.
+        let cluster = Cluster::homogeneous(1);
+        let routing = albic_engine::RoutingTable::all_on(8, cluster.nodes()[0].id);
+        let mut engine = SimEngine::new(
+            Flat { groups: 8, tuples_each: 5000.0 }, // 8 * 25% = 200% load
+            cluster,
+            routing,
+            CostModel::default(),
+        );
+        let mut fw = AdaptationFramework::with_scaling(
+            MilpBalancer::new(MigrationBudget::Unlimited),
+            ThresholdScaling::new(35.0, 80.0, 60.0),
+        );
+        let stats = engine.tick();
+        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let plan = fw.plan(&stats, view);
+        assert!(!plan.add_nodes.is_empty(), "must scale out");
+        assert!(!plan.migrations.is_empty(), "replanned migrations in the same round");
+        engine.apply(&plan);
+        // New nodes exist and host groups.
+        assert!(engine.cluster().len() > 1);
+        let stats = engine.tick();
+        let max_load = engine
+            .cluster()
+            .nodes()
+            .iter()
+            .map(|n| stats.load_of(n.id))
+            .fold(0.0, f64::max);
+        assert!(max_load < 100.0, "overload resolved, max {max_load}");
+    }
+
+    #[test]
+    fn underload_triggers_scale_in_and_drains() {
+        let cluster = Cluster::homogeneous(4);
+        let mut engine = SimEngine::with_round_robin(
+            Flat { groups: 8, tuples_each: 400.0 }, // 8 * 2% = 16% total
+            cluster,
+            CostModel::default(),
+        );
+        let mut fw = AdaptationFramework::with_scaling(
+            MilpBalancer::new(MigrationBudget::Unlimited),
+            ThresholdScaling::new(35.0, 80.0, 60.0),
+        );
+        let mut terminated = 0;
+        for _ in 0..6 {
+            let stats = engine.tick();
+            let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+            let plan = fw.plan(&stats, view);
+            engine.apply(&plan);
+            terminated += engine.terminate_drained().len();
+        }
+        assert!(terminated > 0, "some node must have been removed");
+        assert!(engine.cluster().len() < 4);
+        // All remaining load on alive nodes.
+        let stats = engine.tick();
+        assert!(stats.load_distance(engine.cluster()) < 30.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Integrative dynamic reconfiguration for parallel stream processing —
+//! the paper's contribution, implemented over the `albic-engine` substrate.
+//!
+//! Three coupled problems are optimized in one loop (§1):
+//!
+//! * **load balancing** — keep every node's load close to the mean
+//!   ([`balancer::MilpBalancer`], the MILP of §4.3.1 solved by
+//!   `albic-milp`);
+//! * **operator-instance collocation** — keep communicating key groups on
+//!   one node to save serialization/deserialization CPU and network
+//!   ([`albic::Albic`], Algorithm 2);
+//! * **horizontal scaling** — acquire and release nodes as load changes
+//!   ([`scaling::ThresholdScaling`]), *integrated* with the other two by
+//!   the adaptation framework ([`framework::AdaptationFramework`],
+//!   Algorithm 1): a potential allocation plan is computed first and used
+//!   to veto unnecessary scaling, and the plan is recomputed after each
+//!   scaling decision so draining, balancing and collocation share one
+//!   migration budget.
+//!
+//! The comparison baselines the paper evaluates against are in
+//! [`baselines`]: Flux (ICDE'03), the Power of Two Choices (ICDE'15),
+//! COLA (Middleware'09) and a non-integrated scale-in strategy.
+//!
+//! Metric helpers for the evaluation figures (load distance, load index,
+//! collocation factor series) are in [`metrics`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod albic;
+pub mod allocator;
+pub mod balancer;
+pub mod baselines;
+pub mod framework;
+pub mod metrics;
+pub mod scaling;
+
+pub use albic::{Albic, AlbicConfig};
+pub use allocator::{AllocOutcome, KeyGroupAllocator, NodeSet};
+pub use balancer::MilpBalancer;
+pub use framework::AdaptationFramework;
+pub use scaling::{ScaleDecision, ThresholdScaling};

@@ -1,0 +1,220 @@
+//! Horizontal scaling decisions (§4.2).
+//!
+//! The paper deliberately reuses existing scaling calculators (its
+//! contribution is the *integration*, not a new sizing algorithm), so this
+//! module implements the standard utilization-band policy those works
+//! describe: keep the projected mean alive-node load inside
+//! `[low, high]`; scale out to bring it under `high`, scale in while it
+//! would stay under `target` with fewer nodes.
+//!
+//! The integrative twist (Algorithm 1) happens in the framework: the
+//! decision is made against the *potential allocation plan*, not the raw
+//! measured loads, so a load imbalance that balancing alone can fix never
+//! triggers scale-out, and collocation savings are accounted before
+//! acquiring nodes.
+
+use albic_engine::PeriodStats;
+use albic_types::NodeId;
+
+use crate::allocator::{AllocOutcome, NodeSet};
+
+/// A scaling decision for this adaptation round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScaleDecision {
+    /// Keep the current node set.
+    None,
+    /// Acquire this many new nodes (capacity 1.0 each).
+    Out(usize),
+    /// Mark these nodes for removal.
+    In(Vec<NodeId>),
+}
+
+/// Utilization-band scaling policy.
+#[derive(Debug, Clone)]
+pub struct ThresholdScaling {
+    /// Scale out when the projected maximum load exceeds this.
+    pub high: f64,
+    /// Consider scale-in when the projected mean load falls below this.
+    pub low: f64,
+    /// Load level scale decisions aim for.
+    pub target: f64,
+    /// Rounds to wait between scaling actions (avoids thrashing).
+    pub cooldown: u64,
+    rounds_since_action: u64,
+}
+
+impl Default for ThresholdScaling {
+    fn default() -> Self {
+        ThresholdScaling { high: 80.0, low: 35.0, target: 60.0, cooldown: 3, rounds_since_action: u64::MAX / 2 }
+    }
+}
+
+impl ThresholdScaling {
+    /// Policy with explicit band `[low, high]` aiming at `target`.
+    pub fn new(low: f64, high: f64, target: f64) -> Self {
+        ThresholdScaling { low, high, target, ..Default::default() }
+    }
+
+    /// Decide scaling for this round, given the measured statistics and
+    /// the potential allocation plan's projections.
+    pub fn decide(
+        &mut self,
+        stats: &PeriodStats,
+        nodes: &NodeSet,
+        plan: &AllocOutcome,
+    ) -> ScaleDecision {
+        self.rounds_since_action = self.rounds_since_action.saturating_add(1);
+        if self.rounds_since_action <= self.cooldown {
+            return ScaleDecision::None;
+        }
+        let alive: Vec<(NodeId, f64)> = nodes
+            .entries()
+            .iter()
+            .filter(|(_, _, k)| !k)
+            .map(|(id, cap, _)| (*id, *cap))
+            .collect();
+        if alive.is_empty() {
+            return ScaleDecision::None;
+        }
+        let alive_cap: f64 = alive.iter().map(|(_, c)| c).sum();
+        let total_mass: f64 = stats.group_loads.iter().sum();
+        let mean = total_mass / alive_cap;
+
+        // Scale out: the potential plan still leaves a node overloaded (or
+        // the mean itself is above the band) — balancing cannot fix it.
+        if plan.projected_max_load > self.high && mean > self.target {
+            let needed_cap = total_mass / self.target;
+            let extra = (needed_cap - alive_cap).ceil().max(1.0) as usize;
+            self.rounds_since_action = 0;
+            return ScaleDecision::Out(extra);
+        }
+
+        // Scale in: mean is low and remains under target with fewer nodes,
+        // *and* the potential plan shows the load can be balanced well
+        // (paper: undesirable scale-in is vetoed when balance is poor).
+        if mean < self.low && alive.len() > 1 && plan.projected_distance <= self.target {
+            let keep_cap = (total_mass / self.target).max(1.0);
+            let mut removable = Vec::new();
+            let mut cap_left = alive_cap;
+            // Remove the least-loaded alive nodes first.
+            let mut by_load: Vec<(NodeId, f64, f64)> = alive
+                .iter()
+                .map(|(id, cap)| (*id, stats.load_of(*id), *cap))
+                .collect();
+            by_load.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            for (id, _, cap) in by_load {
+                if cap_left - cap >= keep_cap && removable.len() + 1 < alive.len() {
+                    removable.push(id);
+                    cap_left -= cap;
+                }
+            }
+            if !removable.is_empty() {
+                self.rounds_since_action = 0;
+                return ScaleDecision::In(removable);
+            }
+        }
+        ScaleDecision::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albic_engine::stats::StatsCollector;
+    use albic_engine::{Cluster, CostModel};
+    use albic_types::{KeyGroupId, Period};
+
+    fn stats_for(cluster: &Cluster, node_masses: &[f64]) -> PeriodStats {
+        let mut c = StatsCollector::new();
+        for (g, &mass) in node_masses.iter().enumerate() {
+            c.record_processed(KeyGroupId::new(g as u32), mass * 200.0, 1.0);
+        }
+        let alloc = (0..node_masses.len())
+            .map(|g| cluster.nodes()[g % cluster.len()].id)
+            .collect();
+        PeriodStats::compute(Period(0), &c, alloc, cluster, &CostModel::default())
+    }
+
+    fn outcome(dist: f64, max: f64, mean: f64) -> AllocOutcome {
+        AllocOutcome {
+            projected_distance: dist,
+            projected_max_load: max,
+            projected_mean_load: mean,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn no_scaling_inside_the_band() {
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_for(&cluster, &[50.0, 60.0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut s = ThresholdScaling::default();
+        let d = s.decide(&stats, &ns, &outcome(5.0, 60.0, 55.0));
+        assert_eq!(d, ScaleDecision::None);
+    }
+
+    #[test]
+    fn overload_that_balancing_fixes_is_vetoed() {
+        // Measured max is high but the potential plan brings it down: no
+        // scale-out (the integrative veto).
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_for(&cluster, &[95.0, 15.0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut s = ThresholdScaling::default();
+        let d = s.decide(&stats, &ns, &outcome(2.0, 57.0, 55.0));
+        assert_eq!(d, ScaleDecision::None);
+    }
+
+    #[test]
+    fn persistent_overload_scales_out() {
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_for(&cluster, &[95.0, 95.0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut s = ThresholdScaling::default();
+        let d = s.decide(&stats, &ns, &outcome(1.0, 95.0, 95.0));
+        match d {
+            ScaleDecision::Out(n) => assert!(n >= 1),
+            other => panic!("expected scale-out, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn underload_scales_in_but_keeps_capacity_for_target() {
+        let cluster = Cluster::homogeneous(4);
+        let stats = stats_for(&cluster, &[20.0, 20.0, 20.0, 20.0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut s = ThresholdScaling::default();
+        let d = s.decide(&stats, &ns, &outcome(1.0, 21.0, 20.0));
+        match d {
+            ScaleDecision::In(nodes) => {
+                // total mass 80, target 60 → keep ≥ 2 nodes (cap 1.34).
+                assert!(!nodes.is_empty() && nodes.len() <= 2, "{nodes:?}");
+            }
+            other => panic!("expected scale-in, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poor_balance_vetoes_scale_in() {
+        let cluster = Cluster::homogeneous(4);
+        let stats = stats_for(&cluster, &[20.0, 20.0, 20.0, 20.0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut s = ThresholdScaling::default();
+        // Plan says load can't be balanced (distance above target).
+        let d = s.decide(&stats, &ns, &outcome(70.0, 90.0, 20.0));
+        assert_eq!(d, ScaleDecision::None);
+    }
+
+    #[test]
+    fn cooldown_suppresses_consecutive_actions() {
+        let cluster = Cluster::homogeneous(2);
+        let stats = stats_for(&cluster, &[95.0, 95.0]);
+        let ns = NodeSet::from_cluster(&cluster);
+        let mut s = ThresholdScaling::default();
+        let first = s.decide(&stats, &ns, &outcome(1.0, 95.0, 95.0));
+        assert!(matches!(first, ScaleDecision::Out(_)));
+        let second = s.decide(&stats, &ns, &outcome(1.0, 95.0, 95.0));
+        assert_eq!(second, ScaleDecision::None, "cooldown must apply");
+    }
+}

@@ -1,0 +1,193 @@
+//! The processing cluster: node lifecycle and capacities.
+//!
+//! Horizontal scaling (§4.2) adds nodes and *marks* nodes for removal; a
+//! marked node keeps processing until the balancer has drained all of its
+//! key groups, at which point the adaptation framework terminates it
+//! (Algorithm 1, lines 1-3).
+
+use albic_types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One node's descriptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// Node id (unique for the lifetime of the cluster, never reused).
+    pub id: NodeId,
+    /// Relative capacity (1.0 = reference m1.medium-like worker).
+    pub capacity: f64,
+    /// Marked for removal by the scaling algorithm (`kill_i = 1`).
+    pub killed: bool,
+}
+
+/// The set of processing nodes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cluster {
+    nodes: Vec<NodeInfo>,
+    next_id: u32,
+}
+
+impl Cluster {
+    /// A cluster of `n` homogeneous nodes of capacity 1.
+    pub fn homogeneous(n: usize) -> Self {
+        let mut c = Cluster::default();
+        for _ in 0..n {
+            c.add_node(1.0);
+        }
+        c
+    }
+
+    /// A cluster with the given per-node capacities.
+    pub fn with_capacities(caps: &[f64]) -> Self {
+        let mut c = Cluster::default();
+        for &cap in caps {
+            c.add_node(cap);
+        }
+        c
+    }
+
+    /// The ids the next `k` calls to [`Cluster::add_node`] will assign.
+    ///
+    /// Node ids are deterministic, so a policy can plan migrations onto
+    /// nodes it is about to request (the framework re-plans after a
+    /// scaling decision, Algorithm 1 line 7) and the engine will create
+    /// exactly those ids when it applies the plan.
+    pub fn peek_next_ids(&self, k: usize) -> Vec<NodeId> {
+        (0..k as u32).map(|i| NodeId::new(self.next_id + i)).collect()
+    }
+
+    /// Add a node with a given relative capacity; returns its id.
+    pub fn add_node(&mut self, capacity: f64) -> NodeId {
+        assert!(capacity > 0.0, "capacity must be positive");
+        let id = NodeId::new(self.next_id);
+        self.next_id += 1;
+        self.nodes.push(NodeInfo { id, capacity, killed: false });
+        id
+    }
+
+    /// Mark a node for removal (it keeps running until drained). Returns
+    /// `false` if the node does not exist.
+    pub fn mark_for_removal(&mut self, id: NodeId) -> bool {
+        match self.nodes.iter_mut().find(|n| n.id == id) {
+            Some(n) => {
+                n.killed = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unmark a node previously marked for removal.
+    pub fn unmark(&mut self, id: NodeId) -> bool {
+        match self.nodes.iter_mut().find(|n| n.id == id) {
+            Some(n) => {
+                n.killed = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Terminate (actually remove) a node. The caller must have drained it
+    /// first; the engine asserts this where it has the routing table.
+    pub fn terminate(&mut self, id: NodeId) -> bool {
+        let before = self.nodes.len();
+        self.nodes.retain(|n| n.id != id);
+        self.nodes.len() != before
+    }
+
+    /// All current nodes (alive and marked).
+    pub fn nodes(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    /// Look up a node.
+    pub fn get(&self, id: NodeId) -> Option<&NodeInfo> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// `true` if the node exists and is marked for removal.
+    pub fn is_killed(&self, id: NodeId) -> bool {
+        self.get(id).is_some_and(|n| n.killed)
+    }
+
+    /// Nodes not marked for removal (the paper's set `A`).
+    pub fn alive(&self) -> impl Iterator<Item = &NodeInfo> {
+        self.nodes.iter().filter(|n| !n.killed)
+    }
+
+    /// Nodes marked for removal (the paper's set `B`).
+    pub fn marked(&self) -> impl Iterator<Item = &NodeInfo> {
+        self.nodes.iter().filter(|n| n.killed)
+    }
+
+    /// Number of nodes (alive + marked).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_cluster() {
+        let c = Cluster::homogeneous(5);
+        assert_eq!(c.len(), 5);
+        assert!(c.nodes().iter().all(|n| n.capacity == 1.0 && !n.killed));
+        assert_eq!(c.alive().count(), 5);
+        assert_eq!(c.marked().count(), 0);
+    }
+
+    #[test]
+    fn mark_and_terminate_lifecycle() {
+        let mut c = Cluster::homogeneous(3);
+        let victim = c.nodes()[1].id;
+        assert!(c.mark_for_removal(victim));
+        assert!(c.is_killed(victim));
+        assert_eq!(c.alive().count(), 2);
+        assert_eq!(c.marked().count(), 1);
+
+        assert!(c.terminate(victim));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(victim).is_none());
+        assert!(!c.terminate(victim), "double-terminate is a no-op");
+    }
+
+    #[test]
+    fn node_ids_are_never_reused() {
+        let mut c = Cluster::homogeneous(2);
+        let old = c.nodes()[1].id;
+        c.terminate(old);
+        let fresh = c.add_node(1.0);
+        assert_ne!(fresh, old);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn unmark_restores_alive_status() {
+        let mut c = Cluster::homogeneous(2);
+        let id = c.nodes()[0].id;
+        c.mark_for_removal(id);
+        assert!(c.unmark(id));
+        assert!(!c.is_killed(id));
+    }
+
+    #[test]
+    fn heterogeneous_capacities() {
+        let c = Cluster::with_capacities(&[1.0, 2.0, 0.5]);
+        assert_eq!(c.nodes()[1].capacity, 2.0);
+        assert_eq!(c.nodes()[2].capacity, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        Cluster::default().add_node(0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! A tiny self-contained binary codec for state serialization.
+//!
+//! Key-group state must cross node boundaries during migration (§3, *State
+//! Migration*). Rather than pull in a serialization framework, operators
+//! encode their state with these little-endian primitives. The codec is
+//! versionless and only used inside one process run, so stability across
+//! releases is a non-goal; determinism and exactness are.
+
+use std::collections::BTreeMap;
+
+use crate::tuple::Value;
+
+/// Append-only binary writer.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a [`Value`] (tagged).
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.buf.push(0),
+            Value::Int(i) => {
+                self.buf.push(1);
+                self.put_i64(*i);
+            }
+            Value::Float(f) => {
+                self.buf.push(2);
+                self.put_f64(*f);
+            }
+            Value::Str(s) => {
+                self.buf.push(3);
+                self.put_str(s);
+            }
+            Value::List(l) => {
+                self.buf.push(4);
+                self.put_u64(l.len() as u64);
+                for item in l {
+                    self.put_value(item);
+                }
+            }
+        }
+    }
+
+    /// Write a string-keyed map of `f64` (a very common window-state shape).
+    pub fn put_map_f64(&mut self, m: &BTreeMap<String, f64>) {
+        self.put_u64(m.len() as u64);
+        for (k, v) in m {
+            self.put_str(k);
+            self.put_f64(*v);
+        }
+    }
+
+    /// Write a u64-keyed map of `f64`.
+    pub fn put_map_u64_f64(&mut self, m: &BTreeMap<u64, f64>) {
+        self.put_u64(m.len() as u64);
+        for (k, v) in m {
+            self.put_u64(*k);
+            self.put_f64(*v);
+        }
+    }
+}
+
+/// Sequential binary reader over encoded bytes.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Decoding failure: truncated or malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError;
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "truncated or malformed state bytes")
+    }
+}
+impl std::error::Error for DecodeError {}
+
+impl<'a> Reader<'a> {
+    /// Reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// `true` once all bytes are consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, DecodeError> {
+        let len = self.get_u64()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError)
+    }
+
+    /// Read a [`Value`].
+    pub fn get_value(&mut self) -> Result<Value, DecodeError> {
+        let tag = self.take(1)?[0];
+        Ok(match tag {
+            0 => Value::Null,
+            1 => Value::Int(self.get_i64()?),
+            2 => Value::Float(self.get_f64()?),
+            3 => Value::Str(self.get_str()?),
+            4 => {
+                let n = self.get_u64()? as usize;
+                if n > self.buf.len() {
+                    return Err(DecodeError); // bogus length guard
+                }
+                let mut l = Vec::with_capacity(n);
+                for _ in 0..n {
+                    l.push(self.get_value()?);
+                }
+                Value::List(l)
+            }
+            _ => return Err(DecodeError),
+        })
+    }
+
+    /// Read a string-keyed `f64` map.
+    pub fn get_map_f64(&mut self) -> Result<BTreeMap<String, f64>, DecodeError> {
+        let n = self.get_u64()? as usize;
+        if n > self.buf.len() {
+            return Err(DecodeError);
+        }
+        let mut m = BTreeMap::new();
+        for _ in 0..n {
+            let k = self.get_str()?;
+            let v = self.get_f64()?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+
+    /// Read a u64-keyed `f64` map.
+    pub fn get_map_u64_f64(&mut self) -> Result<BTreeMap<u64, f64>, DecodeError> {
+        let n = self.get_u64()? as usize;
+        if n > self.buf.len() {
+            return Err(DecodeError);
+        }
+        let mut m = BTreeMap::new();
+        for _ in 0..n {
+            let k = self.get_u64()?;
+            let v = self.get_f64()?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        w.put_i64(-7);
+        w.put_f64(2.5);
+        w.put_str("hello");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u64().unwrap(), 42);
+        assert_eq!(r.get_i64().unwrap(), -7);
+        assert_eq!(r.get_f64().unwrap(), 2.5);
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let vals = [
+            Value::Null,
+            Value::Int(i64::MIN),
+            Value::Float(-0.125),
+            Value::Str("ünïcode ✓".into()),
+            Value::List(vec![Value::Int(1), Value::List(vec![Value::Null]), Value::Str("x".into())]),
+        ];
+        for v in &vals {
+            let mut w = Writer::new();
+            w.put_value(v);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(&r.get_value().unwrap(), v);
+            assert!(r.is_done());
+        }
+    }
+
+    #[test]
+    fn maps_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1.5);
+        m.insert("b".to_string(), -2.0);
+        let mut w = Writer::new();
+        w.put_map_f64(&m);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).get_map_f64().unwrap(), m);
+
+        let mut m2 = BTreeMap::new();
+        m2.insert(10u64, 0.5);
+        m2.insert(20u64, 0.25);
+        let mut w = Writer::new();
+        w.put_map_u64_f64(&m2);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).get_map_u64_f64().unwrap(), m2);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = Writer::new();
+        w.put_str("hello world");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        assert_eq!(r.get_str(), Err(DecodeError));
+
+        let mut r = Reader::new(&[]);
+        assert_eq!(r.get_u64(), Err(DecodeError));
+    }
+
+    #[test]
+    fn malformed_tag_errors() {
+        let mut r = Reader::new(&[99]);
+        assert_eq!(r.get_value(), Err(DecodeError));
+    }
+
+    #[test]
+    fn bogus_length_is_rejected() {
+        // List claiming u64::MAX entries must not allocate or loop forever.
+        let mut w = Writer::new();
+        w.buf.push(4);
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).get_value(), Err(DecodeError));
+    }
+}

@@ -1,0 +1,148 @@
+//! The load and cost model.
+//!
+//! What the reconfiguration algorithms optimize is *modeled load*: the
+//! fraction of a node's bottleneck-resource capacity consumed per
+//! statistics period. Three ingredients matter (§1, §4.3.2):
+//!
+//! * **processing cost** — CPU per tuple, scaled by the operator's
+//!   [`cost_per_tuple`](crate::operator::Operator::cost_per_tuple);
+//! * **communication cost** — every tuple crossing a node boundary pays
+//!   serialization CPU at the sender, deserialization CPU at the receiver,
+//!   and network bandwidth; tuples between *collocated* key groups pay
+//!   none of this, which is exactly the saving ALBIC chases;
+//! * **memory** — resident state bytes.
+//!
+//! Migration cost follows the paper's model `mc_k = α·|σ_k|`.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable cost coefficients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// CPU work units per processed tuple (before the operator's own
+    /// multiplier).
+    pub cpu_per_tuple: f64,
+    /// CPU work units to serialize one tuple crossing nodes.
+    pub ser_per_tuple: f64,
+    /// CPU work units to deserialize one tuple arriving from another node.
+    pub deser_per_tuple: f64,
+    /// Network units per cross-node tuple.
+    pub net_per_tuple: f64,
+    /// CPU work units per statistics period that equal 100% load on a
+    /// capacity-1.0 node.
+    pub cpu_capacity: f64,
+    /// Network units per period that equal 100% load.
+    pub net_capacity: f64,
+    /// State bytes that equal 100% memory load.
+    pub mem_capacity: f64,
+    /// Migration cost per serialized state byte (`α`).
+    pub alpha: f64,
+    /// Seconds of key-group pause per unit of migration cost (drives the
+    /// migration-latency metric of Fig. 9).
+    pub pause_per_cost: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // A cross-node tuple costs as much to serialize + deserialize as
+        // two tuples cost to process — consistent with the paper's
+        // observation that collocating communicating instances can halve
+        // the system load of a communication-dominated job (Fig. 12's load
+        // index drops from 100% to ~50%).
+        CostModel {
+            cpu_per_tuple: 1.0,
+            ser_per_tuple: 1.0,
+            deser_per_tuple: 1.0,
+            net_per_tuple: 1.0,
+            cpu_capacity: 20_000.0,
+            net_capacity: 20_000.0,
+            mem_capacity: 64.0 * 1024.0 * 1024.0,
+            alpha: 1.0 / 4096.0,
+            pause_per_cost: 0.25,
+        }
+    }
+}
+
+impl CostModel {
+    /// CPU load (percentage points on a capacity-1 node) of processing
+    /// `tuples` with an operator cost multiplier.
+    pub fn processing_load(&self, tuples: f64, op_cost: f64) -> f64 {
+        100.0 * (tuples * self.cpu_per_tuple * op_cost) / self.cpu_capacity
+    }
+
+    /// CPU load of serializing `tuples` leaving the node.
+    pub fn serialization_load(&self, tuples: f64) -> f64 {
+        100.0 * (tuples * self.ser_per_tuple) / self.cpu_capacity
+    }
+
+    /// CPU load of deserializing `tuples` arriving from other nodes.
+    pub fn deserialization_load(&self, tuples: f64) -> f64 {
+        100.0 * (tuples * self.deser_per_tuple) / self.cpu_capacity
+    }
+
+    /// Network load of `tuples` crossing node boundaries.
+    pub fn network_load(&self, tuples: f64) -> f64 {
+        100.0 * (tuples * self.net_per_tuple) / self.net_capacity
+    }
+
+    /// Memory load of `bytes` of resident state.
+    pub fn memory_load(&self, bytes: f64) -> f64 {
+        100.0 * bytes / self.mem_capacity
+    }
+
+    /// Migration cost of a key group with `state_bytes` of state
+    /// (`mc_k = α·|σ_k|`).
+    pub fn migration_cost(&self, state_bytes: usize) -> f64 {
+        self.alpha * state_bytes as f64
+    }
+
+    /// Pause time (seconds) incurred by a migration of the given cost.
+    pub fn migration_pause(&self, cost: f64) -> f64 {
+        self.pause_per_cost * cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_scale_linearly() {
+        let cm = CostModel::default();
+        assert_eq!(
+            cm.processing_load(200.0, 1.0) * 2.0,
+            cm.processing_load(400.0, 1.0)
+        );
+        assert_eq!(
+            cm.processing_load(200.0, 2.0),
+            cm.processing_load(400.0, 1.0)
+        );
+        assert!(cm.serialization_load(100.0) > 0.0);
+        assert!(cm.network_load(100.0) > 0.0);
+    }
+
+    #[test]
+    fn full_capacity_is_100_percent() {
+        let cm = CostModel::default();
+        assert!((cm.processing_load(cm.cpu_capacity, 1.0) - 100.0).abs() < 1e-9);
+        assert!((cm.memory_load(cm.mem_capacity) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migration_cost_follows_alpha_model() {
+        let cm = CostModel { alpha: 0.5, ..Default::default() };
+        assert_eq!(cm.migration_cost(10), 5.0);
+        assert_eq!(cm.migration_pause(4.0), cm.pause_per_cost * 4.0);
+    }
+
+    #[test]
+    fn communication_roundtrip_costs_as_much_as_two_tuples() {
+        // The default model makes ser+deser equal to two tuples' processing
+        // cost — the premise behind "collocation halves the load" for a
+        // job whose every tuple crosses nodes (Fig. 12).
+        let cm = CostModel::default();
+        let comm = cm.serialization_load(100.0) + cm.deserialization_load(100.0);
+        let proc = cm.processing_load(100.0, 1.0);
+        assert!((comm - 2.0 * proc).abs() < 1e-9);
+    }
+}

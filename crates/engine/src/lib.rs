@@ -1,0 +1,63 @@
+//! A parallel stream processing engine (PSPE) substrate.
+//!
+//! The paper implements its reconfiguration techniques on Apache Storm;
+//! this crate is the from-scratch Rust equivalent the rest of the workspace
+//! builds on. It provides:
+//!
+//! * [`tuple`] / [`codec`] — the `⟨key, value, ts⟩` data model and a small
+//!   self-contained binary codec used for state serialization.
+//! * [`operator`] — the operator abstraction: opaque user logic over
+//!   key-group-partitioned state, plus typed-state helpers.
+//! * [`topology`] — operator DAGs with per-operator key-group spaces and
+//!   the four partitioning patterns of §4.3.1.
+//! * [`routing`] — key → key group → node routing tables.
+//! * [`cluster`] — the node set: capacities, heterogeneity, nodes marked
+//!   for removal by horizontal scaling, add/terminate.
+//! * [`stats`] — per-SPL statistics: `gLoad_k`, `load_i`, the
+//!   `out(g_i, g_j)` communication matrix, state sizes, bottleneck
+//!   resource selection.
+//! * [`cost`] — the load/cost model: processing cost, cross-node
+//!   serialization/deserialization cost (what collocation saves), the
+//!   migration cost model `mc_k = α·|σ_k|`.
+//! * [`migration`] — direct state migration (Madsen & Zhou, CIKM'15):
+//!   redirect upstreams → buffer at destination → serialize & ship state →
+//!   rebuild → replay buffer, with pause-time accounting.
+//! * [`sim`] — a deterministic discrete-time cluster simulator driven by a
+//!   [`sim::WorkloadModel`]; one tick = one statistics period (SPL). The
+//!   paper-scale experiments (60 nodes, 1200 key groups, 90 periods) run
+//!   in milliseconds here.
+//! * [`runtime`] — a real multi-threaded runtime: one worker thread per
+//!   node, crossbeam channels for data and control, the full migration
+//!   protocol including buffering and replay. Examples and integration
+//!   tests run actual jobs on it.
+//!
+//! Reconfiguration *policies* (the paper's contribution and the baselines)
+//! live in `albic-core`; this crate only defines the interface they
+//! implement ([`reconfig::ReconfigPolicy`]) and executes their plans.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod codec;
+pub mod cost;
+pub mod migration;
+pub mod operator;
+pub mod reconfig;
+pub mod routing;
+pub mod runtime;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+pub mod tuple;
+
+pub use cluster::{Cluster, NodeInfo};
+pub use cost::CostModel;
+pub use migration::{Migration, MigrationReport};
+pub use operator::{Emissions, Operator, StateBox};
+pub use reconfig::{ClusterView, ReconfigPlan, ReconfigPolicy};
+pub use routing::RoutingTable;
+pub use sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
+pub use stats::PeriodStats;
+pub use topology::{OperatorSpec, Topology, TopologyBuilder};
+pub use tuple::{Tuple, Value};

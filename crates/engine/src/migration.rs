@@ -1,0 +1,104 @@
+//! Migration plan types and the direct state migration cost model.
+//!
+//! The protocol itself (§3, *State Migration*) has two implementations:
+//! modeled in [`crate::sim`] and executed for real (redirect → buffer →
+//! serialize → ship → rebuild → replay) in [`crate::runtime`]. This module
+//! holds the shared vocabulary.
+
+use albic_types::{KeyGroupId, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+
+/// One requested key-group move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Migration {
+    /// The key group to move.
+    pub group: KeyGroupId,
+    /// Destination node.
+    pub to: NodeId,
+}
+
+/// Outcome of one executed migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// The key group that moved.
+    pub group: KeyGroupId,
+    /// Origin node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Serialized state size `|σ_k|` in bytes.
+    pub state_bytes: usize,
+    /// Migration cost `mc_k = α·|σ_k|`.
+    pub cost: f64,
+    /// Seconds the key group's processing was paused.
+    pub pause_secs: f64,
+}
+
+impl MigrationReport {
+    /// Build a report from the cost model.
+    pub fn from_cost_model(
+        group: KeyGroupId,
+        from: NodeId,
+        to: NodeId,
+        state_bytes: usize,
+        cost_model: &CostModel,
+    ) -> Self {
+        let cost = cost_model.migration_cost(state_bytes);
+        MigrationReport {
+            group,
+            from,
+            to,
+            state_bytes,
+            cost,
+            pause_secs: cost_model.migration_pause(cost),
+        }
+    }
+}
+
+/// Total modeled cost of a set of migrations given per-group state sizes.
+pub fn plan_cost(
+    migrations: &[Migration],
+    state_bytes: &[f64],
+    current: &[NodeId],
+    cost_model: &CostModel,
+) -> f64 {
+    migrations
+        .iter()
+        .filter(|m| current[m.group.index()] != m.to)
+        .map(|m| cost_model.migration_cost(state_bytes[m.group.index()] as usize))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_follows_cost_model() {
+        let cm = CostModel { alpha: 0.01, pause_per_cost: 2.0, ..Default::default() };
+        let r = MigrationReport::from_cost_model(
+            KeyGroupId::new(3),
+            NodeId::new(0),
+            NodeId::new(1),
+            500,
+            &cm,
+        );
+        assert_eq!(r.cost, 5.0);
+        assert_eq!(r.pause_secs, 10.0);
+        assert_eq!(r.state_bytes, 500);
+    }
+
+    #[test]
+    fn plan_cost_skips_no_op_moves() {
+        let cm = CostModel { alpha: 1.0, ..Default::default() };
+        let current = vec![NodeId::new(0), NodeId::new(1)];
+        let migrations = vec![
+            Migration { group: KeyGroupId::new(0), to: NodeId::new(1) }, // real move
+            Migration { group: KeyGroupId::new(1), to: NodeId::new(1) }, // no-op
+        ];
+        let cost = plan_cost(&migrations, &[100.0, 100.0], &current, &cm);
+        assert_eq!(cost, 100.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The policy interface between the engine and the reconfiguration
+//! algorithms.
+//!
+//! The adaptation framework, MILP balancer, ALBIC and all baselines live in
+//! `albic-core` and implement [`ReconfigPolicy`]; the engine invokes the
+//! policy once per statistics period and executes the returned plan.
+
+use albic_types::NodeId;
+
+use crate::cluster::Cluster;
+use crate::cost::CostModel;
+use crate::migration::Migration;
+use crate::stats::PeriodStats;
+
+/// Read-only view of the cluster handed to policies.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterView<'a> {
+    /// The cluster.
+    pub cluster: &'a Cluster,
+    /// The engine's cost model (policies need `α` for migration costs).
+    pub cost: &'a CostModel,
+}
+
+/// What a policy wants done at the end of a period.
+#[derive(Debug, Clone, Default)]
+pub struct ReconfigPlan {
+    /// Key-group moves to execute.
+    pub migrations: Vec<Migration>,
+    /// Capacities of new nodes to acquire (horizontal scale-out).
+    pub add_nodes: Vec<f64>,
+    /// Nodes to mark for removal (horizontal scale-in); they are
+    /// terminated by the framework once drained.
+    pub mark_removal: Vec<NodeId>,
+}
+
+impl ReconfigPlan {
+    /// A plan that changes nothing.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// `true` if the plan performs no action.
+    pub fn is_noop(&self) -> bool {
+        self.migrations.is_empty() && self.add_nodes.is_empty() && self.mark_removal.is_empty()
+    }
+}
+
+/// A reconfiguration policy: consumes statistics, produces a plan.
+pub trait ReconfigPolicy {
+    /// Short identifier used in experiment output (e.g. `"milp"`, `"flux"`).
+    fn name(&self) -> &str;
+
+    /// Decide the actions for the period just finished.
+    fn plan(&mut self, stats: &PeriodStats, view: ClusterView<'_>) -> ReconfigPlan;
+}
+
+/// The trivial policy: never reconfigure. Useful as an experimental
+/// control and in tests.
+#[derive(Debug, Default, Clone)]
+pub struct NoopPolicy;
+
+impl ReconfigPolicy for NoopPolicy {
+    fn name(&self) -> &str {
+        "noop"
+    }
+    fn plan(&mut self, _stats: &PeriodStats, _view: ClusterView<'_>) -> ReconfigPlan {
+        ReconfigPlan::noop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_plan_is_noop() {
+        assert!(ReconfigPlan::noop().is_noop());
+        let plan = ReconfigPlan {
+            migrations: vec![],
+            add_nodes: vec![1.0],
+            mark_removal: vec![],
+        };
+        assert!(!plan.is_noop());
+    }
+}

@@ -1,0 +1,117 @@
+//! Key-group → node routing.
+
+use albic_types::{KeyGroupId, NodeId};
+
+/// The authoritative mapping from every global key group to its hosting
+/// node. Migration = an entry update here plus state movement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    node_of: Vec<NodeId>,
+}
+
+impl RoutingTable {
+    /// A table placing all `num_groups` key groups on `initial`.
+    pub fn all_on(num_groups: u32, initial: NodeId) -> Self {
+        RoutingTable { node_of: vec![initial; num_groups as usize] }
+    }
+
+    /// A table with an explicit allocation (index = global key-group id).
+    pub fn from_assignment(node_of: Vec<NodeId>) -> Self {
+        RoutingTable { node_of }
+    }
+
+    /// Round-robin placement of `num_groups` groups over `nodes`.
+    ///
+    /// This is the naive initial allocation a job gets at submission; the
+    /// paper's experiments start from either this or a deliberately bad
+    /// allocation.
+    pub fn round_robin(num_groups: u32, nodes: &[NodeId]) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        RoutingTable {
+            node_of: (0..num_groups).map(|g| nodes[g as usize % nodes.len()]).collect(),
+        }
+    }
+
+    /// Number of key groups routed.
+    pub fn len(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.node_of.is_empty()
+    }
+
+    /// The node hosting a key group.
+    #[inline]
+    pub fn node_of(&self, kg: KeyGroupId) -> NodeId {
+        self.node_of[kg.index()]
+    }
+
+    /// Move a key group to a new node; returns the previous host.
+    pub fn reroute(&mut self, kg: KeyGroupId, to: NodeId) -> NodeId {
+        std::mem::replace(&mut self.node_of[kg.index()], to)
+    }
+
+    /// All key groups hosted on `node`.
+    pub fn groups_on(&self, node: NodeId) -> Vec<KeyGroupId> {
+        self.node_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == node)
+            .map(|(g, _)| KeyGroupId::new(g as u32))
+            .collect()
+    }
+
+    /// The full assignment as a slice (index = key-group id).
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.node_of
+    }
+
+    /// Iterate `(key group, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (KeyGroupId, NodeId)> + '_ {
+        self.node_of
+            .iter()
+            .enumerate()
+            .map(|(g, &n)| (KeyGroupId::new(g as u32), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let nodes = [NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        let rt = RoutingTable::round_robin(9, &nodes);
+        for n in &nodes {
+            assert_eq!(rt.groups_on(*n).len(), 3);
+        }
+        assert_eq!(rt.node_of(KeyGroupId::new(4)), NodeId::new(1));
+    }
+
+    #[test]
+    fn reroute_returns_previous_host() {
+        let mut rt = RoutingTable::all_on(4, NodeId::new(0));
+        let prev = rt.reroute(KeyGroupId::new(2), NodeId::new(5));
+        assert_eq!(prev, NodeId::new(0));
+        assert_eq!(rt.node_of(KeyGroupId::new(2)), NodeId::new(5));
+        assert_eq!(rt.groups_on(NodeId::new(0)).len(), 3);
+        assert_eq!(rt.groups_on(NodeId::new(5)), vec![KeyGroupId::new(2)]);
+    }
+
+    #[test]
+    fn iter_covers_all_groups() {
+        let rt = RoutingTable::round_robin(5, &[NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(rt.iter().count(), 5);
+        assert_eq!(rt.len(), 5);
+        assert!(!rt.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn round_robin_needs_nodes() {
+        RoutingTable::round_robin(3, &[]);
+    }
+}

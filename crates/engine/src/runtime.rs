@@ -1,0 +1,511 @@
+//! The multi-threaded runtime: one worker thread per node.
+//!
+//! This is the "real" execution mode: tuples are individually routed,
+//! processed against per-key-group state by user operator logic, and
+//! forwarded downstream over crossbeam channels. Reconfiguration runs the
+//! full direct state migration protocol of §3:
+//!
+//! 1. the routing table entry flips, so *new* tuples for the group go to
+//!    the destination worker;
+//! 2. the destination is told to buffer tuples for the group;
+//! 3. the source serializes the group's state (`σ_k`) and ships it;
+//! 4. the destination rebuilds the state, replays its buffer in arrival
+//!    order, and resumes normal processing;
+//! 5. tuples that still reach the source (in flight before the flip) are
+//!    forwarded per the routing table, so nothing is lost.
+//!
+//! Workers keep local [`StatsCollector`]s that are merged at period
+//! boundaries — the same statistics the simulator produces, so the
+//! reconfiguration policies cannot tell which substrate they run on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use albic_types::{KeyGroupId, NodeId, OperatorId, PeriodClock};
+
+use crate::cluster::Cluster;
+use crate::cost::CostModel;
+use crate::migration::{Migration, MigrationReport};
+use crate::operator::{Emissions, StateBox};
+use crate::routing::RoutingTable;
+use crate::stats::{PeriodStats, StatsCollector};
+use crate::topology::Topology;
+use crate::tuple::Tuple;
+
+/// Messages a worker can receive.
+enum Msg {
+    /// A data tuple for `(operator, key group)`.
+    Data { op: OperatorId, kg: KeyGroupId, tuple: Tuple },
+    /// Start buffering tuples for a key group (migration destination).
+    PrepareReceive { kg: KeyGroupId },
+    /// Serialize and ship a key group's state to `dest` (migration
+    /// source); `done` eventually carries `(state_bytes, replayed)` from
+    /// the destination.
+    Extract { kg: KeyGroupId, dest: NodeId, done: Sender<(usize, usize)> },
+    /// Install shipped state and replay the buffer (migration destination).
+    Install { kg: KeyGroupId, op: OperatorId, bytes: Vec<u8>, done: Sender<(usize, usize)> },
+    /// FIFO barrier: reply as soon as this message is dequeued.
+    Barrier(Sender<()>),
+    /// Flush operator windows (period end).
+    FlushWindows { ack: Sender<()> },
+    /// Snapshot and reset the worker's statistics.
+    CollectStats { reply: Sender<StatsCollector> },
+    /// Return the serialized state of a key group (diagnostics/tests).
+    ProbeState { kg: KeyGroupId, reply: Sender<Option<Vec<u8>>> },
+    /// Stop the worker loop.
+    Shutdown,
+}
+
+struct WorkerCtx {
+    node: NodeId,
+    topology: Arc<Topology>,
+    routing: Arc<RwLock<RoutingTable>>,
+    senders: Arc<RwLock<HashMap<NodeId, Sender<Msg>>>>,
+    inbox: Receiver<Msg>,
+    /// Per-key-group operator state, keyed by global key-group id.
+    states: HashMap<u32, StateBox>,
+    /// Buffers for key groups mid-migration (destination side).
+    buffers: HashMap<u32, Vec<(OperatorId, Tuple)>>,
+    stats: StatsCollector,
+}
+
+impl WorkerCtx {
+    fn run(mut self) {
+        while let Ok(msg) = self.inbox.recv() {
+            match msg {
+                Msg::Data { op, kg, tuple } => self.on_data(op, kg, tuple),
+                Msg::PrepareReceive { kg } => {
+                    self.buffers.entry(kg.raw()).or_default();
+                }
+                Msg::Extract { kg, dest, done } => {
+                    let op = self.topology.operator_of_group(kg);
+                    let logic = Arc::clone(&self.topology.operator(op).logic);
+                    let bytes = match self.states.remove(&kg.raw()) {
+                        Some(state) => logic.serialize_state(&state),
+                        None => logic.serialize_state(&logic.new_state()),
+                    };
+                    let sender = self.senders.read().get(&dest).cloned();
+                    if let Some(s) = sender {
+                        let _ = s.send(Msg::Install { kg, op, bytes, done });
+                    }
+                }
+                Msg::Install { kg, op, bytes, done } => {
+                    let logic = Arc::clone(&self.topology.operator(op).logic);
+                    let state = logic.deserialize_state(&bytes);
+                    self.states.insert(kg.raw(), state);
+                    let buffered = self.buffers.remove(&kg.raw()).unwrap_or_default();
+                    let replayed = buffered.len();
+                    for (bop, tuple) in buffered {
+                        self.on_data(bop, kg, tuple);
+                    }
+                    let _ = done.send((bytes.len(), replayed));
+                }
+                Msg::Barrier(ack) => {
+                    let _ = ack.send(());
+                }
+                Msg::FlushWindows { ack } => {
+                    self.flush_windows();
+                    let _ = ack.send(());
+                }
+                Msg::CollectStats { reply } => {
+                    let group_ids: Vec<u32> = self.states.keys().copied().collect();
+                    for g in group_ids {
+                        let kg = KeyGroupId::new(g);
+                        let op = self.topology.operator_of_group(kg);
+                        let logic = Arc::clone(&self.topology.operator(op).logic);
+                        if let Some(state) = self.states.get(&g) {
+                            self.stats.set_state_bytes(kg, logic.state_size(state) as f64);
+                        }
+                    }
+                    let snapshot = self.stats.clone();
+                    self.stats.reset();
+                    let _ = reply.send(snapshot);
+                }
+                Msg::ProbeState { kg, reply } => {
+                    let op = self.topology.operator_of_group(kg);
+                    let logic = Arc::clone(&self.topology.operator(op).logic);
+                    let bytes = self.states.get(&kg.raw()).map(|s| logic.serialize_state(s));
+                    let _ = reply.send(bytes);
+                }
+                Msg::Shutdown => break,
+            }
+        }
+    }
+
+    fn on_data(&mut self, op: OperatorId, kg: KeyGroupId, tuple: Tuple) {
+        // Buffering during migration takes priority.
+        if let Some(buf) = self.buffers.get_mut(&kg.raw()) {
+            buf.push((op, tuple));
+            return;
+        }
+        // In-flight tuple for a group that moved away: forward it.
+        let owner = self.routing.read().node_of(kg);
+        if owner != self.node {
+            let sender = self.senders.read().get(&owner).cloned();
+            if let Some(s) = sender {
+                let _ = s.send(Msg::Data { op, kg, tuple });
+            }
+            return;
+        }
+        self.process_local(op, kg, tuple);
+    }
+
+    fn process_local(&mut self, op: OperatorId, kg: KeyGroupId, tuple: Tuple) {
+        let logic = Arc::clone(&self.topology.operator(op).logic);
+        let state = self.states.entry(kg.raw()).or_insert_with(|| logic.new_state());
+        let mut out = Emissions::new();
+        logic.process(&tuple, state, &mut out);
+        self.stats.record_processed(kg, 1.0, logic.cost_per_tuple());
+        self.dispatch(op, kg, out);
+    }
+
+    fn flush_windows(&mut self) {
+        let group_ids: Vec<u32> = self.states.keys().copied().collect();
+        for g in group_ids {
+            let kg = KeyGroupId::new(g);
+            // Only flush groups this worker still owns.
+            if self.routing.read().node_of(kg) != self.node {
+                continue;
+            }
+            let op = self.topology.operator_of_group(kg);
+            let logic = Arc::clone(&self.topology.operator(op).logic);
+            if let Some(state) = self.states.get_mut(&g) {
+                let mut out = Emissions::new();
+                logic.on_period_end(state, &mut out);
+                self.dispatch(op, kg, out);
+            }
+        }
+    }
+
+    /// Route emissions of (`op`, `from_kg`) to all downstream operators.
+    fn dispatch(&mut self, op: OperatorId, from_kg: KeyGroupId, mut out: Emissions) {
+        if out.is_empty() {
+            return;
+        }
+        let tuples = out.drain();
+        let downstream: Vec<OperatorId> = self.topology.downstream(op).to_vec();
+        for dop in downstream {
+            for tuple in &tuples {
+                let dkg = self.topology.group_for_key(dop, tuple.key);
+                let dest = self.routing.read().node_of(dkg);
+                let crossed = dest != self.node;
+                self.stats.record_comm(from_kg, dkg, 1.0, crossed);
+                if crossed {
+                    let sender = self.senders.read().get(&dest).cloned();
+                    if let Some(s) = sender {
+                        let _ = s.send(Msg::Data { op: dop, kg: dkg, tuple: tuple.clone() });
+                    }
+                } else {
+                    self.on_data(dop, dkg, tuple.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Handle to a running multi-threaded engine.
+pub struct Runtime {
+    topology: Arc<Topology>,
+    routing: Arc<RwLock<RoutingTable>>,
+    senders: Arc<RwLock<HashMap<NodeId, Sender<Msg>>>>,
+    handles: Vec<(NodeId, JoinHandle<()>)>,
+    cluster: Cluster,
+    cost: CostModel,
+    clock: PeriodClock,
+}
+
+impl Runtime {
+    /// Spawn one worker per cluster node with the given initial routing.
+    pub fn start(
+        topology: Topology,
+        cluster: Cluster,
+        routing: RoutingTable,
+        cost: CostModel,
+    ) -> Runtime {
+        assert_eq!(routing.len() as u32, topology.num_key_groups());
+        let topology = Arc::new(topology);
+        let routing = Arc::new(RwLock::new(routing));
+        let senders: Arc<RwLock<HashMap<NodeId, Sender<Msg>>>> =
+            Arc::new(RwLock::new(HashMap::new()));
+
+        let mut handles = Vec::new();
+        for node in cluster.nodes() {
+            let (tx, rx) = unbounded();
+            senders.write().insert(node.id, tx);
+            let ctx = WorkerCtx {
+                node: node.id,
+                topology: Arc::clone(&topology),
+                routing: Arc::clone(&routing),
+                senders: Arc::clone(&senders),
+                inbox: rx,
+                states: HashMap::new(),
+                buffers: HashMap::new(),
+                stats: StatsCollector::new(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("albic-worker-{}", node.id))
+                .spawn(move || ctx.run())
+                .expect("spawn worker");
+            handles.push((node.id, handle));
+        }
+
+        Runtime { topology, routing, senders, handles, cluster, cost, clock: PeriodClock::new() }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Snapshot of the routing table.
+    pub fn routing_snapshot(&self) -> RoutingTable {
+        self.routing.read().clone()
+    }
+
+    /// Inject external tuples into a source operator. Tuples are routed by
+    /// key to the hosting worker of their key group.
+    pub fn inject(&self, op: OperatorId, tuples: impl IntoIterator<Item = Tuple>) {
+        let senders = self.senders.read();
+        let routing = self.routing.read();
+        for tuple in tuples {
+            let kg = self.topology.group_for_key(op, tuple.key);
+            let node = routing.node_of(kg);
+            if let Some(s) = senders.get(&node) {
+                let _ = s.send(Msg::Data { op, kg, tuple });
+            }
+        }
+    }
+
+    /// Wait until all workers have drained everything enqueued so far.
+    ///
+    /// One round = a FIFO barrier on every worker. Cross-worker forwarding
+    /// re-enqueues tuples, so `rounds` must be at least the topology depth
+    /// (number of operator hops) plus one.
+    pub fn quiesce(&self, rounds: usize) {
+        for _ in 0..rounds.max(1) {
+            let senders: Vec<Sender<Msg>> = self.senders.read().values().cloned().collect();
+            let (ack_tx, ack_rx) = unbounded();
+            let mut expected = 0;
+            for s in &senders {
+                if s.send(Msg::Barrier(ack_tx.clone())).is_ok() {
+                    expected += 1;
+                }
+            }
+            drop(ack_tx);
+            for _ in 0..expected {
+                let _ = ack_rx.recv();
+            }
+        }
+    }
+
+    /// End the current statistics period: flush windows, collect and merge
+    /// worker statistics, and return the period snapshot.
+    pub fn end_period(&mut self) -> PeriodStats {
+        let senders: Vec<Sender<Msg>> = self.senders.read().values().cloned().collect();
+        // Flush windows and wait.
+        let (ack_tx, ack_rx) = unbounded();
+        let mut expected = 0;
+        for s in &senders {
+            if s.send(Msg::FlushWindows { ack: ack_tx.clone() }).is_ok() {
+                expected += 1;
+            }
+        }
+        drop(ack_tx);
+        for _ in 0..expected {
+            let _ = ack_rx.recv();
+        }
+        // Window emissions may hop across workers: settle them.
+        self.quiesce(3);
+
+        // Collect stats.
+        let (reply_tx, reply_rx) = unbounded();
+        let mut expected = 0;
+        for s in &senders {
+            if s.send(Msg::CollectStats { reply: reply_tx.clone() }).is_ok() {
+                expected += 1;
+            }
+        }
+        drop(reply_tx);
+        let mut merged = StatsCollector::new();
+        for _ in 0..expected {
+            if let Ok(c) = reply_rx.recv() {
+                merged.merge(&c);
+            }
+        }
+
+        let period = self.clock.advance();
+        let allocation = self.routing.read().assignment().to_vec();
+        PeriodStats::compute(period, &merged, allocation, &self.cluster, &self.cost)
+    }
+
+    /// Execute migrations with the direct state migration protocol.
+    /// Blocks until every destination has installed state and replayed its
+    /// buffer.
+    pub fn migrate(&mut self, migrations: &[Migration]) -> Vec<MigrationReport> {
+        let mut reports = Vec::new();
+        for &Migration { group, to } in migrations {
+            let from = self.routing.read().node_of(group);
+            if from == to || self.cluster.get(to).is_none() {
+                continue;
+            }
+            let senders = self.senders.read();
+            let (Some(src), Some(dst)) =
+                (senders.get(&from).cloned(), senders.get(&to).cloned())
+            else {
+                continue;
+            };
+            drop(senders);
+
+            // 1. Redirect new tuples; 2. destination buffers; 3-5. extract,
+            // ship, install, replay — `done` fires after replay.
+            let _ = dst.send(Msg::PrepareReceive { kg: group });
+            self.routing.write().reroute(group, to);
+            let (done_tx, done_rx) = unbounded();
+            let _ = src.send(Msg::Extract { kg: group, dest: to, done: done_tx });
+            let (state_bytes, _replayed) = done_rx.recv().unwrap_or((0, 0));
+
+            reports.push(MigrationReport::from_cost_model(
+                group,
+                from,
+                to,
+                state_bytes,
+                &self.cost,
+            ));
+        }
+        reports
+    }
+
+    /// Serialized state of one key group, fetched from its hosting worker.
+    pub fn probe_state(&self, kg: KeyGroupId) -> Option<Vec<u8>> {
+        let node = self.routing.read().node_of(kg);
+        let sender = self.senders.read().get(&node).cloned()?;
+        let (tx, rx) = unbounded();
+        sender.send(Msg::ProbeState { kg, reply: tx }).ok()?;
+        rx.recv().ok().flatten()
+    }
+
+    /// Stop all workers and join their threads.
+    pub fn shutdown(mut self) {
+        let senders: Vec<Sender<Msg>> = self.senders.read().values().cloned().collect();
+        for s in senders {
+            let _ = s.send(Msg::Shutdown);
+        }
+        for (_, h) in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Counting, Identity};
+    use crate::topology::TopologyBuilder;
+    use crate::tuple::{hash_key, Value};
+
+    fn two_op_runtime(nodes: usize) -> (Runtime, OperatorId, OperatorId) {
+        let mut b = TopologyBuilder::new();
+        let src = b.source("src", 4, Arc::new(Identity));
+        let cnt = b.operator("count", 4, Arc::new(Counting));
+        b.edge(src, cnt);
+        let topology = b.build().unwrap();
+        let cluster = Cluster::homogeneous(nodes);
+        let node_ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
+        let routing = RoutingTable::round_robin(topology.num_key_groups(), &node_ids);
+        let rt = Runtime::start(topology, cluster, routing, CostModel::default());
+        (rt, src, cnt)
+    }
+
+    #[test]
+    fn tuples_flow_through_the_topology() {
+        let (mut rt, src, _) = two_op_runtime(2);
+        let tuples: Vec<Tuple> =
+            (0..100).map(|i| Tuple::keyed(&(i % 10), Value::Int(i), i as u64)).collect();
+        rt.inject(src, tuples);
+        rt.quiesce(4);
+        let stats = rt.end_period();
+        // 100 tuples at the source + 100 at the counter.
+        assert!((stats.total_tuples - 200.0).abs() < 1e-9, "{}", stats.total_tuples);
+        assert!(stats.comm_tuples >= 100.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn migration_preserves_counter_state() {
+        let (mut rt, src, cnt) = two_op_runtime(2);
+        let key = 3i32;
+        rt.inject(src, (0..50).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)));
+        rt.quiesce(4);
+        let _ = rt.end_period();
+
+        // Move the counter's key group to the other node.
+        let kg = rt.topology().group_for_key(cnt, hash_key(&key));
+        let from = rt.routing_snapshot().node_of(kg);
+        let to = rt.cluster().nodes().iter().map(|n| n.id).find(|&n| n != from).unwrap();
+        let reports = rt.migrate(&[Migration { group: kg, to }]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].from, from);
+        assert_eq!(reports[0].to, to);
+        assert_eq!(reports[0].state_bytes, 8, "u64 counter state");
+        assert_eq!(rt.routing_snapshot().node_of(kg), to);
+
+        // Continue the stream; the count must continue from 50.
+        rt.inject(src, (50..60).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)));
+        rt.quiesce(4);
+        let bytes = rt.probe_state(kg).expect("state exists on destination");
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&bytes[..8]);
+        assert_eq!(u64::from_le_bytes(arr), 60, "state survived the migration");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn in_flight_tuples_are_forwarded_not_lost() {
+        let (mut rt, src, cnt) = two_op_runtime(2);
+        let key = 7i32;
+        // Interleave injections with a migration; every tuple must be
+        // counted exactly once regardless of timing.
+        rt.inject(src, (0..200).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)));
+        let kg = rt.topology().group_for_key(cnt, hash_key(&key));
+        let from = rt.routing_snapshot().node_of(kg);
+        let to = rt.cluster().nodes().iter().map(|n| n.id).find(|&n| n != from).unwrap();
+        rt.migrate(&[Migration { group: kg, to }]);
+        rt.inject(src, (200..300).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)));
+        rt.quiesce(6);
+
+        let bytes = rt.probe_state(kg).expect("state present");
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&bytes[..8]);
+        assert_eq!(u64::from_le_bytes(arr), 300, "every tuple counted exactly once");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn stats_reset_between_periods() {
+        let (mut rt, src, _) = two_op_runtime(1);
+        rt.inject(src, (0..10).map(|i| Tuple::keyed(&i, Value::Int(i), 0)));
+        rt.quiesce(4);
+        let s1 = rt.end_period();
+        assert!(s1.total_tuples > 0.0);
+        let s2 = rt.end_period();
+        assert_eq!(s2.total_tuples, 0.0, "second period saw no traffic");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn probe_missing_state_is_none() {
+        let (rt, _, cnt) = two_op_runtime(1);
+        let kg = rt.topology().group_for_key(cnt, hash_key(&"never-seen"));
+        assert!(rt.probe_state(kg).is_none());
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,206 @@
+//! The `⟨key, value, ts⟩` data model (§3, *Data Model*).
+//!
+//! Keys are pre-hashed to `u64`: the engine never interprets the original
+//! key (it is "opaque to the system"); jobs hash their natural keys (article
+//! title, airplane id, route, ...) with [`hash_key`]. Values are a small
+//! dynamic type so user-defined operators can pass structured data without
+//! the engine knowing its meaning.
+
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+/// A pre-hashed partitioning key.
+pub type Key = u64;
+
+/// Hash an arbitrary natural key into the engine's key space.
+///
+/// Deterministic across runs (uses a fixed-seed FNV-1a, not `RandomState`),
+/// which keeps experiments reproducible.
+pub fn hash_key<T: Hash + ?Sized>(key: &T) -> Key {
+    let mut h = Fnv1a::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// FNV-1a, 64-bit: tiny, deterministic, good enough for partitioning.
+#[derive(Debug)]
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf29ce484222325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// A dynamically-typed tuple payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent value.
+    Null,
+    /// Signed integer.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered list of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float inside (`Float` or widened `Int`).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list inside, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the memory-load
+    /// model and the migration cost model.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => 24 + s.len(),
+            Value::List(l) => 24 + l.iter().map(Value::size_bytes).sum::<usize>(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+/// One stream tuple: partitioning key, payload, event timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Pre-hashed partitioning key.
+    pub key: Key,
+    /// Payload, opaque to the engine.
+    pub value: Value,
+    /// Event-time timestamp (out-of-order processing is assumed, §3).
+    pub ts: u64,
+}
+
+impl Tuple {
+    /// Construct a tuple from a natural key.
+    pub fn keyed<K: Hash + ?Sized>(key: &K, value: Value, ts: u64) -> Self {
+        Tuple { key: hash_key(key), value, ts }
+    }
+
+    /// Construct a tuple from an already-hashed key.
+    pub fn raw(key: Key, value: Value, ts: u64) -> Self {
+        Tuple { key, value, ts }
+    }
+
+    /// Approximate wire size in bytes (key + ts + payload).
+    pub fn size_bytes(&self) -> usize {
+        16 + self.value.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_key_is_deterministic_and_spread() {
+        assert_eq!(hash_key("alpha"), hash_key("alpha"));
+        assert_ne!(hash_key("alpha"), hash_key("beta"));
+        assert_ne!(hash_key(&1u64), hash_key(&2u64));
+        // Spread check: 1000 keys into 16 buckets, no bucket > 3x the mean.
+        let mut buckets = [0usize; 16];
+        for i in 0..1000u64 {
+            buckets[(hash_key(&i) % 16) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&b| b > 20 && b < 188), "{buckets:?}");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Int(4).as_float(), Some(4.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::Null.as_int(), None);
+        let l = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(l.as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn value_sizes_scale_with_content() {
+        assert!(Value::from("longer string here").size_bytes() > Value::from("x").size_bytes());
+        let list = Value::List(vec![Value::Int(1); 10]);
+        assert!(list.size_bytes() > Value::Int(1).size_bytes() * 10);
+    }
+
+    #[test]
+    fn keyed_and_raw_agree() {
+        let a = Tuple::keyed("route-7", Value::Int(1), 99);
+        let b = Tuple::raw(hash_key("route-7"), Value::Int(1), 99);
+        assert_eq!(a, b);
+        assert!(a.size_bytes() >= 24);
+    }
+}

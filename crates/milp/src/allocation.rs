@@ -1,0 +1,1203 @@
+//! The paper's key-group allocation MILP (§4.3.1) and a structured solver
+//! for it.
+//!
+//! [`AllocationProblem`] captures: the current allocation `q`, per-group
+//! loads (`gLoad_k`) and migration costs (`mc_k`), nodes marked for removal
+//! (`kill_i`), an optional migration budget (the paper uses either
+//! `maxMigrCost` or, in the experiments of Figs 2-4/6-7, a `maxMigrations`
+//! count), plus the collocation side-constraints ALBIC layers on top:
+//! indivisible sets of key groups and pin-to-node constraints.
+//!
+//! Two solving paths are provided:
+//!
+//! * [`AllocationProblem::to_model`] emits the MILP *exactly as the paper
+//!   writes it* — binaries `x_{i,k}`, objective `min w1·d − w2·(du+dl)`,
+//!   constraints (1)-(5) — for [`crate::branch_bound::solve_milp`]. This is
+//!   exact but only practical for small instances; it doubles as the
+//!   reference oracle in tests.
+//! * [`AllocationProblem::solve`] is the structured solver used at runtime:
+//!   it computes the exact LP-relaxation bound with [`crate::relaxation`],
+//!   then bisects the achievable load distance, repairing the allocation at
+//!   each probe with a cost-ratio greedy and polishing with local search —
+//!   all under a deterministic work [`Budget`]. It reports the achieved
+//!   load distance *and* the lower bound, so callers know the optimality
+//!   gap.
+
+use crate::budget::Budget;
+use crate::model::{CmpOp, LinExpr, Model, VarId};
+use crate::relaxation::{min_distance_bound, RelaxationInput};
+
+/// Numeric tolerance for mass/load comparisons.
+const EPS: f64 = 1e-9;
+/// Bisection tolerance on the load distance.
+const D_TOL: f64 = 1e-3;
+
+/// How migration overhead is bounded per adaptation round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MigrationBudget {
+    /// Bound on total migration cost `Σ mc_k` of moved groups
+    /// (`maxMigrCost` in the paper).
+    Cost(f64),
+    /// Bound on the *number* of migrated key groups (`maxMigrations`, the
+    /// variant the paper uses when comparing against Flux).
+    Count(usize),
+    /// No bound (the paper's "No limit" configuration in Figs 8-9).
+    Unlimited,
+}
+
+impl MigrationBudget {
+    /// Effective per-group cost under this budget kind.
+    ///
+    /// With [`MigrationBudget::Unlimited`] the cost is zero: the paper's
+    /// MILP only sees migration cost through constraint (2), so removing
+    /// the constraint makes the solver indifferent to how much state it
+    /// moves — which is exactly the pathology Figs 8-9 demonstrate.
+    #[inline]
+    pub fn effective_cost(&self, mc: f64) -> f64 {
+        match self {
+            MigrationBudget::Cost(_) => mc,
+            MigrationBudget::Count(_) => 1.0,
+            MigrationBudget::Unlimited => 0.0,
+        }
+    }
+
+    /// Budget value in effective-cost units.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        match self {
+            MigrationBudget::Cost(c) => *c,
+            MigrationBudget::Count(n) => *n as f64,
+            MigrationBudget::Unlimited => f64::INFINITY,
+        }
+    }
+}
+
+/// Static description of one key group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupSpec {
+    /// Load mass `gLoad_k` over the last statistics period (percentage
+    /// points on a capacity-1 node).
+    pub load: f64,
+    /// Migration cost `mc_k = α·|σ_k|`.
+    pub migration_cost: f64,
+    /// Node currently hosting the group (`q_{i,k}`).
+    pub current_node: usize,
+}
+
+/// An instance of the paper's allocation MILP.
+#[derive(Debug, Clone)]
+pub struct AllocationProblem {
+    /// Number of nodes `|N|`.
+    pub num_nodes: usize,
+    /// `kill_i` flags: nodes marked for removal by the scaling algorithm.
+    pub killed: Vec<bool>,
+    /// Relative node capacities (1.0 = reference); a group of load `l` on a
+    /// node of capacity `c` contributes `l / c` percentage points.
+    pub capacity: Vec<f64>,
+    /// The key groups.
+    pub groups: Vec<GroupSpec>,
+    /// Migration budget per adaptation round.
+    pub budget: MigrationBudget,
+    /// Sets of groups that must end up collocated on one node and are
+    /// migrated as a unit (ALBIC partitions). Sets must be disjoint.
+    pub collocate: Vec<Vec<usize>>,
+    /// `(group, node)` pins: the group (and transitively its collocation
+    /// set) must be placed on the given node (ALBIC step-3 constraints).
+    pub pins: Vec<(usize, usize)>,
+}
+
+/// Outcome quality of a structured solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Achieved load distance matches the LP lower bound (within tolerance).
+    Optimal,
+    /// Feasible allocation found; optimality not proven.
+    Feasible,
+    /// The side constraints (pins/collocation within budget) cannot be met.
+    Infeasible,
+}
+
+/// Result of [`AllocationProblem::solve`].
+#[derive(Debug, Clone)]
+pub struct AllocationSolution {
+    /// New node for every group (`x` in the paper).
+    pub assignment: Vec<usize>,
+    /// Achieved load distance `d` (max deviation from the mean over alive
+    /// nodes, including the above-mean deviation of nodes being drained).
+    pub load_distance: f64,
+    /// Exact LP-relaxation lower bound on the achievable load distance.
+    pub lower_bound: f64,
+    /// Upper-tightening variable `du ≥ 0` of the achieved allocation.
+    pub du: f64,
+    /// Lower-tightening variable `dl ≥ 0` of the achieved allocation.
+    pub dl: f64,
+    /// Migration overhead spent, in the budget's effective units (cost for
+    /// [`MigrationBudget::Cost`], group count for
+    /// [`MigrationBudget::Count`]).
+    pub migration_cost: f64,
+    /// Indices of groups whose node changed relative to `q`.
+    pub migrations: Vec<usize>,
+    /// Solve quality.
+    pub status: SolveStatus,
+    /// Work units consumed.
+    pub work_used: u64,
+}
+
+/// Handles into the paper-exact MILP emitted by
+/// [`AllocationProblem::to_model`].
+#[derive(Debug, Clone)]
+pub struct ModelVars {
+    /// `x[i][k]`: binary, group `k` placed on node `i`.
+    pub x: Vec<Vec<VarId>>,
+    /// Load-distance variable `d`.
+    pub d: VarId,
+    /// Upper tightening `du`.
+    pub du: VarId,
+    /// Lower tightening `dl`.
+    pub dl: VarId,
+}
+
+// ---------------------------------------------------------------------
+// Units: collocation sets merged into indivisible allocation units.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Units {
+    /// Unit -> member group indices.
+    members: Vec<Vec<usize>>,
+    /// Group -> unit index.
+    of_group: Vec<usize>,
+    /// Unit -> forced node, if pinned.
+    pin: Vec<Option<usize>>,
+    /// Unit -> total load mass.
+    load: Vec<f64>,
+    /// Unit -> total effective migration cost of all members.
+    total_cost: Vec<f64>,
+    /// Unit -> (origin node -> effective cost of members originating there).
+    cost_by_origin: Vec<Vec<(usize, f64)>>,
+}
+
+impl Units {
+    fn build(p: &AllocationProblem) -> Result<Units, ()> {
+        let g = p.groups.len();
+        // Union-find over collocation sets.
+        let mut parent: Vec<usize> = (0..g).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for set in &p.collocate {
+            if let Some((&first, rest)) = set.split_first() {
+                for &k in rest {
+                    let a = find(&mut parent, first);
+                    let b = find(&mut parent, k);
+                    if a != b {
+                        parent[b] = a;
+                    }
+                }
+            }
+        }
+        let mut unit_of_root: Vec<Option<usize>> = vec![None; g];
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut of_group = vec![0usize; g];
+        for k in 0..g {
+            let r = find(&mut parent, k);
+            let u = match unit_of_root[r] {
+                Some(u) => u,
+                None => {
+                    let u = members.len();
+                    members.push(Vec::new());
+                    unit_of_root[r] = Some(u);
+                    u
+                }
+            };
+            members[u].push(k);
+            of_group[k] = u;
+        }
+
+        let mut pin: Vec<Option<usize>> = vec![None; members.len()];
+        for &(k, node) in &p.pins {
+            let u = of_group[k];
+            match pin[u] {
+                None => pin[u] = Some(node),
+                Some(existing) if existing == node => {}
+                Some(_) => return Err(()), // conflicting pins
+            }
+        }
+
+        let mut load = vec![0.0; members.len()];
+        let mut total_cost = vec![0.0; members.len()];
+        let mut cost_by_origin: Vec<Vec<(usize, f64)>> = vec![Vec::new(); members.len()];
+        for (u, ms) in members.iter().enumerate() {
+            for &k in ms {
+                let spec = &p.groups[k];
+                let e = p.budget.effective_cost(spec.migration_cost);
+                load[u] += spec.load;
+                total_cost[u] += e;
+                match cost_by_origin[u].iter_mut().find(|(n, _)| *n == spec.current_node) {
+                    Some((_, c)) => *c += e,
+                    None => cost_by_origin[u].push((spec.current_node, e)),
+                }
+            }
+        }
+
+        Ok(Units { members, of_group, pin, load, total_cost, cost_by_origin })
+    }
+
+    /// Effective migration cost of placing unit `u` on `node` (members
+    /// already on `node` are free).
+    #[inline]
+    fn cost_on(&self, u: usize, node: usize) -> f64 {
+        let local: f64 = self
+            .cost_by_origin[u]
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0);
+        self.total_cost[u] - local
+    }
+}
+
+// ---------------------------------------------------------------------
+// Search state.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct State {
+    /// Unit -> node.
+    assign: Vec<usize>,
+    /// Node -> mass.
+    mass: Vec<f64>,
+    /// Total effective migration cost spent relative to `q`.
+    cost_used: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quality {
+    d: f64,
+    /// `updev + lowdev`, the quantity whose minimization maximizes `du+dl`.
+    secondary: f64,
+    cost: f64,
+}
+
+impl Quality {
+    fn better_than(&self, other: &Quality) -> bool {
+        if self.d < other.d - 1e-9 {
+            return true;
+        }
+        if self.d > other.d + 1e-9 {
+            return false;
+        }
+        if self.secondary < other.secondary - 1e-9 {
+            return true;
+        }
+        if self.secondary > other.secondary + 1e-9 {
+            return false;
+        }
+        self.cost < other.cost - 1e-9
+    }
+}
+
+impl AllocationProblem {
+    /// Average alive-node load, `mean = (1/|A|)·Σ_N load_i` (real-valued
+    /// rather than the paper's integer ceiling).
+    pub fn mean(&self) -> f64 {
+        let alive_cap: f64 = (0..self.num_nodes)
+            .filter(|&i| !self.killed[i])
+            .map(|i| self.capacity[i])
+            .sum();
+        if alive_cap <= EPS {
+            return 0.0;
+        }
+        let total: f64 = self.groups.iter().map(|g| g.load).sum();
+        total / alive_cap
+    }
+
+    /// Basic shape validation; panics are avoided in favour of `Err(msg)`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.killed.len() != self.num_nodes || self.capacity.len() != self.num_nodes {
+            return Err("killed/capacity length must equal num_nodes".into());
+        }
+        if self.capacity.iter().any(|&c| !(c > 0.0)) {
+            return Err("capacities must be positive".into());
+        }
+        for (k, g) in self.groups.iter().enumerate() {
+            if g.current_node >= self.num_nodes {
+                return Err(format!("group {k} on nonexistent node {}", g.current_node));
+            }
+            if !(g.load >= 0.0) || !(g.migration_cost >= 0.0) {
+                return Err(format!("group {k} has negative load or cost"));
+            }
+        }
+        let mut seen = vec![false; self.groups.len()];
+        for set in &self.collocate {
+            for &k in set {
+                if k >= self.groups.len() {
+                    return Err(format!("collocation references unknown group {k}"));
+                }
+                if seen[k] {
+                    return Err(format!("group {k} appears in two collocation sets"));
+                }
+                seen[k] = true;
+            }
+        }
+        for &(k, n) in &self.pins {
+            if k >= self.groups.len() || n >= self.num_nodes {
+                return Err(format!("pin ({k},{n}) out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    fn node_masses(&self, assign_of_group: impl Fn(usize) -> usize) -> Vec<f64> {
+        let mut mass = vec![0.0; self.num_nodes];
+        for (k, g) in self.groups.iter().enumerate() {
+            mass[assign_of_group(k)] += g.load;
+        }
+        mass
+    }
+
+    fn quality(&self, mass: &[f64], cost: f64, mean: f64) -> Quality {
+        let mut updev = 0.0f64;
+        let mut lowdev = 0.0f64;
+        for i in 0..self.num_nodes {
+            let load = mass[i] / self.capacity[i];
+            let dev = load - mean;
+            updev = updev.max(dev);
+            if !self.killed[i] {
+                lowdev = lowdev.max(-dev);
+            }
+        }
+        Quality { d: updev.max(lowdev).max(0.0), secondary: updev.max(0.0) + lowdev.max(0.0), cost }
+    }
+
+    /// The exact LP-relaxation lower bound on the achievable load distance
+    /// for this instance (ignoring integrality and collocation, both of
+    /// which only restrict the feasible set).
+    pub fn relaxation_bound(&self) -> f64 {
+        let mut groups_by_node: Vec<Vec<(f64, f64)>> = vec![Vec::new(); self.num_nodes];
+        for g in &self.groups {
+            groups_by_node[g.current_node]
+                .push((g.load, self.budget.effective_cost(g.migration_cost)));
+        }
+        let node_mass = self.node_masses(|k| self.groups[k].current_node);
+        let input = RelaxationInput {
+            node_mass,
+            capacity: self.capacity.clone(),
+            killed: self.killed.clone(),
+            groups_by_node,
+            budget: self.budget.value(),
+        };
+        min_distance_bound(&input, D_TOL / 4.0)
+    }
+
+    /// Solve with the structured solver under a deterministic work budget.
+    ///
+    /// Never panics on well-formed input; on malformed side constraints
+    /// (conflicting pins) returns a solution with
+    /// [`SolveStatus::Infeasible`] and the unmodified current allocation.
+    pub fn solve(&self, budget: &mut Budget) -> AllocationSolution {
+        debug_assert!(self.validate().is_ok(), "{:?}", self.validate());
+        let mean = self.mean();
+        let budget_value = self.budget.value();
+
+        let current_assignment: Vec<usize> =
+            self.groups.iter().map(|g| g.current_node).collect();
+
+        let units = match Units::build(self) {
+            Ok(u) => u,
+            Err(()) => {
+                return self.report(&current_assignment, f64::INFINITY, 0.0, 0, SolveStatus::Infeasible);
+            }
+        };
+
+        // Initial state: consolidate each unit on its cheapest member-origin
+        // node (usually a no-op), then apply pins.
+        let mut assign = vec![0usize; units.members.len()];
+        for u in 0..units.members.len() {
+            let home = match units.pin[u] {
+                Some(n) => n,
+                None => {
+                    // Cheapest origin node, tie-broken by lowest index.
+                    let mut best = self.groups[units.members[u][0]].current_node;
+                    let mut best_cost = units.cost_on(u, best);
+                    for &(n, _) in &units.cost_by_origin[u] {
+                        let c = units.cost_on(u, n);
+                        if c < best_cost - EPS || (c < best_cost + EPS && n < best) {
+                            best = n;
+                            best_cost = c;
+                        }
+                    }
+                    best
+                }
+            };
+            assign[u] = home;
+        }
+        let mut mass = vec![0.0; self.num_nodes];
+        let mut cost_used = 0.0;
+        for u in 0..units.members.len() {
+            mass[assign[u]] += units.load[u];
+            cost_used += units.cost_on(u, assign[u]);
+        }
+        let state = State { assign, mass, cost_used };
+
+        // Mandatory (pin/consolidation) cost already over budget: the
+        // constrained MILP is infeasible. Report so ALBIC can retry with
+        // smaller partitions.
+        if state.cost_used > budget_value + 1e-6 {
+            let assignment = self.expand(&units, &state);
+            return self.report(&assignment, f64::INFINITY, state.cost_used, budget.work_used(), SolveStatus::Infeasible);
+        }
+
+        let lower_bound = self.relaxation_bound();
+
+        let mut best = state;
+        let mut best_q = self.quality(&best.mass, best.cost_used, mean);
+
+        // CPLEX-like behaviour when unconstrained: without constraint (2)
+        // the paper's MILP has no anchoring to the current allocation, so
+        // a from-scratch LPT placement is a legitimate optimum candidate —
+        // and typically reshuffles most groups, exactly the overhead the
+        // paper's "No limit" configuration exhibits (Figs 8-9). The warm
+        // (current-allocation) start still wins ties, so already-balanced
+        // inputs remain fixed points.
+        if budget_value.is_infinite() && !budget.exhausted() {
+            budget.spend(units.members.len() as u64);
+            let n = self.num_nodes;
+            let mut mass = vec![0.0f64; n];
+            let mut assign = vec![usize::MAX; units.members.len()];
+            for u in 0..units.members.len() {
+                if let Some(p) = units.pin[u] {
+                    assign[u] = p;
+                    mass[p] += units.load[u];
+                }
+            }
+            let mut order: Vec<usize> =
+                (0..units.members.len()).filter(|&u| assign[u] == usize::MAX).collect();
+            order.sort_by(|&a, &b| {
+                units.load[b]
+                    .partial_cmp(&units.load[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            for &u in &order {
+                let mut target: Option<(usize, f64)> = None;
+                for i in 0..n {
+                    if self.killed[i] {
+                        continue;
+                    }
+                    let l = (mass[i] + units.load[u]) / self.capacity[i];
+                    if target.is_none_or(|(_, bl)| l < bl - EPS) {
+                        target = Some((i, l));
+                    }
+                }
+                let Some((i, _)) = target else { break };
+                assign[u] = i;
+                mass[i] += units.load[u];
+            }
+            if assign.iter().all(|&a| a != usize::MAX) {
+                let cost_used: f64 =
+                    (0..units.members.len()).map(|u| units.cost_on(u, assign[u])).sum();
+                let cand = State { assign, mass, cost_used };
+                let q = self.quality(&cand.mass, cand.cost_used, mean);
+                if q.better_than(&best_q) {
+                    best = cand;
+                    best_q = q;
+                }
+            }
+        }
+
+        // Bisection on the target distance, greedily repairing at each probe.
+        let mut lo = lower_bound;
+        let mut hi = best_q.d;
+        while hi - lo > D_TOL && !budget.exhausted() {
+            let mid = 0.5 * (lo + hi);
+            let mut work = best.clone();
+            if self.repair(&units, &mut work, mid, mean, budget_value, budget) {
+                let q = self.quality(&work.mass, work.cost_used, mean);
+                if q.better_than(&best_q) {
+                    best = work;
+                    best_q = q;
+                }
+                hi = best_q.d.min(mid);
+            } else {
+                lo = mid;
+            }
+        }
+
+        // Local-search polish: try to shrink d below the bisection grid and
+        // tighten du+dl.
+        self.polish(&units, &mut best, mean, budget_value, budget);
+        let final_q = self.quality(&best.mass, best.cost_used, mean);
+
+        let status = if final_q.d <= lower_bound + D_TOL * 2.0 {
+            SolveStatus::Optimal
+        } else {
+            SolveStatus::Feasible
+        };
+        let assignment = self.expand(&units, &best);
+        let mut sol = self.report(&assignment, lower_bound, best.cost_used, budget.work_used(), status);
+        sol.load_distance = final_q.d;
+        sol
+    }
+
+    /// Expand a unit assignment into a per-group assignment.
+    fn expand(&self, units: &Units, state: &State) -> Vec<usize> {
+        let mut assignment = vec![0usize; self.groups.len()];
+        for (k, a) in assignment.iter_mut().enumerate() {
+            *a = state.assign[units.of_group[k]];
+        }
+        assignment
+    }
+
+    fn report(
+        &self,
+        assignment: &[usize],
+        lower_bound: f64,
+        cost_used: f64,
+        work_used: u64,
+        status: SolveStatus,
+    ) -> AllocationSolution {
+        let mean = self.mean();
+        let mass = self.node_masses(|k| assignment[k]);
+        let q = self.quality(&mass, cost_used, mean);
+        let mut updev = 0.0f64;
+        let mut lowdev = 0.0f64;
+        for i in 0..self.num_nodes {
+            let load = mass[i] / self.capacity[i];
+            updev = updev.max(load - mean);
+            if !self.killed[i] {
+                lowdev = lowdev.max(mean - load);
+            }
+        }
+        let migrations: Vec<usize> = (0..self.groups.len())
+            .filter(|&k| assignment[k] != self.groups[k].current_node)
+            .collect();
+        AllocationSolution {
+            assignment: assignment.to_vec(),
+            load_distance: q.d,
+            lower_bound: if lower_bound.is_finite() { lower_bound } else { 0.0 },
+            du: (q.d - updev.max(0.0)).max(0.0),
+            dl: (q.d - lowdev.max(0.0)).max(0.0),
+            migration_cost: cost_used,
+            migrations,
+            status,
+            work_used,
+        }
+    }
+
+    /// Greedy repair: move units until every node sits inside the band
+    /// implied by `target_d`, or give up.
+    fn repair(
+        &self,
+        units: &Units,
+        state: &mut State,
+        target_d: f64,
+        mean: f64,
+        budget_value: f64,
+        budget: &mut Budget,
+    ) -> bool {
+        let n = self.num_nodes;
+        let hi: Vec<f64> = (0..n).map(|i| (mean + target_d) * self.capacity[i]).collect();
+        let lo: Vec<f64> = (0..n)
+            .map(|i| {
+                if self.killed[i] { 0.0 } else { (mean - target_d).max(0.0) * self.capacity[i] }
+            })
+            .collect();
+
+        let max_iters = 2 * units.members.len() + 64;
+        for _ in 0..max_iters {
+            if !budget.spend(1) {
+                return false;
+            }
+            // Worst violations.
+            let mut worst_over: Option<(usize, f64)> = None;
+            let mut worst_under: Option<(usize, f64)> = None;
+            for i in 0..n {
+                let over = state.mass[i] - hi[i];
+                if over > EPS && worst_over.is_none_or(|(_, v)| over > v) {
+                    worst_over = Some((i, over));
+                }
+                let under = lo[i] - state.mass[i];
+                if under > EPS && worst_under.is_none_or(|(_, v)| under > v) {
+                    worst_under = Some((i, under));
+                }
+            }
+            if worst_over.is_none() && worst_under.is_none() {
+                return true;
+            }
+
+            // Donor selection: overloaded node if any, else the node with
+            // the most spare mass above its own floor (killed nodes first,
+            // to drain them).
+            let donor = match worst_over {
+                Some((i, _)) => i,
+                None => {
+                    let mut best: Option<(usize, f64)> = None;
+                    for i in 0..n {
+                        let spare = state.mass[i] - lo[i];
+                        if spare > EPS {
+                            let score = if self.killed[i] { spare + 1e12 } else { spare };
+                            if best.is_none_or(|(_, s)| score > s) {
+                                best = Some((i, score));
+                            }
+                        }
+                    }
+                    match best {
+                        Some((i, _)) => i,
+                        None => return false,
+                    }
+                }
+            };
+            // Receiver selection: most-underloaded alive node, else the
+            // alive node with most headroom.
+            let receiver = match worst_under {
+                Some((i, _)) => i,
+                None => {
+                    let mut best: Option<(usize, f64)> = None;
+                    for i in 0..n {
+                        if self.killed[i] || i == donor {
+                            continue;
+                        }
+                        let headroom = hi[i] - state.mass[i];
+                        if headroom > EPS && best.is_none_or(|(_, h)| headroom > h) {
+                            best = Some((i, headroom));
+                        }
+                    }
+                    match best {
+                        Some((i, _)) => i,
+                        None => return false,
+                    }
+                }
+            };
+            if donor == receiver {
+                return false;
+            }
+
+            let donor_spare = state.mass[donor] - lo[donor];
+            let recv_headroom = hi[receiver] - state.mass[receiver];
+            let need = match worst_over {
+                Some((_, v)) => v,
+                None => lo[receiver] - state.mass[receiver],
+            };
+
+            // Candidate unit on the donor: affordable, fits both sides,
+            // lowest cost-per-load; prefer sizes close to the need.
+            let mut chosen: Option<(usize, f64, f64)> = None; // (unit, delta, score)
+            for u in 0..units.members.len() {
+                if state.assign[u] != donor || units.pin[u].is_some() {
+                    continue;
+                }
+                let load = units.load[u];
+                if load <= EPS || load > donor_spare + EPS || load > recv_headroom + EPS {
+                    continue;
+                }
+                let delta =
+                    units.cost_on(u, receiver) - units.cost_on(u, donor);
+                if state.cost_used + delta > budget_value + 1e-9 {
+                    continue;
+                }
+                let ratio = delta / load;
+                let size_penalty = (load - need).abs() / (need.abs() + 1.0);
+                let score = ratio + 1e-3 * size_penalty;
+                if chosen.is_none_or(|(_, _, s)| score < s) {
+                    chosen = Some((u, delta, score));
+                }
+            }
+            let Some((u, delta, _)) = chosen else {
+                return false;
+            };
+            state.mass[donor] -= units.load[u];
+            state.mass[receiver] += units.load[u];
+            state.assign[u] = receiver;
+            state.cost_used += delta;
+        }
+        false
+    }
+
+    /// Hill-climbing polish on the lexicographic (d, du+dl, cost) objective.
+    fn polish(
+        &self,
+        units: &Units,
+        state: &mut State,
+        mean: f64,
+        budget_value: f64,
+        budget: &mut Budget,
+    ) {
+        let n = self.num_nodes;
+        let rounds = 4 * units.members.len() + 64;
+        for _ in 0..rounds {
+            if budget.exhausted() {
+                return;
+            }
+            let q0 = self.quality(&state.mass, state.cost_used, mean);
+            // Binding nodes.
+            let mut max_up = (0usize, f64::NEG_INFINITY);
+            let mut max_low = (usize::MAX, f64::NEG_INFINITY);
+            let mut min_load = (0usize, f64::INFINITY);
+            for i in 0..n {
+                let load = state.mass[i] / self.capacity[i];
+                let dev = load - mean;
+                if dev > max_up.1 {
+                    max_up = (i, dev);
+                }
+                if !self.killed[i] {
+                    if -dev > max_low.1 {
+                        max_low = (i, -dev);
+                    }
+                    if load < min_load.1 {
+                        min_load = (i, load);
+                    }
+                }
+            }
+
+            // Candidate moves: off the most-overloaded node to the least
+            // loaded alive node, and onto the most-underloaded node from
+            // the most loaded one.
+            let mut tries: Vec<(usize, usize)> = Vec::with_capacity(2);
+            if min_load.1.is_finite() && max_up.0 != min_load.0 {
+                tries.push((max_up.0, min_load.0));
+            }
+            if max_low.0 != usize::MAX && max_low.0 != max_up.0 {
+                tries.push((max_up.0, max_low.0));
+            }
+
+            let mut best_move: Option<(usize, usize, Quality, f64)> = None;
+            for (donor, receiver) in tries {
+                for u in 0..units.members.len() {
+                    if state.assign[u] != donor || units.pin[u].is_some() {
+                        continue;
+                    }
+                    if !budget.spend(1) {
+                        return;
+                    }
+                    let delta = units.cost_on(u, receiver) - units.cost_on(u, donor);
+                    if state.cost_used + delta > budget_value + 1e-9 {
+                        continue;
+                    }
+                    state.mass[donor] -= units.load[u];
+                    state.mass[receiver] += units.load[u];
+                    let q = self.quality(&state.mass, state.cost_used + delta, mean);
+                    state.mass[donor] += units.load[u];
+                    state.mass[receiver] -= units.load[u];
+                    if q.better_than(&q0)
+                        && best_move
+                            .as_ref()
+                            .is_none_or(|(_, _, bq, _)| q.better_than(bq))
+                    {
+                        best_move = Some((u, receiver, q, delta));
+                    }
+                }
+            }
+            match best_move {
+                Some((u, receiver, _, delta)) => {
+                    let donor = state.assign[u];
+                    state.mass[donor] -= units.load[u];
+                    state.mass[receiver] += units.load[u];
+                    state.assign[u] = receiver;
+                    state.cost_used += delta;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Emit the MILP exactly as §4.3.1 writes it.
+    ///
+    /// Objective `min w1·d − w2·(du+dl)` with `w1 ≫ w2` (`w1 = 10⁴`,
+    /// `w2 = 1`); constraints (1)-(5); collocation sets become per-node
+    /// equalities between member indicator columns; pins fix indicators.
+    /// Intended for small instances and cross-validation tests.
+    pub fn to_model(&self) -> (Model, ModelVars) {
+        const W1: f64 = 1e4;
+        const W2: f64 = 1.0;
+        let mean = self.mean();
+        let mut m = Model::new();
+
+        let x: Vec<Vec<VarId>> = (0..self.num_nodes)
+            .map(|i| {
+                (0..self.groups.len())
+                    .map(|k| m.add_binary(format!("x_{i}_{k}")))
+                    .collect()
+            })
+            .collect();
+        // Constraint (5) folded into the bound: 0 <= d <= mean.
+        let d = m.add_continuous("d", 0.0, mean.max(0.0));
+        let du = m.add_continuous("du", 0.0, f64::INFINITY);
+        let dl = m.add_continuous("dl", 0.0, f64::INFINITY);
+
+        // (1) each group on exactly one node.
+        for k in 0..self.groups.len() {
+            let mut e = LinExpr::new();
+            for xi in x.iter() {
+                e.add_term(xi[k], 1.0);
+            }
+            m.add_constraint(format!("assign_{k}"), e, CmpOp::Eq, 1.0);
+        }
+        // (2) migration budget.
+        if let MigrationBudget::Cost(_) | MigrationBudget::Count(_) = self.budget {
+            let mut e = LinExpr::new();
+            for (i, xi) in x.iter().enumerate() {
+                for (k, g) in self.groups.iter().enumerate() {
+                    if g.current_node != i {
+                        e.add_term(xi[k], self.budget.effective_cost(g.migration_cost));
+                    }
+                }
+            }
+            m.add_constraint("migr_budget", e, CmpOp::Le, self.budget.value());
+        }
+        // (3) upper band for every node; (4) lower band for alive nodes.
+        for (i, xi) in x.iter().enumerate() {
+            let mut load_expr = LinExpr::new();
+            for (k, g) in self.groups.iter().enumerate() {
+                load_expr.add_term(xi[k], g.load / self.capacity[i]);
+            }
+            let mut upper = load_expr.clone();
+            upper.add_term(d, -1.0);
+            upper.add_term(du, 1.0);
+            m.add_constraint(format!("hi_{i}"), upper, CmpOp::Le, mean);
+            if !self.killed[i] {
+                let mut lower = load_expr;
+                lower.add_term(d, 1.0);
+                lower.add_term(dl, -1.0);
+                m.add_constraint(format!("lo_{i}"), lower, CmpOp::Ge, mean);
+            }
+        }
+        // Collocation equalities.
+        for (s, set) in self.collocate.iter().enumerate() {
+            if let Some((&first, rest)) = set.split_first() {
+                for &k in rest {
+                    for (i, xi) in x.iter().enumerate() {
+                        let e = LinExpr::new().term(xi[first], 1.0).term(xi[k], -1.0);
+                        m.add_constraint(format!("col_{s}_{i}_{k}"), e, CmpOp::Eq, 0.0);
+                    }
+                }
+            }
+        }
+        // Pins.
+        for &(k, node) in &self.pins {
+            let e = LinExpr::new().term(x[node][k], 1.0);
+            m.add_constraint(format!("pin_{k}_{node}"), e, CmpOp::Eq, 1.0);
+        }
+
+        m.minimize(
+            LinExpr::new().term(d, W1).term(du, -W2).term(dl, -W2),
+        );
+        (m, ModelVars { x, d, du, dl })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound::{solve_milp, MilpStatus};
+
+    fn simple_problem(
+        loads: &[f64],
+        nodes: usize,
+        current: &[usize],
+        budget: MigrationBudget,
+    ) -> AllocationProblem {
+        AllocationProblem {
+            num_nodes: nodes,
+            killed: vec![false; nodes],
+            capacity: vec![1.0; nodes],
+            groups: loads
+                .iter()
+                .zip(current)
+                .map(|(&load, &cur)| GroupSpec {
+                    load,
+                    migration_cost: load, // cost proportional to state size
+                    current_node: cur,
+                })
+                .collect(),
+            budget,
+            collocate: vec![],
+            pins: vec![],
+        }
+    }
+
+    #[test]
+    fn already_balanced_is_a_fixed_point() {
+        let p = simple_problem(&[10.0, 10.0], 2, &[0, 1], MigrationBudget::Unlimited);
+        let sol = p.solve(&mut Budget::unlimited());
+        assert!(sol.load_distance < 1e-6);
+        assert!(sol.migrations.is_empty());
+        assert_eq!(sol.status, SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn rebalances_a_skewed_cluster() {
+        // Four groups of 10 on node 0, none on node 1 → perfect split d = 0.
+        let p = simple_problem(
+            &[10.0, 10.0, 10.0, 10.0],
+            2,
+            &[0, 0, 0, 0],
+            MigrationBudget::Unlimited,
+        );
+        let sol = p.solve(&mut Budget::unlimited());
+        assert!(sol.load_distance < 1e-6, "d = {}", sol.load_distance);
+        assert_eq!(sol.migrations.len(), 2);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn migration_count_budget_limits_moves() {
+        let p = simple_problem(
+            &[10.0, 10.0, 10.0, 10.0],
+            2,
+            &[0, 0, 0, 0],
+            MigrationBudget::Count(1),
+        );
+        let sol = p.solve(&mut Budget::unlimited());
+        assert!(sol.migrations.len() <= 1);
+        // Best with one move: 30/10 → d = 10.
+        assert!((sol.load_distance - 10.0).abs() < 1e-6, "d = {}", sol.load_distance);
+    }
+
+    #[test]
+    fn migration_cost_budget_prefers_cheap_groups() {
+        // Node 0 has two groups of load 10: one cheap (cost 1), one dear
+        // (cost 100). Budget 1 → only the cheap group may move.
+        let mut p = simple_problem(&[10.0, 10.0], 2, &[0, 0], MigrationBudget::Cost(1.0));
+        p.groups[0].migration_cost = 1.0;
+        p.groups[1].migration_cost = 100.0;
+        let sol = p.solve(&mut Budget::unlimited());
+        assert_eq!(sol.migrations, vec![0]);
+        assert!(sol.load_distance < 1e-6);
+    }
+
+    #[test]
+    fn killed_nodes_drain() {
+        // Node 1 marked for removal; everything must flow to node 0.
+        let mut p = simple_problem(
+            &[10.0, 10.0, 10.0, 10.0],
+            2,
+            &[0, 0, 1, 1],
+            MigrationBudget::Unlimited,
+        );
+        p.killed[1] = true;
+        let sol = p.solve(&mut Budget::unlimited());
+        assert!(sol.assignment.iter().all(|&n| n == 0));
+        assert!(sol.load_distance < 1e-6);
+    }
+
+    #[test]
+    fn killed_nodes_drain_gradually_under_budget() {
+        // Budget allows only one move per round: killed node drains but not
+        // fully in one call (Lemma 2's "gradual" behaviour).
+        let mut p = simple_problem(
+            &[10.0, 10.0, 10.0, 10.0],
+            2,
+            &[0, 0, 1, 1],
+            MigrationBudget::Count(1),
+        );
+        p.killed[1] = true;
+        let sol = p.solve(&mut Budget::unlimited());
+        assert!(sol.migrations.len() <= 1);
+        // One group moved off the killed node.
+        let on_killed = sol.assignment.iter().filter(|&&n| n == 1).count();
+        assert_eq!(on_killed, 1);
+    }
+
+    #[test]
+    fn lemma1_no_migration_into_killed_nodes() {
+        // Overloaded alive node + half-empty killed node: load must NOT
+        // move to the killed node even though it has headroom.
+        let mut p = simple_problem(
+            &[10.0, 10.0, 10.0, 10.0, 5.0],
+            3,
+            &[0, 0, 0, 0, 1],
+            MigrationBudget::Unlimited,
+        );
+        p.killed[2] = true;
+        let sol = p.solve(&mut Budget::unlimited());
+        for (k, &n) in sol.assignment.iter().enumerate() {
+            if p.groups[k].current_node != 2 {
+                assert_ne!(n, 2, "group {k} migrated into a killed node");
+            }
+        }
+    }
+
+    #[test]
+    fn collocation_sets_move_as_units() {
+        let mut p = simple_problem(
+            &[5.0, 5.0, 5.0, 5.0],
+            2,
+            &[0, 0, 0, 0],
+            MigrationBudget::Unlimited,
+        );
+        p.collocate = vec![vec![0, 1]];
+        let sol = p.solve(&mut Budget::unlimited());
+        assert_eq!(sol.assignment[0], sol.assignment[1], "collocated pair split");
+        assert!(sol.load_distance < 1e-6);
+    }
+
+    #[test]
+    fn pins_are_respected() {
+        let mut p = simple_problem(
+            &[10.0, 10.0, 10.0, 10.0],
+            2,
+            &[0, 0, 1, 1],
+            MigrationBudget::Unlimited,
+        );
+        p.pins = vec![(0, 1)];
+        let sol = p.solve(&mut Budget::unlimited());
+        assert_eq!(sol.assignment[0], 1);
+        assert!(sol.load_distance < 1e-6);
+    }
+
+    #[test]
+    fn conflicting_pins_are_infeasible() {
+        let mut p = simple_problem(&[10.0, 10.0], 2, &[0, 0], MigrationBudget::Unlimited);
+        p.collocate = vec![vec![0, 1]];
+        p.pins = vec![(0, 0), (1, 1)];
+        let sol = p.solve(&mut Budget::unlimited());
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn pin_cost_above_budget_is_infeasible() {
+        let mut p = simple_problem(&[10.0, 10.0], 2, &[0, 1], MigrationBudget::Cost(1.0));
+        p.groups[1].migration_cost = 50.0;
+        p.pins = vec![(1, 0)];
+        let sol = p.solve(&mut Budget::unlimited());
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn heterogeneous_capacity_targets_proportional_loads() {
+        // Node 0 has capacity 3, node 1 capacity 1; 4 groups of 10.
+        // Balanced: 30 mass on node 0 (load 10), 10 on node 1 (load 10).
+        let mut p = simple_problem(
+            &[10.0, 10.0, 10.0, 10.0],
+            2,
+            &[1, 1, 1, 1],
+            MigrationBudget::Unlimited,
+        );
+        p.capacity = vec![3.0, 1.0];
+        let sol = p.solve(&mut Budget::unlimited());
+        assert!(sol.load_distance < 1e-6, "d = {}", sol.load_distance);
+        let on0 = sol.assignment.iter().filter(|&&n| n == 0).count();
+        assert_eq!(on0, 3);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_achieved_distance() {
+        let p = simple_problem(
+            &[7.0, 3.0, 9.0, 2.0, 8.0, 4.0, 6.0],
+            3,
+            &[0, 0, 0, 1, 1, 2, 0],
+            MigrationBudget::Cost(10.0),
+        );
+        let sol = p.solve(&mut Budget::unlimited());
+        assert!(
+            sol.lower_bound <= sol.load_distance + 1e-6,
+            "bound {} > achieved {}",
+            sol.lower_bound,
+            sol.load_distance
+        );
+    }
+
+    #[test]
+    fn zero_work_budget_returns_current_allocation() {
+        let p = simple_problem(
+            &[10.0, 10.0, 10.0, 10.0],
+            2,
+            &[0, 0, 0, 0],
+            MigrationBudget::Unlimited,
+        );
+        let sol = p.solve(&mut Budget::work(0));
+        assert!(sol.migrations.is_empty());
+        assert!((sol.load_distance - 20.0).abs() < 1e-6); // mean 20, loads 40/0
+    }
+
+    #[test]
+    fn structured_matches_exact_milp_on_small_instances() {
+        // Cross-validate against branch & bound on a handful of small,
+        // deterministic instances.
+        let cases: Vec<AllocationProblem> = vec![
+            simple_problem(&[2.0, 3.0, 4.0], 2, &[0, 0, 1], MigrationBudget::Unlimited),
+            simple_problem(&[5.0, 1.0, 3.0, 7.0], 2, &[0, 0, 0, 0], MigrationBudget::Count(2)),
+            simple_problem(
+                &[4.0, 4.0, 4.0, 4.0, 4.0, 4.0],
+                3,
+                &[0, 0, 0, 1, 1, 2],
+                MigrationBudget::Cost(8.0),
+            ),
+        ];
+        for (idx, p) in cases.iter().enumerate() {
+            let (model, vars) = p.to_model();
+            let exact = solve_milp(&model, &mut Budget::unlimited()).unwrap();
+            assert_eq!(exact.status, MilpStatus::Optimal, "case {idx}");
+            let exact_d = exact.best.as_ref().unwrap().value(vars.d);
+
+            let sol = p.solve(&mut Budget::unlimited());
+            // Heuristic can't beat the exact optimum...
+            assert!(
+                sol.load_distance >= exact_d - 1e-4,
+                "case {idx}: structured {} below exact {}",
+                sol.load_distance,
+                exact_d
+            );
+            // ...and the relaxation bound must not exceed it.
+            assert!(
+                sol.lower_bound <= exact_d + 1e-4,
+                "case {idx}: bound {} above exact {}",
+                sol.lower_bound,
+                exact_d
+            );
+        }
+    }
+
+    #[test]
+    fn to_model_solution_is_feasible() {
+        let p = simple_problem(&[2.0, 3.0, 4.0], 2, &[0, 0, 1], MigrationBudget::Count(2));
+        let (model, _) = p.to_model();
+        let exact = solve_milp(&model, &mut Budget::unlimited()).unwrap();
+        let best = exact.best.expect("feasible");
+        assert!(model.is_feasible(&best.values, 1e-6));
+    }
+
+    #[test]
+    fn large_instance_solves_within_reasonable_work() {
+        // 40 nodes, 400 groups, mild skew: the structured solver should get
+        // close to its own lower bound with a modest budget.
+        let nodes = 40usize;
+        let groups_per_node = 10usize;
+        let mut loads = Vec::new();
+        let mut current = Vec::new();
+        for n in 0..nodes {
+            for g in 0..groups_per_node {
+                // Deterministic pseudo-random-ish loads.
+                let l = 5.0 + ((n * 31 + g * 17) % 13) as f64;
+                loads.push(l);
+                current.push(n);
+            }
+        }
+        let p = simple_problem(&loads, nodes, &current, MigrationBudget::Count(20));
+        let sol = p.solve(&mut Budget::work(200_000));
+        assert!(sol.load_distance < 25.0);
+        assert!(sol.lower_bound <= sol.load_distance + 1e-6);
+        assert!(sol.migrations.len() <= 20);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_problems() {
+        let mut p = simple_problem(&[1.0], 1, &[0], MigrationBudget::Unlimited);
+        assert!(p.validate().is_ok());
+        p.groups[0].current_node = 9;
+        assert!(p.validate().is_err());
+
+        let mut p = simple_problem(&[1.0, 2.0], 2, &[0, 1], MigrationBudget::Unlimited);
+        p.collocate = vec![vec![0], vec![0, 1]];
+        assert!(p.validate().is_err(), "overlapping collocation sets");
+
+        let mut p = simple_problem(&[1.0], 1, &[0], MigrationBudget::Unlimited);
+        p.capacity[0] = 0.0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,440 @@
+//! Best-first branch & bound for mixed-integer models.
+//!
+//! Uses [`crate::simplex::solve_lp`] for node relaxations, branches on the
+//! most fractional integer variable, and explores nodes in best-bound order.
+//! A [`Budget`] caps the number of explored nodes so large models degrade to
+//! "best incumbent + bound" instead of running forever — mirroring how the
+//! paper runs CPLEX under a wall-clock budget.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::budget::Budget;
+use crate::error::MilpError;
+use crate::model::{Model, ObjSense, Solution, VarId};
+use crate::simplex::{solve_lp, LpOutcome};
+
+/// Integrality tolerance.
+const INT_TOL: f64 = 1e-6;
+
+/// Status of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Best incumbent proven optimal.
+    Optimal,
+    /// A feasible incumbent exists but optimality was not proven within the
+    /// budget.
+    Feasible,
+    /// The model has no feasible integer assignment.
+    Infeasible,
+    /// The relaxation is unbounded.
+    Unbounded,
+    /// Budget exhausted before any incumbent was found.
+    BudgetExhausted,
+}
+
+/// Result of [`solve_milp`].
+#[derive(Debug, Clone)]
+pub struct MilpResult {
+    /// Solve status.
+    pub status: MilpStatus,
+    /// Best integer-feasible solution found, if any.
+    pub best: Option<Solution>,
+    /// Best proven bound on the optimum (lower bound when minimizing,
+    /// upper bound when maximizing). `NaN` when no bound exists.
+    pub bound: f64,
+    /// Number of branch & bound nodes explored (including the root).
+    pub nodes_explored: u64,
+}
+
+impl MilpResult {
+    /// Absolute optimality gap `|incumbent - bound|`, or `None` without an
+    /// incumbent.
+    pub fn gap(&self) -> Option<f64> {
+        self.best.as_ref().map(|s| (s.objective - self.bound).abs())
+    }
+}
+
+/// One open node: bound overrides accumulated along the branching path.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Relaxation objective in minimize-normalized space (lower = better).
+    bound: f64,
+    overrides: Vec<(VarId, f64, f64)>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the smallest bound first.
+        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+    }
+}
+
+fn most_fractional(values: &[f64], int_vars: &[VarId]) -> Option<(VarId, f64)> {
+    let mut best: Option<(VarId, f64)> = None;
+    let mut best_dist = INT_TOL;
+    for &v in int_vars {
+        let x = values[v.index()];
+        let frac_dist = (x - x.round()).abs();
+        if frac_dist > best_dist {
+            best_dist = frac_dist;
+            best = Some((v, x));
+        }
+    }
+    best
+}
+
+/// Solve a mixed-integer model by branch & bound.
+///
+/// The returned [`MilpResult::bound`] is always a valid bound on the true
+/// optimum (in the model's sense), even when the budget runs out.
+///
+/// # Errors
+///
+/// Returns [`MilpError`] if the model fails validation.
+pub fn solve_milp(model: &Model, budget: &mut Budget) -> Result<MilpResult, MilpError> {
+    model.validate()?;
+    let int_vars = model.integer_vars();
+    let maximize = model.sense() == ObjSense::Maximize;
+    // Normalize scores so lower is always better internally.
+    let norm = |obj: f64| if maximize { -obj } else { obj };
+
+    let mut work = model.clone();
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    let mut incumbent: Option<Solution> = None;
+    let mut incumbent_score = f64::INFINITY;
+    let mut nodes_explored: u64 = 1;
+    // Tightest bound over nodes we did not finish exploring.
+    let mut unexplored_bound = f64::INFINITY;
+    let mut stopped_early = false;
+
+    // Root node.
+    match solve_lp(&work)? {
+        LpOutcome::Infeasible => {
+            return Ok(MilpResult {
+                status: MilpStatus::Infeasible,
+                best: None,
+                bound: f64::NAN,
+                nodes_explored,
+            });
+        }
+        LpOutcome::Unbounded => {
+            return Ok(MilpResult {
+                status: MilpStatus::Unbounded,
+                best: None,
+                bound: if maximize { f64::INFINITY } else { f64::NEG_INFINITY },
+                nodes_explored,
+            });
+        }
+        LpOutcome::Optimal(sol) => {
+            let score = norm(sol.objective);
+            if let Some((var, x)) = most_fractional(&sol.values, &int_vars) {
+                heap.push(Node {
+                    bound: score,
+                    overrides: vec![(var, f64::NEG_INFINITY, x.floor())],
+                });
+                heap.push(Node {
+                    bound: score,
+                    overrides: vec![(var, x.ceil(), f64::INFINITY)],
+                });
+            } else {
+                let mut vals = sol.values.clone();
+                for &v in &int_vars {
+                    vals[v.index()] = vals[v.index()].round();
+                }
+                return Ok(MilpResult {
+                    status: MilpStatus::Optimal,
+                    bound: sol.objective,
+                    best: Some(Solution { values: vals, objective: sol.objective }),
+                    nodes_explored,
+                });
+            }
+        }
+    }
+
+    while let Some(node) = heap.pop() {
+        if node.bound >= incumbent_score - 1e-9 {
+            // Best-first order: every remaining node is dominated too.
+            heap.clear();
+            break;
+        }
+        if budget.exhausted() {
+            unexplored_bound = unexplored_bound.min(node.bound);
+            stopped_early = true;
+            break;
+        }
+        budget.spend(1);
+        nodes_explored += 1;
+
+        // Apply overrides (intersected with original bounds).
+        for &(v, lo, hi) in &node.overrides {
+            let orig = &model.vars()[v.index()];
+            work.set_bounds(v, orig.lower.max(lo), orig.upper.min(hi));
+        }
+
+        match solve_lp(&work)? {
+            LpOutcome::Infeasible => {}
+            LpOutcome::Unbounded => {
+                // Cannot happen if the root was bounded; skip defensively.
+            }
+            LpOutcome::Optimal(sol) => {
+                let score = norm(sol.objective);
+                if score < incumbent_score - 1e-9 {
+                    match most_fractional(&sol.values, &int_vars) {
+                        None => {
+                            let mut vals = sol.values.clone();
+                            for &v in &int_vars {
+                                vals[v.index()] = vals[v.index()].round();
+                            }
+                            incumbent_score = score;
+                            incumbent =
+                                Some(Solution { values: vals, objective: sol.objective });
+                        }
+                        Some((var, x)) => {
+                            let mut left = node.overrides.clone();
+                            left.push((var, f64::NEG_INFINITY, x.floor()));
+                            let mut right = node.overrides.clone();
+                            right.push((var, x.ceil(), f64::INFINITY));
+                            heap.push(Node { bound: score, overrides: left });
+                            heap.push(Node { bound: score, overrides: right });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Restore original bounds for the touched variables.
+        for &(v, _, _) in &node.overrides {
+            let orig = &model.vars()[v.index()];
+            work.set_bounds(v, orig.lower, orig.upper);
+        }
+    }
+
+    if stopped_early {
+        if let Some(n) = heap.peek() {
+            unexplored_bound = unexplored_bound.min(n.bound);
+        }
+    }
+
+    let proven = !stopped_early;
+    let (status, bound_score) = match (&incumbent, proven) {
+        (Some(_), true) => (MilpStatus::Optimal, incumbent_score),
+        (Some(_), false) => (MilpStatus::Feasible, unexplored_bound.min(incumbent_score)),
+        (None, true) => (MilpStatus::Infeasible, f64::NAN),
+        (None, false) => (MilpStatus::BudgetExhausted, unexplored_bound),
+    };
+    let bound = if bound_score.is_nan() {
+        f64::NAN
+    } else if maximize {
+        -bound_score
+    } else {
+        bound_score
+    };
+    Ok(MilpResult { status, best: incumbent, bound, nodes_explored })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CmpOp, LinExpr, Model};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binary.
+        // b + c uses 6 and yields 20; a + c uses 5 and yields 17. Optimum 20.
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint(
+            "cap",
+            LinExpr::new().term(a, 3.0).term(b, 4.0).term(c, 2.0),
+            CmpOp::Le,
+            6.0,
+        );
+        m.maximize(LinExpr::new().term(a, 10.0).term(b, 13.0).term(c, 7.0));
+
+        let r = solve_milp(&m, &mut Budget::unlimited()).unwrap();
+        assert_eq!(r.status, MilpStatus::Optimal);
+        let s = r.best.unwrap();
+        assert_close(s.objective, 20.0);
+        assert_close(s.value(b), 1.0);
+        assert_close(s.value(c), 1.0);
+        assert_close(s.value(a), 0.0);
+    }
+
+    #[test]
+    fn integer_optimum_verified_by_enumeration() {
+        // max x + y s.t. 2x + y <= 4.5, x + 2y <= 4.5, x,y integer in [0,10].
+        // LP relaxation peaks at the fractional (1.5, 1.5); the integer
+        // optimum is strictly worse, which forces real branching.
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, 10.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.add_constraint("c1", LinExpr::new().term(x, 2.0).term(y, 1.0), CmpOp::Le, 4.5);
+        m.add_constraint("c2", LinExpr::new().term(x, 1.0).term(y, 2.0), CmpOp::Le, 4.5);
+        m.maximize(LinExpr::new().term(x, 1.0).term(y, 1.0));
+
+        let mut best = f64::NEG_INFINITY;
+        for xi in 0..=10 {
+            for yi in 0..=10 {
+                let (xf, yf) = (xi as f64, yi as f64);
+                if 2.0 * xf + yf <= 4.5 && xf + 2.0 * yf <= 4.5 {
+                    best = best.max(xf + yf);
+                }
+            }
+        }
+        let r = solve_milp(&m, &mut Budget::unlimited()).unwrap();
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.best.unwrap().objective, best);
+        assert!(r.nodes_explored > 1, "branching should have happened");
+    }
+
+    #[test]
+    fn infeasible_integer_model() {
+        // 0.4 <= x <= 0.6 with x integer: LP feasible, IP infeasible.
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, 1.0);
+        m.add_constraint("lo", LinExpr::new().term(x, 1.0), CmpOp::Ge, 0.4);
+        m.add_constraint("hi", LinExpr::new().term(x, 1.0), CmpOp::Le, 0.6);
+        m.minimize(LinExpr::new().term(x, 1.0));
+        let r = solve_milp(&m, &mut Budget::unlimited()).unwrap();
+        assert_eq!(r.status, MilpStatus::Infeasible);
+        assert!(r.best.is_none());
+    }
+
+    #[test]
+    fn lp_infeasible_model() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint("bad", LinExpr::new().term(x, 1.0), CmpOp::Ge, 2.0);
+        m.minimize(LinExpr::new().term(x, 1.0));
+        let r = solve_milp(&m, &mut Budget::unlimited()).unwrap();
+        assert_eq!(r.status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_relaxation() {
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, f64::INFINITY);
+        m.maximize(LinExpr::new().term(x, 1.0));
+        let r = solve_milp(&m, &mut Budget::unlimited()).unwrap();
+        assert_eq!(r.status, MilpStatus::Unbounded);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_valid_bound() {
+        // A knapsack that needs branching, explored with a tiny budget.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::new();
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            cap.add_term(v, 2.0 + (i % 3) as f64);
+            obj.add_term(v, 3.0 + ((i * 7) % 5) as f64);
+        }
+        m.add_constraint("cap", cap, CmpOp::Le, 9.5);
+        m.maximize(obj);
+
+        let full = solve_milp(&m, &mut Budget::unlimited()).unwrap();
+        assert_eq!(full.status, MilpStatus::Optimal);
+        let opt = full.best.as_ref().unwrap().objective;
+
+        let r = solve_milp(&m, &mut Budget::work(1)).unwrap();
+        match r.status {
+            MilpStatus::Optimal => assert_close(r.best.unwrap().objective, opt),
+            MilpStatus::Feasible => {
+                // Incumbent below optimum, bound above it (maximization).
+                assert!(r.best.as_ref().unwrap().objective <= opt + 1e-6);
+                assert!(r.bound >= opt - 1e-6);
+            }
+            MilpStatus::BudgetExhausted => {
+                assert!(r.bound >= opt - 1e-6, "bound {} must dominate {opt}", r.bound);
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_problem_like_paper_milp() {
+        // 3 groups (loads 2/3/4), 2 nodes; min d with per-node load within
+        // [mean-d, mean+d]; mean = 4.5. Best split {4} vs {2,3} gives d=0.5.
+        let mut m = Model::new();
+        let loads = [2.0, 3.0, 4.0];
+        let mean = 4.5;
+        let d = m.add_continuous("d", 0.0, f64::INFINITY);
+        let mut x = vec![];
+        for (k, _) in loads.iter().enumerate() {
+            let x0 = m.add_binary(format!("x0_{k}"));
+            let x1 = m.add_binary(format!("x1_{k}"));
+            m.add_constraint(
+                format!("assign{k}"),
+                LinExpr::new().term(x0, 1.0).term(x1, 1.0),
+                CmpOp::Eq,
+                1.0,
+            );
+            x.push([x0, x1]);
+        }
+        for node in 0..2 {
+            let mut hi = LinExpr::new();
+            for (k, &l) in loads.iter().enumerate() {
+                hi.add_term(x[k][node], l);
+            }
+            let mut lo = hi.clone();
+            hi.add_term(d, -1.0);
+            m.add_constraint(format!("hi{node}"), hi, CmpOp::Le, mean);
+            lo.add_term(d, 1.0);
+            m.add_constraint(format!("lo{node}"), lo, CmpOp::Ge, mean);
+        }
+        m.minimize(LinExpr::new().term(d, 1.0));
+
+        let r = solve_milp(&m, &mut Budget::unlimited()).unwrap();
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.best.unwrap().objective, 0.5);
+    }
+
+    #[test]
+    fn solution_is_integer_feasible() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..8).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            cap.add_term(v, 1.0 + (i % 4) as f64);
+        }
+        m.add_constraint("cap", cap, CmpOp::Le, 6.5);
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            obj.add_term(v, (1 + i % 5) as f64);
+        }
+        m.maximize(obj);
+        let r = solve_milp(&m, &mut Budget::unlimited()).unwrap();
+        let s = r.best.unwrap();
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn gap_is_zero_at_optimality() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.maximize(LinExpr::new().term(x, 5.0));
+        let r = solve_milp(&m, &mut Budget::unlimited()).unwrap();
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_close(r.gap().unwrap(), 0.0);
+        assert_close(r.bound, 5.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Deterministic solve budgets.
+//!
+//! The paper's Figures 2-4 sweep CPLEX wall-clock budgets (5/10/30/60 s).
+//! Wall-clock budgets make runs non-reproducible, so the solvers in this
+//! crate count abstract *work units* (one unit ≈ one pivot, one repair step,
+//! or one local-search candidate evaluation) and stop when the budget is
+//! exhausted. An optional wall-clock deadline is also supported for
+//! interactive use; experiments use pure work budgets.
+
+use std::time::{Duration, Instant};
+
+/// A budget limiting how much effort a solver may spend.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    max_work: u64,
+    work_used: u64,
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// A budget of `max_work` abstract work units.
+    pub fn work(max_work: u64) -> Self {
+        Budget { max_work, work_used: 0, deadline: None }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget { max_work: u64::MAX, work_used: 0, deadline: None }
+    }
+
+    /// A wall-clock deadline starting now, with unlimited work units.
+    pub fn deadline(duration: Duration) -> Self {
+        Budget {
+            max_work: u64::MAX,
+            work_used: 0,
+            deadline: Some(Instant::now() + duration),
+        }
+    }
+
+    /// Add a wall-clock deadline to an existing budget.
+    pub fn with_deadline(mut self, duration: Duration) -> Self {
+        self.deadline = Some(Instant::now() + duration);
+        self
+    }
+
+    /// Consume `units` of work; returns `false` if the budget is exhausted
+    /// (the caller should stop and return its best-so-far).
+    #[inline]
+    pub fn spend(&mut self, units: u64) -> bool {
+        self.work_used = self.work_used.saturating_add(units);
+        !self.exhausted()
+    }
+
+    /// `true` once the work or deadline limit has been hit.
+    #[inline]
+    pub fn exhausted(&self) -> bool {
+        if self.work_used >= self.max_work {
+            return true;
+        }
+        match self.deadline {
+            Some(t) => Instant::now() >= t,
+            None => false,
+        }
+    }
+
+    /// Work units consumed so far.
+    #[inline]
+    pub fn work_used(&self) -> u64 {
+        self.work_used
+    }
+
+    /// Remaining work units (saturating).
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.max_work.saturating_sub(self.work_used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_budget_exhausts() {
+        let mut b = Budget::work(10);
+        assert!(!b.exhausted());
+        assert!(b.spend(5));
+        assert_eq!(b.work_used(), 5);
+        assert_eq!(b.remaining(), 5);
+        assert!(!b.spend(5)); // hits the cap exactly
+        assert!(b.exhausted());
+        assert!(!b.spend(1));
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts_on_work() {
+        let mut b = Budget::unlimited();
+        assert!(b.spend(u64::MAX / 2));
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn deadline_budget() {
+        let b = Budget::deadline(Duration::from_secs(3600));
+        assert!(!b.exhausted());
+        let b = Budget::deadline(Duration::from_secs(0));
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn spend_saturates() {
+        let mut b = Budget::work(u64::MAX);
+        b.spend(u64::MAX - 1);
+        assert!(!b.spend(100)); // saturating add reaches the cap
+        assert!(b.exhausted());
+    }
+}

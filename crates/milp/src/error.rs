@@ -1,0 +1,61 @@
+//! Error types for model construction and solving.
+
+use std::fmt;
+
+/// Errors raised while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpError {
+    /// A variable id referenced a variable that does not exist in the model.
+    UnknownVariable {
+        /// The offending raw variable index.
+        index: usize,
+        /// Number of variables actually in the model.
+        num_vars: usize,
+    },
+    /// A variable was declared with a lower bound above its upper bound.
+    InvalidBounds {
+        /// The offending raw variable index.
+        index: usize,
+        /// Declared lower bound.
+        lower: f64,
+        /// Declared upper bound.
+        upper: f64,
+    },
+    /// A coefficient or bound was NaN.
+    NotANumber,
+    /// The model has no variables.
+    EmptyModel,
+}
+
+impl fmt::Display for MilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilpError::UnknownVariable { index, num_vars } => write!(
+                f,
+                "variable index {index} out of range (model has {num_vars} variables)"
+            ),
+            MilpError::InvalidBounds { index, lower, upper } => write!(
+                f,
+                "variable {index} has lower bound {lower} above upper bound {upper}"
+            ),
+            MilpError::NotANumber => write!(f, "NaN encountered in model data"),
+            MilpError::EmptyModel => write!(f, "model has no variables"),
+        }
+    }
+}
+
+impl std::error::Error for MilpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MilpError::UnknownVariable { index: 9, num_vars: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+        let e = MilpError::InvalidBounds { index: 1, lower: 2.0, upper: 1.0 };
+        assert!(e.to_string().contains("lower bound"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Linear and mixed-integer programming toolkit for the ALBIC stack.
+//!
+//! The paper solves its key-group allocation problem with IBM CPLEX. This
+//! crate replaces CPLEX with two cooperating layers:
+//!
+//! 1. **A general toolkit** — [`model::Model`] (variables, bounds, linear
+//!    constraints, minimize/maximize), [`simplex`] (a two-phase dense primal
+//!    simplex with Bland's anti-cycling rule) and [`branch_bound`] (best-first
+//!    branch & bound over the simplex relaxation). This layer is exact and is
+//!    used for small-to-medium models, for unit tests, and as the reference
+//!    oracle that the structured solver is validated against.
+//!
+//! 2. **A structured solver** — [`allocation`] models the paper's MILP of
+//!    §4.3.1 directly (key groups → nodes, migration budget, load band
+//!    `[mean-(d-dl), mean+(d-du)]`, nodes marked for removal) and solves it
+//!    with an *exact* lower bound from [`relaxation`] (a parametric greedy
+//!    over fractional migrations, which solves the LP relaxation of the
+//!    model in `O(G log G)` per probe) plus bound-guided repair and local
+//!    search for incumbents. Budgets ([`budget::Budget`]) make runs
+//!    deterministic, standing in for the paper's "solver seconds" knob.
+//!
+//! The crate is engine-agnostic: it speaks `usize` node/group indices so it
+//! can be unit-tested in isolation. `albic-core` adapts engine statistics
+//! into [`allocation::AllocationProblem`] instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod branch_bound;
+pub mod budget;
+pub mod error;
+pub mod model;
+pub mod relaxation;
+pub mod simplex;
+
+pub use allocation::{
+    AllocationProblem, AllocationSolution, GroupSpec, MigrationBudget, SolveStatus,
+};
+pub use branch_bound::{solve_milp, MilpResult};
+pub use budget::Budget;
+pub use error::MilpError;
+pub use model::{CmpOp, LinExpr, Model, ObjSense, Solution, VarId, VarKind};
+pub use simplex::{solve_lp, LpOutcome};

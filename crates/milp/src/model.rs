@@ -1,0 +1,387 @@
+//! Model builder: variables, linear constraints and an objective.
+//!
+//! The builder is deliberately small — just enough to express the paper's
+//! MILP of §4.3.1 (and anything of similar shape) and feed it to the
+//! [`crate::simplex`] and [`crate::branch_bound`] solvers.
+
+use crate::error::MilpError;
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Raw dense index of the variable within its model.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Variable domain kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Shorthand for an integer variable bounded to `[0, 1]`.
+    Binary,
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// Objective sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjSense {
+    /// Minimize the objective (the default).
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// A linear expression `Σ coeff·var + constant`.
+#[derive(Debug, Clone, Default)]
+pub struct LinExpr {
+    /// `(variable, coefficient)` terms. May contain repeated variables;
+    /// they are summed when the expression is densified.
+    pub terms: Vec<(VarId, f64)>,
+    /// Constant offset.
+    pub constant: f64,
+}
+
+impl LinExpr {
+    /// The empty expression (zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `coeff * var` to the expression (builder style).
+    pub fn term(mut self, var: VarId, coeff: f64) -> Self {
+        self.terms.push((var, coeff));
+        self
+    }
+
+    /// Add a constant offset (builder style).
+    pub fn plus(mut self, constant: f64) -> Self {
+        self.constant += constant;
+        self
+    }
+
+    /// Add `coeff * var` in place.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) {
+        self.terms.push((var, coeff));
+    }
+
+    /// Evaluate the expression against a dense assignment of all variables.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        let mut acc = self.constant;
+        for &(v, c) in &self.terms {
+            acc += c * values[v.0];
+        }
+        acc
+    }
+
+    /// Densify into a coefficient vector of length `num_vars`, summing
+    /// repeated variables.
+    pub fn to_dense(&self, num_vars: usize) -> Vec<f64> {
+        let mut dense = vec![0.0; num_vars];
+        for &(v, c) in &self.terms {
+            dense[v.0] += c;
+        }
+        dense
+    }
+}
+
+/// One variable's metadata.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    /// Human-readable name, used in diagnostics.
+    pub name: String,
+    /// Domain kind.
+    pub kind: VarKind,
+    /// Lower bound (may be `f64::NEG_INFINITY`).
+    pub lower: f64,
+    /// Upper bound (may be `f64::INFINITY`).
+    pub upper: f64,
+}
+
+/// One linear constraint `expr (<=|>=|==) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Optional name for diagnostics.
+    pub name: String,
+    /// Left-hand side expression (its constant folds into the rhs).
+    pub expr: LinExpr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear / mixed-integer model.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    vars: Vec<Variable>,
+    constraints: Vec<Constraint>,
+    objective: LinExpr,
+    sense: Option<ObjSense>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a continuous variable with the given bounds.
+    pub fn add_continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        self.add_var(name, VarKind::Continuous, lower, upper)
+    }
+
+    /// Add an integer variable with the given bounds.
+    pub fn add_integer(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        self.add_var(name, VarKind::Integer, lower, upper)
+    }
+
+    /// Add a binary (0/1) variable.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        self.add_var(name, VarKind::Binary, 0.0, 1.0)
+    }
+
+    fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lower: f64, upper: f64) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable { name: name.into(), kind, lower, upper });
+        id
+    }
+
+    /// Add a linear constraint.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        expr: LinExpr,
+        op: CmpOp,
+        rhs: f64,
+    ) {
+        self.constraints.push(Constraint { name: name.into(), expr, op, rhs });
+    }
+
+    /// Set the objective to minimize.
+    pub fn minimize(&mut self, expr: LinExpr) {
+        self.objective = expr;
+        self.sense = Some(ObjSense::Minimize);
+    }
+
+    /// Set the objective to maximize.
+    pub fn maximize(&mut self, expr: LinExpr) {
+        self.objective = expr;
+        self.sense = Some(ObjSense::Maximize);
+    }
+
+    /// The objective expression (zero if never set).
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// The objective sense (defaults to minimize).
+    pub fn sense(&self) -> ObjSense {
+        self.sense.unwrap_or(ObjSense::Minimize)
+    }
+
+    /// All variables.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Ids of all integer-constrained (integer or binary) variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| matches!(v.kind, VarKind::Integer | VarKind::Binary))
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Override a variable's bounds (used by branch & bound).
+    pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) {
+        self.vars[var.0].lower = lower;
+        self.vars[var.0].upper = upper;
+    }
+
+    /// Validate internal consistency: variable references in range, bounds
+    /// ordered, no NaNs.
+    pub fn validate(&self) -> Result<(), MilpError> {
+        if self.vars.is_empty() {
+            return Err(MilpError::EmptyModel);
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.lower.is_nan() || v.upper.is_nan() {
+                return Err(MilpError::NotANumber);
+            }
+            if v.lower > v.upper {
+                return Err(MilpError::InvalidBounds { index: i, lower: v.lower, upper: v.upper });
+            }
+        }
+        let check_expr = |expr: &LinExpr| -> Result<(), MilpError> {
+            if expr.constant.is_nan() {
+                return Err(MilpError::NotANumber);
+            }
+            for &(v, c) in &expr.terms {
+                if v.0 >= self.vars.len() {
+                    return Err(MilpError::UnknownVariable { index: v.0, num_vars: self.vars.len() });
+                }
+                if c.is_nan() {
+                    return Err(MilpError::NotANumber);
+                }
+            }
+            Ok(())
+        };
+        check_expr(&self.objective)?;
+        for c in &self.constraints {
+            check_expr(&c.expr)?;
+            if c.rhs.is_nan() {
+                return Err(MilpError::NotANumber);
+            }
+        }
+        Ok(())
+    }
+
+    /// Check whether a dense assignment satisfies all constraints and
+    /// bounds within tolerance `tol` (integrality of integer variables is
+    /// also checked). Useful in tests.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &x) in self.vars.iter().zip(values) {
+            if x < v.lower - tol || x > v.upper + tol {
+                return false;
+            }
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary)
+                && (x - x.round()).abs() > tol
+            {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs = c.expr.eval(values);
+            let ok = match c.op {
+                CmpOp::Le => lhs <= c.rhs + tol,
+                CmpOp::Ge => lhs >= c.rhs - tol,
+                CmpOp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A solved assignment with its objective value (in the model's own sense).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Value of every variable, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+    /// Objective value under the model's declared sense.
+    pub objective: f64,
+}
+
+impl Solution {
+    /// Value of one variable.
+    #[inline]
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_model() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("c1", LinExpr::new().term(x, 1.0).term(y, 2.0), CmpOp::Le, 14.0);
+        m.minimize(LinExpr::new().term(x, -3.0).term(y, -1.0));
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert!(m.validate().is_ok());
+        assert_eq!(m.sense(), ObjSense::Minimize);
+        assert!(m.integer_vars().is_empty());
+    }
+
+    #[test]
+    fn expr_eval_and_densify() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 1.0);
+        let y = m.add_continuous("y", 0.0, 1.0);
+        // Repeated variable terms must sum on densify.
+        let e = LinExpr::new().term(x, 2.0).term(y, 3.0).term(x, 1.0).plus(5.0);
+        assert_eq!(e.eval(&[1.0, 2.0]), 2.0 + 6.0 + 1.0 + 5.0);
+        assert_eq!(e.to_dense(2), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn validate_catches_bad_bounds_and_refs() {
+        let mut m = Model::new();
+        assert_eq!(m.validate(), Err(MilpError::EmptyModel));
+
+        let x = m.add_continuous("x", 5.0, 1.0);
+        assert!(matches!(m.validate(), Err(MilpError::InvalidBounds { index: 0, .. })));
+        m.set_bounds(x, 0.0, 1.0);
+        assert!(m.validate().is_ok());
+
+        m.add_constraint("bad", LinExpr::new().term(VarId(7), 1.0), CmpOp::Le, 0.0);
+        assert!(matches!(m.validate(), Err(MilpError::UnknownVariable { index: 7, .. })));
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_continuous("y", 0.0, 5.0);
+        m.add_constraint("c", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Ge, 2.0);
+        assert!(m.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[1.0, 0.5], 1e-9)); // constraint violated
+        assert!(!m.is_feasible(&[0.5, 2.0], 1e-9)); // binary fractional
+        assert!(!m.is_feasible(&[1.0, 9.0], 1e-9)); // bound violated
+        assert!(!m.is_feasible(&[1.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn binary_kind_sets_unit_bounds() {
+        let mut m = Model::new();
+        let b = m.add_binary("b");
+        assert_eq!(m.vars()[b.index()].lower, 0.0);
+        assert_eq!(m.vars()[b.index()].upper, 1.0);
+        assert_eq!(m.integer_vars(), vec![b]);
+    }
+}

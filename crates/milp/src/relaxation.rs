@@ -1,0 +1,419 @@
+//! Exact LP-relaxation bounds for the key-group allocation MILP.
+//!
+//! When key groups are allowed to split fractionally across nodes, the
+//! paper's MILP (§4.3.1) collapses to a structure that can be solved
+//! greedily, because the migration cost of moving a fraction `f` of group
+//! `g_k` is `f·mc_k` *regardless of the destination*:
+//!
+//! * For a trial load distance `d`, every node gets a feasible mass band
+//!   `[lo_j, hi_j]` (`lo_j = 0` for nodes marked for removal).
+//! * Each node must shed its surplus above `hi_j` (mandatory out-mass) and
+//!   the under-loaded nodes' deficits must be filled from nodes that can
+//!   spare mass above `lo_j`.
+//! * The cheapest way to shed a given out-mass from one node is to take its
+//!   groups in increasing `cost/load` ratio, splitting the boundary group —
+//!   a fractional-knapsack argument; the extra mass needed to fill deficits
+//!   is drawn from the global pool of remaining group fractions, cheapest
+//!   ratio first.
+//!
+//! This yields the exact minimum migration cost `cost*(d)` of the LP
+//! relaxation, which is non-increasing in `d`. Bisecting `d` to the point
+//! where `cost*(d)` fits the migration budget gives the relaxation's
+//! optimal load distance — a true lower bound for the integer problem that
+//! [`crate::allocation`] uses to prune search and report optimality gaps.
+
+/// Numeric tolerance for mass comparisons.
+const EPS: f64 = 1e-9;
+
+/// Input view for relaxation computations.
+///
+/// Everything is expressed in *mass* units: a node with capacity `c` and
+/// mass `M` exhibits load `M / c` (percentage points). Group lists carry
+/// `(load_mass, effective_migration_cost)` pairs for the groups currently
+/// resident on each node.
+#[derive(Debug, Clone)]
+pub struct RelaxationInput {
+    /// Current total mass per node.
+    pub node_mass: Vec<f64>,
+    /// Relative capacity per node (1.0 = reference node).
+    pub capacity: Vec<f64>,
+    /// Nodes marked for removal by the scaling algorithm (`kill_i`).
+    pub killed: Vec<bool>,
+    /// `(mass, cost)` of every group currently on each node.
+    pub groups_by_node: Vec<Vec<(f64, f64)>>,
+    /// Migration budget in effective-cost units (`f64::INFINITY` = none).
+    pub budget: f64,
+}
+
+/// Internal: per-node greedy state with groups pre-sorted by cost ratio.
+struct NodeGreedy {
+    /// Groups sorted by `cost/mass` ascending: `(mass, cost, ratio)`.
+    sorted: Vec<(f64, f64, f64)>,
+}
+
+impl NodeGreedy {
+    fn new(groups: &[(f64, f64)]) -> Self {
+        let mut sorted: Vec<(f64, f64, f64)> = groups
+            .iter()
+            .filter(|(m, _)| *m > EPS)
+            .map(|&(m, c)| (m, c, c / m))
+            .collect();
+        sorted.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+        NodeGreedy { sorted }
+    }
+
+    /// Cheapest cost to push exactly `out` mass off this node, plus the
+    /// remaining `(mass, ratio)` fractions usable for extra pushes (up to
+    /// `max_extra` mass). Returns `None` if the node simply lacks the mass.
+    fn shed(&self, out: f64, max_extra: f64) -> Option<(f64, Vec<(f64, f64)>)> {
+        let mut remaining = out;
+        let mut cost = 0.0;
+        let mut extra: Vec<(f64, f64)> = Vec::new();
+        let mut extra_left = max_extra;
+        for &(m, c, ratio) in &self.sorted {
+            if remaining > EPS {
+                let take = remaining.min(m);
+                cost += c * (take / m);
+                remaining -= take;
+                let leftover = m - take;
+                if leftover > EPS && extra_left > EPS {
+                    let e = leftover.min(extra_left);
+                    extra.push((e, ratio));
+                    extra_left -= e;
+                }
+            } else if extra_left > EPS {
+                let e = m.min(extra_left);
+                extra.push((e, ratio));
+                extra_left -= e;
+            } else {
+                break;
+            }
+        }
+        if remaining > EPS {
+            None
+        } else {
+            Some((cost, extra))
+        }
+    }
+}
+
+/// The minimum total migration cost (in effective-cost units) at which a
+/// fractional reallocation can bring every node inside the band implied by
+/// load distance `d`. Returns `None` if no fractional plan exists at all
+/// (which only happens when the total mass exceeds every node's combined
+/// upper band — impossible for `d >= 0` with a consistent mean — or when no
+/// node is alive).
+pub fn min_cost_for_distance(input: &RelaxationInput, d: f64) -> Option<f64> {
+    let n = input.node_mass.len();
+    debug_assert_eq!(input.capacity.len(), n);
+    debug_assert_eq!(input.killed.len(), n);
+    debug_assert_eq!(input.groups_by_node.len(), n);
+
+    let alive_cap: f64 = (0..n)
+        .filter(|&j| !input.killed[j])
+        .map(|j| input.capacity[j])
+        .sum();
+    if alive_cap <= EPS {
+        return None;
+    }
+    let total_mass: f64 = input.node_mass.iter().sum();
+    let mean = total_mass / alive_cap;
+
+    let mut mandatory = Vec::with_capacity(n); // s_j
+    let mut max_out = Vec::with_capacity(n); // m_j
+    let mut total_deficit = 0.0;
+    let mut total_mandatory = 0.0;
+    let mut total_headroom = 0.0;
+    for j in 0..n {
+        let hi = (mean + d) * input.capacity[j];
+        let lo = if input.killed[j] { 0.0 } else { ((mean - d).max(0.0)) * input.capacity[j] };
+        let m_j = input.node_mass[j];
+        let s = (m_j - hi).max(0.0);
+        let mx = (m_j - lo).max(0.0);
+        if !input.killed[j] {
+            total_deficit += (lo - m_j).max(0.0);
+        }
+        total_headroom += (hi - m_j).max(0.0);
+        total_mandatory += s;
+        mandatory.push(s);
+        max_out.push(mx);
+    }
+
+    // All shed mass must land somewhere under the caps.
+    let required = total_mandatory.max(total_deficit);
+    if required > total_headroom + 1e-6 {
+        return None;
+    }
+    let total_max_out: f64 = max_out.iter().sum();
+    if required > total_max_out + 1e-6 {
+        return None;
+    }
+
+    // Per-node mandatory shedding, cheapest groups first.
+    let mut cost = 0.0;
+    let mut pool: Vec<(f64, f64)> = Vec::new();
+    for j in 0..n {
+        let greedy = NodeGreedy::new(&input.groups_by_node[j]);
+        let (c, extra) = greedy.shed(mandatory[j], max_out[j] - mandatory[j])?;
+        cost += c;
+        pool.extend(extra);
+    }
+
+    // Extra mass to fill the remaining deficits, global cheapest-ratio first.
+    let mut extra_needed = total_deficit - total_mandatory;
+    if extra_needed > EPS {
+        pool.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (m, ratio) in pool {
+            if extra_needed <= EPS {
+                break;
+            }
+            let take = m.min(extra_needed);
+            cost += take * ratio;
+            extra_needed -= take;
+        }
+        if extra_needed > 1e-6 {
+            return None;
+        }
+    }
+
+    Some(cost)
+}
+
+/// The exact LP-relaxation optimum of the load distance: the smallest `d`
+/// whose fractional migration plan fits the budget, found by bisection
+/// (`cost*` is non-increasing in `d`).
+///
+/// Returns the current maximum deviation if even "do nothing" is the best
+/// the budget allows, and `0.0` when the budget is generous enough to
+/// equalize everything fractionally.
+pub fn min_distance_bound(input: &RelaxationInput, tol: f64) -> f64 {
+    let n = input.node_mass.len();
+    let alive_cap: f64 = (0..n)
+        .filter(|&j| !input.killed[j])
+        .map(|j| input.capacity[j])
+        .sum();
+    if alive_cap <= EPS {
+        return 0.0;
+    }
+    let total_mass: f64 = input.node_mass.iter().sum();
+    let mean = total_mass / alive_cap;
+
+    // Upper bracket: current max deviation (alive: both sides; killed nodes
+    // count when above the mean band, since constraint 3 covers all nodes).
+    let mut hi = 0.0f64;
+    for j in 0..n {
+        let load = input.node_mass[j] / input.capacity[j];
+        let dev = if input.killed[j] { load - mean } else { (load - mean).abs() };
+        hi = hi.max(dev);
+    }
+    if hi <= tol {
+        return 0.0;
+    }
+    // cost*(hi) = 0 <= budget always; shrink toward the bound.
+    let mut lo = 0.0f64;
+    if matches!(min_cost_for_distance(input, 0.0), Some(c) if c <= input.budget + 1e-9) {
+        return 0.0;
+    }
+    let mut iter = 0;
+    while hi - lo > tol && iter < 100 {
+        let mid = 0.5 * (hi + lo);
+        match min_cost_for_distance(input, mid) {
+            Some(c) if c <= input.budget + 1e-9 => hi = mid,
+            _ => lo = mid,
+        }
+        iter += 1;
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn homogeneous(masses: &[f64], groups: Vec<Vec<(f64, f64)>>, budget: f64) -> RelaxationInput {
+        RelaxationInput {
+            node_mass: masses.to_vec(),
+            capacity: vec![1.0; masses.len()],
+            killed: vec![false; masses.len()],
+            groups_by_node: groups,
+            budget,
+        }
+    }
+
+    #[test]
+    fn balanced_cluster_needs_nothing() {
+        let input = homogeneous(
+            &[10.0, 10.0],
+            vec![vec![(10.0, 1.0)], vec![(10.0, 1.0)]],
+            0.0,
+        );
+        assert_eq!(min_distance_bound(&input, 1e-6), 0.0);
+        assert_eq!(min_cost_for_distance(&input, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn unlimited_budget_reaches_zero_distance() {
+        let input = homogeneous(
+            &[20.0, 0.0],
+            vec![vec![(10.0, 5.0), (10.0, 5.0)], vec![]],
+            f64::INFINITY,
+        );
+        assert!(min_distance_bound(&input, 1e-6) < 1e-6);
+    }
+
+    #[test]
+    fn zero_budget_keeps_current_distance() {
+        // Loads 20 and 0, mean 10, current deviation 10; no budget → d = 10.
+        let input = homogeneous(
+            &[20.0, 0.0],
+            vec![vec![(10.0, 5.0), (10.0, 5.0)], vec![]],
+            0.0,
+        );
+        let d = min_distance_bound(&input, 1e-4);
+        assert!((d - 10.0).abs() < 1e-3, "d = {d}");
+    }
+
+    #[test]
+    fn partial_budget_gives_intermediate_distance() {
+        // Moving mass m costs m/2 here (ratio 0.5): budget 2.5 moves 5 mass,
+        // loads become 15/5, deviation 5.
+        let input = homogeneous(
+            &[20.0, 0.0],
+            vec![vec![(20.0, 10.0)], vec![]],
+            2.5,
+        );
+        let d = min_distance_bound(&input, 1e-5);
+        assert!((d - 5.0).abs() < 1e-3, "d = {d}");
+    }
+
+    #[test]
+    fn cheapest_groups_move_first() {
+        // Node 0 must shed 5 mass. Group A: mass 5, cost 1 (ratio .2);
+        // group B: mass 5, cost 10 (ratio 2). cost*(5) should use A only.
+        let input = homogeneous(
+            &[15.0, 5.0],
+            vec![vec![(5.0, 1.0), (5.0, 10.0), (5.0, 3.0)], vec![(5.0, 1.0)]],
+            f64::INFINITY,
+        );
+        // mean = 10; d = 0 needs node0 → 10 (shed 5), node1 → 10 (recv 5).
+        let c = min_cost_for_distance(&input, 0.0).unwrap();
+        assert!((c - 1.0).abs() < 1e-9, "cost = {c}");
+    }
+
+    #[test]
+    fn killed_nodes_must_drain_for_zero_distance() {
+        // Node 1 is killed with mass 10; mean = 20/1 alive = 20.
+        // d=0: alive node must be exactly 20 → killed must fully drain.
+        let input = RelaxationInput {
+            node_mass: vec![10.0, 10.0],
+            capacity: vec![1.0, 1.0],
+            killed: vec![false, true],
+            groups_by_node: vec![vec![(10.0, 2.0)], vec![(10.0, 4.0)]],
+            budget: f64::INFINITY,
+        };
+        let c = min_cost_for_distance(&input, 0.0).unwrap();
+        assert!((c - 4.0).abs() < 1e-9, "cost = {c}");
+        assert!(min_distance_bound(&input, 1e-6) < 1e-6);
+    }
+
+    #[test]
+    fn killed_node_above_band_forces_mandatory_shed() {
+        // Killed node holds 50; alive mean = 60/1 = 60... make clearer:
+        // alive node 10, killed 50 → mean = 60. Band at d=10: hi=70.
+        // Killed (50) is under hi → no mandatory shed, but alive lo=50
+        // needs 40 of deficit filled from the killed node.
+        let input = RelaxationInput {
+            node_mass: vec![10.0, 50.0],
+            capacity: vec![1.0, 1.0],
+            killed: vec![false, true],
+            groups_by_node: vec![vec![(10.0, 1.0)], vec![(50.0, 25.0)]],
+            budget: f64::INFINITY,
+        };
+        let c = min_cost_for_distance(&input, 10.0).unwrap();
+        // Move 40 mass at ratio 0.5 → cost 20.
+        assert!((c - 20.0).abs() < 1e-9, "cost = {c}");
+    }
+
+    #[test]
+    fn bound_is_monotone_in_budget() {
+        let groups = vec![
+            vec![(8.0, 4.0), (7.0, 2.0), (10.0, 9.0)],
+            vec![(3.0, 1.0)],
+            vec![],
+        ];
+        let masses = [25.0, 3.0, 0.0];
+        let mut last = f64::INFINITY;
+        for budget in [0.0, 1.0, 2.0, 4.0, 8.0, 100.0] {
+            let input = homogeneous(&masses, groups.clone(), budget);
+            let d = min_distance_bound(&input, 1e-5);
+            assert!(
+                d <= last + 1e-6,
+                "bound must not increase with budget: {d} after {last}"
+            );
+            last = d;
+        }
+        // Generous budget → perfect fractional balance.
+        let input = homogeneous(&masses, groups.clone(), 1e6);
+        assert!(min_distance_bound(&input, 1e-5) < 1e-4);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_distance() {
+        let input = homogeneous(
+            &[30.0, 6.0, 0.0],
+            vec![
+                vec![(10.0, 5.0), (10.0, 1.0), (10.0, 20.0)],
+                vec![(6.0, 2.0)],
+                vec![],
+            ],
+            f64::INFINITY,
+        );
+        let mut last = f64::INFINITY;
+        for d in [0.0, 2.0, 4.0, 8.0, 12.0, 20.0] {
+            let c = min_cost_for_distance(&input, d).unwrap();
+            assert!(c <= last + 1e-9, "cost must not increase with d");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn heterogeneous_capacities_scale_bands() {
+        // Node 0 has twice the capacity: with total mass 30 and caps 2+1,
+        // mean = 10 mass/cap-unit → node0 wants 20 mass, node1 wants 10.
+        let input = RelaxationInput {
+            node_mass: vec![30.0, 0.0],
+            capacity: vec![2.0, 1.0],
+            killed: vec![false, false],
+            groups_by_node: vec![vec![(30.0, 30.0)], vec![]],
+            budget: f64::INFINITY,
+        };
+        let c = min_cost_for_distance(&input, 0.0).unwrap();
+        // Shed 10 mass at ratio 1 → cost 10.
+        assert!((c - 10.0).abs() < 1e-9, "cost = {c}");
+    }
+
+    #[test]
+    fn no_alive_nodes_is_unsolvable() {
+        let input = RelaxationInput {
+            node_mass: vec![5.0],
+            capacity: vec![1.0],
+            killed: vec![true],
+            groups_by_node: vec![vec![(5.0, 1.0)]],
+            budget: f64::INFINITY,
+        };
+        assert_eq!(min_cost_for_distance(&input, 0.0), None);
+    }
+
+    #[test]
+    fn fractional_split_of_boundary_group() {
+        // Node must shed 3 out of a single group of mass 10, cost 10 →
+        // fractional cost 3.
+        let input = homogeneous(
+            &[13.0, 7.0],
+            vec![vec![(10.0, 10.0), (3.0, 100.0)], vec![(7.0, 1.0)]],
+            f64::INFINITY,
+        );
+        let c = min_cost_for_distance(&input, 0.0).unwrap();
+        assert!((c - 3.0).abs() < 1e-9, "cost = {c}");
+    }
+}

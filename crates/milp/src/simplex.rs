@@ -1,0 +1,626 @@
+//! Two-phase dense primal simplex.
+//!
+//! Solves the continuous relaxation of a [`Model`]: integer and binary
+//! variables are treated as continuous within their bounds. The
+//! implementation is a classic dense tableau:
+//!
+//! * model variables are shifted/negated/split so every structural column
+//!   is nonnegative; finite upper bounds become explicit rows;
+//! * `<=` rows get slacks, `>=` rows get surplus + artificial, `==` rows get
+//!   artificial variables; rows are normalized to a nonnegative rhs;
+//! * phase 1 minimizes the sum of artificials (infeasible if positive),
+//!   then artificials are pivoted out or their rows dropped as redundant;
+//! * phase 2 minimizes the original objective.
+//!
+//! Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
+//! (which provably terminates) after a fixed number of iterations, so the
+//! solver cannot cycle forever. Dense tableaus are O(rows·cols) per pivot —
+//! perfectly adequate for the model sizes this workspace feeds it (unit
+//! tests, reference checks and small allocation instances); the large
+//! allocation MILPs go to [`crate::allocation`] instead.
+
+use crate::error::MilpError;
+use crate::model::{CmpOp, Model, ObjSense, Solution};
+
+/// Pivot-element tolerance.
+const EPS: f64 = 1e-9;
+/// Reduced-cost tolerance for optimality.
+const RC_EPS: f64 = 1e-9;
+/// Iterations of Dantzig pricing before switching to Bland's rule.
+const DANTZIG_ITERS: usize = 2_000;
+/// Hard iteration cap (Bland's rule terminates, this is a safety net).
+const MAX_ITERS: usize = 2_000_000;
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal basic feasible solution was found.
+    Optimal(Solution),
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below (for minimization).
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// The optimal solution, if any.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// How each model variable maps onto structural tableau columns.
+#[derive(Debug, Clone, Copy)]
+enum ColMap {
+    /// `x = shift + col` with `col >= 0`.
+    Shifted { col: usize, shift: f64 },
+    /// `x = ub - col` with `col >= 0` (lower bound was -inf).
+    Negated { col: usize, ub: f64 },
+    /// `x = pos - neg`, both `>= 0` (free variable).
+    Split { pos: usize, neg: usize },
+}
+
+struct StandardForm {
+    /// Per-model-variable column mapping.
+    map: Vec<ColMap>,
+    /// Number of structural columns.
+    n_struct: usize,
+    /// Rows: dense structural coefficients + op + rhs (rhs >= 0 after
+    /// normalization, op recorded post-normalization).
+    rows: Vec<(Vec<f64>, CmpOp, f64)>,
+    /// Objective over structural columns (minimization) + constant.
+    obj: Vec<f64>,
+    obj_const: f64,
+    /// `true` if the model asked to maximize (objective negated internally).
+    negated_obj: bool,
+}
+
+fn to_standard_form(model: &Model) -> StandardForm {
+    let mut map = Vec::with_capacity(model.num_vars());
+    let mut n_struct = 0usize;
+    // Extra rows for finite upper bounds of shifted vars.
+    let mut bound_rows: Vec<(usize, f64)> = Vec::new();
+
+    for v in model.vars() {
+        if v.lower.is_finite() {
+            let col = n_struct;
+            n_struct += 1;
+            map.push(ColMap::Shifted { col, shift: v.lower });
+            if v.upper.is_finite() {
+                bound_rows.push((col, v.upper - v.lower));
+            }
+        } else if v.upper.is_finite() {
+            let col = n_struct;
+            n_struct += 1;
+            map.push(ColMap::Negated { col, ub: v.upper });
+        } else {
+            let pos = n_struct;
+            let neg = n_struct + 1;
+            n_struct += 2;
+            map.push(ColMap::Split { pos, neg });
+        }
+    }
+
+    // Densify an expression over structural columns; returns (coeffs, const
+    // contribution) where `x_j = shift + col` etc. fold into the constant.
+    let densify = |terms: &[(crate::model::VarId, f64)]| -> (Vec<f64>, f64) {
+        let mut coeffs = vec![0.0; n_struct];
+        let mut constant = 0.0;
+        for &(v, c) in terms {
+            match map[v.index()] {
+                ColMap::Shifted { col, shift } => {
+                    coeffs[col] += c;
+                    constant += c * shift;
+                }
+                ColMap::Negated { col, ub } => {
+                    coeffs[col] -= c;
+                    constant += c * ub;
+                }
+                ColMap::Split { pos, neg } => {
+                    coeffs[pos] += c;
+                    coeffs[neg] -= c;
+                }
+            }
+        }
+        (coeffs, constant)
+    };
+
+    let mut rows = Vec::with_capacity(model.num_constraints() + bound_rows.len());
+    for c in model.constraints() {
+        let (coeffs, shift_const) = densify(&c.expr.terms);
+        let mut rhs = c.rhs - c.expr.constant - shift_const;
+        let mut coeffs = coeffs;
+        let mut op = c.op;
+        if rhs < 0.0 {
+            for a in &mut coeffs {
+                *a = -*a;
+            }
+            rhs = -rhs;
+            op = match op {
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Ge => CmpOp::Le,
+                CmpOp::Eq => CmpOp::Eq,
+            };
+        }
+        rows.push((coeffs, op, rhs));
+    }
+    for (col, ub) in bound_rows {
+        let mut coeffs = vec![0.0; n_struct];
+        coeffs[col] = 1.0;
+        // ub - lower >= 0 by model validation, so no normalization needed.
+        rows.push((coeffs, CmpOp::Le, ub));
+    }
+
+    let (mut obj, shift_const) = densify(&model.objective().terms);
+    let mut obj_const = model.objective().constant + shift_const;
+    let negated_obj = model.sense() == ObjSense::Maximize;
+    if negated_obj {
+        for c in &mut obj {
+            *c = -*c;
+        }
+        obj_const = -obj_const;
+    }
+
+    StandardForm { map, n_struct, rows, obj, obj_const, negated_obj }
+}
+
+/// Dense simplex tableau.
+struct Tableau {
+    /// `m` constraint rows, each of width `width + 1` (last entry = rhs).
+    rows: Vec<Vec<f64>>,
+    /// Objective row of width `width + 1`.
+    obj: Vec<f64>,
+    /// Basis: column index basic in each row.
+    basis: Vec<usize>,
+    /// Total number of columns (structural + slack + artificial).
+    width: usize,
+    /// Columns that may not enter the basis (artificials in phase 2).
+    blocked: Vec<bool>,
+}
+
+impl Tableau {
+    fn rhs(&self, i: usize) -> f64 {
+        self.rows[i][self.width]
+    }
+
+    /// Pivot on (row, col): normalize the pivot row and eliminate the
+    /// column everywhere else, including the objective row.
+    fn pivot(&mut self, r: usize, c: usize) {
+        let p = self.rows[r][c];
+        debug_assert!(p.abs() > EPS, "pivot on near-zero element");
+        let inv = 1.0 / p;
+        for x in &mut self.rows[r] {
+            *x *= inv;
+        }
+        // Re-normalize exactly.
+        self.rows[r][c] = 1.0;
+        let pivot_row = self.rows[r].clone();
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if i == r {
+                continue;
+            }
+            let f = row[c];
+            if f.abs() > EPS {
+                for (x, &pr) in row.iter_mut().zip(&pivot_row) {
+                    *x -= f * pr;
+                }
+                row[c] = 0.0;
+            }
+        }
+        let f = self.obj[c];
+        if f.abs() > EPS {
+            for (x, &pr) in self.obj.iter_mut().zip(&pivot_row) {
+                *x -= f * pr;
+            }
+            self.obj[c] = 0.0;
+        }
+        self.basis[r] = c;
+    }
+
+    /// Run the simplex loop to optimality. Returns `false` if unbounded.
+    fn optimize(&mut self) -> bool {
+        for iter in 0..MAX_ITERS {
+            let bland = iter >= DANTZIG_ITERS;
+            // Entering column.
+            let mut enter: Option<usize> = None;
+            let mut best_rc = -RC_EPS;
+            for j in 0..self.width {
+                if self.blocked[j] {
+                    continue;
+                }
+                let rc = self.obj[j];
+                if rc < -RC_EPS {
+                    if bland {
+                        enter = Some(j);
+                        break;
+                    }
+                    if rc < best_rc {
+                        best_rc = rc;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(c) = enter else {
+                return true; // optimal
+            };
+            // Ratio test (Bland tie-break: smallest basis column).
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][c];
+                if a > EPS {
+                    let ratio = self.rhs(i) / a;
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(r) = leave else {
+                return false; // unbounded
+            };
+            self.pivot(r, c);
+        }
+        // The Bland phase cannot cycle; reaching here means an absurdly
+        // large model. Treat as optimal-so-far: callers only use this for
+        // bounded-size models, and the cap is a defensive net.
+        true
+    }
+}
+
+/// Solve the continuous (LP) relaxation of `model`.
+///
+/// Integer/binary variables are relaxed to continuous within their bounds.
+/// Returns the optimum in the model's declared sense.
+///
+/// # Errors
+///
+/// Returns [`MilpError`] if the model fails [`Model::validate`].
+pub fn solve_lp(model: &Model) -> Result<LpOutcome, MilpError> {
+    model.validate()?;
+    let sf = to_standard_form(model);
+    let m = sf.rows.len();
+
+    // Column layout: [structural | slacks/surplus | artificials].
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for (_, op, _) in &sf.rows {
+        match op {
+            CmpOp::Le => n_slack += 1,
+            CmpOp::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            CmpOp::Eq => n_art += 1,
+        }
+    }
+    let width = sf.n_struct + n_slack + n_art;
+
+    let mut rows = Vec::with_capacity(m);
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_at = sf.n_struct;
+    let mut art_at = sf.n_struct + n_slack;
+    let art_start = sf.n_struct + n_slack;
+    for (i, (coeffs, op, rhs)) in sf.rows.iter().enumerate() {
+        let mut row = vec![0.0; width + 1];
+        row[..sf.n_struct].copy_from_slice(coeffs);
+        row[width] = *rhs;
+        match op {
+            CmpOp::Le => {
+                row[slack_at] = 1.0;
+                basis[i] = slack_at;
+                slack_at += 1;
+            }
+            CmpOp::Ge => {
+                row[slack_at] = -1.0;
+                slack_at += 1;
+                row[art_at] = 1.0;
+                basis[i] = art_at;
+                art_at += 1;
+            }
+            CmpOp::Eq => {
+                row[art_at] = 1.0;
+                basis[i] = art_at;
+                art_at += 1;
+            }
+        }
+        rows.push(row);
+    }
+
+    let mut t = Tableau {
+        rows,
+        obj: vec![0.0; width + 1],
+        basis,
+        width,
+        blocked: vec![false; width],
+    };
+
+    // ---- Phase 1: minimize the sum of artificials. ----
+    if n_art > 0 {
+        for j in art_start..width {
+            t.obj[j] = 1.0;
+        }
+        // Eliminate basic (artificial) columns from the objective row.
+        for i in 0..m {
+            if t.basis[i] >= art_start {
+                let row = t.rows[i].clone();
+                for (x, &r) in t.obj.iter_mut().zip(&row) {
+                    *x -= r;
+                }
+            }
+        }
+        let bounded = t.optimize();
+        debug_assert!(bounded, "phase-1 objective is bounded below by 0");
+        let phase1_obj = -t.obj[width];
+        if phase1_obj > 1e-6 {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Drive remaining artificials out of the basis.
+        let mut drop_rows: Vec<usize> = Vec::new();
+        for i in 0..m {
+            if t.basis[i] >= art_start {
+                let mut pivoted = false;
+                for j in 0..art_start {
+                    if t.rows[i][j].abs() > 1e-7 {
+                        t.pivot(i, j);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    drop_rows.push(i); // redundant row
+                }
+            }
+        }
+        for &i in drop_rows.iter().rev() {
+            t.rows.remove(i);
+            t.basis.remove(i);
+        }
+        for j in art_start..width {
+            t.blocked[j] = true;
+        }
+    }
+
+    // ---- Phase 2: original objective. ----
+    t.obj = vec![0.0; width + 1];
+    t.obj[..sf.n_struct].copy_from_slice(&sf.obj);
+    for i in 0..t.rows.len() {
+        let b = t.basis[i];
+        let f = t.obj[b];
+        if f.abs() > EPS {
+            let row = t.rows[i].clone();
+            for (x, &r) in t.obj.iter_mut().zip(&row) {
+                *x -= f * r;
+            }
+            t.obj[b] = 0.0;
+        }
+    }
+    if !t.optimize() {
+        return Ok(LpOutcome::Unbounded);
+    }
+
+    // ---- Extract solution. ----
+    let mut col_vals = vec![0.0; width];
+    for (i, &b) in t.basis.iter().enumerate() {
+        col_vals[b] = t.rows[i][width];
+    }
+    let mut values = vec![0.0; model.num_vars()];
+    for (j, cm) in sf.map.iter().enumerate() {
+        values[j] = match *cm {
+            ColMap::Shifted { col, shift } => shift + col_vals[col],
+            ColMap::Negated { col, ub } => ub - col_vals[col],
+            ColMap::Split { pos, neg } => col_vals[pos] - col_vals[neg],
+        };
+    }
+    let min_obj = -t.obj[width] + sf.obj_const;
+    let objective = if sf.negated_obj { -min_obj } else { min_obj };
+    Ok(LpOutcome::Optimal(Solution { values, objective }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18; x,y >= 0.
+        // Optimum (2, 6) with objective 36 (Dantzig's classic).
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("c1", LinExpr::new().term(x, 1.0), CmpOp::Le, 4.0);
+        m.add_constraint("c2", LinExpr::new().term(y, 2.0), CmpOp::Le, 12.0);
+        m.add_constraint("c3", LinExpr::new().term(x, 3.0).term(y, 2.0), CmpOp::Le, 18.0);
+        m.maximize(LinExpr::new().term(x, 3.0).term(y, 5.0));
+
+        let out = solve_lp(&m).unwrap();
+        let s = out.solution().expect("optimal");
+        assert_close(s.objective, 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 0.12x + 0.15y s.t. 60x + 60y >= 300, 12x + 6y >= 36,
+        // 10x + 30y >= 90 (diet problem). Optimum x=3, y=2, obj=0.66.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("cal", LinExpr::new().term(x, 60.0).term(y, 60.0), CmpOp::Ge, 300.0);
+        m.add_constraint("vitA", LinExpr::new().term(x, 12.0).term(y, 6.0), CmpOp::Ge, 36.0);
+        m.add_constraint("vitC", LinExpr::new().term(x, 10.0).term(y, 30.0), CmpOp::Ge, 90.0);
+        m.minimize(LinExpr::new().term(x, 0.12).term(y, 0.15));
+
+        let out = solve_lp(&m).unwrap();
+        let s = out.solution().expect("optimal");
+        assert_close(s.objective, 0.66);
+        assert_close(s.value(x), 3.0);
+        assert_close(s.value(y), 2.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y == 4, x - y == 1 → x=2, y=1, obj=3.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("e1", LinExpr::new().term(x, 1.0).term(y, 2.0), CmpOp::Eq, 4.0);
+        m.add_constraint("e2", LinExpr::new().term(x, 1.0).term(y, -1.0), CmpOp::Eq, 1.0);
+        m.minimize(LinExpr::new().term(x, 1.0).term(y, 1.0));
+
+        let out = solve_lp(&m).unwrap();
+        let s = out.solution().expect("optimal");
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 1.0);
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.add_constraint("a", LinExpr::new().term(x, 1.0), CmpOp::Le, 1.0);
+        m.add_constraint("b", LinExpr::new().term(x, 1.0), CmpOp::Ge, 2.0);
+        m.minimize(LinExpr::new().term(x, 1.0));
+        assert_eq!(solve_lp(&m).unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("c", LinExpr::new().term(x, 1.0).term(y, -1.0), CmpOp::Le, 1.0);
+        m.minimize(LinExpr::new().term(x, -1.0).term(y, -1.0));
+        assert_eq!(solve_lp(&m).unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_lower_bounds_and_free_variables() {
+        // min x + y, x >= -5, y free, x + y >= -7 → x=-5, y=-2, obj=-7.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", -5.0, f64::INFINITY);
+        let y = m.add_continuous("y", f64::NEG_INFINITY, f64::INFINITY);
+        m.add_constraint("c", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Ge, -7.0);
+        m.minimize(LinExpr::new().term(x, 1.0).term(y, 1.0));
+
+        let out = solve_lp(&m).unwrap();
+        let s = out.solution().expect("optimal");
+        assert_close(s.objective, -7.0);
+        assert!(s.value(x) >= -5.0 - 1e-9);
+    }
+
+    #[test]
+    fn upper_bounded_variables() {
+        // max x + y, x <= 3 (bound), y <= 2 (bound), x + y <= 4 → obj 4.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 3.0);
+        let y = m.add_continuous("y", 0.0, 2.0);
+        m.add_constraint("c", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Le, 4.0);
+        m.maximize(LinExpr::new().term(x, 1.0).term(y, 1.0));
+
+        let out = solve_lp(&m).unwrap();
+        let s = out.solution().expect("optimal");
+        assert_close(s.objective, 4.0);
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn only_upper_bound_no_lower() {
+        // min x with x <= 10 and x >= ... nothing: x has lower -inf, upper 10.
+        // Constraint x >= -3 keeps it bounded → optimum -3.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", f64::NEG_INFINITY, 10.0);
+        m.add_constraint("c", LinExpr::new().term(x, 1.0), CmpOp::Ge, -3.0);
+        m.minimize(LinExpr::new().term(x, 1.0));
+
+        let out = solve_lp(&m).unwrap();
+        let s = out.solution().expect("optimal");
+        assert_close(s.objective, -3.0);
+    }
+
+    #[test]
+    fn objective_constant_carries_through() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 5.0);
+        m.minimize(LinExpr::new().term(x, 1.0).plus(100.0));
+        let out = solve_lp(&m).unwrap();
+        let s = out.solution().expect("optimal");
+        assert_close(s.objective, 100.0);
+        assert_close(s.value(x), 0.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Highly degenerate: many redundant constraints through the origin.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        for i in 0..20 {
+            let a = 1.0 + (i as f64) * 0.01;
+            m.add_constraint(
+                format!("r{i}"),
+                LinExpr::new().term(x, a).term(y, 1.0),
+                CmpOp::Ge,
+                0.0,
+            );
+        }
+        m.add_constraint("cap", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Le, 10.0);
+        m.maximize(LinExpr::new().term(x, 1.0).term(y, 2.0));
+        let out = solve_lp(&m).unwrap();
+        let s = out.solution().expect("optimal");
+        assert_close(s.objective, 20.0);
+    }
+
+    #[test]
+    fn redundant_equalities_are_dropped() {
+        // x + y == 2 duplicated; still solvable.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("e1", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Eq, 2.0);
+        m.add_constraint("e2", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Eq, 2.0);
+        m.minimize(LinExpr::new().term(x, 1.0));
+        let out = solve_lp(&m).unwrap();
+        let s = out.solution().expect("optimal");
+        assert_close(s.value(x), 0.0);
+        assert_close(s.value(y), 2.0);
+    }
+
+    #[test]
+    fn feasible_solution_respects_all_constraints() {
+        // Random-ish medium LP; verify feasibility of the reported optimum.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_continuous(format!("x{i}"), 0.0, 10.0))
+            .collect();
+        for r in 0..6 {
+            let mut e = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                let c = ((r * 7 + i * 3) % 5) as f64 - 1.0;
+                e.add_term(v, c);
+            }
+            m.add_constraint(format!("c{r}"), e, CmpOp::Le, 15.0 + r as f64);
+        }
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            obj.add_term(v, 1.0 + (i % 3) as f64);
+        }
+        m.maximize(obj);
+        let out = solve_lp(&m).unwrap();
+        let s = out.solution().expect("optimal");
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+}

@@ -1,0 +1,239 @@
+//! Weighted undirected graphs for partitioning.
+
+use std::collections::HashMap;
+
+/// An immutable weighted undirected graph.
+///
+/// Vertices are dense indices `0..n` with nonnegative weights; edges are
+/// undirected with positive weights, stored as symmetric adjacency lists.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    vwgt: Vec<f64>,
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// `true` if the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vwgt.is_empty()
+    }
+
+    /// Weight of vertex `v`.
+    #[inline]
+    pub fn vertex_weight(&self, v: usize) -> f64 {
+        self.vwgt[v]
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> f64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Neighbors of `v` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[(usize, f64)] {
+        &self.adj[v]
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Weighted cut of a two-sided assignment (`side[v]` ∈ {false, true}).
+    pub fn cut_2way(&self, side: &[bool]) -> f64 {
+        let mut cut = 0.0;
+        for v in 0..self.len() {
+            for &(u, w) in &self.adj[v] {
+                if u > v && side[u] != side[v] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Weighted cut of a k-way assignment.
+    pub fn cut_kway(&self, parts: &[usize]) -> f64 {
+        let mut cut = 0.0;
+        for v in 0..self.len() {
+            for &(u, w) in &self.adj[v] {
+                if u > v && parts[u] != parts[v] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Extract the vertex-induced subgraph of `vertices` (in the given
+    /// order); returns the subgraph and the mapping `sub index -> original
+    /// index`.
+    pub fn subgraph(&self, vertices: &[usize]) -> (Graph, Vec<usize>) {
+        let mut index_of = HashMap::with_capacity(vertices.len());
+        for (new, &old) in vertices.iter().enumerate() {
+            index_of.insert(old, new);
+        }
+        let mut b = GraphBuilder::with_vertices(
+            vertices.iter().map(|&v| self.vwgt[v]).collect::<Vec<_>>(),
+        );
+        for (new_v, &old_v) in vertices.iter().enumerate() {
+            for &(old_u, w) in &self.adj[old_v] {
+                if let Some(&new_u) = index_of.get(&old_u) {
+                    if new_u > new_v {
+                        b.add_edge(new_v, new_u, w);
+                    }
+                }
+            }
+        }
+        (b.build(), vertices.to_vec())
+    }
+}
+
+/// Incremental builder merging parallel edges by summing their weights.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    vwgt: Vec<f64>,
+    edges: HashMap<(usize, usize), f64>,
+}
+
+impl GraphBuilder {
+    /// Builder with `n` vertices of weight 1.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { vwgt: vec![1.0; n], edges: HashMap::new() }
+    }
+
+    /// Builder with explicit vertex weights.
+    pub fn with_vertices(vwgt: Vec<f64>) -> Self {
+        GraphBuilder { vwgt, edges: HashMap::new() }
+    }
+
+    /// Number of vertices so far.
+    pub fn len(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// `true` if no vertices have been added.
+    pub fn is_empty(&self) -> bool {
+        self.vwgt.is_empty()
+    }
+
+    /// Append a vertex, returning its index.
+    pub fn add_vertex(&mut self, weight: f64) -> usize {
+        self.vwgt.push(weight);
+        self.vwgt.len() - 1
+    }
+
+    /// Add (or accumulate onto) the undirected edge `{u, v}`.
+    ///
+    /// Self-loops are ignored; weights of repeated edges sum.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
+        assert!(u < self.vwgt.len() && v < self.vwgt.len(), "edge endpoint out of range");
+        if u == v || weight == 0.0 {
+            return;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        *self.edges.entry(key).or_insert(0.0) += weight;
+    }
+
+    /// Finalize into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.vwgt.len();
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for ((u, v), w) in self.edges {
+            adj[u].push((v, w));
+            adj[v].push((u, w));
+        }
+        for a in &mut adj {
+            a.sort_unstable_by_key(|&(u, _)| u);
+        }
+        Graph { vwgt: self.vwgt, adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(0, 2, 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn builder_basics() {
+        let g = triangle();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.total_weight(), 3.0);
+        assert_eq!(g.neighbors(0).len(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 2.5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[(1, 3.5)]);
+    }
+
+    #[test]
+    fn self_loops_and_zero_weight_ignored() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 5.0);
+        b.add_edge(0, 1, 0.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cut_computation() {
+        let g = triangle();
+        // Side {0} vs {1,2}: cut = w(0,1) + w(0,2) = 4.
+        assert_eq!(g.cut_2way(&[true, false, false]), 4.0);
+        assert_eq!(g.cut_kway(&[0, 1, 1]), 4.0);
+        // All same side: no cut.
+        assert_eq!(g.cut_2way(&[false, false, false]), 0.0);
+        // All different parts: every edge cut.
+        assert_eq!(g.cut_kway(&[0, 1, 2]), 6.0);
+    }
+
+    #[test]
+    fn subgraph_extraction() {
+        let g = triangle();
+        let (sub, map) = g.subgraph(&[1, 2]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(sub.neighbors(0), &[(1, 2.0)]); // edge (1,2) weight 2
+        assert_eq!(map, vec![1, 2]);
+    }
+
+    #[test]
+    fn vertex_weights_respected() {
+        let mut b = GraphBuilder::with_vertices(vec![2.0, 3.0]);
+        let v = b.add_vertex(5.0);
+        assert_eq!(v, 2);
+        let g = b.build();
+        assert_eq!(g.vertex_weight(2), 5.0);
+        assert_eq!(g.total_weight(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_bounds_checked() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 3, 1.0);
+    }
+}

@@ -1,0 +1,513 @@
+//! Multilevel bisection and recursive k-way partitioning.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::refine::{fm_refine, Balance};
+
+/// Stop coarsening once the graph is this small.
+const COARSEST_SIZE: usize = 48;
+/// Stop coarsening when a level shrinks the graph by less than this factor.
+const MIN_SHRINK: f64 = 0.95;
+
+/// Configuration for [`partition`].
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// Number of parts `k >= 1`.
+    pub num_parts: usize,
+    /// Allowed relative imbalance per part (0.05 = each part within ±5% of
+    /// its proportional share of the total weight).
+    pub imbalance: f64,
+    /// RNG seed: identical inputs + seed give identical outputs.
+    pub seed: u64,
+    /// Initial-partition trials on the coarsest graph (best cut wins).
+    pub trials: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig { num_parts: 2, imbalance: 0.05, seed: 0x5EED, trials: 8 }
+    }
+}
+
+impl PartitionConfig {
+    /// Config for `k` parts with the default tolerances.
+    pub fn k(num_parts: usize) -> Self {
+        PartitionConfig { num_parts, ..Default::default() }
+    }
+}
+
+/// Result of [`partition`].
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    /// Part index of every vertex (`0..num_parts`).
+    pub assignment: Vec<usize>,
+    /// Number of parts requested.
+    pub num_parts: usize,
+    /// Total vertex weight per part.
+    pub part_weights: Vec<f64>,
+    /// Total weight of edges crossing parts.
+    pub edge_cut: f64,
+}
+
+impl Partitioning {
+    /// Maximum relative deviation of any part from the even share; `0.0`
+    /// for a perfectly proportional partition.
+    pub fn imbalance(&self) -> f64 {
+        let total: f64 = self.part_weights.iter().sum();
+        if total <= 0.0 || self.num_parts == 0 {
+            return 0.0;
+        }
+        let share = total / self.num_parts as f64;
+        self.part_weights
+            .iter()
+            .map(|&w| (w - share).abs() / share)
+            .fold(0.0, f64::max)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coarsening.
+// ---------------------------------------------------------------------
+
+/// Heavy-edge matching: each vertex pairs with its heaviest unmatched
+/// neighbor; unmatched vertices stay singletons.
+fn heavy_edge_matching(graph: &Graph, rng: &mut SmallRng) -> Vec<usize> {
+    let n = graph.len();
+    let mut mate: Vec<usize> = (0..n).collect();
+    let mut matched = vec![false; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    for &v in &order {
+        if matched[v] {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for &(u, w) in graph.neighbors(v) {
+            if !matched[u] && u != v && best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((u, w));
+            }
+        }
+        if let Some((u, _)) = best {
+            mate[v] = u;
+            mate[u] = v;
+            matched[v] = true;
+            matched[u] = true;
+        }
+    }
+    mate
+}
+
+/// Contract matched pairs into a coarser graph. Returns the coarse graph
+/// and the mapping `fine vertex -> coarse vertex`.
+fn contract(graph: &Graph, mate: &[usize]) -> (Graph, Vec<usize>) {
+    let n = graph.len();
+    let mut coarse_of = vec![usize::MAX; n];
+    let mut weights: Vec<f64> = Vec::new();
+    for v in 0..n {
+        if coarse_of[v] != usize::MAX {
+            continue;
+        }
+        let m = mate[v];
+        let c = weights.len();
+        coarse_of[v] = c;
+        let mut w = graph.vertex_weight(v);
+        if m != v && coarse_of[m] == usize::MAX {
+            coarse_of[m] = c;
+            w += graph.vertex_weight(m);
+        }
+        weights.push(w);
+    }
+    let mut b = GraphBuilder::with_vertices(weights);
+    for v in 0..n {
+        for &(u, w) in graph.neighbors(v) {
+            if u > v {
+                let (cu, cv) = (coarse_of[u], coarse_of[v]);
+                if cu != cv {
+                    b.add_edge(cu, cv, w);
+                }
+            }
+        }
+    }
+    (b.build(), coarse_of)
+}
+
+// ---------------------------------------------------------------------
+// Initial partitioning.
+// ---------------------------------------------------------------------
+
+/// Greedy region growing: grow side 0 from a random seed, preferring the
+/// vertex most connected to the growing region, until it reaches the
+/// target weight.
+fn grow_bisection(graph: &Graph, target0: f64, rng: &mut SmallRng) -> Vec<bool> {
+    let n = graph.len();
+    let mut side = vec![true; n]; // true = side 1; we grow side 0
+    if n == 0 {
+        return side;
+    }
+    let seed = rng.gen_range(0..n);
+    let mut w0 = 0.0;
+    let mut connectivity = vec![0.0f64; n];
+    let mut in0 = vec![false; n];
+    let mut frontier_seeded = false;
+
+    let add = |v: usize,
+                   side: &mut Vec<bool>,
+                   in0: &mut Vec<bool>,
+                   connectivity: &mut Vec<f64>,
+                   w0: &mut f64| {
+        side[v] = false;
+        in0[v] = true;
+        *w0 += graph.vertex_weight(v);
+        for &(u, w) in graph.neighbors(v) {
+            connectivity[u] += w;
+        }
+    };
+
+    add(seed, &mut side, &mut in0, &mut connectivity, &mut w0);
+    while w0 < target0 {
+        // Most-connected unadded vertex; fall back to any unadded vertex
+        // (disconnected graphs).
+        let mut best: Option<(usize, f64)> = None;
+        for v in 0..n {
+            if !in0[v] {
+                let score = connectivity[v];
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((v, score));
+                }
+            }
+        }
+        let Some((v, score)) = best else { break };
+        if score <= 0.0 && !frontier_seeded {
+            frontier_seeded = true;
+        }
+        // Stop rather than badly overshoot the target with a huge vertex.
+        let wv = graph.vertex_weight(v);
+        if w0 + wv > target0 && (w0 + wv - target0) > (target0 - w0) && w0 > 0.0 {
+            // Adding overshoots more than stopping undershoots; try to find
+            // a smaller vertex instead.
+            let mut alt: Option<(usize, f64)> = None;
+            for u in 0..n {
+                if !in0[u] && graph.vertex_weight(u) <= target0 - w0 {
+                    let s = connectivity[u];
+                    if alt.is_none_or(|(_, bs)| s > bs) {
+                        alt = Some((u, s));
+                    }
+                }
+            }
+            match alt {
+                Some((u, _)) => add(u, &mut side, &mut in0, &mut connectivity, &mut w0),
+                None => break,
+            }
+        } else {
+            add(v, &mut side, &mut in0, &mut connectivity, &mut w0);
+        }
+    }
+    side
+}
+
+// ---------------------------------------------------------------------
+// Multilevel bisection.
+// ---------------------------------------------------------------------
+
+/// Multilevel 2-way partition with side 0 targeting `frac0` of the total
+/// weight. Returns the side assignment (`false` = side 0).
+pub fn bisect(graph: &Graph, frac0: f64, imbalance: f64, seed: u64, trials: usize) -> Vec<bool> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let total = graph.total_weight();
+    let balance = Balance::fractional(total, frac0, imbalance);
+
+    // Coarsen.
+    let mut graphs: Vec<Graph> = vec![graph.clone()];
+    let mut maps: Vec<Vec<usize>> = Vec::new();
+    while graphs.last().unwrap().len() > COARSEST_SIZE {
+        let g = graphs.last().unwrap();
+        let mate = heavy_edge_matching(g, &mut rng);
+        let (coarse, map) = contract(g, &mate);
+        if (coarse.len() as f64) > (g.len() as f64) * MIN_SHRINK {
+            break; // matching stalled (e.g. star graphs)
+        }
+        graphs.push(coarse);
+        maps.push(map);
+    }
+
+    // Initial partition on the coarsest graph: best of `trials` grows.
+    let coarsest = graphs.last().unwrap();
+    let coarse_total = coarsest.total_weight();
+    let coarse_balance = Balance::fractional(coarse_total, frac0, imbalance);
+    let mut best_side: Option<(Vec<bool>, f64)> = None;
+    for _ in 0..trials.max(1) {
+        let mut side = grow_bisection(coarsest, coarse_total * frac0, &mut rng);
+        let cut = fm_refine(coarsest, &mut side, coarse_balance, 6);
+        if best_side.as_ref().is_none_or(|(_, c)| cut < *c) {
+            best_side = Some((side, cut));
+        }
+    }
+    let mut side = best_side.expect("at least one trial").0;
+
+    // Uncoarsen + refine.
+    for level in (0..maps.len()).rev() {
+        let fine = &graphs[level];
+        let map = &maps[level];
+        let mut fine_side = vec![false; fine.len()];
+        for v in 0..fine.len() {
+            fine_side[v] = side[map[v]];
+        }
+        let fine_balance = Balance::fractional(fine.total_weight(), frac0, imbalance);
+        let _ = fine_balance; // same envelope as `balance` at level 0
+        fm_refine(fine, &mut fine_side, balance, 6);
+        side = fine_side;
+    }
+    side
+}
+
+// ---------------------------------------------------------------------
+// K-way by recursive bisection.
+// ---------------------------------------------------------------------
+
+/// Balanced k-way partition with minimum weighted edge-cut.
+pub fn partition(graph: &Graph, cfg: &PartitionConfig) -> Partitioning {
+    assert!(cfg.num_parts >= 1, "need at least one part");
+    let n = graph.len();
+    let mut assignment = vec![0usize; n];
+    if cfg.num_parts > 1 && n > 0 {
+        let vertices: Vec<usize> = (0..n).collect();
+        recurse(graph, &vertices, cfg.num_parts, 0, cfg, cfg.seed, &mut assignment);
+    }
+    let mut part_weights = vec![0.0; cfg.num_parts];
+    for v in 0..n {
+        part_weights[assignment[v]] += graph.vertex_weight(v);
+    }
+    let edge_cut = graph.cut_kway(&assignment);
+    Partitioning { assignment, num_parts: cfg.num_parts, part_weights, edge_cut }
+}
+
+fn recurse(
+    root: &Graph,
+    vertices: &[usize],
+    k: usize,
+    part_offset: usize,
+    cfg: &PartitionConfig,
+    seed: u64,
+    assignment: &mut [usize],
+) {
+    if k == 1 || vertices.is_empty() {
+        for &v in vertices {
+            assignment[v] = part_offset;
+        }
+        return;
+    }
+    let k0 = k.div_ceil(2);
+    let frac0 = k0 as f64 / k as f64;
+    let (sub, map) = root.subgraph(vertices);
+    let side = bisect(&sub, frac0, cfg.imbalance, seed, cfg.trials);
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (i, &orig) in map.iter().enumerate() {
+        if !side[i] {
+            left.push(orig);
+        } else {
+            right.push(orig);
+        }
+    }
+    // Degenerate split (all on one side): force a weight-greedy split so
+    // recursion always terminates.
+    if left.is_empty() || right.is_empty() {
+        let mut sorted: Vec<usize> = vertices.to_vec();
+        sorted.sort_by(|&a, &b| {
+            root.vertex_weight(b)
+                .partial_cmp(&root.vertex_weight(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        left.clear();
+        right.clear();
+        let (mut wl, mut wr) = (0.0, 0.0);
+        let target_ratio = k0 as f64 / (k - k0) as f64;
+        for &v in &sorted {
+            if wl <= wr * target_ratio {
+                left.push(v);
+                wl += root.vertex_weight(v);
+            } else {
+                right.push(v);
+                wr += root.vertex_weight(v);
+            }
+        }
+    }
+    recurse(root, &left, k0, part_offset, cfg, seed.wrapping_mul(0x9E3779B9).wrapping_add(1), assignment);
+    recurse(
+        root,
+        &right,
+        k - k0,
+        part_offset + k0,
+        cfg,
+        seed.wrapping_mul(0x85EBCA6B).wrapping_add(2),
+        assignment,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `c` cliques of size `s`, ring-connected by single light edges.
+    fn clique_ring(c: usize, s: usize) -> Graph {
+        let mut b = GraphBuilder::new(c * s);
+        for ci in 0..c {
+            let base = ci * s;
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    b.add_edge(base + i, base + j, 10.0);
+                }
+            }
+            let next = ((ci + 1) % c) * s;
+            b.add_edge(base, next, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bisection_splits_two_cliques() {
+        let g = clique_ring(2, 5);
+        let side = bisect(&g, 0.5, 0.1, 42, 8);
+        let w0 = side.iter().filter(|&&s| !s).count();
+        assert_eq!(w0, 5, "must split 5/5");
+        assert!(g.cut_2way(&side) <= 2.0 + 1e-9, "cut should be the bridges");
+    }
+
+    #[test]
+    fn kway_partitions_clique_ring() {
+        let g = clique_ring(4, 6);
+        let p = partition(&g, &PartitionConfig::k(4));
+        assert_eq!(p.assignment.len(), 24);
+        assert!(p.assignment.iter().all(|&x| x < 4));
+        // Each part should have one clique: weight 6 each.
+        for w in &p.part_weights {
+            assert!((*w - 6.0).abs() < 1e-9, "weights {:?}", p.part_weights);
+        }
+        // Cut = the 4 ring bridges.
+        assert!(p.edge_cut <= 4.0 + 1e-9, "cut = {}", p.edge_cut);
+        assert!(p.imbalance() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = clique_ring(3, 7);
+        let cfg = PartitionConfig { num_parts: 3, imbalance: 0.05, seed: 7, trials: 4 };
+        let a = partition(&g, &cfg);
+        let b = partition(&g, &cfg);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.edge_cut, b.edge_cut);
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let g = clique_ring(2, 4);
+        let p = partition(&g, &PartitionConfig::k(1));
+        assert!(p.assignment.iter().all(|&x| x == 0));
+        assert_eq!(p.edge_cut, 0.0);
+    }
+
+    #[test]
+    fn more_parts_than_vertices() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        let p = partition(&g, &PartitionConfig::k(5));
+        assert!(p.assignment.iter().all(|&x| x < 5));
+        // Every vertex alone (3 used parts, 2 empty).
+        let used: std::collections::HashSet<_> = p.assignment.iter().collect();
+        assert_eq!(used.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let p = partition(&g, &PartitionConfig::k(3));
+        assert!(p.assignment.is_empty());
+        assert_eq!(p.edge_cut, 0.0);
+    }
+
+    #[test]
+    fn weighted_vertices_balance_by_weight() {
+        // 2 heavy vertices (8) and 8 light (1): k=2 should put one heavy
+        // on each side.
+        let mut b = GraphBuilder::with_vertices(vec![8.0, 8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        for v in 2..10 {
+            b.add_edge(0, v, 1.0);
+            b.add_edge(1, v, 1.0);
+        }
+        let g = b.build();
+        let p = partition(&g, &PartitionConfig { num_parts: 2, imbalance: 0.15, ..Default::default() });
+        let heavy_parts = (p.assignment[0], p.assignment[1]);
+        assert_ne!(heavy_parts.0, heavy_parts.1, "heavy vertices must split");
+        assert!(p.imbalance() <= 0.3, "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn large_random_graph_is_balanced() {
+        // Deterministic pseudo-random graph, 600 vertices.
+        let n = 600;
+        let mut b = GraphBuilder::new(n);
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..3000 {
+            let u = next() % n;
+            let v = next() % n;
+            let w = 1.0 + (next() % 5) as f64;
+            b.add_edge(u, v, w);
+        }
+        let g = b.build();
+        for k in [2, 4, 8] {
+            let p = partition(&g, &PartitionConfig { num_parts: k, imbalance: 0.1, ..Default::default() });
+            assert!(
+                p.imbalance() <= 0.35,
+                "k={k}: imbalance {} too high (weights {:?})",
+                p.imbalance(),
+                p.part_weights
+            );
+            let naive_cut = g.cut_kway(&(0..n).map(|v| v % k).collect::<Vec<_>>());
+            assert!(
+                p.edge_cut < naive_cut,
+                "k={k}: cut {} should beat naive round-robin {naive_cut}",
+                p.edge_cut
+            );
+        }
+    }
+
+    #[test]
+    fn coarsening_preserves_total_weight() {
+        let g = clique_ring(3, 8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mate = heavy_edge_matching(&g, &mut rng);
+        // Matching validity: involutive and disjoint.
+        for v in 0..g.len() {
+            assert_eq!(mate[mate[v]], v);
+        }
+        let (coarse, map) = contract(&g, &mate);
+        assert!((coarse.total_weight() - g.total_weight()).abs() < 1e-9);
+        assert!(coarse.len() < g.len());
+        for v in 0..g.len() {
+            assert!(map[v] < coarse.len());
+        }
+    }
+
+    #[test]
+    fn path_graph_bisection_cuts_one_edge() {
+        let n = 32;
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n - 1 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build();
+        let side = bisect(&g, 0.5, 0.1, 11, 8);
+        assert!(g.cut_2way(&side) <= 2.0, "path cut should be tiny");
+        let w0 = side.iter().filter(|&&s| !s).count();
+        assert!((12..=20).contains(&w0));
+    }
+}

@@ -1,0 +1,279 @@
+//! Fiduccia–Mattheyses-style 2-way refinement.
+//!
+//! Given a bisection, repeatedly move the boundary vertex with the best
+//! gain (cut-weight decrease) whose move keeps both sides within their
+//! weight budgets; lock moved vertices for the rest of the pass; remember
+//! the best prefix of moves and roll back to it. Passes repeat until one
+//! yields no improvement in the lexicographic (balance violation, cut)
+//! objective. Like classic FM, individual moves may overshoot the balance
+//! envelope by up to one (maximum-weight) vertex — otherwise unit-weight
+//! graphs with tight envelopes could never move anything — but the
+//! best-prefix selection always prefers admissible states.
+//!
+//! A dense `O(n)` selection per move is plenty for the graph sizes ALBIC
+//! and COLA produce (hundreds to a few thousand key groups).
+
+use crate::graph::Graph;
+
+/// Balance envelope for a bisection: side-0 weight should stay within
+/// `[target0 - slack, target0 + slack]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Balance {
+    /// Desired weight of side 0.
+    pub target0: f64,
+    /// Allowed absolute deviation of side-0 weight from the target.
+    pub slack: f64,
+}
+
+impl Balance {
+    /// Envelope for a split giving side 0 a `frac0` share of `total`, with
+    /// a relative tolerance of `imbalance` on the smaller side's share
+    /// (0.1 = ±10%). Keeping the slack relative to the *smaller* share
+    /// stops recursive bisection from compounding imbalance.
+    pub fn fractional(total: f64, frac0: f64, imbalance: f64) -> Balance {
+        let share = frac0.min(1.0 - frac0).max(0.0);
+        Balance {
+            target0: total * frac0,
+            slack: (total * share * imbalance).max(1e-12),
+        }
+    }
+
+    fn admissible(&self, w0: f64, extra_slack: f64) -> bool {
+        (w0 - self.target0).abs() <= self.slack + extra_slack + 1e-12
+    }
+
+    /// Distance from admissibility (0 when inside the envelope).
+    pub fn violation(&self, w0: f64) -> f64 {
+        ((w0 - self.target0).abs() - self.slack).max(0.0)
+    }
+}
+
+fn side0_weight(graph: &Graph, side: &[bool]) -> f64 {
+    (0..graph.len()).filter(|&v| !side[v]).map(|v| graph.vertex_weight(v)).sum()
+}
+
+/// Repeated FM passes refining `side` in place. Returns the final cut
+/// weight. `side[v] == false` means side 0.
+pub fn fm_refine(graph: &Graph, side: &mut [bool], balance: Balance, max_passes: usize) -> f64 {
+    let n = graph.len();
+    if n == 0 {
+        return 0.0;
+    }
+    // Per-move slack: one maximum-weight vertex, the classic FM allowance.
+    let max_vw = (0..n).map(|v| graph.vertex_weight(v)).fold(0.0, f64::max);
+
+    for _ in 0..max_passes {
+        let pass_start_cut = graph.cut_2way(side);
+        let pass_start_viol = balance.violation(side0_weight(graph, side));
+
+        // Gain of moving v to the other side: ext(v) - int(v).
+        let mut gain = vec![0.0f64; n];
+        for v in 0..n {
+            for &(u, w) in graph.neighbors(v) {
+                if side[u] != side[v] {
+                    gain[v] += w;
+                } else {
+                    gain[v] -= w;
+                }
+            }
+        }
+        let mut w0 = side0_weight(graph, side);
+
+        let mut locked = vec![false; n];
+        let mut moves: Vec<usize> = Vec::with_capacity(n);
+        let mut best_prefix = 0usize;
+        let mut best_cut = pass_start_cut;
+        let mut best_violation = pass_start_viol;
+        let mut cur_cut = pass_start_cut;
+
+        for _ in 0..n {
+            // Best-gain unlocked vertex whose move stays within the widened
+            // envelope or strictly improves the violation. While outside
+            // the envelope, only moves *toward* balance are considered.
+            let cur_violation = balance.violation(w0);
+            let required_side: Option<bool> = if w0 > balance.target0 + balance.slack {
+                Some(false) // must move a side-0 vertex out
+            } else if w0 < balance.target0 - balance.slack {
+                Some(true) // must move a side-1 vertex in
+            } else {
+                None
+            };
+            let mut chosen: Option<(usize, f64)> = None;
+            for v in 0..n {
+                if locked[v] {
+                    continue;
+                }
+                if let Some(req) = required_side {
+                    if side[v] != req {
+                        continue;
+                    }
+                }
+                let wv = graph.vertex_weight(v);
+                let new_w0 = if side[v] { w0 + wv } else { w0 - wv };
+                let ok = balance.admissible(new_w0, max_vw)
+                    || balance.violation(new_w0) < cur_violation - 1e-12;
+                if !ok {
+                    continue;
+                }
+                if chosen.is_none_or(|(_, g)| gain[v] > g) {
+                    chosen = Some((v, gain[v]));
+                }
+            }
+            let Some((v, g)) = chosen else { break };
+
+            // Apply the move.
+            let wv = graph.vertex_weight(v);
+            if side[v] {
+                w0 += wv;
+            } else {
+                w0 -= wv;
+            }
+            side[v] = !side[v];
+            cur_cut -= g;
+            locked[v] = true;
+            moves.push(v);
+            // Neighbor gains: edge (v,u) flipped its crossing state.
+            for &(u, w) in graph.neighbors(v) {
+                if side[u] == side[v] {
+                    gain[u] -= 2.0 * w;
+                } else {
+                    gain[u] += 2.0 * w;
+                }
+            }
+            gain[v] = -g;
+
+            let viol = balance.violation(w0);
+            let better = (viol < best_violation - 1e-12)
+                || (viol <= best_violation + 1e-12 && cur_cut < best_cut - 1e-12);
+            if better {
+                best_cut = cur_cut;
+                best_violation = viol;
+                best_prefix = moves.len();
+            }
+        }
+
+        // Roll back to the best prefix.
+        for &v in moves.iter().skip(best_prefix).rev() {
+            side[v] = !side[v];
+        }
+
+        // Stop once a whole pass fails to improve (violation, cut).
+        let improved = best_violation < pass_start_viol - 1e-12
+            || (best_violation <= pass_start_viol + 1e-12
+                && best_cut < pass_start_cut - 1e-12);
+        if !improved {
+            break;
+        }
+    }
+    graph.cut_2way(side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Two 4-cliques joined by a single light edge.
+    fn two_cliques() -> Graph {
+        let mut b = GraphBuilder::new(8);
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(base + i, base + j, 10.0);
+                }
+            }
+        }
+        b.add_edge(3, 4, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn refinement_recovers_clique_split_from_bad_start() {
+        let g = two_cliques();
+        // Deliberately terrible start: alternating sides.
+        let mut side: Vec<bool> = (0..8).map(|v| v % 2 == 0).collect();
+        let balance = Balance::fractional(g.total_weight(), 0.5, 0.05);
+        let cut = fm_refine(&g, &mut side, balance, 10);
+        assert_eq!(cut, 1.0, "should find the single bridge edge");
+        assert!(side[0] == side[1] && side[1] == side[2] && side[2] == side[3]);
+        assert!(side[4] == side[5] && side[5] == side[6] && side[6] == side[7]);
+        assert_ne!(side[0], side[4]);
+    }
+
+    #[test]
+    fn refinement_respects_balance() {
+        let g = two_cliques();
+        let mut side: Vec<bool> = (0..8).map(|v| v >= 4).collect();
+        let balance = Balance::fractional(g.total_weight(), 0.5, 0.05);
+        fm_refine(&g, &mut side, balance, 10);
+        let w0 = side.iter().filter(|&&s| !s).count();
+        assert_eq!(w0, 4, "balance must hold");
+    }
+
+    #[test]
+    fn already_optimal_is_stable() {
+        let g = two_cliques();
+        let mut side: Vec<bool> = (0..8).map(|v| v >= 4).collect();
+        let before = side.clone();
+        let balance = Balance::fractional(g.total_weight(), 0.5, 0.05);
+        let cut = fm_refine(&g, &mut side, balance, 10);
+        assert_eq!(cut, 1.0);
+        assert_eq!(side, before);
+    }
+
+    #[test]
+    fn repairs_balance_violations_from_projection() {
+        // Everything on one side; refinement must move toward balance even
+        // though those first moves increase the cut.
+        let g = two_cliques();
+        let mut side = vec![false; 8];
+        let balance = Balance::fractional(g.total_weight(), 0.5, 0.05);
+        fm_refine(&g, &mut side, balance, 10);
+        let w0 = side.iter().filter(|&&s| !s).count();
+        assert!((3..=5).contains(&w0), "sides should be near-balanced, got {w0}");
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(0).build();
+        let mut side: Vec<bool> = vec![];
+        let balance = Balance { target0: 0.0, slack: 1.0 };
+        assert_eq!(fm_refine(&g, &mut side, balance, 3), 0.0);
+    }
+
+    #[test]
+    fn weighted_vertices_affect_balance() {
+        // One heavy vertex (weight 10) and 5 light ones (weight 1 each).
+        // Starting all on one side, refinement must reach a near-balanced
+        // state: the best split puts the heavy vertex alone.
+        let mut b = GraphBuilder::with_vertices(vec![10.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        for v in 1..6 {
+            b.add_edge(0, v, 1.0);
+        }
+        let g = b.build();
+        let mut side = vec![false; 6];
+        let balance = Balance::fractional(g.total_weight(), 0.5, 0.2);
+        fm_refine(&g, &mut side, balance, 10);
+        let w0: f64 = (0..6).filter(|&v| !side[v]).map(|v| g.vertex_weight(v)).sum();
+        assert!((w0 - 7.5).abs() <= 3.0 + 1e-9, "w0 = {w0}");
+    }
+
+    #[test]
+    fn tight_envelope_still_allows_unit_moves() {
+        // Envelope slack smaller than any vertex weight: per-move widening
+        // must still allow progress, and the best prefix should return to
+        // an admissible state.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 5.0);
+        b.add_edge(2, 3, 5.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        // Bad start: pairs split across sides.
+        let mut side = vec![false, true, false, true];
+        let balance = Balance { target0: 2.0, slack: 0.1 };
+        let cut = fm_refine(&g, &mut side, balance, 10);
+        assert_eq!(cut, 1.0, "should keep only the bridge cut");
+        let w0 = side.iter().filter(|&&s| !s).count();
+        assert_eq!(w0, 2);
+    }
+}

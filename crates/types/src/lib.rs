@@ -1,0 +1,28 @@
+//! Shared identifiers and small value types for the ALBIC
+//! stream-reconfiguration stack.
+//!
+//! This crate defines the vocabulary used across the workspace:
+//! newtype ids for nodes, operators, operator instances and key groups
+//! ([`NodeId`], [`OperatorId`], [`KeyGroupId`]); load values measured as
+//! percentage points of a node's bottleneck resource ([`Load`]); the
+//! statistics-period clock ([`Period`], `SPL` in the paper); and the
+//! resource dimensions tracked by the engine ([`Resource`]).
+//!
+//! The paper this workspace reproduces is Madsen, Zhou & Cao,
+//! *Integrative Dynamic Reconfiguration in a Parallel Stream Processing
+//! Engine* (arXiv:1602.03770). Symbol names follow the paper's Table 1
+//! where practical: `n_i` → [`NodeId`], `O_i` → [`OperatorId`],
+//! `g_k` → [`KeyGroupId`], `load_i`/`gLoad_k` → [`Load`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ids;
+pub mod load;
+pub mod period;
+pub mod resource;
+
+pub use ids::{KeyGroupId, NodeId, OperatorId, OperatorInstanceId};
+pub use load::{Load, LoadVector};
+pub use period::{Period, PeriodClock};
+pub use resource::Resource;

@@ -1,0 +1,285 @@
+//! Load values.
+//!
+//! The paper measures load as "a percentage point in the range \[0, 100\]"
+//! of a node's bottleneck resource over one statistics period (§3,
+//! *Statistics*). [`Load`] wraps an `f64` with that interpretation but does
+//! not clamp: transient values above 100 represent overload (the paper's
+//! scale-in experiments mark nodes "100% loaded", and queued work can push
+//! the modeled value beyond the capacity line before the balancer reacts).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::resource::Resource;
+
+/// A load value: percentage points of the bottleneck resource used over one
+/// statistics period. `Load(50.0)` means half the node's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Load(pub f64);
+
+impl Load {
+    /// The zero load.
+    pub const ZERO: Load = Load(0.0);
+    /// Full utilization of the bottleneck resource.
+    pub const FULL: Load = Load(100.0);
+
+    /// Construct from raw percentage points.
+    #[inline]
+    pub const fn new(pct: f64) -> Self {
+        Load(pct)
+    }
+
+    /// The raw percentage-point value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute difference between two loads, used by the load-distance
+    /// metric `max_i |load_i - mean|`.
+    #[inline]
+    pub fn abs_diff(self, other: Load) -> Load {
+        Load((self.0 - other.0).abs())
+    }
+
+    /// Clamp to the `[0, 100]` reporting range.
+    #[inline]
+    pub fn clamped(self) -> Load {
+        Load(self.0.clamp(0.0, 100.0))
+    }
+
+    /// `true` if the value is a finite number (guard against NaN leaking
+    /// into optimizer input).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Maximum of two loads.
+    #[inline]
+    pub fn max(self, other: Load) -> Load {
+        Load(self.0.max(other.0))
+    }
+
+    /// Minimum of two loads.
+    #[inline]
+    pub fn min(self, other: Load) -> Load {
+        Load(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Load {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}%", self.0)
+    }
+}
+
+impl Add for Load {
+    type Output = Load;
+    #[inline]
+    fn add(self, rhs: Load) -> Load {
+        Load(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Load {
+    #[inline]
+    fn add_assign(&mut self, rhs: Load) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Load {
+    type Output = Load;
+    #[inline]
+    fn sub(self, rhs: Load) -> Load {
+        Load(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Load {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Load) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Load {
+    type Output = Load;
+    #[inline]
+    fn mul(self, rhs: f64) -> Load {
+        Load(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Load {
+    type Output = Load;
+    #[inline]
+    fn div(self, rhs: f64) -> Load {
+        Load(self.0 / rhs)
+    }
+}
+
+impl Neg for Load {
+    type Output = Load;
+    #[inline]
+    fn neg(self) -> Load {
+        Load(-self.0)
+    }
+}
+
+impl Sum for Load {
+    fn sum<I: Iterator<Item = Load>>(iter: I) -> Load {
+        Load(iter.map(|l| l.0).sum())
+    }
+}
+
+/// Per-resource load sample: the engine tracks CPU, network and memory
+/// separately and the controller selects the *bottleneck* resource — the
+/// one with the greatest total usage in the whole system (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoadVector {
+    /// CPU usage (processing + serialization/deserialization cost).
+    pub cpu: Load,
+    /// Network bandwidth usage (cross-node tuple transfer).
+    pub network: Load,
+    /// Memory usage (key-group state footprint).
+    pub memory: Load,
+}
+
+impl LoadVector {
+    /// The all-zero load vector.
+    pub const ZERO: LoadVector = LoadVector {
+        cpu: Load::ZERO,
+        network: Load::ZERO,
+        memory: Load::ZERO,
+    };
+
+    /// Construct from the three resource dimensions.
+    #[inline]
+    pub const fn new(cpu: Load, network: Load, memory: Load) -> Self {
+        LoadVector { cpu, network, memory }
+    }
+
+    /// The load of one resource dimension.
+    #[inline]
+    pub fn get(&self, resource: Resource) -> Load {
+        match resource {
+            Resource::Cpu => self.cpu,
+            Resource::Network => self.network,
+            Resource::Memory => self.memory,
+        }
+    }
+
+    /// Mutable access to one resource dimension.
+    #[inline]
+    pub fn get_mut(&mut self, resource: Resource) -> &mut Load {
+        match resource {
+            Resource::Cpu => &mut self.cpu,
+            Resource::Network => &mut self.network,
+            Resource::Memory => &mut self.memory,
+        }
+    }
+
+    /// The resource with the highest usage in this vector.
+    pub fn dominant(&self) -> Resource {
+        let mut best = Resource::Cpu;
+        let mut best_load = self.cpu;
+        for r in [Resource::Network, Resource::Memory] {
+            let l = self.get(r);
+            if l > best_load {
+                best = r;
+                best_load = l;
+            }
+        }
+        best
+    }
+}
+
+impl Add for LoadVector {
+    type Output = LoadVector;
+    fn add(self, rhs: LoadVector) -> LoadVector {
+        LoadVector {
+            cpu: self.cpu + rhs.cpu,
+            network: self.network + rhs.network,
+            memory: self.memory + rhs.memory,
+        }
+    }
+}
+
+impl AddAssign for LoadVector {
+    fn add_assign(&mut self, rhs: LoadVector) {
+        self.cpu += rhs.cpu;
+        self.network += rhs.network;
+        self.memory += rhs.memory;
+    }
+}
+
+impl Sum for LoadVector {
+    fn sum<I: Iterator<Item = LoadVector>>(iter: I) -> LoadVector {
+        iter.fold(LoadVector::ZERO, |acc, v| acc + v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_percentages() {
+        let a = Load::new(30.0);
+        let b = Load::new(12.5);
+        assert_eq!((a + b).value(), 42.5);
+        assert_eq!((a - b).value(), 17.5);
+        assert_eq!((a * 2.0).value(), 60.0);
+        assert_eq!((a / 2.0).value(), 15.0);
+        assert_eq!(a.abs_diff(b), b.abs_diff(a));
+        assert_eq!(a.abs_diff(b).value(), 17.5);
+    }
+
+    #[test]
+    fn clamping_only_on_request() {
+        let over = Load::new(130.0);
+        assert_eq!(over.value(), 130.0);
+        assert_eq!(over.clamped(), Load::FULL);
+        assert_eq!(Load::new(-5.0).clamped(), Load::ZERO);
+    }
+
+    #[test]
+    fn sum_of_loads() {
+        let total: Load = [Load::new(10.0), Load::new(20.0), Load::new(30.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.value(), 60.0);
+    }
+
+    #[test]
+    fn dominant_resource_selection() {
+        let v = LoadVector::new(Load::new(40.0), Load::new(55.0), Load::new(10.0));
+        assert_eq!(v.dominant(), Resource::Network);
+        let tie = LoadVector::new(Load::new(40.0), Load::new(40.0), Load::new(40.0));
+        // Ties resolve to CPU (first in declaration order).
+        assert_eq!(tie.dominant(), Resource::Cpu);
+    }
+
+    #[test]
+    fn vector_accessors_roundtrip() {
+        let mut v = LoadVector::ZERO;
+        *v.get_mut(Resource::Memory) = Load::new(33.0);
+        assert_eq!(v.get(Resource::Memory).value(), 33.0);
+        assert_eq!(v.memory.value(), 33.0);
+    }
+
+    #[test]
+    fn vector_sum() {
+        let a = LoadVector::new(Load::new(1.0), Load::new(2.0), Load::new(3.0));
+        let b = LoadVector::new(Load::new(4.0), Load::new(5.0), Load::new(6.0));
+        let s: LoadVector = [a, b].into_iter().sum();
+        assert_eq!(s.cpu.value(), 5.0);
+        assert_eq!(s.network.value(), 7.0);
+        assert_eq!(s.memory.value(), 9.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The statistics-period clock.
+//!
+//! Statistics are collected over periods `P_{i→j} : [T_i, T_j]` whose length
+//! is the tunable *statistics period length* (SPL, §3). The adaptation
+//! framework runs once per period. Experiments are plotted against
+//! "#Periods (SPL)", so periods are the x-axis unit of nearly every figure.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An index of one statistics period (0-based). One period = one SPL.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Period(pub u64);
+
+impl Period {
+    /// The first period.
+    pub const ZERO: Period = Period(0);
+
+    /// The period immediately after this one.
+    #[inline]
+    pub const fn next(self) -> Period {
+        Period(self.0 + 1)
+    }
+
+    /// Raw index value.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A monotone clock counting statistics periods.
+///
+/// The engine advances the clock at the end of every SPL; consumers can ask
+/// which period is current and how many have elapsed. In the threaded
+/// runtime one SPL maps to a configurable wall-clock window; in the
+/// simulator one SPL is one tick.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PeriodClock {
+    current: Period,
+}
+
+impl PeriodClock {
+    /// A clock starting at period 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current period.
+    #[inline]
+    pub fn current(&self) -> Period {
+        self.current
+    }
+
+    /// End the current period and start the next; returns the period that
+    /// just *finished* (the one statistics were collected over).
+    pub fn advance(&mut self) -> Period {
+        let finished = self.current;
+        self.current = self.current.next();
+        finished
+    }
+
+    /// Number of completed periods.
+    #[inline]
+    pub fn completed(&self) -> u64 {
+        self.current.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut clock = PeriodClock::new();
+        assert_eq!(clock.current(), Period::ZERO);
+        assert_eq!(clock.completed(), 0);
+
+        let finished = clock.advance();
+        assert_eq!(finished, Period(0));
+        assert_eq!(clock.current(), Period(1));
+        assert_eq!(clock.completed(), 1);
+
+        let finished = clock.advance();
+        assert_eq!(finished, Period(1));
+        assert_eq!(clock.current(), Period(2));
+    }
+
+    #[test]
+    fn period_ordering_and_display() {
+        assert!(Period(3) < Period(4));
+        assert_eq!(Period(3).next(), Period(4));
+        assert_eq!(Period(9).to_string(), "P9");
+    }
+}

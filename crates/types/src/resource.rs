@@ -1,0 +1,59 @@
+//! Resource dimensions tracked by the engine's statistics subsystem.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A physical resource whose usage is measured per key group and per node.
+///
+/// The paper's load-balancing objective uses the load values of the
+/// *bottleneck* resource — "the one with the greatest total usage in the
+/// whole system" (§3, *Statistics*). The engine keeps per-resource tallies
+/// so the controller can pick the bottleneck each period; the MILP can also
+/// be extended with per-resource cap constraints (§4.3.1, *Extending to
+/// Multi-Dimensional Load*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// Processing plus serialization/deserialization cost.
+    Cpu,
+    /// Cross-node bandwidth consumption.
+    Network,
+    /// Key-group state footprint.
+    Memory,
+}
+
+impl Resource {
+    /// All tracked resources, in declaration order.
+    pub const ALL: [Resource; 3] = [Resource::Cpu, Resource::Network, Resource::Memory];
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Resource::Cpu => "cpu",
+            Resource::Network => "network",
+            Resource::Memory => "memory",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_every_variant_once() {
+        assert_eq!(Resource::ALL.len(), 3);
+        assert_eq!(Resource::ALL[0], Resource::Cpu);
+        assert_eq!(Resource::ALL[1], Resource::Network);
+        assert_eq!(Resource::ALL[2], Resource::Memory);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Resource::Cpu.to_string(), "cpu");
+        assert_eq!(Resource::Network.to_string(), "network");
+        assert_eq!(Resource::Memory.to_string(), "memory");
+    }
+}

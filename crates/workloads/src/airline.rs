@@ -1,0 +1,299 @@
+//! Simulated Airline On-Time dataset (US DoT RITA, 2004-2013) and the
+//! workload shapes of Real Jobs 2 and 3.
+//!
+//! The generator models a fleet of airplanes flying fixed route networks
+//! with weather-correlated delays. Jobs 2/3 key on `airplane` and `route`,
+//! so what matters for reproduction is: (a) both operators of Job 2
+//! partition on the *same* attribute, making a perfect collocation
+//! possible; (b) Job 3's route attribute is independent of airplane,
+//! making its flows non-collocatable with Job 2's.
+
+use albic_engine::sim::{WorkloadModel, WorkloadSnapshot};
+use albic_engine::tuple::{hash_key, Tuple, Value};
+use albic_types::{KeyGroupId, Period};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rates::{zipf_weights, FluctuatingRate};
+
+/// Seeded generator of airline on-time records.
+#[derive(Debug, Clone)]
+pub struct AirlineOnTimeStream {
+    /// Fleet size.
+    pub airplanes: usize,
+    /// Number of airports.
+    pub airports: usize,
+    rate: FluctuatingRate,
+    plane_weights: Vec<f64>,
+    seed: u64,
+}
+
+impl AirlineOnTimeStream {
+    /// A stream averaging `rate` flight records per period.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        let airplanes = 1200;
+        AirlineOnTimeStream {
+            airplanes,
+            airports: 120,
+            rate: FluctuatingRate::new(rate, seed),
+            plane_weights: zipf_weights(airplanes, 0.7),
+            seed,
+        }
+    }
+
+    /// Flights per period.
+    pub fn rate_at(&self, period: u64) -> f64 {
+        self.rate.at(period)
+    }
+
+    /// One period of flight tuples, keyed by airplane id.
+    ///
+    /// Value layout:
+    /// `[airplane, origin, dest, dep_delay_min, arr_delay_min, year]`.
+    pub fn tuples(&self, period: u64) -> Vec<Tuple> {
+        let n = self.rate_at(period).round() as usize;
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ period.wrapping_mul(0xBF58476D1CE4E5B9));
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let plane = self.sample_plane(&mut rng);
+            // Each plane flies a small set of routes.
+            let origin = (plane * 13 + rng.gen_range(0..3)) % self.airports;
+            let dest = (origin + 1 + rng.gen_range(0..5)) % self.airports;
+            let base_delay = rng.gen_range(-10..40);
+            let weather_extra = if rng.gen_bool(0.15) { rng.gen_range(10..90) } else { 0 };
+            let dep_delay = base_delay + weather_extra;
+            let arr_delay = dep_delay + rng.gen_range(-15..15);
+            let year = 2004 + (period % 10) as i64;
+            out.push(Tuple::keyed(
+                &format!("plane-{plane}"),
+                Value::List(vec![
+                    Value::Str(format!("plane-{plane}")),
+                    Value::Str(format!("apt-{origin}")),
+                    Value::Str(format!("apt-{dest}")),
+                    Value::Int(dep_delay as i64),
+                    Value::Int(arr_delay as i64),
+                    Value::Int(year),
+                ]),
+                period * 1_000_000 + i as u64,
+            ));
+        }
+        out
+    }
+
+    fn sample_plane(&self, rng: &mut SmallRng) -> usize {
+        let mut x = rng.gen::<f64>();
+        for (i, &w) in self.plane_weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        self.airplanes - 1
+    }
+}
+
+/// Jobs 2 and 3 as a simulator workload.
+///
+/// * **Job 2** (two operators): ExtractDelays and SumDelaysByPlane, both
+///   partitioned on `airplane` → every op1 group has exactly one heavy
+///   downstream op2 group (a One-To-One pattern; perfect collocation
+///   exists).
+/// * **Job 3** (`with_route_delay`) adds RouteDelay partitioned on
+///   `route`, which is independent of `airplane` → op1's flows to op3
+///   spread over many groups and cannot be collocated, halving the
+///   achievable collocation factor (Fig. 13 vs Fig. 12).
+pub struct AirlineJobWorkload {
+    stream: AirlineOnTimeStream,
+    /// Key groups per operator.
+    pub groups_per_op: u32,
+    /// `true` = Job 3 (adds the RouteDelay operator).
+    pub with_route_delay: bool,
+    /// Global input-rate multiplier (the paper halves COLA's Job 3 input).
+    pub rate_scale: f64,
+    seed: u64,
+}
+
+impl AirlineJobWorkload {
+    /// Real Job 2.
+    pub fn job2(rate: f64, groups_per_op: u32, seed: u64) -> Self {
+        AirlineJobWorkload {
+            stream: AirlineOnTimeStream::new(rate, seed),
+            groups_per_op,
+            with_route_delay: false,
+            rate_scale: 1.0,
+            seed,
+        }
+    }
+
+    /// Real Job 3.
+    pub fn job3(rate: f64, groups_per_op: u32, seed: u64) -> Self {
+        AirlineJobWorkload {
+            stream: AirlineOnTimeStream::new(rate, seed),
+            groups_per_op,
+            with_route_delay: true,
+            rate_scale: 1.0,
+            seed,
+        }
+    }
+
+    /// Number of operators in this job.
+    pub fn num_operators(&self) -> u32 {
+        if self.with_route_delay {
+            3
+        } else {
+            2
+        }
+    }
+
+    /// Downstream key-group counts for ALBIC.
+    pub fn downstream_groups(&self) -> Vec<u32> {
+        let g = self.groups_per_op;
+        let mut dg = Vec::new();
+        // op1 feeds op2 (and op3 in Job 3).
+        dg.extend(vec![g * (self.num_operators() - 1); g as usize]);
+        for _ in 1..self.num_operators() {
+            dg.extend(vec![0u32; g as usize]);
+        }
+        dg
+    }
+
+    /// Per-group share of the plane universe, used to set up key-keyed
+    /// rates deterministically.
+    fn plane_group_rates(&self, rate: f64) -> Vec<f64> {
+        let g = self.groups_per_op as usize;
+        let mut shares = vec![0.0f64; g];
+        for (plane, &w) in self.stream.plane_weights.iter().enumerate() {
+            let key = hash_key(&format!("plane-{plane}"));
+            shares[(key % g as u64) as usize] += w;
+        }
+        shares.iter().map(|&s| s * rate).collect()
+    }
+}
+
+impl WorkloadModel for AirlineJobWorkload {
+    fn num_groups(&self) -> u32 {
+        self.groups_per_op * self.num_operators()
+    }
+
+    fn snapshot(&mut self, period: Period) -> WorkloadSnapshot {
+        let g = self.groups_per_op as usize;
+        let rate = self.stream.rate_at(period.index()) * self.rate_scale;
+        // Per-period drift of flight activity per airplane group: fleets
+        // rotate through maintenance and schedules, keeping the balancers
+        // busy every period.
+        let mut drift_rng = SmallRng::seed_from_u64(
+            self.seed ^ period.index().wrapping_mul(0xD6E8FEB86659FD93),
+        );
+        let mut op1 = self.plane_group_rates(rate);
+        for r in &mut op1 {
+            *r *= 1.0 + 0.25 * (drift_rng.gen::<f64>() * 2.0 - 1.0);
+        }
+
+        let mut tuples = op1.clone();
+        // Op2 receives op1's output 1-1 (same key, same hash space).
+        tuples.extend(op1.iter().copied());
+        let mut comm: Vec<(KeyGroupId, KeyGroupId, f64)> = (0..g)
+            .map(|i| {
+                (KeyGroupId::new(i as u32), KeyGroupId::new((g + i) as u32), op1[i])
+            })
+            .collect();
+
+        if self.with_route_delay {
+            // Op3 (RouteDelay): route keys are independent of plane keys →
+            // each op1 group spreads its output across op3's groups.
+            let mut rng = SmallRng::seed_from_u64(
+                self.seed ^ period.index().wrapping_mul(0x94D049BB133111EB),
+            );
+            let mut op3 = vec![0.0f64; g];
+            for (i, &r) in op1.iter().enumerate() {
+                let fanout = 6.min(g);
+                for f in 0..fanout {
+                    let j = (i * 11 + f * 17 + rng.gen_range(0..g)) % g;
+                    op3[j] += r / fanout as f64;
+                    comm.push((
+                        KeyGroupId::new(i as u32),
+                        KeyGroupId::new((2 * g + j) as u32),
+                        r / fanout as f64,
+                    ));
+                }
+            }
+            tuples.extend(op3);
+        }
+
+        let n = tuples.len();
+        // Aggregation state: op2/op3 accumulate per-key sums.
+        let mut state = vec![1024.0; g];
+        for _ in 1..self.num_operators() {
+            state.extend(vec![8192.0; g]);
+        }
+
+        WorkloadSnapshot {
+            group_tuples: tuples,
+            group_cost: vec![1.0; n],
+            comm,
+            state_bytes: state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_schema_and_determinism() {
+        let s = AirlineOnTimeStream::new(300.0, 21);
+        let a = s.tuples(2);
+        let b = s.tuples(2);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[5], b[5]);
+        let fields = a[0].value.as_list().unwrap();
+        assert_eq!(fields.len(), 6);
+        assert!(fields[0].as_str().unwrap().starts_with("plane-"));
+        assert!(fields[1].as_str().unwrap().starts_with("apt-"));
+    }
+
+    #[test]
+    fn job2_is_pure_one_to_one() {
+        let mut w = AirlineJobWorkload::job2(10_000.0, 100, 3);
+        assert_eq!(w.num_groups(), 200);
+        let snap = w.snapshot(Period(0));
+        // Every comm edge connects group i to group 100+i.
+        for &(from, to, _) in &snap.comm {
+            assert_eq!(to.raw(), from.raw() + 100);
+        }
+        // op1 and op2 rates match (op2 consumes op1's output).
+        let op1: f64 = snap.group_tuples[..100].iter().sum();
+        let op2: f64 = snap.group_tuples[100..200].iter().sum();
+        assert!((op1 - op2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn job3_adds_non_collocatable_flows() {
+        let mut w = AirlineJobWorkload::job3(10_000.0, 100, 3);
+        assert_eq!(w.num_groups(), 300);
+        let snap = w.snapshot(Period(0));
+        let to_op3 = snap.comm.iter().filter(|&&(_, to, _)| to.raw() >= 200).count();
+        assert!(to_op3 > 100, "route flows spread over many groups");
+        // Multiple distinct receivers per op1 group → not 1-1.
+        let receivers_of_0: std::collections::HashSet<u32> = snap
+            .comm
+            .iter()
+            .filter(|&&(from, to, _)| from.raw() == 0 && to.raw() >= 200)
+            .map(|&(_, to, _)| to.raw())
+            .collect();
+        assert!(receivers_of_0.len() > 1);
+    }
+
+    #[test]
+    fn downstream_groups_reflect_job_shape() {
+        let j2 = AirlineJobWorkload::job2(1000.0, 50, 1);
+        let dg2 = j2.downstream_groups();
+        assert_eq!(dg2[0], 50);
+        assert_eq!(dg2[50], 0);
+        let j3 = AirlineJobWorkload::job3(1000.0, 50, 1);
+        let dg3 = j3.downstream_groups();
+        assert_eq!(dg3[0], 100, "op1 feeds both op2 and op3 in Job 3");
+    }
+}

@@ -1,0 +1,31 @@
+//! Workload generators and the paper's jobs.
+//!
+//! The paper evaluates on three datasets (Parsed Wikipedia edit history,
+//! Airline On-Time, NOAA GSOD weather) that are not redistributable with
+//! this reproduction, plus fully synthetic scenarios. This crate provides:
+//!
+//! * [`synthetic`] — the §5.1/§5.3 synthetic cluster scenarios: even group
+//!   allocation, ±jitter, a `varies` shift on 20% of the nodes, and a
+//!   controllable share of 1-1 communicating group pairs (the "maximum
+//!   obtainable collocation" knob of Fig. 10).
+//! * [`wikipedia`] / [`airline`] / [`weather`] — seeded generators that
+//!   reproduce the *shape* of the original datasets (key skew, rate
+//!   fluctuation, schema), both as tuple streams for the threaded runtime
+//!   and as [`WorkloadModel`](albic_engine::sim::WorkloadModel)s for the
+//!   simulator. DESIGN.md §2 documents each substitution.
+//! * [`jobs`] — Real Jobs 1-4 as operator DAGs runnable on the threaded
+//!   runtime (GeoHash + TopK windows over Wikipedia edits; airline delay
+//!   extraction/aggregation; the weather rainscore join with courier
+//!   efficiency).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airline;
+pub mod jobs;
+pub mod rates;
+pub mod synthetic;
+pub mod weather;
+pub mod wikipedia;
+
+pub use synthetic::{SyntheticConfig, SyntheticWorkload};

@@ -1,0 +1,95 @@
+//! Shared rate-shape helpers: skewed key popularity and fluctuating
+//! arrival rates.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipf-like popularity weights over `n` items with exponent `s`,
+/// normalized to sum to 1.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// A deterministic fluctuating rate: diurnal sinusoid plus seeded bursts.
+///
+/// Mirrors the paper's description of the Wikipedia stream ("input rate is
+/// fluctuating in the order of hundreds of tuples per second", scaled).
+#[derive(Debug, Clone)]
+pub struct FluctuatingRate {
+    /// Long-term average rate (tuples per period).
+    pub base: f64,
+    /// Relative amplitude of the diurnal component (0-1).
+    pub diurnal: f64,
+    /// Periods per diurnal cycle.
+    pub cycle: f64,
+    /// Probability of a burst in any period.
+    pub burst_prob: f64,
+    /// Burst multiplier.
+    pub burst_mult: f64,
+    seed: u64,
+}
+
+impl FluctuatingRate {
+    /// A rate shape with sensible defaults around `base`.
+    pub fn new(base: f64, seed: u64) -> Self {
+        FluctuatingRate {
+            base,
+            diurnal: 0.3,
+            cycle: 24.0,
+            burst_prob: 0.08,
+            burst_mult: 1.8,
+            seed,
+        }
+    }
+
+    /// The rate for one period (deterministic per `(seed, period)`).
+    pub fn at(&self, period: u64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (period as f64) / self.cycle;
+        let mut rate = self.base * (1.0 + self.diurnal * phase.sin());
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ period.wrapping_mul(0x9E3779B97F4A7C15));
+        if rng.gen::<f64>() < self.burst_prob {
+            rate *= self.burst_mult;
+        }
+        // Small noise so no two periods are identical.
+        rate * (1.0 + 0.05 * (rng.gen::<f64>() - 0.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_normalized_and_decreasing() {
+        let w = zipf_weights(100, 1.1);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for i in 1..w.len() {
+            assert!(w[i] <= w[i - 1]);
+        }
+        assert!(w[0] > w[99] * 10.0, "meaningful skew");
+    }
+
+    #[test]
+    fn rate_is_deterministic_and_fluctuates() {
+        let r = FluctuatingRate::new(1000.0, 7);
+        let a: Vec<f64> = (0..50).map(|p| r.at(p)).collect();
+        let b: Vec<f64> = (0..50).map(|p| r.at(p)).collect();
+        assert_eq!(a, b);
+        let min = a.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = a.iter().copied().fold(0.0, f64::max);
+        assert!(max > min * 1.2, "rate must actually fluctuate");
+        assert!(min > 0.0);
+    }
+
+    #[test]
+    fn mean_rate_tracks_base() {
+        let r = FluctuatingRate::new(1000.0, 3);
+        let mean: f64 = (0..200).map(|p| r.at(p)).sum::<f64>() / 200.0;
+        assert!((mean - 1000.0).abs() < 220.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,344 @@
+//! The synthetic cluster scenarios of §5.1 and §5.3.
+//!
+//! Key groups are evenly allocated (same count per node); each group's
+//! load starts at the node mean adjusted by a jitter in `±jitter`; then
+//! 20% of the nodes are shifted — half gain `+varies/2` load, half lose
+//! `varies/2`. For the collocation experiments (§5.3, Figs 10-11) a
+//! configurable share of key-group pairs carries heavy 1-1 communication
+//! (the *maximum obtainable collocation*), and each period re-jitters 20%
+//! of the nodes by `±period_jitter`.
+
+use albic_engine::sim::{WorkloadModel, WorkloadSnapshot};
+use albic_engine::CostModel;
+use albic_types::{KeyGroupId, Period};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of nodes (groups are assigned round-robin: group `g` lives
+    /// on node `g % nodes`, matching
+    /// [`RoutingTable::round_robin`](albic_engine::RoutingTable)).
+    pub nodes: usize,
+    /// Total key groups (the paper uses 20·nodes).
+    pub groups: u32,
+    /// Number of operators the groups are divided over.
+    pub operators: u32,
+    /// Target mean node load in percentage points (e.g. 50).
+    pub mean_node_load: f64,
+    /// The `varies` shift (0-100): 20% of nodes move ±varies/2.
+    pub varies: f64,
+    /// Initial per-group jitter fraction (±0.05 in §5.1).
+    pub jitter: f64,
+    /// Per-period node re-jitter fraction (±0.02 in §5.3; 0 = static).
+    pub period_jitter: f64,
+    /// Share (0-100) of upstream groups with heavy 1-1 downstream flows —
+    /// the maximum obtainable collocation of Fig. 10.
+    pub one_to_one_pct: f64,
+    /// Fraction of a group's tuple rate that flows downstream on its
+    /// heavy 1-1 edge.
+    pub comm_fraction: f64,
+    /// State bytes per key group (drives migration costs).
+    pub state_bytes: f64,
+    /// Number of nodes pinned at `hot_load` (the `1OL`/`5OL` overload
+    /// scenarios of Fig. 5). Hot nodes are the first ones not shifted by
+    /// `varies`.
+    pub hot_nodes: usize,
+    /// Load level of hot nodes (percentage points, default 100).
+    pub hot_load: f64,
+    /// Emit light evenly-spread background communication from groups that
+    /// have no heavy 1-1 pair (makes the collocation factor cap at
+    /// `one_to_one_pct`, as in Fig. 10).
+    pub background_comm: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            nodes: 20,
+            groups: 400,
+            operators: 10,
+            mean_node_load: 50.0,
+            varies: 0.0,
+            jitter: 0.05,
+            period_jitter: 0.0,
+            one_to_one_pct: 0.0,
+            comm_fraction: 0.6,
+            state_bytes: 8192.0,
+            hot_nodes: 0,
+            hot_load: 100.0,
+            background_comm: false,
+            seed: 0x5E17,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// The paper's three cluster configurations (Figs 2-4, 11):
+    /// `(20, 400, 10)`, `(40, 800, 20)`, `(60, 1200, 30)`.
+    pub fn cluster(nodes: usize) -> Self {
+        SyntheticConfig {
+            nodes,
+            groups: (nodes * 20) as u32,
+            operators: (nodes / 2) as u32,
+            ..Default::default()
+        }
+    }
+}
+
+/// The synthetic workload model.
+pub struct SyntheticWorkload {
+    cfg: SyntheticConfig,
+    /// Baseline tuple rate per group (before period jitter).
+    base_tuples: Vec<f64>,
+    /// Current tuple rate per group.
+    tuples: Vec<f64>,
+    /// Heavy 1-1 pairs `(upstream, downstream)`.
+    pairs: Vec<(u32, u32)>,
+    rng: SmallRng,
+}
+
+impl SyntheticWorkload {
+    /// Build the scenario (deterministic in the config's seed).
+    pub fn new(cfg: SyntheticConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let g = cfg.groups as usize;
+        let groups_per_node = g / cfg.nodes.max(1);
+        let cost = CostModel::default();
+        // Tuples that produce `mean_node_load / groups_per_node` points of
+        // CPU load per group.
+        let per_group_load = cfg.mean_node_load / groups_per_node.max(1) as f64;
+        let base_tuple = per_group_load / 100.0 * cost.cpu_capacity;
+
+        let mut base_tuples: Vec<f64> = (0..g)
+            .map(|_| base_tuple * (1.0 + cfg.jitter * (rng.gen::<f64>() * 2.0 - 1.0)))
+            .collect();
+
+        // The `varies` shift: 20% of nodes, half up, half down. Per the
+        // paper, the change is applied to "a randomly selected set of key
+        // groups on a node" — concentrating it on a subset (with uneven
+        // shares) rather than spreading it evenly, which is exactly what
+        // makes Flux's biggest-partition heuristic waste migrations.
+        let mut nodes: Vec<usize> = (0..cfg.nodes).collect();
+        nodes.shuffle(&mut rng);
+        let affected = (cfg.nodes / 5).max(if cfg.varies > 0.0 { 2 } else { 0 });
+        let shift_load = cfg.varies / 2.0;
+        for (rank, &node) in nodes.iter().take(affected).enumerate() {
+            let sign = if rank % 2 == 0 { 1.0 } else { -1.0 };
+            let mut node_groups: Vec<usize> =
+                (0..g).filter(|&grp| grp % cfg.nodes == node).collect();
+            node_groups.shuffle(&mut rng);
+            let subset = (node_groups.len() / 2).max(1);
+            // Random positive shares summing to the node-level shift.
+            let mut shares: Vec<f64> = (0..subset).map(|_| rng.gen::<f64>() + 0.1).collect();
+            let share_sum: f64 = shares.iter().sum();
+            for s in &mut shares {
+                *s *= shift_load / share_sum;
+            }
+            for (grp, share) in node_groups.into_iter().zip(shares) {
+                let delta = sign * share / 100.0 * cost.cpu_capacity;
+                base_tuples[grp] = (base_tuples[grp] + delta).max(0.0);
+            }
+        }
+
+        // Overloaded nodes (Fig. 5 scenarios): scale their groups so the
+        // node sits at `hot_load`.
+        if cfg.hot_nodes > 0 {
+            let hot: Vec<usize> = (0..cfg.nodes)
+                .filter(|n| !nodes[..affected].contains(n))
+                .take(cfg.hot_nodes)
+                .collect();
+            let target_tuples = cfg.hot_load / 100.0 * cost.cpu_capacity;
+            for &node in &hot {
+                let node_groups: Vec<usize> =
+                    (0..g).filter(|&grp| grp % cfg.nodes == node).collect();
+                let current: f64 = node_groups.iter().map(|&grp| base_tuples[grp]).sum();
+                if current > 0.0 {
+                    let f = target_tuples / current;
+                    for grp in node_groups {
+                        base_tuples[grp] *= f;
+                    }
+                }
+            }
+        }
+
+        // Heavy 1-1 pairs between consecutive operators: the first
+        // `one_to_one_pct`% of each upstream operator's groups talk to the
+        // same-index group of the next operator.
+        let per_op = (g as u32 / cfg.operators.max(1)).max(1);
+        let mut pairs = Vec::new();
+        if cfg.one_to_one_pct > 0.0 && cfg.operators >= 2 {
+            for op in 0..cfg.operators - 1 {
+                let base_up = op * per_op;
+                let base_down = (op + 1) * per_op;
+                let n_pairs =
+                    ((per_op as f64) * cfg.one_to_one_pct / 100.0).round() as u32;
+                for i in 0..n_pairs.min(per_op) {
+                    if base_down + i < cfg.groups {
+                        pairs.push((base_up + i, base_down + i));
+                    }
+                }
+            }
+        }
+
+        let tuples = base_tuples.clone();
+        SyntheticWorkload { cfg, base_tuples, tuples, pairs, rng }
+    }
+
+    /// The heavy 1-1 pairs of this scenario.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Per-group downstream key-group counts for ALBIC's `avg(g_i)`:
+    /// groups of non-final operators have the next operator's group count.
+    pub fn downstream_groups(&self) -> Vec<u32> {
+        let g = self.cfg.groups;
+        let per_op = (g / self.cfg.operators.max(1)).max(1);
+        (0..g)
+            .map(|grp| {
+                let op = grp / per_op;
+                if op + 1 < self.cfg.operators {
+                    per_op
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+}
+
+impl WorkloadModel for SyntheticWorkload {
+    fn num_groups(&self) -> u32 {
+        self.cfg.groups
+    }
+
+    fn snapshot(&mut self, _period: Period) -> WorkloadSnapshot {
+        // §5.3 dynamics: each period, 20% of nodes re-jitter.
+        if self.cfg.period_jitter > 0.0 {
+            let affected = (self.cfg.nodes / 5).max(1);
+            let mut nodes: Vec<usize> = (0..self.cfg.nodes).collect();
+            nodes.shuffle(&mut self.rng);
+            for &node in nodes.iter().take(affected) {
+                let f = 1.0 + self.cfg.period_jitter * (self.rng.gen::<f64>() * 2.0 - 1.0);
+                for grp in 0..self.cfg.groups as usize {
+                    if grp % self.cfg.nodes == node {
+                        self.tuples[grp] = (self.base_tuples[grp] * f).max(0.0);
+                    }
+                }
+            }
+        }
+
+        let g = self.cfg.groups as usize;
+        let mut comm = Vec::with_capacity(self.pairs.len());
+        let mut paired = vec![false; g];
+        for &(up, down) in &self.pairs {
+            let rate = self.tuples[up as usize] * self.cfg.comm_fraction;
+            comm.push((KeyGroupId::new(up), KeyGroupId::new(down), rate));
+            paired[up as usize] = true;
+        }
+        // Background traffic: unpaired upstream groups spread their output
+        // evenly over *all* of the next operator's groups (the Full
+        // Partitioning pattern with an even distribution — per §4.3.1
+        // there is no collocation opportunity in such flows, which is what
+        // caps the obtainable collocation at `one_to_one_pct`).
+        if self.cfg.background_comm && self.cfg.operators >= 2 {
+            let per_op = (g as u32 / self.cfg.operators.max(1)).max(1);
+            for up in 0..g {
+                let op = up as u32 / per_op;
+                if op + 1 >= self.cfg.operators || paired[up] {
+                    continue;
+                }
+                let rate = self.tuples[up] * self.cfg.comm_fraction;
+                let share = rate / per_op as f64;
+                for f in 0..per_op {
+                    let down = (op + 1) * per_op + f;
+                    if (down as usize) < g {
+                        comm.push((KeyGroupId::new(up as u32), KeyGroupId::new(down), share));
+                    }
+                }
+            }
+        }
+        WorkloadSnapshot {
+            group_tuples: self.tuples.clone(),
+            group_cost: vec![1.0; g],
+            comm,
+            state_bytes: vec![self.cfg.state_bytes; g],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use albic_engine::sim::SimEngine;
+    use albic_engine::Cluster;
+
+    #[test]
+    fn baseline_scenario_is_nearly_balanced() {
+        let cfg = SyntheticConfig { varies: 0.0, ..SyntheticConfig::cluster(20) };
+        let w = SyntheticWorkload::new(cfg);
+        let mut sim = SimEngine::with_round_robin(
+            w,
+            Cluster::homogeneous(20),
+            CostModel::default(),
+        );
+        let stats = sim.tick();
+        let d = stats.load_distance(sim.cluster());
+        assert!(d < 5.0, "jitter-only distance should be small, got {d}");
+        let mean = stats.mean_load(sim.cluster());
+        assert!((mean - 50.0).abs() < 6.0, "mean {mean}");
+    }
+
+    #[test]
+    fn varies_shifts_twenty_percent_of_nodes() {
+        let cfg = SyntheticConfig { varies: 40.0, ..SyntheticConfig::cluster(20) };
+        let w = SyntheticWorkload::new(cfg);
+        let mut sim = SimEngine::with_round_robin(
+            w,
+            Cluster::homogeneous(20),
+            CostModel::default(),
+        );
+        let stats = sim.tick();
+        let d = stats.load_distance(sim.cluster());
+        assert!(d > 12.0, "varies=40 must create ~20-point deviations, got {d}");
+    }
+
+    #[test]
+    fn one_to_one_pairs_created_per_percentage() {
+        let cfg = SyntheticConfig {
+            one_to_one_pct: 50.0,
+            ..SyntheticConfig::cluster(20)
+        };
+        let w = SyntheticWorkload::new(cfg);
+        // 10 operators × 40 groups each; 9 upstream ops × 20 pairs (50%).
+        assert_eq!(w.pairs().len(), 9 * 20);
+        let dg = w.downstream_groups();
+        assert_eq!(dg[0], 40);
+        assert_eq!(dg[399], 0, "last operator has no downstream");
+    }
+
+    #[test]
+    fn period_jitter_changes_loads_over_time() {
+        let cfg = SyntheticConfig {
+            period_jitter: 0.02,
+            ..SyntheticConfig::cluster(20)
+        };
+        let mut w = SyntheticWorkload::new(cfg);
+        let a = w.snapshot(Period(0)).group_tuples;
+        let b = w.snapshot(Period(1)).group_tuples;
+        assert_ne!(a, b, "loads must fluctuate period to period");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SyntheticConfig { varies: 30.0, ..SyntheticConfig::cluster(20) };
+        let mut a = SyntheticWorkload::new(cfg.clone());
+        let mut b = SyntheticWorkload::new(cfg);
+        assert_eq!(a.snapshot(Period(0)).group_tuples, b.snapshot(Period(0)).group_tuples);
+    }
+}

@@ -1,0 +1,259 @@
+//! Simulated NOAA GSOD weather data and the Real Job 4 workload shape.
+//!
+//! Job 4 extends Job 3 with: a WeatherInput source (keyed by station), a
+//! rainscore computation (0-100, percentage of precipitation against the
+//! historical maximum), a join of each route with its rainscore, a
+//! courier-efficiency aggregation over rainscore buckets of ten, and store
+//! operators that periodically write results out.
+
+use albic_engine::sim::{WorkloadModel, WorkloadSnapshot};
+use albic_engine::tuple::{Tuple, Value};
+use albic_types::{KeyGroupId, Period};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::airline::AirlineJobWorkload;
+
+/// Seeded generator of GSOD-like daily weather records.
+#[derive(Debug, Clone)]
+pub struct GsodWeatherStream {
+    /// Number of weather stations.
+    pub stations: usize,
+    seed: u64,
+}
+
+impl GsodWeatherStream {
+    /// A stream over `stations` stations.
+    pub fn new(stations: usize, seed: u64) -> Self {
+        GsodWeatherStream { stations, seed }
+    }
+
+    /// One period of station records, keyed by station id.
+    ///
+    /// Value layout: `[station, mean_temp_c, precipitation_mm,
+    /// visibility_km]` — the attributes Job 4 consumes.
+    pub fn tuples(&self, period: u64) -> Vec<Tuple> {
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ period.wrapping_mul(0x2545F4914F6CDD1D));
+        // Seasonal precipitation pattern.
+        let season = (2.0 * std::f64::consts::PI * period as f64 / 52.0).sin();
+        (0..self.stations)
+            .map(|s| {
+                let temp = 10.0 + 12.0 * season + rng.gen_range(-4.0..4.0);
+                let wet = rng.gen_bool((0.3 + 0.2 * season).clamp(0.05, 0.9));
+                let precip = if wet { rng.gen_range(0.5..60.0) } else { 0.0 };
+                let vis = if wet { rng.gen_range(1.0..10.0) } else { rng.gen_range(8.0..40.0) };
+                Tuple::keyed(
+                    &format!("station-{s}"),
+                    Value::List(vec![
+                        Value::Str(format!("station-{s}")),
+                        Value::Float(temp),
+                        Value::Float(precip),
+                        Value::Float(vis),
+                    ]),
+                    period * 1_000_000 + s as u64,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Real Job 4 as a simulator workload: Job 3's three operators plus
+/// WeatherInput → RainScore → Join(route ⨝ rainscore) → CourierEfficiency
+/// → Store.
+///
+/// Flow patterns: RainScore→Join is keyed by route on both sides (1-1,
+/// collocatable); Join→Efficiency collapses into ten rainscore buckets
+/// (partial merge); Efficiency→Store is a small merge. The mix yields the
+/// intermediate (~60%) achievable collocation the paper reports.
+pub struct WeatherJob4Workload {
+    airline: AirlineJobWorkload,
+    /// Key groups per operator.
+    pub groups_per_op: u32,
+    /// Weather records per period.
+    pub weather_rate: f64,
+    seed: u64,
+}
+
+impl WeatherJob4Workload {
+    /// Real Job 4.
+    pub fn new(flight_rate: f64, groups_per_op: u32, seed: u64) -> Self {
+        WeatherJob4Workload {
+            airline: AirlineJobWorkload::job3(flight_rate, groups_per_op, seed),
+            groups_per_op,
+            weather_rate: 2000.0,
+            seed,
+        }
+    }
+
+    /// Operator layout: 0 ExtractDelays, 1 SumDelays, 2 RouteDelay,
+    /// 3 WeatherInput, 4 RainScore, 5 JoinEfficiency, 6 Store.
+    pub const NUM_OPERATORS: u32 = 7;
+
+    /// Downstream key-group counts for ALBIC.
+    pub fn downstream_groups(&self) -> Vec<u32> {
+        let g = self.groups_per_op;
+        let mut dg = Vec::new();
+        dg.extend(vec![2 * g; g as usize]); // op0 → op1, op2
+        dg.extend(vec![0u32; g as usize]); // op1 sink
+        dg.extend(vec![g; g as usize]); // op2 → op5 (join)
+        dg.extend(vec![g; g as usize]); // op3 → op4
+        dg.extend(vec![g; g as usize]); // op4 → op5
+        dg.extend(vec![g; g as usize]); // op5 → op6
+        dg.extend(vec![0u32; g as usize]); // op6 sink
+        dg
+    }
+}
+
+impl WorkloadModel for WeatherJob4Workload {
+    fn num_groups(&self) -> u32 {
+        self.groups_per_op * Self::NUM_OPERATORS
+    }
+
+    fn snapshot(&mut self, period: Period) -> WorkloadSnapshot {
+        let g = self.groups_per_op as usize;
+        // Operators 0-2 come from the Job 3 shape.
+        let base = self.airline.snapshot(period);
+        let mut tuples = base.group_tuples.clone();
+        let mut comm = base.comm.clone();
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed ^ period.index().wrapping_mul(0x9E3779B97F4A7C15),
+        );
+
+        // Op3 WeatherInput: station-keyed, roughly even.
+        let op3_base = 3 * g;
+        let weather_per_group = self.weather_rate / g as f64;
+        tuples.extend((0..g).map(|_| weather_per_group * rng.gen_range(0.8..1.2)));
+        // Op4 RainScore: keyed by route (stations map onto routes) —
+        // partial partitioning, fanout 4.
+        let op4_base = 4 * g;
+        let mut op4 = vec![0.0f64; g];
+        for i in 0..g {
+            let rate = tuples[op3_base + i];
+            let fanout = 4.min(g);
+            for f in 0..fanout {
+                let j = (i * 5 + f * 23) % g;
+                op4[j] += rate / fanout as f64;
+                comm.push((
+                    KeyGroupId::new((op3_base + i) as u32),
+                    KeyGroupId::new((op4_base + j) as u32),
+                    rate / fanout as f64,
+                ));
+            }
+        }
+        tuples.extend(op4.clone());
+
+        // Op5 Join: route-keyed on both inputs — RouteDelay (op2) group i
+        // joins rainscore (op4) group i: two 1-1 collocatable flows.
+        let op2_base = 2 * g;
+        let op5_base = 5 * g;
+        let mut op5 = vec![0.0f64; g];
+        for i in 0..g {
+            let from_routes = tuples[op2_base + i];
+            let from_scores = op4[i];
+            op5[i] = from_routes + from_scores;
+            if from_routes > 0.0 {
+                comm.push((
+                    KeyGroupId::new((op2_base + i) as u32),
+                    KeyGroupId::new((op5_base + i) as u32),
+                    from_routes,
+                ));
+            }
+            if from_scores > 0.0 {
+                comm.push((
+                    KeyGroupId::new((op4_base + i) as u32),
+                    KeyGroupId::new((op5_base + i) as u32),
+                    from_scores,
+                ));
+            }
+        }
+        tuples.extend(op5.clone());
+
+        // Op6 Store: ten rainscore buckets (partial merge).
+        let op6_base = 6 * g;
+        let buckets = 10.min(g);
+        let mut op6 = vec![0.0f64; g];
+        for i in 0..g {
+            let b = i % buckets;
+            op6[b] += op5[i] * 0.1; // aggregated summaries
+            comm.push((
+                KeyGroupId::new((op5_base + i) as u32),
+                KeyGroupId::new((op6_base + b) as u32),
+                op5[i] * 0.1,
+            ));
+        }
+        tuples.extend(op6);
+
+        let n = tuples.len();
+        let mut state = base.state_bytes.clone();
+        state.extend(vec![512.0; g]); // weather input
+        state.extend(vec![6144.0; g]); // rainscore history
+        state.extend(vec![12288.0; g]); // join state
+        state.extend(vec![2048.0; g]); // store buffers
+
+        WorkloadSnapshot { group_tuples: tuples, group_cost: vec![1.0; n], comm, state_bytes: state }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weather_stream_is_deterministic_with_schema() {
+        let s = GsodWeatherStream::new(50, 9);
+        let a = s.tuples(4);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a, s.tuples(4));
+        let fields = a[0].value.as_list().unwrap();
+        assert_eq!(fields.len(), 4);
+        let precip = fields[2].as_float().unwrap();
+        assert!(precip >= 0.0);
+    }
+
+    #[test]
+    fn job4_has_seven_operators_of_groups() {
+        let mut w = WeatherJob4Workload::new(10_000.0, 50, 2);
+        assert_eq!(w.num_groups(), 350);
+        let snap = w.snapshot(Period(0));
+        assert_eq!(snap.group_tuples.len(), 350);
+        assert_eq!(snap.state_bytes.len(), 350);
+        // Join groups receive both route and rainscore flows.
+        let join_in: f64 = snap
+            .comm
+            .iter()
+            .filter(|&&(_, to, _)| (250..300).contains(&to.raw()))
+            .map(|&(_, _, r)| r)
+            .sum();
+        assert!(join_in > 0.0);
+    }
+
+    #[test]
+    fn join_flows_are_one_to_one_by_route() {
+        let mut w = WeatherJob4Workload::new(10_000.0, 40, 2);
+        let snap = w.snapshot(Period(0));
+        let (op2b, op4b, op5b) = (80u32, 160u32, 200u32);
+        for &(from, to, _) in &snap.comm {
+            if (op5b..op5b + 40).contains(&to.raw()) {
+                let lane = to.raw() - op5b;
+                if (op2b..op2b + 40).contains(&from.raw()) {
+                    assert_eq!(from.raw() - op2b, lane, "route-delay join lane mismatch");
+                }
+                if (op4b..op4b + 40).contains(&from.raw()) {
+                    assert_eq!(from.raw() - op4b, lane, "rainscore join lane mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downstream_groups_match_topology() {
+        let w = WeatherJob4Workload::new(1000.0, 10, 1);
+        let dg = w.downstream_groups();
+        assert_eq!(dg.len(), 70);
+        assert_eq!(dg[0], 20); // op0 feeds two operators
+        assert_eq!(dg[10], 0); // op1 is a sink
+        assert_eq!(dg[25], 10); // op2 feeds the join
+        assert_eq!(dg[65], 0); // store is a sink
+    }
+}

@@ -1,0 +1,246 @@
+//! Simulated Parsed-Wikipedia-edit-history stream and the Real Job 1
+//! workload shape.
+//!
+//! The original dataset (116.6M article revisions, ≥14 attributes,
+//! fluctuating input rate) is not redistributable; this generator
+//! reproduces what the paper's job actually consumes: revisions keyed by
+//! article with Zipf popularity, editor ids, revision sizes and a
+//! fluctuating arrival rate.
+
+use albic_engine::sim::{WorkloadModel, WorkloadSnapshot};
+use albic_engine::tuple::{Tuple, Value};
+use albic_types::{KeyGroupId, Period};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rates::{zipf_weights, FluctuatingRate};
+
+/// Seeded generator of Wikipedia-like edit tuples.
+#[derive(Debug, Clone)]
+pub struct WikipediaEditStream {
+    /// Distinct articles in the universe.
+    pub articles: usize,
+    /// Zipf exponent of article popularity.
+    pub skew: f64,
+    rate: FluctuatingRate,
+    weights: Vec<f64>,
+    seed: u64,
+}
+
+impl WikipediaEditStream {
+    /// A stream averaging `rate` edits per period.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        let articles = 2000;
+        WikipediaEditStream {
+            articles,
+            skew: 1.05,
+            rate: FluctuatingRate::new(rate, seed),
+            weights: zipf_weights(articles, 1.05),
+            seed,
+        }
+    }
+
+    /// Edits per period at `period`.
+    pub fn rate_at(&self, period: u64) -> f64 {
+        self.rate.at(period)
+    }
+
+    /// Generate the tuples of one period (for the threaded runtime).
+    ///
+    /// Value layout: `[article, editor, bytes_changed, is_revert]`.
+    pub fn tuples(&self, period: u64) -> Vec<Tuple> {
+        let n = self.rate_at(period).round() as usize;
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ period.wrapping_mul(0xD1B54A32D192ED03));
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let article = self.sample_article(&mut rng);
+            let editor = rng.gen_range(0..5000u64);
+            let bytes = rng.gen_range(1..4000i64);
+            let revert = rng.gen_bool(0.06);
+            out.push(Tuple::keyed(
+                &format!("article-{article}"),
+                Value::List(vec![
+                    Value::Str(format!("article-{article}")),
+                    Value::Int(editor as i64),
+                    Value::Int(bytes),
+                    Value::Int(revert as i64),
+                ]),
+                period * 1_000_000 + i as u64,
+            ));
+        }
+        out
+    }
+
+    fn sample_article(&self, rng: &mut SmallRng) -> usize {
+        // Inverse-CDF sampling over the Zipf weights.
+        let mut x = rng.gen::<f64>();
+        for (i, &w) in self.weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        self.articles - 1
+    }
+}
+
+/// Real Job 1 as a simulator workload (§5.2): three operators of 100 key
+/// groups each — GeoHash (keyed by article), windowed TopK (keyed by
+/// geohash, evenly distributed over Denmark), global TopK (merge).
+///
+/// All partitioning functions are mutually independent, producing *Full
+/// Partitioning* patterns with even distributions — which is why the paper
+/// finds almost no collocation opportunity here (≤5%).
+pub struct WikiJob1Workload {
+    stream: WikipediaEditStream,
+    /// Key groups per operator.
+    pub groups_per_op: u32,
+    seed: u64,
+}
+
+impl WikiJob1Workload {
+    /// Job 1 over a stream of `rate` edits per period.
+    pub fn new(rate: f64, groups_per_op: u32, seed: u64) -> Self {
+        WikiJob1Workload { stream: WikipediaEditStream::new(rate, seed), groups_per_op, seed }
+    }
+
+    /// Downstream key-group counts for ALBIC.
+    pub fn downstream_groups(&self) -> Vec<u32> {
+        let g = self.groups_per_op;
+        let mut dg = vec![g; g as usize]; // geohash → topk
+        dg.extend(vec![g; g as usize]); // topk → global
+        dg.extend(vec![0u32; g as usize]); // global: sink
+        dg
+    }
+}
+
+impl WorkloadModel for WikiJob1Workload {
+    fn num_groups(&self) -> u32 {
+        self.groups_per_op * 3
+    }
+
+    fn snapshot(&mut self, period: Period) -> WorkloadSnapshot {
+        let g = self.groups_per_op as usize;
+        let rate = self.stream.rate_at(period.index());
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed ^ period.index().wrapping_mul(0xA24BAED4963EE407),
+        );
+
+        // Operator 1 (GeoHash): article-keyed, Zipf skew over groups, with
+        // per-period popularity drift (articles trend and fade) so the
+        // relative load distribution keeps shifting — this is what forces
+        // continuous rebalancing (and what the unrestricted balancer of
+        // Fig. 8/9 burns its unbounded migrations on).
+        let base_w = zipf_weights(g, 0.6);
+        let mut w: Vec<f64> = base_w
+            .iter()
+            .map(|&x| x * (1.0 + 0.12 * (rng.gen::<f64>() * 2.0 - 1.0)))
+            .collect();
+        let w_sum: f64 = w.iter().sum();
+        for x in &mut w {
+            *x /= w_sum;
+        }
+        let mut tuples: Vec<f64> = w.iter().map(|&x| x * rate).collect();
+        // Operator 2 (TopK window): geohash-keyed, near-even distribution
+        // (the paper assumes uniform GeoHash coverage of Denmark), with
+        // mild per-period variation in window volume.
+        let op2_rate = rate / g as f64;
+        tuples.extend(
+            (0..g).map(|_| op2_rate * (1.0 + 0.05 * (rng.gen::<f64>() * 2.0 - 1.0))),
+        );
+        // Operator 3 (global TopK): one tuple per op2 group per window.
+        let topk_rate = g as f64 / 2.0; // window summaries
+        let mut op3 = vec![0.0; g];
+        op3[0] = topk_rate; // single global key
+        tuples.extend(op3);
+
+        // Communication: op1 → op2 full partitioning (even), op2 → op3
+        // merge into one group.
+        let mut comm = Vec::new();
+        for i in 0..g {
+            let out_rate = w[i] * rate;
+            // Sample a handful of heaviest edges instead of all g²; the
+            // even spread means no edge is significant anyway, but the
+            // rates must sum correctly for the load model.
+            let fanout = 8.min(g);
+            for f in 0..fanout {
+                let j = (i * 7 + f * 13 + rng.gen_range(0..g)) % g;
+                comm.push((
+                    KeyGroupId::new(i as u32),
+                    KeyGroupId::new((g + j) as u32),
+                    out_rate / fanout as f64,
+                ));
+            }
+        }
+        for i in 0..g {
+            comm.push((
+                KeyGroupId::new((g + i) as u32),
+                KeyGroupId::new(2 * g as u32),
+                0.5,
+            ));
+        }
+
+        // Window state grows with traffic.
+        let mut state = vec![2048.0; g];
+        state.extend((0..g).map(|_| 16384.0));
+        state.extend(vec![4096.0; g]);
+
+        WorkloadSnapshot {
+            group_tuples: tuples,
+            group_cost: vec![1.0; 3 * g],
+            comm,
+            state_bytes: state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_skewed() {
+        let s = WikipediaEditStream::new(500.0, 11);
+        let a = s.tuples(3);
+        let b = s.tuples(3);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0], b[0]);
+        assert!(!a.is_empty());
+        // Popular articles dominate: count distinct keys << tuples.
+        let distinct: std::collections::HashSet<u64> = a.iter().map(|t| t.key).collect();
+        assert!(distinct.len() < a.len());
+    }
+
+    #[test]
+    fn tuples_have_revision_schema() {
+        let s = WikipediaEditStream::new(100.0, 1);
+        let t = &s.tuples(0)[0];
+        let fields = t.value.as_list().expect("list value");
+        assert_eq!(fields.len(), 4);
+        assert!(fields[0].as_str().unwrap().starts_with("article-"));
+    }
+
+    #[test]
+    fn job1_snapshot_covers_all_operators() {
+        let mut w = WikiJob1Workload::new(10_000.0, 100, 5);
+        assert_eq!(w.num_groups(), 300);
+        let snap = w.snapshot(Period(0));
+        assert_eq!(snap.group_tuples.len(), 300);
+        let op1: f64 = snap.group_tuples[..100].iter().sum();
+        let op2: f64 = snap.group_tuples[100..200].iter().sum();
+        assert!((op1 - op2).abs() / op1 < 0.01, "op2 receives op1's output");
+        assert!(!snap.comm.is_empty());
+        // Global TopK group receives the merge.
+        assert!(snap.group_tuples[200] > 0.0);
+        assert_eq!(snap.group_tuples[201], 0.0);
+    }
+
+    #[test]
+    fn job1_rate_fluctuates_across_periods() {
+        let mut w = WikiJob1Workload::new(10_000.0, 50, 5);
+        let a: f64 = w.snapshot(Period(1)).group_tuples.iter().sum();
+        let b: f64 = w.snapshot(Period(7)).group_tuples.iter().sum();
+        assert!((a - b).abs() > 1.0, "fluctuation expected");
+    }
+}

@@ -1,0 +1,90 @@
+//! Real Job 2 at paper scale on the simulator: ALBIC gradually collocates
+//! the airplane-keyed pipeline, cutting cross-node traffic and the system
+//! load index, while COLA gets there instantly at massive migration cost.
+//!
+//! ```sh
+//! cargo run --release --example airline_delay
+//! ```
+
+use albic::core::albic::{Albic, AlbicConfig};
+use albic::core::baselines::Cola;
+use albic::core::framework::AdaptationFramework;
+use albic::core::metrics;
+use albic::engine::reconfig::{ClusterView, ReconfigPolicy};
+use albic::engine::{Cluster, CostModel, RoutingTable, SimEngine};
+use albic::milp::MigrationBudget;
+use albic::workloads::airline::AirlineJobWorkload;
+
+fn run(use_albic: bool) -> Vec<albic::engine::sim::PeriodRecord> {
+    let groups_per_op = 50u32;
+    let workers = 10usize;
+    let workload = AirlineJobWorkload::job2(35_000.0, groups_per_op, 7);
+    let downstream = workload.downstream_groups();
+
+    // Worst-case initial allocation: no communicating pair collocated.
+    let cluster = Cluster::homogeneous(workers);
+    let ids: Vec<_> = cluster.nodes().iter().map(|n| n.id).collect();
+    let total = groups_per_op * 2;
+    let routing = RoutingTable::from_assignment(
+        (0..total)
+            .map(|g| {
+                let op = g / groups_per_op;
+                ids[((g % groups_per_op) + op) as usize % workers]
+            })
+            .collect(),
+    );
+    let mut engine = SimEngine::new(workload, cluster, routing, CostModel::default());
+
+    let mut albic_policy;
+    let mut cola_policy;
+    let policy: &mut dyn ReconfigPolicy = if use_albic {
+        albic_policy = AdaptationFramework::balancing_only(Albic::new(
+            AlbicConfig { budget: MigrationBudget::Count(10), ..Default::default() },
+            downstream,
+        ));
+        &mut albic_policy
+    } else {
+        cola_policy = AdaptationFramework::balancing_only(Cola::default());
+        &mut cola_policy
+    };
+
+    for _ in 0..60 {
+        let stats = engine.tick();
+        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let plan = policy.plan(&stats, view);
+        engine.apply(&plan);
+    }
+    engine.history().to_vec()
+}
+
+fn main() {
+    println!("Real Job 2: sum flight delays per airplane (perfectly collocatable)\n");
+    let albic_hist = run(true);
+    let cola_hist = run(false);
+    let albic_index = metrics::load_index_series(&albic_hist, 2);
+    let cola_index = metrics::load_index_series(&cola_hist, 2);
+
+    println!("period | ALBIC: colloc%  loadidx  #migr | COLA: colloc%  loadidx  #migr");
+    for p in (0..albic_hist.len()).step_by(10) {
+        println!(
+            "{:>6} |        {:>6.1}  {:>7.1}  {:>5} |       {:>6.1}  {:>7.1}  {:>5}",
+            p,
+            albic_hist[p].collocation_factor,
+            albic_index[p],
+            albic_hist[p].migrations,
+            cola_hist[p].collocation_factor,
+            cola_index[p],
+            cola_hist[p].migrations,
+        );
+    }
+    let last = albic_hist.len() - 1;
+    println!(
+        "\nALBIC reached {:.0}% collocation and cut the load index to {:.0}% \
+         while migrating ~{} groups/period; COLA was instant but moved {} \
+         groups in its first period.",
+        albic_hist[last].collocation_factor,
+        albic_index[last],
+        albic_hist[last].migrations,
+        cola_hist[0].migrations,
+    );
+}

@@ -1,0 +1,73 @@
+//! Integrative horizontal scaling (Algorithm 1): a load ramp forces
+//! scale-out, the subsequent lull triggers scale-in, and the framework
+//! vetoes scaling whenever plain rebalancing suffices.
+//!
+//! ```sh
+//! cargo run --release --example elastic_scaling
+//! ```
+
+use albic::core::framework::AdaptationFramework;
+use albic::core::scaling::ThresholdScaling;
+use albic::core::MilpBalancer;
+use albic::engine::reconfig::{ClusterView, ReconfigPolicy};
+use albic::engine::sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
+use albic::engine::{Cluster, CostModel};
+use albic::milp::MigrationBudget;
+use albic::types::Period;
+
+/// A workload whose volume ramps up 3x, plateaus, then falls back.
+struct RampWorkload {
+    groups: u32,
+}
+
+impl WorkloadModel for RampWorkload {
+    fn num_groups(&self) -> u32 {
+        self.groups
+    }
+    fn snapshot(&mut self, period: Period) -> WorkloadSnapshot {
+        let p = period.index() as f64;
+        let mult = if p < 10.0 {
+            1.0 + 0.2 * p // ramp to 3x
+        } else if p < 20.0 {
+            3.0
+        } else {
+            (3.0 - 0.25 * (p - 20.0)).max(1.0)
+        };
+        let per_group = 80_000.0 / self.groups as f64 * mult / 4.0;
+        WorkloadSnapshot {
+            group_tuples: vec![per_group; self.groups as usize],
+            group_cost: vec![1.0; self.groups as usize],
+            comm: vec![],
+            state_bytes: vec![4096.0; self.groups as usize],
+        }
+    }
+}
+
+fn main() {
+    let mut engine = SimEngine::with_round_robin(
+        RampWorkload { groups: 64 },
+        Cluster::homogeneous(4),
+        CostModel::default(),
+    );
+    let mut policy = AdaptationFramework::with_scaling(
+        MilpBalancer::new(MigrationBudget::Count(24)),
+        ThresholdScaling::new(35.0, 80.0, 60.0),
+    );
+
+    println!("period | nodes (marked) | mean load | distance | migrations");
+    for p in 0..36 {
+        engine.terminate_drained();
+        let stats = engine.tick();
+        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let plan = policy.plan(&stats, view);
+        engine.apply(&plan);
+        let rec = engine.history().last().unwrap();
+        println!(
+            "{:>6} | {:>5} ({:>2})    | {:>8.1}% | {:>7.2}% | {:>4}",
+            p, rec.num_nodes, rec.marked_nodes, rec.mean_load, rec.load_distance, rec.migrations,
+        );
+    }
+    let peak = engine.history().iter().map(|r| r.num_nodes).max().unwrap();
+    let end = engine.history().last().unwrap().num_nodes;
+    println!("\nscaled out to {peak} nodes at peak, back down to {end} after the lull");
+}

@@ -1,0 +1,73 @@
+//! Real Job 1: GeoHash + windowed TopK over a simulated Wikipedia edit
+//! stream, running on the threaded runtime with MILP rebalancing between
+//! statistics periods.
+//!
+//! ```sh
+//! cargo run --release --example wiki_topk
+//! ```
+
+use albic::core::allocator::{KeyGroupAllocator, NodeSet};
+use albic::core::MilpBalancer;
+use albic::engine::{Cluster, CostModel, RoutingTable};
+use albic::milp::MigrationBudget;
+use albic::types::NodeId;
+use albic::workloads::jobs::job1_topology;
+use albic::workloads::wikipedia::WikipediaEditStream;
+
+fn main() {
+    let (topology, ops) = job1_topology(16);
+    let src = ops[0];
+
+    let cluster = Cluster::homogeneous(4);
+    let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
+    let routing = RoutingTable::round_robin(topology.num_key_groups(), &ids);
+    let mut rt = albic::engine::runtime::Runtime::start(
+        topology,
+        cluster,
+        routing,
+        CostModel::default(),
+    );
+
+    let stream = WikipediaEditStream::new(3_000.0, 42);
+    let mut balancer = MilpBalancer::new(MigrationBudget::Count(13));
+
+    for period in 0..5u64 {
+        rt.inject(src, stream.tuples(period));
+        rt.quiesce(8);
+        let stats = rt.end_period();
+        let dist = stats.load_distance(rt.cluster());
+        println!(
+            "period {period}: {} edits processed, load distance {:.2}%",
+            stream.rate_at(period).round(),
+            dist,
+        );
+
+        // Rebalance under the paper's 13-groups-per-period budget.
+        let ns = NodeSet::from_cluster(rt.cluster());
+        let out = balancer.allocate(&stats, &ns, &CostModel::default());
+        if !out.migrations.is_empty() {
+            let reports = rt.migrate(&out.migrations);
+            println!(
+                "  migrated {} key groups ({} bytes of window state)",
+                reports.len(),
+                reports.iter().map(|r| r.state_bytes).sum::<usize>(),
+            );
+        }
+    }
+
+    // Show the global TopK state (key group of the constant merge key).
+    let global_op = ops[3];
+    let kg = rt
+        .topology()
+        .group_for_key(global_op, albic::engine::tuple::hash_key(&"global-topk"));
+    if let Some(bytes) = rt.probe_state(kg) {
+        let m = albic::engine::codec::Reader::new(&bytes).get_map_f64().unwrap_or_default();
+        let mut entries: Vec<(String, f64)> = m.into_iter().collect();
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("global top-5 most edited articles:");
+        for (article, count) in entries.into_iter().take(5) {
+            println!("  {article}: {count:.0} edits");
+        }
+    }
+    rt.shutdown();
+}

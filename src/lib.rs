@@ -1,0 +1,65 @@
+//! **albic** — a from-scratch Rust reproduction of *Integrative Dynamic
+//! Reconfiguration in a Parallel Stream Processing Engine* (Madsen, Zhou &
+//! Cao, arXiv:1602.03770 / ICDE'17 line of work).
+//!
+//! This umbrella crate re-exports the workspace so applications can depend
+//! on one crate:
+//!
+//! * [`types`] — shared ids and value types (nodes, operators, key groups,
+//!   loads, statistics periods).
+//! * [`engine`] — the parallel stream processing engine substrate:
+//!   topologies, key-group state, routing, statistics, direct state
+//!   migration, a threaded runtime and a deterministic simulator.
+//! * [`milp`] — the MILP toolkit standing in for CPLEX: simplex, branch &
+//!   bound, and a structured solver for the paper's allocation MILP with
+//!   exact relaxation bounds.
+//! * [`partition`] — multilevel balanced graph partitioning (METIS
+//!   substitute).
+//! * [`core`] — the paper's contribution: the integrative adaptation
+//!   framework (Algorithm 1), the MILP load balancer (§4.3.1), ALBIC
+//!   (Algorithm 2), horizontal scaling, and the Flux/PoTC/COLA baselines.
+//! * [`workloads`] — dataset simulators (Wikipedia edits, airline
+//!   on-time, GSOD weather), synthetic cluster scenarios, and the paper's
+//!   Real Jobs 1-4.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use albic::core::{AdaptationFramework, MilpBalancer};
+//! use albic::engine::reconfig::{ClusterView, ReconfigPolicy};
+//! use albic::engine::{Cluster, CostModel, RoutingTable, SimEngine};
+//! use albic::milp::MigrationBudget;
+//! use albic::workloads::{SyntheticConfig, SyntheticWorkload};
+//!
+//! // A 20-node cluster with a skewed synthetic workload...
+//! let cfg = SyntheticConfig { varies: 40.0, ..SyntheticConfig::cluster(20) };
+//! let workload = SyntheticWorkload::new(cfg);
+//! let mut engine = SimEngine::with_round_robin(
+//!     workload,
+//!     Cluster::homogeneous(20),
+//!     CostModel::default(),
+//! );
+//!
+//! // ...balanced by the paper's MILP under a migration budget.
+//! let mut policy = AdaptationFramework::balancing_only(
+//!     MilpBalancer::new(MigrationBudget::Count(20)),
+//! );
+//! for _ in 0..3 {
+//!     let stats = engine.tick();
+//!     let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+//!     let plan = policy.plan(&stats, view);
+//!     engine.apply(&plan);
+//! }
+//! let before = engine.history()[0].load_distance;
+//! let after = engine.history().last().unwrap().load_distance;
+//! assert!(after <= before);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use albic_core as core;
+pub use albic_engine as engine;
+pub use albic_milp as milp;
+pub use albic_partition as partition;
+pub use albic_types as types;
+pub use albic_workloads as workloads;

@@ -1,0 +1,201 @@
+//! Cross-crate integration tests: the full stack working together —
+//! workload → engine (simulator and threaded runtime) → policy → plan →
+//! migration → measurable improvement.
+
+use albic::core::albic::{Albic, AlbicConfig};
+use albic::core::allocator::{KeyGroupAllocator, NodeSet};
+use albic::core::baselines::{Cola, Flux};
+use albic::core::framework::AdaptationFramework;
+use albic::core::{MilpBalancer, ThresholdScaling};
+use albic::engine::reconfig::{ClusterView, ReconfigPolicy};
+use albic::engine::{Cluster, CostModel, RoutingTable, SimEngine};
+use albic::milp::MigrationBudget;
+use albic::types::NodeId;
+use albic::workloads::airline::AirlineJobWorkload;
+use albic::workloads::wikipedia::WikiJob1Workload;
+use albic::workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn drive<W: albic::engine::sim::WorkloadModel>(
+    engine: &mut SimEngine<W>,
+    policy: &mut dyn ReconfigPolicy,
+    periods: usize,
+) {
+    for _ in 0..periods {
+        engine.terminate_drained();
+        let stats = engine.tick();
+        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let plan = policy.plan(&stats, view);
+        engine.apply(&plan);
+    }
+}
+
+#[test]
+fn milp_beats_flux_on_skewed_synthetic_load() {
+    let mk = || {
+        let cfg = SyntheticConfig { varies: 60.0, ..SyntheticConfig::cluster(20) };
+        SimEngine::with_round_robin(
+            SyntheticWorkload::new(cfg),
+            Cluster::homogeneous(20),
+            CostModel::default(),
+        )
+    };
+    let mut milp_engine = mk();
+    let mut milp = AdaptationFramework::balancing_only(MilpBalancer::new(
+        MigrationBudget::Count(20),
+    ));
+    drive(&mut milp_engine, &mut milp, 1);
+
+    let mut flux_engine = mk();
+    let mut flux = AdaptationFramework::balancing_only(Flux::new(20));
+    drive(&mut flux_engine, &mut flux, 1);
+
+    let milp_d = milp_engine.history().last().unwrap().load_distance;
+    let flux_d = flux_engine.history().last().unwrap().load_distance;
+    assert!(
+        milp_d <= flux_d + 1e-6,
+        "MILP ({milp_d:.2}) must not lose to Flux ({flux_d:.2})"
+    );
+    assert!(milp_d < 10.0, "MILP should reach a good balance, got {milp_d:.2}");
+}
+
+#[test]
+fn albic_converges_to_collocation_on_job2() {
+    let groups_per_op = 30u32;
+    let workers = 6usize;
+    let workload = AirlineJobWorkload::job2(20_000.0, groups_per_op, 5);
+    let downstream = workload.downstream_groups();
+    let cluster = Cluster::homogeneous(workers);
+    let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
+    // Worst-case start: every 1-1 pair split.
+    let routing = RoutingTable::from_assignment(
+        (0..groups_per_op * 2)
+            .map(|g| {
+                let op = g / groups_per_op;
+                ids[((g % groups_per_op) + op) as usize % workers]
+            })
+            .collect(),
+    );
+    let mut engine = SimEngine::new(workload, cluster, routing, CostModel::default());
+    let mut policy = AdaptationFramework::balancing_only(Albic::new(
+        AlbicConfig { budget: MigrationBudget::Count(10), ..Default::default() },
+        downstream,
+    ));
+    drive(&mut engine, &mut policy, 40);
+
+    let first = engine.history()[0].collocation_factor;
+    let last = engine.history().last().unwrap().collocation_factor;
+    assert!(
+        last > first + 30.0,
+        "collocation must improve substantially: {first:.1}% → {last:.1}%"
+    );
+    // Load index falls as cross-node traffic disappears.
+    let idx = albic::core::metrics::load_index_series(engine.history(), 2);
+    assert!(
+        idx.last().unwrap() < &85.0,
+        "load index must drop, got {:.1}",
+        idx.last().unwrap()
+    );
+    // ALBIC stays within its migration budget every period.
+    assert!(engine.history().iter().all(|r| r.migrations <= 10));
+}
+
+#[test]
+fn cola_collocates_instantly_but_churns() {
+    let groups_per_op = 30u32;
+    let workers = 6usize;
+    let workload = AirlineJobWorkload::job2(20_000.0, groups_per_op, 5);
+    let mut engine = SimEngine::with_round_robin(
+        workload,
+        Cluster::homogeneous(workers),
+        CostModel::default(),
+    );
+    let mut policy = AdaptationFramework::balancing_only(Cola::default());
+    drive(&mut engine, &mut policy, 5);
+    let first = &engine.history()[0];
+    assert!(
+        first.collocation_factor > 90.0,
+        "COLA optimizes from scratch: {:.1}%",
+        first.collocation_factor
+    );
+    let total_migrations: usize = engine.history().iter().map(|r| r.migrations).sum();
+    assert!(total_migrations > 30, "COLA churns heavily, got {total_migrations}");
+}
+
+#[test]
+fn integrated_scale_in_drains_and_rebalances() {
+    let cfg = SyntheticConfig { mean_node_load: 30.0, ..SyntheticConfig::cluster(10) };
+    let mut engine = SimEngine::with_round_robin(
+        SyntheticWorkload::new(cfg),
+        Cluster::homogeneous(10),
+        CostModel::default(),
+    );
+    let mut policy = AdaptationFramework::with_scaling(
+        MilpBalancer::new(MigrationBudget::Count(40)),
+        ThresholdScaling::new(40.0, 85.0, 55.0),
+    );
+    drive(&mut engine, &mut policy, 12);
+    // Underloaded cluster must have shed nodes, and all survivors balanced.
+    assert!(
+        engine.cluster().len() < 10,
+        "scale-in expected, still {} nodes",
+        engine.cluster().len()
+    );
+    let last = engine.history().last().unwrap();
+    assert!(last.load_distance < 25.0, "distance {:.1}", last.load_distance);
+}
+
+#[test]
+fn wiki_job_runs_at_paper_scale_in_simulation() {
+    let workload = WikiJob1Workload::new(70_000.0, 100, 9);
+    let mut engine = SimEngine::with_round_robin(
+        workload,
+        Cluster::homogeneous(20),
+        CostModel::default(),
+    );
+    let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(
+        MigrationBudget::Count(13),
+    ));
+    drive(&mut engine, &mut policy, 10);
+    let tail: Vec<f64> = engine
+        .history()
+        .iter()
+        .skip(5)
+        .map(|r| r.load_distance)
+        .collect();
+    let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+    assert!(mean < 12.0, "steady-state distance too high: {mean:.2}");
+    assert!(engine.history().iter().all(|r| r.migrations <= 13));
+}
+
+#[test]
+fn simulator_and_runtime_agree_on_statistics_semantics() {
+    // The same logical job measured by both substrates must expose the
+    // same *kind* of signals: nonzero group loads for active groups, a
+    // consistent allocation snapshot, comm rates between the operators.
+    use albic::workloads::jobs::job2_topology;
+    let (topology, ops) = job2_topology(8);
+    let cluster = Cluster::homogeneous(2);
+    let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
+    let routing = RoutingTable::round_robin(topology.num_key_groups(), &ids);
+    let mut rt = albic::engine::runtime::Runtime::start(
+        topology,
+        cluster,
+        routing,
+        CostModel::default(),
+    );
+    let stream = albic::workloads::airline::AirlineOnTimeStream::new(200.0, 1);
+    rt.inject(ops[0], stream.tuples(0));
+    rt.quiesce(6);
+    let stats = rt.end_period();
+    rt.shutdown();
+
+    assert_eq!(stats.allocation.len(), 24);
+    assert!(stats.total_tuples > 0.0);
+    assert!(stats.comm_tuples > 0.0);
+    // MILP can consume runtime statistics directly.
+    let cluster = Cluster::homogeneous(2);
+    let ns = NodeSet::from_cluster(&cluster);
+    let mut balancer = MilpBalancer::new(MigrationBudget::Unlimited);
+    let out = balancer.allocate(&stats, &ns, &CostModel::default());
+    assert!(out.projected_distance <= stats.load_distance(&cluster) + 1e-9);
+}

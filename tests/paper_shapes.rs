@@ -1,0 +1,184 @@
+//! Regression tests pinning the *qualitative shapes* of the paper's key
+//! results, so future changes to the solver, engine or workloads cannot
+//! silently break the reproduction. These are the fast variants of the
+//! claims EXPERIMENTS.md records for the full runs.
+
+use albic::core::allocator::NodeSet;
+use albic::core::baselines::PoTC;
+use albic::core::framework::AdaptationFramework;
+use albic::core::MilpBalancer;
+use albic::engine::reconfig::{ClusterView, ReconfigPolicy};
+use albic::engine::{Cluster, CostModel, SimEngine};
+use albic::milp::{AllocationProblem, Budget, GroupSpec, MigrationBudget};
+use albic::workloads::wikipedia::WikiJob1Workload;
+use albic::workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn one_round_distance(policy: &mut dyn ReconfigPolicy, varies: f64, nodes: usize) -> f64 {
+    let cfg = SyntheticConfig {
+        varies,
+        seed: 0x7E57 + varies as u64,
+        ..SyntheticConfig::cluster(nodes)
+    };
+    let mut engine = SimEngine::with_round_robin(
+        SyntheticWorkload::new(cfg),
+        Cluster::homogeneous(nodes),
+        CostModel::default(),
+    );
+    let stats = engine.tick();
+    let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+    let plan = policy.plan(&stats, view);
+    engine.apply(&plan);
+    engine.history().last().unwrap().load_distance
+}
+
+/// Figs 2-4 shape: the MILP beats Flux decisively under the same
+/// migration budget on the synthetic scenario.
+#[test]
+fn shape_milp_beats_flux_figs_2_4() {
+    for varies in [30.0, 60.0, 90.0] {
+        let mut milp = AdaptationFramework::balancing_only(MilpBalancer::new(
+            MigrationBudget::Count(20),
+        ));
+        let mut flux = AdaptationFramework::balancing_only(
+            albic::core::baselines::Flux::new(20),
+        );
+        let milp_d = one_round_distance(&mut milp, varies, 20);
+        let flux_d = one_round_distance(&mut flux, varies, 20);
+        assert!(
+            milp_d < flux_d * 0.7,
+            "varies={varies}: MILP {milp_d:.2} should clearly beat Flux {flux_d:.2}"
+        );
+    }
+}
+
+/// Fig 6 shape: on Real Job 1 the MILP's steady-state distance beats the
+/// PoTC evaluator's.
+#[test]
+fn shape_milp_beats_potc_fig6() {
+    let workers = 20usize;
+    let mut engine = SimEngine::with_round_robin(
+        WikiJob1Workload::new(70_000.0, 100, 0xF16),
+        Cluster::homogeneous(workers),
+        CostModel::default(),
+    );
+    let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(
+        MigrationBudget::Count(13),
+    ));
+    let potc = PoTC::new(1);
+    let mut milp_sum = 0.0;
+    let mut potc_sum = 0.0;
+    let periods = 12;
+    for p in 0..periods {
+        let stats = engine.tick();
+        if p >= 4 {
+            let ns = NodeSet::from_cluster(engine.cluster());
+            potc_sum += potc.evaluate(&stats, &ns).load_distance;
+        }
+        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let plan = policy.plan(&stats, view);
+        engine.apply(&plan);
+        if p >= 4 {
+            milp_sum += engine.history().last().unwrap().load_distance;
+        }
+    }
+    assert!(
+        milp_sum < potc_sum,
+        "MILP ({milp_sum:.1}) must beat PoTC ({potc_sum:.1}) on cumulative distance"
+    );
+}
+
+/// Fig 9 shape: the unrestricted MILP moves far more state per round than
+/// the 13-group budget on a drifting workload.
+#[test]
+fn shape_unrestricted_migrates_more_state_fig9() {
+    let run = |budget: MigrationBudget| -> f64 {
+        let mut engine = SimEngine::with_round_robin(
+            WikiJob1Workload::new(70_000.0, 100, 0xF19),
+            Cluster::homogeneous(20),
+            CostModel::default(),
+        );
+        let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(budget));
+        for _ in 0..8 {
+            let stats = engine.tick();
+            let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+            let plan = policy.plan(&stats, view);
+            engine.apply(&plan);
+        }
+        engine.history().iter().map(|r| r.migration_pause_secs).sum()
+    };
+    let unrestricted = run(MigrationBudget::Unlimited);
+    let budgeted = run(MigrationBudget::Count(13));
+    assert!(
+        unrestricted > budgeted * 3.0,
+        "unrestricted pause {unrestricted:.1}s should dwarf budgeted {budgeted:.1}s"
+    );
+}
+
+/// Lemma 2 shape: with enough budget over several rounds, the MILP fully
+/// drains nodes marked for removal — purely by minimizing `d`.
+#[test]
+fn shape_lemma2_marked_nodes_drain_completely() {
+    let groups = 12usize;
+    let p = AllocationProblem {
+        num_nodes: 4,
+        killed: vec![false, false, true, true],
+        capacity: vec![1.0; 4],
+        groups: (0..groups)
+            .map(|g| GroupSpec {
+                load: 5.0 + (g % 3) as f64,
+                migration_cost: 1.0,
+                current_node: g % 4,
+            })
+            .collect(),
+        budget: MigrationBudget::Count(3),
+        collocate: vec![],
+        pins: vec![],
+    };
+    // Iterate rounds, feeding each solution back as the current state.
+    let mut problem = p;
+    for _ in 0..6 {
+        let sol = problem.solve(&mut Budget::work(100_000));
+        for (g, &node) in sol.assignment.iter().enumerate() {
+            problem.groups[g].current_node = node;
+        }
+        if problem.groups.iter().all(|g| !problem.killed[g.current_node]) {
+            return; // drained
+        }
+    }
+    let stranded = problem
+        .groups
+        .iter()
+        .filter(|g| problem.killed[g.current_node])
+        .count();
+    assert_eq!(stranded, 0, "{stranded} groups still on killed nodes after 6 rounds");
+}
+
+/// The simulator is deterministic end to end: identical seeds produce
+/// identical histories (bit-for-bit), which is what makes every figure
+/// reproducible.
+#[test]
+fn shape_experiments_are_deterministic() {
+    let run = || {
+        let cfg = SyntheticConfig { varies: 50.0, ..SyntheticConfig::cluster(10) };
+        let mut engine = SimEngine::with_round_robin(
+            SyntheticWorkload::new(cfg),
+            Cluster::homogeneous(10),
+            CostModel::default(),
+        );
+        let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(
+            MigrationBudget::Count(10),
+        ));
+        for _ in 0..5 {
+            let stats = engine.tick();
+            let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+            let plan = policy.plan(&stats, view);
+            engine.apply(&plan);
+        }
+        engine
+            .history()
+            .iter()
+            .map(|r| (r.load_distance.to_bits(), r.migrations))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

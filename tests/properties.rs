@@ -1,0 +1,139 @@
+//! Property-based tests over the core invariants of the stack.
+
+use albic::milp::{
+    solve_milp, AllocationProblem, Budget, GroupSpec, MigrationBudget, SolveStatus,
+};
+use albic::partition::{partition, GraphBuilder, PartitionConfig};
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = AllocationProblem> {
+    (2usize..4, 2usize..7).prop_flat_map(|(nodes, groups)| {
+        (
+            proptest::collection::vec(1.0f64..20.0, groups),
+            proptest::collection::vec(0.0f64..10.0, groups),
+            proptest::collection::vec(0usize..nodes, groups),
+            prop_oneof![
+                (1usize..4).prop_map(MigrationBudget::Count),
+                (1.0f64..30.0).prop_map(MigrationBudget::Cost),
+                Just(MigrationBudget::Unlimited),
+            ],
+        )
+            .prop_map(move |(loads, costs, current, budget)| AllocationProblem {
+                num_nodes: nodes,
+                killed: vec![false; nodes],
+                capacity: vec![1.0; nodes],
+                groups: loads
+                    .into_iter()
+                    .zip(costs)
+                    .zip(current)
+                    .map(|((load, migration_cost), current_node)| GroupSpec {
+                        load,
+                        migration_cost,
+                        current_node,
+                    })
+                    .collect(),
+                budget,
+                collocate: vec![],
+                pins: vec![],
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The structured solver's lower bound never exceeds the exact MILP
+    /// optimum, and its achieved distance never beats it.
+    #[test]
+    fn structured_solver_brackets_exact_optimum(p in arb_problem()) {
+        let (model, vars) = p.to_model();
+        let exact = solve_milp(&model, &mut Budget::work(20_000)).unwrap();
+        // Only check when the exact solver proved optimality.
+        if matches!(exact.status, albic::milp::branch_bound::MilpStatus::Optimal) {
+            let exact_d = exact.best.as_ref().unwrap().value(vars.d);
+            let sol = p.solve(&mut Budget::unlimited());
+            prop_assert!(sol.lower_bound <= exact_d + 1e-4,
+                "bound {} exceeds exact {}", sol.lower_bound, exact_d);
+            prop_assert!(sol.load_distance >= exact_d - 1e-4,
+                "heuristic {} beat exact {}", sol.load_distance, exact_d);
+        }
+    }
+
+    /// Solutions always satisfy the migration budget and assignment shape.
+    #[test]
+    fn solutions_respect_budget_and_shape(p in arb_problem()) {
+        let sol = p.solve(&mut Budget::work(50_000));
+        prop_assert_eq!(sol.assignment.len(), p.groups.len());
+        prop_assert!(sol.assignment.iter().all(|&n| n < p.num_nodes));
+        if sol.status != SolveStatus::Infeasible {
+            match p.budget {
+                MigrationBudget::Count(k) => prop_assert!(sol.migrations.len() <= k),
+                MigrationBudget::Cost(c) => {
+                    let spent: f64 = sol
+                        .migrations
+                        .iter()
+                        .map(|&g| p.groups[g].migration_cost)
+                        .sum();
+                    prop_assert!(spent <= c + 1e-6, "spent {spent} over {c}");
+                }
+                MigrationBudget::Unlimited => {}
+            }
+        }
+    }
+
+    /// Lemma 1: the solver never migrates a group *into* a node marked for
+    /// removal.
+    #[test]
+    fn lemma1_never_migrate_into_killed(mut p in arb_problem(), kill in 0usize..3) {
+        let kill = kill % p.num_nodes;
+        p.killed[kill] = true;
+        // At least one alive node must remain.
+        prop_assume!(p.killed.iter().filter(|k| !**k).count() >= 1);
+        let sol = p.solve(&mut Budget::work(50_000));
+        for &g in &sol.migrations {
+            prop_assert_ne!(sol.assignment[g], kill,
+                "group {} moved into killed node", g);
+        }
+    }
+
+    /// Graph partitioner: assignments are complete, in range, and the
+    /// reported weights/cut are consistent.
+    #[test]
+    fn partitioner_invariants(
+        n in 2usize..40,
+        k in 1usize..6,
+        edges in proptest::collection::vec((0usize..40, 0usize..40, 1.0f64..5.0), 0..80),
+    ) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v, w) in edges {
+            if u < n && v < n {
+                b.add_edge(u, v, w);
+            }
+        }
+        let g = b.build();
+        let part = partition(&g, &PartitionConfig::k(k));
+        prop_assert_eq!(part.assignment.len(), n);
+        prop_assert!(part.assignment.iter().all(|&x| x < k));
+        let total: f64 = part.part_weights.iter().sum();
+        prop_assert!((total - g.total_weight()).abs() < 1e-6);
+        prop_assert_eq!(part.edge_cut, g.cut_kway(&part.assignment));
+    }
+
+    /// The engine's tuple codec round-trips arbitrary nested values.
+    #[test]
+    fn codec_roundtrips_values(s in "\\PC{0,24}", i in any::<i64>(), f in any::<f64>()) {
+        use albic::engine::codec::{Reader, Writer};
+        use albic::engine::tuple::Value;
+        let v = Value::List(vec![
+            Value::Str(s),
+            Value::Int(i),
+            if f.is_nan() { Value::Null } else { Value::Float(f) },
+            Value::List(vec![Value::Null]),
+        ]);
+        let mut w = Writer::new();
+        w.put_value(&v);
+        let bytes = w.into_bytes();
+        let back = Reader::new(&bytes).get_value().unwrap();
+        prop_assert_eq!(back, v);
+    }
+}
