@@ -35,7 +35,11 @@ fn bench_policies(c: &mut Criterion) {
     });
     group.bench_function("albic", |b| {
         let mut p = Albic::new(
-            AlbicConfig { budget: MigrationBudget::Count(20), solver_work: 200_000, ..Default::default() },
+            AlbicConfig {
+                budget: MigrationBudget::Count(20),
+                solver_work: 200_000,
+                ..Default::default()
+            },
             downstream.clone(),
         );
         b.iter(|| p.allocate(&stats, &ns, &cost));

@@ -17,7 +17,11 @@ fn bench_sim_tick(c: &mut Criterion) {
     group.sample_size(20);
     for nodes in [20usize, 60] {
         group.bench_function(format!("{nodes}n"), |b| {
-            let cfg = SyntheticConfig { background_comm: true, one_to_one_pct: 50.0, ..SyntheticConfig::cluster(nodes) };
+            let cfg = SyntheticConfig {
+                background_comm: true,
+                one_to_one_pct: 50.0,
+                ..SyntheticConfig::cluster(nodes)
+            };
             let mut sim = SimEngine::with_round_robin(
                 SyntheticWorkload::new(cfg),
                 Cluster::homogeneous(nodes),
@@ -41,8 +45,9 @@ fn bench_runtime_throughput(c: &mut Criterion) {
         let routing = RoutingTable::round_robin(topology.num_key_groups(), &ids);
         let mut rt =
             albic_engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
-        let tuples: Vec<Tuple> =
-            (0..10_000).map(|i| Tuple::keyed(&(i % 64), Value::Int(i), i as u64)).collect();
+        let tuples: Vec<Tuple> = (0..10_000)
+            .map(|i| Tuple::keyed(&(i % 64), Value::Int(i), i as u64))
+            .collect();
         b.iter(|| {
             rt.inject(src, tuples.clone());
             rt.quiesce(3);

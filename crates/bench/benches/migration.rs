@@ -26,7 +26,10 @@ fn bench_migration_roundtrip(c: &mut Criterion) {
             albic_engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
 
         // Build up some state.
-        rt.inject(src, (0..1000).map(|i| Tuple::keyed(&(i % 8), Value::Int(i), 0)));
+        rt.inject(
+            src,
+            (0..1000).map(|i| Tuple::keyed(&(i % 8), Value::Int(i), 0)),
+        );
         rt.quiesce(3);
         let kg = rt.topology().group_for_key(cnt, hash_key(&3i64));
         let nodes = [NodeId::new(0), NodeId::new(1)];
@@ -34,7 +37,10 @@ fn bench_migration_roundtrip(c: &mut Criterion) {
 
         b.iter(|| {
             flip ^= 1;
-            rt.migrate(&[Migration { group: kg, to: nodes[flip] }])
+            rt.migrate(&[Migration {
+                group: kg,
+                to: nodes[flip],
+            }])
         });
         rt.shutdown();
     });

@@ -9,7 +9,9 @@ fn random_graph(n: usize, edges: usize) -> albic_partition::Graph {
     let mut b = GraphBuilder::new(n);
     let mut state = 0xDEADBEEFu64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     for _ in 0..edges {

@@ -42,7 +42,9 @@ fn bench_structured_solver(c: &mut Criterion) {
 
 fn bench_relaxation_bound(c: &mut Criterion) {
     let p = problem(60, 20);
-    c.bench_function("relaxation_bound_60n_1200g", |b| b.iter(|| p.relaxation_bound()));
+    c.bench_function("relaxation_bound_60n_1200g", |b| {
+        b.iter(|| p.relaxation_bound())
+    });
 }
 
 fn bench_exact_milp_small(c: &mut Criterion) {
@@ -53,5 +55,10 @@ fn bench_exact_milp_small(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_structured_solver, bench_relaxation_bound, bench_exact_milp_small);
+criterion_group!(
+    benches,
+    bench_structured_solver,
+    bench_relaxation_bound,
+    bench_exact_milp_small
+);
 criterion_main!(benches);

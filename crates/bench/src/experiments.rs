@@ -14,7 +14,10 @@ use albic_workloads::weather::WeatherJob4Workload;
 use albic_workloads::wikipedia::WikiJob1Workload;
 use albic_workloads::{SyntheticConfig, SyntheticWorkload};
 
-use crate::{banner, run_policy, run_policy_observed, sim_round_robin, sim_with_allocation, work_for_seconds, Table};
+use crate::{
+    banner, run_policy, run_policy_observed, sim_round_robin, sim_with_allocation,
+    work_for_seconds, Table,
+};
 
 /// Figs 2-4: solver quality (load distance after one adaptation round) vs
 /// the `varies` load shift, for several migration budgets and solver work
@@ -26,7 +29,11 @@ pub fn fig_solver_quality(nodes: usize, fast: bool) -> Vec<(String, Table)> {
         _ => "fig04",
     };
     banner(
-        &format!("{fig}: {nodes} nodes, {} key groups, {} operators", nodes * 20, nodes / 2),
+        &format!(
+            "{fig}: {nodes} nodes, {} key groups, {} operators",
+            nodes * 20,
+            nodes / 2
+        ),
         "MILP consistently beats Flux at every budget; a few 'seconds' of \
          solving already converge near the final quality",
     );
@@ -111,7 +118,9 @@ pub fn fig05_scalein(fast: bool) -> Vec<(String, Table)> {
             };
             sim_round_robin(SyntheticWorkload::new(cfg), nodes)
         };
-        let victims: Vec<NodeId> = (0..to_remove).map(|i| NodeId::new((nodes - 1 - i) as u32)).collect();
+        let victims: Vec<NodeId> = (0..to_remove)
+            .map(|i| NodeId::new((nodes - 1 - i) as u32))
+            .collect();
 
         let run = |integrated: bool| -> (Vec<f64>, f64) {
             let mut engine = mk_engine();
@@ -130,8 +139,7 @@ pub fn fig05_scalein(fast: bool) -> Vec<(String, Table)> {
                 ));
                 &mut int_policy
             } else {
-                non_policy =
-                    AdaptationFramework::balancing_only(NonIntegratedScaleIn::new(mm));
+                non_policy = AdaptationFramework::balancing_only(NonIntegratedScaleIn::new(mm));
                 &mut non_policy
             };
             let history = run_policy(&mut engine, policy, periods);
@@ -172,7 +180,10 @@ pub fn fig05_scalein(fast: bool) -> Vec<(String, Table)> {
         dist_table.mean_of("int_5ol"),
         dist_table.mean_of("nonint_5ol")
     );
-    vec![("fig05_distance".into(), dist_table), ("fig05_drain_time".into(), drain_table)]
+    vec![
+        ("fig05_distance".into(), dist_table),
+        ("fig05_drain_time".into(), drain_table),
+    ]
 }
 
 /// Figs 6-7: Real Job 1 load distance (MILP vs Flux vs PoTC) and
@@ -190,9 +201,8 @@ pub fn fig06_07(fast: bool) -> Vec<(String, Table)> {
     let mk = || WikiJob1Workload::new(70_000.0, 100, 0x31B1);
 
     let mut milp_engine = sim_round_robin(mk(), workers);
-    let mut milp_policy = AdaptationFramework::balancing_only(MilpBalancer::new(
-        MigrationBudget::Count(mm),
-    ));
+    let mut milp_policy =
+        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(mm)));
     let milp_hist = run_policy(&mut milp_engine, &mut milp_policy, periods);
 
     let mut flux_engine = sim_round_robin(mk(), workers);
@@ -236,7 +246,10 @@ pub fn fig06_07(fast: bool) -> Vec<(String, Table)> {
         migrations.mean_of("milp"),
         migrations.mean_of("flux"),
     );
-    vec![("fig06_quality".into(), quality), ("fig07_migrations".into(), migrations)]
+    vec![
+        ("fig06_quality".into(), quality),
+        ("fig07_migrations".into(), migrations),
+    ]
 }
 
 /// Figs 8-9: unrestricted vs budgeted balancing — quality and cumulative
@@ -253,10 +266,13 @@ pub fn fig08_09(fast: bool) -> Vec<(String, Table)> {
     let mk = || WikiJob1Workload::new(70_000.0, 100, 0x8090);
 
     let mut histories = Vec::new();
-    for budget in [MigrationBudget::Unlimited, MigrationBudget::Count(10), MigrationBudget::Count(13)] {
+    for budget in [
+        MigrationBudget::Unlimited,
+        MigrationBudget::Count(10),
+        MigrationBudget::Count(13),
+    ] {
         let mut engine = sim_round_robin(mk(), workers);
-        let mut policy =
-            AdaptationFramework::balancing_only(MilpBalancer::new(budget));
+        let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(budget));
         histories.push(run_policy(&mut engine, &mut policy, periods));
     }
 
@@ -270,8 +286,10 @@ pub fn fig08_09(fast: bool) -> Vec<(String, Table)> {
         ]);
     }
     let mut overhead = Table::new(&["period", "no_limit", "kg10", "kg13"]);
-    let pauses: Vec<Vec<f64>> =
-        histories.iter().map(|h| metrics::cumulative_pause_minutes(h)).collect();
+    let pauses: Vec<Vec<f64>> = histories
+        .iter()
+        .map(|h| metrics::cumulative_pause_minutes(h))
+        .collect();
     for p in 0..periods {
         overhead.row(vec![p as f64, pauses[0][p], pauses[1][p], pauses[2][p]]);
     }
@@ -284,7 +302,10 @@ pub fn fig08_09(fast: bool) -> Vec<(String, Table)> {
         pauses[0].last().copied().unwrap_or(0.0),
         pauses[2].last().copied().unwrap_or(0.0),
     );
-    vec![("fig08_quality".into(), quality), ("fig09_overhead".into(), overhead)]
+    vec![
+        ("fig08_quality".into(), quality),
+        ("fig09_overhead".into(), overhead),
+    ]
 }
 
 /// Helper: run ALBIC or COLA over a synthetic collocation scenario and
@@ -308,7 +329,10 @@ fn run_collocation_scenario(
     let mut engine = sim_round_robin(workload, nodes);
     let history = if use_albic {
         let albic = Albic::new(
-            AlbicConfig { budget: MigrationBudget::Count(20), ..Default::default() },
+            AlbicConfig {
+                budget: MigrationBudget::Count(20),
+                ..Default::default()
+            },
             downstream,
         );
         let mut policy = AdaptationFramework::balancing_only(albic);
@@ -337,8 +361,13 @@ pub fn fig10(fast: bool) -> Vec<(String, Table)> {
     } else {
         (0..=10).map(|x| x as f64 * 10.0).collect()
     };
-    let mut table =
-        Table::new(&["max_collocation", "albic_dist", "albic_col", "cola_dist", "cola_col"]);
+    let mut table = Table::new(&[
+        "max_collocation",
+        "albic_dist",
+        "albic_col",
+        "cola_dist",
+        "cola_col",
+    ]);
     for &pct in &steps {
         let (ad, ac) = run_collocation_scenario(nodes, pct, true, periods);
         let (cd, cc) = run_collocation_scenario(nodes, pct, false, periods);
@@ -364,8 +393,7 @@ pub fn fig11(fast: bool) -> Vec<(String, Table)> {
     );
     let periods = if fast { 8 } else { 20 };
     let configs: &[usize] = if fast { &[20, 40] } else { &[20, 40, 60] };
-    let mut table =
-        Table::new(&["nodes", "albic_dist", "albic_col", "cola_dist", "cola_col"]);
+    let mut table = Table::new(&["nodes", "albic_dist", "albic_col", "cola_dist", "cola_col"]);
     for &nodes in configs {
         let (ad, ac) = run_collocation_scenario(nodes, 50.0, true, periods);
         let (cd, cc) = run_collocation_scenario(nodes, 50.0, false, periods);
@@ -517,8 +545,20 @@ pub fn fig13(fast: bool) -> Vec<(String, Table)> {
          flows cannot be collocated with airplane-keyed state",
     );
     let periods = if fast { 25 } else { 90 };
-    let a = real_job_run(JobKind::Job3 { cola_half_rate: true }, true, periods);
-    let c = real_job_run(JobKind::Job3 { cola_half_rate: true }, false, periods);
+    let a = real_job_run(
+        JobKind::Job3 {
+            cola_half_rate: true,
+        },
+        true,
+        periods,
+    );
+    let c = real_job_run(
+        JobKind::Job3 {
+            cola_half_rate: true,
+        },
+        false,
+        periods,
+    );
     job_tables("fig13_job3", &a, Some(&c))
 }
 

@@ -4,7 +4,28 @@
 //! workload and policies, then prints TSV series (`x<TAB>series...`) plus
 //! a human-readable summary of the paper's qualitative claim next to the
 //! measured result. `run_all` executes every figure and writes the TSVs
-//! under `results/`.
+//! under `results/`. `docs/EXPERIMENTS.md` maps each binary to its figure.
+//!
+//! # Example
+//!
+//! ```
+//! use albic_bench::{run_policy, sim_round_robin, Table};
+//! use albic_engine::reconfig::NoopPolicy;
+//! use albic_workloads::{SyntheticConfig, SyntheticWorkload};
+//!
+//! // Drive a 4-node simulator for 3 periods and tabulate the series the
+//! // fig* binaries print.
+//! let workload = SyntheticWorkload::new(SyntheticConfig::cluster(4));
+//! let mut sim = sim_round_robin(workload, 4);
+//! let history = run_policy(&mut sim, &mut NoopPolicy, 3);
+//!
+//! let mut t = Table::new(&["period", "load_distance"]);
+//! for (i, rec) in history.iter().enumerate() {
+//!     t.row(vec![i as f64, rec.load_distance]);
+//! }
+//! assert_eq!(t.rows.len(), 3);
+//! assert!(t.mean_of("load_distance").is_finite());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +52,10 @@ pub fn run_policy<W: WorkloadModel>(
     for _ in 0..periods {
         engine.terminate_drained();
         let stats = engine.tick();
-        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let view = ClusterView {
+            cluster: engine.cluster(),
+            cost: engine.cost_model(),
+        };
         let plan = policy.plan(&stats, view);
         engine.apply(&plan);
     }
@@ -51,7 +75,10 @@ pub fn run_policy_observed<W: WorkloadModel>(
         engine.terminate_drained();
         let stats = engine.tick();
         observe(&stats, engine.cluster());
-        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let view = ClusterView {
+            cluster: engine.cluster(),
+            cost: engine.cost_model(),
+        };
         let plan = policy.plan(&stats, view);
         engine.apply(&plan);
     }
@@ -94,7 +121,10 @@ pub struct Table {
 impl Table {
     /// Table with the given headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row.

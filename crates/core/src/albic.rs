@@ -80,7 +80,11 @@ impl Albic {
     /// `downstream_groups[g]` downstream key groups.
     pub fn new(cfg: AlbicConfig, downstream_groups: Vec<u32>) -> Self {
         let rng = SmallRng::seed_from_u64(cfg.seed);
-        Albic { cfg, downstream_groups, rng }
+        Albic {
+            cfg,
+            downstream_groups,
+            rng,
+        }
     }
 
     /// The configuration.
@@ -90,10 +94,7 @@ impl Albic {
 
     /// Step 1: score pairs. Returns `(colGrps, toBeColGrps)` where the
     /// latter carries the flow rate for max selection.
-    fn score_pairs(
-        &self,
-        stats: &PeriodStats,
-    ) -> (Vec<(usize, usize)>, Vec<(usize, usize, f64)>) {
+    fn score_pairs(&self, stats: &PeriodStats) -> (Vec<(usize, usize)>, Vec<(usize, usize, f64)>) {
         let mut collocated = Vec::new();
         let mut to_be = Vec::new();
         for (&(gi, gj), &rate) in &stats.out_matrix {
@@ -173,7 +174,11 @@ impl Albic {
             } else {
                 1
             };
-            let p2 = if max_pl > 0.0 { (load_sum / max_pl).ceil() as usize } else { set.len() };
+            let p2 = if max_pl > 0.0 {
+                (load_sum / max_pl).ceil() as usize
+            } else {
+                set.len()
+            };
             let p = p1.max(p2).max(1).min(set.len());
             if p <= 1 {
                 partitions.push(set.clone());
@@ -216,7 +221,12 @@ impl Albic {
             let seed = self.rng.gen::<u64>();
             let result = partition(
                 &b.build(),
-                &PartitionConfig { num_parts: p, imbalance: 0.1, seed, trials: 4 },
+                &PartitionConfig {
+                    num_parts: p,
+                    imbalance: 0.1,
+                    seed,
+                    trials: 4,
+                },
             );
             let mut parts: Vec<Vec<usize>> = vec![Vec::new(); p];
             for (i, &g) in set.iter().enumerate() {
@@ -242,9 +252,14 @@ impl Albic {
         if to_be.is_empty() {
             return Vec::new();
         }
-        let max_rate = to_be.iter().map(|&(_, _, r)| r).fold(f64::NEG_INFINITY, f64::max);
-        let best: Vec<&(usize, usize, f64)> =
-            to_be.iter().filter(|&&(_, _, r)| r >= max_rate - 1e-12).collect();
+        let max_rate = to_be
+            .iter()
+            .map(|&(_, _, r)| r)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best: Vec<&(usize, usize, f64)> = to_be
+            .iter()
+            .filter(|&&(_, _, r)| r >= max_rate - 1e-12)
+            .collect();
         let &&(gi, gj, _) = &best[self.rng.gen_range(0..best.len())];
 
         let part_of = |g: usize| partitions.iter().position(|p| p.contains(&g));
@@ -275,12 +290,7 @@ impl KeyGroupAllocator for Albic {
         "albic"
     }
 
-    fn allocate(
-        &mut self,
-        stats: &PeriodStats,
-        nodes: &NodeSet,
-        cost: &CostModel,
-    ) -> AllocOutcome {
+    fn allocate(&mut self, stats: &PeriodStats, nodes: &NodeSet, cost: &CostModel) -> AllocOutcome {
         let (col_grps, to_be) = self.score_pairs(stats);
 
         let mut max_pl = self.cfg.max_pl;
@@ -297,14 +307,14 @@ impl KeyGroupAllocator for Albic {
                 Vec::new()
             };
 
-            let mut balancer = MilpBalancer::new(self.cfg.budget)
-                .with_solver_work(self.cfg.solver_work);
+            let mut balancer =
+                MilpBalancer::new(self.cfg.budget).with_solver_work(self.cfg.solver_work);
             balancer.collocate = partitions;
             balancer.pins = pins;
             let (outcome, status) = balancer.solve(stats, nodes, cost);
 
-            let acceptable = status != SolveStatus::Infeasible
-                && outcome.projected_distance <= self.cfg.max_ld;
+            let acceptable =
+                status != SolveStatus::Infeasible && outcome.projected_distance <= self.cfg.max_ld;
             if acceptable || !use_collocation {
                 return outcome;
             }
@@ -374,7 +384,10 @@ mod tests {
         let alloc: Vec<u32> = (0..n).map(|_| 0).chain((0..n).map(|_| 1)).collect();
         let (stats, dg) = one_to_one_stats(&cluster, n, &alloc, 500.0);
         let mut albic = Albic::new(
-            AlbicConfig { budget: MigrationBudget::Count(4), ..Default::default() },
+            AlbicConfig {
+                budget: MigrationBudget::Count(4),
+                ..Default::default()
+            },
             dg,
         );
         let ns = NodeSet::from_cluster(&cluster);
@@ -389,8 +402,9 @@ mod tests {
         for m in &out.migrations {
             final_alloc[m.group.index()] = m.to;
         }
-        let collocated_pairs =
-            (0..n).filter(|&g| final_alloc[g] == final_alloc[n + g]).count();
+        let collocated_pairs = (0..n)
+            .filter(|&g| final_alloc[g] == final_alloc[n + g])
+            .count();
         assert!(collocated_pairs >= 1, "one more pair collocated per round");
     }
 
@@ -404,7 +418,10 @@ mod tests {
         let alloc: Vec<u32> = vec![0, 0, 0, 1, 0, 0, 0, 1];
         let (stats, dg) = one_to_one_stats(&cluster, n, &alloc, 500.0);
         let mut albic = Albic::new(
-            AlbicConfig { budget: MigrationBudget::Unlimited, ..Default::default() },
+            AlbicConfig {
+                budget: MigrationBudget::Unlimited,
+                ..Default::default()
+            },
             dg,
         );
         let ns = NodeSet::from_cluster(&cluster);
@@ -439,11 +456,13 @@ mod tests {
             c.record_comm(KeyGroupId::new(g), KeyGroupId::new(g + 1), 1000.0, false);
         }
         let alloc: Vec<NodeId> = vec![NodeId::new(0); n_groups as usize];
-        let stats =
-            PeriodStats::compute(Period(0), &c, alloc, &cluster, &CostModel::default());
+        let stats = PeriodStats::compute(Period(0), &c, alloc, &cluster, &CostModel::default());
         let dg = vec![n_groups; n_groups as usize];
         let mut albic = Albic::new(
-            AlbicConfig { budget: MigrationBudget::Unlimited, ..Default::default() },
+            AlbicConfig {
+                budget: MigrationBudget::Unlimited,
+                ..Default::default()
+            },
             dg,
         );
         let ns = NodeSet::from_cluster(&cluster);
@@ -472,10 +491,8 @@ mod tests {
                 c.record_comm(KeyGroupId::new(gi), KeyGroupId::new(gj), 25.0, true);
             }
         }
-        let alloc: Vec<NodeId> =
-            (0..2 * n).map(|g| NodeId::new((g % 2) as u32)).collect();
-        let stats =
-            PeriodStats::compute(Period(0), &c, alloc, &cluster, &CostModel::default());
+        let alloc: Vec<NodeId> = (0..2 * n).map(|g| NodeId::new((g % 2) as u32)).collect();
+        let stats = PeriodStats::compute(Period(0), &c, alloc, &cluster, &CostModel::default());
         let albic = Albic::new(AlbicConfig::default(), vec![n as u32; 2 * n]);
         let (col, to_be) = albic.score_pairs(&stats);
         assert!(col.is_empty());

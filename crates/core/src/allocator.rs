@@ -21,7 +21,11 @@ impl NodeSet {
     /// Snapshot the live cluster.
     pub fn from_cluster(cluster: &Cluster) -> Self {
         NodeSet {
-            nodes: cluster.nodes().iter().map(|n| (n.id, n.capacity, n.killed)).collect(),
+            nodes: cluster
+                .nodes()
+                .iter()
+                .map(|n| (n.id, n.capacity, n.killed))
+                .collect(),
         }
     }
 
@@ -93,12 +97,7 @@ pub trait KeyGroupAllocator {
     fn name(&self) -> &str;
 
     /// Plan a new allocation for the statistics just collected.
-    fn allocate(
-        &mut self,
-        stats: &PeriodStats,
-        nodes: &NodeSet,
-        cost: &CostModel,
-    ) -> AllocOutcome;
+    fn allocate(&mut self, stats: &PeriodStats, nodes: &NodeSet, cost: &CostModel) -> AllocOutcome;
 }
 
 /// Shared helper: project per-node loads for an assignment of groups to
@@ -149,7 +148,10 @@ pub fn migrations_from_assignment(
     for (g, &idx) in assignment_index.iter().enumerate() {
         let to = nodes.id_at(idx);
         if stats.allocation[g] != to {
-            out.push(Migration { group: albic_types::KeyGroupId::new(g as u32), to });
+            out.push(Migration {
+                group: albic_types::KeyGroupId::new(g as u32),
+                to,
+            });
         }
     }
     out
@@ -170,13 +172,8 @@ mod tests {
             c.record_processed(KeyGroupId::new(g as u32), l * 200.0, 1.0);
         }
         let allocation = alloc.iter().map(|&n| NodeId::new(n)).collect();
-        let stats = PeriodStats::compute(
-            Period(0),
-            &c,
-            allocation,
-            &cluster,
-            &CostModel::default(),
-        );
+        let stats =
+            PeriodStats::compute(Period(0), &c, allocation, &cluster, &CostModel::default());
         (stats, cluster)
     }
 
@@ -199,8 +196,11 @@ mod tests {
     fn project_loads_matches_measured_stats() {
         let (stats, cluster) = fake_stats(&[10.0, 20.0, 30.0], &[0, 1, 2]);
         let ns = NodeSet::from_cluster(&cluster);
-        let current_idx: Vec<usize> =
-            stats.allocation.iter().map(|n| ns.index_of(*n).unwrap()).collect();
+        let current_idx: Vec<usize> = stats
+            .allocation
+            .iter()
+            .map(|n| ns.index_of(*n).unwrap())
+            .collect();
         let (dist, max, mean) = project_loads(&stats, &ns, &current_idx);
         assert!((mean - stats.mean_load(&cluster)).abs() < 1e-9);
         assert!((dist - stats.load_distance(&cluster)).abs() < 1e-9);

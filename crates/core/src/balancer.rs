@@ -28,7 +28,12 @@ impl MilpBalancer {
     /// A balancer with the given migration budget and a generous default
     /// work budget.
     pub fn new(budget: MigrationBudget) -> Self {
-        MilpBalancer { budget, solver_work: 500_000, collocate: Vec::new(), pins: Vec::new() }
+        MilpBalancer {
+            budget,
+            solver_work: 500_000,
+            collocate: Vec::new(),
+            pins: Vec::new(),
+        }
     }
 
     /// Set the solver work budget (builder style).
@@ -117,12 +122,7 @@ impl KeyGroupAllocator for MilpBalancer {
         "milp"
     }
 
-    fn allocate(
-        &mut self,
-        stats: &PeriodStats,
-        nodes: &NodeSet,
-        cost: &CostModel,
-    ) -> AllocOutcome {
+    fn allocate(&mut self, stats: &PeriodStats, nodes: &NodeSet, cost: &CostModel) -> AllocOutcome {
         self.solve(stats, nodes, cost).0
     }
 }
@@ -156,7 +156,11 @@ mod tests {
         let ns = NodeSet::from_cluster(&cluster);
         let mut b = MilpBalancer::new(MigrationBudget::Unlimited);
         let out = b.allocate(&stats, &ns, &CostModel::default());
-        assert!(out.projected_distance < 1e-6, "distance {}", out.projected_distance);
+        assert!(
+            out.projected_distance < 1e-6,
+            "distance {}",
+            out.projected_distance
+        );
         assert_eq!(out.migrations.len(), 2);
     }
 

@@ -29,7 +29,10 @@ pub struct Cola {
 
 impl Default for Cola {
     fn default() -> Self {
-        Cola { imbalance: 0.1, seed: 0xC01A }
+        Cola {
+            imbalance: 0.1,
+            seed: 0xC01A,
+        }
     }
 }
 
@@ -58,9 +61,8 @@ impl KeyGroupAllocator for Cola {
 
         // Build the key-group graph: vertex weight = load, edge weight =
         // communication rate.
-        let mut b = GraphBuilder::with_vertices(
-            stats.group_loads.iter().map(|&l| l.max(1e-9)).collect(),
-        );
+        let mut b =
+            GraphBuilder::with_vertices(stats.group_loads.iter().map(|&l| l.max(1e-9)).collect());
         for (&(gi, gj), &rate) in &stats.out_matrix {
             if gi != gj && rate > 0.0 {
                 b.add_edge(gi as usize, gj as usize, rate);
@@ -144,7 +146,12 @@ mod tests {
             c.record_processed(KeyGroupId::new(g), 2000.0, 1.0);
         }
         for p in 0..pairs as u32 {
-            c.record_comm(KeyGroupId::new(p), KeyGroupId::new(pairs as u32 + p), 500.0, true);
+            c.record_comm(
+                KeyGroupId::new(p),
+                KeyGroupId::new(pairs as u32 + p),
+                500.0,
+                true,
+            );
         }
         // Worst-case allocation: pair halves on different nodes.
         let alloc = (0..2 * pairs)

@@ -45,7 +45,11 @@ impl KeyGroupAllocator for Flux {
         let mut assignment: Vec<usize> = stats
             .allocation
             .iter()
-            .map(|id| nodes.index_of(*id).expect("allocation node missing from set"))
+            .map(|id| {
+                nodes
+                    .index_of(*id)
+                    .expect("allocation node missing from set")
+            })
             .collect();
         let mut mass = vec![0.0f64; n];
         for (g, &idx) in assignment.iter().enumerate() {
@@ -158,8 +162,11 @@ mod tests {
     #[test]
     fn budget_limits_moves() {
         let cluster = Cluster::homogeneous(2);
-        let stats =
-            stats_on(&cluster, &[10.0, 10.0, 10.0, 10.0, 10.0, 10.0], &[0, 0, 0, 0, 0, 0]);
+        let stats = stats_on(
+            &cluster,
+            &[10.0, 10.0, 10.0, 10.0, 10.0, 10.0],
+            &[0, 0, 0, 0, 0, 0],
+        );
         let ns = NodeSet::from_cluster(&cluster);
         let mut flux = Flux::new(1);
         let out = flux.allocate(&stats, &ns, &CostModel::default());
@@ -192,11 +199,7 @@ mod tests {
     fn multiple_pairs_balanced_in_one_round() {
         let cluster = Cluster::homogeneous(4);
         // Nodes 0,1 loaded; 2,3 empty.
-        let stats = stats_on(
-            &cluster,
-            &[10.0, 10.0, 8.0, 8.0],
-            &[0, 0, 1, 1],
-        );
+        let stats = stats_on(&cluster, &[10.0, 10.0, 8.0, 8.0], &[0, 0, 1, 1]);
         let ns = NodeSet::from_cluster(&cluster);
         let mut flux = Flux::new(10);
         let out = flux.allocate(&stats, &ns, &CostModel::default());

@@ -12,9 +12,7 @@ use albic_engine::migration::Migration;
 use albic_engine::{CostModel, PeriodStats};
 use albic_types::KeyGroupId;
 
-use crate::allocator::{
-    project_loads, AllocOutcome, KeyGroupAllocator, NodeSet,
-};
+use crate::allocator::{project_loads, AllocOutcome, KeyGroupAllocator, NodeSet};
 use crate::balancer::MilpBalancer;
 
 /// Drain-first scale-in combined with an inner balancer.
@@ -41,12 +39,7 @@ impl KeyGroupAllocator for NonIntegratedScaleIn {
         "non-integrated"
     }
 
-    fn allocate(
-        &mut self,
-        stats: &PeriodStats,
-        nodes: &NodeSet,
-        cost: &CostModel,
-    ) -> AllocOutcome {
+    fn allocate(&mut self, stats: &PeriodStats, nodes: &NodeSet, cost: &CostModel) -> AllocOutcome {
         let alive: Vec<usize> = nodes
             .entries()
             .iter()
@@ -133,8 +126,11 @@ mod tests {
         let out = p.allocate(&stats, &ns, &CostModel::default());
         assert_eq!(out.migrations.len(), 4, "all stranded groups drained");
         // Even spread: 2 groups to each alive node, including the hot one.
-        let to_node0 =
-            out.migrations.iter().filter(|m| m.to == NodeId::new(0)).count();
+        let to_node0 = out
+            .migrations
+            .iter()
+            .filter(|m| m.to == NodeId::new(0))
+            .count();
         assert_eq!(to_node0, 2, "round-robin ignores load");
     }
 

@@ -46,7 +46,12 @@ pub struct PoTC {
 
 impl Default for PoTC {
     fn default() -> Self {
-        PoTC { merge_fraction: 0.3, merge_period: 2, chunks: 4, seed: 0x907C }
+        PoTC {
+            merge_fraction: 0.3,
+            merge_period: 2,
+            chunks: 4,
+            seed: 0x907C,
+        }
     }
 }
 
@@ -64,7 +69,10 @@ pub struct PotcEval {
 impl PoTC {
     /// Evaluator with explicit seed.
     pub fn new(seed: u64) -> Self {
-        PoTC { seed, ..Default::default() }
+        PoTC {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Simulate PoTC routing for one period's statistics.
@@ -79,7 +87,11 @@ impl PoTC {
         let caps: Vec<f64> = nodes.entries().iter().map(|(_, c, _)| *c).collect();
         let mut mass = vec![0.0f64; nodes.len()];
         if alive.is_empty() {
-            return PotcEval { node_loads: mass, load_distance: 0.0, total_load: 0.0 };
+            return PotcEval {
+                node_loads: mass,
+                load_distance: 0.0,
+                total_load: 0.0,
+            };
         }
 
         // Merge spike: heavier merge work on window periods.
@@ -97,8 +109,11 @@ impl PoTC {
             for _ in 0..self.chunks.max(1) {
                 let a = alive[rng.gen_range(0..alive.len())];
                 let b = alive[rng.gen_range(0..alive.len())];
-                let pick =
-                    if mass[a] / caps[a] <= mass[b] / caps[b] { a } else { b };
+                let pick = if mass[a] / caps[a] <= mass[b] / caps[b] {
+                    a
+                } else {
+                    b
+                };
                 mass[pick] += chunk;
             }
             // Pinned merge work at the group's first hash candidate. The
@@ -111,8 +126,7 @@ impl PoTC {
             mass[pin] += load * self.merge_fraction * merge_mult;
         }
 
-        let node_loads: Vec<f64> =
-            mass.iter().zip(&caps).map(|(m, c)| m / c).collect();
+        let node_loads: Vec<f64> = mass.iter().zip(&caps).map(|(m, c)| m / c).collect();
         let alive_cap: f64 = alive.iter().map(|&i| caps[i]).sum();
         let total: f64 = mass.iter().sum();
         let mean = total / alive_cap;
@@ -121,7 +135,11 @@ impl PoTC {
             .map(|&i| (node_loads[i] - mean).abs())
             .fold(0.0, f64::max);
         let total_load = node_loads.iter().sum();
-        PotcEval { node_loads, load_distance, total_load }
+        PotcEval {
+            node_loads,
+            load_distance,
+            total_load,
+        }
     }
 }
 

@@ -32,12 +32,20 @@ pub struct AdaptationFramework<A: KeyGroupAllocator> {
 impl<A: KeyGroupAllocator> AdaptationFramework<A> {
     /// Framework without horizontal scaling (pure balancing/collocation).
     pub fn balancing_only(allocator: A) -> Self {
-        AdaptationFramework { allocator, scaling: None, new_node_capacity: 1.0 }
+        AdaptationFramework {
+            allocator,
+            scaling: None,
+            new_node_capacity: 1.0,
+        }
     }
 
     /// Framework with horizontal scaling.
     pub fn with_scaling(allocator: A, scaling: ThresholdScaling) -> Self {
-        AdaptationFramework { allocator, scaling: Some(scaling), new_node_capacity: 1.0 }
+        AdaptationFramework {
+            allocator,
+            scaling: Some(scaling),
+            new_node_capacity: 1.0,
+        }
     }
 
     /// Access the wrapped allocator.
@@ -131,17 +139,22 @@ mod tests {
         let cluster = Cluster::homogeneous(4);
         let routing = albic_engine::RoutingTable::all_on(8, cluster.nodes()[0].id);
         let mut engine = SimEngine::new(
-            Flat { groups: 8, tuples_each: 1000.0 },
+            Flat {
+                groups: 8,
+                tuples_each: 1000.0,
+            },
             cluster,
             routing,
             CostModel::default(),
         );
-        let mut fw = AdaptationFramework::balancing_only(MilpBalancer::new(
-            MigrationBudget::Unlimited,
-        ));
+        let mut fw =
+            AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Unlimited));
         for _ in 0..3 {
             let stats = engine.tick();
-            let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+            let view = ClusterView {
+                cluster: engine.cluster(),
+                cost: engine.cost_model(),
+            };
             let plan = fw.plan(&stats, view);
             engine.apply(&plan);
         }
@@ -159,7 +172,10 @@ mod tests {
         let cluster = Cluster::homogeneous(1);
         let routing = albic_engine::RoutingTable::all_on(8, cluster.nodes()[0].id);
         let mut engine = SimEngine::new(
-            Flat { groups: 8, tuples_each: 5000.0 }, // 8 * 25% = 200% load
+            Flat {
+                groups: 8,
+                tuples_each: 5000.0,
+            }, // 8 * 25% = 200% load
             cluster,
             routing,
             CostModel::default(),
@@ -169,10 +185,16 @@ mod tests {
             ThresholdScaling::new(35.0, 80.0, 60.0),
         );
         let stats = engine.tick();
-        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let view = ClusterView {
+            cluster: engine.cluster(),
+            cost: engine.cost_model(),
+        };
         let plan = fw.plan(&stats, view);
         assert!(!plan.add_nodes.is_empty(), "must scale out");
-        assert!(!plan.migrations.is_empty(), "replanned migrations in the same round");
+        assert!(
+            !plan.migrations.is_empty(),
+            "replanned migrations in the same round"
+        );
         engine.apply(&plan);
         // New nodes exist and host groups.
         assert!(engine.cluster().len() > 1);
@@ -190,7 +212,10 @@ mod tests {
     fn underload_triggers_scale_in_and_drains() {
         let cluster = Cluster::homogeneous(4);
         let mut engine = SimEngine::with_round_robin(
-            Flat { groups: 8, tuples_each: 400.0 }, // 8 * 2% = 16% total
+            Flat {
+                groups: 8,
+                tuples_each: 400.0,
+            }, // 8 * 2% = 16% total
             cluster,
             CostModel::default(),
         );
@@ -201,7 +226,10 @@ mod tests {
         let mut terminated = 0;
         for _ in 0..6 {
             let stats = engine.tick();
-            let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+            let view = ClusterView {
+                cluster: engine.cluster(),
+                cost: engine.cost_model(),
+            };
             let plan = fw.plan(&stats, view);
             engine.apply(&plan);
             terminated += engine.terminate_drained().len();

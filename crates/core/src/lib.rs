@@ -23,6 +23,37 @@
 //!
 //! Metric helpers for the evaluation figures (load distance, load index,
 //! collocation factor series) are in [`metrics`].
+//!
+//! # Example
+//!
+//! Balance a skewed synthetic cluster with the paper's MILP balancer under
+//! a migration budget (the umbrella `albic` crate re-exports all of this):
+//!
+//! ```
+//! use albic_core::{AdaptationFramework, MilpBalancer};
+//! use albic_engine::reconfig::{ClusterView, ReconfigPolicy};
+//! use albic_engine::{Cluster, CostModel, SimEngine};
+//! use albic_milp::MigrationBudget;
+//! use albic_workloads::{SyntheticConfig, SyntheticWorkload};
+//!
+//! let cfg = SyntheticConfig { varies: 30.0, ..SyntheticConfig::cluster(10) };
+//! let mut engine = SimEngine::with_round_robin(
+//!     SyntheticWorkload::new(cfg),
+//!     Cluster::homogeneous(10),
+//!     CostModel::default(),
+//! );
+//! let mut policy =
+//!     AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(10)));
+//!
+//! for _ in 0..3 {
+//!     let stats = engine.tick();
+//!     let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+//!     let plan = policy.plan(&stats, view);
+//!     engine.apply(&plan);
+//! }
+//! let history = engine.history();
+//! assert!(history.last().unwrap().load_distance <= history[0].load_distance);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

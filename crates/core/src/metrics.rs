@@ -12,12 +12,19 @@ use albic_engine::sim::PeriodRecord;
 /// means collocation halved the system load (Fig. 12).
 pub fn load_index_series(history: &[PeriodRecord], baseline_periods: usize) -> Vec<f64> {
     let n = baseline_periods.clamp(1, history.len().max(1));
-    let base: f64 =
-        history.iter().take(n).map(|r| r.total_system_load).sum::<f64>() / n as f64;
+    let base: f64 = history
+        .iter()
+        .take(n)
+        .map(|r| r.total_system_load)
+        .sum::<f64>()
+        / n as f64;
     if base <= 0.0 {
         return vec![100.0; history.len()];
     }
-    history.iter().map(|r| 100.0 * r.total_system_load / base).collect()
+    history
+        .iter()
+        .map(|r| 100.0 * r.total_system_load / base)
+        .collect()
 }
 
 /// Load-distance series (percentage points).

@@ -45,14 +45,25 @@ pub struct ThresholdScaling {
 
 impl Default for ThresholdScaling {
     fn default() -> Self {
-        ThresholdScaling { high: 80.0, low: 35.0, target: 60.0, cooldown: 3, rounds_since_action: u64::MAX / 2 }
+        ThresholdScaling {
+            high: 80.0,
+            low: 35.0,
+            target: 60.0,
+            cooldown: 3,
+            rounds_since_action: u64::MAX / 2,
+        }
     }
 }
 
 impl ThresholdScaling {
     /// Policy with explicit band `[low, high]` aiming at `target`.
     pub fn new(low: f64, high: f64, target: f64) -> Self {
-        ThresholdScaling { low, high, target, ..Default::default() }
+        ThresholdScaling {
+            low,
+            high,
+            target,
+            ..Default::default()
+        }
     }
 
     /// Decide scaling for this round, given the measured statistics and

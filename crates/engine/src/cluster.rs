@@ -52,7 +52,9 @@ impl Cluster {
     /// scaling decision, Algorithm 1 line 7) and the engine will create
     /// exactly those ids when it applies the plan.
     pub fn peek_next_ids(&self, k: usize) -> Vec<NodeId> {
-        (0..k as u32).map(|i| NodeId::new(self.next_id + i)).collect()
+        (0..k as u32)
+            .map(|i| NodeId::new(self.next_id + i))
+            .collect()
     }
 
     /// Add a node with a given relative capacity; returns its id.
@@ -60,7 +62,11 @@ impl Cluster {
         assert!(capacity > 0.0, "capacity must be positive");
         let id = NodeId::new(self.next_id);
         self.next_id += 1;
-        self.nodes.push(NodeInfo { id, capacity, killed: false });
+        self.nodes.push(NodeInfo {
+            id,
+            capacity,
+            killed: false,
+        });
         id
     }
 

@@ -244,7 +244,11 @@ mod tests {
             Value::Int(i64::MIN),
             Value::Float(-0.125),
             Value::Str("ünïcode ✓".into()),
-            Value::List(vec![Value::Int(1), Value::List(vec![Value::Null]), Value::Str("x".into())]),
+            Value::List(vec![
+                Value::Int(1),
+                Value::List(vec![Value::Null]),
+                Value::Str("x".into()),
+            ]),
         ];
         for v in &vals {
             let mut w = Writer::new();

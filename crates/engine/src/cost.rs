@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn migration_cost_follows_alpha_model() {
-        let cm = CostModel { alpha: 0.5, ..Default::default() };
+        let cm = CostModel {
+            alpha: 0.5,
+            ..Default::default()
+        };
         assert_eq!(cm.migration_cost(10), 5.0);
         assert_eq!(cm.migration_pause(4.0), cm.pause_per_cost * 4.0);
     }

@@ -34,6 +34,32 @@
 //! Reconfiguration *policies* (the paper's contribution and the baselines)
 //! live in `albic-core`; this crate only defines the interface they
 //! implement ([`reconfig::ReconfigPolicy`]) and executes their plans.
+//!
+//! # Example
+//!
+//! ```
+//! use albic_engine::codec::{Reader, Writer};
+//! use albic_engine::{Cluster, RoutingTable, Value};
+//! use albic_types::NodeId;
+//!
+//! // A 4-node homogeneous cluster and a routing table spreading 8 key
+//! // groups round-robin across it.
+//! let cluster = Cluster::homogeneous(4);
+//! assert_eq!(cluster.alive().count(), 4);
+//! let routing = RoutingTable::from_assignment(
+//!     (0..8u32).map(|g| NodeId::new(g % 4)).collect(),
+//! );
+//! assert_eq!(routing.len(), 8);
+//! assert_eq!(routing.node_of(albic_types::KeyGroupId::new(5)), NodeId::new(1));
+//!
+//! // The state codec round-trips the tuple value model losslessly; this
+//! // is the format key-group state travels in during migration.
+//! let v = Value::List(vec![Value::Str("edit".into()), Value::Int(42)]);
+//! let mut w = Writer::new();
+//! w.put_value(&v);
+//! let decoded = Reader::new(&w.into_bytes()).get_value().unwrap();
+//! assert_eq!(decoded, v);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

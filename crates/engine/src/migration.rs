@@ -77,7 +77,11 @@ mod tests {
 
     #[test]
     fn report_follows_cost_model() {
-        let cm = CostModel { alpha: 0.01, pause_per_cost: 2.0, ..Default::default() };
+        let cm = CostModel {
+            alpha: 0.01,
+            pause_per_cost: 2.0,
+            ..Default::default()
+        };
         let r = MigrationReport::from_cost_model(
             KeyGroupId::new(3),
             NodeId::new(0),
@@ -92,11 +96,20 @@ mod tests {
 
     #[test]
     fn plan_cost_skips_no_op_moves() {
-        let cm = CostModel { alpha: 1.0, ..Default::default() };
+        let cm = CostModel {
+            alpha: 1.0,
+            ..Default::default()
+        };
         let current = vec![NodeId::new(0), NodeId::new(1)];
         let migrations = vec![
-            Migration { group: KeyGroupId::new(0), to: NodeId::new(1) }, // real move
-            Migration { group: KeyGroupId::new(1), to: NodeId::new(1) }, // no-op
+            Migration {
+                group: KeyGroupId::new(0),
+                to: NodeId::new(1),
+            }, // real move
+            Migration {
+                group: KeyGroupId::new(1),
+                to: NodeId::new(1),
+            }, // no-op
         ];
         let cost = plan_cost(&migrations, &[100.0, 100.0], &current, &cm);
         assert_eq!(cost, 100.0);

@@ -133,7 +133,11 @@ impl Operator for Counting {
     fn process(&self, tuple: &Tuple, state: &mut StateBox, out: &mut Emissions) {
         let count = state.downcast_mut::<u64>().expect("counting state");
         *count += 1;
-        out.emit(Tuple::raw(tuple.key, crate::tuple::Value::Int(*count as i64), tuple.ts));
+        out.emit(Tuple::raw(
+            tuple.key,
+            crate::tuple::Value::Int(*count as i64),
+            tuple.ts,
+        ));
     }
 }
 
@@ -173,8 +177,11 @@ mod tests {
         for i in 0..5 {
             op.process(&Tuple::raw(9, Value::Null, i), &mut state, &mut out);
         }
-        let counts: Vec<i64> =
-            out.drain().iter().map(|t| t.value.as_int().unwrap()).collect();
+        let counts: Vec<i64> = out
+            .drain()
+            .iter()
+            .map(|t| t.value.as_int().unwrap())
+            .collect();
         assert_eq!(counts, vec![1, 2, 3, 4, 5]);
 
         // Migrate: serialize, rebuild, continue counting.

@@ -12,7 +12,9 @@ pub struct RoutingTable {
 impl RoutingTable {
     /// A table placing all `num_groups` key groups on `initial`.
     pub fn all_on(num_groups: u32, initial: NodeId) -> Self {
-        RoutingTable { node_of: vec![initial; num_groups as usize] }
+        RoutingTable {
+            node_of: vec![initial; num_groups as usize],
+        }
     }
 
     /// A table with an explicit allocation (index = global key-group id).
@@ -28,7 +30,9 @@ impl RoutingTable {
     pub fn round_robin(num_groups: u32, nodes: &[NodeId]) -> Self {
         assert!(!nodes.is_empty(), "need at least one node");
         RoutingTable {
-            node_of: (0..num_groups).map(|g| nodes[g as usize % nodes.len()]).collect(),
+            node_of: (0..num_groups)
+                .map(|g| nodes[g as usize % nodes.len()])
+                .collect(),
         }
     }
 

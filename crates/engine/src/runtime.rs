@@ -39,15 +39,28 @@ use crate::tuple::Tuple;
 /// Messages a worker can receive.
 enum Msg {
     /// A data tuple for `(operator, key group)`.
-    Data { op: OperatorId, kg: KeyGroupId, tuple: Tuple },
+    Data {
+        op: OperatorId,
+        kg: KeyGroupId,
+        tuple: Tuple,
+    },
     /// Start buffering tuples for a key group (migration destination).
     PrepareReceive { kg: KeyGroupId },
     /// Serialize and ship a key group's state to `dest` (migration
     /// source); `done` eventually carries `(state_bytes, replayed)` from
     /// the destination.
-    Extract { kg: KeyGroupId, dest: NodeId, done: Sender<(usize, usize)> },
+    Extract {
+        kg: KeyGroupId,
+        dest: NodeId,
+        done: Sender<(usize, usize)>,
+    },
     /// Install shipped state and replay the buffer (migration destination).
-    Install { kg: KeyGroupId, op: OperatorId, bytes: Vec<u8>, done: Sender<(usize, usize)> },
+    Install {
+        kg: KeyGroupId,
+        op: OperatorId,
+        bytes: Vec<u8>,
+        done: Sender<(usize, usize)>,
+    },
     /// FIFO barrier: reply as soon as this message is dequeued.
     Barrier(Sender<()>),
     /// Flush operator windows (period end).
@@ -55,7 +68,10 @@ enum Msg {
     /// Snapshot and reset the worker's statistics.
     CollectStats { reply: Sender<StatsCollector> },
     /// Return the serialized state of a key group (diagnostics/tests).
-    ProbeState { kg: KeyGroupId, reply: Sender<Option<Vec<u8>>> },
+    ProbeState {
+        kg: KeyGroupId,
+        reply: Sender<Option<Vec<u8>>>,
+    },
     /// Stop the worker loop.
     Shutdown,
 }
@@ -90,10 +106,20 @@ impl WorkerCtx {
                     };
                     let sender = self.senders.read().get(&dest).cloned();
                     if let Some(s) = sender {
-                        let _ = s.send(Msg::Install { kg, op, bytes, done });
+                        let _ = s.send(Msg::Install {
+                            kg,
+                            op,
+                            bytes,
+                            done,
+                        });
                     }
                 }
-                Msg::Install { kg, op, bytes, done } => {
+                Msg::Install {
+                    kg,
+                    op,
+                    bytes,
+                    done,
+                } => {
                     let logic = Arc::clone(&self.topology.operator(op).logic);
                     let state = logic.deserialize_state(&bytes);
                     self.states.insert(kg.raw(), state);
@@ -118,7 +144,8 @@ impl WorkerCtx {
                         let op = self.topology.operator_of_group(kg);
                         let logic = Arc::clone(&self.topology.operator(op).logic);
                         if let Some(state) = self.states.get(&g) {
-                            self.stats.set_state_bytes(kg, logic.state_size(state) as f64);
+                            self.stats
+                                .set_state_bytes(kg, logic.state_size(state) as f64);
                         }
                     }
                     let snapshot = self.stats.clone();
@@ -156,7 +183,10 @@ impl WorkerCtx {
 
     fn process_local(&mut self, op: OperatorId, kg: KeyGroupId, tuple: Tuple) {
         let logic = Arc::clone(&self.topology.operator(op).logic);
-        let state = self.states.entry(kg.raw()).or_insert_with(|| logic.new_state());
+        let state = self
+            .states
+            .entry(kg.raw())
+            .or_insert_with(|| logic.new_state());
         let mut out = Emissions::new();
         logic.process(&tuple, state, &mut out);
         self.stats.record_processed(kg, 1.0, logic.cost_per_tuple());
@@ -197,7 +227,11 @@ impl WorkerCtx {
                 if crossed {
                     let sender = self.senders.read().get(&dest).cloned();
                     if let Some(s) = sender {
-                        let _ = s.send(Msg::Data { op: dop, kg: dkg, tuple: tuple.clone() });
+                        let _ = s.send(Msg::Data {
+                            op: dop,
+                            kg: dkg,
+                            tuple: tuple.clone(),
+                        });
                     }
                 } else {
                     self.on_data(dop, dkg, tuple.clone());
@@ -253,7 +287,15 @@ impl Runtime {
             handles.push((node.id, handle));
         }
 
-        Runtime { topology, routing, senders, handles, cluster, cost, clock: PeriodClock::new() }
+        Runtime {
+            topology,
+            routing,
+            senders,
+            handles,
+            cluster,
+            cost,
+            clock: PeriodClock::new(),
+        }
     }
 
     /// The topology.
@@ -315,7 +357,11 @@ impl Runtime {
         let (ack_tx, ack_rx) = unbounded();
         let mut expected = 0;
         for s in &senders {
-            if s.send(Msg::FlushWindows { ack: ack_tx.clone() }).is_ok() {
+            if s.send(Msg::FlushWindows {
+                ack: ack_tx.clone(),
+            })
+            .is_ok()
+            {
                 expected += 1;
             }
         }
@@ -330,7 +376,11 @@ impl Runtime {
         let (reply_tx, reply_rx) = unbounded();
         let mut expected = 0;
         for s in &senders {
-            if s.send(Msg::CollectStats { reply: reply_tx.clone() }).is_ok() {
+            if s.send(Msg::CollectStats {
+                reply: reply_tx.clone(),
+            })
+            .is_ok()
+            {
                 expected += 1;
             }
         }
@@ -358,8 +408,7 @@ impl Runtime {
                 continue;
             }
             let senders = self.senders.read();
-            let (Some(src), Some(dst)) =
-                (senders.get(&from).cloned(), senders.get(&to).cloned())
+            let (Some(src), Some(dst)) = (senders.get(&from).cloned(), senders.get(&to).cloned())
             else {
                 continue;
             };
@@ -370,7 +419,11 @@ impl Runtime {
             let _ = dst.send(Msg::PrepareReceive { kg: group });
             self.routing.write().reroute(group, to);
             let (done_tx, done_rx) = unbounded();
-            let _ = src.send(Msg::Extract { kg: group, dest: to, done: done_tx });
+            let _ = src.send(Msg::Extract {
+                kg: group,
+                dest: to,
+                done: done_tx,
+            });
             let (state_bytes, _replayed) = done_rx.recv().unwrap_or((0, 0));
 
             reports.push(MigrationReport::from_cost_model(
@@ -428,13 +481,18 @@ mod tests {
     #[test]
     fn tuples_flow_through_the_topology() {
         let (mut rt, src, _) = two_op_runtime(2);
-        let tuples: Vec<Tuple> =
-            (0..100).map(|i| Tuple::keyed(&(i % 10), Value::Int(i), i as u64)).collect();
+        let tuples: Vec<Tuple> = (0..100)
+            .map(|i| Tuple::keyed(&(i % 10), Value::Int(i), i as u64))
+            .collect();
         rt.inject(src, tuples);
         rt.quiesce(4);
         let stats = rt.end_period();
         // 100 tuples at the source + 100 at the counter.
-        assert!((stats.total_tuples - 200.0).abs() < 1e-9, "{}", stats.total_tuples);
+        assert!(
+            (stats.total_tuples - 200.0).abs() < 1e-9,
+            "{}",
+            stats.total_tuples
+        );
         assert!(stats.comm_tuples >= 100.0);
         rt.shutdown();
     }
@@ -443,14 +501,23 @@ mod tests {
     fn migration_preserves_counter_state() {
         let (mut rt, src, cnt) = two_op_runtime(2);
         let key = 3i32;
-        rt.inject(src, (0..50).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)));
+        rt.inject(
+            src,
+            (0..50).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
         rt.quiesce(4);
         let _ = rt.end_period();
 
         // Move the counter's key group to the other node.
         let kg = rt.topology().group_for_key(cnt, hash_key(&key));
         let from = rt.routing_snapshot().node_of(kg);
-        let to = rt.cluster().nodes().iter().map(|n| n.id).find(|&n| n != from).unwrap();
+        let to = rt
+            .cluster()
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .find(|&n| n != from)
+            .unwrap();
         let reports = rt.migrate(&[Migration { group: kg, to }]);
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].from, from);
@@ -459,7 +526,10 @@ mod tests {
         assert_eq!(rt.routing_snapshot().node_of(kg), to);
 
         // Continue the stream; the count must continue from 50.
-        rt.inject(src, (50..60).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)));
+        rt.inject(
+            src,
+            (50..60).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
         rt.quiesce(4);
         let bytes = rt.probe_state(kg).expect("state exists on destination");
         let mut arr = [0u8; 8];
@@ -474,18 +544,34 @@ mod tests {
         let key = 7i32;
         // Interleave injections with a migration; every tuple must be
         // counted exactly once regardless of timing.
-        rt.inject(src, (0..200).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)));
+        rt.inject(
+            src,
+            (0..200).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
         let kg = rt.topology().group_for_key(cnt, hash_key(&key));
         let from = rt.routing_snapshot().node_of(kg);
-        let to = rt.cluster().nodes().iter().map(|n| n.id).find(|&n| n != from).unwrap();
+        let to = rt
+            .cluster()
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .find(|&n| n != from)
+            .unwrap();
         rt.migrate(&[Migration { group: kg, to }]);
-        rt.inject(src, (200..300).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)));
+        rt.inject(
+            src,
+            (200..300).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
         rt.quiesce(6);
 
         let bytes = rt.probe_state(kg).expect("state present");
         let mut arr = [0u8; 8];
         arr.copy_from_slice(&bytes[..8]);
-        assert_eq!(u64::from_le_bytes(arr), 300, "every tuple counted exactly once");
+        assert_eq!(
+            u64::from_le_bytes(arr),
+            300,
+            "every tuple counted exactly once"
+        );
         rt.shutdown();
     }
 

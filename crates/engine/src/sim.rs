@@ -205,10 +205,15 @@ impl<W: WorkloadModel> SimEngine<W> {
             if from == to {
                 continue;
             }
-            debug_assert!(self.cluster.get(to).is_some(), "migration to unknown node {to}");
+            debug_assert!(
+                self.cluster.get(to).is_some(),
+                "migration to unknown node {to}"
+            );
             self.routing.reroute(group, to);
             let bytes = state_sizes.get(group.index()).copied().unwrap_or(0.0) as usize;
-            reports.push(MigrationReport::from_cost_model(group, from, to, bytes, &self.cost));
+            reports.push(MigrationReport::from_cost_model(
+                group, from, to, bytes, &self.cost,
+            ));
         }
         for &node in &plan.mark_removal {
             self.cluster.mark_for_removal(node);
@@ -220,7 +225,10 @@ impl<W: WorkloadModel> SimEngine<W> {
         // changes the moment routing changes.
         let refreshed = self.last_snapshot.take().map(|snap| {
             let stats = self.stats_from_snapshot(
-                self.last_stats.as_ref().map(|s| s.period).unwrap_or_default(),
+                self.last_stats
+                    .as_ref()
+                    .map(|s| s.period)
+                    .unwrap_or_default(),
                 &snap,
             );
             self.last_snapshot = Some(snap);
@@ -312,7 +320,10 @@ mod tests {
         let mut e = engine(4, 2);
         e.tick();
         let plan = ReconfigPlan {
-            migrations: vec![Migration { group: KeyGroupId::new(0), to: NodeId::new(1) }],
+            migrations: vec![Migration {
+                group: KeyGroupId::new(0),
+                to: NodeId::new(1),
+            }],
             ..Default::default()
         };
         let reports = e.apply(&plan);
@@ -331,7 +342,10 @@ mod tests {
         e.tick();
         let current = e.routing().node_of(KeyGroupId::new(0));
         let plan = ReconfigPlan {
-            migrations: vec![Migration { group: KeyGroupId::new(0), to: current }],
+            migrations: vec![Migration {
+                group: KeyGroupId::new(0),
+                to: current,
+            }],
             ..Default::default()
         };
         let reports = e.apply(&plan);
@@ -369,12 +383,18 @@ mod tests {
         let mut e = engine(4, 2);
         e.tick();
         // Scale out.
-        let plan = ReconfigPlan { add_nodes: vec![1.0], ..Default::default() };
+        let plan = ReconfigPlan {
+            add_nodes: vec![1.0],
+            ..Default::default()
+        };
         e.apply(&plan);
         assert_eq!(e.cluster().len(), 3);
 
         // Mark node 1 for removal; it still holds groups → not terminated.
-        let plan = ReconfigPlan { mark_removal: vec![NodeId::new(1)], ..Default::default() };
+        let plan = ReconfigPlan {
+            mark_removal: vec![NodeId::new(1)],
+            ..Default::default()
+        };
         e.apply(&plan);
         assert!(e.cluster().is_killed(NodeId::new(1)));
         assert!(e.terminate_drained().is_empty());
@@ -384,7 +404,10 @@ mod tests {
         let plan = ReconfigPlan {
             migrations: groups
                 .into_iter()
-                .map(|g| Migration { group: g, to: NodeId::new(0) })
+                .map(|g| Migration {
+                    group: g,
+                    to: NodeId::new(0),
+                })
                 .collect(),
             ..Default::default()
         };

@@ -152,8 +152,11 @@ impl PeriodStats {
         }
 
         // Node loads: sum of resident groups' masses over node capacity.
-        let mut node_loads: HashMap<NodeId, LoadVector> =
-            cluster.nodes().iter().map(|n| (n.id, LoadVector::ZERO)).collect();
+        let mut node_loads: HashMap<NodeId, LoadVector> = cluster
+            .nodes()
+            .iter()
+            .map(|n| (n.id, LoadVector::ZERO))
+            .collect();
         for (g, vec) in per_group.iter().enumerate() {
             let node = allocation[g];
             let cap = cluster.get(node).map(|n| n.capacity).unwrap_or(1.0);
@@ -170,10 +173,18 @@ impl PeriodStats {
         }
         let bottleneck = totals.dominant();
 
-        let group_loads: Vec<f64> =
-            per_group.iter().map(|v| v.get(bottleneck).value()).collect();
+        let group_loads: Vec<f64> = per_group
+            .iter()
+            .map(|v| v.get(bottleneck).value())
+            .collect();
         let group_state_bytes: Vec<f64> = (0..num_groups)
-            .map(|g| collector.state_bytes.get(&(g as u32)).copied().unwrap_or(0.0))
+            .map(|g| {
+                collector
+                    .state_bytes
+                    .get(&(g as u32))
+                    .copied()
+                    .unwrap_or(0.0)
+            })
             .collect();
 
         let mut out_total = vec![0.0; num_groups];
@@ -248,7 +259,10 @@ impl PeriodStats {
 
     /// `out(g_i, g_j)` lookup.
     pub fn out_rate(&self, from: KeyGroupId, to: KeyGroupId) -> f64 {
-        self.out_matrix.get(&(from.raw(), to.raw())).copied().unwrap_or(0.0)
+        self.out_matrix
+            .get(&(from.raw(), to.raw()))
+            .copied()
+            .unwrap_or(0.0)
     }
 }
 
@@ -289,7 +303,10 @@ mod tests {
         let stats = PeriodStats::compute(Period(0), &c, alloc, &cluster, &cost);
         let mean = stats.mean_load(&cluster);
         let d = stats.load_distance(&cluster);
-        assert!((d - mean).abs() < 1e-9, "one empty node: distance equals mean");
+        assert!(
+            (d - mean).abs() < 1e-9,
+            "one empty node: distance equals mean"
+        );
     }
 
     #[test]
@@ -332,9 +349,7 @@ mod tests {
         let alloc = vec![NodeId::new(0), NodeId::new(1)];
         let stats = PeriodStats::compute(Period(0), &c, alloc, &cluster, &cost);
         // Node 0 processes twice the tuples on twice the capacity → equal load.
-        assert!(
-            (stats.load_of(NodeId::new(0)) - stats.load_of(NodeId::new(1))).abs() < 1e-9
-        );
+        assert!((stats.load_of(NodeId::new(0)) - stats.load_of(NodeId::new(1))).abs() < 1e-9);
         assert!(stats.load_distance(&cluster) < 1e-9);
     }
 
@@ -346,8 +361,7 @@ mod tests {
         // Tiny tuple counts, huge state.
         c.record_processed(KeyGroupId::new(0), 1.0, 1.0);
         c.set_state_bytes(KeyGroupId::new(0), cost.mem_capacity * 0.9);
-        let stats =
-            PeriodStats::compute(Period(0), &c, vec![NodeId::new(0)], &cluster, &cost);
+        let stats = PeriodStats::compute(Period(0), &c, vec![NodeId::new(0)], &cluster, &cost);
         assert_eq!(stats.bottleneck, Resource::Memory);
         assert!(stats.group_loads[0] > 80.0);
     }

@@ -330,7 +330,10 @@ mod tests {
     fn rejects_zero_key_groups() {
         let mut b = TopologyBuilder::new();
         b.source("a", 0, Arc::new(Identity));
-        assert!(matches!(b.build().unwrap_err(), TopologyError::NoKeyGroups(0)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::NoKeyGroups(0)
+        ));
     }
 
     #[test]
@@ -338,7 +341,10 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let a = b.source("a", 1, Arc::new(Identity));
         b.edge(a, OperatorId::new(9));
-        assert!(matches!(b.build().unwrap_err(), TopologyError::UnknownOperator(9)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::UnknownOperator(9)
+        ));
     }
 
     #[test]

@@ -147,7 +147,11 @@ pub struct Tuple {
 impl Tuple {
     /// Construct a tuple from a natural key.
     pub fn keyed<K: Hash + ?Sized>(key: &K, value: Value, ts: u64) -> Self {
-        Tuple { key: hash_key(key), value, ts }
+        Tuple {
+            key: hash_key(key),
+            value,
+            ts,
+        }
     }
 
     /// Construct a tuple from an already-hashed key.

@@ -237,22 +237,31 @@ impl Units {
                 let e = p.budget.effective_cost(spec.migration_cost);
                 load[u] += spec.load;
                 total_cost[u] += e;
-                match cost_by_origin[u].iter_mut().find(|(n, _)| *n == spec.current_node) {
+                match cost_by_origin[u]
+                    .iter_mut()
+                    .find(|(n, _)| *n == spec.current_node)
+                {
                     Some((_, c)) => *c += e,
                     None => cost_by_origin[u].push((spec.current_node, e)),
                 }
             }
         }
 
-        Ok(Units { members, of_group, pin, load, total_cost, cost_by_origin })
+        Ok(Units {
+            members,
+            of_group,
+            pin,
+            load,
+            total_cost,
+            cost_by_origin,
+        })
     }
 
     /// Effective migration cost of placing unit `u` on `node` (members
     /// already on `node` are free).
     #[inline]
     fn cost_on(&self, u: usize, node: usize) -> f64 {
-        let local: f64 = self
-            .cost_by_origin[u]
+        let local: f64 = self.cost_by_origin[u]
             .iter()
             .find(|(n, _)| *n == node)
             .map(|(_, c)| *c)
@@ -371,7 +380,11 @@ impl AllocationProblem {
                 lowdev = lowdev.max(-dev);
             }
         }
-        Quality { d: updev.max(lowdev).max(0.0), secondary: updev.max(0.0) + lowdev.max(0.0), cost }
+        Quality {
+            d: updev.max(lowdev).max(0.0),
+            secondary: updev.max(0.0) + lowdev.max(0.0),
+            cost,
+        }
     }
 
     /// The exact LP-relaxation lower bound on the achievable load distance
@@ -404,13 +417,18 @@ impl AllocationProblem {
         let mean = self.mean();
         let budget_value = self.budget.value();
 
-        let current_assignment: Vec<usize> =
-            self.groups.iter().map(|g| g.current_node).collect();
+        let current_assignment: Vec<usize> = self.groups.iter().map(|g| g.current_node).collect();
 
         let units = match Units::build(self) {
             Ok(u) => u,
             Err(()) => {
-                return self.report(&current_assignment, f64::INFINITY, 0.0, 0, SolveStatus::Infeasible);
+                return self.report(
+                    &current_assignment,
+                    f64::INFINITY,
+                    0.0,
+                    0,
+                    SolveStatus::Infeasible,
+                );
             }
         };
 
@@ -442,14 +460,24 @@ impl AllocationProblem {
             mass[assign[u]] += units.load[u];
             cost_used += units.cost_on(u, assign[u]);
         }
-        let state = State { assign, mass, cost_used };
+        let state = State {
+            assign,
+            mass,
+            cost_used,
+        };
 
         // Mandatory (pin/consolidation) cost already over budget: the
         // constrained MILP is infeasible. Report so ALBIC can retry with
         // smaller partitions.
         if state.cost_used > budget_value + 1e-6 {
             let assignment = self.expand(&units, &state);
-            return self.report(&assignment, f64::INFINITY, state.cost_used, budget.work_used(), SolveStatus::Infeasible);
+            return self.report(
+                &assignment,
+                f64::INFINITY,
+                state.cost_used,
+                budget.work_used(),
+                SolveStatus::Infeasible,
+            );
         }
 
         let lower_bound = self.relaxation_bound();
@@ -475,8 +503,9 @@ impl AllocationProblem {
                     mass[p] += units.load[u];
                 }
             }
-            let mut order: Vec<usize> =
-                (0..units.members.len()).filter(|&u| assign[u] == usize::MAX).collect();
+            let mut order: Vec<usize> = (0..units.members.len())
+                .filter(|&u| assign[u] == usize::MAX)
+                .collect();
             order.sort_by(|&a, &b| {
                 units.load[b]
                     .partial_cmp(&units.load[a])
@@ -499,9 +528,14 @@ impl AllocationProblem {
                 mass[i] += units.load[u];
             }
             if assign.iter().all(|&a| a != usize::MAX) {
-                let cost_used: f64 =
-                    (0..units.members.len()).map(|u| units.cost_on(u, assign[u])).sum();
-                let cand = State { assign, mass, cost_used };
+                let cost_used: f64 = (0..units.members.len())
+                    .map(|u| units.cost_on(u, assign[u]))
+                    .sum();
+                let cand = State {
+                    assign,
+                    mass,
+                    cost_used,
+                };
                 let q = self.quality(&cand.mass, cand.cost_used, mean);
                 if q.better_than(&best_q) {
                     best = cand;
@@ -539,7 +573,13 @@ impl AllocationProblem {
             SolveStatus::Feasible
         };
         let assignment = self.expand(&units, &best);
-        let mut sol = self.report(&assignment, lower_bound, best.cost_used, budget.work_used(), status);
+        let mut sol = self.report(
+            &assignment,
+            lower_bound,
+            best.cost_used,
+            budget.work_used(),
+            status,
+        );
         sol.load_distance = final_q.d;
         sol
     }
@@ -579,7 +619,11 @@ impl AllocationProblem {
         AllocationSolution {
             assignment: assignment.to_vec(),
             load_distance: q.d,
-            lower_bound: if lower_bound.is_finite() { lower_bound } else { 0.0 },
+            lower_bound: if lower_bound.is_finite() {
+                lower_bound
+            } else {
+                0.0
+            },
             du: (q.d - updev.max(0.0)).max(0.0),
             dl: (q.d - lowdev.max(0.0)).max(0.0),
             migration_cost: cost_used,
@@ -601,10 +645,16 @@ impl AllocationProblem {
         budget: &mut Budget,
     ) -> bool {
         let n = self.num_nodes;
-        let hi: Vec<f64> = (0..n).map(|i| (mean + target_d) * self.capacity[i]).collect();
+        let hi: Vec<f64> = (0..n)
+            .map(|i| (mean + target_d) * self.capacity[i])
+            .collect();
         let lo: Vec<f64> = (0..n)
             .map(|i| {
-                if self.killed[i] { 0.0 } else { (mean - target_d).max(0.0) * self.capacity[i] }
+                if self.killed[i] {
+                    0.0
+                } else {
+                    (mean - target_d).max(0.0) * self.capacity[i]
+                }
             })
             .collect();
 
@@ -695,8 +745,7 @@ impl AllocationProblem {
                 if load <= EPS || load > donor_spare + EPS || load > recv_headroom + EPS {
                     continue;
                 }
-                let delta =
-                    units.cost_on(u, receiver) - units.cost_on(u, donor);
+                let delta = units.cost_on(u, receiver) - units.cost_on(u, donor);
                 if state.cost_used + delta > budget_value + 1e-9 {
                     continue;
                 }
@@ -883,9 +932,7 @@ impl AllocationProblem {
             m.add_constraint(format!("pin_{k}_{node}"), e, CmpOp::Eq, 1.0);
         }
 
-        m.minimize(
-            LinExpr::new().term(d, W1).term(du, -W2).term(dl, -W2),
-        );
+        m.minimize(LinExpr::new().term(d, W1).term(du, -W2).term(dl, -W2));
         (m, ModelVars { x, d, du, dl })
     }
 }
@@ -955,7 +1002,11 @@ mod tests {
         let sol = p.solve(&mut Budget::unlimited());
         assert!(sol.migrations.len() <= 1);
         // Best with one move: 30/10 → d = 10.
-        assert!((sol.load_distance - 10.0).abs() < 1e-6, "d = {}", sol.load_distance);
+        assert!(
+            (sol.load_distance - 10.0).abs() < 1e-6,
+            "d = {}",
+            sol.load_distance
+        );
     }
 
     #[test]
@@ -1032,7 +1083,10 @@ mod tests {
         );
         p.collocate = vec![vec![0, 1]];
         let sol = p.solve(&mut Budget::unlimited());
-        assert_eq!(sol.assignment[0], sol.assignment[1], "collocated pair split");
+        assert_eq!(
+            sol.assignment[0], sol.assignment[1],
+            "collocated pair split"
+        );
         assert!(sol.load_distance < 1e-6);
     }
 
@@ -1121,7 +1175,12 @@ mod tests {
         // deterministic instances.
         let cases: Vec<AllocationProblem> = vec![
             simple_problem(&[2.0, 3.0, 4.0], 2, &[0, 0, 1], MigrationBudget::Unlimited),
-            simple_problem(&[5.0, 1.0, 3.0, 7.0], 2, &[0, 0, 0, 0], MigrationBudget::Count(2)),
+            simple_problem(
+                &[5.0, 1.0, 3.0, 7.0],
+                2,
+                &[0, 0, 0, 0],
+                MigrationBudget::Count(2),
+            ),
             simple_problem(
                 &[4.0, 4.0, 4.0, 4.0, 4.0, 4.0],
                 3,

@@ -77,7 +77,10 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to pop the smallest bound first.
-        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -133,7 +136,11 @@ pub fn solve_milp(model: &Model, budget: &mut Budget) -> Result<MilpResult, Milp
             return Ok(MilpResult {
                 status: MilpStatus::Unbounded,
                 best: None,
-                bound: if maximize { f64::INFINITY } else { f64::NEG_INFINITY },
+                bound: if maximize {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                },
                 nodes_explored,
             });
         }
@@ -156,7 +163,10 @@ pub fn solve_milp(model: &Model, budget: &mut Budget) -> Result<MilpResult, Milp
                 return Ok(MilpResult {
                     status: MilpStatus::Optimal,
                     bound: sol.objective,
-                    best: Some(Solution { values: vals, objective: sol.objective }),
+                    best: Some(Solution {
+                        values: vals,
+                        objective: sol.objective,
+                    }),
                     nodes_explored,
                 });
             }
@@ -198,16 +208,24 @@ pub fn solve_milp(model: &Model, budget: &mut Budget) -> Result<MilpResult, Milp
                                 vals[v.index()] = vals[v.index()].round();
                             }
                             incumbent_score = score;
-                            incumbent =
-                                Some(Solution { values: vals, objective: sol.objective });
+                            incumbent = Some(Solution {
+                                values: vals,
+                                objective: sol.objective,
+                            });
                         }
                         Some((var, x)) => {
                             let mut left = node.overrides.clone();
                             left.push((var, f64::NEG_INFINITY, x.floor()));
                             let mut right = node.overrides.clone();
                             right.push((var, x.ceil(), f64::INFINITY));
-                            heap.push(Node { bound: score, overrides: left });
-                            heap.push(Node { bound: score, overrides: right });
+                            heap.push(Node {
+                                bound: score,
+                                overrides: left,
+                            });
+                            heap.push(Node {
+                                bound: score,
+                                overrides: right,
+                            });
                         }
                     }
                 }
@@ -241,7 +259,12 @@ pub fn solve_milp(model: &Model, budget: &mut Budget) -> Result<MilpResult, Milp
     } else {
         bound_score
     };
-    Ok(MilpResult { status, best: incumbent, bound, nodes_explored })
+    Ok(MilpResult {
+        status,
+        best: incumbent,
+        bound,
+        nodes_explored,
+    })
 }
 
 #[cfg(test)]
@@ -286,8 +309,18 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_integer("x", 0.0, 10.0);
         let y = m.add_integer("y", 0.0, 10.0);
-        m.add_constraint("c1", LinExpr::new().term(x, 2.0).term(y, 1.0), CmpOp::Le, 4.5);
-        m.add_constraint("c2", LinExpr::new().term(x, 1.0).term(y, 2.0), CmpOp::Le, 4.5);
+        m.add_constraint(
+            "c1",
+            LinExpr::new().term(x, 2.0).term(y, 1.0),
+            CmpOp::Le,
+            4.5,
+        );
+        m.add_constraint(
+            "c2",
+            LinExpr::new().term(x, 1.0).term(y, 2.0),
+            CmpOp::Le,
+            4.5,
+        );
         m.maximize(LinExpr::new().term(x, 1.0).term(y, 1.0));
 
         let mut best = f64::NEG_INFINITY;
@@ -364,7 +397,11 @@ mod tests {
                 assert!(r.bound >= opt - 1e-6);
             }
             MilpStatus::BudgetExhausted => {
-                assert!(r.bound >= opt - 1e-6, "bound {} must dominate {opt}", r.bound);
+                assert!(
+                    r.bound >= opt - 1e-6,
+                    "bound {} must dominate {opt}",
+                    r.bound
+                );
             }
             other => panic!("unexpected status {other:?}"),
         }

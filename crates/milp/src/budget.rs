@@ -20,12 +20,20 @@ pub struct Budget {
 impl Budget {
     /// A budget of `max_work` abstract work units.
     pub fn work(max_work: u64) -> Self {
-        Budget { max_work, work_used: 0, deadline: None }
+        Budget {
+            max_work,
+            work_used: 0,
+            deadline: None,
+        }
     }
 
     /// An effectively unlimited budget.
     pub fn unlimited() -> Self {
-        Budget { max_work: u64::MAX, work_used: 0, deadline: None }
+        Budget {
+            max_work: u64::MAX,
+            work_used: 0,
+            deadline: None,
+        }
     }
 
     /// A wall-clock deadline starting now, with unlimited work units.

@@ -34,7 +34,11 @@ impl fmt::Display for MilpError {
                 f,
                 "variable index {index} out of range (model has {num_vars} variables)"
             ),
-            MilpError::InvalidBounds { index, lower, upper } => write!(
+            MilpError::InvalidBounds {
+                index,
+                lower,
+                upper,
+            } => write!(
                 f,
                 "variable {index} has lower bound {lower} above upper bound {upper}"
             ),
@@ -52,10 +56,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MilpError::UnknownVariable { index: 9, num_vars: 3 };
+        let e = MilpError::UnknownVariable {
+            index: 9,
+            num_vars: 3,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('3'));
-        let e = MilpError::InvalidBounds { index: 1, lower: 2.0, upper: 1.0 };
+        let e = MilpError::InvalidBounds {
+            index: 1,
+            lower: 2.0,
+            upper: 1.0,
+        };
         assert!(e.to_string().contains("lower bound"));
     }
 }

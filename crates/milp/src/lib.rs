@@ -22,6 +22,36 @@
 //! The crate is engine-agnostic: it speaks `usize` node/group indices so it
 //! can be unit-tested in isolation. `albic-core` adapts engine statistics
 //! into [`allocation::AllocationProblem`] instances.
+//!
+//! # Example
+//!
+//! ```
+//! use albic_milp::{AllocationProblem, Budget, GroupSpec, MigrationBudget};
+//!
+//! // Two nodes; node 0 hosts all three key groups. Rebalance under a
+//! // budget of one migration.
+//! let p = AllocationProblem {
+//!     num_nodes: 2,
+//!     killed: vec![false, false],
+//!     capacity: vec![1.0, 1.0],
+//!     groups: vec![
+//!         GroupSpec { load: 40.0, migration_cost: 1.0, current_node: 0 },
+//!         GroupSpec { load: 40.0, migration_cost: 1.0, current_node: 0 },
+//!         GroupSpec { load: 20.0, migration_cost: 1.0, current_node: 0 },
+//!     ],
+//!     budget: MigrationBudget::Count(1),
+//!     collocate: vec![],
+//!     pins: vec![],
+//! };
+//!
+//! let sol = p.solve(&mut Budget::work(50_000));
+//! // Moving one 40-point group yields a perfect 60/40 → 60/40 split:
+//! // each node ends within 10 points of the 50-point mean.
+//! assert!(sol.migrations.len() <= 1);
+//! assert!(sol.load_distance <= 10.0 + 1e-6);
+//! // The relaxation bound brackets the optimum to its probe tolerance.
+//! assert!(sol.lower_bound <= sol.load_distance + 1e-3);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

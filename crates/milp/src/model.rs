@@ -160,19 +160,23 @@ impl Model {
 
     fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lower: f64, upper: f64) -> VarId {
         let id = VarId(self.vars.len());
-        self.vars.push(Variable { name: name.into(), kind, lower, upper });
+        self.vars.push(Variable {
+            name: name.into(),
+            kind,
+            lower,
+            upper,
+        });
         id
     }
 
     /// Add a linear constraint.
-    pub fn add_constraint(
-        &mut self,
-        name: impl Into<String>,
-        expr: LinExpr,
-        op: CmpOp,
-        rhs: f64,
-    ) {
-        self.constraints.push(Constraint { name: name.into(), expr, op, rhs });
+    pub fn add_constraint(&mut self, name: impl Into<String>, expr: LinExpr, op: CmpOp, rhs: f64) {
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr,
+            op,
+            rhs,
+        });
     }
 
     /// Set the objective to minimize.
@@ -244,7 +248,11 @@ impl Model {
                 return Err(MilpError::NotANumber);
             }
             if v.lower > v.upper {
-                return Err(MilpError::InvalidBounds { index: i, lower: v.lower, upper: v.upper });
+                return Err(MilpError::InvalidBounds {
+                    index: i,
+                    lower: v.lower,
+                    upper: v.upper,
+                });
             }
         }
         let check_expr = |expr: &LinExpr| -> Result<(), MilpError> {
@@ -253,7 +261,10 @@ impl Model {
             }
             for &(v, c) in &expr.terms {
                 if v.0 >= self.vars.len() {
-                    return Err(MilpError::UnknownVariable { index: v.0, num_vars: self.vars.len() });
+                    return Err(MilpError::UnknownVariable {
+                        index: v.0,
+                        num_vars: self.vars.len(),
+                    });
                 }
                 if c.is_nan() {
                     return Err(MilpError::NotANumber);
@@ -282,9 +293,7 @@ impl Model {
             if x < v.lower - tol || x > v.upper + tol {
                 return false;
             }
-            if matches!(v.kind, VarKind::Integer | VarKind::Binary)
-                && (x - x.round()).abs() > tol
-            {
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary) && (x - x.round()).abs() > tol {
                 return false;
             }
         }
@@ -329,7 +338,12 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x", 0.0, f64::INFINITY);
         let y = m.add_continuous("y", 0.0, 10.0);
-        m.add_constraint("c1", LinExpr::new().term(x, 1.0).term(y, 2.0), CmpOp::Le, 14.0);
+        m.add_constraint(
+            "c1",
+            LinExpr::new().term(x, 1.0).term(y, 2.0),
+            CmpOp::Le,
+            14.0,
+        );
         m.minimize(LinExpr::new().term(x, -3.0).term(y, -1.0));
         assert_eq!(m.num_vars(), 2);
         assert_eq!(m.num_constraints(), 1);
@@ -344,7 +358,11 @@ mod tests {
         let x = m.add_continuous("x", 0.0, 1.0);
         let y = m.add_continuous("y", 0.0, 1.0);
         // Repeated variable terms must sum on densify.
-        let e = LinExpr::new().term(x, 2.0).term(y, 3.0).term(x, 1.0).plus(5.0);
+        let e = LinExpr::new()
+            .term(x, 2.0)
+            .term(y, 3.0)
+            .term(x, 1.0)
+            .plus(5.0);
         assert_eq!(e.eval(&[1.0, 2.0]), 2.0 + 6.0 + 1.0 + 5.0);
         assert_eq!(e.to_dense(2), vec![3.0, 3.0]);
     }
@@ -355,12 +373,18 @@ mod tests {
         assert_eq!(m.validate(), Err(MilpError::EmptyModel));
 
         let x = m.add_continuous("x", 5.0, 1.0);
-        assert!(matches!(m.validate(), Err(MilpError::InvalidBounds { index: 0, .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(MilpError::InvalidBounds { index: 0, .. })
+        ));
         m.set_bounds(x, 0.0, 1.0);
         assert!(m.validate().is_ok());
 
         m.add_constraint("bad", LinExpr::new().term(VarId(7), 1.0), CmpOp::Le, 0.0);
-        assert!(matches!(m.validate(), Err(MilpError::UnknownVariable { index: 7, .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(MilpError::UnknownVariable { index: 7, .. })
+        ));
     }
 
     #[test]
@@ -368,7 +392,12 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_binary("x");
         let y = m.add_continuous("y", 0.0, 5.0);
-        m.add_constraint("c", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Ge, 2.0);
+        m.add_constraint(
+            "c",
+            LinExpr::new().term(x, 1.0).term(y, 1.0),
+            CmpOp::Ge,
+            2.0,
+        );
         assert!(m.is_feasible(&[1.0, 1.0], 1e-9));
         assert!(!m.is_feasible(&[1.0, 0.5], 1e-9)); // constraint violated
         assert!(!m.is_feasible(&[0.5, 2.0], 1e-9)); // binary fractional

@@ -126,7 +126,11 @@ pub fn min_cost_for_distance(input: &RelaxationInput, d: f64) -> Option<f64> {
     let mut total_headroom = 0.0;
     for j in 0..n {
         let hi = (mean + d) * input.capacity[j];
-        let lo = if input.killed[j] { 0.0 } else { ((mean - d).max(0.0)) * input.capacity[j] };
+        let lo = if input.killed[j] {
+            0.0
+        } else {
+            ((mean - d).max(0.0)) * input.capacity[j]
+        };
         let m_j = input.node_mass[j];
         let s = (m_j - hi).max(0.0);
         let mx = (m_j - lo).max(0.0);
@@ -203,7 +207,11 @@ pub fn min_distance_bound(input: &RelaxationInput, tol: f64) -> f64 {
     let mut hi = 0.0f64;
     for j in 0..n {
         let load = input.node_mass[j] / input.capacity[j];
-        let dev = if input.killed[j] { load - mean } else { (load - mean).abs() };
+        let dev = if input.killed[j] {
+            load - mean
+        } else {
+            (load - mean).abs()
+        };
         hi = hi.max(dev);
     }
     if hi <= tol {
@@ -277,11 +285,7 @@ mod tests {
     fn partial_budget_gives_intermediate_distance() {
         // Moving mass m costs m/2 here (ratio 0.5): budget 2.5 moves 5 mass,
         // loads become 15/5, deviation 5.
-        let input = homogeneous(
-            &[20.0, 0.0],
-            vec![vec![(20.0, 10.0)], vec![]],
-            2.5,
-        );
+        let input = homogeneous(&[20.0, 0.0], vec![vec![(20.0, 10.0)], vec![]], 2.5);
         let d = min_distance_bound(&input, 1e-5);
         assert!((d - 5.0).abs() < 1e-3, "d = {d}");
     }

@@ -88,7 +88,10 @@ fn to_standard_form(model: &Model) -> StandardForm {
         if v.lower.is_finite() {
             let col = n_struct;
             n_struct += 1;
-            map.push(ColMap::Shifted { col, shift: v.lower });
+            map.push(ColMap::Shifted {
+                col,
+                shift: v.lower,
+            });
             if v.upper.is_finite() {
                 bound_rows.push((col, v.upper - v.lower));
             }
@@ -164,7 +167,14 @@ fn to_standard_form(model: &Model) -> StandardForm {
         obj_const = -obj_const;
     }
 
-    StandardForm { map, n_struct, rows, obj, obj_const, negated_obj }
+    StandardForm {
+        map,
+        n_struct,
+        rows,
+        obj,
+        obj_const,
+        negated_obj,
+    }
 }
 
 /// Dense simplex tableau.
@@ -441,7 +451,12 @@ mod tests {
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
         m.add_constraint("c1", LinExpr::new().term(x, 1.0), CmpOp::Le, 4.0);
         m.add_constraint("c2", LinExpr::new().term(y, 2.0), CmpOp::Le, 12.0);
-        m.add_constraint("c3", LinExpr::new().term(x, 3.0).term(y, 2.0), CmpOp::Le, 18.0);
+        m.add_constraint(
+            "c3",
+            LinExpr::new().term(x, 3.0).term(y, 2.0),
+            CmpOp::Le,
+            18.0,
+        );
         m.maximize(LinExpr::new().term(x, 3.0).term(y, 5.0));
 
         let out = solve_lp(&m).unwrap();
@@ -458,9 +473,24 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x", 0.0, f64::INFINITY);
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
-        m.add_constraint("cal", LinExpr::new().term(x, 60.0).term(y, 60.0), CmpOp::Ge, 300.0);
-        m.add_constraint("vitA", LinExpr::new().term(x, 12.0).term(y, 6.0), CmpOp::Ge, 36.0);
-        m.add_constraint("vitC", LinExpr::new().term(x, 10.0).term(y, 30.0), CmpOp::Ge, 90.0);
+        m.add_constraint(
+            "cal",
+            LinExpr::new().term(x, 60.0).term(y, 60.0),
+            CmpOp::Ge,
+            300.0,
+        );
+        m.add_constraint(
+            "vitA",
+            LinExpr::new().term(x, 12.0).term(y, 6.0),
+            CmpOp::Ge,
+            36.0,
+        );
+        m.add_constraint(
+            "vitC",
+            LinExpr::new().term(x, 10.0).term(y, 30.0),
+            CmpOp::Ge,
+            90.0,
+        );
         m.minimize(LinExpr::new().term(x, 0.12).term(y, 0.15));
 
         let out = solve_lp(&m).unwrap();
@@ -476,8 +506,18 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x", 0.0, f64::INFINITY);
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
-        m.add_constraint("e1", LinExpr::new().term(x, 1.0).term(y, 2.0), CmpOp::Eq, 4.0);
-        m.add_constraint("e2", LinExpr::new().term(x, 1.0).term(y, -1.0), CmpOp::Eq, 1.0);
+        m.add_constraint(
+            "e1",
+            LinExpr::new().term(x, 1.0).term(y, 2.0),
+            CmpOp::Eq,
+            4.0,
+        );
+        m.add_constraint(
+            "e2",
+            LinExpr::new().term(x, 1.0).term(y, -1.0),
+            CmpOp::Eq,
+            1.0,
+        );
         m.minimize(LinExpr::new().term(x, 1.0).term(y, 1.0));
 
         let out = solve_lp(&m).unwrap();
@@ -502,7 +542,12 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x", 0.0, f64::INFINITY);
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
-        m.add_constraint("c", LinExpr::new().term(x, 1.0).term(y, -1.0), CmpOp::Le, 1.0);
+        m.add_constraint(
+            "c",
+            LinExpr::new().term(x, 1.0).term(y, -1.0),
+            CmpOp::Le,
+            1.0,
+        );
         m.minimize(LinExpr::new().term(x, -1.0).term(y, -1.0));
         assert_eq!(solve_lp(&m).unwrap(), LpOutcome::Unbounded);
     }
@@ -513,7 +558,12 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x", -5.0, f64::INFINITY);
         let y = m.add_continuous("y", f64::NEG_INFINITY, f64::INFINITY);
-        m.add_constraint("c", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Ge, -7.0);
+        m.add_constraint(
+            "c",
+            LinExpr::new().term(x, 1.0).term(y, 1.0),
+            CmpOp::Ge,
+            -7.0,
+        );
         m.minimize(LinExpr::new().term(x, 1.0).term(y, 1.0));
 
         let out = solve_lp(&m).unwrap();
@@ -528,7 +578,12 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x", 0.0, 3.0);
         let y = m.add_continuous("y", 0.0, 2.0);
-        m.add_constraint("c", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Le, 4.0);
+        m.add_constraint(
+            "c",
+            LinExpr::new().term(x, 1.0).term(y, 1.0),
+            CmpOp::Le,
+            4.0,
+        );
         m.maximize(LinExpr::new().term(x, 1.0).term(y, 1.0));
 
         let out = solve_lp(&m).unwrap();
@@ -577,7 +632,12 @@ mod tests {
                 0.0,
             );
         }
-        m.add_constraint("cap", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Le, 10.0);
+        m.add_constraint(
+            "cap",
+            LinExpr::new().term(x, 1.0).term(y, 1.0),
+            CmpOp::Le,
+            10.0,
+        );
         m.maximize(LinExpr::new().term(x, 1.0).term(y, 2.0));
         let out = solve_lp(&m).unwrap();
         let s = out.solution().expect("optimal");
@@ -590,8 +650,18 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x", 0.0, f64::INFINITY);
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
-        m.add_constraint("e1", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Eq, 2.0);
-        m.add_constraint("e2", LinExpr::new().term(x, 1.0).term(y, 1.0), CmpOp::Eq, 2.0);
+        m.add_constraint(
+            "e1",
+            LinExpr::new().term(x, 1.0).term(y, 1.0),
+            CmpOp::Eq,
+            2.0,
+        );
+        m.add_constraint(
+            "e2",
+            LinExpr::new().term(x, 1.0).term(y, 1.0),
+            CmpOp::Eq,
+            2.0,
+        );
         m.minimize(LinExpr::new().term(x, 1.0));
         let out = solve_lp(&m).unwrap();
         let s = out.solution().expect("optimal");

@@ -81,9 +81,8 @@ impl Graph {
         for (new, &old) in vertices.iter().enumerate() {
             index_of.insert(old, new);
         }
-        let mut b = GraphBuilder::with_vertices(
-            vertices.iter().map(|&v| self.vwgt[v]).collect::<Vec<_>>(),
-        );
+        let mut b =
+            GraphBuilder::with_vertices(vertices.iter().map(|&v| self.vwgt[v]).collect::<Vec<_>>());
         for (new_v, &old_v) in vertices.iter().enumerate() {
             for &(old_u, w) in &self.adj[old_v] {
                 if let Some(&new_u) = index_of.get(&old_u) {
@@ -107,12 +106,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Builder with `n` vertices of weight 1.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { vwgt: vec![1.0; n], edges: HashMap::new() }
+        GraphBuilder {
+            vwgt: vec![1.0; n],
+            edges: HashMap::new(),
+        }
     }
 
     /// Builder with explicit vertex weights.
     pub fn with_vertices(vwgt: Vec<f64>) -> Self {
-        GraphBuilder { vwgt, edges: HashMap::new() }
+        GraphBuilder {
+            vwgt,
+            edges: HashMap::new(),
+        }
     }
 
     /// Number of vertices so far.
@@ -135,7 +140,10 @@ impl GraphBuilder {
     ///
     /// Self-loops are ignored; weights of repeated edges sum.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
-        assert!(u < self.vwgt.len() && v < self.vwgt.len(), "edge endpoint out of range");
+        assert!(
+            u < self.vwgt.len() && v < self.vwgt.len(),
+            "edge endpoint out of range"
+        );
         if u == v || weight == 0.0 {
             return;
         }
@@ -154,7 +162,10 @@ impl GraphBuilder {
         for a in &mut adj {
             a.sort_unstable_by_key(|&(u, _)| u);
         }
-        Graph { vwgt: self.vwgt, adj }
+        Graph {
+            vwgt: self.vwgt,
+            adj,
+        }
     }
 }
 

@@ -19,6 +19,28 @@
 //! Vertices and edges carry `f64` weights (ALBIC weighs vertices by
 //! migration cost or load, edges by the `out(g_i, g_j)` communication
 //! rate). Determinism: all randomness comes from a caller-provided seed.
+//!
+//! # Example
+//!
+//! ```
+//! use albic_partition::{partition, GraphBuilder, PartitionConfig};
+//!
+//! // Two 3-cliques joined by a single light edge: the minimum cut
+//! // separates the cliques.
+//! let mut b = GraphBuilder::new(6);
+//! for &(u, v) in &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
+//!     b.add_edge(u, v, 10.0);
+//! }
+//! b.add_edge(2, 3, 1.0);
+//! let g = b.build();
+//!
+//! let part = partition(&g, &PartitionConfig::k(2));
+//! assert_eq!(part.assignment.len(), 6);
+//! // The cliques stay whole, so only the bridge is cut.
+//! assert_eq!(part.assignment[0], part.assignment[1]);
+//! assert_eq!(part.assignment[3], part.assignment[5]);
+//! assert!(part.edge_cut <= 1.0 + 1e-9);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

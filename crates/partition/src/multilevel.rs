@@ -28,14 +28,22 @@ pub struct PartitionConfig {
 
 impl Default for PartitionConfig {
     fn default() -> Self {
-        PartitionConfig { num_parts: 2, imbalance: 0.05, seed: 0x5EED, trials: 8 }
+        PartitionConfig {
+            num_parts: 2,
+            imbalance: 0.05,
+            seed: 0x5EED,
+            trials: 8,
+        }
     }
 }
 
 impl PartitionConfig {
     /// Config for `k` parts with the default tolerances.
     pub fn k(num_parts: usize) -> Self {
-        PartitionConfig { num_parts, ..Default::default() }
+        PartitionConfig {
+            num_parts,
+            ..Default::default()
+        }
     }
 }
 
@@ -154,10 +162,10 @@ fn grow_bisection(graph: &Graph, target0: f64, rng: &mut SmallRng) -> Vec<bool> 
     let mut frontier_seeded = false;
 
     let add = |v: usize,
-                   side: &mut Vec<bool>,
-                   in0: &mut Vec<bool>,
-                   connectivity: &mut Vec<f64>,
-                   w0: &mut f64| {
+               side: &mut Vec<bool>,
+               in0: &mut Vec<bool>,
+               connectivity: &mut Vec<f64>,
+               w0: &mut f64| {
         side[v] = false;
         in0[v] = true;
         *w0 += graph.vertex_weight(v);
@@ -274,14 +282,27 @@ pub fn partition(graph: &Graph, cfg: &PartitionConfig) -> Partitioning {
     let mut assignment = vec![0usize; n];
     if cfg.num_parts > 1 && n > 0 {
         let vertices: Vec<usize> = (0..n).collect();
-        recurse(graph, &vertices, cfg.num_parts, 0, cfg, cfg.seed, &mut assignment);
+        recurse(
+            graph,
+            &vertices,
+            cfg.num_parts,
+            0,
+            cfg,
+            cfg.seed,
+            &mut assignment,
+        );
     }
     let mut part_weights = vec![0.0; cfg.num_parts];
     for v in 0..n {
         part_weights[assignment[v]] += graph.vertex_weight(v);
     }
     let edge_cut = graph.cut_kway(&assignment);
-    Partitioning { assignment, num_parts: cfg.num_parts, part_weights, edge_cut }
+    Partitioning {
+        assignment,
+        num_parts: cfg.num_parts,
+        part_weights,
+        edge_cut,
+    }
 }
 
 fn recurse(
@@ -335,7 +356,15 @@ fn recurse(
             }
         }
     }
-    recurse(root, &left, k0, part_offset, cfg, seed.wrapping_mul(0x9E3779B9).wrapping_add(1), assignment);
+    recurse(
+        root,
+        &left,
+        k0,
+        part_offset,
+        cfg,
+        seed.wrapping_mul(0x9E3779B9).wrapping_add(1),
+        assignment,
+    );
     recurse(
         root,
         &right,
@@ -394,7 +423,12 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let g = clique_ring(3, 7);
-        let cfg = PartitionConfig { num_parts: 3, imbalance: 0.05, seed: 7, trials: 4 };
+        let cfg = PartitionConfig {
+            num_parts: 3,
+            imbalance: 0.05,
+            seed: 7,
+            trials: 4,
+        };
         let a = partition(&g, &cfg);
         let b = partition(&g, &cfg);
         assert_eq!(a.assignment, b.assignment);
@@ -434,13 +468,21 @@ mod tests {
     fn weighted_vertices_balance_by_weight() {
         // 2 heavy vertices (8) and 8 light (1): k=2 should put one heavy
         // on each side.
-        let mut b = GraphBuilder::with_vertices(vec![8.0, 8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let mut b =
+            GraphBuilder::with_vertices(vec![8.0, 8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
         for v in 2..10 {
             b.add_edge(0, v, 1.0);
             b.add_edge(1, v, 1.0);
         }
         let g = b.build();
-        let p = partition(&g, &PartitionConfig { num_parts: 2, imbalance: 0.15, ..Default::default() });
+        let p = partition(
+            &g,
+            &PartitionConfig {
+                num_parts: 2,
+                imbalance: 0.15,
+                ..Default::default()
+            },
+        );
         let heavy_parts = (p.assignment[0], p.assignment[1]);
         assert_ne!(heavy_parts.0, heavy_parts.1, "heavy vertices must split");
         assert!(p.imbalance() <= 0.3, "imbalance {}", p.imbalance());
@@ -453,7 +495,9 @@ mod tests {
         let mut b = GraphBuilder::new(n);
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for _ in 0..3000 {
@@ -464,7 +508,14 @@ mod tests {
         }
         let g = b.build();
         for k in [2, 4, 8] {
-            let p = partition(&g, &PartitionConfig { num_parts: k, imbalance: 0.1, ..Default::default() });
+            let p = partition(
+                &g,
+                &PartitionConfig {
+                    num_parts: k,
+                    imbalance: 0.1,
+                    ..Default::default()
+                },
+            );
             assert!(
                 p.imbalance() <= 0.35,
                 "k={k}: imbalance {} too high (weights {:?})",

@@ -49,7 +49,10 @@ impl Balance {
 }
 
 fn side0_weight(graph: &Graph, side: &[bool]) -> f64 {
-    (0..graph.len()).filter(|&v| !side[v]).map(|v| graph.vertex_weight(v)).sum()
+    (0..graph.len())
+        .filter(|&v| !side[v])
+        .map(|v| graph.vertex_weight(v))
+        .sum()
 }
 
 /// Repeated FM passes refining `side` in place. Returns the final cut
@@ -159,8 +162,7 @@ pub fn fm_refine(graph: &Graph, side: &mut [bool], balance: Balance, max_passes:
 
         // Stop once a whole pass fails to improve (violation, cut).
         let improved = best_violation < pass_start_viol - 1e-12
-            || (best_violation <= pass_start_viol + 1e-12
-                && best_cut < pass_start_cut - 1e-12);
+            || (best_violation <= pass_start_viol + 1e-12 && best_cut < pass_start_cut - 1e-12);
         if !improved {
             break;
         }
@@ -230,14 +232,20 @@ mod tests {
         let balance = Balance::fractional(g.total_weight(), 0.5, 0.05);
         fm_refine(&g, &mut side, balance, 10);
         let w0 = side.iter().filter(|&&s| !s).count();
-        assert!((3..=5).contains(&w0), "sides should be near-balanced, got {w0}");
+        assert!(
+            (3..=5).contains(&w0),
+            "sides should be near-balanced, got {w0}"
+        );
     }
 
     #[test]
     fn empty_graph_is_fine() {
         let g = GraphBuilder::new(0).build();
         let mut side: Vec<bool> = vec![];
-        let balance = Balance { target0: 0.0, slack: 1.0 };
+        let balance = Balance {
+            target0: 0.0,
+            slack: 1.0,
+        };
         assert_eq!(fm_refine(&g, &mut side, balance, 3), 0.0);
     }
 
@@ -254,7 +262,10 @@ mod tests {
         let mut side = vec![false; 6];
         let balance = Balance::fractional(g.total_weight(), 0.5, 0.2);
         fm_refine(&g, &mut side, balance, 10);
-        let w0: f64 = (0..6).filter(|&v| !side[v]).map(|v| g.vertex_weight(v)).sum();
+        let w0: f64 = (0..6)
+            .filter(|&v| !side[v])
+            .map(|v| g.vertex_weight(v))
+            .sum();
         assert!((w0 - 7.5).abs() <= 3.0 + 1e-9, "w0 = {w0}");
     }
 
@@ -270,7 +281,10 @@ mod tests {
         let g = b.build();
         // Bad start: pairs split across sides.
         let mut side = vec![false, true, false, true];
-        let balance = Balance { target0: 2.0, slack: 0.1 };
+        let balance = Balance {
+            target0: 2.0,
+            slack: 0.1,
+        };
         let cut = fm_refine(&g, &mut side, balance, 10);
         assert_eq!(cut, 1.0, "should keep only the bridge cut");
         let w0 = side.iter().filter(|&&s| !s).count();

@@ -13,6 +13,30 @@
 //! Engine* (arXiv:1602.03770). Symbol names follow the paper's Table 1
 //! where practical: `n_i` → [`NodeId`], `O_i` → [`OperatorId`],
 //! `g_k` → [`KeyGroupId`], `load_i`/`gLoad_k` → [`Load`].
+//!
+//! # Example
+//!
+//! ```
+//! use albic_types::{KeyGroupId, Load, NodeId, PeriodClock};
+//!
+//! // Ids are u32 newtypes that render like the paper's symbols...
+//! let node = NodeId::new(3);
+//! assert_eq!(node.to_string(), "n3");
+//! // ...and double as dense indices into per-id tables.
+//! let group = KeyGroupId::from(7u32);
+//! assert_eq!(group.index(), 7);
+//!
+//! // Loads are percentage points of the bottleneck resource.
+//! let distance = Load::new(75.0).abs_diff(Load::new(50.0));
+//! assert_eq!(distance, Load::new(25.0));
+//!
+//! // The SPL clock: advance() ends a period and reports the one that
+//! // statistics were just collected over.
+//! let mut clock = PeriodClock::new();
+//! let finished = clock.advance();
+//! assert_eq!(finished.index(), 0);
+//! assert_eq!(clock.current().index(), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

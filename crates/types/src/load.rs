@@ -161,7 +161,11 @@ impl LoadVector {
     /// Construct from the three resource dimensions.
     #[inline]
     pub const fn new(cpu: Load, network: Load, memory: Load) -> Self {
-        LoadVector { cpu, network, memory }
+        LoadVector {
+            cpu,
+            network,
+            memory,
+        }
     }
 
     /// The load of one resource dimension.

@@ -52,16 +52,19 @@ impl AirlineOnTimeStream {
     /// `[airplane, origin, dest, dep_delay_min, arr_delay_min, year]`.
     pub fn tuples(&self, period: u64) -> Vec<Tuple> {
         let n = self.rate_at(period).round() as usize;
-        let mut rng =
-            SmallRng::seed_from_u64(self.seed ^ period.wrapping_mul(0xBF58476D1CE4E5B9));
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ period.wrapping_mul(0xBF58476D1CE4E5B9));
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let plane = self.sample_plane(&mut rng);
             // Each plane flies a small set of routes.
-            let origin = (plane * 13 + rng.gen_range(0..3)) % self.airports;
-            let dest = (origin + 1 + rng.gen_range(0..5)) % self.airports;
+            let origin = (plane * 13 + rng.gen_range(0..3usize)) % self.airports;
+            let dest = (origin + 1 + rng.gen_range(0..5usize)) % self.airports;
             let base_delay = rng.gen_range(-10..40);
-            let weather_extra = if rng.gen_bool(0.15) { rng.gen_range(10..90) } else { 0 };
+            let weather_extra = if rng.gen_bool(0.15) {
+                rng.gen_range(10..90)
+            } else {
+                0
+            };
             let dep_delay = base_delay + weather_extra;
             let arr_delay = dep_delay + rng.gen_range(-15..15);
             let year = 2004 + (period % 10) as i64;
@@ -182,9 +185,8 @@ impl WorkloadModel for AirlineJobWorkload {
         // Per-period drift of flight activity per airplane group: fleets
         // rotate through maintenance and schedules, keeping the balancers
         // busy every period.
-        let mut drift_rng = SmallRng::seed_from_u64(
-            self.seed ^ period.index().wrapping_mul(0xD6E8FEB86659FD93),
-        );
+        let mut drift_rng =
+            SmallRng::seed_from_u64(self.seed ^ period.index().wrapping_mul(0xD6E8FEB86659FD93));
         let mut op1 = self.plane_group_rates(rate);
         for r in &mut op1 {
             *r *= 1.0 + 0.25 * (drift_rng.gen::<f64>() * 2.0 - 1.0);
@@ -195,7 +197,11 @@ impl WorkloadModel for AirlineJobWorkload {
         tuples.extend(op1.iter().copied());
         let mut comm: Vec<(KeyGroupId, KeyGroupId, f64)> = (0..g)
             .map(|i| {
-                (KeyGroupId::new(i as u32), KeyGroupId::new((g + i) as u32), op1[i])
+                (
+                    KeyGroupId::new(i as u32),
+                    KeyGroupId::new((g + i) as u32),
+                    op1[i],
+                )
             })
             .collect();
 
@@ -274,7 +280,11 @@ mod tests {
         let mut w = AirlineJobWorkload::job3(10_000.0, 100, 3);
         assert_eq!(w.num_groups(), 300);
         let snap = w.snapshot(Period(0));
-        let to_op3 = snap.comm.iter().filter(|&&(_, to, _)| to.raw() >= 200).count();
+        let to_op3 = snap
+            .comm
+            .iter()
+            .filter(|&&(_, to, _)| to.raw() >= 200)
+            .count();
         assert!(to_op3 > 100, "route flows spread over many groups");
         // Multiple distinct receivers per op1 group → not 1-1.
         let receivers_of_0: std::collections::HashSet<u32> = snap

@@ -84,12 +84,19 @@ impl Operator for GeoHashOp {
         Box::new(())
     }
     fn process(&self, tuple: &Tuple, _state: &mut StateBox, out: &mut Emissions) {
-        let Some(fields) = tuple.value.as_list() else { return };
-        let Some(article) = fields.first().and_then(Value::as_str) else { return };
+        let Some(fields) = tuple.value.as_list() else {
+            return;
+        };
+        let Some(article) = fields.first().and_then(Value::as_str) else {
+            return;
+        };
         let gh = Self::geohash_for(article);
         out.emit(Tuple::keyed(
             &gh,
-            Value::List(vec![Value::Str(gh.clone()), Value::Str(article.to_string())]),
+            Value::List(vec![
+                Value::Str(gh.clone()),
+                Value::Str(article.to_string()),
+            ]),
             tuple.ts,
         ));
     }
@@ -117,8 +124,12 @@ impl Operator for TopKWindowOp {
         map_state_de(b)
     }
     fn process(&self, tuple: &Tuple, state: &mut StateBox, _out: &mut Emissions) {
-        let Some(fields) = tuple.value.as_list() else { return };
-        let Some(article) = fields.get(1).and_then(Value::as_str) else { return };
+        let Some(fields) = tuple.value.as_list() else {
+            return;
+        };
+        let Some(article) = fields.get(1).and_then(Value::as_str) else {
+            return;
+        };
         *as_map(state).entry(article.to_string()).or_insert(0.0) += 1.0;
     }
     fn on_period_end(&self, state: &mut StateBox, out: &mut Emissions) {
@@ -162,21 +173,20 @@ impl Operator for GlobalTopKOp {
         map_state_de(b)
     }
     fn process(&self, tuple: &Tuple, state: &mut StateBox, _out: &mut Emissions) {
-        let Some(items) = tuple.value.as_list() else { return };
+        let Some(items) = tuple.value.as_list() else {
+            return;
+        };
         let m = as_map(state);
         let mut i = 0;
         while i + 1 < items.len() {
-            if let (Some(article), Some(count)) =
-                (items[i].as_str(), items[i + 1].as_float())
-            {
+            if let (Some(article), Some(count)) = (items[i].as_str(), items[i + 1].as_float()) {
                 *m.entry(article.to_string()).or_insert(0.0) += count;
             }
             i += 2;
         }
         // Keep only the strongest `4k` candidates to bound state.
         if m.len() > self.k * 4 {
-            let mut entries: Vec<(String, f64)> =
-                m.iter().map(|(a, c)| (a.clone(), *c)).collect();
+            let mut entries: Vec<(String, f64)> = m.iter().map(|(a, c)| (a.clone(), *c)).collect();
             entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             m.clear();
             for (a, c) in entries.into_iter().take(self.k * 4) {
@@ -190,10 +200,18 @@ impl Operator for GlobalTopKOp {
 /// topk, global])` where `src` is the injection point for raw edits.
 pub fn job1_topology(groups_per_op: u32) -> (Topology, Vec<OperatorId>) {
     let mut b = TopologyBuilder::new();
-    let src = b.source("wiki-src", groups_per_op, Arc::new(albic_engine::operator::Identity));
+    let src = b.source(
+        "wiki-src",
+        groups_per_op,
+        Arc::new(albic_engine::operator::Identity),
+    );
     let gh = b.operator("geohash", groups_per_op, Arc::new(GeoHashOp));
     let topk = b.operator("topk", groups_per_op, Arc::new(TopKWindowOp { k: 10 }));
-    let global = b.operator("global-topk", groups_per_op, Arc::new(GlobalTopKOp { k: 10 }));
+    let global = b.operator(
+        "global-topk",
+        groups_per_op,
+        Arc::new(GlobalTopKOp { k: 10 }),
+    );
     b.edge(src, gh);
     b.edge(gh, topk);
     b.edge(topk, global);
@@ -224,10 +242,14 @@ impl Operator for ExtractDelaysOp {
         Box::new(())
     }
     fn process(&self, tuple: &Tuple, _state: &mut StateBox, out: &mut Emissions) {
-        let Some(f) = tuple.value.as_list() else { return };
-        let (Some(plane), Some(origin), Some(dest)) =
-            (f.first().and_then(Value::as_str), f.get(1).and_then(Value::as_str), f.get(2).and_then(Value::as_str))
-        else {
+        let Some(f) = tuple.value.as_list() else {
+            return;
+        };
+        let (Some(plane), Some(origin), Some(dest)) = (
+            f.first().and_then(Value::as_str),
+            f.get(1).and_then(Value::as_str),
+            f.get(2).and_then(Value::as_str),
+        ) else {
             return;
         };
         let delay = f.get(4).and_then(Value::as_float).unwrap_or(0.0);
@@ -264,7 +286,9 @@ impl Operator for SumDelaysByPlaneOp {
         map_state_de(b)
     }
     fn process(&self, tuple: &Tuple, state: &mut StateBox, _out: &mut Emissions) {
-        let Some(f) = tuple.value.as_list() else { return };
+        let Some(f) = tuple.value.as_list() else {
+            return;
+        };
         let (Some(plane), Some(year), Some(delay)) = (
             f.first().and_then(Value::as_str),
             f.get(2).and_then(Value::as_int),
@@ -272,7 +296,9 @@ impl Operator for SumDelaysByPlaneOp {
         ) else {
             return;
         };
-        *as_map(state).entry(format!("{plane}:{year}")).or_insert(0.0) += delay;
+        *as_map(state)
+            .entry(format!("{plane}:{year}"))
+            .or_insert(0.0) += delay;
     }
 }
 
@@ -294,10 +320,13 @@ impl Operator for RouteDelayOp {
         map_state_de(b)
     }
     fn process(&self, tuple: &Tuple, state: &mut StateBox, out: &mut Emissions) {
-        let Some(f) = tuple.value.as_list() else { return };
-        let (Some(route), Some(delay)) =
-            (f.get(1).and_then(Value::as_str), f.get(3).and_then(Value::as_float))
-        else {
+        let Some(f) = tuple.value.as_list() else {
+            return;
+        };
+        let (Some(route), Some(delay)) = (
+            f.get(1).and_then(Value::as_str),
+            f.get(3).and_then(Value::as_float),
+        ) else {
             return;
         };
         let m = as_map(state);
@@ -330,7 +359,9 @@ impl Operator for RekeyByRouteOp {
         Box::new(())
     }
     fn process(&self, tuple: &Tuple, _state: &mut StateBox, out: &mut Emissions) {
-        let Some(f) = tuple.value.as_list() else { return };
+        let Some(f) = tuple.value.as_list() else {
+            return;
+        };
         if let Some(route) = f.get(1).and_then(Value::as_str) {
             out.emit(Tuple::keyed(&route, tuple.value.clone(), tuple.ts));
         }
@@ -340,7 +371,11 @@ impl Operator for RekeyByRouteOp {
 /// Build the Real Job 2 topology: `src → extract → sum-by-plane`.
 pub fn job2_topology(groups_per_op: u32) -> (Topology, Vec<OperatorId>) {
     let mut b = TopologyBuilder::new();
-    let src = b.source("flights-src", groups_per_op, Arc::new(albic_engine::operator::Identity));
+    let src = b.source(
+        "flights-src",
+        groups_per_op,
+        Arc::new(albic_engine::operator::Identity),
+    );
     let extract = b.operator("extract", groups_per_op, Arc::new(ExtractDelaysOp));
     let sum = b.operator("sum-by-plane", groups_per_op, Arc::new(SumDelaysByPlaneOp));
     b.edge(src, extract);
@@ -352,7 +387,11 @@ pub fn job2_topology(groups_per_op: u32) -> (Topology, Vec<OperatorId>) {
 /// Build the Real Job 3 topology: Job 2 plus `extract → rekey → route-delay`.
 pub fn job3_topology(groups_per_op: u32) -> (Topology, Vec<OperatorId>) {
     let mut b = TopologyBuilder::new();
-    let src = b.source("flights-src", groups_per_op, Arc::new(albic_engine::operator::Identity));
+    let src = b.source(
+        "flights-src",
+        groups_per_op,
+        Arc::new(albic_engine::operator::Identity),
+    );
     let extract = b.operator("extract", groups_per_op, Arc::new(ExtractDelaysOp));
     let sum = b.operator("sum-by-plane", groups_per_op, Arc::new(SumDelaysByPlaneOp));
     let rekey = b.operator("rekey-route", groups_per_op, Arc::new(RekeyByRouteOp));
@@ -388,10 +427,13 @@ impl Operator for RainScoreOp {
         map_state_de(b)
     }
     fn process(&self, tuple: &Tuple, state: &mut StateBox, out: &mut Emissions) {
-        let Some(f) = tuple.value.as_list() else { return };
-        let (Some(station), Some(precip)) =
-            (f.first().and_then(Value::as_str), f.get(2).and_then(Value::as_float))
-        else {
+        let Some(f) = tuple.value.as_list() else {
+            return;
+        };
+        let (Some(station), Some(precip)) = (
+            f.first().and_then(Value::as_str),
+            f.get(2).and_then(Value::as_float),
+        ) else {
             return;
         };
         let m = as_map(state);
@@ -430,8 +472,12 @@ impl Operator for JoinEfficiencyOp {
         map_state_de(b)
     }
     fn process(&self, tuple: &Tuple, state: &mut StateBox, out: &mut Emissions) {
-        let Some(f) = tuple.value.as_list() else { return };
-        let Some(route) = f.first().and_then(Value::as_str) else { return };
+        let Some(f) = tuple.value.as_list() else {
+            return;
+        };
+        let Some(route) = f.first().and_then(Value::as_str) else {
+            return;
+        };
         let m = as_map(state);
         match f.len() {
             // Rainscore side: remember the latest score for the route.
@@ -478,7 +524,9 @@ impl Operator for StoreOp {
         map_state_de(b)
     }
     fn process(&self, tuple: &Tuple, state: &mut StateBox, _out: &mut Emissions) {
-        let Some(f) = tuple.value.as_list() else { return };
+        let Some(f) = tuple.value.as_list() else {
+            return;
+        };
         let key = match f.first() {
             Some(Value::Int(d)) => format!("decade-{d}"),
             Some(Value::Str(s)) => s.clone(),
@@ -496,12 +544,20 @@ impl Operator for StoreOp {
 /// rainscore, join, store]`.
 pub fn job4_topology(groups_per_op: u32) -> (Topology, Vec<OperatorId>) {
     let mut b = TopologyBuilder::new();
-    let fsrc = b.source("flights-src", groups_per_op, Arc::new(albic_engine::operator::Identity));
+    let fsrc = b.source(
+        "flights-src",
+        groups_per_op,
+        Arc::new(albic_engine::operator::Identity),
+    );
     let extract = b.operator("extract", groups_per_op, Arc::new(ExtractDelaysOp));
     let sum = b.operator("sum-by-plane", groups_per_op, Arc::new(SumDelaysByPlaneOp));
     let rekey = b.operator("rekey-route", groups_per_op, Arc::new(RekeyByRouteOp));
     let route = b.operator("route-delay", groups_per_op, Arc::new(RouteDelayOp));
-    let wsrc = b.source("weather-src", groups_per_op, Arc::new(albic_engine::operator::Identity));
+    let wsrc = b.source(
+        "weather-src",
+        groups_per_op,
+        Arc::new(albic_engine::operator::Identity),
+    );
     let rain = b.operator("rainscore", groups_per_op, Arc::new(RainScoreOp));
     let join = b.operator("join-efficiency", groups_per_op, Arc::new(JoinEfficiencyOp));
     let store = b.operator("store", groups_per_op, Arc::new(StoreOp));
@@ -514,7 +570,10 @@ pub fn job4_topology(groups_per_op: u32) -> (Topology, Vec<OperatorId>) {
     b.edge(route, join);
     b.edge(join, store);
     let t = b.build().expect("job 4 topology is a DAG");
-    (t, vec![fsrc, extract, sum, rekey, route, wsrc, rain, join, store])
+    (
+        t,
+        vec![fsrc, extract, sum, rekey, route, wsrc, rain, join, store],
+    )
 }
 
 #[cfg(test)]
@@ -571,7 +630,10 @@ mod tests {
         let stats = run_job(t, vec![(ids[0], stream.tuples(0))], 2);
         // route-delay groups processed something.
         let route_groups = t_groups(&stats, 4, 8);
-        assert!(route_groups > 0.0, "route-delay operator must receive traffic");
+        assert!(
+            route_groups > 0.0,
+            "route-delay operator must receive traffic"
+        );
     }
 
     #[test]
@@ -585,7 +647,10 @@ mod tests {
             3,
         );
         let store_tuples = t_groups(&stats, 8, 6);
-        assert!(store_tuples > 0.0, "store operator must receive joined results");
+        assert!(
+            store_tuples > 0.0,
+            "store operator must receive joined results"
+        );
     }
 
     /// Sum of tuple counts over operator `op_index`'s groups.

@@ -12,11 +12,36 @@
 //!   reproduce the *shape* of the original datasets (key skew, rate
 //!   fluctuation, schema), both as tuple streams for the threaded runtime
 //!   and as [`WorkloadModel`](albic_engine::sim::WorkloadModel)s for the
-//!   simulator. DESIGN.md §2 documents each substitution.
+//!   simulator. Each generator's module docs describe what it substitutes
+//!   for the original dataset.
 //! * [`jobs`] — Real Jobs 1-4 as operator DAGs runnable on the threaded
 //!   runtime (GeoHash + TopK windows over Wikipedia edits; airline delay
 //!   extraction/aggregation; the weather rainscore join with courier
 //!   efficiency).
+//!
+//! # Example
+//!
+//! ```
+//! use albic_engine::sim::WorkloadModel;
+//! use albic_types::Period;
+//! use albic_workloads::{SyntheticConfig, SyntheticWorkload};
+//!
+//! // The §5.1 synthetic scenario on 8 nodes: `varies` shifts load onto
+//! // 20% of the nodes so the balancers have something to fix.
+//! let cfg = SyntheticConfig { varies: 40.0, ..SyntheticConfig::cluster(8) };
+//! let mut workload = SyntheticWorkload::new(cfg);
+//!
+//! let groups = workload.num_groups();
+//! let snap = workload.snapshot(Period::ZERO);
+//! assert_eq!(snap.group_tuples.len(), groups as usize);
+//! // Snapshots are deterministic in (seed, period).
+//! let again = SyntheticWorkload::new(SyntheticConfig {
+//!     varies: 40.0,
+//!     ..SyntheticConfig::cluster(8)
+//! })
+//! .snapshot(Period::ZERO);
+//! assert_eq!(snap.group_tuples, again.group_tuples);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -175,8 +175,7 @@ impl SyntheticWorkload {
             for op in 0..cfg.operators - 1 {
                 let base_up = op * per_op;
                 let base_down = (op + 1) * per_op;
-                let n_pairs =
-                    ((per_op as f64) * cfg.one_to_one_pct / 100.0).round() as u32;
+                let n_pairs = ((per_op as f64) * cfg.one_to_one_pct / 100.0).round() as u32;
                 for i in 0..n_pairs.min(per_op) {
                     if base_down + i < cfg.groups {
                         pairs.push((base_up + i, base_down + i));
@@ -186,7 +185,13 @@ impl SyntheticWorkload {
         }
 
         let tuples = base_tuples.clone();
-        SyntheticWorkload { cfg, base_tuples, tuples, pairs, rng }
+        SyntheticWorkload {
+            cfg,
+            base_tuples,
+            tuples,
+            pairs,
+            rng,
+        }
     }
 
     /// The heavy 1-1 pairs of this scenario.
@@ -280,13 +285,13 @@ mod tests {
 
     #[test]
     fn baseline_scenario_is_nearly_balanced() {
-        let cfg = SyntheticConfig { varies: 0.0, ..SyntheticConfig::cluster(20) };
+        let cfg = SyntheticConfig {
+            varies: 0.0,
+            ..SyntheticConfig::cluster(20)
+        };
         let w = SyntheticWorkload::new(cfg);
-        let mut sim = SimEngine::with_round_robin(
-            w,
-            Cluster::homogeneous(20),
-            CostModel::default(),
-        );
+        let mut sim =
+            SimEngine::with_round_robin(w, Cluster::homogeneous(20), CostModel::default());
         let stats = sim.tick();
         let d = stats.load_distance(sim.cluster());
         assert!(d < 5.0, "jitter-only distance should be small, got {d}");
@@ -296,16 +301,19 @@ mod tests {
 
     #[test]
     fn varies_shifts_twenty_percent_of_nodes() {
-        let cfg = SyntheticConfig { varies: 40.0, ..SyntheticConfig::cluster(20) };
+        let cfg = SyntheticConfig {
+            varies: 40.0,
+            ..SyntheticConfig::cluster(20)
+        };
         let w = SyntheticWorkload::new(cfg);
-        let mut sim = SimEngine::with_round_robin(
-            w,
-            Cluster::homogeneous(20),
-            CostModel::default(),
-        );
+        let mut sim =
+            SimEngine::with_round_robin(w, Cluster::homogeneous(20), CostModel::default());
         let stats = sim.tick();
         let d = stats.load_distance(sim.cluster());
-        assert!(d > 12.0, "varies=40 must create ~20-point deviations, got {d}");
+        assert!(
+            d > 12.0,
+            "varies=40 must create ~20-point deviations, got {d}"
+        );
     }
 
     #[test]
@@ -336,9 +344,15 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = SyntheticConfig { varies: 30.0, ..SyntheticConfig::cluster(20) };
+        let cfg = SyntheticConfig {
+            varies: 30.0,
+            ..SyntheticConfig::cluster(20)
+        };
         let mut a = SyntheticWorkload::new(cfg.clone());
         let mut b = SyntheticWorkload::new(cfg);
-        assert_eq!(a.snapshot(Period(0)).group_tuples, b.snapshot(Period(0)).group_tuples);
+        assert_eq!(
+            a.snapshot(Period(0)).group_tuples,
+            b.snapshot(Period(0)).group_tuples
+        );
     }
 }

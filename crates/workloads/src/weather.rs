@@ -33,8 +33,7 @@ impl GsodWeatherStream {
     /// Value layout: `[station, mean_temp_c, precipitation_mm,
     /// visibility_km]` — the attributes Job 4 consumes.
     pub fn tuples(&self, period: u64) -> Vec<Tuple> {
-        let mut rng =
-            SmallRng::seed_from_u64(self.seed ^ period.wrapping_mul(0x2545F4914F6CDD1D));
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ period.wrapping_mul(0x2545F4914F6CDD1D));
         // Seasonal precipitation pattern.
         let season = (2.0 * std::f64::consts::PI * period as f64 / 52.0).sin();
         (0..self.stations)
@@ -42,7 +41,11 @@ impl GsodWeatherStream {
                 let temp = 10.0 + 12.0 * season + rng.gen_range(-4.0..4.0);
                 let wet = rng.gen_bool((0.3 + 0.2 * season).clamp(0.05, 0.9));
                 let precip = if wet { rng.gen_range(0.5..60.0) } else { 0.0 };
-                let vis = if wet { rng.gen_range(1.0..10.0) } else { rng.gen_range(8.0..40.0) };
+                let vis = if wet {
+                    rng.gen_range(1.0..10.0)
+                } else {
+                    rng.gen_range(8.0..40.0)
+                };
                 Tuple::keyed(
                     &format!("station-{s}"),
                     Value::List(vec![
@@ -116,9 +119,8 @@ impl WorkloadModel for WeatherJob4Workload {
         let base = self.airline.snapshot(period);
         let mut tuples = base.group_tuples.clone();
         let mut comm = base.comm.clone();
-        let mut rng = SmallRng::seed_from_u64(
-            self.seed ^ period.index().wrapping_mul(0x9E3779B97F4A7C15),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ period.index().wrapping_mul(0x9E3779B97F4A7C15));
 
         // Op3 WeatherInput: station-keyed, roughly even.
         let op3_base = 3 * g;
@@ -191,7 +193,12 @@ impl WorkloadModel for WeatherJob4Workload {
         state.extend(vec![12288.0; g]); // join state
         state.extend(vec![2048.0; g]); // store buffers
 
-        WorkloadSnapshot { group_tuples: tuples, group_cost: vec![1.0; n], comm, state_bytes: state }
+        WorkloadSnapshot {
+            group_tuples: tuples,
+            group_cost: vec![1.0; n],
+            comm,
+            state_bytes: state,
+        }
     }
 }
 

@@ -50,8 +50,7 @@ impl WikipediaEditStream {
     /// Value layout: `[article, editor, bytes_changed, is_revert]`.
     pub fn tuples(&self, period: u64) -> Vec<Tuple> {
         let n = self.rate_at(period).round() as usize;
-        let mut rng =
-            SmallRng::seed_from_u64(self.seed ^ period.wrapping_mul(0xD1B54A32D192ED03));
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ period.wrapping_mul(0xD1B54A32D192ED03));
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let article = self.sample_article(&mut rng);
@@ -102,7 +101,11 @@ pub struct WikiJob1Workload {
 impl WikiJob1Workload {
     /// Job 1 over a stream of `rate` edits per period.
     pub fn new(rate: f64, groups_per_op: u32, seed: u64) -> Self {
-        WikiJob1Workload { stream: WikipediaEditStream::new(rate, seed), groups_per_op, seed }
+        WikiJob1Workload {
+            stream: WikipediaEditStream::new(rate, seed),
+            groups_per_op,
+            seed,
+        }
     }
 
     /// Downstream key-group counts for ALBIC.
@@ -123,9 +126,8 @@ impl WorkloadModel for WikiJob1Workload {
     fn snapshot(&mut self, period: Period) -> WorkloadSnapshot {
         let g = self.groups_per_op as usize;
         let rate = self.stream.rate_at(period.index());
-        let mut rng = SmallRng::seed_from_u64(
-            self.seed ^ period.index().wrapping_mul(0xA24BAED4963EE407),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ period.index().wrapping_mul(0xA24BAED4963EE407));
 
         // Operator 1 (GeoHash): article-keyed, Zipf skew over groups, with
         // per-period popularity drift (articles trend and fade) so the
@@ -146,9 +148,7 @@ impl WorkloadModel for WikiJob1Workload {
         // (the paper assumes uniform GeoHash coverage of Denmark), with
         // mild per-period variation in window volume.
         let op2_rate = rate / g as f64;
-        tuples.extend(
-            (0..g).map(|_| op2_rate * (1.0 + 0.05 * (rng.gen::<f64>() * 2.0 - 1.0))),
-        );
+        tuples.extend((0..g).map(|_| op2_rate * (1.0 + 0.05 * (rng.gen::<f64>() * 2.0 - 1.0))));
         // Operator 3 (global TopK): one tuple per op2 group per window.
         let topk_rate = g as f64 / 2.0; // window summaries
         let mut op3 = vec![0.0; g];

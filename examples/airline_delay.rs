@@ -39,7 +39,10 @@ fn run(use_albic: bool) -> Vec<albic::engine::sim::PeriodRecord> {
     let mut cola_policy;
     let policy: &mut dyn ReconfigPolicy = if use_albic {
         albic_policy = AdaptationFramework::balancing_only(Albic::new(
-            AlbicConfig { budget: MigrationBudget::Count(10), ..Default::default() },
+            AlbicConfig {
+                budget: MigrationBudget::Count(10),
+                ..Default::default()
+            },
             downstream,
         ));
         &mut albic_policy
@@ -50,7 +53,10 @@ fn run(use_albic: bool) -> Vec<albic::engine::sim::PeriodRecord> {
 
     for _ in 0..60 {
         let stats = engine.tick();
-        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let view = ClusterView {
+            cluster: engine.cluster(),
+            cost: engine.cost_model(),
+        };
         let plan = policy.plan(&stats, view);
         engine.apply(&plan);
     }

@@ -58,7 +58,10 @@ fn main() {
     for p in 0..36 {
         engine.terminate_drained();
         let stats = engine.tick();
-        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let view = ClusterView {
+            cluster: engine.cluster(),
+            cost: engine.cost_model(),
+        };
         let plan = policy.plan(&stats, view);
         engine.apply(&plan);
         let rec = engine.history().last().unwrap();

@@ -29,15 +29,14 @@ fn main() {
     // Two worker nodes; deliberately put *everything* on node 0.
     let cluster = Cluster::homogeneous(2);
     let routing = RoutingTable::all_on(topology.num_key_groups(), NodeId::new(0));
-    let mut rt = albic::engine::runtime::Runtime::start(
-        topology,
-        cluster,
-        routing,
-        CostModel::default(),
-    );
+    let mut rt =
+        albic::engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
 
     // Stream 20k keyed events through it.
-    rt.inject(src, (0..20_000).map(|i| Tuple::keyed(&(i % 50), Value::Int(i), i as u64)));
+    rt.inject(
+        src,
+        (0..20_000).map(|i| Tuple::keyed(&(i % 50), Value::Int(i), i as u64)),
+    );
     rt.quiesce(4);
     let stats = rt.end_period();
     println!("period 0: processed {} tuples", stats.total_tuples);
@@ -61,10 +60,17 @@ fn main() {
     );
     let reports = rt.migrate(&plan.migrations);
     let moved_bytes: usize = reports.iter().map(|r| r.state_bytes).sum();
-    println!("migrated {} key groups, {} bytes of state", reports.len(), moved_bytes);
+    println!(
+        "migrated {} key groups, {} bytes of state",
+        reports.len(),
+        moved_bytes
+    );
 
     // Keep streaming; the load is now split across both workers.
-    rt.inject(src, (0..20_000).map(|i| Tuple::keyed(&(i % 50), Value::Int(i), i as u64)));
+    rt.inject(
+        src,
+        (0..20_000).map(|i| Tuple::keyed(&(i % 50), Value::Int(i), i as u64)),
+    );
     rt.quiesce(4);
     let stats = rt.end_period();
     println!(

@@ -21,12 +21,8 @@ fn main() {
     let cluster = Cluster::homogeneous(4);
     let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
     let routing = RoutingTable::round_robin(topology.num_key_groups(), &ids);
-    let mut rt = albic::engine::runtime::Runtime::start(
-        topology,
-        cluster,
-        routing,
-        CostModel::default(),
-    );
+    let mut rt =
+        albic::engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
 
     let stream = WikipediaEditStream::new(3_000.0, 42);
     let mut balancer = MilpBalancer::new(MigrationBudget::Count(13));
@@ -61,7 +57,9 @@ fn main() {
         .topology()
         .group_for_key(global_op, albic::engine::tuple::hash_key(&"global-topk"));
     if let Some(bytes) = rt.probe_state(kg) {
-        let m = albic::engine::codec::Reader::new(&bytes).get_map_f64().unwrap_or_default();
+        let m = albic::engine::codec::Reader::new(&bytes)
+            .get_map_f64()
+            .unwrap_or_default();
         let mut entries: Vec<(String, f64)> = m.into_iter().collect();
         entries.sort_by(|a, b| b.1.total_cmp(&a.1));
         println!("global top-5 most edited articles:");

@@ -23,7 +23,10 @@ fn drive<W: albic::engine::sim::WorkloadModel>(
     for _ in 0..periods {
         engine.terminate_drained();
         let stats = engine.tick();
-        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let view = ClusterView {
+            cluster: engine.cluster(),
+            cost: engine.cost_model(),
+        };
         let plan = policy.plan(&stats, view);
         engine.apply(&plan);
     }
@@ -32,7 +35,10 @@ fn drive<W: albic::engine::sim::WorkloadModel>(
 #[test]
 fn milp_beats_flux_on_skewed_synthetic_load() {
     let mk = || {
-        let cfg = SyntheticConfig { varies: 60.0, ..SyntheticConfig::cluster(20) };
+        let cfg = SyntheticConfig {
+            varies: 60.0,
+            ..SyntheticConfig::cluster(20)
+        };
         SimEngine::with_round_robin(
             SyntheticWorkload::new(cfg),
             Cluster::homogeneous(20),
@@ -40,9 +46,8 @@ fn milp_beats_flux_on_skewed_synthetic_load() {
         )
     };
     let mut milp_engine = mk();
-    let mut milp = AdaptationFramework::balancing_only(MilpBalancer::new(
-        MigrationBudget::Count(20),
-    ));
+    let mut milp =
+        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(20)));
     drive(&mut milp_engine, &mut milp, 1);
 
     let mut flux_engine = mk();
@@ -55,7 +60,10 @@ fn milp_beats_flux_on_skewed_synthetic_load() {
         milp_d <= flux_d + 1e-6,
         "MILP ({milp_d:.2}) must not lose to Flux ({flux_d:.2})"
     );
-    assert!(milp_d < 10.0, "MILP should reach a good balance, got {milp_d:.2}");
+    assert!(
+        milp_d < 10.0,
+        "MILP should reach a good balance, got {milp_d:.2}"
+    );
 }
 
 #[test]
@@ -77,7 +85,10 @@ fn albic_converges_to_collocation_on_job2() {
     );
     let mut engine = SimEngine::new(workload, cluster, routing, CostModel::default());
     let mut policy = AdaptationFramework::balancing_only(Albic::new(
-        AlbicConfig { budget: MigrationBudget::Count(10), ..Default::default() },
+        AlbicConfig {
+            budget: MigrationBudget::Count(10),
+            ..Default::default()
+        },
         downstream,
     ));
     drive(&mut engine, &mut policy, 40);
@@ -118,12 +129,18 @@ fn cola_collocates_instantly_but_churns() {
         first.collocation_factor
     );
     let total_migrations: usize = engine.history().iter().map(|r| r.migrations).sum();
-    assert!(total_migrations > 30, "COLA churns heavily, got {total_migrations}");
+    assert!(
+        total_migrations > 30,
+        "COLA churns heavily, got {total_migrations}"
+    );
 }
 
 #[test]
 fn integrated_scale_in_drains_and_rebalances() {
-    let cfg = SyntheticConfig { mean_node_load: 30.0, ..SyntheticConfig::cluster(10) };
+    let cfg = SyntheticConfig {
+        mean_node_load: 30.0,
+        ..SyntheticConfig::cluster(10)
+    };
     let mut engine = SimEngine::with_round_robin(
         SyntheticWorkload::new(cfg),
         Cluster::homogeneous(10),
@@ -141,20 +158,20 @@ fn integrated_scale_in_drains_and_rebalances() {
         engine.cluster().len()
     );
     let last = engine.history().last().unwrap();
-    assert!(last.load_distance < 25.0, "distance {:.1}", last.load_distance);
+    assert!(
+        last.load_distance < 25.0,
+        "distance {:.1}",
+        last.load_distance
+    );
 }
 
 #[test]
 fn wiki_job_runs_at_paper_scale_in_simulation() {
     let workload = WikiJob1Workload::new(70_000.0, 100, 9);
-    let mut engine = SimEngine::with_round_robin(
-        workload,
-        Cluster::homogeneous(20),
-        CostModel::default(),
-    );
-    let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(
-        MigrationBudget::Count(13),
-    ));
+    let mut engine =
+        SimEngine::with_round_robin(workload, Cluster::homogeneous(20), CostModel::default());
+    let mut policy =
+        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(13)));
     drive(&mut engine, &mut policy, 10);
     let tail: Vec<f64> = engine
         .history()
@@ -177,12 +194,8 @@ fn simulator_and_runtime_agree_on_statistics_semantics() {
     let cluster = Cluster::homogeneous(2);
     let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
     let routing = RoutingTable::round_robin(topology.num_key_groups(), &ids);
-    let mut rt = albic::engine::runtime::Runtime::start(
-        topology,
-        cluster,
-        routing,
-        CostModel::default(),
-    );
+    let mut rt =
+        albic::engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
     let stream = albic::workloads::airline::AirlineOnTimeStream::new(200.0, 1);
     rt.inject(ops[0], stream.tuples(0));
     rt.quiesce(6);

@@ -25,7 +25,10 @@ fn one_round_distance(policy: &mut dyn ReconfigPolicy, varies: f64, nodes: usize
         CostModel::default(),
     );
     let stats = engine.tick();
-    let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+    let view = ClusterView {
+        cluster: engine.cluster(),
+        cost: engine.cost_model(),
+    };
     let plan = policy.plan(&stats, view);
     engine.apply(&plan);
     engine.history().last().unwrap().load_distance
@@ -36,12 +39,9 @@ fn one_round_distance(policy: &mut dyn ReconfigPolicy, varies: f64, nodes: usize
 #[test]
 fn shape_milp_beats_flux_figs_2_4() {
     for varies in [30.0, 60.0, 90.0] {
-        let mut milp = AdaptationFramework::balancing_only(MilpBalancer::new(
-            MigrationBudget::Count(20),
-        ));
-        let mut flux = AdaptationFramework::balancing_only(
-            albic::core::baselines::Flux::new(20),
-        );
+        let mut milp =
+            AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(20)));
+        let mut flux = AdaptationFramework::balancing_only(albic::core::baselines::Flux::new(20));
         let milp_d = one_round_distance(&mut milp, varies, 20);
         let flux_d = one_round_distance(&mut flux, varies, 20);
         assert!(
@@ -61,9 +61,8 @@ fn shape_milp_beats_potc_fig6() {
         Cluster::homogeneous(workers),
         CostModel::default(),
     );
-    let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(
-        MigrationBudget::Count(13),
-    ));
+    let mut policy =
+        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(13)));
     let potc = PoTC::new(1);
     let mut milp_sum = 0.0;
     let mut potc_sum = 0.0;
@@ -74,7 +73,10 @@ fn shape_milp_beats_potc_fig6() {
             let ns = NodeSet::from_cluster(engine.cluster());
             potc_sum += potc.evaluate(&stats, &ns).load_distance;
         }
-        let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+        let view = ClusterView {
+            cluster: engine.cluster(),
+            cost: engine.cost_model(),
+        };
         let plan = policy.plan(&stats, view);
         engine.apply(&plan);
         if p >= 4 {
@@ -100,11 +102,18 @@ fn shape_unrestricted_migrates_more_state_fig9() {
         let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(budget));
         for _ in 0..8 {
             let stats = engine.tick();
-            let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+            let view = ClusterView {
+                cluster: engine.cluster(),
+                cost: engine.cost_model(),
+            };
             let plan = policy.plan(&stats, view);
             engine.apply(&plan);
         }
-        engine.history().iter().map(|r| r.migration_pause_secs).sum()
+        engine
+            .history()
+            .iter()
+            .map(|r| r.migration_pause_secs)
+            .sum()
     };
     let unrestricted = run(MigrationBudget::Unlimited);
     let budgeted = run(MigrationBudget::Count(13));
@@ -141,7 +150,11 @@ fn shape_lemma2_marked_nodes_drain_completely() {
         for (g, &node) in sol.assignment.iter().enumerate() {
             problem.groups[g].current_node = node;
         }
-        if problem.groups.iter().all(|g| !problem.killed[g.current_node]) {
+        if problem
+            .groups
+            .iter()
+            .all(|g| !problem.killed[g.current_node])
+        {
             return; // drained
         }
     }
@@ -150,7 +163,10 @@ fn shape_lemma2_marked_nodes_drain_completely() {
         .iter()
         .filter(|g| problem.killed[g.current_node])
         .count();
-    assert_eq!(stranded, 0, "{stranded} groups still on killed nodes after 6 rounds");
+    assert_eq!(
+        stranded, 0,
+        "{stranded} groups still on killed nodes after 6 rounds"
+    );
 }
 
 /// The simulator is deterministic end to end: identical seeds produce
@@ -159,18 +175,23 @@ fn shape_lemma2_marked_nodes_drain_completely() {
 #[test]
 fn shape_experiments_are_deterministic() {
     let run = || {
-        let cfg = SyntheticConfig { varies: 50.0, ..SyntheticConfig::cluster(10) };
+        let cfg = SyntheticConfig {
+            varies: 50.0,
+            ..SyntheticConfig::cluster(10)
+        };
         let mut engine = SimEngine::with_round_robin(
             SyntheticWorkload::new(cfg),
             Cluster::homogeneous(10),
             CostModel::default(),
         );
-        let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(
-            MigrationBudget::Count(10),
-        ));
+        let mut policy =
+            AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(10)));
         for _ in 0..5 {
             let stats = engine.tick();
-            let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
+            let view = ClusterView {
+                cluster: engine.cluster(),
+                cost: engine.cost_model(),
+            };
             let plan = policy.plan(&stats, view);
             engine.apply(&plan);
         }

@@ -1,8 +1,6 @@
 //! Property-based tests over the core invariants of the stack.
 
-use albic::milp::{
-    solve_milp, AllocationProblem, Budget, GroupSpec, MigrationBudget, SolveStatus,
-};
+use albic::milp::{solve_milp, AllocationProblem, Budget, GroupSpec, MigrationBudget, SolveStatus};
 use albic::partition::{partition, GraphBuilder, PartitionConfig};
 use proptest::prelude::*;
 

@@ -1,0 +1,19 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace's value types are annotated with
+//! `#[derive(Serialize, Deserialize)]` so a real serde can be swapped in
+//! via the root manifest without touching any source file, but no in-tree
+//! code serializes through serde yet (the engine has its own binary codec
+//! in `albic-engine::codec`). This stub supplies the two trait names and
+//! re-exports no-op derive macros under the same names, mirroring serde's
+//! `derive` feature.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
