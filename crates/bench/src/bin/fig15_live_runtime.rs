@@ -1,0 +1,12 @@
+//! Fig 15 (beyond the paper): the integrated adaptation loop on the
+//! threaded runtime — elastic scale-out under overload with real state
+//! migration, then scale-in with worker threads drained and joined.
+
+use albic_bench::experiments::fig15_live_runtime;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    for (name, table) in fig15_live_runtime(fast) {
+        table.save(&name);
+    }
+}

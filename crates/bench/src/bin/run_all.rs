@@ -18,6 +18,7 @@ fn main() {
     all.extend(exp::fig12(fast));
     all.extend(exp::fig13(fast));
     all.extend(exp::fig14(fast));
+    all.extend(exp::fig15_live_runtime(fast));
     for (name, table) in &all {
         table.save(name);
     }

@@ -1,12 +1,23 @@
 //! One function per paper figure; each returns named [`Table`]s.
+//!
+//! Figures 2-14 run on the deterministic simulator; `fig15` drives the
+//! *threaded* runtime through the same [`albic_core::Controller`], proving
+//! the adaptation loop is substrate-independent.
+
+use std::sync::Arc;
 
 use albic_core::albic::{Albic, AlbicConfig};
 use albic_core::allocator::NodeSet;
 use albic_core::balancer::MilpBalancer;
 use albic_core::baselines::{Cola, Flux, NonIntegratedScaleIn, PoTC};
 use albic_core::framework::AdaptationFramework;
-use albic_core::metrics;
+use albic_core::{metrics, Controller, ThresholdScaling};
+use albic_engine::operator::{Counting, Identity};
 use albic_engine::reconfig::ReconfigPlan;
+use albic_engine::runtime::Runtime;
+use albic_engine::topology::TopologyBuilder;
+use albic_engine::tuple::{Tuple, Value};
+use albic_engine::{Cluster, CostModel, ReconfigEngine, RoutingTable};
 use albic_milp::MigrationBudget;
 use albic_types::NodeId;
 use albic_workloads::airline::AirlineJobWorkload;
@@ -63,7 +74,7 @@ pub fn fig_solver_quality(nodes: usize, fast: bool) -> Vec<(String, Table)> {
                 let mut engine = mk_engine();
                 let mut policy = AdaptationFramework::balancing_only(Flux::new(mm));
                 run_policy(&mut engine, &mut policy, 1);
-                let stats = engine.tick();
+                let stats = engine.end_period();
                 row.push(stats.load_distance(engine.cluster()));
             }
             // MILP at each work budget.
@@ -73,7 +84,7 @@ pub fn fig_solver_quality(nodes: usize, fast: bool) -> Vec<(String, Table)> {
                     .with_solver_work(work_for_seconds(secs));
                 let mut policy = AdaptationFramework::balancing_only(balancer);
                 run_policy(&mut engine, &mut policy, 1);
-                let stats = engine.tick();
+                let stats = engine.end_period();
                 row.push(stats.load_distance(engine.cluster()));
             }
             table.row(row);
@@ -126,7 +137,7 @@ pub fn fig05_scalein(fast: bool) -> Vec<(String, Table)> {
             let mut engine = mk_engine();
             // Mark nodes for removal up front (the scaling decision under
             // test is the draining, not the sizing).
-            engine.tick();
+            engine.end_period();
             engine.apply(&ReconfigPlan {
                 mark_removal: victims.clone(),
                 ..Default::default()
@@ -574,4 +585,88 @@ pub fn fig14(fast: bool) -> Vec<(String, Table)> {
     let a = real_job_run(JobKind::Job4, true, periods);
     let c = real_job_run(JobKind::Job4, false, periods);
     job_tables("fig14_job4", &a, Some(&c))
+}
+
+/// Tuples injected into the live pipeline at each period of the fig15
+/// scenario: a ramp into overload, a plateau, then a lull that triggers
+/// scale-in. (The overload is the point of the scenario, so `--fast` does
+/// not scale it down — the whole run takes well under a second anyway.)
+/// Keep in sync with `rate` in `examples/live_pipeline.rs`, the CI smoke
+/// for this scenario.
+pub fn fig15_rate(period: u64) -> usize {
+    match period {
+        0..=3 => 4_000 * (period as usize + 1),
+        4..=9 => 16_000,
+        _ => 1_500,
+    }
+}
+
+/// Fig 15 (beyond the paper): the integrated loop on the *threaded*
+/// runtime. Starting from one worker, the load ramp forces elastic
+/// scale-out — worker threads are spawned and key groups migrate onto them
+/// with real state shipping — and the lull afterwards drains and joins
+/// workers again.
+///
+/// Unlike the simulator figures, the load columns here are *measured*
+/// values: a period's record shows the placement the period actually ran
+/// under, and a plan's effect appears in the next row (the simulator
+/// re-measures the closed period post-plan, which real threads cannot).
+pub fn fig15_live_runtime(_fast: bool) -> Vec<(String, Table)> {
+    banner(
+        "fig15: live threaded runtime, elastic scale-out/in under a load ramp",
+        "the same AdaptationFramework + MILP that drives the simulator runs \
+         unchanged on real worker threads: overload adds workers and \
+         rebalances onto them via the direct state migration protocol; the \
+         lull drains marked workers and joins their threads",
+    );
+    let periods = 16u64;
+
+    // A two-operator pipeline on a single worker node.
+    let mut b = TopologyBuilder::new();
+    let src = b.source("events", 8, Arc::new(Identity));
+    let cnt = b.operator("count", 8, Arc::new(Counting));
+    b.edge(src, cnt);
+    let topology = b.build().expect("valid DAG");
+    let cluster = Cluster::homogeneous(1);
+    let routing = RoutingTable::all_on(topology.num_key_groups(), cluster.nodes()[0].id);
+    let rt = Runtime::start(topology, cluster, routing, CostModel::default());
+
+    let mut policy = AdaptationFramework::with_scaling(
+        MilpBalancer::new(MigrationBudget::Unlimited),
+        ThresholdScaling::new(35.0, 80.0, 60.0),
+    );
+    let mut ctl = Controller::new(rt);
+    let mut table = Table::new(&[
+        "period",
+        "nodes",
+        "marked",
+        "mean_load",
+        "load_distance",
+        "migrations",
+    ]);
+    for p in 0..periods {
+        let rate = fig15_rate(p);
+        ctl.engine_mut().inject(
+            src,
+            (0..rate).map(|i| Tuple::keyed(&(i % 64), Value::Int(i as i64), p)),
+        );
+        ctl.engine_mut().quiesce(4);
+        ctl.step(&mut policy);
+        let rec = ctl.history().last().unwrap();
+        table.row(vec![
+            p as f64,
+            rec.num_nodes as f64,
+            rec.marked_nodes as f64,
+            rec.mean_load,
+            rec.load_distance,
+            rec.migrations as f64,
+        ]);
+    }
+    let peak = ctl.history().iter().map(|r| r.num_nodes).max().unwrap_or(1);
+    let end = ctl.history().last().map(|r| r.num_nodes).unwrap_or(1);
+    ctl.into_engine().shutdown();
+
+    table.print();
+    println!("summary: scaled out to {peak} workers at peak, back to {end} after the lull\n");
+    vec![("fig15_live_runtime".into(), table)]
 }

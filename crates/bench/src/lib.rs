@@ -37,52 +37,34 @@ use std::fs;
 use std::path::Path;
 
 use albic_core::allocator::NodeSet;
-use albic_engine::reconfig::{ClusterView, ReconfigPolicy};
+use albic_core::Controller;
+use albic_engine::reconfig::ReconfigPolicy;
 use albic_engine::sim::{PeriodRecord, SimEngine, WorkloadModel};
-use albic_engine::{Cluster, CostModel, PeriodStats, RoutingTable};
+use albic_engine::{Cluster, CostModel, PeriodStats, ReconfigEngine, RoutingTable};
 
-/// Run `policy` over `engine` for `periods` adaptation rounds, invoking
-/// the Algorithm-1 housekeeping (terminate drained nodes) each round.
-/// Returns the metric history.
-pub fn run_policy<W: WorkloadModel>(
-    engine: &mut SimEngine<W>,
+/// Run `policy` over any [`ReconfigEngine`] for `periods` adaptation
+/// rounds via the Algorithm-1 [`Controller`] (housekeeping → stats →
+/// policy → apply). Returns the metric history.
+pub fn run_policy<E: ReconfigEngine>(
+    engine: &mut E,
     policy: &mut dyn ReconfigPolicy,
     periods: usize,
 ) -> Vec<PeriodRecord> {
-    for _ in 0..periods {
-        engine.terminate_drained();
-        let stats = engine.tick();
-        let view = ClusterView {
-            cluster: engine.cluster(),
-            cost: engine.cost_model(),
-        };
-        let plan = policy.plan(&stats, view);
-        engine.apply(&plan);
-    }
-    engine.history().to_vec()
+    Controller::new(engine).run(policy, periods)
 }
 
-/// Like [`run_policy`], but also hands every period's statistics to a
-/// callback (used for the PoTC evaluator, which observes rather than
-/// migrates).
-pub fn run_policy_observed<W: WorkloadModel>(
-    engine: &mut SimEngine<W>,
+/// Thin wrapper over [`run_policy`] that also hands every period's
+/// statistics to an observer before the policy plans (used for the PoTC
+/// evaluator, which observes rather than migrates).
+pub fn run_policy_observed<E: ReconfigEngine>(
+    engine: &mut E,
     policy: &mut dyn ReconfigPolicy,
     periods: usize,
-    mut observe: impl FnMut(&PeriodStats, &Cluster),
+    observe: impl FnMut(&PeriodStats, &Cluster),
 ) -> Vec<PeriodRecord> {
-    for _ in 0..periods {
-        engine.terminate_drained();
-        let stats = engine.tick();
-        observe(&stats, engine.cluster());
-        let view = ClusterView {
-            cluster: engine.cluster(),
-            cost: engine.cost_model(),
-        };
-        let plan = policy.plan(&stats, view);
-        engine.apply(&plan);
-    }
-    engine.history().to_vec()
+    Controller::new(engine)
+        .with_observer(observe)
+        .run(policy, periods)
 }
 
 /// A fresh simulator over a workload with round-robin initial allocation.
@@ -128,8 +110,16 @@ impl Table {
     }
 
     /// Append one row.
+    ///
+    /// Panics if the row's width does not match the header — a real
+    /// assert, not a debug one, because the figure TSVs are produced by
+    /// release builds where a silent mismatch would corrupt the series.
     pub fn row(&mut self, values: Vec<f64>) {
-        debug_assert_eq!(values.len(), self.header.len());
+        assert_eq!(
+            values.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
         self.rows.push(values);
     }
 

@@ -109,6 +109,7 @@ impl<A: KeyGroupAllocator> ReconfigPolicy for AdaptationFramework<A> {
 mod tests {
     use super::*;
     use crate::balancer::MilpBalancer;
+    use crate::controller::Controller;
     use albic_engine::sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
     use albic_engine::{Cluster, CostModel};
     use albic_milp::MigrationBudget;
@@ -149,16 +150,8 @@ mod tests {
         );
         let mut fw =
             AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Unlimited));
-        for _ in 0..3 {
-            let stats = engine.tick();
-            let view = ClusterView {
-                cluster: engine.cluster(),
-                cost: engine.cost_model(),
-            };
-            let plan = fw.plan(&stats, view);
-            engine.apply(&plan);
-        }
-        let last = engine.history().last().unwrap().clone();
+        let history = Controller::new(&mut engine).run(&mut fw, 3);
+        let last = history.last().unwrap().clone();
         // After adaptation the next period's distance is ~0; check the
         // engine state by ticking once more.
         let stats = engine.tick();
@@ -184,18 +177,13 @@ mod tests {
             MilpBalancer::new(MigrationBudget::Unlimited),
             ThresholdScaling::new(35.0, 80.0, 60.0),
         );
-        let stats = engine.tick();
-        let view = ClusterView {
-            cluster: engine.cluster(),
-            cost: engine.cost_model(),
-        };
-        let plan = fw.plan(&stats, view);
-        assert!(!plan.add_nodes.is_empty(), "must scale out");
+        let report = Controller::new(&mut engine).step(&mut fw);
+        assert!(!report.plan.add_nodes.is_empty(), "must scale out");
         assert!(
-            !plan.migrations.is_empty(),
+            !report.plan.migrations.is_empty(),
             "replanned migrations in the same round"
         );
-        engine.apply(&plan);
+        assert_eq!(report.apply.added.len(), report.plan.add_nodes.len());
         // New nodes exist and host groups.
         assert!(engine.cluster().len() > 1);
         let stats = engine.tick();
@@ -224,16 +212,15 @@ mod tests {
             ThresholdScaling::new(35.0, 80.0, 60.0),
         );
         let mut terminated = 0;
-        for _ in 0..6 {
-            let stats = engine.tick();
-            let view = ClusterView {
-                cluster: engine.cluster(),
-                cost: engine.cost_model(),
-            };
-            let plan = fw.plan(&stats, view);
-            engine.apply(&plan);
-            terminated += engine.terminate_drained().len();
+        {
+            let mut ctl = Controller::new(&mut engine);
+            for _ in 0..6 {
+                terminated += ctl.step(&mut fw).terminated.len();
+            }
         }
+        // The controller terminates at the *start* of each round; pick up
+        // nodes drained by the final round's plan too.
+        terminated += engine.terminate_drained().len();
         assert!(terminated > 0, "some node must have been removed");
         assert!(engine.cluster().len() < 4);
         // All remaining load on alive nodes.

@@ -21,6 +21,11 @@
 //! [`baselines`]: Flux (ICDE'03), the Power of Two Choices (ICDE'15),
 //! COLA (Middleware'09) and a non-integrated scale-in strategy.
 //!
+//! The Algorithm-1 loop itself lives in [`controller`]: a
+//! [`controller::Controller`] drives housekeeping → statistics → policy →
+//! plan application over any `albic_engine::ReconfigEngine` — the
+//! deterministic simulator and the threaded runtime interchangeably.
+//!
 //! Metric helpers for the evaluation figures (load distance, load index,
 //! collocation factor series) are in [`metrics`].
 //!
@@ -30,8 +35,7 @@
 //! a migration budget (the umbrella `albic` crate re-exports all of this):
 //!
 //! ```
-//! use albic_core::{AdaptationFramework, MilpBalancer};
-//! use albic_engine::reconfig::{ClusterView, ReconfigPolicy};
+//! use albic_core::{AdaptationFramework, Controller, MilpBalancer};
 //! use albic_engine::{Cluster, CostModel, SimEngine};
 //! use albic_milp::MigrationBudget;
 //! use albic_workloads::{SyntheticConfig, SyntheticWorkload};
@@ -45,13 +49,7 @@
 //! let mut policy =
 //!     AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(10)));
 //!
-//! for _ in 0..3 {
-//!     let stats = engine.tick();
-//!     let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
-//!     let plan = policy.plan(&stats, view);
-//!     engine.apply(&plan);
-//! }
-//! let history = engine.history();
+//! let history = Controller::new(&mut engine).run(&mut policy, 3);
 //! assert!(history.last().unwrap().load_distance <= history[0].load_distance);
 //! ```
 
@@ -62,6 +60,7 @@ pub mod albic;
 pub mod allocator;
 pub mod balancer;
 pub mod baselines;
+pub mod controller;
 pub mod framework;
 pub mod metrics;
 pub mod scaling;
@@ -69,5 +68,6 @@ pub mod scaling;
 pub use albic::{Albic, AlbicConfig};
 pub use allocator::{AllocOutcome, KeyGroupAllocator, NodeSet};
 pub use balancer::MilpBalancer;
+pub use controller::{Controller, StepReport};
 pub use framework::AdaptationFramework;
 pub use scaling::{ScaleDecision, ThresholdScaling};

@@ -30,10 +30,15 @@
 //!   node, crossbeam channels for data and control, the full migration
 //!   protocol including buffering and replay. Examples and integration
 //!   tests run actual jobs on it.
+//! * [`substrate`] — the [`substrate::ReconfigEngine`] trait both execution
+//!   modes implement: the period lifecycle (`terminate_drained` /
+//!   `end_period` / `view` / `apply` / `history`) that controllers and
+//!   policies drive without knowing which substrate is underneath.
 //!
 //! Reconfiguration *policies* (the paper's contribution and the baselines)
 //! live in `albic-core`; this crate only defines the interface they
-//! implement ([`reconfig::ReconfigPolicy`]) and executes their plans.
+//! implement ([`reconfig::ReconfigPolicy`]) and executes their plans —
+//! the Algorithm-1 control loop itself is `albic_core::controller`.
 //!
 //! # Example
 //!
@@ -74,6 +79,7 @@ pub mod routing;
 pub mod runtime;
 pub mod sim;
 pub mod stats;
+pub mod substrate;
 pub mod topology;
 pub mod tuple;
 
@@ -83,7 +89,9 @@ pub use migration::{Migration, MigrationReport};
 pub use operator::{Emissions, Operator, StateBox};
 pub use reconfig::{ClusterView, ReconfigPlan, ReconfigPolicy};
 pub use routing::RoutingTable;
+pub use runtime::Runtime;
 pub use sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
 pub use stats::PeriodStats;
+pub use substrate::{ApplyReport, FailedMigration, MigrationFailure, PeriodRecord, ReconfigEngine};
 pub use topology::{OperatorSpec, Topology, TopologyBuilder};
 pub use tuple::{Tuple, Value};

@@ -16,7 +16,13 @@
 //!
 //! Workers keep local [`StatsCollector`]s that are merged at period
 //! boundaries — the same statistics the simulator produces, so the
-//! reconfiguration policies cannot tell which substrate they run on.
+//! reconfiguration policies cannot tell which substrate they run on. That
+//! promise is structural: the runtime implements the shared
+//! [`ReconfigEngine`](crate::substrate::ReconfigEngine) trait, including
+//! full plan execution — elastic scale-out spawns a worker thread per
+//! acquired node, scale-in marks nodes, and
+//! [`Runtime::terminate_drained`] joins a marked worker's thread once the
+//! balancer has migrated all of its key groups away.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -31,10 +37,26 @@ use crate::cluster::Cluster;
 use crate::cost::CostModel;
 use crate::migration::{Migration, MigrationReport};
 use crate::operator::{Emissions, StateBox};
+use crate::reconfig::{ClusterView, ReconfigPlan};
 use crate::routing::RoutingTable;
 use crate::stats::{PeriodStats, StatsCollector};
+use crate::substrate::{
+    ApplyReport, FailedMigration, MigrationFailure, PeriodRecord, ReconfigEngine,
+};
 use crate::topology::Topology;
 use crate::tuple::Tuple;
+
+/// What the migration source reports back through the `done` channel of a
+/// [`Msg::Extract`].
+enum ExtractReply {
+    /// State shipped, installed at the destination, buffer replayed.
+    Installed {
+        /// Serialized state size `|σ_k|`.
+        state_bytes: usize,
+    },
+    /// The destination worker is gone; the state never left the source.
+    DestinationGone,
+}
 
 /// Messages a worker can receive.
 enum Msg {
@@ -46,20 +68,24 @@ enum Msg {
     },
     /// Start buffering tuples for a key group (migration destination).
     PrepareReceive { kg: KeyGroupId },
+    /// Abort a pending [`Msg::PrepareReceive`]: the migration failed, so
+    /// stop buffering and release any tuples caught in the window back
+    /// into normal routing (migration destination).
+    CancelReceive { kg: KeyGroupId },
     /// Serialize and ship a key group's state to `dest` (migration
-    /// source); `done` eventually carries `(state_bytes, replayed)` from
-    /// the destination.
+    /// source); `done` eventually carries the [`ExtractReply`] — from the
+    /// destination on success, from the source if the destination is gone.
     Extract {
         kg: KeyGroupId,
         dest: NodeId,
-        done: Sender<(usize, usize)>,
+        done: Sender<ExtractReply>,
     },
     /// Install shipped state and replay the buffer (migration destination).
     Install {
         kg: KeyGroupId,
         op: OperatorId,
         bytes: Vec<u8>,
-        done: Sender<(usize, usize)>,
+        done: Sender<ExtractReply>,
     },
     /// FIFO barrier: reply as soon as this message is dequeued.
     Barrier(Sender<()>),
@@ -97,21 +123,56 @@ impl WorkerCtx {
                 Msg::PrepareReceive { kg } => {
                     self.buffers.entry(kg.raw()).or_default();
                 }
+                Msg::CancelReceive { kg } => {
+                    // Re-run anything buffered during the aborted window;
+                    // with the buffer gone, on_data forwards each tuple to
+                    // the group's (restored) owner instead of swallowing it.
+                    if let Some(buffered) = self.buffers.remove(&kg.raw()) {
+                        for (bop, tuple) in buffered {
+                            self.on_data(bop, kg, tuple);
+                        }
+                    }
+                }
                 Msg::Extract { kg, dest, done } => {
                     let op = self.topology.operator_of_group(kg);
                     let logic = Arc::clone(&self.topology.operator(op).logic);
-                    let bytes = match self.states.remove(&kg.raw()) {
-                        Some(state) => logic.serialize_state(&state),
+                    let state = self.states.remove(&kg.raw());
+                    // The state leaves this worker: drop the stale size so
+                    // the merged period stats only see the destination's
+                    // fresh measurement (stats.reset() keeps state sizes).
+                    self.stats.clear_state_bytes(kg);
+                    let bytes = match &state {
+                        Some(state) => logic.serialize_state(state),
                         None => logic.serialize_state(&logic.new_state()),
                     };
                     let sender = self.senders.read().get(&dest).cloned();
-                    if let Some(s) = sender {
-                        let _ = s.send(Msg::Install {
+                    // A failed send returns the message, so `done` (and the
+                    // bytes) can be recovered instead of silently dropped.
+                    let undelivered = match sender {
+                        Some(s) => s
+                            .send(Msg::Install {
+                                kg,
+                                op,
+                                bytes,
+                                done,
+                            })
+                            .err()
+                            .map(|e| e.0),
+                        None => Some(Msg::Install {
                             kg,
                             op,
                             bytes,
                             done,
-                        });
+                        }),
+                    };
+                    if let Some(Msg::Install { done, .. }) = undelivered {
+                        // The destination worker is unreachable: the state
+                        // never left this node, so keep serving it here and
+                        // tell the coordinator explicitly.
+                        if let Some(state) = state {
+                            self.states.insert(kg.raw(), state);
+                        }
+                        let _ = done.send(ExtractReply::DestinationGone);
                     }
                 }
                 Msg::Install {
@@ -124,11 +185,12 @@ impl WorkerCtx {
                     let state = logic.deserialize_state(&bytes);
                     self.states.insert(kg.raw(), state);
                     let buffered = self.buffers.remove(&kg.raw()).unwrap_or_default();
-                    let replayed = buffered.len();
                     for (bop, tuple) in buffered {
                         self.on_data(bop, kg, tuple);
                     }
-                    let _ = done.send((bytes.len(), replayed));
+                    let _ = done.send(ExtractReply::Installed {
+                        state_bytes: bytes.len(),
+                    });
                 }
                 Msg::Barrier(ack) => {
                     let _ = ack.send(());
@@ -250,6 +312,7 @@ pub struct Runtime {
     cluster: Cluster,
     cost: CostModel,
     clock: PeriodClock,
+    history: Vec<PeriodRecord>,
 }
 
 impl Runtime {
@@ -261,41 +324,54 @@ impl Runtime {
         cost: CostModel,
     ) -> Runtime {
         assert_eq!(routing.len() as u32, topology.num_key_groups());
-        let topology = Arc::new(topology);
-        let routing = Arc::new(RwLock::new(routing));
-        let senders: Arc<RwLock<HashMap<NodeId, Sender<Msg>>>> =
-            Arc::new(RwLock::new(HashMap::new()));
-
-        let mut handles = Vec::new();
-        for node in cluster.nodes() {
-            let (tx, rx) = unbounded();
-            senders.write().insert(node.id, tx);
-            let ctx = WorkerCtx {
-                node: node.id,
-                topology: Arc::clone(&topology),
-                routing: Arc::clone(&routing),
-                senders: Arc::clone(&senders),
-                inbox: rx,
-                states: HashMap::new(),
-                buffers: HashMap::new(),
-                stats: StatsCollector::new(),
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("albic-worker-{}", node.id))
-                .spawn(move || ctx.run())
-                .expect("spawn worker");
-            handles.push((node.id, handle));
-        }
-
-        Runtime {
-            topology,
-            routing,
-            senders,
-            handles,
+        let mut rt = Runtime {
+            topology: Arc::new(topology),
+            routing: Arc::new(RwLock::new(routing)),
+            senders: Arc::new(RwLock::new(HashMap::new())),
+            handles: Vec::new(),
             cluster,
             cost,
             clock: PeriodClock::new(),
+            history: Vec::new(),
+        };
+        let nodes: Vec<NodeId> = rt.cluster.nodes().iter().map(|n| n.id).collect();
+        for node in nodes {
+            rt.spawn_worker_thread(node);
         }
+        rt
+    }
+
+    /// Register a channel for `node` and spawn its worker thread. The
+    /// sender is published before the thread starts, so other workers can
+    /// route to the new node immediately.
+    fn spawn_worker_thread(&mut self, node: NodeId) {
+        let (tx, rx) = unbounded();
+        self.senders.write().insert(node, tx);
+        let ctx = WorkerCtx {
+            node,
+            topology: Arc::clone(&self.topology),
+            routing: Arc::clone(&self.routing),
+            senders: Arc::clone(&self.senders),
+            inbox: rx,
+            states: HashMap::new(),
+            buffers: HashMap::new(),
+            stats: StatsCollector::new(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("albic-worker-{node}"))
+            .spawn(move || ctx.run())
+            .expect("spawn worker");
+        self.handles.push((node, handle));
+    }
+
+    /// Elastic scale-out: acquire a node of the given relative capacity and
+    /// spawn a live worker thread for it. Returns the new node's id —
+    /// deterministic, so it matches what a policy previewed with
+    /// [`Cluster::peek_next_ids`].
+    pub fn add_worker(&mut self, capacity: f64) -> NodeId {
+        let id = self.cluster.add_node(capacity);
+        self.spawn_worker_thread(id);
+        id
     }
 
     /// The topology.
@@ -306,6 +382,11 @@ impl Runtime {
     /// The cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
     }
 
     /// Snapshot of the routing table.
@@ -394,47 +475,181 @@ impl Runtime {
 
         let period = self.clock.advance();
         let allocation = self.routing.read().assignment().to_vec();
-        PeriodStats::compute(period, &merged, allocation, &self.cluster, &self.cost)
+        let stats = PeriodStats::compute(period, &merged, allocation, &self.cluster, &self.cost);
+        self.history.push(PeriodRecord {
+            period: period.index(),
+            load_distance: stats.load_distance(&self.cluster),
+            mean_load: stats.mean_load(&self.cluster),
+            total_system_load: stats.total_system_load(),
+            collocation_factor: stats.collocation_factor(),
+            migrations: 0,
+            migration_cost: 0.0,
+            migration_pause_secs: 0.0,
+            num_nodes: self.cluster.len(),
+            marked_nodes: self.cluster.marked().count(),
+        });
+        stats
     }
 
     /// Execute migrations with the direct state migration protocol.
     /// Blocks until every destination has installed state and replayed its
-    /// buffer.
-    pub fn migrate(&mut self, migrations: &[Migration]) -> Vec<MigrationReport> {
-        let mut reports = Vec::new();
+    /// buffer. Moves that cannot be executed are returned in
+    /// [`ApplyReport::failed`], never silently dropped; a failed move
+    /// leaves the key group (state and routing) on its source node.
+    /// Executed moves are folded into the latest period's history record,
+    /// matching the simulator's accounting.
+    ///
+    /// The protocol surfaces worker failures; it is not crash-*tolerant*:
+    /// a worker thread dying outside the controlled drain lifecycle is a
+    /// bug, and tuples in flight to such a worker are dropped.
+    pub fn migrate(&mut self, migrations: &[Migration]) -> ApplyReport {
+        let mut report = ApplyReport::default();
         for &Migration { group, to } in migrations {
             let from = self.routing.read().node_of(group);
-            if from == to || self.cluster.get(to).is_none() {
+            if from == to {
+                continue;
+            }
+            let fail = |reason| FailedMigration {
+                group,
+                from,
+                to,
+                reason,
+            };
+            if self.cluster.get(to).is_none() {
+                report
+                    .failed
+                    .push(fail(MigrationFailure::UnknownDestination));
                 continue;
             }
             let senders = self.senders.read();
-            let (Some(src), Some(dst)) = (senders.get(&from).cloned(), senders.get(&to).cloned())
-            else {
+            let (src, dst) = (senders.get(&from).cloned(), senders.get(&to).cloned());
+            drop(senders);
+            let Some(src) = src else {
+                report
+                    .failed
+                    .push(fail(MigrationFailure::SourceUnavailable));
                 continue;
             };
-            drop(senders);
+            let Some(dst) = dst else {
+                report
+                    .failed
+                    .push(fail(MigrationFailure::DestinationUnavailable));
+                continue;
+            };
 
             // 1. Redirect new tuples; 2. destination buffers; 3-5. extract,
             // ship, install, replay — `done` fires after replay.
             let _ = dst.send(Msg::PrepareReceive { kg: group });
             self.routing.write().reroute(group, to);
             let (done_tx, done_rx) = unbounded();
-            let _ = src.send(Msg::Extract {
-                kg: group,
-                dest: to,
-                done: done_tx,
-            });
-            let (state_bytes, _replayed) = done_rx.recv().unwrap_or((0, 0));
-
-            reports.push(MigrationReport::from_cost_model(
-                group,
-                from,
-                to,
-                state_bytes,
-                &self.cost,
-            ));
+            if src
+                .send(Msg::Extract {
+                    kg: group,
+                    dest: to,
+                    done: done_tx,
+                })
+                .is_err()
+            {
+                self.routing.write().reroute(group, from);
+                let _ = dst.send(Msg::CancelReceive { kg: group });
+                report
+                    .failed
+                    .push(fail(MigrationFailure::SourceUnavailable));
+                continue;
+            }
+            match done_rx.recv() {
+                Ok(ExtractReply::Installed { state_bytes, .. }) => {
+                    report.migrations.push(MigrationReport::from_cost_model(
+                        group,
+                        from,
+                        to,
+                        state_bytes,
+                        &self.cost,
+                    ));
+                }
+                Ok(ExtractReply::DestinationGone) => {
+                    // The source kept the state; point routing back at it
+                    // and abort the destination's buffering window (a
+                    // no-op if the destination really is dead).
+                    self.routing.write().reroute(group, from);
+                    let _ = dst.send(Msg::CancelReceive { kg: group });
+                    report
+                        .failed
+                        .push(fail(MigrationFailure::DestinationUnavailable));
+                }
+                Err(_) => {
+                    // `done` was dropped without a reply — a worker thread
+                    // panicked mid-protocol and the state's location is
+                    // unknown. Restore routing to the source (the only
+                    // holder in every non-panic path) and surface it.
+                    self.routing.write().reroute(group, from);
+                    let _ = dst.send(Msg::CancelReceive { kg: group });
+                    report.failed.push(fail(MigrationFailure::ProtocolAborted));
+                }
+            }
         }
-        reports
+        if let Some(rec) = self.history.last_mut() {
+            rec.migrations += report.migrations.len();
+            rec.migration_cost += report.total_cost();
+            rec.migration_pause_secs += report.total_pause_secs();
+        }
+        report
+    }
+
+    /// Execute a full reconfiguration plan: spawn a worker per acquired
+    /// node, run the plan's migrations with the real state migration
+    /// protocol, and mark nodes for removal. Accounting is folded into the
+    /// most recent period's history record, mirroring the simulator.
+    pub fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        // Nodes are acquired before migrations run, so a plan may target
+        // the ids it previewed with `Cluster::peek_next_ids`.
+        let added: Vec<NodeId> = plan.add_nodes.iter().map(|&c| self.add_worker(c)).collect();
+        let mut report = self.migrate(&plan.migrations);
+        report.added = added;
+        for &node in &plan.mark_removal {
+            if self.cluster.mark_for_removal(node) {
+                report.marked.push(node);
+            }
+        }
+        if let Some(rec) = self.history.last_mut() {
+            rec.num_nodes = self.cluster.len();
+            rec.marked_nodes = self.cluster.marked().count();
+        }
+        report
+    }
+
+    /// Terminate every marked node whose key groups have all been drained
+    /// (Algorithm 1, lines 1-3): settle in-flight tuples, stop the worker,
+    /// join its thread and release the node. Returns the terminated ids.
+    pub fn terminate_drained(&mut self) -> Vec<NodeId> {
+        let drained: Vec<NodeId> = {
+            let routing = self.routing.read();
+            self.cluster
+                .marked()
+                .map(|n| n.id)
+                .filter(|&n| routing.groups_on(n).is_empty())
+                .collect()
+        };
+        if drained.is_empty() {
+            return drained;
+        }
+        // Nothing routes to a drained node any more, but tuples forwarded
+        // to it before its last group moved away may still sit in its
+        // inbox; a quiesce round flushes them out to their new owners.
+        self.quiesce(2);
+        for &node in &drained {
+            // Unpublish first so no worker can clone the sender afterwards.
+            let sender = self.senders.write().remove(&node);
+            if let Some(s) = sender {
+                let _ = s.send(Msg::Shutdown);
+            }
+            if let Some(pos) = self.handles.iter().position(|(id, _)| *id == node) {
+                let (_, handle) = self.handles.remove(pos);
+                let _ = handle.join();
+            }
+            self.cluster.terminate(node);
+        }
+        drained
     }
 
     /// Serialized state of one key group, fetched from its hosting worker.
@@ -446,6 +661,11 @@ impl Runtime {
         rx.recv().ok().flatten()
     }
 
+    /// Metric history, one record per completed period.
+    pub fn history(&self) -> &[PeriodRecord] {
+        &self.history
+    }
+
     /// Stop all workers and join their threads.
     pub fn shutdown(mut self) {
         let senders: Vec<Sender<Msg>> = self.senders.read().values().cloned().collect();
@@ -455,6 +675,45 @@ impl Runtime {
         for (_, h) in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+
+    /// Kill a worker thread while leaving its sender published and its
+    /// cluster entry intact — simulates a crashed worker so tests can
+    /// exercise the mid-protocol failure paths.
+    #[cfg(test)]
+    fn sever_worker(&mut self, node: NodeId) {
+        if let Some(s) = self.senders.read().get(&node) {
+            let _ = s.send(Msg::Shutdown);
+        }
+        if let Some(pos) = self.handles.iter().position(|(id, _)| *id == node) {
+            let (_, handle) = self.handles.remove(pos);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl ReconfigEngine for Runtime {
+    fn terminate_drained(&mut self) -> Vec<NodeId> {
+        Runtime::terminate_drained(self)
+    }
+
+    fn end_period(&mut self) -> PeriodStats {
+        Runtime::end_period(self)
+    }
+
+    fn view(&self) -> ClusterView<'_> {
+        ClusterView {
+            cluster: &self.cluster,
+            cost: &self.cost,
+        }
+    }
+
+    fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        Runtime::apply(self, plan)
+    }
+
+    fn history(&self) -> &[PeriodRecord] {
+        Runtime::history(self)
     }
 }
 
@@ -518,11 +777,12 @@ mod tests {
             .map(|n| n.id)
             .find(|&n| n != from)
             .unwrap();
-        let reports = rt.migrate(&[Migration { group: kg, to }]);
-        assert_eq!(reports.len(), 1);
-        assert_eq!(reports[0].from, from);
-        assert_eq!(reports[0].to, to);
-        assert_eq!(reports[0].state_bytes, 8, "u64 counter state");
+        let report = rt.migrate(&[Migration { group: kg, to }]);
+        assert_eq!(report.migrations.len(), 1);
+        assert!(report.failed.is_empty());
+        assert_eq!(report.migrations[0].from, from);
+        assert_eq!(report.migrations[0].to, to);
+        assert_eq!(report.migrations[0].state_bytes, 8, "u64 counter state");
         assert_eq!(rt.routing_snapshot().node_of(kg), to);
 
         // Continue the stream; the count must continue from 50.
@@ -592,6 +852,229 @@ mod tests {
         let (rt, _, cnt) = two_op_runtime(1);
         let kg = rt.topology().group_for_key(cnt, hash_key(&"never-seen"));
         assert!(rt.probe_state(kg).is_none());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn end_period_records_history() {
+        let (mut rt, src, _) = two_op_runtime(2);
+        rt.inject(src, (0..20).map(|i| Tuple::keyed(&i, Value::Int(i), 0)));
+        rt.quiesce(4);
+        rt.end_period();
+        rt.end_period();
+        assert_eq!(rt.history().len(), 2);
+        assert_eq!(rt.history()[0].period, 0);
+        assert_eq!(rt.history()[0].num_nodes, 2);
+        assert!(rt.history()[0].total_system_load > 0.0);
+        // Resident state persists, but the second period saw no traffic.
+        assert_eq!(rt.history()[1].period, 1);
+        assert!(rt.history()[1].total_system_load <= rt.history()[0].total_system_load);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn apply_scales_out_onto_a_live_worker() {
+        let (mut rt, src, cnt) = two_op_runtime(1);
+        rt.inject(
+            src,
+            (0..40).map(|i| Tuple::keyed(&(i % 8), Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        rt.end_period();
+
+        // Scale out by one node and move half the counter's groups there —
+        // exactly what an integrated plan produced by the framework does.
+        let new_id = rt.cluster().peek_next_ids(1)[0];
+        let groups = rt.routing_snapshot().groups_on(NodeId::new(0));
+        let moves: Vec<Migration> = groups
+            .iter()
+            .filter(|kg| rt.topology().operator_of_group(**kg) == cnt)
+            .map(|&group| Migration { group, to: new_id })
+            .collect();
+        assert!(!moves.is_empty());
+        let report = rt.apply(&ReconfigPlan {
+            migrations: moves.clone(),
+            add_nodes: vec![1.0],
+            mark_removal: vec![],
+        });
+        assert_eq!(report.added, vec![new_id]);
+        assert_eq!(report.migrations.len(), moves.len());
+        assert!(report.failed.is_empty());
+        assert_eq!(rt.cluster().len(), 2);
+        assert_eq!(rt.history().last().unwrap().num_nodes, 2);
+
+        // The new worker really processes: keep streaming and check that
+        // state keeps accumulating on the migrated groups.
+        rt.inject(
+            src,
+            (0..40).map(|i| Tuple::keyed(&(i % 8), Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        let stats = rt.end_period();
+        assert!(stats.load_of(new_id) > 0.0, "new node must carry load");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn marked_worker_drains_and_its_thread_joins() {
+        let (mut rt, src, _) = two_op_runtime(2);
+        rt.inject(
+            src,
+            (0..60).map(|i| Tuple::keyed(&(i % 8), Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        rt.end_period();
+
+        // Mark node 1, drain it with real migrations, then terminate.
+        let victim = NodeId::new(1);
+        let report = rt.apply(&ReconfigPlan {
+            migrations: vec![],
+            add_nodes: vec![],
+            mark_removal: vec![victim],
+        });
+        assert_eq!(report.marked, vec![victim]);
+        assert!(
+            rt.terminate_drained().is_empty(),
+            "victim still hosts groups"
+        );
+
+        let moves: Vec<Migration> = rt
+            .routing_snapshot()
+            .groups_on(victim)
+            .into_iter()
+            .map(|group| Migration {
+                group,
+                to: NodeId::new(0),
+            })
+            .collect();
+        let report = rt.migrate(&moves);
+        assert_eq!(report.migrations.len(), moves.len());
+        assert_eq!(rt.terminate_drained(), vec![victim]);
+        assert_eq!(rt.cluster().len(), 1);
+        assert!(rt.cluster().get(victim).is_none());
+
+        // The survivor still processes everything, including the moved keys.
+        rt.inject(
+            src,
+            (0..30).map(|i| Tuple::keyed(&(i % 8), Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        let stats = rt.end_period();
+        assert!((stats.total_tuples - 60.0).abs() < 1e-9, "30 src + 30 cnt");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn migration_to_dead_worker_is_surfaced_and_state_survives() {
+        let (mut rt, src, cnt) = two_op_runtime(2);
+        let key = 5i32;
+        rt.inject(
+            src,
+            (0..40).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        rt.end_period();
+
+        let kg = rt.topology().group_for_key(cnt, hash_key(&key));
+        let from = rt.routing_snapshot().node_of(kg);
+        let to = if from == NodeId::new(0) {
+            NodeId::new(1)
+        } else {
+            NodeId::new(0)
+        };
+        // Kill the destination worker thread while its sender stays
+        // published — the Extract send inside the source worker fails and
+        // must be surfaced, not swallowed.
+        rt.sever_worker(to);
+        let report = rt.migrate(&[Migration { group: kg, to }]);
+        assert!(report.migrations.is_empty());
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].group, kg);
+        assert_eq!(
+            report.failed[0].reason,
+            MigrationFailure::DestinationUnavailable
+        );
+        // Routing points back at the source and the state is intact there.
+        assert_eq!(rt.routing_snapshot().node_of(kg), from);
+        let bytes = rt.probe_state(kg).expect("state still on the source");
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&bytes[..8]);
+        assert_eq!(u64::from_le_bytes(arr), 40, "no tuples lost");
+        rt.shutdown();
+    }
+
+    /// A test operator whose state grows with every tuple, to catch stale
+    /// state-size reporting after migration.
+    #[derive(Debug, Default)]
+    struct Appending;
+
+    impl crate::operator::Operator for Appending {
+        fn name(&self) -> &str {
+            "appending"
+        }
+        fn new_state(&self) -> StateBox {
+            Box::new(Vec::<u8>::new())
+        }
+        fn serialize_state(&self, state: &StateBox) -> Vec<u8> {
+            state.downcast_ref::<Vec<u8>>().expect("vec state").clone()
+        }
+        fn deserialize_state(&self, bytes: &[u8]) -> StateBox {
+            Box::new(bytes.to_vec())
+        }
+        fn process(&self, _tuple: &Tuple, state: &mut StateBox, _out: &mut Emissions) {
+            state.downcast_mut::<Vec<u8>>().expect("vec state").push(1);
+        }
+    }
+
+    #[test]
+    fn migrated_group_reports_fresh_state_size_not_the_stale_source_entry() {
+        let mut b = TopologyBuilder::new();
+        let op = b.source("grow", 2, Arc::new(Appending));
+        let topology = b.build().unwrap();
+        let cluster = Cluster::homogeneous(2);
+        let routing = RoutingTable::all_on(topology.num_key_groups(), NodeId::new(0));
+        let mut rt = Runtime::start(topology, cluster, routing, CostModel::default());
+
+        let key = 1i32;
+        rt.inject(op, (0..5).map(|i| Tuple::keyed(&key, Value::Int(i), 0)));
+        rt.quiesce(2);
+        let kg = rt.topology().group_for_key(op, hash_key(&key));
+        let stats = rt.end_period();
+        assert_eq!(stats.group_state_bytes[kg.index()], 5.0);
+
+        // Move the group, grow the state on the destination, and re-check:
+        // the merged period stats must report the destination's fresh size,
+        // not the source's stale pre-migration entry.
+        rt.migrate(&[Migration {
+            group: kg,
+            to: NodeId::new(1),
+        }]);
+        rt.inject(op, (0..3).map(|i| Tuple::keyed(&key, Value::Int(i), 1)));
+        rt.quiesce(2);
+        let stats = rt.end_period();
+        assert_eq!(
+            stats.group_state_bytes[kg.index()],
+            8.0,
+            "stale source entry must not shadow the grown state"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn migration_to_unknown_node_is_surfaced() {
+        let (mut rt, src, cnt) = two_op_runtime(2);
+        rt.inject(src, (0..10).map(|i| Tuple::keyed(&1, Value::Int(i), 0)));
+        rt.quiesce(4);
+        let kg = rt.topology().group_for_key(cnt, hash_key(&1));
+        let report = rt.migrate(&[Migration {
+            group: kg,
+            to: NodeId::new(77),
+        }]);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(
+            report.failed[0].reason,
+            MigrationFailure::UnknownDestination
+        );
         rt.shutdown();
     }
 }

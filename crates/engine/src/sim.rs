@@ -14,16 +14,23 @@
 //! 60-node, 1200-group experiments run in milliseconds. Individual-tuple
 //! behaviour (buffering, replay, ordering) is covered by the threaded
 //! [`crate::runtime`].
+//!
+//! Both substrates implement the shared
+//! [`ReconfigEngine`](crate::substrate::ReconfigEngine) trait, so
+//! controllers and policies are substrate-agnostic: anything driven here
+//! also runs unchanged on the threaded runtime.
 
 use albic_types::{KeyGroupId, NodeId, Period, PeriodClock};
-use serde::{Deserialize, Serialize};
 
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
 use crate::migration::{Migration, MigrationReport};
-use crate::reconfig::ReconfigPlan;
+use crate::reconfig::{ClusterView, ReconfigPlan};
 use crate::routing::RoutingTable;
 use crate::stats::{PeriodStats, StatsCollector};
+use crate::substrate::{ApplyReport, ReconfigEngine};
+
+pub use crate::substrate::PeriodRecord;
 
 /// What the workload did during one period.
 #[derive(Debug, Clone, Default)]
@@ -44,31 +51,6 @@ pub trait WorkloadModel {
     fn num_groups(&self) -> u32;
     /// Produce the next period's workload.
     fn snapshot(&mut self, period: Period) -> WorkloadSnapshot;
-}
-
-/// Per-period metric record, the raw material of the experiment figures.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct PeriodRecord {
-    /// Period index.
-    pub period: u64,
-    /// Load distance (max alive-node deviation from the mean), percent.
-    pub load_distance: f64,
-    /// Mean alive-node load, percent.
-    pub mean_load: f64,
-    /// Total bottleneck-resource load over all nodes (load-index numerator).
-    pub total_system_load: f64,
-    /// Collocation factor, percent of inter-group traffic kept local.
-    pub collocation_factor: f64,
-    /// Number of key-group migrations applied after this period.
-    pub migrations: usize,
-    /// Total migration cost applied after this period.
-    pub migration_cost: f64,
-    /// Total pause seconds incurred by those migrations.
-    pub migration_pause_secs: f64,
-    /// Number of nodes present (alive + marked).
-    pub num_nodes: usize,
-    /// Number of nodes marked for removal.
-    pub marked_nodes: usize,
 }
 
 /// The simulator.
@@ -187,8 +169,8 @@ impl<W: WorkloadModel> SimEngine<W> {
     /// pause accounting against the latest state sizes), add nodes, and
     /// mark nodes for removal. Accounting is attached to the most recent
     /// period's record.
-    pub fn apply(&mut self, plan: &ReconfigPlan) -> Vec<MigrationReport> {
-        let mut reports = Vec::with_capacity(plan.migrations.len());
+    pub fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        let mut report = ApplyReport::default();
         let state_sizes: Vec<f64> = self
             .last_stats
             .as_ref()
@@ -198,25 +180,32 @@ impl<W: WorkloadModel> SimEngine<W> {
         // Nodes are acquired before migrations run, so a plan may target
         // the ids it previewed with `Cluster::peek_next_ids`.
         for &cap in &plan.add_nodes {
-            self.cluster.add_node(cap);
+            report.added.push(self.cluster.add_node(cap));
         }
         for &Migration { group, to } in &plan.migrations {
             let from = self.routing.node_of(group);
             if from == to {
                 continue;
             }
-            debug_assert!(
-                self.cluster.get(to).is_some(),
-                "migration to unknown node {to}"
-            );
+            if self.cluster.get(to).is_none() {
+                report.failed.push(crate::substrate::FailedMigration {
+                    group,
+                    from,
+                    to,
+                    reason: crate::substrate::MigrationFailure::UnknownDestination,
+                });
+                continue;
+            }
             self.routing.reroute(group, to);
             let bytes = state_sizes.get(group.index()).copied().unwrap_or(0.0) as usize;
-            reports.push(MigrationReport::from_cost_model(
+            report.migrations.push(MigrationReport::from_cost_model(
                 group, from, to, bytes, &self.cost,
             ));
         }
         for &node in &plan.mark_removal {
-            self.cluster.mark_for_removal(node);
+            if self.cluster.mark_for_removal(node) {
+                report.marked.push(node);
+            }
         }
 
         // Re-measure the period under the *new* placement: the evaluation
@@ -235,9 +224,9 @@ impl<W: WorkloadModel> SimEngine<W> {
             stats
         });
         if let Some(rec) = self.history.last_mut() {
-            rec.migrations += reports.len();
-            rec.migration_cost += reports.iter().map(|r| r.cost).sum::<f64>();
-            rec.migration_pause_secs += reports.iter().map(|r| r.pause_secs).sum::<f64>();
+            rec.migrations += report.migrations.len();
+            rec.migration_cost += report.total_cost();
+            rec.migration_pause_secs += report.total_pause_secs();
             rec.num_nodes = self.cluster.len();
             rec.marked_nodes = self.cluster.marked().count();
             if let Some(stats) = &refreshed {
@@ -250,7 +239,7 @@ impl<W: WorkloadModel> SimEngine<W> {
         if let Some(stats) = refreshed {
             self.last_stats = Some(stats);
         }
-        reports
+        report
     }
 
     /// Terminate every marked node whose key groups have all been drained
@@ -265,6 +254,33 @@ impl<W: WorkloadModel> SimEngine<W> {
             }
         }
         terminated
+    }
+}
+
+impl<W: WorkloadModel> ReconfigEngine for SimEngine<W> {
+    fn terminate_drained(&mut self) -> Vec<NodeId> {
+        SimEngine::terminate_drained(self)
+    }
+
+    /// Ending a simulated period *is* a tick: the workload model produces
+    /// the period's rates and the engine measures them.
+    fn end_period(&mut self) -> PeriodStats {
+        self.tick()
+    }
+
+    fn view(&self) -> ClusterView<'_> {
+        ClusterView {
+            cluster: &self.cluster,
+            cost: &self.cost,
+        }
+    }
+
+    fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        SimEngine::apply(self, plan)
+    }
+
+    fn history(&self) -> &[PeriodRecord] {
+        SimEngine::history(self)
     }
 }
 
@@ -326,10 +342,14 @@ mod tests {
             }],
             ..Default::default()
         };
-        let reports = e.apply(&plan);
-        assert_eq!(reports.len(), 1);
+        let report = e.apply(&plan);
+        assert_eq!(report.migrations.len(), 1);
+        assert!(report.failed.is_empty());
         assert_eq!(e.routing().node_of(KeyGroupId::new(0)), NodeId::new(1));
-        assert!(reports[0].cost > 0.0, "1 KiB of state has nonzero cost");
+        assert!(
+            report.migrations[0].cost > 0.0,
+            "1 KiB of state has nonzero cost"
+        );
         let rec = e.history().last().unwrap();
         assert_eq!(rec.migrations, 1);
         assert!(rec.migration_cost > 0.0);
@@ -348,9 +368,48 @@ mod tests {
             }],
             ..Default::default()
         };
-        let reports = e.apply(&plan);
-        assert!(reports.is_empty());
+        let report = e.apply(&plan);
+        assert!(report.migrations.is_empty() && report.failed.is_empty());
         assert_eq!(e.history().last().unwrap().migrations, 0);
+    }
+
+    #[test]
+    fn migration_to_unknown_node_is_surfaced_not_dropped() {
+        use crate::substrate::MigrationFailure;
+        let mut e = engine(4, 2);
+        e.tick();
+        let before = e.routing().node_of(KeyGroupId::new(0));
+        let plan = ReconfigPlan {
+            migrations: vec![Migration {
+                group: KeyGroupId::new(0),
+                to: NodeId::new(99),
+            }],
+            ..Default::default()
+        };
+        let report = e.apply(&plan);
+        assert!(report.migrations.is_empty());
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(
+            report.failed[0].reason,
+            MigrationFailure::UnknownDestination
+        );
+        assert_eq!(e.routing().node_of(KeyGroupId::new(0)), before);
+        assert_eq!(e.history().last().unwrap().migrations, 0);
+    }
+
+    #[test]
+    fn sim_implements_the_reconfig_engine_trait() {
+        fn drive(engine: &mut dyn ReconfigEngine) -> usize {
+            engine.terminate_drained();
+            let stats = engine.end_period();
+            assert!(stats.total_tuples > 0.0);
+            let _ = engine.view();
+            engine.apply(&ReconfigPlan::noop());
+            engine.history().len()
+        }
+        let mut e = engine(4, 2);
+        assert_eq!(drive(&mut e), 1);
+        assert_eq!(drive(&mut e), 2);
     }
 
     #[test]

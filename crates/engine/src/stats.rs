@@ -58,6 +58,13 @@ impl StatsCollector {
         self.state_bytes.insert(kg.raw(), bytes);
     }
 
+    /// Forget a group's state size — called when its state leaves this
+    /// collector's worker (migration source), so the stale entry cannot
+    /// race the destination's fresh measurement at merge time.
+    pub fn clear_state_bytes(&mut self, kg: KeyGroupId) {
+        self.state_bytes.remove(&kg.raw());
+    }
+
     /// Merge another collector (e.g. a different worker's) into this one.
     pub fn merge(&mut self, other: &StatsCollector) {
         for (&k, &v) in &other.tuples_in {

@@ -1,0 +1,218 @@
+//! The substrate-independent reconfiguration surface.
+//!
+//! The paper's Algorithm 1 is a control loop over an *executing dataflow*:
+//! every statistics period it terminates drained nodes, measures, asks a
+//! policy for a plan, and applies that plan. Nothing in the loop depends on
+//! *how* the dataflow executes — the rate-based [`crate::sim::SimEngine`]
+//! and the threaded [`crate::runtime::Runtime`] both expose the period
+//! lifecycle through [`ReconfigEngine`], so the same controller (see
+//! `albic_core::controller`) and the same policies drive either substrate.
+//! Policies cannot tell which one they run on; the figures run on the
+//! simulator for speed and the live examples run on real threads with real
+//! state shipping.
+
+use albic_types::{KeyGroupId, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::migration::MigrationReport;
+use crate::reconfig::{ClusterView, ReconfigPlan};
+use crate::stats::PeriodStats;
+
+/// Per-period metric record, the raw material of the experiment figures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeriodRecord {
+    /// Period index.
+    pub period: u64,
+    /// Load distance (max alive-node deviation from the mean), percent.
+    pub load_distance: f64,
+    /// Mean alive-node load, percent.
+    pub mean_load: f64,
+    /// Total bottleneck-resource load over all nodes (load-index numerator).
+    pub total_system_load: f64,
+    /// Collocation factor, percent of inter-group traffic kept local.
+    pub collocation_factor: f64,
+    /// Number of key-group migrations applied after this period.
+    pub migrations: usize,
+    /// Total migration cost applied after this period.
+    pub migration_cost: f64,
+    /// Total pause seconds incurred by those migrations.
+    pub migration_pause_secs: f64,
+    /// Number of nodes present (alive + marked).
+    pub num_nodes: usize,
+    /// Number of nodes marked for removal.
+    pub marked_nodes: usize,
+}
+
+/// Why an individual migration could not be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationFailure {
+    /// The destination node is not part of the cluster.
+    UnknownDestination,
+    /// The source worker is gone (its channel is closed).
+    SourceUnavailable,
+    /// The destination worker disappeared before the state could be
+    /// shipped; the state stayed on the source and routing was restored.
+    DestinationUnavailable,
+    /// A worker died mid-protocol without reporting which side failed.
+    /// Routing is restored to the source as the best guess, but the
+    /// state's location is unknown — this only happens if a worker
+    /// thread panics, which the engine treats as a bug, not a condition
+    /// to recover from.
+    ProtocolAborted,
+}
+
+/// One migration the engine could not carry out, with the reason. The
+/// key group keeps running on `from`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailedMigration {
+    /// The key group that was supposed to move.
+    pub group: KeyGroupId,
+    /// Where it was (and still is) hosted.
+    pub from: NodeId,
+    /// Where it was supposed to go.
+    pub to: NodeId,
+    /// Why the move did not happen.
+    pub reason: MigrationFailure,
+}
+
+/// Outcome of executing one [`ReconfigPlan`].
+#[derive(Debug, Clone, Default)]
+pub struct ApplyReport {
+    /// Successfully executed migrations, with cost accounting.
+    pub migrations: Vec<MigrationReport>,
+    /// Migrations that could not be executed (never silently dropped).
+    pub failed: Vec<FailedMigration>,
+    /// Ids of the nodes acquired for the plan's `add_nodes` capacities.
+    pub added: Vec<NodeId>,
+    /// Nodes newly marked for removal.
+    pub marked: Vec<NodeId>,
+}
+
+impl ApplyReport {
+    /// Total serialized state shipped by the executed migrations.
+    pub fn total_state_bytes(&self) -> usize {
+        self.migrations.iter().map(|r| r.state_bytes).sum()
+    }
+
+    /// Total modeled migration cost.
+    pub fn total_cost(&self) -> f64 {
+        self.migrations.iter().map(|r| r.cost).sum()
+    }
+
+    /// Total modeled pause seconds.
+    pub fn total_pause_secs(&self) -> f64 {
+        self.migrations.iter().map(|r| r.pause_secs).sum()
+    }
+}
+
+/// The period lifecycle every reconfigurable substrate exposes.
+///
+/// One adaptation round (Algorithm 1) against any implementor:
+///
+/// 1. [`terminate_drained`](ReconfigEngine::terminate_drained) —
+///    housekeeping: nodes marked for removal whose key groups are gone are
+///    released (the simulator drops them; the runtime joins their worker
+///    threads);
+/// 2. [`end_period`](ReconfigEngine::end_period) — close the statistics
+///    period and obtain the [`PeriodStats`] snapshot (the simulator draws
+///    its workload model; the runtime flushes windows and merges worker
+///    collectors);
+/// 3. the policy plans against the stats and the
+///    [`view`](ReconfigEngine::view);
+/// 4. [`apply`](ReconfigEngine::apply) — execute the plan: acquire nodes,
+///    migrate key groups (modeled vs. the real redirect → buffer → ship →
+///    replay protocol), mark nodes for removal.
+///
+/// Implementations append one [`PeriodRecord`] per `end_period` call and
+/// fold the applied plan's accounting into the latest record, so
+/// [`history`](ReconfigEngine::history) has the same schema on every
+/// substrate. One semantic difference is inherent: the simulator can
+/// *re-measure* the closed period under the post-plan placement (its
+/// records show post-migration load metrics, which is what the paper's
+/// figures plot), while the runtime can only record what was actually
+/// measured — the effect of a plan shows up in the *next* period's
+/// record. Decision-relevant signals ([`PeriodStats`]) are identical on
+/// both substrates; `tests/substrate_equivalence.rs` pins that.
+pub trait ReconfigEngine {
+    /// Release every marked node whose key groups have all been drained
+    /// (Algorithm 1, lines 1-3). Returns the terminated node ids.
+    fn terminate_drained(&mut self) -> Vec<NodeId>;
+
+    /// Close the current statistics period and return its snapshot.
+    fn end_period(&mut self) -> PeriodStats;
+
+    /// Read-only cluster + cost-model view handed to policies.
+    fn view(&self) -> ClusterView<'_>;
+
+    /// Execute a reconfiguration plan.
+    fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport;
+
+    /// Metric history, one record per completed period.
+    fn history(&self) -> &[PeriodRecord];
+}
+
+impl<E: ReconfigEngine + ?Sized> ReconfigEngine for &mut E {
+    fn terminate_drained(&mut self) -> Vec<NodeId> {
+        (**self).terminate_drained()
+    }
+    fn end_period(&mut self) -> PeriodStats {
+        (**self).end_period()
+    }
+    fn view(&self) -> ClusterView<'_> {
+        (**self).view()
+    }
+    fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        (**self).apply(plan)
+    }
+    fn history(&self) -> &[PeriodRecord] {
+        (**self).history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn apply_report_totals() {
+        let cm = CostModel {
+            alpha: 0.5,
+            pause_per_cost: 2.0,
+            ..Default::default()
+        };
+        let report = ApplyReport {
+            migrations: vec![
+                MigrationReport::from_cost_model(
+                    KeyGroupId::new(0),
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    100,
+                    &cm,
+                ),
+                MigrationReport::from_cost_model(
+                    KeyGroupId::new(1),
+                    NodeId::new(1),
+                    NodeId::new(0),
+                    60,
+                    &cm,
+                ),
+            ],
+            failed: vec![FailedMigration {
+                group: KeyGroupId::new(2),
+                from: NodeId::new(0),
+                to: NodeId::new(9),
+                reason: MigrationFailure::UnknownDestination,
+            }],
+            added: vec![],
+            marked: vec![],
+        };
+        assert_eq!(report.total_state_bytes(), 160);
+        assert!((report.total_cost() - 80.0).abs() < 1e-12);
+        assert!((report.total_pause_secs() - 160.0).abs() < 1e-12);
+        assert_eq!(
+            report.failed[0].reason,
+            MigrationFailure::UnknownDestination
+        );
+    }
+}

@@ -9,8 +9,8 @@
 use albic::core::albic::{Albic, AlbicConfig};
 use albic::core::baselines::Cola;
 use albic::core::framework::AdaptationFramework;
-use albic::core::metrics;
-use albic::engine::reconfig::{ClusterView, ReconfigPolicy};
+use albic::core::{metrics, Controller};
+use albic::engine::reconfig::ReconfigPolicy;
 use albic::engine::{Cluster, CostModel, RoutingTable, SimEngine};
 use albic::milp::MigrationBudget;
 use albic::workloads::airline::AirlineJobWorkload;
@@ -51,16 +51,8 @@ fn run(use_albic: bool) -> Vec<albic::engine::sim::PeriodRecord> {
         &mut cola_policy
     };
 
-    for _ in 0..60 {
-        let stats = engine.tick();
-        let view = ClusterView {
-            cluster: engine.cluster(),
-            cost: engine.cost_model(),
-        };
-        let plan = policy.plan(&stats, view);
-        engine.apply(&plan);
-    }
-    engine.history().to_vec()
+    // The Algorithm-1 controller owns the adaptation loop.
+    Controller::new(&mut engine).run(policy, 60)
 }
 
 fn main() {

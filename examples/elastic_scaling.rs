@@ -8,8 +8,7 @@
 
 use albic::core::framework::AdaptationFramework;
 use albic::core::scaling::ThresholdScaling;
-use albic::core::MilpBalancer;
-use albic::engine::reconfig::{ClusterView, ReconfigPolicy};
+use albic::core::{Controller, MilpBalancer};
 use albic::engine::sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
 use albic::engine::{Cluster, CostModel};
 use albic::milp::MigrationBudget;
@@ -54,23 +53,19 @@ fn main() {
         ThresholdScaling::new(35.0, 80.0, 60.0),
     );
 
+    // One Controller step = one Algorithm-1 round: housekeeping → stats →
+    // policy → apply.
+    let mut ctl = Controller::new(&mut engine);
     println!("period | nodes (marked) | mean load | distance | migrations");
     for p in 0..36 {
-        engine.terminate_drained();
-        let stats = engine.tick();
-        let view = ClusterView {
-            cluster: engine.cluster(),
-            cost: engine.cost_model(),
-        };
-        let plan = policy.plan(&stats, view);
-        engine.apply(&plan);
-        let rec = engine.history().last().unwrap();
+        ctl.step(&mut policy);
+        let rec = ctl.history().last().unwrap();
         println!(
             "{:>6} | {:>5} ({:>2})    | {:>8.1}% | {:>7.2}% | {:>4}",
             p, rec.num_nodes, rec.marked_nodes, rec.mean_load, rec.load_distance, rec.migrations,
         );
     }
-    let peak = engine.history().iter().map(|r| r.num_nodes).max().unwrap();
-    let end = engine.history().last().unwrap().num_nodes;
+    let peak = ctl.history().iter().map(|r| r.num_nodes).max().unwrap();
+    let end = ctl.history().last().unwrap().num_nodes;
     println!("\nscaled out to {peak} nodes at peak, back down to {end} after the lull");
 }

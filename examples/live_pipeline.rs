@@ -1,0 +1,97 @@
+//! Live elastic scaling on the *threaded* runtime: one worker is
+//! overloaded by a load ramp, the integrated framework (Algorithm 1)
+//! acquires workers and rebalances onto them with real state migrations,
+//! and the lull afterwards drains a marked worker and joins its thread.
+//!
+//! This is `examples/elastic_scaling.rs` with the simulator swapped for
+//! real worker threads — the Controller and the policy are identical,
+//! which is the point of the `ReconfigEngine` trait.
+//!
+//! ```sh
+//! cargo run --release --example live_pipeline
+//! ```
+
+use std::sync::Arc;
+
+use albic::core::{AdaptationFramework, Controller, MilpBalancer, ThresholdScaling};
+use albic::engine::operator::{Counting, Identity};
+use albic::engine::topology::TopologyBuilder;
+use albic::engine::tuple::{Tuple, Value};
+use albic::engine::{Cluster, CostModel, RoutingTable};
+use albic::milp::MigrationBudget;
+
+/// Tuples injected per period: ramp → plateau (overload) → lull.
+/// Keep in sync with `fig15_rate` in `crates/bench/src/experiments.rs` —
+/// this example is the CI smoke for the published fig15 scenario.
+fn rate(period: u64) -> usize {
+    match period {
+        0..=3 => 4_000 * (period as usize + 1),
+        4..=9 => 16_000,
+        _ => 1_500,
+    }
+}
+
+fn main() {
+    // A pass-through source feeding a stateful per-key counter.
+    let mut b = TopologyBuilder::new();
+    let src = b.source("events", 8, Arc::new(Identity));
+    let count = b.operator("count", 8, Arc::new(Counting));
+    b.edge(src, count);
+    let topology = b.build().expect("valid DAG");
+
+    // Start with a single worker thread hosting every key group.
+    let cluster = Cluster::homogeneous(1);
+    let routing = RoutingTable::all_on(topology.num_key_groups(), cluster.nodes()[0].id);
+    let rt =
+        albic::engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
+
+    let mut policy = AdaptationFramework::with_scaling(
+        MilpBalancer::new(MigrationBudget::Unlimited),
+        ThresholdScaling::new(35.0, 80.0, 60.0),
+    );
+    let mut ctl = Controller::new(rt);
+
+    println!("period | nodes (marked) | mean load | migrations | note");
+    for p in 0..16u64 {
+        let n = rate(p);
+        ctl.engine_mut().inject(
+            src,
+            (0..n).map(|i| Tuple::keyed(&(i % 64), Value::Int(i as i64), p)),
+        );
+        ctl.engine_mut().quiesce(4);
+        let report = ctl.step(&mut policy);
+        let rec = ctl.history().last().unwrap();
+        let note = if !report.apply.added.is_empty() {
+            format!(
+                "scale-OUT: spawned {} worker(s), shipped {} bytes of state",
+                report.apply.added.len(),
+                report.apply.total_state_bytes()
+            )
+        } else if !report.apply.marked.is_empty() {
+            format!(
+                "scale-IN: marked {} worker(s) to drain",
+                report.apply.marked.len()
+            )
+        } else if !report.terminated.is_empty() {
+            format!(
+                "joined {} drained worker thread(s)",
+                report.terminated.len()
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "{:>6} | {:>5} ({:>2})    | {:>8.1}% | {:>10} | {}",
+            p, rec.num_nodes, rec.marked_nodes, rec.mean_load, rec.migrations, note,
+        );
+    }
+
+    let peak = ctl.history().iter().map(|r| r.num_nodes).max().unwrap();
+    let end = ctl.history().last().unwrap().num_nodes;
+    ctl.into_engine().shutdown();
+    println!(
+        "\nscaled out to {peak} real worker threads at peak, back down to {end} after the lull"
+    );
+    assert!(peak > 1, "overload must have triggered scale-out");
+    assert!(end < peak, "the lull must have scaled back in");
+}

@@ -1,6 +1,6 @@
 //! Quickstart: run a small job on the *threaded* runtime, watch the
-//! statistics the engine collects, then let the MILP balancer fix a skewed
-//! allocation with a real state migration.
+//! statistics the engine collects, then let the Algorithm-1 controller and
+//! the MILP balancer fix a skewed allocation with a real state migration.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -8,8 +8,7 @@
 
 use std::sync::Arc;
 
-use albic::core::allocator::{KeyGroupAllocator, NodeSet};
-use albic::core::MilpBalancer;
+use albic::core::{AdaptationFramework, Controller, MilpBalancer};
 use albic::engine::operator::{Counting, Identity};
 use albic::engine::topology::TopologyBuilder;
 use albic::engine::tuple::{Tuple, Value};
@@ -29,49 +28,47 @@ fn main() {
     // Two worker nodes; deliberately put *everything* on node 0.
     let cluster = Cluster::homogeneous(2);
     let routing = RoutingTable::all_on(topology.num_key_groups(), NodeId::new(0));
-    let mut rt =
+    let rt =
         albic::engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
 
-    // Stream 20k keyed events through it.
-    rt.inject(
+    // The paper's adaptation loop: the Controller owns housekeeping →
+    // statistics → policy → plan application; the policy here is the MILP
+    // balancer without scaling. The threaded runtime and the simulator
+    // both implement ReconfigEngine, so this is exactly the stack the
+    // figure experiments run — on real threads.
+    let mut policy =
+        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Unlimited));
+    let mut ctl = Controller::new(rt);
+
+    // Stream 20k keyed events through it, then run one adaptation round.
+    ctl.engine_mut().inject(
         src,
         (0..20_000).map(|i| Tuple::keyed(&(i % 50), Value::Int(i), i as u64)),
     );
-    rt.quiesce(4);
-    let stats = rt.end_period();
-    println!("period 0: processed {} tuples", stats.total_tuples);
+    ctl.engine_mut().quiesce(4);
+    let report = ctl.step(&mut policy);
+    println!("period 0: processed {} tuples", report.stats.total_tuples);
     println!(
         "  node loads: n0={:.1}% n1={:.1}%  (load distance {:.1})",
-        stats.load_of(NodeId::new(0)),
-        stats.load_of(NodeId::new(1)),
-        stats.load_distance(rt.cluster()),
+        report.stats.load_of(NodeId::new(0)),
+        report.stats.load_of(NodeId::new(1)),
+        report.stats.load_distance(ctl.engine().cluster()),
     );
-
-    // Ask the paper's MILP for a better allocation and apply it with the
-    // direct state migration protocol (redirect → buffer → ship → replay).
-    let ns = NodeSet::from_cluster(rt.cluster());
-    let mut balancer = MilpBalancer::new(MigrationBudget::Unlimited);
-    let plan = balancer.allocate(&stats, &ns, &CostModel::default());
     println!(
-        "MILP plans {} migrations (projected distance {:.2}, lower bound {:.2})",
-        plan.migrations.len(),
-        plan.projected_distance,
-        plan.lower_bound,
-    );
-    let reports = rt.migrate(&plan.migrations);
-    let moved_bytes: usize = reports.iter().map(|r| r.state_bytes).sum();
-    println!(
-        "migrated {} key groups, {} bytes of state",
-        reports.len(),
-        moved_bytes
+        "MILP planned {} migrations; executed with the direct state \
+         migration protocol (redirect → buffer → ship → replay), moving \
+         {} bytes of state",
+        report.plan.migrations.len(),
+        report.apply.total_state_bytes(),
     );
 
     // Keep streaming; the load is now split across both workers.
-    rt.inject(
+    ctl.engine_mut().inject(
         src,
         (0..20_000).map(|i| Tuple::keyed(&(i % 50), Value::Int(i), i as u64)),
     );
-    rt.quiesce(4);
+    ctl.engine_mut().quiesce(4);
+    let mut rt = ctl.into_engine();
     let stats = rt.end_period();
     println!(
         "period 1: node loads n0={:.1}% n1={:.1}%  (load distance {:.1})",

@@ -6,8 +6,7 @@
 //! cargo run --release --example wiki_topk
 //! ```
 
-use albic::core::allocator::{KeyGroupAllocator, NodeSet};
-use albic::core::MilpBalancer;
+use albic::core::{AdaptationFramework, Controller, MilpBalancer};
 use albic::engine::{Cluster, CostModel, RoutingTable};
 use albic::milp::MigrationBudget;
 use albic::types::NodeId;
@@ -21,35 +20,35 @@ fn main() {
     let cluster = Cluster::homogeneous(4);
     let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
     let routing = RoutingTable::round_robin(topology.num_key_groups(), &ids);
-    let mut rt =
+    let rt =
         albic::engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
 
     let stream = WikipediaEditStream::new(3_000.0, 42);
-    let mut balancer = MilpBalancer::new(MigrationBudget::Count(13));
+    // Rebalance under the paper's 13-groups-per-period budget — the same
+    // Controller + policy stack the simulator experiments use, here driving
+    // real worker threads through the ReconfigEngine trait.
+    let mut policy =
+        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(13)));
+    let mut ctl = Controller::new(rt);
 
     for period in 0..5u64 {
-        rt.inject(src, stream.tuples(period));
-        rt.quiesce(8);
-        let stats = rt.end_period();
-        let dist = stats.load_distance(rt.cluster());
+        ctl.engine_mut().inject(src, stream.tuples(period));
+        ctl.engine_mut().quiesce(8);
+        let report = ctl.step(&mut policy);
         println!(
             "period {period}: {} edits processed, load distance {:.2}%",
             stream.rate_at(period).round(),
-            dist,
+            report.stats.load_distance(ctl.engine().cluster()),
         );
-
-        // Rebalance under the paper's 13-groups-per-period budget.
-        let ns = NodeSet::from_cluster(rt.cluster());
-        let out = balancer.allocate(&stats, &ns, &CostModel::default());
-        if !out.migrations.is_empty() {
-            let reports = rt.migrate(&out.migrations);
+        if !report.apply.migrations.is_empty() {
             println!(
                 "  migrated {} key groups ({} bytes of window state)",
-                reports.len(),
-                reports.iter().map(|r| r.state_bytes).sum::<usize>(),
+                report.apply.migrations.len(),
+                report.apply.total_state_bytes(),
             );
         }
     }
+    let rt = ctl.into_engine();
 
     // Show the global TopK state (key group of the constant merge key).
     let global_op = ops[3];

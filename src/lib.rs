@@ -25,8 +25,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use albic::core::{AdaptationFramework, MilpBalancer};
-//! use albic::engine::reconfig::{ClusterView, ReconfigPolicy};
+//! use albic::core::{AdaptationFramework, Controller, MilpBalancer};
 //! use albic::engine::{Cluster, CostModel, RoutingTable, SimEngine};
 //! use albic::milp::MigrationBudget;
 //! use albic::workloads::{SyntheticConfig, SyntheticWorkload};
@@ -40,18 +39,15 @@
 //!     CostModel::default(),
 //! );
 //!
-//! // ...balanced by the paper's MILP under a migration budget.
+//! // ...balanced by the paper's MILP under a migration budget. The
+//! // Controller owns the Algorithm-1 loop and drives the simulator and
+//! // the threaded runtime identically (both are `ReconfigEngine`s).
 //! let mut policy = AdaptationFramework::balancing_only(
 //!     MilpBalancer::new(MigrationBudget::Count(20)),
 //! );
-//! for _ in 0..3 {
-//!     let stats = engine.tick();
-//!     let view = ClusterView { cluster: engine.cluster(), cost: engine.cost_model() };
-//!     let plan = policy.plan(&stats, view);
-//!     engine.apply(&plan);
-//! }
-//! let before = engine.history()[0].load_distance;
-//! let after = engine.history().last().unwrap().load_distance;
+//! let history = Controller::new(&mut engine).run(&mut policy, 3);
+//! let before = history[0].load_distance;
+//! let after = history.last().unwrap().load_distance;
 //! assert!(after <= before);
 //! ```
 

@@ -6,30 +6,17 @@ use albic::core::albic::{Albic, AlbicConfig};
 use albic::core::allocator::{KeyGroupAllocator, NodeSet};
 use albic::core::baselines::{Cola, Flux};
 use albic::core::framework::AdaptationFramework;
-use albic::core::{MilpBalancer, ThresholdScaling};
-use albic::engine::reconfig::{ClusterView, ReconfigPolicy};
-use albic::engine::{Cluster, CostModel, RoutingTable, SimEngine};
+use albic::core::{Controller, MilpBalancer, ThresholdScaling};
+use albic::engine::reconfig::ReconfigPolicy;
+use albic::engine::{Cluster, CostModel, ReconfigEngine, RoutingTable, SimEngine};
 use albic::milp::MigrationBudget;
 use albic::types::NodeId;
 use albic::workloads::airline::AirlineJobWorkload;
 use albic::workloads::wikipedia::WikiJob1Workload;
 use albic::workloads::{SyntheticConfig, SyntheticWorkload};
 
-fn drive<W: albic::engine::sim::WorkloadModel>(
-    engine: &mut SimEngine<W>,
-    policy: &mut dyn ReconfigPolicy,
-    periods: usize,
-) {
-    for _ in 0..periods {
-        engine.terminate_drained();
-        let stats = engine.tick();
-        let view = ClusterView {
-            cluster: engine.cluster(),
-            cost: engine.cost_model(),
-        };
-        let plan = policy.plan(&stats, view);
-        engine.apply(&plan);
-    }
+fn drive<E: ReconfigEngine>(engine: &mut E, policy: &mut dyn ReconfigPolicy, periods: usize) {
+    Controller::new(engine).run(policy, periods);
 }
 
 #[test]

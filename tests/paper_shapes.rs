@@ -2,12 +2,15 @@
 //! results, so future changes to the solver, engine or workloads cannot
 //! silently break the reproduction. These are the fast variants of the
 //! claims EXPERIMENTS.md records for the full runs.
+//!
+//! Every driver goes through the Algorithm-1 [`Controller`]; the loops the
+//! seed hand-rolled live there now.
 
 use albic::core::allocator::NodeSet;
 use albic::core::baselines::PoTC;
 use albic::core::framework::AdaptationFramework;
-use albic::core::MilpBalancer;
-use albic::engine::reconfig::{ClusterView, ReconfigPolicy};
+use albic::core::{Controller, MilpBalancer};
+use albic::engine::reconfig::ReconfigPolicy;
 use albic::engine::{Cluster, CostModel, SimEngine};
 use albic::milp::{AllocationProblem, Budget, GroupSpec, MigrationBudget};
 use albic::workloads::wikipedia::WikiJob1Workload;
@@ -24,14 +27,8 @@ fn one_round_distance(policy: &mut dyn ReconfigPolicy, varies: f64, nodes: usize
         Cluster::homogeneous(nodes),
         CostModel::default(),
     );
-    let stats = engine.tick();
-    let view = ClusterView {
-        cluster: engine.cluster(),
-        cost: engine.cost_model(),
-    };
-    let plan = policy.plan(&stats, view);
-    engine.apply(&plan);
-    engine.history().last().unwrap().load_distance
+    let history = Controller::new(&mut engine).run(policy, 1);
+    history.last().unwrap().load_distance
 }
 
 /// Figs 2-4 shape: the MILP beats Flux decisively under the same
@@ -52,7 +49,8 @@ fn shape_milp_beats_flux_figs_2_4() {
 }
 
 /// Fig 6 shape: on Real Job 1 the MILP's steady-state distance beats the
-/// PoTC evaluator's.
+/// PoTC evaluator's. PoTC observes every period's statistics through the
+/// controller's observer hook before the MILP's plan is applied.
 #[test]
 fn shape_milp_beats_potc_fig6() {
     let workers = 20usize;
@@ -64,23 +62,23 @@ fn shape_milp_beats_potc_fig6() {
     let mut policy =
         AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(13)));
     let potc = PoTC::new(1);
-    let mut milp_sum = 0.0;
     let mut potc_sum = 0.0;
+    let mut milp_sum = 0.0;
     let periods = 12;
-    for p in 0..periods {
-        let stats = engine.tick();
-        if p >= 4 {
-            let ns = NodeSet::from_cluster(engine.cluster());
-            potc_sum += potc.evaluate(&stats, &ns).load_distance;
-        }
-        let view = ClusterView {
-            cluster: engine.cluster(),
-            cost: engine.cost_model(),
-        };
-        let plan = policy.plan(&stats, view);
-        engine.apply(&plan);
-        if p >= 4 {
-            milp_sum += engine.history().last().unwrap().load_distance;
+    {
+        let mut seen = 0usize;
+        let mut ctl = Controller::new(&mut engine).with_observer(|stats, cluster| {
+            if seen >= 4 {
+                let ns = NodeSet::from_cluster(cluster);
+                potc_sum += potc.evaluate(stats, &ns).load_distance;
+            }
+            seen += 1;
+        });
+        for round in 0..periods {
+            ctl.step(&mut policy);
+            if round >= 4 {
+                milp_sum += ctl.history().last().unwrap().load_distance;
+            }
         }
     }
     assert!(
@@ -100,17 +98,8 @@ fn shape_unrestricted_migrates_more_state_fig9() {
             CostModel::default(),
         );
         let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(budget));
-        for _ in 0..8 {
-            let stats = engine.tick();
-            let view = ClusterView {
-                cluster: engine.cluster(),
-                cost: engine.cost_model(),
-            };
-            let plan = policy.plan(&stats, view);
-            engine.apply(&plan);
-        }
-        engine
-            .history()
+        Controller::new(&mut engine)
+            .run(&mut policy, 8)
             .iter()
             .map(|r| r.migration_pause_secs)
             .sum()
@@ -186,17 +175,8 @@ fn shape_experiments_are_deterministic() {
         );
         let mut policy =
             AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(10)));
-        for _ in 0..5 {
-            let stats = engine.tick();
-            let view = ClusterView {
-                cluster: engine.cluster(),
-                cost: engine.cost_model(),
-            };
-            let plan = policy.plan(&stats, view);
-            engine.apply(&plan);
-        }
-        engine
-            .history()
+        Controller::new(&mut engine)
+            .run(&mut policy, 5)
             .iter()
             .map(|r| (r.load_distance.to_bits(), r.migrations))
             .collect::<Vec<_>>()

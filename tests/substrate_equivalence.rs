@@ -1,0 +1,237 @@
+//! Sim-vs-runtime equivalence: the module docs promise that "policies
+//! cannot tell which substrate they run on". This test proves it: the same
+//! policy observes the same workload on the rate-based simulator and on
+//! the threaded runtime (through the shared `ReconfigEngine` trait) and
+//! must make bit-identical migration decisions every period, ending with
+//! identical routing assignments.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use albic::core::{AdaptationFramework, Controller, MilpBalancer};
+use albic::engine::operator::{Counting, Identity};
+use albic::engine::runtime::Runtime;
+use albic::engine::sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
+use albic::engine::topology::TopologyBuilder;
+use albic::engine::tuple::{hash_key, Tuple, Value};
+use albic::engine::{Cluster, CostModel, PeriodStats, ReconfigPlan, RoutingTable};
+use albic::milp::MigrationBudget;
+use albic::types::{KeyGroupId, NodeId, Period};
+
+const KEYS: u64 = 40;
+const PERIODS: usize = 4;
+
+/// Deterministic skewed per-key tuple counts for one period.
+fn tuples_of(key: u64, period: u64) -> u64 {
+    3 + (key * 7 + period * 5) % 13 + if key < 4 { 40 } else { 0 }
+}
+
+/// Replays precomputed snapshots — the rate-level view of exactly the
+/// tuples the runtime test injects.
+struct Recorded {
+    groups: u32,
+    snapshots: Vec<WorkloadSnapshot>,
+}
+
+impl WorkloadModel for Recorded {
+    fn num_groups(&self) -> u32 {
+        self.groups
+    }
+    fn snapshot(&mut self, period: Period) -> WorkloadSnapshot {
+        self.snapshots[period.index() as usize].clone()
+    }
+}
+
+fn policy() -> AdaptationFramework<MilpBalancer> {
+    AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(6)))
+}
+
+#[test]
+fn same_policy_same_decisions_on_both_substrates() {
+    // The logical job: pass-through source → per-key counter, 8 key
+    // groups each; everything starts on node 0 of a 2-node cluster.
+    let build = || {
+        let mut b = TopologyBuilder::new();
+        let src = b.source("events", 8, Arc::new(Identity));
+        let cnt = b.operator("count", 8, Arc::new(Counting));
+        b.edge(src, cnt);
+        (b.build().expect("valid DAG"), src, cnt)
+    };
+    let (topology, src, cnt) = build();
+    let num_groups = topology.num_key_groups();
+
+    // Key → (source group, counter group), via the same hashing the
+    // runtime routes with.
+    let key_groups: Vec<(KeyGroupId, KeyGroupId)> = (0..KEYS)
+        .map(|k| {
+            let h = hash_key(&k);
+            (
+                topology.group_for_key(src, h),
+                topology.group_for_key(cnt, h),
+            )
+        })
+        .collect();
+
+    // Precompute the rate-level snapshots the simulator will replay: per
+    // period, the per-group tuple counts, the src→cnt flows, and the
+    // resident counter states (8 bytes once a group has ever been active).
+    let mut snapshots = Vec::with_capacity(PERIODS);
+    let mut ever_active: Vec<bool> = vec![false; num_groups as usize];
+    for p in 0..PERIODS as u64 {
+        let mut group_tuples = vec![0.0; num_groups as usize];
+        let mut comm: HashMap<(KeyGroupId, KeyGroupId), f64> = HashMap::new();
+        for k in 0..KEYS {
+            let n = tuples_of(k, p) as f64;
+            let (gs, gc) = key_groups[k as usize];
+            group_tuples[gs.index()] += n;
+            group_tuples[gc.index()] += n;
+            *comm.entry((gs, gc)).or_insert(0.0) += n;
+            ever_active[gs.index()] = true;
+            ever_active[gc.index()] = true;
+        }
+        // Identity groups keep zero-byte states; counter groups hold a
+        // u64 (8 bytes) once they have seen a tuple.
+        let state_bytes: Vec<f64> = (0..num_groups)
+            .map(|g| {
+                let kg = KeyGroupId::new(g);
+                if ever_active[kg.index()] && topology.operator_of_group(kg) == cnt {
+                    8.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        snapshots.push(WorkloadSnapshot {
+            group_tuples,
+            group_cost: vec![1.0; num_groups as usize],
+            comm: comm.into_iter().map(|((a, b), n)| (a, b, n)).collect(),
+            state_bytes,
+        });
+    }
+
+    // --- Substrate A: the threaded runtime. ---
+    let cluster = Cluster::homogeneous(2);
+    let routing = RoutingTable::all_on(num_groups, NodeId::new(0));
+    let rt = Runtime::start(topology, cluster, routing, CostModel::default());
+    let mut rt_policy = policy();
+    let mut rt_ctl = Controller::new(rt);
+    let mut rt_plans: Vec<ReconfigPlan> = Vec::new();
+    let mut rt_stats: Vec<PeriodStats> = Vec::new();
+    for p in 0..PERIODS as u64 {
+        for k in 0..KEYS {
+            let n = tuples_of(k, p);
+            rt_ctl.engine_mut().inject(
+                src,
+                (0..n).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
+            );
+        }
+        rt_ctl.engine_mut().quiesce(4);
+        let report = rt_ctl.step(&mut rt_policy);
+        assert!(report.apply.failed.is_empty(), "{:?}", report.apply.failed);
+        rt_stats.push(report.stats);
+        rt_plans.push(report.plan);
+    }
+    let rt_assignment = rt_ctl.engine().routing_snapshot().assignment().to_vec();
+    rt_ctl.into_engine().shutdown();
+
+    // --- Substrate B: the simulator, replaying the same workload. ---
+    let cluster = Cluster::homogeneous(2);
+    let routing = RoutingTable::all_on(num_groups, NodeId::new(0));
+    let mut sim = SimEngine::new(
+        Recorded {
+            groups: num_groups,
+            snapshots,
+        },
+        cluster,
+        routing,
+        CostModel::default(),
+    );
+    let mut sim_policy = policy();
+    let mut sim_ctl = Controller::new(&mut sim);
+    let mut sim_plans: Vec<ReconfigPlan> = Vec::new();
+    let mut sim_stats: Vec<PeriodStats> = Vec::new();
+    for _ in 0..PERIODS {
+        let report = sim_ctl.step(&mut sim_policy);
+        sim_stats.push(report.stats);
+        sim_plans.push(report.plan);
+    }
+    drop(sim_ctl);
+    let sim_assignment = sim.routing().assignment().to_vec();
+
+    // --- The policy must not be able to tell the substrates apart. ---
+    for p in 0..PERIODS {
+        // Identical statistics signals...
+        assert_eq!(
+            rt_stats[p].allocation, sim_stats[p].allocation,
+            "period {p}: allocation snapshots diverge"
+        );
+        for g in 0..num_groups as usize {
+            assert!(
+                (rt_stats[p].group_loads[g] - sim_stats[p].group_loads[g]).abs() < 1e-9,
+                "period {p}, group {g}: loads diverge ({} vs {})",
+                rt_stats[p].group_loads[g],
+                sim_stats[p].group_loads[g]
+            );
+        }
+        assert_eq!(
+            rt_stats[p].total_tuples, sim_stats[p].total_tuples,
+            "period {p}: tuple totals diverge"
+        );
+        assert_eq!(
+            rt_stats[p].cross_tuples, sim_stats[p].cross_tuples,
+            "period {p}: cross-node traffic diverges"
+        );
+        // ...therefore identical decisions.
+        let (rp, sp): (&ReconfigPlan, &ReconfigPlan) = (&rt_plans[p], &sim_plans[p]);
+        assert_eq!(
+            rp.migrations, sp.migrations,
+            "period {p}: migration decisions diverge"
+        );
+        assert_eq!(rp.add_nodes, sp.add_nodes);
+        assert_eq!(rp.mark_removal, sp.mark_removal);
+    }
+    let migrated: usize = rt_plans.iter().map(|p| p.migrations.len()).sum();
+    assert!(
+        migrated > 0,
+        "the scenario must actually exercise migrations"
+    );
+    assert_eq!(
+        rt_assignment, sim_assignment,
+        "final routing assignments diverge"
+    );
+}
+
+/// The runtime executes the decisions for real: after the equivalent run,
+/// the counter state of a migrated group lives on its new node and counts
+/// every injected tuple exactly once.
+#[test]
+fn runtime_migrations_really_move_state() {
+    let mut b = TopologyBuilder::new();
+    let src = b.source("events", 4, Arc::new(Identity));
+    let cnt = b.operator("count", 4, Arc::new(Counting));
+    b.edge(src, cnt);
+    let topology = b.build().expect("valid DAG");
+    let cluster = Cluster::homogeneous(2);
+    let routing = RoutingTable::all_on(topology.num_key_groups(), NodeId::new(0));
+    let rt = Runtime::start(topology, cluster, routing, CostModel::default());
+
+    let mut policy =
+        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Unlimited));
+    let mut ctl = Controller::new(rt);
+    let key = 11u64;
+    for p in 0..3u64 {
+        ctl.engine_mut().inject(
+            src,
+            (0..50u64).map(|i| Tuple::keyed(&key, Value::Int(i as i64), p)),
+        );
+        ctl.engine_mut().quiesce(4);
+        ctl.step(&mut policy);
+    }
+    let rt = ctl.into_engine();
+    let kg = rt.topology().group_for_key(cnt, hash_key(&key));
+    let bytes = rt.probe_state(kg).expect("counter state exists somewhere");
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(&bytes[..8]);
+    assert_eq!(u64::from_le_bytes(arr), 150, "every tuple counted once");
+    rt.shutdown();
+}
