@@ -1,23 +1,21 @@
 //! One function per paper figure; each returns named [`Table`]s.
 //!
 //! Figures 2-14 run on the deterministic simulator; `fig15` drives the
-//! *threaded* runtime through the same [`albic_core::Controller`], proving
-//! the adaptation loop is substrate-independent.
+//! *threaded* runtime. Every driver assembles its run with the fluent
+//! [`Job`] builder — the policy stack, cluster, routing and control loop
+//! are all declared in one place, and the only difference between the
+//! simulated figures and the live one is `build_simulated(...)` vs
+//! `build_threaded()`.
 
-use std::sync::Arc;
-
-use albic_core::albic::{Albic, AlbicConfig};
+use albic_core::albic::AlbicConfig;
 use albic_core::allocator::NodeSet;
-use albic_core::balancer::MilpBalancer;
-use albic_core::baselines::{Cola, Flux, NonIntegratedScaleIn, PoTC};
-use albic_core::framework::AdaptationFramework;
-use albic_core::{metrics, Controller, ThresholdScaling};
+use albic_core::baselines::PoTC;
+use albic_core::job::{Job, Policy};
+use albic_core::metrics;
 use albic_engine::operator::{Counting, Identity};
 use albic_engine::reconfig::ReconfigPlan;
-use albic_engine::runtime::Runtime;
-use albic_engine::topology::TopologyBuilder;
+use albic_engine::sim::{PeriodRecord, WorkloadModel};
 use albic_engine::tuple::{Tuple, Value};
-use albic_engine::{Cluster, CostModel, ReconfigEngine, RoutingTable};
 use albic_milp::MigrationBudget;
 use albic_types::NodeId;
 use albic_workloads::airline::AirlineJobWorkload;
@@ -25,10 +23,21 @@ use albic_workloads::weather::WeatherJob4Workload;
 use albic_workloads::wikipedia::WikiJob1Workload;
 use albic_workloads::{SyntheticConfig, SyntheticWorkload};
 
-use crate::{
-    banner, run_policy, run_policy_observed, sim_round_robin, sim_with_allocation,
-    work_for_seconds, Table,
-};
+use crate::{banner, work_for_seconds, Table};
+
+/// A simulated job over `workload` on `nodes` homogeneous workers with
+/// round-robin initial allocation — the standard figure setup.
+fn sim_job<W: WorkloadModel>(
+    workload: W,
+    nodes: usize,
+    policy: Policy,
+) -> Job<albic_engine::SimEngine<W>> {
+    Job::builder()
+        .nodes(nodes)
+        .policy(policy)
+        .build_simulated(workload)
+        .expect("valid job spec")
+}
 
 /// Figs 2-4: solver quality (load distance after one adaptation round) vs
 /// the `varies` load shift, for several migration budgets and solver work
@@ -60,32 +69,28 @@ pub fn fig_solver_quality(nodes: usize, fast: bool) -> Vec<(String, Table)> {
     for &mm in max_migrations {
         let mut table = Table::new(&["varies", "flux", "milp5s", "milp10s", "milp30s", "milp60s"]);
         for &varies in &varies_steps {
-            let mk_engine = || {
+            let workload = || {
                 let cfg = SyntheticConfig {
                     varies,
                     seed: 0x5E17 + varies as u64,
                     ..SyntheticConfig::cluster(nodes)
                 };
-                sim_round_robin(SyntheticWorkload::new(cfg), nodes)
+                SyntheticWorkload::new(cfg)
             };
-            let mut row = vec![varies];
-            // Flux.
-            {
-                let mut engine = mk_engine();
-                let mut policy = AdaptationFramework::balancing_only(Flux::new(mm));
-                run_policy(&mut engine, &mut policy, 1);
-                let stats = engine.end_period();
-                row.push(stats.load_distance(engine.cluster()));
-            }
-            // MILP at each work budget.
+            // One adaptation round, then measure the post-plan placement.
+            let one_round = |policy: Policy| -> f64 {
+                let mut job = sim_job(workload(), nodes, policy);
+                let _ = job.run(1);
+                let stats = job.measure();
+                stats.load_distance(job.cluster())
+            };
+            let mut row = vec![varies, one_round(Policy::flux(mm))];
             for &secs in budgets {
-                let mut engine = mk_engine();
-                let balancer = MilpBalancer::new(MigrationBudget::Count(mm))
-                    .with_solver_work(work_for_seconds(secs));
-                let mut policy = AdaptationFramework::balancing_only(balancer);
-                run_policy(&mut engine, &mut policy, 1);
-                let stats = engine.end_period();
-                row.push(stats.load_distance(engine.cluster()));
+                row.push(one_round(
+                    Policy::milp()
+                        .with_budget(MigrationBudget::Count(mm))
+                        .with_solver_work(work_for_seconds(secs)),
+                ));
             }
             table.row(row);
         }
@@ -120,40 +125,29 @@ pub fn fig05_scalein(fast: bool) -> Vec<(String, Table)> {
     let mut drains: Vec<(f64, f64, f64)> = Vec::new();
 
     for &hot in &[1usize, 5] {
-        let mk_engine = || {
+        let workload = || {
             let cfg = SyntheticConfig {
                 hot_nodes: hot,
                 mean_node_load: 45.0,
                 seed: 0xF1905 + hot as u64,
                 ..SyntheticConfig::cluster(nodes)
             };
-            sim_round_robin(SyntheticWorkload::new(cfg), nodes)
+            SyntheticWorkload::new(cfg)
         };
         let victims: Vec<NodeId> = (0..to_remove)
             .map(|i| NodeId::new((nodes - 1 - i) as u32))
             .collect();
 
-        let run = |integrated: bool| -> (Vec<f64>, f64) {
-            let mut engine = mk_engine();
+        let run = |policy: Policy| -> (Vec<f64>, f64) {
+            let mut job = sim_job(workload(), nodes, policy);
             // Mark nodes for removal up front (the scaling decision under
             // test is the draining, not the sizing).
-            engine.end_period();
-            engine.apply(&ReconfigPlan {
+            let _ = job.measure();
+            let _ = job.apply(&ReconfigPlan {
                 mark_removal: victims.clone(),
                 ..Default::default()
             });
-            let mut int_policy;
-            let mut non_policy;
-            let policy: &mut dyn albic_engine::reconfig::ReconfigPolicy = if integrated {
-                int_policy = AdaptationFramework::balancing_only(MilpBalancer::new(
-                    MigrationBudget::Count(mm),
-                ));
-                &mut int_policy
-            } else {
-                non_policy = AdaptationFramework::balancing_only(NonIntegratedScaleIn::new(mm));
-                &mut non_policy
-            };
-            let history = run_policy(&mut engine, policy, periods);
+            let history = job.run(periods).to_vec();
             let dists: Vec<f64> = history.iter().skip(1).map(|r| r.load_distance).collect();
             // First period with no marked nodes left (all drained).
             let drained_at = history
@@ -164,8 +158,8 @@ pub fn fig05_scalein(fast: bool) -> Vec<(String, Table)> {
             (dists, drained_at)
         };
 
-        let (int_d, int_t) = run(true);
-        let (non_d, non_t) = run(false);
+        let (int_d, int_t) = run(Policy::milp().with_budget(MigrationBudget::Count(mm)));
+        let (non_d, non_t) = run(Policy::non_integrated_scale_in(mm));
         drains.push((hot as f64, int_t, non_t));
         series.push(int_d);
         series.push(non_d);
@@ -211,23 +205,23 @@ pub fn fig06_07(fast: bool) -> Vec<(String, Table)> {
     let mm = 13usize;
     let mk = || WikiJob1Workload::new(70_000.0, 100, 0x31B1);
 
-    let mut milp_engine = sim_round_robin(mk(), workers);
-    let mut milp_policy =
-        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(mm)));
-    let milp_hist = run_policy(&mut milp_engine, &mut milp_policy, periods);
+    let milp_hist = sim_job(
+        mk(),
+        workers,
+        Policy::milp().with_budget(MigrationBudget::Count(mm)),
+    )
+    .run(periods)
+    .to_vec();
+    let flux_hist = sim_job(mk(), workers, Policy::flux(mm))
+        .run(periods)
+        .to_vec();
 
-    let mut flux_engine = sim_round_robin(mk(), workers);
-    let mut flux_policy = AdaptationFramework::balancing_only(Flux::new(mm));
-    let flux_hist = run_policy(&mut flux_engine, &mut flux_policy, periods);
-
-    // PoTC observes the same (noop-adapted) run.
+    // PoTC observes the same (noop-adapted) run through the tick hook.
     let potc = PoTC::new(0x907C);
     let mut potc_dists: Vec<f64> = Vec::new();
-    let mut potc_engine = sim_round_robin(mk(), workers);
-    let mut noop = albic_engine::reconfig::NoopPolicy;
-    run_policy_observed(&mut potc_engine, &mut noop, periods, |stats, cluster| {
-        let ns = NodeSet::from_cluster(cluster);
-        potc_dists.push(potc.evaluate(stats, &ns).load_distance);
+    let _ = sim_job(mk(), workers, Policy::noop()).run_with(periods, |t| {
+        let ns = NodeSet::from_cluster(t.cluster);
+        potc_dists.push(potc.evaluate(&t.report.stats, &ns).load_distance);
     });
 
     let mut quality = Table::new(&["period", "milp", "flux", "potc"]);
@@ -282,9 +276,11 @@ pub fn fig08_09(fast: bool) -> Vec<(String, Table)> {
         MigrationBudget::Count(10),
         MigrationBudget::Count(13),
     ] {
-        let mut engine = sim_round_robin(mk(), workers);
-        let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(budget));
-        histories.push(run_policy(&mut engine, &mut policy, periods));
+        histories.push(
+            sim_job(mk(), workers, Policy::milp().with_budget(budget))
+                .run(periods)
+                .to_vec(),
+        );
     }
 
     let mut quality = Table::new(&["period", "no_limit", "kg10", "kg13"]);
@@ -336,22 +332,17 @@ fn run_collocation_scenario(
         ..SyntheticConfig::cluster(nodes)
     };
     let workload = SyntheticWorkload::new(cfg);
-    let downstream = workload.downstream_groups();
-    let mut engine = sim_round_robin(workload, nodes);
-    let history = if use_albic {
-        let albic = Albic::new(
-            AlbicConfig {
-                budget: MigrationBudget::Count(20),
-                ..Default::default()
-            },
-            downstream,
-        );
-        let mut policy = AdaptationFramework::balancing_only(albic);
-        run_policy(&mut engine, &mut policy, periods)
+    let policy = if use_albic {
+        Policy::albic_config(AlbicConfig {
+            budget: MigrationBudget::Count(20),
+            ..Default::default()
+        })
+        .with_downstream(workload.downstream_groups())
     } else {
-        let mut policy = AdaptationFramework::balancing_only(Cola::default());
-        run_policy(&mut engine, &mut policy, periods)
+        Policy::cola()
     };
+    let mut job = sim_job(workload, nodes, policy);
+    let history = job.run(periods);
     let tail = &history[history.len().saturating_sub(5)..];
     let dist = tail.iter().map(|r| r.load_distance).sum::<f64>() / tail.len() as f64;
     let col = tail.iter().map(|r| r.collocation_factor).sum::<f64>() / tail.len() as f64;
@@ -415,71 +406,6 @@ pub fn fig11(fast: bool) -> Vec<(String, Table)> {
     vec![("fig11_configs".into(), table)]
 }
 
-/// Shared driver for the Real Job figures 12-14.
-fn real_job_run(
-    job: JobKind,
-    use_albic: bool,
-    periods: usize,
-) -> Vec<albic_engine::sim::PeriodRecord> {
-    let workers = 20usize;
-    let groups_per_op = 100u32;
-    let (downstream, num_ops): (Vec<u32>, u32) = match job {
-        JobKind::Job2 => {
-            let w = AirlineJobWorkload::job2(70_000.0, groups_per_op, 0x12);
-            (w.downstream_groups(), 2)
-        }
-        JobKind::Job3 { .. } => {
-            let w = AirlineJobWorkload::job3(70_000.0, groups_per_op, 0x13);
-            (w.downstream_groups(), 3)
-        }
-        JobKind::Job4 => {
-            let w = WeatherJob4Workload::new(40_000.0, groups_per_op, 0x14);
-            (w.downstream_groups(), WeatherJob4Workload::NUM_OPERATORS)
-        }
-    };
-    // Worst-case initial allocation: group g of op k → node (g + k) mod n,
-    // so no communicating pair starts collocated.
-    let total = groups_per_op * num_ops;
-    let assignment: Vec<u32> = (0..total)
-        .map(|g| {
-            let op = g / groups_per_op;
-            let idx = g % groups_per_op;
-            (idx + op) % workers as u32
-        })
-        .collect();
-
-    macro_rules! drive {
-        ($w:expr) => {{
-            let mut engine = sim_with_allocation($w, workers, assignment);
-            if use_albic {
-                let albic = Albic::new(
-                    AlbicConfig {
-                        budget: MigrationBudget::Count(10),
-                        ..Default::default()
-                    },
-                    downstream,
-                );
-                let mut policy = AdaptationFramework::balancing_only(albic);
-                run_policy(&mut engine, &mut policy, periods)
-            } else {
-                let mut policy = AdaptationFramework::balancing_only(Cola::default());
-                run_policy(&mut engine, &mut policy, periods)
-            }
-        }};
-    }
-    match job {
-        JobKind::Job2 => drive!(AirlineJobWorkload::job2(70_000.0, groups_per_op, 0x12)),
-        JobKind::Job3 { cola_half_rate } => {
-            let mut w = AirlineJobWorkload::job3(70_000.0, groups_per_op, 0x13);
-            if cola_half_rate && !use_albic {
-                w.rate_scale = 0.5; // the paper halves COLA's input rate
-            }
-            drive!(w)
-        }
-        JobKind::Job4 => drive!(WeatherJob4Workload::new(40_000.0, groups_per_op, 0x14)),
-    }
-}
-
 #[derive(Clone, Copy)]
 enum JobKind {
     Job2,
@@ -487,10 +413,75 @@ enum JobKind {
     Job4,
 }
 
+/// Shared driver for the Real Job figures 12-14: worst-case initial
+/// allocation (no communicating pair collocated), ALBIC or COLA.
+fn real_job_run(job: JobKind, use_albic: bool, periods: usize) -> Vec<PeriodRecord> {
+    let workers = 20usize;
+    let groups_per_op = 100u32;
+
+    fn drive<W: WorkloadModel>(
+        workload: W,
+        downstream: Vec<u32>,
+        workers: usize,
+        num_ops: u32,
+        groups_per_op: u32,
+        use_albic: bool,
+        periods: usize,
+    ) -> Vec<PeriodRecord> {
+        // Worst-case initial allocation: group g of op k → node
+        // (g + k) mod n, so no communicating pair starts collocated.
+        let assignment: Vec<u32> = (0..groups_per_op * num_ops)
+            .map(|g| {
+                let op = g / groups_per_op;
+                let idx = g % groups_per_op;
+                (idx + op) % workers as u32
+            })
+            .collect();
+        let policy = if use_albic {
+            Policy::albic_config(AlbicConfig {
+                budget: MigrationBudget::Count(10),
+                ..Default::default()
+            })
+            .with_downstream(downstream)
+        } else {
+            Policy::cola()
+        };
+        let mut job = Job::builder()
+            .nodes(workers)
+            .routing_assignment(assignment)
+            .policy(policy)
+            .build_simulated(workload)
+            .expect("valid job spec");
+        job.run(periods).to_vec()
+    }
+
+    match job {
+        JobKind::Job2 => {
+            let w = AirlineJobWorkload::job2(70_000.0, groups_per_op, 0x12);
+            let dg = w.downstream_groups();
+            drive(w, dg, workers, 2, groups_per_op, use_albic, periods)
+        }
+        JobKind::Job3 { cola_half_rate } => {
+            let mut w = AirlineJobWorkload::job3(70_000.0, groups_per_op, 0x13);
+            if cola_half_rate && !use_albic {
+                w.rate_scale = 0.5; // the paper halves COLA's input rate
+            }
+            let dg = w.downstream_groups();
+            drive(w, dg, workers, 3, groups_per_op, use_albic, periods)
+        }
+        JobKind::Job4 => {
+            let w = WeatherJob4Workload::new(40_000.0, groups_per_op, 0x14);
+            let dg = w.downstream_groups();
+            let ops = WeatherJob4Workload::NUM_OPERATORS;
+            drive(w, dg, workers, ops, groups_per_op, use_albic, periods)
+        }
+    }
+}
+
 fn job_tables(
     name: &str,
-    albic_hist: &[albic_engine::sim::PeriodRecord],
-    cola_hist: Option<&[albic_engine::sim::PeriodRecord]>,
+    albic_hist: &[PeriodRecord],
+    cola_hist: Option<&[PeriodRecord]>,
 ) -> Vec<(String, Table)> {
     let albic_idx = metrics::load_index_series(albic_hist, 2);
     let cola_idx = cola_hist.map(|h| metrics::load_index_series(h, 2));
@@ -621,21 +612,17 @@ pub fn fig15_live_runtime(_fast: bool) -> Vec<(String, Table)> {
     );
     let periods = 16u64;
 
-    // A two-operator pipeline on a single worker node.
-    let mut b = TopologyBuilder::new();
-    let src = b.source("events", 8, Arc::new(Identity));
-    let cnt = b.operator("count", 8, Arc::new(Counting));
-    b.edge(src, cnt);
-    let topology = b.build().expect("valid DAG");
-    let cluster = Cluster::homogeneous(1);
-    let routing = RoutingTable::all_on(topology.num_key_groups(), cluster.nodes()[0].id);
-    let rt = Runtime::start(topology, cluster, routing, CostModel::default());
+    // A two-operator pipeline on a single worker node — the identical
+    // builder call the simulated figures make, ending in build_threaded.
+    let mut job = Job::builder()
+        .source("events", 8, Identity)
+        .operator("count", 8, Counting)
+        .edge("events", "count")
+        .nodes(1)
+        .policy(Policy::milp().with_scaling(35.0, 80.0, 60.0))
+        .build_threaded()
+        .expect("valid job spec");
 
-    let mut policy = AdaptationFramework::with_scaling(
-        MilpBalancer::new(MigrationBudget::Unlimited),
-        ThresholdScaling::new(35.0, 80.0, 60.0),
-    );
-    let mut ctl = Controller::new(rt);
     let mut table = Table::new(&[
         "period",
         "nodes",
@@ -646,13 +633,12 @@ pub fn fig15_live_runtime(_fast: bool) -> Vec<(String, Table)> {
     ]);
     for p in 0..periods {
         let rate = fig15_rate(p);
-        ctl.engine_mut().inject(
-            src,
+        job.inject(
+            "events",
             (0..rate).map(|i| Tuple::keyed(&(i % 64), Value::Int(i as i64), p)),
         );
-        ctl.engine_mut().quiesce(4);
-        ctl.step(&mut policy);
-        let rec = ctl.history().last().unwrap();
+        let _ = job.step();
+        let rec = job.history().last().unwrap();
         table.row(vec![
             p as f64,
             rec.num_nodes as f64,
@@ -662,9 +648,9 @@ pub fn fig15_live_runtime(_fast: bool) -> Vec<(String, Table)> {
             rec.migrations as f64,
         ]);
     }
-    let peak = ctl.history().iter().map(|r| r.num_nodes).max().unwrap_or(1);
-    let end = ctl.history().last().map(|r| r.num_nodes).unwrap_or(1);
-    ctl.into_engine().shutdown();
+    let summary = job.report();
+    let (peak, end) = (summary.peak_nodes, summary.final_nodes);
+    job.shutdown();
 
     table.print();
     println!("summary: scaled out to {peak} workers at peak, back to {end} after the lull\n");

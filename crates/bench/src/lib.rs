@@ -9,18 +9,21 @@
 //! # Example
 //!
 //! ```
-//! use albic_bench::{run_policy, sim_round_robin, Table};
-//! use albic_engine::reconfig::NoopPolicy;
+//! use albic_bench::Table;
+//! use albic_core::job::{Job, Policy};
 //! use albic_workloads::{SyntheticConfig, SyntheticWorkload};
 //!
-//! // Drive a 4-node simulator for 3 periods and tabulate the series the
-//! // fig* binaries print.
+//! // Drive a 4-node simulated job for 3 periods and tabulate the series
+//! // the fig* binaries print.
 //! let workload = SyntheticWorkload::new(SyntheticConfig::cluster(4));
-//! let mut sim = sim_round_robin(workload, 4);
-//! let history = run_policy(&mut sim, &mut NoopPolicy, 3);
+//! let mut job = Job::builder()
+//!     .nodes(4)
+//!     .policy(Policy::noop())
+//!     .build_simulated(workload)
+//!     .expect("valid job spec");
 //!
 //! let mut t = Table::new(&["period", "load_distance"]);
-//! for (i, rec) in history.iter().enumerate() {
+//! for (i, rec) in job.run(3).iter().enumerate() {
 //!     t.row(vec![i as f64, rec.load_distance]);
 //! }
 //! assert_eq!(t.rows.len(), 3);
@@ -36,59 +39,15 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-use albic_core::allocator::NodeSet;
-use albic_core::Controller;
-use albic_engine::reconfig::ReconfigPolicy;
-use albic_engine::sim::{PeriodRecord, SimEngine, WorkloadModel};
-use albic_engine::{Cluster, CostModel, PeriodStats, ReconfigEngine, RoutingTable};
+use albic_engine::sim::{SimEngine, WorkloadModel};
+use albic_engine::{Cluster, CostModel};
 
-/// Run `policy` over any [`ReconfigEngine`] for `periods` adaptation
-/// rounds via the Algorithm-1 [`Controller`] (housekeeping → stats →
-/// policy → apply). Returns the metric history.
-pub fn run_policy<E: ReconfigEngine>(
-    engine: &mut E,
-    policy: &mut dyn ReconfigPolicy,
-    periods: usize,
-) -> Vec<PeriodRecord> {
-    Controller::new(engine).run(policy, periods)
-}
-
-/// Thin wrapper over [`run_policy`] that also hands every period's
-/// statistics to an observer before the policy plans (used for the PoTC
-/// evaluator, which observes rather than migrates).
-pub fn run_policy_observed<E: ReconfigEngine>(
-    engine: &mut E,
-    policy: &mut dyn ReconfigPolicy,
-    periods: usize,
-    observe: impl FnMut(&PeriodStats, &Cluster),
-) -> Vec<PeriodRecord> {
-    Controller::new(engine)
-        .with_observer(observe)
-        .run(policy, periods)
-}
-
-/// A fresh simulator over a workload with round-robin initial allocation.
+/// A fresh bare simulator over a workload with round-robin initial
+/// allocation — for the criterion micro-benchmarks, which drive engine
+/// internals directly. Experiment drivers go through
+/// [`albic_core::job::Job`] instead.
 pub fn sim_round_robin<W: WorkloadModel>(workload: W, nodes: usize) -> SimEngine<W> {
     SimEngine::with_round_robin(workload, Cluster::homogeneous(nodes), CostModel::default())
-}
-
-/// A fresh simulator with an explicit allocation (global group id →
-/// node index).
-pub fn sim_with_allocation<W: WorkloadModel>(
-    workload: W,
-    nodes: usize,
-    assignment: Vec<u32>,
-) -> SimEngine<W> {
-    let cluster = Cluster::homogeneous(nodes);
-    let ids: Vec<albic_types::NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
-    let routing =
-        RoutingTable::from_assignment(assignment.iter().map(|&n| ids[n as usize]).collect());
-    SimEngine::new(workload, cluster, routing, CostModel::default())
-}
-
-/// Node-set snapshot helper for evaluators.
-pub fn node_set(cluster: &Cluster) -> NodeSet {
-    NodeSet::from_cluster(cluster)
 }
 
 /// A table of series, printable as TSV and writable to `results/`.
@@ -194,12 +153,15 @@ mod tests {
     }
 
     #[test]
-    fn harness_runs_a_noop_policy() {
-        use albic_engine::reconfig::NoopPolicy;
+    fn harness_runs_a_noop_job() {
+        use albic_core::job::{Job, Policy};
         use albic_workloads::{SyntheticConfig, SyntheticWorkload};
         let cfg = SyntheticConfig::cluster(4);
-        let mut sim = sim_round_robin(SyntheticWorkload::new(cfg), 4);
-        let history = run_policy(&mut sim, &mut NoopPolicy, 3);
-        assert_eq!(history.len(), 3);
+        let mut job = Job::builder()
+            .nodes(4)
+            .policy(Policy::noop())
+            .build_simulated(SyntheticWorkload::new(cfg))
+            .expect("valid job spec");
+        assert_eq!(job.run(3).len(), 3);
     }
 }

@@ -2,7 +2,7 @@
 //! and the baselines.
 //!
 //! Allocators plan against a [`NodeSet`] rather than the engine's live
-//! [`Cluster`](albic_engine::Cluster) so the adaptation framework can ask
+//! [`Cluster`] so the adaptation framework can ask
 //! "what would the allocation look like *if* we added/removed nodes?"
 //! (Algorithm 1 computes a potential plan before deciding on scaling, and
 //! re-plans after).

@@ -25,11 +25,18 @@ use albic_types::NodeId;
 /// Everything one adaptation round produced, for drivers that want to
 /// inspect or print intermediate results.
 #[derive(Debug)]
+#[must_use = "inspect the report (it carries failed migrations); discard explicitly with `let _ =`"]
 pub struct StepReport {
     /// Nodes terminated by the housekeeping phase.
     pub terminated: Vec<NodeId>,
     /// The period's statistics snapshot (pre-plan).
     pub stats: PeriodStats,
+    /// The cluster as it was when `stats` were measured — after
+    /// housekeeping, *before* the plan was applied. External evaluators
+    /// (e.g. PoTC) must score `stats` against this snapshot, not the
+    /// post-apply cluster, or a scale-out round would pair pre-plan
+    /// statistics with nodes that did not exist when they were measured.
+    pub cluster: Cluster,
     /// The plan the policy produced.
     pub plan: ReconfigPlan,
     /// What applying the plan did.
@@ -84,19 +91,24 @@ impl<'o, E: ReconfigEngine> Controller<'o, E> {
         self.engine.history()
     }
 
-    /// One adaptation round: housekeeping → measure → observe → plan →
-    /// apply.
+    /// One adaptation round: settle → housekeeping → measure → observe →
+    /// plan → apply. The settle phase is a no-op on the simulator; on the
+    /// threaded runtime it quiesces in-flight tuples so the period's
+    /// statistics cover everything injected before the step.
     pub fn step(&mut self, policy: &mut dyn ReconfigPolicy) -> StepReport {
+        self.engine.settle();
         let terminated = self.engine.terminate_drained();
         let stats = self.engine.end_period();
         if let Some(observer) = self.observer.as_mut() {
             observer(&stats, self.engine.view().cluster);
         }
+        let cluster = self.engine.view().cluster.clone();
         let plan = policy.plan(&stats, self.engine.view());
         let apply = self.engine.apply(&plan);
         StepReport {
             terminated,
             stats,
+            cluster,
             plan,
             apply,
         }
@@ -106,7 +118,7 @@ impl<'o, E: ReconfigEngine> Controller<'o, E> {
     /// history.
     pub fn run(&mut self, policy: &mut dyn ReconfigPolicy, periods: usize) -> Vec<PeriodRecord> {
         for _ in 0..periods {
-            self.step(policy);
+            let _ = self.step(policy);
         }
         self.engine.history().to_vec()
     }

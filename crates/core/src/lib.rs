@@ -26,6 +26,11 @@
 //! plan application over any `albic_engine::ReconfigEngine` — the
 //! deterministic simulator and the threaded runtime interchangeably.
 //!
+//! The front door to all of it is [`job`]: a fluent, validating builder
+//! that assembles topology, cluster, routing, policy and controller into
+//! one [`job::Job`] handle on either substrate. The individual
+//! constructors stay public for advanced wiring.
+//!
 //! Metric helpers for the evaluation figures (load distance, load index,
 //! collocation factor series) are in [`metrics`].
 //!
@@ -35,22 +40,20 @@
 //! a migration budget (the umbrella `albic` crate re-exports all of this):
 //!
 //! ```
-//! use albic_core::{AdaptationFramework, Controller, MilpBalancer};
-//! use albic_engine::{Cluster, CostModel, SimEngine};
+//! use albic_core::job::{Job, Policy};
 //! use albic_milp::MigrationBudget;
 //! use albic_workloads::{SyntheticConfig, SyntheticWorkload};
 //!
 //! let cfg = SyntheticConfig { varies: 30.0, ..SyntheticConfig::cluster(10) };
-//! let mut engine = SimEngine::with_round_robin(
-//!     SyntheticWorkload::new(cfg),
-//!     Cluster::homogeneous(10),
-//!     CostModel::default(),
-//! );
-//! let mut policy =
-//!     AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(10)));
+//! let mut job = Job::builder()
+//!     .nodes(10)
+//!     .policy(Policy::milp().with_budget(MigrationBudget::Count(10)))
+//!     .build_simulated(SyntheticWorkload::new(cfg))
+//!     .expect("valid job spec");
 //!
-//! let history = Controller::new(&mut engine).run(&mut policy, 3);
+//! let history = job.run(3).to_vec();
 //! assert!(history.last().unwrap().load_distance <= history[0].load_distance);
+//! assert!(job.report().total_migrations > 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -62,6 +65,7 @@ pub mod balancer;
 pub mod baselines;
 pub mod controller;
 pub mod framework;
+pub mod job;
 pub mod metrics;
 pub mod scaling;
 
@@ -70,4 +74,5 @@ pub use allocator::{AllocOutcome, KeyGroupAllocator, NodeSet};
 pub use balancer::MilpBalancer;
 pub use controller::{Controller, StepReport};
 pub use framework::AdaptationFramework;
+pub use job::{Job, JobBuilder, JobError, JobSummary, Policy};
 pub use scaling::{ScaleDecision, ThresholdScaling};

@@ -1,7 +1,7 @@
 //! Metric series helpers for the evaluation figures.
 //!
 //! Raw per-period metrics are recorded by the engine
-//! ([`PeriodRecord`](albic_engine::sim::PeriodRecord)); this module derives
+//! ([`PeriodRecord`]); this module derives
 //! the series the paper plots.
 
 use albic_engine::sim::PeriodRecord;

@@ -4,7 +4,7 @@
 //! this crate is the from-scratch Rust equivalent the rest of the workspace
 //! builds on. It provides:
 //!
-//! * [`tuple`] / [`codec`] — the `⟨key, value, ts⟩` data model and a small
+//! * [`tuple`](mod@tuple) / [`codec`] — the `⟨key, value, ts⟩` data model and a small
 //!   self-contained binary codec used for state serialization.
 //! * [`operator`] — the operator abstraction: opaque user logic over
 //!   key-group-partitioned state, plus typed-state helpers.
@@ -38,7 +38,11 @@
 //! Reconfiguration *policies* (the paper's contribution and the baselines)
 //! live in `albic-core`; this crate only defines the interface they
 //! implement ([`reconfig::ReconfigPolicy`]) and executes their plans —
-//! the Algorithm-1 control loop itself is `albic_core::controller`.
+//! the Algorithm-1 control loop itself is `albic_core::controller`, and
+//! the fluent front door that assembles topology, cluster, routing and
+//! policy into a running job on either substrate is `albic_core::job`
+//! (re-exported as `albic::job`). The constructors below are the
+//! advanced-wiring layer that builder drives.
 //!
 //! # Example
 //!

@@ -23,6 +23,7 @@ pub struct ClusterView<'a> {
 
 /// What a policy wants done at the end of a period.
 #[derive(Debug, Clone, Default)]
+#[must_use = "a plan does nothing until an engine applies it"]
 pub struct ReconfigPlan {
     /// Key-group moves to execute.
     pub migrations: Vec<Migration>,

@@ -18,7 +18,7 @@
 //! boundaries — the same statistics the simulator produces, so the
 //! reconfiguration policies cannot tell which substrate they run on. That
 //! promise is structural: the runtime implements the shared
-//! [`ReconfigEngine`](crate::substrate::ReconfigEngine) trait, including
+//! [`ReconfigEngine`] trait, including
 //! full plan execution — elastic scale-out spawns a worker thread per
 //! acquired node, scale-in marks nodes, and
 //! [`Runtime::terminate_drained`] joins a marked worker's thread once the
@@ -313,6 +313,9 @@ pub struct Runtime {
     cost: CostModel,
     clock: PeriodClock,
     history: Vec<PeriodRecord>,
+    /// Barrier rounds [`Runtime::settle`] runs: enough for a tuple to
+    /// traverse the whole topology (with margin), derived from its depth.
+    settle_rounds: usize,
 }
 
 impl Runtime {
@@ -324,6 +327,7 @@ impl Runtime {
         cost: CostModel,
     ) -> Runtime {
         assert_eq!(routing.len() as u32, topology.num_key_groups());
+        let settle_rounds = 2 * (topology.depth() + 1);
         let mut rt = Runtime {
             topology: Arc::new(topology),
             routing: Arc::new(RwLock::new(routing)),
@@ -333,12 +337,22 @@ impl Runtime {
             cost,
             clock: PeriodClock::new(),
             history: Vec::new(),
+            settle_rounds,
         };
         let nodes: Vec<NodeId> = rt.cluster.nodes().iter().map(|n| n.id).collect();
         for node in nodes {
             rt.spawn_worker_thread(node);
         }
         rt
+    }
+
+    /// [`Runtime::start`] with round-robin initial routing over the
+    /// cluster's current nodes — the default allocation a job gets at
+    /// submission, mirroring [`crate::sim::SimEngine::with_round_robin`].
+    pub fn with_round_robin(topology: Topology, cluster: Cluster, cost: CostModel) -> Runtime {
+        let nodes: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
+        let routing = RoutingTable::round_robin(topology.num_key_groups(), &nodes);
+        Runtime::start(topology, cluster, routing, cost)
     }
 
     /// Register a channel for `node` and spawn its worker thread. The
@@ -693,6 +707,12 @@ impl Runtime {
 }
 
 impl ReconfigEngine for Runtime {
+    /// Quiesce until every tuple injected so far has fully traversed the
+    /// topology (the barrier-round count is derived from its depth).
+    fn settle(&mut self) {
+        self.quiesce(self.settle_rounds);
+    }
+
     fn terminate_drained(&mut self) -> Vec<NodeId> {
         Runtime::terminate_drained(self)
     }
@@ -731,9 +751,7 @@ mod tests {
         b.edge(src, cnt);
         let topology = b.build().unwrap();
         let cluster = Cluster::homogeneous(nodes);
-        let node_ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
-        let routing = RoutingTable::round_robin(topology.num_key_groups(), &node_ids);
-        let rt = Runtime::start(topology, cluster, routing, CostModel::default());
+        let rt = Runtime::with_round_robin(topology, cluster, CostModel::default());
         (rt, src, cnt)
     }
 
@@ -817,7 +835,7 @@ mod tests {
             .map(|n| n.id)
             .find(|&n| n != from)
             .unwrap();
-        rt.migrate(&[Migration { group: kg, to }]);
+        let _ = rt.migrate(&[Migration { group: kg, to }]);
         rt.inject(
             src,
             (200..300).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
@@ -1045,7 +1063,7 @@ mod tests {
         // Move the group, grow the state on the destination, and re-check:
         // the merged period stats must report the destination's fresh size,
         // not the source's stale pre-migration entry.
-        rt.migrate(&[Migration {
+        let _ = rt.migrate(&[Migration {
             group: kg,
             to: NodeId::new(1),
         }]);

@@ -16,7 +16,7 @@
 //! [`crate::runtime`].
 //!
 //! Both substrates implement the shared
-//! [`ReconfigEngine`](crate::substrate::ReconfigEngine) trait, so
+//! [`ReconfigEngine`] trait, so
 //! controllers and policies are substrate-agnostic: anything driven here
 //! also runs unchanged on the threaded runtime.
 
@@ -404,7 +404,7 @@ mod tests {
             let stats = engine.end_period();
             assert!(stats.total_tuples > 0.0);
             let _ = engine.view();
-            engine.apply(&ReconfigPlan::noop());
+            let _ = engine.apply(&ReconfigPlan::noop());
             engine.history().len()
         }
         let mut e = engine(4, 2);
@@ -446,7 +446,7 @@ mod tests {
             add_nodes: vec![1.0],
             ..Default::default()
         };
-        e.apply(&plan);
+        let _ = e.apply(&plan);
         assert_eq!(e.cluster().len(), 3);
 
         // Mark node 1 for removal; it still holds groups → not terminated.
@@ -454,7 +454,7 @@ mod tests {
             mark_removal: vec![NodeId::new(1)],
             ..Default::default()
         };
-        e.apply(&plan);
+        let _ = e.apply(&plan);
         assert!(e.cluster().is_killed(NodeId::new(1)));
         assert!(e.terminate_drained().is_empty());
 
@@ -471,7 +471,7 @@ mod tests {
             ..Default::default()
         };
         e.tick();
-        e.apply(&plan);
+        let _ = e.apply(&plan);
         assert_eq!(e.terminate_drained(), vec![NodeId::new(1)]);
         assert_eq!(e.cluster().len(), 2);
     }

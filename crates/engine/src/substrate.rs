@@ -76,7 +76,11 @@ pub struct FailedMigration {
 }
 
 /// Outcome of executing one [`ReconfigPlan`].
+///
+/// Marked `#[must_use]`: dropping a report silently discards failed
+/// migrations, which the engines go out of their way to surface.
 #[derive(Debug, Clone, Default)]
+#[must_use = "inspect the report: failed migrations are surfaced here, never logged"]
 pub struct ApplyReport {
     /// Successfully executed migrations, with cost accounting.
     pub migrations: Vec<MigrationReport>,
@@ -134,6 +138,15 @@ impl ApplyReport {
 /// record. Decision-relevant signals ([`PeriodStats`]) are identical on
 /// both substrates; `tests/substrate_equivalence.rs` pins that.
 pub trait ReconfigEngine {
+    /// Settle all in-flight work so a following
+    /// [`end_period`](ReconfigEngine::end_period) measures everything
+    /// submitted so far. The simulator has no in-flight work (the default
+    /// no-op); the threaded runtime runs enough quiesce barrier rounds for
+    /// a tuple to traverse the whole topology. Controllers call this at
+    /// the top of every adaptation round, so drivers no longer hand-tune
+    /// quiesce depths.
+    fn settle(&mut self) {}
+
     /// Release every marked node whose key groups have all been drained
     /// (Algorithm 1, lines 1-3). Returns the terminated node ids.
     fn terminate_drained(&mut self) -> Vec<NodeId>;
@@ -152,6 +165,9 @@ pub trait ReconfigEngine {
 }
 
 impl<E: ReconfigEngine + ?Sized> ReconfigEngine for &mut E {
+    fn settle(&mut self) {
+        (**self).settle()
+    }
     fn terminate_drained(&mut self) -> Vec<NodeId> {
         (**self).terminate_drained()
     }

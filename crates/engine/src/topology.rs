@@ -259,6 +259,49 @@ impl Topology {
     pub fn sources(&self) -> impl Iterator<Item = OperatorId> + '_ {
         self.operators.iter().filter(|o| o.is_source).map(|o| o.id)
     }
+
+    /// Look up an operator by display name.
+    pub fn operator_by_name(&self, name: &str) -> Option<OperatorId> {
+        self.operators.iter().find(|o| o.name == name).map(|o| o.id)
+    }
+
+    /// Number of stream hops on the longest operator chain (0 for a single
+    /// operator). The topology is a DAG, so this is the longest-path length
+    /// — the number of forwarding rounds a tuple needs to traverse the job,
+    /// which the threaded runtime uses to size its quiesce barriers.
+    pub fn depth(&self) -> usize {
+        let n = self.operators.len();
+        let mut depth = vec![0usize; n];
+        // kg_offset order is insertion order; process in topological order
+        // by repeatedly relaxing edges (n passes suffice for a DAG).
+        for _ in 0..n {
+            for &(a, b) in &self.edges {
+                if depth[a.index()] + 1 > depth[b.index()] {
+                    depth[b.index()] = depth[a.index()] + 1;
+                }
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Per key group: the total number of key groups in its operator's
+    /// downstream operators — the denominator of ALBIC's `avg(g_i)` score.
+    /// Derivable from the job description alone, so callers that already
+    /// have a [`Topology`] never need to hand-maintain this vector.
+    pub fn downstream_group_counts(&self) -> Vec<u32> {
+        let mut dg = vec![0u32; self.num_key_groups() as usize];
+        for op in &self.operators {
+            let total: u32 = self
+                .downstream(op.id)
+                .iter()
+                .map(|&d| self.operator(d).key_groups)
+                .sum();
+            for g in self.groups_of(op.id) {
+                dg[g as usize] = total;
+            }
+        }
+        dg
+    }
 }
 
 #[cfg(test)]
@@ -345,6 +388,22 @@ mod tests {
             b.build().unwrap_err(),
             TopologyError::UnknownOperator(9)
         ));
+    }
+
+    #[test]
+    fn depth_and_downstream_counts_follow_the_dag() {
+        let t = chain(4, 5);
+        assert_eq!(t.depth(), 3);
+        let dg = t.downstream_group_counts();
+        // Every non-final operator feeds exactly one 5-group operator.
+        assert_eq!(&dg[0..15], &[5u32; 15][..]);
+        assert_eq!(&dg[15..20], &[0u32; 5][..]);
+        assert_eq!(t.operator_by_name("op2"), Some(OperatorId::new(2)));
+        assert_eq!(t.operator_by_name("nope"), None);
+
+        let single = chain(1, 3);
+        assert_eq!(single.depth(), 0);
+        assert_eq!(single.downstream_group_counts(), vec![0, 0, 0]);
     }
 
     #[test]

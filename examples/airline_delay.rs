@@ -6,59 +6,44 @@
 //! cargo run --release --example airline_delay
 //! ```
 
-use albic::core::albic::{Albic, AlbicConfig};
-use albic::core::baselines::Cola;
-use albic::core::framework::AdaptationFramework;
-use albic::core::{metrics, Controller};
-use albic::engine::reconfig::ReconfigPolicy;
-use albic::engine::{Cluster, CostModel, RoutingTable, SimEngine};
+use albic::core::metrics;
+use albic::engine::PeriodRecord;
+use albic::job::{Job, JobError, Policy};
 use albic::milp::MigrationBudget;
 use albic::workloads::airline::AirlineJobWorkload;
 
-fn run(use_albic: bool) -> Vec<albic::engine::sim::PeriodRecord> {
+fn run(use_albic: bool) -> Result<Vec<PeriodRecord>, JobError> {
     let groups_per_op = 50u32;
     let workers = 10usize;
     let workload = AirlineJobWorkload::job2(35_000.0, groups_per_op, 7);
-    let downstream = workload.downstream_groups();
-
-    // Worst-case initial allocation: no communicating pair collocated.
-    let cluster = Cluster::homogeneous(workers);
-    let ids: Vec<_> = cluster.nodes().iter().map(|n| n.id).collect();
-    let total = groups_per_op * 2;
-    let routing = RoutingTable::from_assignment(
-        (0..total)
-            .map(|g| {
-                let op = g / groups_per_op;
-                ids[((g % groups_per_op) + op) as usize % workers]
-            })
-            .collect(),
-    );
-    let mut engine = SimEngine::new(workload, cluster, routing, CostModel::default());
-
-    let mut albic_policy;
-    let mut cola_policy;
-    let policy: &mut dyn ReconfigPolicy = if use_albic {
-        albic_policy = AdaptationFramework::balancing_only(Albic::new(
-            AlbicConfig {
-                budget: MigrationBudget::Count(10),
-                ..Default::default()
-            },
-            downstream,
-        ));
-        &mut albic_policy
+    let policy = if use_albic {
+        Policy::albic()
+            .with_budget(MigrationBudget::Count(10))
+            .with_downstream(workload.downstream_groups())
     } else {
-        cola_policy = AdaptationFramework::balancing_only(Cola::default());
-        &mut cola_policy
+        Policy::cola()
     };
 
-    // The Algorithm-1 controller owns the adaptation loop.
-    Controller::new(&mut engine).run(policy, 60)
+    // Worst-case initial allocation: no communicating pair collocated.
+    let assignment: Vec<u32> = (0..groups_per_op * 2)
+        .map(|g| {
+            let op = g / groups_per_op;
+            ((g % groups_per_op) + op) % workers as u32
+        })
+        .collect();
+
+    let mut job = Job::builder()
+        .nodes(workers)
+        .routing_assignment(assignment)
+        .policy(policy)
+        .build_simulated(workload)?;
+    Ok(job.run(60).to_vec())
 }
 
-fn main() {
+fn main() -> Result<(), JobError> {
     println!("Real Job 2: sum flight delays per airplane (perfectly collocatable)\n");
-    let albic_hist = run(true);
-    let cola_hist = run(false);
+    let albic_hist = run(true)?;
+    let cola_hist = run(false)?;
     let albic_index = metrics::load_index_series(&albic_hist, 2);
     let cola_index = metrics::load_index_series(&cola_hist, 2);
 
@@ -85,4 +70,5 @@ fn main() {
         albic_hist[last].migrations,
         cola_hist[0].migrations,
     );
+    Ok(())
 }

@@ -6,11 +6,8 @@
 //! cargo run --release --example elastic_scaling
 //! ```
 
-use albic::core::framework::AdaptationFramework;
-use albic::core::scaling::ThresholdScaling;
-use albic::core::{Controller, MilpBalancer};
-use albic::engine::sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
-use albic::engine::{Cluster, CostModel};
+use albic::engine::sim::{WorkloadModel, WorkloadSnapshot};
+use albic::job::{Job, JobError, Policy};
 use albic::milp::MigrationBudget;
 use albic::types::Period;
 
@@ -42,30 +39,32 @@ impl WorkloadModel for RampWorkload {
     }
 }
 
-fn main() {
-    let mut engine = SimEngine::with_round_robin(
-        RampWorkload { groups: 64 },
-        Cluster::homogeneous(4),
-        CostModel::default(),
-    );
-    let mut policy = AdaptationFramework::with_scaling(
-        MilpBalancer::new(MigrationBudget::Count(24)),
-        ThresholdScaling::new(35.0, 80.0, 60.0),
-    );
+fn main() -> Result<(), JobError> {
+    // One builder call assembles cluster, routing, policy and controller;
+    // swap `build_simulated` for `build_threaded` (plus a topology) and
+    // the same loop runs on real worker threads — see live_pipeline.rs.
+    let mut job = Job::builder()
+        .nodes(4)
+        .policy(
+            Policy::milp()
+                .with_budget(MigrationBudget::Count(24))
+                .with_scaling(35.0, 80.0, 60.0),
+        )
+        .build_simulated(RampWorkload { groups: 64 })?;
 
-    // One Controller step = one Algorithm-1 round: housekeeping → stats →
-    // policy → apply.
-    let mut ctl = Controller::new(&mut engine);
     println!("period | nodes (marked) | mean load | distance | migrations");
-    for p in 0..36 {
-        ctl.step(&mut policy);
-        let rec = ctl.history().last().unwrap();
+    let _ = job.run_with(36, |t| {
+        let r = t.record;
         println!(
             "{:>6} | {:>5} ({:>2})    | {:>8.1}% | {:>7.2}% | {:>4}",
-            p, rec.num_nodes, rec.marked_nodes, rec.mean_load, rec.load_distance, rec.migrations,
+            t.period, r.num_nodes, r.marked_nodes, r.mean_load, r.load_distance, r.migrations,
         );
-    }
-    let peak = ctl.history().iter().map(|r| r.num_nodes).max().unwrap();
-    let end = ctl.history().last().unwrap().num_nodes;
-    println!("\nscaled out to {peak} nodes at peak, back down to {end} after the lull");
+    });
+
+    let summary = job.report();
+    println!(
+        "\nscaled out to {} nodes at peak, back down to {} after the lull",
+        summary.peak_nodes, summary.final_nodes
+    );
+    Ok(())
 }

@@ -4,21 +4,16 @@
 //! and the lull afterwards drains a marked worker and joins its thread.
 //!
 //! This is `examples/elastic_scaling.rs` with the simulator swapped for
-//! real worker threads — the Controller and the policy are identical,
-//! which is the point of the `ReconfigEngine` trait.
+//! real worker threads — the builder call differs only in the final
+//! `build_threaded()` vs `build_simulated(...)`, which is the point of
+//! the `ReconfigEngine` trait.
 //!
 //! ```sh
 //! cargo run --release --example live_pipeline
 //! ```
 
-use std::sync::Arc;
-
-use albic::core::{AdaptationFramework, Controller, MilpBalancer, ThresholdScaling};
-use albic::engine::operator::{Counting, Identity};
-use albic::engine::topology::TopologyBuilder;
 use albic::engine::tuple::{Tuple, Value};
-use albic::engine::{Cluster, CostModel, RoutingTable};
-use albic::milp::MigrationBudget;
+use albic::job::{Job, JobError, Policy};
 
 /// Tuples injected per period: ramp → plateau (overload) → lull.
 /// Keep in sync with `fig15_rate` in `crates/bench/src/experiments.rs` —
@@ -31,36 +26,28 @@ fn rate(period: u64) -> usize {
     }
 }
 
-fn main() {
-    // A pass-through source feeding a stateful per-key counter.
-    let mut b = TopologyBuilder::new();
-    let src = b.source("events", 8, Arc::new(Identity));
-    let count = b.operator("count", 8, Arc::new(Counting));
-    b.edge(src, count);
-    let topology = b.build().expect("valid DAG");
+fn main() -> Result<(), JobError> {
+    use albic::engine::operator::{Counting, Identity};
 
-    // Start with a single worker thread hosting every key group.
-    let cluster = Cluster::homogeneous(1);
-    let routing = RoutingTable::all_on(topology.num_key_groups(), cluster.nodes()[0].id);
-    let rt =
-        albic::engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
-
-    let mut policy = AdaptationFramework::with_scaling(
-        MilpBalancer::new(MigrationBudget::Unlimited),
-        ThresholdScaling::new(35.0, 80.0, 60.0),
-    );
-    let mut ctl = Controller::new(rt);
+    // A pass-through source feeding a stateful per-key counter, starting
+    // on a single worker thread that hosts every key group.
+    let mut job = Job::builder()
+        .source("events", 8, Identity)
+        .operator("count", 8, Counting)
+        .edge("events", "count")
+        .nodes(1)
+        .policy(Policy::milp().with_scaling(35.0, 80.0, 60.0))
+        .build_threaded()?;
 
     println!("period | nodes (marked) | mean load | migrations | note");
     for p in 0..16u64 {
         let n = rate(p);
-        ctl.engine_mut().inject(
-            src,
+        job.inject(
+            "events",
             (0..n).map(|i| Tuple::keyed(&(i % 64), Value::Int(i as i64), p)),
         );
-        ctl.engine_mut().quiesce(4);
-        let report = ctl.step(&mut policy);
-        let rec = ctl.history().last().unwrap();
+        let report = job.step();
+        let rec = job.history().last().unwrap();
         let note = if !report.apply.added.is_empty() {
             format!(
                 "scale-OUT: spawned {} worker(s), shipped {} bytes of state",
@@ -86,12 +73,13 @@ fn main() {
         );
     }
 
-    let peak = ctl.history().iter().map(|r| r.num_nodes).max().unwrap();
-    let end = ctl.history().last().unwrap().num_nodes;
-    ctl.into_engine().shutdown();
+    let summary = job.report();
+    let (peak, end) = (summary.peak_nodes, summary.final_nodes);
+    job.shutdown();
     println!(
         "\nscaled out to {peak} real worker threads at peak, back down to {end} after the lull"
     );
     assert!(peak > 1, "overload must have triggered scale-out");
     assert!(end < peak, "the lull must have scaled back in");
+    Ok(())
 }

@@ -1,80 +1,40 @@
-//! Quickstart: run a small job on the *threaded* runtime, watch the
-//! statistics the engine collects, then let the Algorithm-1 controller and
-//! the MILP balancer fix a skewed allocation with a real state migration.
-//!
-//! ```sh
-//! cargo run --example quickstart
-//! ```
+//! Quickstart: the MILP balancer fixes a deliberately skewed allocation
+//! with a real state migration on live worker threads.
 
-use std::sync::Arc;
-
-use albic::core::{AdaptationFramework, Controller, MilpBalancer};
 use albic::engine::operator::{Counting, Identity};
-use albic::engine::topology::TopologyBuilder;
 use albic::engine::tuple::{Tuple, Value};
-use albic::engine::{Cluster, CostModel, RoutingTable};
-use albic::milp::MigrationBudget;
+use albic::job::{Job, JobError, Policy};
 use albic::types::NodeId;
 
-fn main() {
-    // A two-operator job: a pass-through source feeding a stateful
-    // per-key counter, each hashed into 8 key groups.
-    let mut b = TopologyBuilder::new();
-    let src = b.source("events", 8, Arc::new(Identity));
-    let count = b.operator("count", 8, Arc::new(Counting));
-    b.edge(src, count);
-    let topology = b.build().expect("valid DAG");
+fn loads(s: &albic::engine::PeriodStats, c: &albic::engine::Cluster) -> String {
+    format!(
+        "node loads n0={:.1}% n1={:.1}%  (load distance {:.1})",
+        s.load_of(NodeId::new(0)),
+        s.load_of(NodeId::new(1)),
+        s.load_distance(c)
+    )
+}
 
-    // Two worker nodes; deliberately put *everything* on node 0.
-    let cluster = Cluster::homogeneous(2);
-    let routing = RoutingTable::all_on(topology.num_key_groups(), NodeId::new(0));
-    let rt =
-        albic::engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
-
-    // The paper's adaptation loop: the Controller owns housekeeping →
-    // statistics → policy → plan application; the policy here is the MILP
-    // balancer without scaling. The threaded runtime and the simulator
-    // both implement ReconfigEngine, so this is exactly the stack the
-    // figure experiments run — on real threads.
-    let mut policy =
-        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Unlimited));
-    let mut ctl = Controller::new(rt);
-
-    // Stream 20k keyed events through it, then run one adaptation round.
-    ctl.engine_mut().inject(
-        src,
-        (0..20_000).map(|i| Tuple::keyed(&(i % 50), Value::Int(i), i as u64)),
-    );
-    ctl.engine_mut().quiesce(4);
-    let report = ctl.step(&mut policy);
+fn main() -> Result<(), JobError> {
+    let mut job = Job::builder()
+        .source("events", 8, Identity)
+        .operator("count", 8, Counting)
+        .edge("events", "count")
+        .nodes(2)
+        .routing_all_on_first()
+        .policy(Policy::milp())
+        .build_threaded()?;
+    let events = |p: u64| (0..20_000).map(move |i| Tuple::keyed(&(i % 50), Value::Int(i), p));
+    let report = job.inject("events", events(0)).step();
     println!("period 0: processed {} tuples", report.stats.total_tuples);
+    println!("  {}", loads(&report.stats, job.cluster()));
     println!(
-        "  node loads: n0={:.1}% n1={:.1}%  (load distance {:.1})",
-        report.stats.load_of(NodeId::new(0)),
-        report.stats.load_of(NodeId::new(1)),
-        report.stats.load_distance(ctl.engine().cluster()),
-    );
-    println!(
-        "MILP planned {} migrations; executed with the direct state \
-         migration protocol (redirect → buffer → ship → replay), moving \
-         {} bytes of state",
+        "MILP planned {} migrations; executed them, moving {} bytes of state",
         report.plan.migrations.len(),
         report.apply.total_state_bytes(),
     );
-
-    // Keep streaming; the load is now split across both workers.
-    ctl.engine_mut().inject(
-        src,
-        (0..20_000).map(|i| Tuple::keyed(&(i % 50), Value::Int(i), i as u64)),
-    );
-    ctl.engine_mut().quiesce(4);
-    let mut rt = ctl.into_engine();
-    let stats = rt.end_period();
-    println!(
-        "period 1: node loads n0={:.1}% n1={:.1}%  (load distance {:.1})",
-        stats.load_of(NodeId::new(0)),
-        stats.load_of(NodeId::new(1)),
-        stats.load_distance(rt.cluster()),
-    );
-    rt.shutdown();
+    let stats = job.inject("events", events(1)).measure();
+    println!("period 1: {}", loads(&stats, job.cluster()));
+    job.shutdown();
+    Ok(())
 }

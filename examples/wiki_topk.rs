@@ -6,39 +6,30 @@
 //! cargo run --release --example wiki_topk
 //! ```
 
-use albic::core::{AdaptationFramework, Controller, MilpBalancer};
-use albic::engine::{Cluster, CostModel, RoutingTable};
+use albic::job::{Job, JobError, Policy};
 use albic::milp::MigrationBudget;
-use albic::types::NodeId;
 use albic::workloads::jobs::job1_topology;
 use albic::workloads::wikipedia::WikipediaEditStream;
 
-fn main() {
+fn main() -> Result<(), JobError> {
+    // The prebuilt Real Job 1 topology (source → geohash → topk → global)
+    // on 4 live workers, rebalanced under the paper's 13-groups-per-period
+    // budget — the same policy stack the simulator experiments use.
     let (topology, ops) = job1_topology(16);
-    let src = ops[0];
-
-    let cluster = Cluster::homogeneous(4);
-    let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
-    let routing = RoutingTable::round_robin(topology.num_key_groups(), &ids);
-    let rt =
-        albic::engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
+    let global_op = ops[3];
+    let mut job = Job::builder()
+        .topology(topology)
+        .nodes(4)
+        .policy(Policy::milp().with_budget(MigrationBudget::Count(13)))
+        .build_threaded()?;
 
     let stream = WikipediaEditStream::new(3_000.0, 42);
-    // Rebalance under the paper's 13-groups-per-period budget — the same
-    // Controller + policy stack the simulator experiments use, here driving
-    // real worker threads through the ReconfigEngine trait.
-    let mut policy =
-        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(13)));
-    let mut ctl = Controller::new(rt);
-
     for period in 0..5u64 {
-        ctl.engine_mut().inject(src, stream.tuples(period));
-        ctl.engine_mut().quiesce(8);
-        let report = ctl.step(&mut policy);
+        let report = job.inject("wiki-src", stream.tuples(period)).step();
         println!(
             "period {period}: {} edits processed, load distance {:.2}%",
             stream.rate_at(period).round(),
-            report.stats.load_distance(ctl.engine().cluster()),
+            report.stats.load_distance(job.cluster()),
         );
         if !report.apply.migrations.is_empty() {
             println!(
@@ -48,10 +39,9 @@ fn main() {
             );
         }
     }
-    let rt = ctl.into_engine();
 
     // Show the global TopK state (key group of the constant merge key).
-    let global_op = ops[3];
+    let rt = job.into_engine();
     let kg = rt
         .topology()
         .group_for_key(global_op, albic::engine::tuple::hash_key(&"global-topk"));
@@ -67,4 +57,5 @@ fn main() {
         }
     }
     rt.shutdown();
+    Ok(())
 }

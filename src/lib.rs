@@ -24,32 +24,35 @@
 //!
 //! # Quickstart
 //!
+//! The front door is the fluent [`job`] API: one validating builder from
+//! topology to adaptation loop, on either substrate. A 20-node cluster
+//! with a skewed synthetic workload, balanced by the paper's MILP under a
+//! migration budget, on the deterministic simulator:
+//!
 //! ```
-//! use albic::core::{AdaptationFramework, Controller, MilpBalancer};
-//! use albic::engine::{Cluster, CostModel, RoutingTable, SimEngine};
+//! use albic::job::{Job, Policy};
 //! use albic::milp::MigrationBudget;
 //! use albic::workloads::{SyntheticConfig, SyntheticWorkload};
 //!
-//! // A 20-node cluster with a skewed synthetic workload...
+//! # fn main() -> Result<(), albic::job::JobError> {
 //! let cfg = SyntheticConfig { varies: 40.0, ..SyntheticConfig::cluster(20) };
-//! let workload = SyntheticWorkload::new(cfg);
-//! let mut engine = SimEngine::with_round_robin(
-//!     workload,
-//!     Cluster::homogeneous(20),
-//!     CostModel::default(),
-//! );
+//! let mut job = Job::builder()
+//!     .nodes(20)
+//!     .policy(Policy::milp().with_budget(MigrationBudget::Count(20)))
+//!     .build_simulated(SyntheticWorkload::new(cfg))?;
 //!
-//! // ...balanced by the paper's MILP under a migration budget. The
-//! // Controller owns the Algorithm-1 loop and drives the simulator and
-//! // the threaded runtime identically (both are `ReconfigEngine`s).
-//! let mut policy = AdaptationFramework::balancing_only(
-//!     MilpBalancer::new(MigrationBudget::Count(20)),
-//! );
-//! let history = Controller::new(&mut engine).run(&mut policy, 3);
-//! let before = history[0].load_distance;
-//! let after = history.last().unwrap().load_distance;
-//! assert!(after <= before);
+//! let history = job.run(3).to_vec();
+//! assert!(history.last().unwrap().load_distance <= history[0].load_distance);
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! Swap `build_simulated(..)` for `.source(..).operator(..).edge(..)` +
+//! `build_threaded()` and the identical policy stack runs on real worker
+//! threads with real state migration — see `examples/quickstart.rs`. The
+//! layer-by-layer constructors (`TopologyBuilder`, `Cluster`,
+//! `RoutingTable`, `Controller`, ...) remain available for advanced
+//! wiring.
 
 #![forbid(unsafe_code)]
 
@@ -59,3 +62,6 @@ pub use albic_milp as milp;
 pub use albic_partition as partition;
 pub use albic_types as types;
 pub use albic_workloads as workloads;
+
+pub use albic_core::job;
+pub use albic_core::job::{Job, JobBuilder, JobError, JobSummary, Policy};

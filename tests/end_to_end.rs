@@ -1,23 +1,15 @@
 //! Cross-crate integration tests: the full stack working together —
 //! workload → engine (simulator and threaded runtime) → policy → plan →
-//! migration → measurable improvement.
+//! migration → measurable improvement. All runs are assembled with the
+//! fluent `Job` builder, the crate's public front door.
 
-use albic::core::albic::{Albic, AlbicConfig};
 use albic::core::allocator::{KeyGroupAllocator, NodeSet};
-use albic::core::baselines::{Cola, Flux};
-use albic::core::framework::AdaptationFramework;
-use albic::core::{Controller, MilpBalancer, ThresholdScaling};
-use albic::engine::reconfig::ReconfigPolicy;
-use albic::engine::{Cluster, CostModel, ReconfigEngine, RoutingTable, SimEngine};
+use albic::engine::{Cluster, CostModel};
+use albic::job::{Job, Policy};
 use albic::milp::MigrationBudget;
-use albic::types::NodeId;
 use albic::workloads::airline::AirlineJobWorkload;
 use albic::workloads::wikipedia::WikiJob1Workload;
 use albic::workloads::{SyntheticConfig, SyntheticWorkload};
-
-fn drive<E: ReconfigEngine>(engine: &mut E, policy: &mut dyn ReconfigPolicy, periods: usize) {
-    Controller::new(engine).run(policy, periods);
-}
 
 #[test]
 fn milp_beats_flux_on_skewed_synthetic_load() {
@@ -26,23 +18,18 @@ fn milp_beats_flux_on_skewed_synthetic_load() {
             varies: 60.0,
             ..SyntheticConfig::cluster(20)
         };
-        SimEngine::with_round_robin(
-            SyntheticWorkload::new(cfg),
-            Cluster::homogeneous(20),
-            CostModel::default(),
-        )
+        SyntheticWorkload::new(cfg)
     };
-    let mut milp_engine = mk();
-    let mut milp =
-        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(20)));
-    drive(&mut milp_engine, &mut milp, 1);
-
-    let mut flux_engine = mk();
-    let mut flux = AdaptationFramework::balancing_only(Flux::new(20));
-    drive(&mut flux_engine, &mut flux, 1);
-
-    let milp_d = milp_engine.history().last().unwrap().load_distance;
-    let flux_d = flux_engine.history().last().unwrap().load_distance;
+    let run = |policy: Policy| -> f64 {
+        let mut job = Job::builder()
+            .nodes(20)
+            .policy(policy)
+            .build_simulated(mk())
+            .expect("valid job spec");
+        job.run(1).last().unwrap().load_distance
+    };
+    let milp_d = run(Policy::milp().with_budget(MigrationBudget::Count(20)));
+    let flux_d = run(Policy::flux(20));
     assert!(
         milp_d <= flux_d + 1e-6,
         "MILP ({milp_d:.2}) must not lose to Flux ({flux_d:.2})"
@@ -59,63 +46,58 @@ fn albic_converges_to_collocation_on_job2() {
     let workers = 6usize;
     let workload = AirlineJobWorkload::job2(20_000.0, groups_per_op, 5);
     let downstream = workload.downstream_groups();
-    let cluster = Cluster::homogeneous(workers);
-    let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
     // Worst-case start: every 1-1 pair split.
-    let routing = RoutingTable::from_assignment(
-        (0..groups_per_op * 2)
-            .map(|g| {
-                let op = g / groups_per_op;
-                ids[((g % groups_per_op) + op) as usize % workers]
-            })
-            .collect(),
-    );
-    let mut engine = SimEngine::new(workload, cluster, routing, CostModel::default());
-    let mut policy = AdaptationFramework::balancing_only(Albic::new(
-        AlbicConfig {
-            budget: MigrationBudget::Count(10),
-            ..Default::default()
-        },
-        downstream,
-    ));
-    drive(&mut engine, &mut policy, 40);
+    let assignment: Vec<u32> = (0..groups_per_op * 2)
+        .map(|g| {
+            let op = g / groups_per_op;
+            ((g % groups_per_op) + op) % workers as u32
+        })
+        .collect();
+    let mut job = Job::builder()
+        .nodes(workers)
+        .routing_assignment(assignment)
+        .policy(
+            Policy::albic()
+                .with_budget(MigrationBudget::Count(10))
+                .with_downstream(downstream),
+        )
+        .build_simulated(workload)
+        .expect("valid job spec");
+    let history = job.run(40).to_vec();
 
-    let first = engine.history()[0].collocation_factor;
-    let last = engine.history().last().unwrap().collocation_factor;
+    let first = history[0].collocation_factor;
+    let last = history.last().unwrap().collocation_factor;
     assert!(
         last > first + 30.0,
         "collocation must improve substantially: {first:.1}% → {last:.1}%"
     );
     // Load index falls as cross-node traffic disappears.
-    let idx = albic::core::metrics::load_index_series(engine.history(), 2);
+    let idx = albic::core::metrics::load_index_series(&history, 2);
     assert!(
         idx.last().unwrap() < &85.0,
         "load index must drop, got {:.1}",
         idx.last().unwrap()
     );
     // ALBIC stays within its migration budget every period.
-    assert!(engine.history().iter().all(|r| r.migrations <= 10));
+    assert!(history.iter().all(|r| r.migrations <= 10));
 }
 
 #[test]
 fn cola_collocates_instantly_but_churns() {
-    let groups_per_op = 30u32;
-    let workers = 6usize;
-    let workload = AirlineJobWorkload::job2(20_000.0, groups_per_op, 5);
-    let mut engine = SimEngine::with_round_robin(
-        workload,
-        Cluster::homogeneous(workers),
-        CostModel::default(),
-    );
-    let mut policy = AdaptationFramework::balancing_only(Cola::default());
-    drive(&mut engine, &mut policy, 5);
-    let first = &engine.history()[0];
+    let workload = AirlineJobWorkload::job2(20_000.0, 30, 5);
+    let mut job = Job::builder()
+        .nodes(6)
+        .policy(Policy::cola())
+        .build_simulated(workload)
+        .expect("valid job spec");
+    let history = job.run(5);
+    let first = &history[0];
     assert!(
         first.collocation_factor > 90.0,
         "COLA optimizes from scratch: {:.1}%",
         first.collocation_factor
     );
-    let total_migrations: usize = engine.history().iter().map(|r| r.migrations).sum();
+    let total_migrations: usize = history.iter().map(|r| r.migrations).sum();
     assert!(
         total_migrations > 30,
         "COLA churns heavily, got {total_migrations}"
@@ -128,47 +110,44 @@ fn integrated_scale_in_drains_and_rebalances() {
         mean_node_load: 30.0,
         ..SyntheticConfig::cluster(10)
     };
-    let mut engine = SimEngine::with_round_robin(
-        SyntheticWorkload::new(cfg),
-        Cluster::homogeneous(10),
-        CostModel::default(),
-    );
-    let mut policy = AdaptationFramework::with_scaling(
-        MilpBalancer::new(MigrationBudget::Count(40)),
-        ThresholdScaling::new(40.0, 85.0, 55.0),
-    );
-    drive(&mut engine, &mut policy, 12);
+    let mut job = Job::builder()
+        .nodes(10)
+        .policy(
+            Policy::milp()
+                .with_budget(MigrationBudget::Count(40))
+                .with_scaling(40.0, 85.0, 55.0),
+        )
+        .build_simulated(SyntheticWorkload::new(cfg))
+        .expect("valid job spec");
+    let _ = job.run(12);
     // Underloaded cluster must have shed nodes, and all survivors balanced.
     assert!(
-        engine.cluster().len() < 10,
+        job.cluster().len() < 10,
         "scale-in expected, still {} nodes",
-        engine.cluster().len()
+        job.cluster().len()
     );
-    let last = engine.history().last().unwrap();
+    let summary = job.report();
+    assert!(summary.peak_nodes <= 10);
     assert!(
-        last.load_distance < 25.0,
+        summary.final_load_distance < 25.0,
         "distance {:.1}",
-        last.load_distance
+        summary.final_load_distance
     );
 }
 
 #[test]
 fn wiki_job_runs_at_paper_scale_in_simulation() {
     let workload = WikiJob1Workload::new(70_000.0, 100, 9);
-    let mut engine =
-        SimEngine::with_round_robin(workload, Cluster::homogeneous(20), CostModel::default());
-    let mut policy =
-        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(13)));
-    drive(&mut engine, &mut policy, 10);
-    let tail: Vec<f64> = engine
-        .history()
-        .iter()
-        .skip(5)
-        .map(|r| r.load_distance)
-        .collect();
+    let mut job = Job::builder()
+        .nodes(20)
+        .policy(Policy::milp().with_budget(MigrationBudget::Count(13)))
+        .build_simulated(workload)
+        .expect("valid job spec");
+    let history = job.run(10);
+    let tail: Vec<f64> = history.iter().skip(5).map(|r| r.load_distance).collect();
     let mean = tail.iter().sum::<f64>() / tail.len() as f64;
     assert!(mean < 12.0, "steady-state distance too high: {mean:.2}");
-    assert!(engine.history().iter().all(|r| r.migrations <= 13));
+    assert!(history.iter().all(|r| r.migrations <= 13));
 }
 
 #[test]
@@ -177,17 +156,17 @@ fn simulator_and_runtime_agree_on_statistics_semantics() {
     // same *kind* of signals: nonzero group loads for active groups, a
     // consistent allocation snapshot, comm rates between the operators.
     use albic::workloads::jobs::job2_topology;
-    let (topology, ops) = job2_topology(8);
-    let cluster = Cluster::homogeneous(2);
-    let ids: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
-    let routing = RoutingTable::round_robin(topology.num_key_groups(), &ids);
-    let mut rt =
-        albic::engine::runtime::Runtime::start(topology, cluster, routing, CostModel::default());
+    let (topology, _ops) = job2_topology(8);
+    let mut job = Job::builder()
+        .topology(topology)
+        .nodes(2)
+        .policy(Policy::noop())
+        .build_threaded()
+        .expect("valid job spec");
     let stream = albic::workloads::airline::AirlineOnTimeStream::new(200.0, 1);
-    rt.inject(ops[0], stream.tuples(0));
-    rt.quiesce(6);
-    let stats = rt.end_period();
-    rt.shutdown();
+    job.inject("flights-src", stream.tuples(0));
+    let stats = job.step().stats;
+    job.shutdown();
 
     assert_eq!(stats.allocation.len(), 24);
     assert!(stats.total_tuples > 0.0);
@@ -195,7 +174,7 @@ fn simulator_and_runtime_agree_on_statistics_semantics() {
     // MILP can consume runtime statistics directly.
     let cluster = Cluster::homogeneous(2);
     let ns = NodeSet::from_cluster(&cluster);
-    let mut balancer = MilpBalancer::new(MigrationBudget::Unlimited);
+    let mut balancer = albic::core::MilpBalancer::new(MigrationBudget::Unlimited);
     let out = balancer.allocate(&stats, &ns, &CostModel::default());
     assert!(out.projected_distance <= stats.load_distance(&cluster) + 1e-9);
 }

@@ -3,32 +3,28 @@
 //! silently break the reproduction. These are the fast variants of the
 //! claims EXPERIMENTS.md records for the full runs.
 //!
-//! Every driver goes through the Algorithm-1 [`Controller`]; the loops the
-//! seed hand-rolled live there now.
+//! Every driver is assembled with the fluent `Job` builder; the
+//! Algorithm-1 loop it owns is `albic_core::controller::Controller`.
 
 use albic::core::allocator::NodeSet;
 use albic::core::baselines::PoTC;
-use albic::core::framework::AdaptationFramework;
-use albic::core::{Controller, MilpBalancer};
-use albic::engine::reconfig::ReconfigPolicy;
-use albic::engine::{Cluster, CostModel, SimEngine};
+use albic::job::{Job, Policy};
 use albic::milp::{AllocationProblem, Budget, GroupSpec, MigrationBudget};
 use albic::workloads::wikipedia::WikiJob1Workload;
 use albic::workloads::{SyntheticConfig, SyntheticWorkload};
 
-fn one_round_distance(policy: &mut dyn ReconfigPolicy, varies: f64, nodes: usize) -> f64 {
+fn one_round_distance(policy: Policy, varies: f64, nodes: usize) -> f64 {
     let cfg = SyntheticConfig {
         varies,
         seed: 0x7E57 + varies as u64,
         ..SyntheticConfig::cluster(nodes)
     };
-    let mut engine = SimEngine::with_round_robin(
-        SyntheticWorkload::new(cfg),
-        Cluster::homogeneous(nodes),
-        CostModel::default(),
-    );
-    let history = Controller::new(&mut engine).run(policy, 1);
-    history.last().unwrap().load_distance
+    let mut job = Job::builder()
+        .nodes(nodes)
+        .policy(policy)
+        .build_simulated(SyntheticWorkload::new(cfg))
+        .expect("valid job spec");
+    job.run(1).last().unwrap().load_distance
 }
 
 /// Figs 2-4 shape: the MILP beats Flux decisively under the same
@@ -36,11 +32,12 @@ fn one_round_distance(policy: &mut dyn ReconfigPolicy, varies: f64, nodes: usize
 #[test]
 fn shape_milp_beats_flux_figs_2_4() {
     for varies in [30.0, 60.0, 90.0] {
-        let mut milp =
-            AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(20)));
-        let mut flux = AdaptationFramework::balancing_only(albic::core::baselines::Flux::new(20));
-        let milp_d = one_round_distance(&mut milp, varies, 20);
-        let flux_d = one_round_distance(&mut flux, varies, 20);
+        let milp_d = one_round_distance(
+            Policy::milp().with_budget(MigrationBudget::Count(20)),
+            varies,
+            20,
+        );
+        let flux_d = one_round_distance(Policy::flux(20), varies, 20);
         assert!(
             milp_d < flux_d * 0.7,
             "varies={varies}: MILP {milp_d:.2} should clearly beat Flux {flux_d:.2}"
@@ -50,37 +47,25 @@ fn shape_milp_beats_flux_figs_2_4() {
 
 /// Fig 6 shape: on Real Job 1 the MILP's steady-state distance beats the
 /// PoTC evaluator's. PoTC observes every period's statistics through the
-/// controller's observer hook before the MILP's plan is applied.
+/// per-round tick hook, before its own (hypothetical) placement.
 #[test]
 fn shape_milp_beats_potc_fig6() {
     let workers = 20usize;
-    let mut engine = SimEngine::with_round_robin(
-        WikiJob1Workload::new(70_000.0, 100, 0xF16),
-        Cluster::homogeneous(workers),
-        CostModel::default(),
-    );
-    let mut policy =
-        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(13)));
+    let mut job = Job::builder()
+        .nodes(workers)
+        .policy(Policy::milp().with_budget(MigrationBudget::Count(13)))
+        .build_simulated(WikiJob1Workload::new(70_000.0, 100, 0xF16))
+        .expect("valid job spec");
     let potc = PoTC::new(1);
     let mut potc_sum = 0.0;
     let mut milp_sum = 0.0;
-    let periods = 12;
-    {
-        let mut seen = 0usize;
-        let mut ctl = Controller::new(&mut engine).with_observer(|stats, cluster| {
-            if seen >= 4 {
-                let ns = NodeSet::from_cluster(cluster);
-                potc_sum += potc.evaluate(stats, &ns).load_distance;
-            }
-            seen += 1;
-        });
-        for round in 0..periods {
-            ctl.step(&mut policy);
-            if round >= 4 {
-                milp_sum += ctl.history().last().unwrap().load_distance;
-            }
+    let _ = job.run_with(12, |t| {
+        if t.period >= 4 {
+            let ns = NodeSet::from_cluster(t.cluster);
+            potc_sum += potc.evaluate(&t.report.stats, &ns).load_distance;
+            milp_sum += t.record.load_distance;
         }
-    }
+    });
     assert!(
         milp_sum < potc_sum,
         "MILP ({milp_sum:.1}) must beat PoTC ({potc_sum:.1}) on cumulative distance"
@@ -92,17 +77,13 @@ fn shape_milp_beats_potc_fig6() {
 #[test]
 fn shape_unrestricted_migrates_more_state_fig9() {
     let run = |budget: MigrationBudget| -> f64 {
-        let mut engine = SimEngine::with_round_robin(
-            WikiJob1Workload::new(70_000.0, 100, 0xF19),
-            Cluster::homogeneous(20),
-            CostModel::default(),
-        );
-        let mut policy = AdaptationFramework::balancing_only(MilpBalancer::new(budget));
-        Controller::new(&mut engine)
-            .run(&mut policy, 8)
-            .iter()
-            .map(|r| r.migration_pause_secs)
-            .sum()
+        let mut job = Job::builder()
+            .nodes(20)
+            .policy(Policy::milp().with_budget(budget))
+            .build_simulated(WikiJob1Workload::new(70_000.0, 100, 0xF19))
+            .expect("valid job spec");
+        let _ = job.run(8);
+        job.report().total_pause_secs
     };
     let unrestricted = run(MigrationBudget::Unlimited);
     let budgeted = run(MigrationBudget::Count(13));
@@ -168,15 +149,12 @@ fn shape_experiments_are_deterministic() {
             varies: 50.0,
             ..SyntheticConfig::cluster(10)
         };
-        let mut engine = SimEngine::with_round_robin(
-            SyntheticWorkload::new(cfg),
-            Cluster::homogeneous(10),
-            CostModel::default(),
-        );
-        let mut policy =
-            AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(10)));
-        Controller::new(&mut engine)
-            .run(&mut policy, 5)
+        let mut job = Job::builder()
+            .nodes(10)
+            .policy(Policy::milp().with_budget(MigrationBudget::Count(10)))
+            .build_simulated(SyntheticWorkload::new(cfg))
+            .expect("valid job spec");
+        job.run(5)
             .iter()
             .map(|r| (r.load_distance.to_bits(), r.migrations))
             .collect::<Vec<_>>()

@@ -1,22 +1,19 @@
 //! Sim-vs-runtime equivalence: the module docs promise that "policies
-//! cannot tell which substrate they run on". This test proves it: the same
-//! policy observes the same workload on the rate-based simulator and on
-//! the threaded runtime (through the shared `ReconfigEngine` trait) and
-//! must make bit-identical migration decisions every period, ending with
-//! identical routing assignments.
+//! cannot tell which substrate they run on". This test proves it through
+//! the public `Job` API: two builder calls that differ only in
+//! `build_threaded()` vs `build_simulated(..)` observe the same workload
+//! and must make bit-identical migration decisions every period, ending
+//! with identical routing assignments.
 
 use std::collections::HashMap;
-use std::sync::Arc;
 
-use albic::core::{AdaptationFramework, Controller, MilpBalancer};
 use albic::engine::operator::{Counting, Identity};
-use albic::engine::runtime::Runtime;
-use albic::engine::sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
-use albic::engine::topology::TopologyBuilder;
+use albic::engine::sim::{WorkloadModel, WorkloadSnapshot};
 use albic::engine::tuple::{hash_key, Tuple, Value};
-use albic::engine::{Cluster, CostModel, PeriodStats, ReconfigPlan, RoutingTable};
+use albic::engine::{PeriodStats, ReconfigPlan};
+use albic::job::{Job, JobBuilder, Policy};
 use albic::milp::MigrationBudget;
-use albic::types::{KeyGroupId, NodeId, Period};
+use albic::types::{KeyGroupId, Period};
 
 const KEYS: u64 = 40;
 const PERIODS: usize = 4;
@@ -42,23 +39,29 @@ impl WorkloadModel for Recorded {
     }
 }
 
-fn policy() -> AdaptationFramework<MilpBalancer> {
-    AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Count(6)))
+/// The logical job, identically declared for either substrate: a
+/// pass-through source feeding a stateful per-key counter, 8 key groups
+/// each, everything starting on node 0 of a 2-node cluster.
+fn builder() -> JobBuilder {
+    Job::builder()
+        .source("events", 8, Identity)
+        .operator("count", 8, Counting)
+        .edge("events", "count")
+        .nodes(2)
+        .routing_all_on_first()
+        .policy(Policy::milp().with_budget(MigrationBudget::Count(6)))
 }
 
 #[test]
 fn same_policy_same_decisions_on_both_substrates() {
-    // The logical job: pass-through source → per-key counter, 8 key
-    // groups each; everything starts on node 0 of a 2-node cluster.
-    let build = || {
-        let mut b = TopologyBuilder::new();
-        let src = b.source("events", 8, Arc::new(Identity));
-        let cnt = b.operator("count", 8, Arc::new(Counting));
-        b.edge(src, cnt);
-        (b.build().expect("valid DAG"), src, cnt)
-    };
-    let (topology, src, cnt) = build();
+    // --- Substrate A: the threaded runtime. ---
+    let mut rt_job = builder().build_threaded().expect("valid job spec");
+    let topology = rt_job.engine().topology().clone();
     let num_groups = topology.num_key_groups();
+    let (src, cnt) = (
+        topology.operator_by_name("events").unwrap(),
+        topology.operator_by_name("count").unwrap(),
+    );
 
     // Key → (source group, counter group), via the same hashing the
     // runtime routes with.
@@ -71,6 +74,24 @@ fn same_policy_same_decisions_on_both_substrates() {
             )
         })
         .collect();
+
+    let mut rt_plans: Vec<ReconfigPlan> = Vec::new();
+    let mut rt_stats: Vec<PeriodStats> = Vec::new();
+    for p in 0..PERIODS as u64 {
+        for k in 0..KEYS {
+            let n = tuples_of(k, p);
+            rt_job.inject(
+                "events",
+                (0..n).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
+            );
+        }
+        let report = rt_job.step();
+        assert!(report.apply.failed.is_empty(), "{:?}", report.apply.failed);
+        rt_stats.push(report.stats);
+        rt_plans.push(report.plan);
+    }
+    let rt_assignment = rt_job.engine().routing_snapshot().assignment().to_vec();
+    rt_job.shutdown();
 
     // Precompute the rate-level snapshots the simulator will replay: per
     // period, the per-group tuple counts, the src→cnt flows, and the
@@ -109,54 +130,22 @@ fn same_policy_same_decisions_on_both_substrates() {
         });
     }
 
-    // --- Substrate A: the threaded runtime. ---
-    let cluster = Cluster::homogeneous(2);
-    let routing = RoutingTable::all_on(num_groups, NodeId::new(0));
-    let rt = Runtime::start(topology, cluster, routing, CostModel::default());
-    let mut rt_policy = policy();
-    let mut rt_ctl = Controller::new(rt);
-    let mut rt_plans: Vec<ReconfigPlan> = Vec::new();
-    let mut rt_stats: Vec<PeriodStats> = Vec::new();
-    for p in 0..PERIODS as u64 {
-        for k in 0..KEYS {
-            let n = tuples_of(k, p);
-            rt_ctl.engine_mut().inject(
-                src,
-                (0..n).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
-            );
-        }
-        rt_ctl.engine_mut().quiesce(4);
-        let report = rt_ctl.step(&mut rt_policy);
-        assert!(report.apply.failed.is_empty(), "{:?}", report.apply.failed);
-        rt_stats.push(report.stats);
-        rt_plans.push(report.plan);
-    }
-    let rt_assignment = rt_ctl.engine().routing_snapshot().assignment().to_vec();
-    rt_ctl.into_engine().shutdown();
-
-    // --- Substrate B: the simulator, replaying the same workload. ---
-    let cluster = Cluster::homogeneous(2);
-    let routing = RoutingTable::all_on(num_groups, NodeId::new(0));
-    let mut sim = SimEngine::new(
-        Recorded {
+    // --- Substrate B: the simulator, replaying the same workload through
+    // the identical builder call. ---
+    let mut sim_job = builder()
+        .build_simulated(Recorded {
             groups: num_groups,
             snapshots,
-        },
-        cluster,
-        routing,
-        CostModel::default(),
-    );
-    let mut sim_policy = policy();
-    let mut sim_ctl = Controller::new(&mut sim);
+        })
+        .expect("valid job spec");
     let mut sim_plans: Vec<ReconfigPlan> = Vec::new();
     let mut sim_stats: Vec<PeriodStats> = Vec::new();
     for _ in 0..PERIODS {
-        let report = sim_ctl.step(&mut sim_policy);
+        let report = sim_job.step();
         sim_stats.push(report.stats);
         sim_plans.push(report.plan);
     }
-    drop(sim_ctl);
-    let sim_assignment = sim.routing().assignment().to_vec();
+    let sim_assignment = sim_job.engine().routing().assignment().to_vec();
 
     // --- The policy must not be able to tell the substrates apart. ---
     for p in 0..PERIODS {
@@ -206,28 +195,27 @@ fn same_policy_same_decisions_on_both_substrates() {
 /// every injected tuple exactly once.
 #[test]
 fn runtime_migrations_really_move_state() {
-    let mut b = TopologyBuilder::new();
-    let src = b.source("events", 4, Arc::new(Identity));
-    let cnt = b.operator("count", 4, Arc::new(Counting));
-    b.edge(src, cnt);
-    let topology = b.build().expect("valid DAG");
-    let cluster = Cluster::homogeneous(2);
-    let routing = RoutingTable::all_on(topology.num_key_groups(), NodeId::new(0));
-    let rt = Runtime::start(topology, cluster, routing, CostModel::default());
+    let mut job = Job::builder()
+        .source("events", 4, Identity)
+        .operator("count", 4, Counting)
+        .edge("events", "count")
+        .nodes(2)
+        .routing_all_on_first()
+        .policy(Policy::milp())
+        .build_threaded()
+        .expect("valid job spec");
 
-    let mut policy =
-        AdaptationFramework::balancing_only(MilpBalancer::new(MigrationBudget::Unlimited));
-    let mut ctl = Controller::new(rt);
     let key = 11u64;
     for p in 0..3u64 {
-        ctl.engine_mut().inject(
-            src,
-            (0..50u64).map(|i| Tuple::keyed(&key, Value::Int(i as i64), p)),
-        );
-        ctl.engine_mut().quiesce(4);
-        ctl.step(&mut policy);
+        let _ = job
+            .inject(
+                "events",
+                (0..50u64).map(|i| Tuple::keyed(&key, Value::Int(i as i64), p)),
+            )
+            .step();
     }
-    let rt = ctl.into_engine();
+    let rt = job.into_engine();
+    let cnt = rt.topology().operator_by_name("count").unwrap();
     let kg = rt.topology().group_for_key(cnt, hash_key(&key));
     let bytes = rt.probe_state(kg).expect("counter state exists somewhere");
     let mut arr = [0u8; 8];
