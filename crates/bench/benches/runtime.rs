@@ -1,0 +1,63 @@
+//! `bench_runtime`: micro-benchmarks of the threaded runtime's data
+//! plane — inject-and-settle cost of the batched hand-off vs the
+//! degenerate per-tuple configuration. The sustained-throughput picture
+//! (increasing offered load, settle-latency percentiles, the committed
+//! `BENCH_runtime.json`) lives in the `throughput` binary; this group is
+//! for quick relative comparisons during development.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use albic_core::job::{Job, Policy};
+use albic_engine::operator::{Counting, Identity};
+use albic_engine::runtime::Runtime;
+use albic_engine::tuple::{Tuple, Value};
+use albic_engine::RuntimeConfig;
+
+const WAVE: usize = 2_000;
+
+fn live_job(batch_size: usize) -> Job<Runtime> {
+    Job::builder()
+        .source("events", 8, Identity)
+        .operator("count", 8, Counting)
+        .edge("events", "count")
+        .nodes(3)
+        .policy(Policy::noop())
+        .runtime_config(RuntimeConfig {
+            batch_size,
+            ..RuntimeConfig::default()
+        })
+        .build_threaded()
+        .expect("valid bench job")
+}
+
+fn wave(n: usize) -> impl Iterator<Item = Tuple> {
+    (0..n).map(|i| Tuple::keyed(&((i % 64) as i64), Value::Int(i as i64), 0))
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_runtime");
+    group.sample_size(10);
+
+    let mut batched = live_job(64);
+    group.bench_function("inject_settle_2k_batch64", |b| {
+        b.iter(|| {
+            batched.inject("events", wave(WAVE));
+            batched.settle();
+        })
+    });
+
+    let mut per_tuple = live_job(1);
+    group.bench_function("inject_settle_2k_batch1", |b| {
+        b.iter(|| {
+            per_tuple.inject("events", wave(WAVE));
+            per_tuple.settle();
+        })
+    });
+
+    group.finish();
+    batched.shutdown();
+    per_tuple.shutdown();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

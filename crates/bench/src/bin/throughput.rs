@@ -1,0 +1,286 @@
+//! Sustained-throughput harness for the threaded runtime's batched data
+//! plane.
+//!
+//! Drives a live source→counter pipeline at increasing offered load and
+//! measures, per load level, the achieved tuples/sec and the
+//! p50/p99 *settle latency* (time for an injected wave to fully traverse
+//! the topology and drain every queue). Injection feels the engine's
+//! backpressure, so the achieved rate is the *sustained* rate — offered
+//! load past the engine's capacity blocks the producer instead of
+//! growing a queue.
+//!
+//! Two configurations run back to back: the batched data plane
+//! (`batch_size = 64`, the default) and the degenerate per-tuple plane
+//! (`batch_size = 1`), which is what every tuple hand-off cost before
+//! batching. The ratio is the headline number.
+//!
+//! Results are written to `BENCH_runtime.json` at the repo root so the
+//! performance trajectory is tracked in-tree. With an existing file
+//! present, the run compares its fresh sustained throughput against the
+//! committed one and **exits non-zero on a regression of more than 20%**
+//! (disable with `--no-gate`).
+//!
+//! ```text
+//! cargo run --release -p albic-bench --bin throughput -- --smoke
+//! ```
+
+use std::time::{Duration, Instant};
+
+use albic_core::job::{Job, Policy};
+use albic_engine::operator::{Counting, Identity};
+use albic_engine::tuple::{Tuple, Value};
+use albic_engine::RuntimeConfig;
+
+/// Distinct keys the generator cycles through (spreads load over all key
+/// groups of both operators).
+const KEYS: i64 = 64;
+/// Key groups per operator; 3 nodes guarantee the source→counter hop
+/// crosses workers for every key (groups `h%8` and `8+h%8` never share a
+/// node under round-robin over 3).
+const KEY_GROUPS: u32 = 8;
+const NODES: usize = 3;
+
+struct LevelResult {
+    offered_tuples: usize,
+    tuples_per_sec: f64,
+    p50_settle_ms: f64,
+    p99_settle_ms: f64,
+}
+
+struct ConfigResult {
+    batch_size: usize,
+    sustained_tps: f64,
+    p50_settle_ms: f64,
+    p99_settle_ms: f64,
+    levels: Vec<LevelResult>,
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// Run one data-plane configuration over every load level.
+fn run_config(cfg: RuntimeConfig, levels: &[usize], wave: usize) -> ConfigResult {
+    let mut out = Vec::new();
+    let mut best_tps = 0.0f64;
+    let (mut best_p50, mut best_p99) = (0.0, 0.0);
+    for &offered in levels {
+        let mut job = Job::builder()
+            .source("events", KEY_GROUPS, Identity)
+            .operator("count", KEY_GROUPS, Counting)
+            .edge("events", "count")
+            .nodes(NODES)
+            .policy(Policy::noop())
+            .runtime_config(cfg)
+            .build_threaded()
+            .expect("valid throughput job");
+
+        // Warmup: populate states, fault in channels.
+        job.inject("events", make_wave(0, wave));
+        job.settle();
+
+        // Throughput phase: stream the whole level through the pipeline
+        // and settle once at the end, so the quiesce barrier is amortized
+        // over the level instead of being measured per wave. Waves are
+        // pre-materialized — the harness measures the engine's data
+        // plane, not the tuple generator.
+        let waves = offered.div_ceil(wave);
+        let mut prepared: Vec<Vec<Tuple>> = (0..waves)
+            .map(|w| make_wave((w + 1) * wave, wave).collect())
+            .collect();
+        let started = Instant::now();
+        for batch in prepared.drain(..) {
+            job.inject("events", batch);
+        }
+        job.settle();
+        let elapsed = started.elapsed().as_secs_f64();
+
+        // Latency phase: settle latency of individual probe waves — the
+        // time for a wave to fully traverse the topology and drain.
+        let probes = 24;
+        let mut latencies = Vec::with_capacity(probes);
+        for p in 0..probes {
+            let batch: Vec<Tuple> = make_wave((waves + p + 1) * wave, wave).collect();
+            job.inject("events", batch);
+            let injected = Instant::now();
+            job.settle();
+            latencies.push(injected.elapsed());
+        }
+        job.shutdown();
+
+        latencies.sort();
+        let tuples = waves * wave;
+        let tps = tuples as f64 / elapsed;
+        let (p50, p99) = (
+            percentile_ms(&latencies, 0.50),
+            percentile_ms(&latencies, 0.99),
+        );
+        eprintln!(
+            "  batch={:<3} offered={:>7} tuples  {:>10.0} t/s  settle p50={:.3}ms p99={:.3}ms",
+            cfg.batch_size, tuples, tps, p50, p99
+        );
+        if tps > best_tps {
+            best_tps = tps;
+            best_p50 = p50;
+            best_p99 = p99;
+        }
+        out.push(LevelResult {
+            offered_tuples: tuples,
+            tuples_per_sec: tps,
+            p50_settle_ms: p50,
+            p99_settle_ms: p99,
+        });
+    }
+    ConfigResult {
+        batch_size: cfg.batch_size,
+        sustained_tps: best_tps,
+        p50_settle_ms: best_p50,
+        p99_settle_ms: best_p99,
+        levels: out,
+    }
+}
+
+fn make_wave(base: usize, n: usize) -> impl Iterator<Item = Tuple> {
+    (0..n).map(move |i| {
+        let k = (base + i) as i64 % KEYS;
+        Tuple::keyed(&k, Value::Int((base + i) as i64), base as u64)
+    })
+}
+
+fn config_json(name: &str, r: &ConfigResult) -> String {
+    let levels: Vec<String> = r
+        .levels
+        .iter()
+        .map(|l| {
+            format!(
+                "      {{\"offered_tuples\": {}, \"tuples_per_sec\": {:.0}, \"p50_settle_ms\": {:.3}, \"p99_settle_ms\": {:.3}}}",
+                l.offered_tuples, l.tuples_per_sec, l.p50_settle_ms, l.p99_settle_ms
+            )
+        })
+        .collect();
+    format!(
+        "  \"{}\": {{\n    \"batch_size\": {},\n    \"sustained_tps\": {:.0},\n    \"p50_settle_ms\": {:.3},\n    \"p99_settle_ms\": {:.3},\n    \"levels\": [\n{}\n    ]\n  }}",
+        name,
+        r.batch_size,
+        r.sustained_tps,
+        r.p50_settle_ms,
+        r.p99_settle_ms,
+        levels.join(",\n")
+    )
+}
+
+/// Pull `"gate_tps": <number>` out of a previous `BENCH_runtime.json`
+/// without a JSON dependency (the vendored serde stub does not parse).
+fn parse_gate_tps(json: &str) -> Option<f64> {
+    let idx = json.find("\"gate_tps\":")?;
+    let rest = &json[idx + "\"gate_tps\":".len()..];
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = !args.iter().any(|a| a == "--no-gate");
+    // Machine-independent floor on the batched-vs-per-tuple ratio: both
+    // sides are measured in the same process on the same machine, so
+    // this travels across hardware where the absolute gate cannot.
+    let min_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-speedup")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+
+    let (levels, wave): (Vec<usize>, usize) = if smoke {
+        (vec![5_000, 10_000, 20_000], 1_000)
+    } else {
+        (vec![20_000, 40_000, 80_000, 160_000], 2_000)
+    };
+
+    let out_path = std::path::Path::new("BENCH_runtime.json");
+    let previous = std::fs::read_to_string(out_path)
+        .ok()
+        .as_deref()
+        .and_then(parse_gate_tps);
+
+    eprintln!("per-tuple baseline (batch_size = 1):");
+    let per_tuple = run_config(
+        RuntimeConfig {
+            batch_size: 1,
+            ..RuntimeConfig::default()
+        },
+        &levels,
+        wave,
+    );
+    eprintln!("batched data plane (batch_size = 64):");
+    let batched = run_config(RuntimeConfig::default(), &levels, wave);
+
+    let speedup = if per_tuple.sustained_tps > 0.0 {
+        batched.sustained_tps / per_tuple.sustained_tps
+    } else {
+        0.0
+    };
+    println!(
+        "sustained: batched {:.0} t/s vs per-tuple {:.0} t/s  ({speedup:.2}x)",
+        batched.sustained_tps, per_tuple.sustained_tps
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"mode\": \"{}\",\n  \"workload\": {{\"nodes\": {NODES}, \"key_groups_per_op\": {KEY_GROUPS}, \"keys\": {KEYS}, \"wave_tuples\": {wave}}},\n  \"gate_tps\": {:.0},\n  \"speedup_batched_vs_per_tuple\": {:.2},\n{},\n{}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        batched.sustained_tps,
+        speedup,
+        config_json("batched", &batched),
+        config_json("per_tuple", &per_tuple),
+    );
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("warning: could not write {}: {e}", out_path.display());
+    } else {
+        eprintln!("wrote {}", out_path.display());
+    }
+
+    if let Some(min) = min_speedup {
+        println!("gate: speedup {speedup:.2}x (floor {min:.2}x)");
+        if speedup < min {
+            eprintln!("FAIL: batching speedup fell below the floor");
+            std::process::exit(1);
+        }
+    }
+    if gate {
+        if let Some(committed) = previous {
+            // Absolute throughput is machine-dependent: the committed
+            // baseline must come from the gating machine (regenerate
+            // with --no-gate when that changes), and the tolerance can
+            // be loosened for noisy shared runners.
+            let tolerance: f64 = std::env::var("THROUGHPUT_GATE_TOLERANCE")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.8);
+            let floor = committed * tolerance;
+            println!(
+                "gate: measured {:.0} t/s vs committed {:.0} t/s (floor {:.0} = {:.0}% of committed)",
+                batched.sustained_tps,
+                committed,
+                floor,
+                tolerance * 100.0
+            );
+            if batched.sustained_tps < floor {
+                eprintln!(
+                    "FAIL: sustained throughput fell below {:.0}% of the committed baseline",
+                    tolerance * 100.0
+                );
+                std::process::exit(1);
+            }
+        } else {
+            println!("gate: no committed baseline found, skipping comparison");
+        }
+    }
+}

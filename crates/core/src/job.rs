@@ -41,7 +41,7 @@ use std::sync::Arc;
 
 use albic_engine::operator::Operator;
 use albic_engine::reconfig::NoopPolicy;
-use albic_engine::runtime::Runtime;
+use albic_engine::runtime::{Injector, Runtime, RuntimeConfig};
 use albic_engine::sim::{SimEngine, WorkloadModel};
 use albic_engine::topology::{Topology, TopologyBuilder, TopologyError};
 use albic_engine::tuple::Tuple;
@@ -478,6 +478,7 @@ pub struct JobBuilder {
     routing: RoutingSpec,
     cost: CostModel,
     policy: Option<Policy>,
+    runtime: RuntimeConfig,
 }
 
 impl Default for JobBuilder {
@@ -490,6 +491,7 @@ impl Default for JobBuilder {
             routing: RoutingSpec::RoundRobin,
             cost: CostModel::default(),
             policy: None,
+            runtime: RuntimeConfig::default(),
         }
     }
 }
@@ -598,6 +600,15 @@ impl JobBuilder {
     /// The engine's cost model (α, serialization costs, ...).
     pub fn cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Data-plane tuning for [`JobBuilder::build_threaded`]: batch size,
+    /// per-worker channel capacity, and the pending-batch flush interval.
+    /// Simulated jobs ignore it (the simulator has no channels). Defaults
+    /// to [`RuntimeConfig::default`].
+    pub fn runtime_config(mut self, cfg: RuntimeConfig) -> Self {
+        self.runtime = cfg;
         self
     }
 
@@ -750,9 +761,10 @@ impl JobBuilder {
     /// Validate and launch the job on the multi-threaded runtime (one
     /// live worker thread per node, real state migration).
     pub fn build_threaded(self) -> Result<Job<Runtime>, JobError> {
+        let runtime = self.runtime;
         let (topology, cluster, routing, policy, cost) = self.prepare(None)?;
         let topology = topology.expect("prepare rejects threaded jobs without a topology");
-        let engine = Runtime::start(topology, cluster, routing, cost);
+        let engine = Runtime::start_with_config(topology, cluster, routing, cost, runtime);
         Ok(Job {
             ctl: Controller::new(engine),
             policy,
@@ -959,6 +971,28 @@ impl Job<Runtime> {
         self
     }
 
+    /// A cloneable, thread-safe injector bound to one source operator, so
+    /// producer threads can stream tuples into the job concurrently with
+    /// the adaptation loop (see [`Injector`] for the batching and
+    /// backpressure semantics).
+    ///
+    /// # Panics
+    ///
+    /// If `source` is not an operator of the job's topology (same
+    /// contract as [`Job::inject`]).
+    pub fn injector(&self, source: &str) -> SourceInjector {
+        let op = self
+            .ctl
+            .engine()
+            .topology()
+            .operator_by_name(source)
+            .unwrap_or_else(|| panic!("job has no operator named {source:?}"));
+        SourceInjector {
+            injector: self.ctl.engine().injector(),
+            op,
+        }
+    }
+
     /// Quiesce all in-flight tuples (steps do this automatically; only
     /// needed before reading state out-of-band, e.g. `probe_state`).
     pub fn settle(&mut self) {
@@ -968,6 +1002,29 @@ impl Job<Runtime> {
     /// Stop all workers and join their threads.
     pub fn shutdown(self) {
         self.ctl.into_engine().shutdown();
+    }
+}
+
+/// An [`Injector`] bound to one named source operator of a threaded job —
+/// the handle producer threads use to stream into a running pipeline.
+/// Obtained via [`Job::injector`]; cloning is cheap (shared `Arc`s).
+#[derive(Clone)]
+pub struct SourceInjector {
+    injector: Injector,
+    op: albic_types::OperatorId,
+}
+
+impl SourceInjector {
+    /// Inject tuples into the bound source. Blocks while destination
+    /// worker queues are at capacity (backpressure to the producer).
+    pub fn inject(&self, tuples: impl IntoIterator<Item = Tuple>) {
+        self.injector.inject(self.op, tuples);
+    }
+
+    /// Tuples the runtime failed to deliver so far (see
+    /// [`Injector::dropped_so_far`]).
+    pub fn dropped_so_far(&self) -> u64 {
+        self.injector.dropped_so_far()
     }
 }
 
@@ -1054,6 +1111,23 @@ mod tests {
         // 10 at the source + 10 at the counter.
         assert!((report.stats.total_tuples - 20.0).abs() < 1e-9);
         assert_eq!(job.engine().topology().depth(), 1);
+        job.shutdown();
+    }
+
+    #[test]
+    fn runtime_config_reaches_the_engine() {
+        let job = Job::builder()
+            .pipeline([stage("events", 2, Identity), stage("count", 2, Counting)])
+            .nodes(1)
+            .runtime_config(RuntimeConfig {
+                batch_size: 5,
+                channel_capacity: 9,
+                ..RuntimeConfig::default()
+            })
+            .build_threaded()
+            .expect("valid job");
+        assert_eq!(job.engine().config().batch_size, 5);
+        assert_eq!(job.engine().config().channel_capacity, 9);
         job.shutdown();
     }
 

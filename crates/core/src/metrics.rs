@@ -84,6 +84,7 @@ mod tests {
             migration_pause_secs: pause,
             num_nodes: 2,
             marked_nodes: 0,
+            dropped_tuples: 0.0,
         }
     }
 

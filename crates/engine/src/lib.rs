@@ -27,9 +27,10 @@
 //!   paper-scale experiments (60 nodes, 1200 key groups, 90 periods) run
 //!   in milliseconds here.
 //! * [`runtime`] — a real multi-threaded runtime: one worker thread per
-//!   node, crossbeam channels for data and control, the full migration
-//!   protocol including buffering and replay. Examples and integration
-//!   tests run actual jobs on it.
+//!   node, a batched bounded data plane ([`runtime::RuntimeConfig`]) with
+//!   backpressure at the ingestion edge ([`runtime::Injector`]), and the
+//!   full migration protocol including buffering and replay. Examples and
+//!   integration tests run actual jobs on it.
 //! * [`substrate`] — the [`substrate::ReconfigEngine`] trait both execution
 //!   modes implement: the period lifecycle (`terminate_drained` /
 //!   `end_period` / `view` / `apply` / `history`) that controllers and
@@ -93,9 +94,9 @@ pub use migration::{Migration, MigrationReport};
 pub use operator::{Emissions, Operator, StateBox};
 pub use reconfig::{ClusterView, ReconfigPlan, ReconfigPolicy};
 pub use routing::RoutingTable;
-pub use runtime::Runtime;
+pub use runtime::{Injector, Runtime, RuntimeConfig};
 pub use sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
-pub use stats::PeriodStats;
+pub use stats::{NodePressure, PeriodStats};
 pub use substrate::{ApplyReport, FailedMigration, MigrationFailure, PeriodRecord, ReconfigEngine};
 pub use topology::{OperatorSpec, Topology, TopologyBuilder};
 pub use tuple::{Tuple, Value};

@@ -45,6 +45,14 @@ impl Emissions {
     pub fn drain(&mut self) -> Vec<Tuple> {
         std::mem::take(&mut self.tuples)
     }
+
+    /// Rebuild an emissions buffer around a recycled allocation — the
+    /// runtime's hot path reuses drained buffers instead of allocating a
+    /// fresh `Vec` per processed tuple.
+    pub fn from_buffer(mut tuples: Vec<Tuple>) -> Self {
+        tuples.clear();
+        Emissions { tuples }
+    }
 }
 
 /// User-defined operator logic.

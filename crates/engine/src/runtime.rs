@@ -1,9 +1,10 @@
-//! The multi-threaded runtime: one worker thread per node.
+//! The multi-threaded runtime: one worker thread per node, with a
+//! batched, backpressure-aware data plane.
 //!
-//! This is the "real" execution mode: tuples are individually routed,
+//! This is the "real" execution mode: tuples are routed by key group,
 //! processed against per-key-group state by user operator logic, and
-//! forwarded downstream over crossbeam channels. Reconfiguration runs the
-//! full direct state migration protocol of §3:
+//! forwarded downstream over channels. Reconfiguration runs the full
+//! direct state migration protocol of §3:
 //!
 //! 1. the routing table entry flips, so *new* tuples for the group go to
 //!    the destination worker;
@@ -14,21 +15,55 @@
 //! 5. tuples that still reach the source (in flight before the flip) are
 //!    forwarded per the routing table, so nothing is lost.
 //!
+//! # Data plane
+//!
+//! Tuples travel in `DataBatch` messages, never individually: each
+//! worker coalesces its outbound tuples into one pending batch per
+//! destination and flushes a batch when it reaches
+//! [`RuntimeConfig::batch_size`], when [`RuntimeConfig::flush_interval`]
+//! elapses while the worker is busy, when the worker goes idle, and
+//! always before acknowledging any control message (so barriers,
+//! migrations and statistics see exactly the same tuple flow an unbatched
+//! engine would). Batching is what lets the hand-off between worker
+//! threads approach hardware limits instead of being dominated by
+//! per-message channel overhead.
+//!
+//! Channels are *bounded* at [`RuntimeConfig::channel_capacity`] data
+//! batches by a per-worker credit gauge:
+//!
+//! * [`Runtime::inject`] (and every [`Injector`]) blocks while the
+//!   destination's queue is at capacity — backpressure propagates to the
+//!   external producer, which is the signal a source would see in a real
+//!   deployment;
+//! * worker→worker hand-off waits a bounded interval for capacity, then
+//!   overshoots (counting [`NodePressure::overflow`]) — workers must
+//!   never block each other indefinitely, or cyclic placements would
+//!   deadlock the data plane;
+//! * control messages are never gated, so reconfiguration cannot be
+//!   wedged by data pressure.
+//!
+//! Every worker exports per-period ingest/emit counters and its queue
+//! depth (current, peak, overflow) into [`PeriodStats::pressure`], so
+//! scaling policies observe *measured* pressure, and every undeliverable
+//! tuple is surfaced in [`PeriodStats::dropped_tuples`] instead of being
+//! silently discarded.
+//!
 //! Workers keep local [`StatsCollector`]s that are merged at period
 //! boundaries — the same statistics the simulator produces, so the
 //! reconfiguration policies cannot tell which substrate they run on. That
 //! promise is structural: the runtime implements the shared
-//! [`ReconfigEngine`] trait, including
-//! full plan execution — elastic scale-out spawns a worker thread per
-//! acquired node, scale-in marks nodes, and
-//! [`Runtime::terminate_drained`] joins a marked worker's thread once the
-//! balancer has migrated all of its key groups away.
+//! [`ReconfigEngine`] trait, including full plan execution — elastic
+//! scale-out spawns a worker thread per acquired node, scale-in marks
+//! nodes, and [`Runtime::terminate_drained`] joins a marked worker's
+//! thread once the balancer has migrated all of its key groups away.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::RwLock;
 
 use albic_types::{KeyGroupId, NodeId, OperatorId, PeriodClock};
@@ -39,12 +74,192 @@ use crate::migration::{Migration, MigrationReport};
 use crate::operator::{Emissions, StateBox};
 use crate::reconfig::{ClusterView, ReconfigPlan};
 use crate::routing::RoutingTable;
-use crate::stats::{PeriodStats, StatsCollector};
+use crate::stats::{FastMap, NodePressure, PeriodStats, StatsCollector};
 use crate::substrate::{
     ApplyReport, FailedMigration, MigrationFailure, PeriodRecord, ReconfigEngine,
 };
 use crate::topology::Topology;
 use crate::tuple::Tuple;
+
+/// Data-plane tuning of the threaded runtime. Thread through
+/// `Job::builder().runtime_config(..)` or [`Runtime::start_with_config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Maximum tuples per data batch. `1` degenerates to the
+    /// per-tuple data plane (the measured baseline of
+    /// `BENCH_runtime.json`).
+    pub batch_size: usize,
+    /// Maximum *data batches* queued per worker before senders feel
+    /// backpressure. Control messages are never gated.
+    pub channel_capacity: usize,
+    /// Maximum age of a pending outbound batch while a worker is busy;
+    /// idle workers and control barriers flush immediately.
+    pub flush_interval: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            batch_size: 64,
+            channel_capacity: 1024,
+            flush_interval: Duration::from_micros(200),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Clamp degenerate values (zero batch size / capacity) to 1.
+    fn normalized(mut self) -> Self {
+        self.batch_size = self.batch_size.max(1);
+        self.channel_capacity = self.channel_capacity.max(1);
+        self
+    }
+}
+
+/// How long a *worker* waits for capacity at a peer before overshooting.
+/// Workers must never block indefinitely — two mutually-full workers
+/// would deadlock — so this is a pacing delay, not a hard bound.
+const WORKER_SEND_PATIENCE: Duration = Duration::from_millis(5);
+/// Poll quantum while waiting for queue capacity (sleep, not spin: the
+/// receiver needs the CPU to drain).
+const PRESSURE_POLL: Duration = Duration::from_micros(100);
+/// How long an external [`Injector`] blocks on a full queue before
+/// overshooting one batch as a liveness escape (a healthy worker drains
+/// long before this; a dead one fails the send, which is then surfaced).
+const INJECT_PATIENCE: Duration = Duration::from_secs(1);
+/// Delivery attempts (with a fresh routing read each time) before an
+/// injected batch is counted as dropped.
+const INJECT_ATTEMPTS: usize = 3;
+
+/// A batch of routed tuples: the unit of worker-to-worker hand-off.
+type DataBatch = Vec<(OperatorId, KeyGroupId, Tuple)>;
+
+/// Per-worker inbox gauge: the credit counter that bounds the data plane,
+/// plus the pressure counters exported at period end.
+#[derive(Debug, Default)]
+struct WorkerGauge {
+    /// Data batches currently queued in the worker's inbox.
+    depth: AtomicUsize,
+    /// Largest `depth` observed since the last period collection.
+    peak_depth: AtomicUsize,
+    /// Batches enqueued past capacity after a bounded wait expired.
+    overflow: AtomicU64,
+}
+
+impl WorkerGauge {
+    fn enqueued(&self) {
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_depth.fetch_max(d, Ordering::Relaxed);
+    }
+
+    fn dequeued(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn at_capacity(&self, capacity: usize) -> bool {
+        self.depth.load(Ordering::Relaxed) >= capacity
+    }
+
+    /// Snapshot the period counters, resetting peak/overflow.
+    fn collect(&self) -> (usize, usize, u64) {
+        let depth = self.depth.load(Ordering::Relaxed);
+        let peak = self.peak_depth.swap(0, Ordering::Relaxed).max(depth);
+        let overflow = self.overflow.swap(0, Ordering::Relaxed);
+        (depth, peak, overflow)
+    }
+}
+
+type GaugeMap = Arc<RwLock<HashMap<NodeId, Arc<WorkerGauge>>>>;
+type SenderMap = Arc<RwLock<HashMap<NodeId, Sender<Msg>>>>;
+
+/// The live routing table plus a version stamp bumped on every mutation.
+/// Workers keep a lock-free local copy and re-clone only when the version
+/// moved: reconfigurations are rare, lookups happen per tuple, and a
+/// worker that briefly routes against the previous table is harmless —
+/// its tuples land on the group's former owner, which forwards them
+/// exactly like any other in-flight tuple (state only ever leaves a
+/// worker inside `Extract` handling, a control message, after which the
+/// worker's cache is refreshed before the next data tuple).
+struct RoutingShared {
+    table: RwLock<RoutingTable>,
+    version: AtomicU64,
+}
+
+/// The gated hand-off shared by the worker and injector send paths: wait
+/// up to `patience` for queue credit (re-checking that the destination is
+/// still published), overshoot with overflow accounting once patience
+/// expires, send, and return the batch if the destination is gone — the
+/// caller picks the loss policy (retry at the ingestion edge, a dropped
+/// counter inside a worker).
+fn send_gated(
+    senders: &SenderMap,
+    gauges: &GaugeMap,
+    capacity: usize,
+    patience: Duration,
+    dest: NodeId,
+    batch: DataBatch,
+) -> Result<(), DataBatch> {
+    let Some(sender) = senders.read().get(&dest).cloned() else {
+        return Err(batch);
+    };
+    let gauge = gauges.read().get(&dest).cloned();
+    if let Some(g) = &gauge {
+        let mut waited = Duration::ZERO;
+        while g.at_capacity(capacity) && waited < patience {
+            std::thread::sleep(PRESSURE_POLL);
+            waited += PRESSURE_POLL;
+            if !senders.read().contains_key(&dest) {
+                return Err(batch);
+            }
+        }
+        if g.at_capacity(capacity) {
+            g.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        g.enqueued();
+    }
+    match sender.send(Msg::DataBatch(batch)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            if let Some(g) = &gauge {
+                g.dequeued();
+            }
+            match e.0 {
+                Msg::DataBatch(batch) => Err(batch),
+                _ => Ok(()),
+            }
+        }
+    }
+}
+
+impl RoutingShared {
+    fn new(table: RoutingTable) -> Self {
+        RoutingShared {
+            table: RwLock::new(table),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn read(&self) -> impl std::ops::Deref<Target = RoutingTable> + '_ {
+        self.table.read()
+    }
+
+    fn snapshot(&self) -> RoutingTable {
+        self.table.read().clone()
+    }
+
+    fn node_of(&self, kg: KeyGroupId) -> NodeId {
+        self.table.read().node_of(kg)
+    }
+
+    fn reroute(&self, kg: KeyGroupId, to: NodeId) {
+        self.table.write().reroute(kg, to);
+        self.version.fetch_add(1, Ordering::Release);
+    }
+}
 
 /// What the migration source reports back through the `done` channel of a
 /// [`Msg::Extract`].
@@ -60,14 +275,17 @@ enum ExtractReply {
 
 /// Messages a worker can receive.
 enum Msg {
-    /// A data tuple for `(operator, key group)`.
-    Data {
-        op: OperatorId,
-        kg: KeyGroupId,
-        tuple: Tuple,
-    },
+    /// A batch of data tuples, each routed to `(operator, key group)`.
+    /// The only message kind gated by the channel-capacity gauge.
+    DataBatch(DataBatch),
     /// Start buffering tuples for a key group (migration destination).
-    PrepareReceive { kg: KeyGroupId },
+    /// `ack` fires once the buffer exists: the coordinator must not flip
+    /// the routing table before then, or the destination could process a
+    /// locally-emitted tuple for the group into a fresh "ghost" state
+    /// that the later [`Msg::Install`] would silently overwrite (a
+    /// same-worker emission never passes through the inbox, so queue
+    /// FIFO alone cannot order it behind the buffer window).
+    PrepareReceive { kg: KeyGroupId, ack: Sender<()> },
     /// Abort a pending [`Msg::PrepareReceive`]: the migration failed, so
     /// stop buffering and release any tuples caught in the window back
     /// into normal routing (migration destination).
@@ -87,12 +305,14 @@ enum Msg {
         bytes: Vec<u8>,
         done: Sender<ExtractReply>,
     },
-    /// FIFO barrier: reply as soon as this message is dequeued.
+    /// FIFO barrier: flush the outbox, then reply.
     Barrier(Sender<()>),
     /// Flush operator windows (period end).
     FlushWindows { ack: Sender<()> },
     /// Snapshot and reset the worker's statistics.
-    CollectStats { reply: Sender<StatsCollector> },
+    CollectStats {
+        reply: Sender<(NodeId, StatsCollector)>,
+    },
     /// Return the serialized state of a key group (diagnostics/tests).
     ProbeState {
         kg: KeyGroupId,
@@ -105,124 +325,221 @@ enum Msg {
 struct WorkerCtx {
     node: NodeId,
     topology: Arc<Topology>,
-    routing: Arc<RwLock<RoutingTable>>,
-    senders: Arc<RwLock<HashMap<NodeId, Sender<Msg>>>>,
+    routing: Arc<RoutingShared>,
+    /// Lock-free local copy of the routing table, refreshed when the
+    /// shared version moves (see [`RoutingShared`]).
+    routing_cache: RoutingTable,
+    routing_version: u64,
+    senders: SenderMap,
+    gauges: GaugeMap,
+    /// This worker's own inbox gauge (decremented on batch dequeue).
+    gauge: Arc<WorkerGauge>,
+    cfg: RuntimeConfig,
     inbox: Receiver<Msg>,
     /// Per-key-group operator state, keyed by global key-group id.
-    states: HashMap<u32, StateBox>,
+    /// Fast-hashed: looked up once per processed tuple.
+    states: FastMap<u32, StateBox>,
     /// Buffers for key groups mid-migration (destination side).
-    buffers: HashMap<u32, Vec<(OperatorId, Tuple)>>,
+    buffers: FastMap<u32, Vec<(OperatorId, Tuple)>>,
+    /// Pending outbound batch per destination worker.
+    outbox: FastMap<NodeId, DataBatch>,
+    /// When the oldest pending outbound tuple was enqueued.
+    oldest_pending: Option<Instant>,
+    /// Recycled emission buffers (one `Vec` allocation per processed
+    /// tuple otherwise).
+    emission_pool: Vec<Vec<Tuple>>,
     stats: StatsCollector,
 }
 
 impl WorkerCtx {
-    fn run(mut self) {
-        while let Ok(msg) = self.inbox.recv() {
+    /// The worker loop. Returns the inbox receiver so the coordinator
+    /// can park it in the graveyard: a sender that cloned this worker's
+    /// channel before it was unpublished may complete a send at any
+    /// later moment (its bounded backpressure wait can outlive the
+    /// drain below), and a batch that lands after the final `try_recv`
+    /// must not be destroyed with the channel — the graveyard is
+    /// re-drained at every settle/period boundary instead.
+    fn run(mut self) -> Receiver<Msg> {
+        loop {
+            // Drain without blocking; flush the outbox before sleeping so
+            // an idle worker never sits on a partial batch.
+            let msg = match self.inbox.try_recv() {
+                Ok(msg) => msg,
+                Err(TryRecvError::Empty) => {
+                    self.flush_outbox();
+                    match self.inbox.recv() {
+                        Ok(msg) => msg,
+                        Err(_) => break,
+                    }
+                }
+                Err(TryRecvError::Disconnected) => break,
+            };
+            if !self.handle(msg) {
+                break;
+            }
+            // Busy stream: cap the age of pending batches.
+            if let Some(t0) = self.oldest_pending {
+                if t0.elapsed() >= self.cfg.flush_interval {
+                    self.flush_outbox();
+                }
+            }
+        }
+        // Drain the inbox tail: a concurrent injector racing a scale-in
+        // can land a batch *behind* the Shutdown message (its Sender was
+        // cloned before the coordinator unpublished it). Those tuples
+        // must re-enter routing — their groups were drained off this
+        // node, so on_data forwards them — not be destroyed with the
+        // channel. Late barriers are acked so no quiescer can hang.
+        while let Ok(msg) = self.inbox.try_recv() {
             match msg {
-                Msg::Data { op, kg, tuple } => self.on_data(op, kg, tuple),
-                Msg::PrepareReceive { kg } => {
-                    self.buffers.entry(kg.raw()).or_default();
-                }
-                Msg::CancelReceive { kg } => {
-                    // Re-run anything buffered during the aborted window;
-                    // with the buffer gone, on_data forwards each tuple to
-                    // the group's (restored) owner instead of swallowing it.
-                    if let Some(buffered) = self.buffers.remove(&kg.raw()) {
-                        for (bop, tuple) in buffered {
-                            self.on_data(bop, kg, tuple);
-                        }
+                Msg::DataBatch(batch) => {
+                    self.gauge.dequeued();
+                    self.stats.record_ingest(batch.len() as f64);
+                    for (op, kg, tuple) in batch {
+                        self.on_data(op, kg, tuple);
                     }
-                }
-                Msg::Extract { kg, dest, done } => {
-                    let op = self.topology.operator_of_group(kg);
-                    let logic = Arc::clone(&self.topology.operator(op).logic);
-                    let state = self.states.remove(&kg.raw());
-                    // The state leaves this worker: drop the stale size so
-                    // the merged period stats only see the destination's
-                    // fresh measurement (stats.reset() keeps state sizes).
-                    self.stats.clear_state_bytes(kg);
-                    let bytes = match &state {
-                        Some(state) => logic.serialize_state(state),
-                        None => logic.serialize_state(&logic.new_state()),
-                    };
-                    let sender = self.senders.read().get(&dest).cloned();
-                    // A failed send returns the message, so `done` (and the
-                    // bytes) can be recovered instead of silently dropped.
-                    let undelivered = match sender {
-                        Some(s) => s
-                            .send(Msg::Install {
-                                kg,
-                                op,
-                                bytes,
-                                done,
-                            })
-                            .err()
-                            .map(|e| e.0),
-                        None => Some(Msg::Install {
-                            kg,
-                            op,
-                            bytes,
-                            done,
-                        }),
-                    };
-                    if let Some(Msg::Install { done, .. }) = undelivered {
-                        // The destination worker is unreachable: the state
-                        // never left this node, so keep serving it here and
-                        // tell the coordinator explicitly.
-                        if let Some(state) = state {
-                            self.states.insert(kg.raw(), state);
-                        }
-                        let _ = done.send(ExtractReply::DestinationGone);
-                    }
-                }
-                Msg::Install {
-                    kg,
-                    op,
-                    bytes,
-                    done,
-                } => {
-                    let logic = Arc::clone(&self.topology.operator(op).logic);
-                    let state = logic.deserialize_state(&bytes);
-                    self.states.insert(kg.raw(), state);
-                    let buffered = self.buffers.remove(&kg.raw()).unwrap_or_default();
-                    for (bop, tuple) in buffered {
-                        self.on_data(bop, kg, tuple);
-                    }
-                    let _ = done.send(ExtractReply::Installed {
-                        state_bytes: bytes.len(),
-                    });
                 }
                 Msg::Barrier(ack) => {
                     let _ = ack.send(());
                 }
-                Msg::FlushWindows { ack } => {
-                    self.flush_windows();
-                    let _ = ack.send(());
-                }
-                Msg::CollectStats { reply } => {
-                    let group_ids: Vec<u32> = self.states.keys().copied().collect();
-                    for g in group_ids {
-                        let kg = KeyGroupId::new(g);
-                        let op = self.topology.operator_of_group(kg);
-                        let logic = Arc::clone(&self.topology.operator(op).logic);
-                        if let Some(state) = self.states.get(&g) {
-                            self.stats
-                                .set_state_bytes(kg, logic.state_size(state) as f64);
-                        }
-                    }
-                    let snapshot = self.stats.clone();
-                    self.stats.reset();
-                    let _ = reply.send(snapshot);
-                }
-                Msg::ProbeState { kg, reply } => {
-                    let op = self.topology.operator_of_group(kg);
-                    let logic = Arc::clone(&self.topology.operator(op).logic);
-                    let bytes = self.states.get(&kg.raw()).map(|s| logic.serialize_state(s));
-                    let _ = reply.send(bytes);
-                }
-                Msg::Shutdown => break,
+                _ => {}
             }
         }
+        // Best-effort flush so a shutdown never strands coalesced tuples.
+        self.flush_outbox();
+        self.inbox
+    }
+
+    /// Handle one message; returns `false` on shutdown. Every control
+    /// message flushes the outbox first, so the data plane it observes is
+    /// exactly what an unbatched engine would have already sent.
+    fn handle(&mut self, msg: Msg) -> bool {
+        if !matches!(msg, Msg::DataBatch(_)) {
+            self.flush_outbox();
+        }
+        match msg {
+            Msg::DataBatch(batch) => {
+                self.gauge.dequeued();
+                self.stats.record_ingest(batch.len() as f64);
+                for (op, kg, tuple) in batch {
+                    self.on_data(op, kg, tuple);
+                }
+            }
+            Msg::PrepareReceive { kg, ack } => {
+                self.buffers.entry(kg.raw()).or_default();
+                let _ = ack.send(());
+            }
+            Msg::CancelReceive { kg } => {
+                // Re-run anything buffered during the aborted window;
+                // with the buffer gone, on_data forwards each tuple to
+                // the group's (restored) owner instead of swallowing it.
+                if let Some(buffered) = self.buffers.remove(&kg.raw()) {
+                    for (bop, tuple) in buffered {
+                        self.on_data(bop, kg, tuple);
+                    }
+                }
+            }
+            Msg::Extract { kg, dest, done } => {
+                let op = self.topology.operator_of_group(kg);
+                let logic = Arc::clone(&self.topology.operator(op).logic);
+                let state = self.states.remove(&kg.raw());
+                // The state leaves this worker: drop the stale size so
+                // the merged period stats only see the destination's
+                // fresh measurement (stats.reset() keeps state sizes).
+                self.stats.clear_state_bytes(kg);
+                let bytes = match &state {
+                    Some(state) => logic.serialize_state(state),
+                    None => logic.serialize_state(&logic.new_state()),
+                };
+                let sender = self.senders.read().get(&dest).cloned();
+                // A failed send returns the message, so `done` (and the
+                // bytes) can be recovered instead of silently dropped.
+                let undelivered = match sender {
+                    Some(s) => s
+                        .send(Msg::Install {
+                            kg,
+                            op,
+                            bytes,
+                            done,
+                        })
+                        .err()
+                        .map(|e| e.0),
+                    None => Some(Msg::Install {
+                        kg,
+                        op,
+                        bytes,
+                        done,
+                    }),
+                };
+                if let Some(Msg::Install { done, .. }) = undelivered {
+                    // The destination worker is unreachable: the state
+                    // never left this node, so keep serving it here and
+                    // tell the coordinator explicitly.
+                    if let Some(state) = state {
+                        self.states.insert(kg.raw(), state);
+                    }
+                    let _ = done.send(ExtractReply::DestinationGone);
+                }
+            }
+            Msg::Install {
+                kg,
+                op,
+                bytes,
+                done,
+            } => {
+                let logic = Arc::clone(&self.topology.operator(op).logic);
+                let state = logic.deserialize_state(&bytes);
+                self.states.insert(kg.raw(), state);
+                let buffered = self.buffers.remove(&kg.raw()).unwrap_or_default();
+                for (bop, tuple) in buffered {
+                    self.on_data(bop, kg, tuple);
+                }
+                let _ = done.send(ExtractReply::Installed {
+                    state_bytes: bytes.len(),
+                });
+            }
+            Msg::Barrier(ack) => {
+                let _ = ack.send(());
+            }
+            Msg::FlushWindows { ack } => {
+                self.flush_windows();
+                let _ = ack.send(());
+            }
+            Msg::CollectStats { reply } => {
+                let group_ids: Vec<u32> = self.states.keys().copied().collect();
+                for g in group_ids {
+                    let kg = KeyGroupId::new(g);
+                    let op = self.topology.operator_of_group(kg);
+                    let logic = Arc::clone(&self.topology.operator(op).logic);
+                    if let Some(state) = self.states.get(&g) {
+                        self.stats
+                            .set_state_bytes(kg, logic.state_size(state) as f64);
+                    }
+                }
+                let snapshot = self.stats.clone();
+                self.stats.reset();
+                let _ = reply.send((self.node, snapshot));
+            }
+            Msg::ProbeState { kg, reply } => {
+                let op = self.topology.operator_of_group(kg);
+                let logic = Arc::clone(&self.topology.operator(op).logic);
+                let bytes = self.states.get(&kg.raw()).map(|s| logic.serialize_state(s));
+                let _ = reply.send(bytes);
+            }
+            Msg::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Current owner of a key group, via the version-checked local copy
+    /// of the routing table (one atomic load per lookup, no lock).
+    fn owner_of(&mut self, kg: KeyGroupId) -> NodeId {
+        let v = self.routing.version();
+        if v != self.routing_version {
+            self.routing_cache = self.routing.snapshot();
+            self.routing_version = v;
+        }
+        self.routing_cache.node_of(kg)
     }
 
     fn on_data(&mut self, op: OperatorId, kg: KeyGroupId, tuple: Tuple) {
@@ -232,12 +549,9 @@ impl WorkerCtx {
             return;
         }
         // In-flight tuple for a group that moved away: forward it.
-        let owner = self.routing.read().node_of(kg);
+        let owner = self.owner_of(kg);
         if owner != self.node {
-            let sender = self.senders.read().get(&owner).cloned();
-            if let Some(s) = sender {
-                let _ = s.send(Msg::Data { op, kg, tuple });
-            }
+            self.enqueue_out(owner, op, kg, tuple);
             return;
         }
         self.process_local(op, kg, tuple);
@@ -249,7 +563,7 @@ impl WorkerCtx {
             .states
             .entry(kg.raw())
             .or_insert_with(|| logic.new_state());
-        let mut out = Emissions::new();
+        let mut out = Emissions::from_buffer(self.emission_pool.pop().unwrap_or_default());
         logic.process(&tuple, state, &mut out);
         self.stats.record_processed(kg, 1.0, logic.cost_per_tuple());
         self.dispatch(op, kg, out);
@@ -260,13 +574,13 @@ impl WorkerCtx {
         for g in group_ids {
             let kg = KeyGroupId::new(g);
             // Only flush groups this worker still owns.
-            if self.routing.read().node_of(kg) != self.node {
+            if self.owner_of(kg) != self.node {
                 continue;
             }
             let op = self.topology.operator_of_group(kg);
             let logic = Arc::clone(&self.topology.operator(op).logic);
             if let Some(state) = self.states.get_mut(&g) {
-                let mut out = Emissions::new();
+                let mut out = Emissions::from_buffer(self.emission_pool.pop().unwrap_or_default());
                 logic.on_period_end(state, &mut out);
                 self.dispatch(op, kg, out);
             }
@@ -275,30 +589,201 @@ impl WorkerCtx {
 
     /// Route emissions of (`op`, `from_kg`) to all downstream operators.
     fn dispatch(&mut self, op: OperatorId, from_kg: KeyGroupId, mut out: Emissions) {
-        if out.is_empty() {
-            return;
-        }
-        let tuples = out.drain();
-        let downstream: Vec<OperatorId> = self.topology.downstream(op).to_vec();
-        for dop in downstream {
-            for tuple in &tuples {
-                let dkg = self.topology.group_for_key(dop, tuple.key);
-                let dest = self.routing.read().node_of(dkg);
-                let crossed = dest != self.node;
-                self.stats.record_comm(from_kg, dkg, 1.0, crossed);
-                if crossed {
-                    let sender = self.senders.read().get(&dest).cloned();
-                    if let Some(s) = sender {
-                        let _ = s.send(Msg::Data {
-                            op: dop,
-                            kg: dkg,
-                            tuple: tuple.clone(),
-                        });
+        let mut tuples = out.drain();
+        if !tuples.is_empty() {
+            // Borrow the topology through a cloned Arc so the downstream
+            // list needs no per-dispatch Vec allocation.
+            let topology = Arc::clone(&self.topology);
+            for &dop in topology.downstream(op) {
+                for tuple in &tuples {
+                    let dkg = self.topology.group_for_key(dop, tuple.key);
+                    let dest = self.owner_of(dkg);
+                    let crossed = dest != self.node;
+                    self.stats.record_comm(from_kg, dkg, 1.0, crossed);
+                    if crossed {
+                        self.enqueue_out(dest, dop, dkg, tuple.clone());
+                    } else {
+                        self.on_data(dop, dkg, tuple.clone());
                     }
-                } else {
-                    self.on_data(dop, dkg, tuple.clone());
                 }
             }
+        }
+        // Recycle the allocation for the next processed tuple.
+        if tuples.capacity() > 0 && self.emission_pool.len() < 16 {
+            tuples.clear();
+            self.emission_pool.push(tuples);
+        }
+    }
+
+    /// Coalesce one outbound tuple into the pending batch for `dest`;
+    /// flush when the batch is full.
+    fn enqueue_out(&mut self, dest: NodeId, op: OperatorId, kg: KeyGroupId, tuple: Tuple) {
+        let batch = self.outbox.entry(dest).or_default();
+        batch.push((op, kg, tuple));
+        self.oldest_pending.get_or_insert_with(Instant::now);
+        if batch.len() >= self.cfg.batch_size {
+            let batch = self.outbox.remove(&dest).unwrap_or_default();
+            self.send_batch(dest, batch);
+        }
+    }
+
+    /// Flush every pending outbound batch.
+    fn flush_outbox(&mut self) {
+        self.oldest_pending = None;
+        if self.outbox.is_empty() {
+            return;
+        }
+        let dests: Vec<NodeId> = self.outbox.keys().copied().collect();
+        for dest in dests {
+            if let Some(batch) = self.outbox.remove(&dest) {
+                if !batch.is_empty() {
+                    self.send_batch(dest, batch);
+                }
+            }
+        }
+    }
+
+    /// Hand a batch to a peer worker, waiting a bounded interval for
+    /// queue capacity. Workers never block indefinitely (two mutually
+    /// full workers would deadlock); after `WORKER_SEND_PATIENCE` the
+    /// batch overshoots the capacity and the overflow is counted in the
+    /// pressure signal. Undeliverable batches are counted as dropped,
+    /// never silently discarded.
+    fn send_batch(&mut self, dest: NodeId, batch: DataBatch) {
+        let n = batch.len() as f64;
+        // Emit vs dropped is resolved by the hand-off outcome: a tuple
+        // never appears in both counters.
+        match send_gated(
+            &self.senders,
+            &self.gauges,
+            self.cfg.channel_capacity,
+            WORKER_SEND_PATIENCE,
+            dest,
+            batch,
+        ) {
+            Ok(()) => self.stats.record_emit(n),
+            Err(_) => self.stats.record_dropped(n),
+        }
+    }
+}
+
+/// A cloneable, thread-safe handle for injecting external tuples into a
+/// running [`Runtime`] — the ingestion edge of the data plane. Obtained
+/// via [`Runtime::injector`]; multiple producer threads may inject
+/// concurrently.
+///
+/// Injection batches tuples per destination worker and *blocks* while a
+/// destination's queue is at [`RuntimeConfig::channel_capacity`]: this is
+/// where backpressure reaches the producer. Tuples whose destination
+/// worker is gone are retried against a fresh routing read (the group may
+/// have migrated) and, failing that, counted in
+/// [`PeriodStats::dropped_tuples`] — never silently discarded.
+#[derive(Clone)]
+pub struct Injector {
+    topology: Arc<Topology>,
+    routing: Arc<RoutingShared>,
+    senders: SenderMap,
+    gauges: GaugeMap,
+    dropped: Arc<AtomicU64>,
+    cfg: RuntimeConfig,
+}
+
+impl Injector {
+    /// Inject external tuples into a source operator. Tuples are routed
+    /// by key to the hosting worker of their key group, coalesced into
+    /// batches of [`RuntimeConfig::batch_size`]. Blocks while destination
+    /// queues are at capacity.
+    ///
+    /// Tuples are bucketed in chunks under one routing read each, and the
+    /// lock is always released before a (potentially blocking) delivery —
+    /// backpressure never stalls a concurrent reconfiguration. A tuple
+    /// routed against a just-outdated table is forwarded by its receiving
+    /// worker, so chunked reads cannot lose anything.
+    pub fn inject(&self, op: OperatorId, tuples: impl IntoIterator<Item = Tuple>) {
+        // Few destinations (one per node): a linear-scan Vec beats
+        // hashing on this per-tuple path.
+        let mut buckets: Vec<(NodeId, DataBatch)> = Vec::new();
+        let mut chunk: Vec<(KeyGroupId, Tuple)> = Vec::with_capacity(self.cfg.batch_size);
+        let mut iter = tuples.into_iter();
+        loop {
+            // Pull a chunk from the caller's iterator *outside* the
+            // routing lock — user code (e.g. an iterator blocking on a
+            // socket) must never stall a concurrent reconfiguration.
+            chunk.clear();
+            for tuple in iter.by_ref().take(self.cfg.batch_size) {
+                chunk.push((self.topology.group_for_key(op, tuple.key), tuple));
+            }
+            let consumed = chunk.len();
+            if consumed > 0 {
+                let routing = self.routing.read();
+                for (kg, tuple) in chunk.drain(..) {
+                    let node = routing.node_of(kg);
+                    match buckets.iter_mut().find(|(n, _)| *n == node) {
+                        Some((_, batch)) => batch.push((op, kg, tuple)),
+                        None => buckets.push((node, vec![(op, kg, tuple)])),
+                    }
+                }
+            }
+            for (node, batch) in &mut buckets {
+                if batch.len() >= self.cfg.batch_size {
+                    self.deliver(*node, std::mem::take(batch), INJECT_ATTEMPTS);
+                }
+            }
+            if consumed < self.cfg.batch_size {
+                break;
+            }
+        }
+        for (node, batch) in buckets {
+            if !batch.is_empty() {
+                self.deliver(node, batch, INJECT_ATTEMPTS);
+            }
+        }
+    }
+
+    /// Tuples this injector's runtime failed to deliver so far (folded
+    /// into the next period's [`PeriodStats::dropped_tuples`]).
+    pub fn dropped_so_far(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Backpressure: block while the destination is at capacity. The
+    /// worker drains continuously, so a healthy queue dips below capacity
+    /// quickly; a vanished worker is detected by the aliveness re-check
+    /// or, at the latest, by the failing send after the patience window.
+    fn deliver(&self, dest: NodeId, batch: DataBatch, attempts: usize) {
+        if let Err(batch) = send_gated(
+            &self.senders,
+            &self.gauges,
+            self.cfg.channel_capacity,
+            INJECT_PATIENCE,
+            dest,
+            batch,
+        ) {
+            self.retry_or_drop(batch, attempts);
+        }
+    }
+
+    /// A delivery failed: re-bucket the batch against a fresh routing
+    /// read (its groups may have migrated, or their host drained) and try
+    /// again; once attempts are exhausted, count the loss.
+    fn retry_or_drop(&self, batch: DataBatch, attempts: usize) {
+        if attempts == 0 {
+            self.dropped
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            return;
+        }
+        let mut rebucketed: HashMap<NodeId, DataBatch> = HashMap::new();
+        {
+            let routing = self.routing.read();
+            for (op, kg, tuple) in batch {
+                rebucketed
+                    .entry(routing.node_of(kg))
+                    .or_default()
+                    .push((op, kg, tuple));
+            }
+        }
+        for (node, b) in rebucketed {
+            self.deliver(node, b, attempts - 1);
         }
     }
 }
@@ -306,37 +791,65 @@ impl WorkerCtx {
 /// Handle to a running multi-threaded engine.
 pub struct Runtime {
     topology: Arc<Topology>,
-    routing: Arc<RwLock<RoutingTable>>,
-    senders: Arc<RwLock<HashMap<NodeId, Sender<Msg>>>>,
-    handles: Vec<(NodeId, JoinHandle<()>)>,
+    routing: Arc<RoutingShared>,
+    senders: SenderMap,
+    gauges: GaugeMap,
+    handles: Vec<(NodeId, JoinHandle<Receiver<Msg>>)>,
     cluster: Cluster,
     cost: CostModel,
+    cfg: RuntimeConfig,
     clock: PeriodClock,
     history: Vec<PeriodRecord>,
+    /// Tuples [`Runtime::inject`]/[`Injector`]s failed to deliver since
+    /// the last period collection.
+    inject_dropped: Arc<AtomicU64>,
+    /// Inbox receivers of terminated workers. A sender that cloned a
+    /// worker's channel before it was unpublished can complete a send
+    /// arbitrarily late (its backpressure wait can outlive the worker's
+    /// final drain); keeping the receiver alive means such a batch lands
+    /// here instead of being destroyed, and [`Runtime::drain_graveyard`]
+    /// re-routes it at the next settle/period boundary.
+    graveyard: Vec<Receiver<Msg>>,
     /// Barrier rounds [`Runtime::settle`] runs: enough for a tuple to
     /// traverse the whole topology (with margin), derived from its depth.
     settle_rounds: usize,
 }
 
 impl Runtime {
-    /// Spawn one worker per cluster node with the given initial routing.
+    /// Spawn one worker per cluster node with the given initial routing
+    /// and the default [`RuntimeConfig`].
     pub fn start(
         topology: Topology,
         cluster: Cluster,
         routing: RoutingTable,
         cost: CostModel,
     ) -> Runtime {
+        Runtime::start_with_config(topology, cluster, routing, cost, RuntimeConfig::default())
+    }
+
+    /// [`Runtime::start`] with explicit data-plane tuning.
+    pub fn start_with_config(
+        topology: Topology,
+        cluster: Cluster,
+        routing: RoutingTable,
+        cost: CostModel,
+        cfg: RuntimeConfig,
+    ) -> Runtime {
         assert_eq!(routing.len() as u32, topology.num_key_groups());
         let settle_rounds = 2 * (topology.depth() + 1);
         let mut rt = Runtime {
             topology: Arc::new(topology),
-            routing: Arc::new(RwLock::new(routing)),
+            routing: Arc::new(RoutingShared::new(routing)),
             senders: Arc::new(RwLock::new(HashMap::new())),
+            gauges: Arc::new(RwLock::new(HashMap::new())),
             handles: Vec::new(),
             cluster,
             cost,
+            cfg: cfg.normalized(),
             clock: PeriodClock::new(),
             history: Vec::new(),
+            inject_dropped: Arc::new(AtomicU64::new(0)),
+            graveyard: Vec::new(),
             settle_rounds,
         };
         let nodes: Vec<NodeId> = rt.cluster.nodes().iter().map(|n| n.id).collect();
@@ -360,15 +873,30 @@ impl Runtime {
     /// route to the new node immediately.
     fn spawn_worker_thread(&mut self, node: NodeId) {
         let (tx, rx) = unbounded();
+        let gauge = Arc::new(WorkerGauge::default());
         self.senders.write().insert(node, tx);
+        self.gauges.write().insert(node, Arc::clone(&gauge));
+        // Read the version *before* the snapshot: a reroute landing in
+        // between leaves a fresh table under a stale version, which the
+        // next lookup simply refreshes again.
+        let routing_version = self.routing.version();
+        let routing_cache = self.routing.snapshot();
         let ctx = WorkerCtx {
             node,
             topology: Arc::clone(&self.topology),
             routing: Arc::clone(&self.routing),
+            routing_cache,
+            routing_version,
             senders: Arc::clone(&self.senders),
+            gauges: Arc::clone(&self.gauges),
+            gauge,
+            cfg: self.cfg,
             inbox: rx,
-            states: HashMap::new(),
-            buffers: HashMap::new(),
+            states: FastMap::default(),
+            buffers: FastMap::default(),
+            outbox: FastMap::default(),
+            oldest_pending: None,
+            emission_pool: Vec::new(),
             stats: StatsCollector::new(),
         };
         let handle = std::thread::Builder::new()
@@ -403,30 +931,88 @@ impl Runtime {
         &self.cost
     }
 
+    /// The data-plane configuration this runtime was started with.
+    pub fn config(&self) -> RuntimeConfig {
+        self.cfg
+    }
+
     /// Snapshot of the routing table.
     pub fn routing_snapshot(&self) -> RoutingTable {
-        self.routing.read().clone()
+        self.routing.snapshot()
+    }
+
+    /// A cloneable handle for injecting tuples from any thread (see
+    /// [`Injector`] for the batching/backpressure semantics).
+    pub fn injector(&self) -> Injector {
+        Injector {
+            topology: Arc::clone(&self.topology),
+            routing: Arc::clone(&self.routing),
+            senders: Arc::clone(&self.senders),
+            gauges: Arc::clone(&self.gauges),
+            dropped: Arc::clone(&self.inject_dropped),
+            cfg: self.cfg,
+        }
     }
 
     /// Inject external tuples into a source operator. Tuples are routed by
-    /// key to the hosting worker of their key group.
+    /// key to the hosting worker of their key group, in batches; blocks
+    /// while destination queues are at capacity (backpressure).
     pub fn inject(&self, op: OperatorId, tuples: impl IntoIterator<Item = Tuple>) {
-        let senders = self.senders.read();
-        let routing = self.routing.read();
-        for tuple in tuples {
-            let kg = self.topology.group_for_key(op, tuple.key);
-            let node = routing.node_of(kg);
-            if let Some(s) = senders.get(&node) {
-                let _ = s.send(Msg::Data { op, kg, tuple });
+        self.injector().inject(op, tuples);
+    }
+
+    /// Recover batches that landed in a terminated worker's channel
+    /// after its final drain: re-route them to the groups' current
+    /// owners (counting anything undeliverable), and ack any late
+    /// barrier so no quiescer can hang. Called at every settle and
+    /// period boundary; receivers stay parked so arbitrarily late sends
+    /// are still caught next time.
+    fn drain_graveyard(&mut self) {
+        for i in 0..self.graveyard.len() {
+            while let Ok(msg) = self.graveyard[i].try_recv() {
+                match msg {
+                    Msg::DataBatch(batch) => {
+                        let mut rebucketed: FastMap<NodeId, DataBatch> = FastMap::default();
+                        {
+                            let routing = self.routing.read();
+                            for (op, kg, tuple) in batch {
+                                rebucketed
+                                    .entry(routing.node_of(kg))
+                                    .or_default()
+                                    .push((op, kg, tuple));
+                            }
+                        }
+                        for (node, b) in rebucketed {
+                            let n = b.len() as u64;
+                            if send_gated(
+                                &self.senders,
+                                &self.gauges,
+                                self.cfg.channel_capacity,
+                                WORKER_SEND_PATIENCE,
+                                node,
+                                b,
+                            )
+                            .is_err()
+                            {
+                                self.inject_dropped.fetch_add(n, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Msg::Barrier(ack) => {
+                        let _ = ack.send(());
+                    }
+                    _ => {}
+                }
             }
         }
     }
 
     /// Wait until all workers have drained everything enqueued so far.
     ///
-    /// One round = a FIFO barrier on every worker. Cross-worker forwarding
-    /// re-enqueues tuples, so `rounds` must be at least the topology depth
-    /// (number of operator hops) plus one.
+    /// One round = a FIFO barrier on every worker; a worker flushes its
+    /// pending outbound batches before acknowledging. Cross-worker
+    /// forwarding re-enqueues tuples, so `rounds` must be at least the
+    /// topology depth (number of operator hops) plus one.
     pub fn quiesce(&self, rounds: usize) {
         for _ in 0..rounds.max(1) {
             let senders: Vec<Sender<Msg>> = self.senders.read().values().cloned().collect();
@@ -445,8 +1031,12 @@ impl Runtime {
     }
 
     /// End the current statistics period: flush windows, collect and merge
-    /// worker statistics, and return the period snapshot.
+    /// worker statistics (including the per-worker pressure signal), and
+    /// return the period snapshot.
     pub fn end_period(&mut self) -> PeriodStats {
+        // Recover anything a late sender parked in a dead worker's
+        // channel before measuring.
+        self.drain_graveyard();
         let senders: Vec<Sender<Msg>> = self.senders.read().values().cloned().collect();
         // Flush windows and wait.
         let (ack_tx, ack_rx) = unbounded();
@@ -467,7 +1057,8 @@ impl Runtime {
         // Window emissions may hop across workers: settle them.
         self.quiesce(3);
 
-        // Collect stats.
+        // Collect stats, tracking which worker each snapshot came from so
+        // the per-node pressure signal survives the merge.
         let (reply_tx, reply_rx) = unbounded();
         let mut expected = 0;
         for s in &senders {
@@ -481,15 +1072,37 @@ impl Runtime {
         }
         drop(reply_tx);
         let mut merged = StatsCollector::new();
+        let mut pressure: HashMap<NodeId, NodePressure> = HashMap::new();
         for _ in 0..expected {
-            if let Ok(c) = reply_rx.recv() {
+            if let Ok((node, c)) = reply_rx.recv() {
+                pressure.insert(
+                    node,
+                    NodePressure {
+                        ingested: c.ingested,
+                        emitted: c.emitted,
+                        dropped: c.dropped,
+                        ..Default::default()
+                    },
+                );
                 merged.merge(&c);
             }
         }
+        for (node, gauge) in self.gauges.read().iter() {
+            let (depth, peak, overflow) = gauge.collect();
+            let entry = pressure.entry(*node).or_default();
+            entry.queue_depth = depth;
+            entry.peak_queue_depth = peak;
+            entry.overflow = overflow;
+        }
+        // Losses at the ingestion edge (no worker collector saw them).
+        let injected_lost = self.inject_dropped.swap(0, Ordering::Relaxed);
+        merged.record_dropped(injected_lost as f64);
 
         let period = self.clock.advance();
         let allocation = self.routing.read().assignment().to_vec();
-        let stats = PeriodStats::compute(period, &merged, allocation, &self.cluster, &self.cost);
+        let mut stats =
+            PeriodStats::compute(period, &merged, allocation, &self.cluster, &self.cost);
+        stats.pressure = pressure;
         self.history.push(PeriodRecord {
             period: period.index(),
             load_distance: stats.load_distance(&self.cluster),
@@ -501,6 +1114,7 @@ impl Runtime {
             migration_pause_secs: 0.0,
             num_nodes: self.cluster.len(),
             marked_nodes: self.cluster.marked().count(),
+            dropped_tuples: stats.dropped_tuples,
         });
         stats
     }
@@ -515,11 +1129,12 @@ impl Runtime {
     ///
     /// The protocol surfaces worker failures; it is not crash-*tolerant*:
     /// a worker thread dying outside the controlled drain lifecycle is a
-    /// bug, and tuples in flight to such a worker are dropped.
+    /// bug, and tuples in flight to such a worker are dropped (and
+    /// counted in [`PeriodStats::dropped_tuples`]).
     pub fn migrate(&mut self, migrations: &[Migration]) -> ApplyReport {
         let mut report = ApplyReport::default();
         for &Migration { group, to } in migrations {
-            let from = self.routing.read().node_of(group);
+            let from = self.routing.node_of(group);
             if from == to {
                 continue;
             }
@@ -551,10 +1166,27 @@ impl Runtime {
                 continue;
             };
 
-            // 1. Redirect new tuples; 2. destination buffers; 3-5. extract,
-            // ship, install, replay — `done` fires after replay.
-            let _ = dst.send(Msg::PrepareReceive { kg: group });
-            self.routing.write().reroute(group, to);
+            // 1. Destination buffers (the ack proves the buffer exists
+            // *before* anyone can observe the flipped routing — see
+            // [`Msg::PrepareReceive`]); 2. redirect new tuples; 3-5.
+            // extract, ship, install, replay — `done` fires after replay.
+            let (prep_tx, prep_rx) = unbounded();
+            if dst
+                .send(Msg::PrepareReceive {
+                    kg: group,
+                    ack: prep_tx,
+                })
+                .is_err()
+                || prep_rx.recv().is_err()
+            {
+                // The destination died before the buffer window opened;
+                // routing was never touched, the source keeps serving.
+                report
+                    .failed
+                    .push(fail(MigrationFailure::DestinationUnavailable));
+                continue;
+            }
+            self.routing.reroute(group, to);
             let (done_tx, done_rx) = unbounded();
             if src
                 .send(Msg::Extract {
@@ -564,7 +1196,7 @@ impl Runtime {
                 })
                 .is_err()
             {
-                self.routing.write().reroute(group, from);
+                self.routing.reroute(group, from);
                 let _ = dst.send(Msg::CancelReceive { kg: group });
                 report
                     .failed
@@ -585,7 +1217,7 @@ impl Runtime {
                     // The source kept the state; point routing back at it
                     // and abort the destination's buffering window (a
                     // no-op if the destination really is dead).
-                    self.routing.write().reroute(group, from);
+                    self.routing.reroute(group, from);
                     let _ = dst.send(Msg::CancelReceive { kg: group });
                     report
                         .failed
@@ -596,7 +1228,7 @@ impl Runtime {
                     // panicked mid-protocol and the state's location is
                     // unknown. Restore routing to the source (the only
                     // holder in every non-panic path) and surface it.
-                    self.routing.write().reroute(group, from);
+                    self.routing.reroute(group, from);
                     let _ = dst.send(Msg::CancelReceive { kg: group });
                     report.failed.push(fail(MigrationFailure::ProtocolAborted));
                 }
@@ -654,12 +1286,17 @@ impl Runtime {
         for &node in &drained {
             // Unpublish first so no worker can clone the sender afterwards.
             let sender = self.senders.write().remove(&node);
+            self.gauges.write().remove(&node);
             if let Some(s) = sender {
                 let _ = s.send(Msg::Shutdown);
             }
             if let Some(pos) = self.handles.iter().position(|(id, _)| *id == node) {
                 let (_, handle) = self.handles.remove(pos);
-                let _ = handle.join();
+                if let Ok(rx) = handle.join() {
+                    // Keep the dead worker's channel: a late send from a
+                    // pre-unpublish sender clone may still land in it.
+                    self.graveyard.push(rx);
+                }
             }
             self.cluster.terminate(node);
         }
@@ -668,7 +1305,7 @@ impl Runtime {
 
     /// Serialized state of one key group, fetched from its hosting worker.
     pub fn probe_state(&self, kg: KeyGroupId) -> Option<Vec<u8>> {
-        let node = self.routing.read().node_of(kg);
+        let node = self.routing.node_of(kg);
         let sender = self.senders.read().get(&node).cloned()?;
         let (tx, rx) = unbounded();
         sender.send(Msg::ProbeState { kg, reply: tx }).ok()?;
@@ -709,7 +1346,11 @@ impl Runtime {
 impl ReconfigEngine for Runtime {
     /// Quiesce until every tuple injected so far has fully traversed the
     /// topology (the barrier-round count is derived from its depth).
+    /// Batches recovered from terminated workers' channels re-enter
+    /// routing first, so they are settled and measured like any other
+    /// in-flight tuple.
     fn settle(&mut self) {
+        self.drain_graveyard();
         self.quiesce(self.settle_rounds);
     }
 
@@ -744,14 +1385,27 @@ mod tests {
     use crate::topology::TopologyBuilder;
     use crate::tuple::{hash_key, Value};
 
-    fn two_op_runtime(nodes: usize) -> (Runtime, OperatorId, OperatorId) {
+    fn two_op_topology() -> (Topology, OperatorId, OperatorId) {
         let mut b = TopologyBuilder::new();
         let src = b.source("src", 4, Arc::new(Identity));
         let cnt = b.operator("count", 4, Arc::new(Counting));
         b.edge(src, cnt);
-        let topology = b.build().unwrap();
+        (b.build().unwrap(), src, cnt)
+    }
+
+    fn two_op_runtime(nodes: usize) -> (Runtime, OperatorId, OperatorId) {
+        two_op_runtime_config(nodes, RuntimeConfig::default())
+    }
+
+    fn two_op_runtime_config(
+        nodes: usize,
+        cfg: RuntimeConfig,
+    ) -> (Runtime, OperatorId, OperatorId) {
+        let (topology, src, cnt) = two_op_topology();
         let cluster = Cluster::homogeneous(nodes);
-        let rt = Runtime::with_round_robin(topology, cluster, CostModel::default());
+        let nodes: Vec<NodeId> = cluster.nodes().iter().map(|n| n.id).collect();
+        let routing = RoutingTable::round_robin(topology.num_key_groups(), &nodes);
+        let rt = Runtime::start_with_config(topology, cluster, routing, CostModel::default(), cfg);
         (rt, src, cnt)
     }
 
@@ -771,6 +1425,66 @@ mod tests {
             stats.total_tuples
         );
         assert!(stats.comm_tuples >= 100.0);
+        assert_eq!(stats.dropped_tuples, 0.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn batch_size_one_and_tiny_capacity_lose_nothing() {
+        // The degenerate per-tuple configuration and a deliberately
+        // starved channel both deliver the exact multiset.
+        for cfg in [
+            RuntimeConfig {
+                batch_size: 1,
+                ..Default::default()
+            },
+            RuntimeConfig {
+                batch_size: 8,
+                channel_capacity: 2,
+                ..Default::default()
+            },
+        ] {
+            let (mut rt, src, _) = two_op_runtime_config(2, cfg);
+            rt.inject(
+                src,
+                (0..300).map(|i| Tuple::keyed(&(i % 10), Value::Int(i), i as u64)),
+            );
+            rt.quiesce(4);
+            let stats = rt.end_period();
+            assert!(
+                (stats.total_tuples - 600.0).abs() < 1e-9,
+                "cfg {cfg:?}: {}",
+                stats.total_tuples
+            );
+            assert_eq!(stats.dropped_tuples, 0.0, "cfg {cfg:?}");
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn pressure_signal_reports_ingest_emit_and_depth() {
+        // 3 nodes: a key's source group (h%4) and counter group (4+h%4)
+        // land on different nodes, so the src→cnt hop crosses workers.
+        let (mut rt, src, _) = two_op_runtime(3);
+        rt.inject(
+            src,
+            (0..200).map(|i| Tuple::keyed(&(i % 10), Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        let stats = rt.end_period();
+        assert_eq!(stats.pressure.len(), 3, "one pressure entry per worker");
+        let ingested: f64 = stats.pressure.values().map(|p| p.ingested).sum();
+        let emitted: f64 = stats.pressure.values().map(|p| p.emitted).sum();
+        // Every injected tuple is ingested at least once; forwarded ones
+        // again at their destination.
+        assert!(ingested >= 200.0, "ingested {ingested}");
+        assert!(emitted > 0.0, "cross-worker traffic must be counted");
+        // Quiesced: nothing left in any queue.
+        assert_eq!(stats.max_queue_depth(), 0);
+        // Counters reset between periods.
+        let stats2 = rt.end_period();
+        let ingested2: f64 = stats2.pressure.values().map(|p| p.ingested).sum();
+        assert_eq!(ingested2, 0.0);
         rt.shutdown();
     }
 
@@ -884,6 +1598,7 @@ mod tests {
         assert_eq!(rt.history()[0].period, 0);
         assert_eq!(rt.history()[0].num_nodes, 2);
         assert!(rt.history()[0].total_system_load > 0.0);
+        assert_eq!(rt.history()[0].dropped_tuples, 0.0);
         // Resident state persists, but the second period saw no traffic.
         assert_eq!(rt.history()[1].period, 1);
         assert!(rt.history()[1].total_system_load <= rt.history()[0].total_system_load);
@@ -1018,6 +1733,100 @@ mod tests {
         let mut arr = [0u8; 8];
         arr.copy_from_slice(&bytes[..8]);
         assert_eq!(u64::from_le_bytes(arr), 40, "no tuples lost");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn undeliverable_tuples_are_counted_not_silently_dropped() {
+        // Regression test for the old `let _ = s.send(..)` silent drop:
+        // tuples aimed at a dead worker must show up in the period's
+        // dropped counter, on both the ingestion edge (inject) and the
+        // worker forwarding edge (dispatch).
+        let (mut rt, src, cnt) = two_op_runtime(3);
+        // Find a key whose source group and counter group live on
+        // *different* nodes, so the src→cnt hop crosses workers.
+        let (key, src_node, cnt_node) = (0..200i32)
+            .find_map(|k| {
+                let h = hash_key(&k);
+                let skg = rt.topology().group_for_key(src, h);
+                let ckg = rt.topology().group_for_key(cnt, h);
+                let routing = rt.routing_snapshot();
+                let (a, b) = (routing.node_of(skg), routing.node_of(ckg));
+                (a != b).then_some((k, a, b))
+            })
+            .expect("round-robin must split some key across nodes");
+
+        // Kill the counter-side worker: the source worker's forwarded
+        // batch cannot be delivered.
+        rt.sever_worker(cnt_node);
+        rt.inject(
+            src,
+            (0..10).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        rt.quiesce(2);
+        let stats = rt.end_period();
+        assert!(
+            stats.dropped_tuples >= 10.0,
+            "forwarded tuples to the dead worker must be counted, got {}",
+            stats.dropped_tuples
+        );
+        assert_eq!(
+            rt.history().last().unwrap().dropped_tuples,
+            stats.dropped_tuples
+        );
+
+        // Ingestion edge: injecting straight at a group hosted on the dead
+        // worker exhausts the retry attempts and is counted too.
+        let src_on_dead = src_node == cnt_node;
+        assert!(!src_on_dead);
+        let dead_key = (0..200i32)
+            .find(|k| {
+                let skg = rt.topology().group_for_key(src, hash_key(k));
+                rt.routing_snapshot().node_of(skg) == cnt_node
+            })
+            .expect("some source group lives on the severed node");
+        rt.inject(
+            src,
+            (0..5).map(|i| Tuple::keyed(&dead_key, Value::Int(i), i as u64)),
+        );
+        let stats = rt.end_period();
+        assert!(
+            stats.dropped_tuples >= 5.0,
+            "injected tuples to the dead worker must be counted, got {}",
+            stats.dropped_tuples
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrent_injectors_deliver_every_tuple() {
+        let (mut rt, src, _) = two_op_runtime(2);
+        let threads = 4;
+        let per_thread = 500i64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let inj = rt.injector();
+                std::thread::spawn(move || {
+                    inj.inject(
+                        src,
+                        (0..per_thread)
+                            .map(|i| Tuple::keyed(&(i % 16), Value::Int(t * per_thread + i), 0)),
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        rt.quiesce(4);
+        let stats = rt.end_period();
+        let expected = (threads * per_thread * 2) as f64; // src + cnt
+        assert!(
+            (stats.total_tuples - expected).abs() < 1e-9,
+            "expected {expected}, got {}",
+            stats.total_tuples
+        );
+        assert_eq!(stats.dropped_tuples, 0.0);
         rt.shutdown();
     }
 

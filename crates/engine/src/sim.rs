@@ -136,6 +136,7 @@ impl<W: WorkloadModel> SimEngine<W> {
             migration_pause_secs: 0.0,
             num_nodes: self.cluster.len(),
             marked_nodes: self.cluster.marked().count(),
+            dropped_tuples: 0.0,
         });
         self.last_stats = Some(stats.clone());
         stats

@@ -2,11 +2,46 @@
 //! bottleneck-resource selection (§3, *Statistics*).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use albic_types::{KeyGroupId, Load, LoadVector, NodeId, Period, Resource};
 
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
+
+/// Deterministic multiply-xor hasher (FxHash-style) for the per-tuple
+/// counter maps. These maps sit on the runtime's hot path — several
+/// lookups per processed tuple — and their keys are internal `u32` ids,
+/// so SipHash's DoS resistance buys nothing while costing ~4× per
+/// operation. Summation over the maps stays exact regardless of
+/// iteration order because every counter is an integer-valued `f64`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher(u64);
+
+const FAST_HASH_K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(FAST_HASH_K);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0.rotate_left(5) ^ v as u64).wrapping_mul(FAST_HASH_K);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(FAST_HASH_K);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// A `HashMap` over the fast deterministic hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
 /// Raw per-worker counters accumulated during one statistics period.
 ///
@@ -16,18 +51,25 @@ use crate::cost::CostModel;
 #[derive(Debug, Clone, Default)]
 pub struct StatsCollector {
     /// Tuples processed per key group.
-    pub tuples_in: HashMap<u32, f64>,
+    pub tuples_in: FastMap<u32, f64>,
     /// Tuples arriving from another node, per key group.
-    pub cross_in: HashMap<u32, f64>,
+    pub cross_in: FastMap<u32, f64>,
     /// Tuples sent to another node, per key group.
-    pub cross_out: HashMap<u32, f64>,
+    pub cross_out: FastMap<u32, f64>,
     /// `out(g_i, g_j)`: tuples sent from group i to group j (collocated or
     /// not).
-    pub out_matrix: HashMap<(u32, u32), f64>,
+    pub out_matrix: FastMap<(u32, u32), f64>,
     /// Resident state bytes per key group.
-    pub state_bytes: HashMap<u32, f64>,
+    pub state_bytes: FastMap<u32, f64>,
     /// Relative CPU cost multiplier per key group (operator dependent).
-    pub group_cost: HashMap<u32, f64>,
+    pub group_cost: FastMap<u32, f64>,
+    /// Tuples this worker dequeued from its inbox (data-plane ingest).
+    pub ingested: f64,
+    /// Tuples this worker handed to *other* workers (data-plane emit).
+    pub emitted: f64,
+    /// Tuples that could not be delivered because their destination
+    /// worker was gone — surfaced, never silently discarded.
+    pub dropped: f64,
 }
 
 impl StatsCollector {
@@ -65,6 +107,21 @@ impl StatsCollector {
         self.state_bytes.remove(&kg.raw());
     }
 
+    /// Record `n` tuples dequeued from the data plane (channel ingest).
+    pub fn record_ingest(&mut self, n: f64) {
+        self.ingested += n;
+    }
+
+    /// Record `n` tuples handed off to another worker (channel emit).
+    pub fn record_emit(&mut self, n: f64) {
+        self.emitted += n;
+    }
+
+    /// Record `n` tuples whose destination worker was unreachable.
+    pub fn record_dropped(&mut self, n: f64) {
+        self.dropped += n;
+    }
+
     /// Merge another collector (e.g. a different worker's) into this one.
     pub fn merge(&mut self, other: &StatsCollector) {
         for (&k, &v) in &other.tuples_in {
@@ -85,6 +142,9 @@ impl StatsCollector {
         for (&k, &v) in &other.group_cost {
             self.group_cost.insert(k, v);
         }
+        self.ingested += other.ingested;
+        self.emitted += other.emitted;
+        self.dropped += other.dropped;
     }
 
     /// Clear all counters for the next period.
@@ -93,9 +153,37 @@ impl StatsCollector {
         self.cross_in.clear();
         self.cross_out.clear();
         self.out_matrix.clear();
+        self.ingested = 0.0;
+        self.emitted = 0.0;
+        self.dropped = 0.0;
         // State sizes persist across periods (state is resident);
         // group costs likewise.
     }
+}
+
+/// Per-worker data-plane pressure for one period — the backpressure signal
+/// the batched runtime exports alongside the load statistics, so scaling
+/// policies can observe *real* queueing instead of only modeled rates.
+///
+/// The simulator has no channels, so simulated [`PeriodStats`] carry an
+/// empty pressure map; decision-relevant signals (loads, flows, state
+/// sizes) stay substrate-identical, which `tests/substrate_equivalence.rs`
+/// pins.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodePressure {
+    /// Tuples the worker dequeued from its inbox this period.
+    pub ingested: f64,
+    /// Tuples the worker handed to other workers this period.
+    pub emitted: f64,
+    /// Tuples whose destination worker was unreachable (surfaced drops).
+    pub dropped: f64,
+    /// Data batches still queued in the worker's inbox at period end.
+    pub queue_depth: usize,
+    /// Largest queued-batch count observed during the period.
+    pub peak_queue_depth: usize,
+    /// Batches enqueued past `channel_capacity` after the bounded
+    /// backpressure wait expired (deadlock-avoidance overshoot).
+    pub overflow: u64,
 }
 
 /// The statistics snapshot handed to reconfiguration policies at the end of
@@ -115,7 +203,7 @@ pub struct PeriodStats {
     /// Resident state bytes per key group.
     pub group_state_bytes: Vec<f64>,
     /// `out(g_i, g_j)` tuple rates.
-    pub out_matrix: HashMap<(u32, u32), f64>,
+    pub out_matrix: FastMap<(u32, u32), f64>,
     /// `out(g_i)`: total output rate per key group.
     pub out_total: Vec<f64>,
     /// Allocation snapshot: hosting node per key group.
@@ -126,6 +214,14 @@ pub struct PeriodStats {
     pub cross_tuples: f64,
     /// Total inter-group tuples (crossing or not).
     pub comm_tuples: f64,
+    /// Tuples that could not be delivered this period because their
+    /// destination worker was gone. Always 0 on the simulator; the
+    /// threaded runtime surfaces every discard here instead of silently
+    /// dropping (`let _ = send(..)`).
+    pub dropped_tuples: f64,
+    /// Per-worker data-plane pressure (ingest/emit rates, queue depths).
+    /// Empty on the simulator; see [`NodePressure`].
+    pub pressure: HashMap<NodeId, NodePressure>,
 }
 
 impl PeriodStats {
@@ -214,7 +310,25 @@ impl PeriodStats {
             total_tuples,
             cross_tuples,
             comm_tuples,
+            dropped_tuples: collector.dropped,
+            pressure: HashMap::new(),
         }
+    }
+
+    /// Deepest data-plane queue across all workers at period end — the
+    /// scalar backpressure signal (0 when no pressure was exported, e.g.
+    /// on the simulator).
+    pub fn max_queue_depth(&self) -> usize {
+        self.pressure
+            .values()
+            .map(|p| p.queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total data batches queued across all workers at period end.
+    pub fn total_backlog(&self) -> usize {
+        self.pressure.values().map(|p| p.queue_depth).sum()
     }
 
     /// Bottleneck-resource load of a node (0 if unknown).
@@ -391,6 +505,67 @@ mod tests {
         assert!(c.tuples_in.is_empty());
         assert!(c.out_matrix.is_empty());
         assert_eq!(c.state_bytes[&0], 100.0);
+    }
+
+    #[test]
+    fn pressure_counters_merge_and_reset() {
+        let mut a = StatsCollector::new();
+        a.record_ingest(10.0);
+        a.record_emit(4.0);
+        a.record_dropped(1.0);
+        let mut b = StatsCollector::new();
+        b.record_ingest(5.0);
+        b.record_dropped(2.0);
+        a.merge(&b);
+        assert_eq!(a.ingested, 15.0);
+        assert_eq!(a.emitted, 4.0);
+        assert_eq!(a.dropped, 3.0);
+
+        let cluster = Cluster::homogeneous(1);
+        let stats = PeriodStats::compute(
+            Period(0),
+            &a,
+            vec![NodeId::new(0)],
+            &cluster,
+            &CostModel::default(),
+        );
+        assert_eq!(stats.dropped_tuples, 3.0);
+        assert!(stats.pressure.is_empty(), "pressure is runtime-filled");
+        assert_eq!(stats.max_queue_depth(), 0);
+        assert_eq!(stats.total_backlog(), 0);
+
+        a.reset();
+        assert_eq!((a.ingested, a.emitted, a.dropped), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn pressure_scalars_read_the_deepest_queue() {
+        let c = collector_with(&[(0, 1.0)]);
+        let cluster = Cluster::homogeneous(2);
+        let mut stats = PeriodStats::compute(
+            Period(0),
+            &c,
+            vec![NodeId::new(0)],
+            &cluster,
+            &CostModel::default(),
+        );
+        stats.pressure.insert(
+            NodeId::new(0),
+            NodePressure {
+                queue_depth: 3,
+                ..Default::default()
+            },
+        );
+        stats.pressure.insert(
+            NodeId::new(1),
+            NodePressure {
+                queue_depth: 7,
+                peak_queue_depth: 12,
+                ..Default::default()
+            },
+        );
+        assert_eq!(stats.max_queue_depth(), 7);
+        assert_eq!(stats.total_backlog(), 10);
     }
 
     #[test]

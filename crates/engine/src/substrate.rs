@@ -41,6 +41,9 @@ pub struct PeriodRecord {
     pub num_nodes: usize,
     /// Number of nodes marked for removal.
     pub marked_nodes: usize,
+    /// Tuples whose destination worker was unreachable this period —
+    /// surfaced drops, always 0 on the simulator and in healthy runs.
+    pub dropped_tuples: f64,
 }
 
 /// Why an individual migration could not be executed.

@@ -1,7 +1,12 @@
 //! Property-based tests over the core invariants of the stack.
 
+use albic::engine::operator::{Counting, Identity};
+use albic::engine::tuple::{hash_key, Tuple, Value};
+use albic::engine::{Migration, ReconfigPlan, RuntimeConfig};
+use albic::job::{Job, Policy};
 use albic::milp::{solve_milp, AllocationProblem, Budget, GroupSpec, MigrationBudget, SolveStatus};
 use albic::partition::{partition, GraphBuilder, PartitionConfig};
+use albic::types::{KeyGroupId, NodeId};
 use proptest::prelude::*;
 
 fn arb_problem() -> impl Strategy<Value = AllocationProblem> {
@@ -115,6 +120,112 @@ proptest! {
         let total: f64 = part.part_weights.iter().sum();
         prop_assert!((total - g.total_weight()).abs() < 1e-6);
         prop_assert_eq!(part.edge_cut, g.cut_kway(&part.assignment));
+    }
+
+    /// The batched data plane is invisible to delivery semantics: for any
+    /// (batch size, channel capacity, tuple schedule), the batched
+    /// runtime delivers exactly the same per-key-group tuple multiset as
+    /// an unbatched (`batch_size = 1`) oracle run of the same schedule —
+    /// including across a mid-stream migration — and the routing table
+    /// invariants hold after every flush.
+    #[test]
+    fn batched_runtime_matches_unbatched_oracle(
+        batch_size in 1usize..128,
+        channel_capacity in 1usize..64,
+        schedule in proptest::collection::vec((0u64..24, 1u32..24), 1..16),
+    ) {
+        let run = |cfg: RuntimeConfig| -> Result<(Vec<u64>, f64), proptest::TestCaseError> {
+            let mut job = Job::builder()
+                .source("events", 8, Identity)
+                .operator("count", 8, Counting)
+                .edge("events", "count")
+                .nodes(2)
+                .routing_all_on_first()
+                .policy(Policy::noop())
+                .runtime_config(cfg)
+                .build_threaded()
+                .expect("valid property job");
+            let topology = job.engine().topology().clone();
+            let cnt = topology.operator_by_name("count").unwrap();
+            let half = schedule.len() / 2;
+            let mut ts = 0u64;
+            for (i, &(key, n)) in schedule.iter().enumerate() {
+                job.inject(
+                    "events",
+                    (0..n).map(|_| {
+                        ts += 1;
+                        Tuple::keyed(&key, Value::Int(ts as i64), ts)
+                    }),
+                );
+                // Mid-stream migration: move the first key's counter
+                // group off the skewed node while tuples are in flight.
+                if i == half {
+                    let group = topology.group_for_key(cnt, hash_key(&schedule[0].0));
+                    let report = job.apply(&ReconfigPlan {
+                        migrations: vec![Migration { group, to: NodeId::new(1) }],
+                        ..Default::default()
+                    });
+                    prop_assert!(report.failed.is_empty(), "{:?}", report.failed);
+                }
+                // Routing invariants after every flush: complete cover of
+                // the key-group space, every entry on a live node, and
+                // the per-node group lists partition the space.
+                let routing = job.engine().routing_snapshot();
+                prop_assert_eq!(routing.len() as u32, topology.num_key_groups());
+                for (kg, node) in routing.iter() {
+                    prop_assert!(
+                        job.cluster().get(node).is_some(),
+                        "group {:?} routed to unknown node {:?}", kg, node
+                    );
+                }
+                let covered: usize = job
+                    .cluster()
+                    .nodes()
+                    .iter()
+                    .map(|n| routing.groups_on(n.id).len())
+                    .sum();
+                prop_assert_eq!(covered, routing.len());
+            }
+            job.settle();
+            let counts: Vec<u64> = (0..topology.num_key_groups())
+                .map(|g| {
+                    let kg = KeyGroupId::new(g);
+                    if topology.operator_of_group(kg) != cnt {
+                        return 0;
+                    }
+                    job.engine()
+                        .probe_state(kg)
+                        .map(|b| {
+                            let mut a = [0u8; 8];
+                            a.copy_from_slice(&b[..8]);
+                            u64::from_le_bytes(a)
+                        })
+                        .unwrap_or(0)
+                })
+                .collect();
+            let stats = job.measure();
+            let dropped = stats.dropped_tuples;
+            job.shutdown();
+            Ok((counts, dropped))
+        };
+
+        let cfg = RuntimeConfig {
+            batch_size,
+            channel_capacity,
+            ..RuntimeConfig::default()
+        };
+        let (batched, dropped) = run(cfg)?;
+        let (oracle, oracle_dropped) = run(RuntimeConfig {
+            batch_size: 1,
+            ..RuntimeConfig::default()
+        })?;
+        prop_assert_eq!(&batched, &oracle, "batched delivery diverged from the per-tuple oracle");
+        prop_assert_eq!(dropped, 0.0);
+        prop_assert_eq!(oracle_dropped, 0.0);
+
+        // And both match the arithmetic ground truth.
+        let total: u64 = schedule.iter().map(|&(_, n)| n as u64).sum();
+        prop_assert_eq!(batched.iter().sum::<u64>(), total);
     }
 
     /// The engine's tuple codec round-trips arbitrary nested values.

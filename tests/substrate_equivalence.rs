@@ -6,11 +6,12 @@
 //! with identical routing assignments.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use albic::engine::operator::{Counting, Identity};
 use albic::engine::sim::{WorkloadModel, WorkloadSnapshot};
 use albic::engine::tuple::{hash_key, Tuple, Value};
-use albic::engine::{PeriodStats, ReconfigPlan};
+use albic::engine::{PeriodStats, ReconfigPlan, RuntimeConfig};
 use albic::job::{Job, JobBuilder, Policy};
 use albic::milp::MigrationBudget;
 use albic::types::{KeyGroupId, Period};
@@ -52,10 +53,37 @@ fn builder() -> JobBuilder {
         .policy(Policy::milp().with_budget(MigrationBudget::Count(6)))
 }
 
+/// Bit-identical equivalence must hold for *any* data-plane tuning: the
+/// default batched configuration, the degenerate per-tuple one, and a
+/// deliberately starved channel that forces backpressure on every hop.
 #[test]
-fn same_policy_same_decisions_on_both_substrates() {
+fn equivalent_with_default_batching() {
+    assert_substrate_equivalence(RuntimeConfig::default());
+}
+
+#[test]
+fn equivalent_with_per_tuple_data_plane() {
+    assert_substrate_equivalence(RuntimeConfig {
+        batch_size: 1,
+        ..RuntimeConfig::default()
+    });
+}
+
+#[test]
+fn equivalent_with_tiny_channel_capacity() {
+    assert_substrate_equivalence(RuntimeConfig {
+        batch_size: 7,
+        channel_capacity: 2,
+        flush_interval: Duration::from_micros(50),
+    });
+}
+
+fn assert_substrate_equivalence(cfg: RuntimeConfig) {
     // --- Substrate A: the threaded runtime. ---
-    let mut rt_job = builder().build_threaded().expect("valid job spec");
+    let mut rt_job = builder()
+        .runtime_config(cfg)
+        .build_threaded()
+        .expect("valid job spec");
     let topology = rt_job.engine().topology().clone();
     let num_groups = topology.num_key_groups();
     let (src, cnt) = (
