@@ -1,0 +1,12 @@
+//! Recovery scenario (beyond the paper): a scripted worker kill on the
+//! threaded runtime — recovery latency and replayed delta vs checkpoint
+//! interval, via the checkpoint/restore machinery migration shares.
+
+use albic_bench::experiments::fig_recovery;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    for (name, table) in fig_recovery(fast) {
+        table.save(&name);
+    }
+}

@@ -19,6 +19,7 @@ fn main() {
     all.extend(exp::fig13(fast));
     all.extend(exp::fig14(fast));
     all.extend(exp::fig15_live_runtime(fast));
+    all.extend(exp::fig_recovery(fast));
     for (name, table) in &all {
         table.save(name);
     }

@@ -656,3 +656,74 @@ pub fn fig15_live_runtime(_fast: bool) -> Vec<(String, Table)> {
     println!("summary: scaled out to {peak} workers at peak, back to {end} after the lull\n");
     vec![("fig15_live_runtime".into(), table)]
 }
+
+/// Recovery scenario (beyond the paper): a scripted worker kill on the
+/// *threaded* runtime under sustained load, swept over checkpoint
+/// intervals. Longer intervals mean a longer post-checkpoint delta to
+/// replay — the classic recovery-latency vs checkpoint-overhead
+/// trade-off, measured on real worker threads.
+///
+/// `recovery_ms` is wall-clock and therefore machine-dependent (like
+/// `BENCH_runtime.json`); `tuples_replayed` and `groups_restored` are
+/// deterministic.
+pub fn fig_recovery(fast: bool) -> Vec<(String, Table)> {
+    banner(
+        "fig_recovery: checkpoint-based recovery on the live runtime",
+        "reconfiguration and fault tolerance share one mechanism: a killed \
+         worker's key groups are restored from the latest period-aligned \
+         checkpoint through the migration install path and the logged \
+         delta is replayed — exactly-once, with latency growing with the \
+         checkpoint interval",
+    );
+    let intervals: &[u64] = if fast { &[1, 4] } else { &[1, 2, 4, 8] };
+    let periods = 10u64;
+    let fault_at = 7u64; // deltas of 1/2/4/8 periods for intervals 1/2/4/8
+    let rate = 1500i64;
+
+    let mut table = Table::new(&[
+        "checkpoint_interval",
+        "recovery_ms",
+        "tuples_replayed",
+        "groups_restored",
+        "replayed_periods",
+    ]);
+    for &interval in intervals {
+        let mut job = Job::builder()
+            .source("events", 16, Identity)
+            .operator("count", 16, Counting)
+            .edge("events", "count")
+            .nodes(4)
+            .checkpoint_interval(interval)
+            .policy(Policy::noop())
+            .build_threaded()
+            .expect("valid job spec");
+        for p in 0..periods {
+            job.inject(
+                "events",
+                (0..rate).map(|i| Tuple::keyed(&(i % 64), Value::Int(i), p)),
+            );
+            if p == fault_at {
+                assert!(job.engine_mut().inject_fault(NodeId::new(1)));
+            }
+            let _ = job.step();
+        }
+        let rec = &job.history()[fault_at as usize];
+        assert_eq!(rec.failed_nodes, 1, "the scripted kill must land");
+        table.row(vec![
+            interval as f64,
+            rec.recovery_secs * 1e3,
+            rec.tuples_replayed,
+            rec.groups_restored as f64,
+            (rec.tuples_replayed / rate as f64).round(),
+        ]);
+        job.shutdown();
+    }
+
+    table.print();
+    println!(
+        "summary: recovery replays the post-checkpoint delta; the replayed \
+         tuple count (and with it the latency) grows with the checkpoint \
+         interval\n"
+    );
+    vec![("fig_recovery".into(), table)]
+}

@@ -1,15 +1,18 @@
 //! The Algorithm-1 control loop, substrate-independent.
 //!
-//! Every statistics period the paper's adaptation loop does four things:
+//! Every statistics period the paper's adaptation loop does five things:
 //!
-//! 1. **housekeeping** — terminate nodes marked for removal whose key
+//! 1. **recovery** — detect dead workers and restore their key groups
+//!    from the latest checkpoint through the same migration machinery a
+//!    plan uses (a no-op on healthy rounds);
+//! 2. **housekeeping** — terminate nodes marked for removal whose key
 //!    groups have all been drained (Algorithm 1, lines 1-3);
-//! 2. **measure** — close the statistics period and snapshot
+//! 3. **measure** — close the statistics period and snapshot
 //!    [`PeriodStats`];
-//! 3. **plan** — hand the statistics and a cluster view to a
+//! 4. **plan** — hand the statistics and a cluster view to a
 //!    [`ReconfigPolicy`] (the adaptation framework, a balancer, ALBIC, or
 //!    any baseline);
-//! 4. **apply** — execute the returned plan on the engine.
+//! 5. **apply** — execute the returned plan on the engine.
 //!
 //! [`Controller`] owns exactly that loop over any
 //! [`ReconfigEngine`] — the rate-based simulator and the threaded runtime
@@ -19,7 +22,7 @@
 //! like PoTC observe without migrating).
 
 use albic_engine::substrate::{ApplyReport, PeriodRecord, ReconfigEngine};
-use albic_engine::{Cluster, PeriodStats, ReconfigPlan, ReconfigPolicy};
+use albic_engine::{Cluster, PeriodStats, ReconfigPlan, ReconfigPolicy, RecoveryReport};
 use albic_types::NodeId;
 
 /// Everything one adaptation round produced, for drivers that want to
@@ -27,6 +30,9 @@ use albic_types::NodeId;
 #[derive(Debug)]
 #[must_use = "inspect the report (it carries failed migrations); discard explicitly with `let _ =`"]
 pub struct StepReport {
+    /// What the recovery phase found and repaired — an empty report
+    /// (`!recovery.recovered()`) on every healthy round.
+    pub recovery: RecoveryReport,
     /// Nodes terminated by the housekeeping phase.
     pub terminated: Vec<NodeId>,
     /// The period's statistics snapshot (pre-plan).
@@ -91,11 +97,19 @@ impl<'o, E: ReconfigEngine> Controller<'o, E> {
         self.engine.history()
     }
 
-    /// One adaptation round: settle → housekeeping → measure → observe →
-    /// plan → apply. The settle phase is a no-op on the simulator; on the
+    /// One adaptation round: recover → settle → housekeeping → measure →
+    /// observe → plan → apply. The recovery phase detects dead workers
+    /// and restores their key groups from the latest checkpoint *before*
+    /// anything quiesces or measures (a corpse can neither acknowledge a
+    /// barrier nor report statistics); on a healthy round it is a cheap
+    /// no-op. The settle phase is a no-op on the simulator; on the
     /// threaded runtime it quiesces in-flight tuples so the period's
-    /// statistics cover everything injected before the step.
+    /// statistics cover everything injected before the step. The policy
+    /// is never told about the failure — it sees the post-recovery
+    /// placement as ordinary statistics over a smaller cluster, and its
+    /// plan runs through the same executor that recovery used.
     pub fn step(&mut self, policy: &mut dyn ReconfigPolicy) -> StepReport {
+        let recovery = self.engine.recover();
         self.engine.settle();
         let terminated = self.engine.terminate_drained();
         let stats = self.engine.end_period();
@@ -106,6 +120,7 @@ impl<'o, E: ReconfigEngine> Controller<'o, E> {
         let plan = policy.plan(&stats, self.engine.view());
         let apply = self.engine.apply(&plan);
         StepReport {
+            recovery,
             terminated,
             stats,
             cluster,

@@ -479,6 +479,8 @@ pub struct JobBuilder {
     cost: CostModel,
     policy: Option<Policy>,
     runtime: RuntimeConfig,
+    checkpoint_interval: u64,
+    replay_log_capacity: usize,
 }
 
 impl Default for JobBuilder {
@@ -492,6 +494,8 @@ impl Default for JobBuilder {
             cost: CostModel::default(),
             policy: None,
             runtime: RuntimeConfig::default(),
+            checkpoint_interval: 0,
+            replay_log_capacity: albic_engine::runtime::DEFAULT_REPLAY_LOG_CAPACITY,
         }
     }
 }
@@ -616,6 +620,30 @@ impl JobBuilder {
     /// to [`Policy::noop`] (measure, never reconfigure).
     pub fn policy(mut self, policy: Policy) -> Self {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Enable checkpoint-based failure recovery: capture a period-aligned
+    /// snapshot of every key group's state at each `interval`-th period
+    /// boundary (and, on the threaded runtime, keep a bounded inject-side
+    /// replay log), so a crashed worker's groups are restored onto
+    /// survivors with exactly-once semantics. `0` (the default) disables
+    /// checkpointing — a crash then recovers availability only, with
+    /// state restarting empty. Interval `1` additionally keeps
+    /// post-recovery statistics measurement-exact (larger intervals
+    /// honestly re-measure the replayed work).
+    pub fn checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Bound (in tuples) on the threaded runtime's inject-side replay
+    /// log. Tuples past the bound cannot be replayed by a recovery and
+    /// are surfaced as dropped. Defaults to
+    /// [`albic_engine::runtime::DEFAULT_REPLAY_LOG_CAPACITY`]; simulated
+    /// jobs ignore it.
+    pub fn replay_log_capacity(mut self, capacity: usize) -> Self {
+        self.replay_log_capacity = capacity;
         self
     }
 
@@ -762,9 +790,13 @@ impl JobBuilder {
     /// live worker thread per node, real state migration).
     pub fn build_threaded(self) -> Result<Job<Runtime>, JobError> {
         let runtime = self.runtime;
+        let (checkpoint, log_capacity) = (self.checkpoint_interval, self.replay_log_capacity);
         let (topology, cluster, routing, policy, cost) = self.prepare(None)?;
         let topology = topology.expect("prepare rejects threaded jobs without a topology");
-        let engine = Runtime::start_with_config(topology, cluster, routing, cost, runtime);
+        let mut engine = Runtime::start_with_config(topology, cluster, routing, cost, runtime);
+        if checkpoint > 0 {
+            engine.configure_recovery(checkpoint, log_capacity);
+        }
         Ok(Job {
             ctl: Controller::new(engine),
             policy,
@@ -779,8 +811,10 @@ impl JobBuilder {
         workload: W,
     ) -> Result<Job<SimEngine<W>>, JobError> {
         let groups = workload.num_groups();
+        let checkpoint = self.checkpoint_interval;
         let (_topology, cluster, routing, policy, cost) = self.prepare(Some(groups))?;
-        let engine = SimEngine::new(workload, cluster, routing, cost);
+        let mut engine = SimEngine::new(workload, cluster, routing, cost);
+        engine.set_checkpoint_interval(checkpoint);
         Ok(Job {
             ctl: Controller::new(engine),
             policy,
@@ -825,6 +859,14 @@ pub struct JobSummary {
     pub peak_nodes: usize,
     /// Node count after the last period.
     pub final_nodes: usize,
+    /// Workers that crashed and were recovered over the whole run.
+    pub total_failed_nodes: usize,
+    /// Key groups restored from checkpoints by those recoveries.
+    pub total_groups_restored: usize,
+    /// Tuples replayed from the inject-side log by those recoveries.
+    pub total_tuples_replayed: f64,
+    /// Total seconds spent in recovery.
+    pub total_recovery_secs: f64,
     /// The raw per-period records (loads, migrations, node counts).
     pub records: Vec<PeriodRecord>,
 }
@@ -845,6 +887,10 @@ impl JobSummary {
             final_load_distance: records.last().map(|r| r.load_distance).unwrap_or(0.0),
             peak_nodes: records.iter().map(|r| r.num_nodes).max().unwrap_or(0),
             final_nodes: records.last().map(|r| r.num_nodes).unwrap_or(0),
+            total_failed_nodes: records.iter().map(|r| r.failed_nodes).sum(),
+            total_groups_restored: records.iter().map(|r| r.groups_restored).sum(),
+            total_tuples_replayed: records.iter().map(|r| r.tuples_replayed).sum(),
+            total_recovery_secs: records.iter().map(|r| r.recovery_secs).sum(),
             records: records.to_vec(),
         }
     }
@@ -867,8 +913,8 @@ impl<E: ReconfigEngine> std::fmt::Debug for Job<E> {
 }
 
 impl<E: ReconfigEngine> Job<E> {
-    /// One adaptation round (Algorithm 1): settle → housekeeping →
-    /// measure → plan → apply.
+    /// One adaptation round (Algorithm 1): recover → settle →
+    /// housekeeping → measure → plan → apply.
     pub fn step(&mut self) -> StepReport {
         self.ctl.step(self.policy.as_mut())
     }

@@ -85,6 +85,10 @@ mod tests {
             num_nodes: 2,
             marked_nodes: 0,
             dropped_tuples: 0.0,
+            failed_nodes: 0,
+            groups_restored: 0,
+            tuples_replayed: 0.0,
+            recovery_secs: 0.0,
         }
     }
 

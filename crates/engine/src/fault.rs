@@ -1,0 +1,247 @@
+//! Deterministic fault injection and the recovery vocabulary.
+//!
+//! The paper's integrative thesis extends to fault tolerance: recovering a
+//! failed worker is *the same mechanism* as reconfiguring a healthy one —
+//! key groups are re-homed through the routing table and their state is
+//! rebuilt through the identical serialize/install path a migration uses,
+//! except that the bytes come from the latest period-aligned checkpoint
+//! instead of a live extract, and the post-checkpoint delta is replayed
+//! from the bounded inject-side log.
+//!
+//! This module holds the substrate-independent pieces:
+//!
+//! * [`FaultPlan`] / [`FaultInjector`] — a *scripted* fault schedule
+//!   ("kill node 2 before step 3") applied to any
+//!   [`ReconfigEngine`]. Faults land at
+//!   deterministic points (worker-message boundaries on the runtime,
+//!   period boundaries on the simulator), so a failing scenario replays
+//!   identically — the property the fault-injection tests build on.
+//! * [`RecoveryReport`] — what one recovery pass did: which nodes failed,
+//!   how many key groups were restored from the checkpoint, how many
+//!   tuples the log replayed, and how long it took.
+//! * [`recovery_placement`] — the deterministic re-homing of a dead
+//!   node's key groups onto the survivors. Both substrates call this one
+//!   function, which is why the same [`FaultPlan`] produces identical
+//!   post-recovery routing on the simulator and the threaded runtime
+//!   (pinned by `tests/substrate_equivalence.rs`).
+
+use albic_types::{KeyGroupId, NodeId};
+
+use crate::substrate::ReconfigEngine;
+
+/// Outcome of one [`ReconfigEngine::recover`] call.
+///
+/// An empty report (`failed.is_empty()`) means no fault was detected —
+/// the healthy-path cost of the recovery check is one scan over the
+/// worker handles.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[must_use = "inspect the report: lost workers and truncated replay are surfaced here"]
+pub struct RecoveryReport {
+    /// Nodes whose worker was found dead and was recovered.
+    pub failed: Vec<NodeId>,
+    /// Key groups re-homed from the failed nodes onto survivors and
+    /// restored from the latest checkpoint.
+    pub groups_restored: usize,
+    /// Tuples replayed from the inject-side log on top of the restored
+    /// checkpoint (the post-checkpoint delta).
+    pub tuples_replayed: u64,
+    /// Tuples that had fallen off the bounded log and could not be
+    /// replayed — surfaced (also counted into the period's dropped
+    /// tuples), never silently lost.
+    pub log_truncated: u64,
+    /// The period the restored checkpoint was captured at; `None` when
+    /// recovery ran from the implicit empty initial checkpoint (or with
+    /// checkpointing disabled).
+    pub checkpoint_period: Option<u64>,
+    /// Wall-clock seconds the recovery took — measured on the threaded
+    /// runtime, modeled (restore cost of the lost state, via the same
+    /// `mc_k = α·|σ_k|` migration cost model) on the simulator.
+    pub recovery_secs: f64,
+}
+
+impl RecoveryReport {
+    /// `true` if this call actually recovered from a fault.
+    pub fn recovered(&self) -> bool {
+        !self.failed.is_empty()
+    }
+}
+
+/// A scripted fault schedule: which nodes to kill before which steps.
+///
+/// Steps are counted by the driving [`FaultInjector`], one per
+/// [`FaultInjector::advance`] call — by convention one adaptation round
+/// (`Controller::step`), so "kill node 1 at step 2" means the fault lands
+/// after two completed rounds, before the third.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<(u64, NodeId)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule `node` to be killed before `step`.
+    pub fn kill(mut self, step: u64, node: NodeId) -> Self {
+        self.faults.push((step, node));
+        self
+    }
+
+    /// Nodes scheduled to die before `step`, in schedule order.
+    pub fn victims_at(&self, step: u64) -> impl Iterator<Item = NodeId> + '_ {
+        self.faults
+            .iter()
+            .filter(move |(s, _)| *s == step)
+            .map(|(_, n)| *n)
+    }
+
+    /// Number of scripted faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` if the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Drives a [`FaultPlan`] against an engine, one step at a time.
+///
+/// ```
+/// use albic_engine::fault::{FaultInjector, FaultPlan};
+/// use albic_types::NodeId;
+///
+/// let plan = FaultPlan::new().kill(2, NodeId::new(1));
+/// let mut injector = FaultInjector::new(plan);
+/// assert_eq!(injector.step(), 0);
+/// // each adaptation round: injector.advance(job.engine_mut()); job.step();
+/// ```
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    step: u64,
+}
+
+impl FaultInjector {
+    /// An injector at step 0 of `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan, step: 0 }
+    }
+
+    /// The next step [`FaultInjector::advance`] will apply.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Apply every fault scripted for the current step to `engine`, then
+    /// move to the next step. Returns the nodes actually killed (a node
+    /// that is unknown or already dead is skipped).
+    pub fn advance<E: ReconfigEngine + ?Sized>(&mut self, engine: &mut E) -> Vec<NodeId> {
+        let victims: Vec<NodeId> = self.plan.victims_at(self.step).collect();
+        self.step += 1;
+        victims
+            .into_iter()
+            .filter(|&v| engine.inject_fault(v))
+            .collect()
+    }
+}
+
+/// Deterministic re-homing of lost key groups onto the surviving nodes:
+/// groups (ascending id) round-robin over survivors (ascending id).
+///
+/// Returns an empty placement when there are no survivors — the caller
+/// decides what a total cluster loss means.
+pub fn recovery_placement(lost: &[KeyGroupId], survivors: &[NodeId]) -> Vec<(KeyGroupId, NodeId)> {
+    if survivors.is_empty() {
+        return Vec::new();
+    }
+    let mut lost = lost.to_vec();
+    lost.sort_unstable();
+    let mut survivors = survivors.to_vec();
+    survivors.sort_unstable();
+    lost.iter()
+        .enumerate()
+        .map(|(i, &g)| (g, survivors[i % survivors.len()]))
+        .collect()
+}
+
+/// Why a controlled drain
+/// ([`crate::runtime::Runtime::try_terminate_drained`]) could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminateError {
+    /// A worker thread is dead outside the controlled drain lifecycle
+    /// (fault-injected crash or panic). Draining quiesces *all* workers,
+    /// which a corpse can never acknowledge — run
+    /// [`ReconfigEngine::recover`] first.
+    WorkerCrashed(NodeId),
+}
+
+impl std::fmt::Display for TerminateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TerminateError::WorkerCrashed(node) => write!(
+                f,
+                "worker {node:?} is dead outside the drain lifecycle; recover() before draining"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TerminateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_yields_victims_per_step() {
+        let plan = FaultPlan::new()
+            .kill(1, NodeId::new(3))
+            .kill(1, NodeId::new(4))
+            .kill(5, NodeId::new(0));
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.victims_at(1).collect::<Vec<_>>(),
+            vec![NodeId::new(3), NodeId::new(4)]
+        );
+        assert_eq!(plan.victims_at(0).count(), 0);
+        assert_eq!(plan.victims_at(5).collect::<Vec<_>>(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn placement_is_deterministic_round_robin_over_sorted_survivors() {
+        let lost = vec![KeyGroupId::new(7), KeyGroupId::new(2), KeyGroupId::new(4)];
+        let survivors = vec![NodeId::new(9), NodeId::new(3)];
+        let placed = recovery_placement(&lost, &survivors);
+        assert_eq!(
+            placed,
+            vec![
+                (KeyGroupId::new(2), NodeId::new(3)),
+                (KeyGroupId::new(4), NodeId::new(9)),
+                (KeyGroupId::new(7), NodeId::new(3)),
+            ]
+        );
+        // Input order never matters.
+        let shuffled = recovery_placement(
+            &[KeyGroupId::new(4), KeyGroupId::new(7), KeyGroupId::new(2)],
+            &[NodeId::new(3), NodeId::new(9)],
+        );
+        assert_eq!(placed, shuffled);
+    }
+
+    #[test]
+    fn placement_without_survivors_is_empty() {
+        assert!(recovery_placement(&[KeyGroupId::new(0)], &[]).is_empty());
+    }
+
+    #[test]
+    fn empty_report_means_no_fault() {
+        let report = RecoveryReport::default();
+        assert!(!report.recovered());
+        assert_eq!(report.checkpoint_period, None);
+    }
+}

@@ -19,6 +19,11 @@
 //! * [`cost`] — the load/cost model: processing cost, cross-node
 //!   serialization/deserialization cost (what collocation saves), the
 //!   migration cost model `mc_k = α·|σ_k|`.
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`] /
+//!   [`fault::FaultInjector`]) and the recovery vocabulary: recovery
+//!   shares the migration machinery (checkpointed state restored through
+//!   the same install path, re-homing through the routing table), so
+//!   reconfiguration and fault tolerance are one mechanism.
 //! * [`migration`] — direct state migration (Madsen & Zhou, CIKM'15):
 //!   redirect upstreams → buffer at destination → serialize & ship state →
 //!   rebuild → replay buffer, with pause-time accounting.
@@ -77,6 +82,7 @@
 pub mod cluster;
 pub mod codec;
 pub mod cost;
+pub mod fault;
 pub mod migration;
 pub mod operator;
 pub mod reconfig;
@@ -90,6 +96,7 @@ pub mod tuple;
 
 pub use cluster::{Cluster, NodeInfo};
 pub use cost::CostModel;
+pub use fault::{FaultInjector, FaultPlan, RecoveryReport, TerminateError};
 pub use migration::{Migration, MigrationReport};
 pub use operator::{Emissions, Operator, StateBox};
 pub use reconfig::{ClusterView, ReconfigPlan, ReconfigPolicy};

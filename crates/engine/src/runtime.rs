@@ -56,20 +56,44 @@
 //! scale-out spawns a worker thread per acquired node, scale-in marks
 //! nodes, and [`Runtime::terminate_drained`] joins a marked worker's
 //! thread once the balancer has migrated all of its key groups away.
+//!
+//! # Failure recovery
+//!
+//! Recovery shares the migration machinery instead of adding a second
+//! state-movement path. With [`Runtime::configure_recovery`] enabled, the
+//! engine captures a **period-aligned checkpoint** (every key group's
+//! serialized state, taken while the data plane is quiesced at an
+//! `end_period` boundary) and keeps a **bounded inject-side replay log**
+//! of every tuple injected since. When [`Runtime::recover`] finds a
+//! crashed worker (fault-injected via [`Runtime::inject_fault`], or a
+//! panic), it re-homes the lost key groups onto the survivors through the
+//! routing table ([`crate::fault::recovery_placement`] — the same
+//! function the simulator uses), rolls every worker back to the
+//! checkpoint through the same install path a migration's `Install` uses,
+//! and replays the logged delta. Final states are bit-equal to a
+//! fault-free run's (exactly-once across recovery); the accounting
+//! (groups restored, tuples replayed, recovery seconds) lands in the next
+//! [`PeriodRecord`]. At checkpoint interval 1 the rollback also rewinds
+//! the period's counters, so post-recovery statistics count each logical
+//! tuple exactly once and the policies see the failure only as a smaller
+//! cluster — reconfiguration and recovery literally share the plan
+//! executor. At larger intervals the replayed (re-done) work of earlier
+//! periods is measured again, which the statistics honestly reflect.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use albic_types::{KeyGroupId, NodeId, OperatorId, PeriodClock};
 
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
+use crate::fault::{recovery_placement, RecoveryReport, TerminateError};
 use crate::migration::{Migration, MigrationReport};
 use crate::operator::{Emissions, StateBox};
 use crate::reconfig::{ClusterView, ReconfigPlan};
@@ -130,6 +154,111 @@ const INJECT_PATIENCE: Duration = Duration::from_secs(1);
 /// Delivery attempts (with a fresh routing read each time) before an
 /// injected batch is counted as dropped.
 const INJECT_ATTEMPTS: usize = 3;
+/// Default bound on the inject-side replay log, in tuples. At the default
+/// checkpoint cadence (every period) the log only ever holds one period's
+/// injections; the bound is a memory backstop, and overflowing it is
+/// surfaced as dropped tuples at the next recovery.
+pub const DEFAULT_REPLAY_LOG_CAPACITY: usize = 1 << 20;
+/// How long [`Runtime::inject_fault`] waits for the victim's thread to
+/// actually exit before giving up (a healthy worker reaches its next
+/// message boundary long before this).
+const FAULT_PATIENCE: Duration = Duration::from_secs(10);
+
+/// The inject-side replay log, shared by the runtime and every
+/// [`Injector`] handle: all externally injected tuples since the last
+/// checkpoint, in arrival order. Recovery rolls every worker back to the
+/// checkpoint and replays this delta, which is what makes a worker crash
+/// exactly-once instead of lossy. Disabled (and costless beyond one
+/// atomic load per injected chunk) until
+/// [`Runtime::configure_recovery`] turns checkpointing on.
+struct ReplayLog {
+    enabled: AtomicBool,
+    inner: Mutex<ReplayLogInner>,
+    /// Fences external injections against a concurrent recovery: an
+    /// injector's log-append + delivery happens under a read guard, the
+    /// whole rollback-and-replay under the write guard. Without it, a
+    /// tuple logged before the rollback but delivered after it would be
+    /// applied twice (once live, once replayed). Injection holds the
+    /// guard only across bounded waits, so the fence cannot deadlock.
+    gate: RwLock<()>,
+}
+
+#[derive(Default)]
+struct ReplayLogInner {
+    entries: Vec<(OperatorId, Tuple)>,
+    capacity: usize,
+    /// Tuples that arrived after the log filled: they cannot be replayed,
+    /// so a recovery surfaces them as dropped.
+    truncated: u64,
+}
+
+impl ReplayLog {
+    fn disabled() -> Self {
+        ReplayLog {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(ReplayLogInner::default()),
+            gate: RwLock::new(()),
+        }
+    }
+
+    fn enable(&self, capacity: usize) {
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity.max(1);
+        inner.entries.clear();
+        inner.truncated = 0;
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Append one injected chunk (called before delivery, so a tuple that
+    /// ends up in a dead worker's channel is already recoverable).
+    fn record<'a>(&self, op: OperatorId, tuples: impl Iterator<Item = &'a Tuple>) {
+        let mut inner = self.inner.lock();
+        for tuple in tuples {
+            if inner.entries.len() < inner.capacity {
+                inner.entries.push((op, tuple.clone()));
+            } else {
+                inner.truncated += 1;
+            }
+        }
+    }
+
+    /// Entries and overflow count, for replay.
+    fn snapshot(&self) -> (Vec<(OperatorId, Tuple)>, u64) {
+        let inner = self.inner.lock();
+        (inner.entries.clone(), inner.truncated)
+    }
+
+    /// Forget everything (a fresh checkpoint covers it now).
+    fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.truncated = 0;
+    }
+}
+
+/// A period-aligned snapshot of every key group's serialized state,
+/// captured while the data plane is quiesced — the restore source for
+/// [`Runtime::recover`].
+struct Checkpoint {
+    /// The period at whose end the snapshot was taken.
+    period: u64,
+    /// `(key group, serialized state)`, sorted by group id.
+    states: Vec<(u32, Vec<u8>)>,
+}
+
+/// Recovery accounting accumulated between period boundaries, folded into
+/// the next [`PeriodRecord`].
+#[derive(Debug, Default)]
+struct RecoveryAccounting {
+    failed_nodes: usize,
+    groups_restored: usize,
+    tuples_replayed: f64,
+    recovery_secs: f64,
+}
 
 /// A batch of routed tuples: the unit of worker-to-worker hand-off.
 type DataBatch = Vec<(OperatorId, KeyGroupId, Tuple)>;
@@ -318,6 +447,23 @@ enum Msg {
         kg: KeyGroupId,
         reply: Sender<Option<Vec<u8>>>,
     },
+    /// Serialize every local key-group state (checkpoint capture). Sent
+    /// at period boundaries while the data plane is quiesced.
+    SnapshotStates {
+        reply: Sender<(NodeId, Vec<(u32, Vec<u8>)>)>,
+    },
+    /// Reset to a checkpoint: drop all states, buffers and period
+    /// counters, then install the given serialized states through the
+    /// same install path a migration [`Msg::Install`] uses. The
+    /// inject-side log replays the discarded delta afterwards.
+    Rollback {
+        states: Vec<(u32, Vec<u8>)>,
+        ack: Sender<()>,
+    },
+    /// Abrupt worker death (fault injection): exit immediately, dropping
+    /// all per-group state, without draining the inbox tail or flushing
+    /// the outbox — a crash, not a shutdown.
+    Crash,
     /// Stop the worker loop.
     Shutdown,
 }
@@ -349,6 +495,8 @@ struct WorkerCtx {
     /// tuple otherwise).
     emission_pool: Vec<Vec<Tuple>>,
     stats: StatsCollector,
+    /// Set by [`Msg::Crash`]: die without the graceful-shutdown drain.
+    crashed: bool,
 }
 
 impl WorkerCtx {
@@ -384,6 +532,11 @@ impl WorkerCtx {
                 }
             }
         }
+        // A crash dies here: no tail drain, no flush — in-flight work is
+        // the recovery protocol's problem, exactly as with a real fault.
+        if self.crashed {
+            return self.inbox;
+        }
         // Drain the inbox tail: a concurrent injector racing a scale-in
         // can land a batch *behind* the Shutdown message (its Sender was
         // cloned before the coordinator unpublished it). Those tuples
@@ -414,6 +567,12 @@ impl WorkerCtx {
     /// message flushes the outbox first, so the data plane it observes is
     /// exactly what an unbatched engine would have already sent.
     fn handle(&mut self, msg: Msg) -> bool {
+        // A crash must not flush or acknowledge anything — it is the one
+        // message that models losing the worker mid-flight.
+        if matches!(msg, Msg::Crash) {
+            self.crashed = true;
+            return false;
+        }
         if !matches!(msg, Msg::DataBatch(_)) {
             self.flush_outbox();
         }
@@ -487,9 +646,7 @@ impl WorkerCtx {
                 bytes,
                 done,
             } => {
-                let logic = Arc::clone(&self.topology.operator(op).logic);
-                let state = logic.deserialize_state(&bytes);
-                self.states.insert(kg.raw(), state);
+                self.install_state(kg, op, &bytes);
                 let buffered = self.buffers.remove(&kg.raw()).unwrap_or_default();
                 for (bop, tuple) in buffered {
                     self.on_data(bop, kg, tuple);
@@ -526,9 +683,56 @@ impl WorkerCtx {
                 let bytes = self.states.get(&kg.raw()).map(|s| logic.serialize_state(s));
                 let _ = reply.send(bytes);
             }
+            Msg::SnapshotStates { reply } => {
+                let _ = reply.send((self.node, self.snapshot_states()));
+            }
+            Msg::Rollback { states, ack } => {
+                // Back to the checkpoint: every post-checkpoint state,
+                // buffered tuple and period counter on this worker is
+                // discarded (the inject-side log replays the delta), then
+                // the checkpointed states come back through the same
+                // install path a migration uses.
+                self.states.clear();
+                self.buffers.clear();
+                self.stats = StatsCollector::new();
+                for (raw, bytes) in states {
+                    let kg = KeyGroupId::new(raw);
+                    let op = self.topology.operator_of_group(kg);
+                    self.install_state(kg, op, &bytes);
+                }
+                let _ = ack.send(());
+            }
+            // Intercepted before the outbox flush above.
+            Msg::Crash => return false,
             Msg::Shutdown => return false,
         }
         true
+    }
+
+    /// The shared install path: rebuild a key group's state from
+    /// serialized bytes — migration [`Msg::Install`] and checkpoint
+    /// [`Msg::Rollback`] both restore state through here.
+    fn install_state(&mut self, kg: KeyGroupId, op: OperatorId, bytes: &[u8]) {
+        let logic = Arc::clone(&self.topology.operator(op).logic);
+        let state = logic.deserialize_state(bytes);
+        self.states.insert(kg.raw(), state);
+    }
+
+    /// Serialize every local key-group state, sorted by group id so a
+    /// checkpoint's byte layout is deterministic.
+    fn snapshot_states(&self) -> Vec<(u32, Vec<u8>)> {
+        let mut ids: Vec<u32> = self.states.keys().copied().collect();
+        ids.sort_unstable();
+        let mut snap = Vec::with_capacity(ids.len());
+        for g in ids {
+            let kg = KeyGroupId::new(g);
+            let op = self.topology.operator_of_group(kg);
+            let logic = Arc::clone(&self.topology.operator(op).logic);
+            if let Some(state) = self.states.get(&g) {
+                snap.push((g, logic.serialize_state(state)));
+            }
+        }
+        snap
     }
 
     /// Current owner of a key group, via the version-checked local copy
@@ -685,6 +889,7 @@ pub struct Injector {
     senders: SenderMap,
     gauges: GaugeMap,
     dropped: Arc<AtomicU64>,
+    log: Arc<ReplayLog>,
     cfg: RuntimeConfig,
 }
 
@@ -700,6 +905,19 @@ impl Injector {
     /// routed against a just-outdated table is forwarded by its receiving
     /// worker, so chunked reads cannot lose anything.
     pub fn inject(&self, op: OperatorId, tuples: impl IntoIterator<Item = Tuple>) {
+        // With recovery enabled, fence this injection against a
+        // concurrent rollback-and-replay: a tuple logged before the
+        // rollback but delivered after it would otherwise count twice.
+        let _gate = self.log.is_enabled().then(|| self.log.gate.read());
+        self.inject_inner(op, tuples, true);
+    }
+
+    /// [`Injector::inject`] with control over replay logging: external
+    /// injections are logged (when checkpointing is enabled) so recovery
+    /// can replay them; the recovery replay itself re-injects *without*
+    /// logging, or every fault would double the log.
+    fn inject_inner(&self, op: OperatorId, tuples: impl IntoIterator<Item = Tuple>, log: bool) {
+        let log = log && self.log.is_enabled();
         // Few destinations (one per node): a linear-scan Vec beats
         // hashing on this per-tuple path.
         let mut buckets: Vec<(NodeId, DataBatch)> = Vec::new();
@@ -715,6 +933,11 @@ impl Injector {
             }
             let consumed = chunk.len();
             if consumed > 0 {
+                // Log before delivery: a tuple that lands in a crashing
+                // worker's channel must already be recoverable.
+                if log {
+                    self.log.record(op, chunk.iter().map(|(_, t)| t));
+                }
                 let routing = self.routing.read();
                 for (kg, tuple) in chunk.drain(..) {
                     let node = routing.node_of(kg);
@@ -813,6 +1036,16 @@ pub struct Runtime {
     /// Barrier rounds [`Runtime::settle`] runs: enough for a tuple to
     /// traverse the whole topology (with margin), derived from its depth.
     settle_rounds: usize,
+    /// Inject-side replay log (shared with every [`Injector`]); disabled
+    /// until [`Runtime::configure_recovery`].
+    replay_log: Arc<ReplayLog>,
+    /// Capture a checkpoint at every `checkpoint_interval`-th period
+    /// boundary; 0 = checkpointing (and replay logging) disabled.
+    checkpoint_interval: u64,
+    /// The latest period-aligned state snapshot.
+    checkpoint: Option<Checkpoint>,
+    /// Recovery accounting folded into the next period's record.
+    pending_recovery: RecoveryAccounting,
 }
 
 impl Runtime {
@@ -851,6 +1084,10 @@ impl Runtime {
             inject_dropped: Arc::new(AtomicU64::new(0)),
             graveyard: Vec::new(),
             settle_rounds,
+            replay_log: Arc::new(ReplayLog::disabled()),
+            checkpoint_interval: 0,
+            checkpoint: None,
+            pending_recovery: RecoveryAccounting::default(),
         };
         let nodes: Vec<NodeId> = rt.cluster.nodes().iter().map(|n| n.id).collect();
         for node in nodes {
@@ -898,6 +1135,7 @@ impl Runtime {
             oldest_pending: None,
             emission_pool: Vec::new(),
             stats: StatsCollector::new(),
+            crashed: false,
         };
         let handle = std::thread::Builder::new()
             .name(format!("albic-worker-{node}"))
@@ -950,7 +1188,26 @@ impl Runtime {
             senders: Arc::clone(&self.senders),
             gauges: Arc::clone(&self.gauges),
             dropped: Arc::clone(&self.inject_dropped),
+            log: Arc::clone(&self.replay_log),
             cfg: self.cfg,
+        }
+    }
+
+    /// Enable checkpoint-based recovery: a snapshot of every key group's
+    /// state is captured at each `interval`-th period boundary (aligned,
+    /// while the data plane is quiesced — the same boundary the simulator
+    /// checkpoints at), and every injected tuple since the last
+    /// checkpoint is kept in a replay log bounded at `log_capacity`
+    /// tuples. [`Runtime::recover`] then restores a crashed worker's
+    /// groups with exactly-once semantics: checkpoint + logged delta.
+    ///
+    /// `interval = 0` disables checkpointing and logging; recovery still
+    /// re-homes a dead worker's groups (availability), but their state
+    /// restarts empty.
+    pub fn configure_recovery(&mut self, interval: u64, log_capacity: usize) {
+        self.checkpoint_interval = interval;
+        if interval > 0 {
+            self.replay_log.enable(log_capacity);
         }
     }
 
@@ -1007,26 +1264,100 @@ impl Runtime {
         }
     }
 
+    /// Nodes whose worker thread has exited outside the controlled drain
+    /// lifecycle — a fault-injected crash or a panic. (Graceful
+    /// termination removes the handle, so a finished handle is a corpse.)
+    fn crashed_workers(&self) -> Vec<NodeId> {
+        self.handles
+            .iter()
+            .filter(|(_, h)| h.is_finished())
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// `true` while `node`'s worker thread is running.
+    fn worker_alive(&self, node: NodeId) -> bool {
+        self.handles
+            .iter()
+            .any(|(n, h)| *n == node && !h.is_finished())
+    }
+
+    /// Published senders of workers that are actually running. A crashed
+    /// worker's channel stays open (its receiver lives in the parked
+    /// join handle), so sending to it succeeds but is never answered —
+    /// every control-plane fan-out must skip corpses or it hangs.
+    fn alive_senders(&self) -> Vec<(NodeId, Sender<Msg>)> {
+        let mut alive: Vec<(NodeId, Sender<Msg>)> = self
+            .senders
+            .read()
+            .iter()
+            .map(|(n, s)| (*n, s.clone()))
+            .collect();
+        alive.retain(|(n, _)| self.worker_alive(*n));
+        alive
+    }
+
+    /// Collect one reply per involved worker, watching their liveness: a
+    /// worker that dies mid-collection can never answer, so the wait
+    /// drains what raced in and returns short instead of hanging (the
+    /// next [`Runtime::recover`] handles the corpse).
+    fn gather<T>(&self, rx: &Receiver<T>, involved: &[NodeId]) -> Vec<T> {
+        let mut got = Vec::with_capacity(involved.len());
+        while got.len() < involved.len() {
+            match rx.try_recv() {
+                Ok(v) => got.push(v),
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {
+                    if involved.iter().any(|&n| !self.worker_alive(n)) {
+                        while let Ok(v) = rx.try_recv() {
+                            got.push(v);
+                        }
+                        break;
+                    }
+                    std::thread::sleep(PRESSURE_POLL);
+                }
+            }
+        }
+        got
+    }
+
+    /// Wait for a single protocol reply, watching the involved workers:
+    /// if one dies before answering, the wait returns `None` (after one
+    /// final non-blocking look, in case the reply raced the death)
+    /// instead of hanging forever.
+    fn wait_reply<T>(&self, rx: &Receiver<T>, involved: &[NodeId]) -> Option<T> {
+        loop {
+            match rx.try_recv() {
+                Ok(v) => return Some(v),
+                Err(TryRecvError::Disconnected) => return None,
+                Err(TryRecvError::Empty) => {
+                    if involved.iter().any(|&n| !self.worker_alive(n)) {
+                        return rx.try_recv().ok();
+                    }
+                    std::thread::sleep(PRESSURE_POLL);
+                }
+            }
+        }
+    }
+
     /// Wait until all workers have drained everything enqueued so far.
     ///
     /// One round = a FIFO barrier on every worker; a worker flushes its
     /// pending outbound batches before acknowledging. Cross-worker
     /// forwarding re-enqueues tuples, so `rounds` must be at least the
-    /// topology depth (number of operator hops) plus one.
+    /// topology depth (number of operator hops) plus one. Crashed
+    /// workers are skipped — they can never acknowledge a barrier.
     pub fn quiesce(&self, rounds: usize) {
         for _ in 0..rounds.max(1) {
-            let senders: Vec<Sender<Msg>> = self.senders.read().values().cloned().collect();
             let (ack_tx, ack_rx) = unbounded();
-            let mut expected = 0;
-            for s in &senders {
+            let mut involved = Vec::new();
+            for (node, s) in self.alive_senders() {
                 if s.send(Msg::Barrier(ack_tx.clone())).is_ok() {
-                    expected += 1;
+                    involved.push(node);
                 }
             }
             drop(ack_tx);
-            for _ in 0..expected {
-                let _ = ack_rx.recv();
-            }
+            let _ = self.gather(&ack_rx, &involved);
         }
     }
 
@@ -1037,55 +1368,51 @@ impl Runtime {
         // Recover anything a late sender parked in a dead worker's
         // channel before measuring.
         self.drain_graveyard();
-        let senders: Vec<Sender<Msg>> = self.senders.read().values().cloned().collect();
+        let senders = self.alive_senders();
         // Flush windows and wait.
         let (ack_tx, ack_rx) = unbounded();
-        let mut expected = 0;
-        for s in &senders {
+        let mut involved = Vec::new();
+        for (node, s) in &senders {
             if s.send(Msg::FlushWindows {
                 ack: ack_tx.clone(),
             })
             .is_ok()
             {
-                expected += 1;
+                involved.push(*node);
             }
         }
         drop(ack_tx);
-        for _ in 0..expected {
-            let _ = ack_rx.recv();
-        }
+        let _ = self.gather(&ack_rx, &involved);
         // Window emissions may hop across workers: settle them.
         self.quiesce(3);
 
         // Collect stats, tracking which worker each snapshot came from so
         // the per-node pressure signal survives the merge.
         let (reply_tx, reply_rx) = unbounded();
-        let mut expected = 0;
-        for s in &senders {
+        let mut involved = Vec::new();
+        for (node, s) in &senders {
             if s.send(Msg::CollectStats {
                 reply: reply_tx.clone(),
             })
             .is_ok()
             {
-                expected += 1;
+                involved.push(*node);
             }
         }
         drop(reply_tx);
         let mut merged = StatsCollector::new();
         let mut pressure: HashMap<NodeId, NodePressure> = HashMap::new();
-        for _ in 0..expected {
-            if let Ok((node, c)) = reply_rx.recv() {
-                pressure.insert(
-                    node,
-                    NodePressure {
-                        ingested: c.ingested,
-                        emitted: c.emitted,
-                        dropped: c.dropped,
-                        ..Default::default()
-                    },
-                );
-                merged.merge(&c);
-            }
+        for (node, c) in self.gather(&reply_rx, &involved) {
+            pressure.insert(
+                node,
+                NodePressure {
+                    ingested: c.ingested,
+                    emitted: c.emitted,
+                    dropped: c.dropped,
+                    ..Default::default()
+                },
+            );
+            merged.merge(&c);
         }
         for (node, gauge) in self.gauges.read().iter() {
             let (depth, peak, overflow) = gauge.collect();
@@ -1103,6 +1430,7 @@ impl Runtime {
         let mut stats =
             PeriodStats::compute(period, &merged, allocation, &self.cluster, &self.cost);
         stats.pressure = pressure;
+        let recovery = std::mem::take(&mut self.pending_recovery);
         self.history.push(PeriodRecord {
             period: period.index(),
             load_distance: stats.load_distance(&self.cluster),
@@ -1115,8 +1443,49 @@ impl Runtime {
             num_nodes: self.cluster.len(),
             marked_nodes: self.cluster.marked().count(),
             dropped_tuples: stats.dropped_tuples,
+            failed_nodes: recovery.failed_nodes,
+            groups_restored: recovery.groups_restored,
+            tuples_replayed: recovery.tuples_replayed,
+            recovery_secs: recovery.recovery_secs,
         });
+        // Period-aligned checkpoint: the data plane is quiesced and the
+        // collectors were just drained, so the snapshot plus a fresh log
+        // is a consistent cut of the stream.
+        if self.checkpoint_interval > 0 && (period.index() + 1) % self.checkpoint_interval == 0 {
+            self.capture_checkpoint(period.index());
+        }
         stats
+    }
+
+    /// Capture a checkpoint of every key group's serialized state and
+    /// reset the replay log — everything up to and including `period` is
+    /// now covered by the snapshot.
+    ///
+    /// The capture must be all-or-nothing: if a worker dies mid-snapshot,
+    /// committing the partial cut (and clearing the log that could
+    /// rebuild the missing groups) would silently lose state — so an
+    /// incomplete capture is abandoned, keeping the previous checkpoint
+    /// and the (still-growing) log, and the next period boundary retries.
+    fn capture_checkpoint(&mut self, period: u64) {
+        let (tx, rx) = unbounded();
+        let mut involved = Vec::new();
+        for (node, s) in self.alive_senders() {
+            if s.send(Msg::SnapshotStates { reply: tx.clone() }).is_ok() {
+                involved.push(node);
+            }
+        }
+        drop(tx);
+        let snaps = self.gather(&rx, &involved);
+        if snaps.len() < involved.len() {
+            return;
+        }
+        let mut states: Vec<(u32, Vec<u8>)> = Vec::new();
+        for (_, snap) in snaps {
+            states.extend(snap);
+        }
+        states.sort_unstable_by_key(|(g, _)| *g);
+        self.checkpoint = Some(Checkpoint { period, states });
+        self.replay_log.clear();
     }
 
     /// Execute migrations with the direct state migration protocol.
@@ -1153,13 +1522,16 @@ impl Runtime {
             let senders = self.senders.read();
             let (src, dst) = (senders.get(&from).cloned(), senders.get(&to).cloned());
             drop(senders);
-            let Some(src) = src else {
+            // A crashed worker's channel stays open, so the aliveness
+            // check (not the send) is what detects a corpse endpoint —
+            // waiting for a reply from one would hang the protocol.
+            let Some(src) = src.filter(|_| self.worker_alive(from)) else {
                 report
                     .failed
                     .push(fail(MigrationFailure::SourceUnavailable));
                 continue;
             };
-            let Some(dst) = dst else {
+            let Some(dst) = dst.filter(|_| self.worker_alive(to)) else {
                 report
                     .failed
                     .push(fail(MigrationFailure::DestinationUnavailable));
@@ -1177,7 +1549,7 @@ impl Runtime {
                     ack: prep_tx,
                 })
                 .is_err()
-                || prep_rx.recv().is_err()
+                || self.wait_reply(&prep_rx, &[to]).is_none()
             {
                 // The destination died before the buffer window opened;
                 // routing was never touched, the source keeps serving.
@@ -1203,8 +1575,8 @@ impl Runtime {
                     .push(fail(MigrationFailure::SourceUnavailable));
                 continue;
             }
-            match done_rx.recv() {
-                Ok(ExtractReply::Installed { state_bytes, .. }) => {
+            match self.wait_reply(&done_rx, &[from, to]) {
+                Some(ExtractReply::Installed { state_bytes, .. }) => {
                     report.migrations.push(MigrationReport::from_cost_model(
                         group,
                         from,
@@ -1213,7 +1585,7 @@ impl Runtime {
                         &self.cost,
                     ));
                 }
-                Ok(ExtractReply::DestinationGone) => {
+                Some(ExtractReply::DestinationGone) => {
                     // The source kept the state; point routing back at it
                     // and abort the destination's buffering window (a
                     // no-op if the destination really is dead).
@@ -1223,11 +1595,12 @@ impl Runtime {
                         .failed
                         .push(fail(MigrationFailure::DestinationUnavailable));
                 }
-                Err(_) => {
-                    // `done` was dropped without a reply — a worker thread
-                    // panicked mid-protocol and the state's location is
-                    // unknown. Restore routing to the source (the only
-                    // holder in every non-panic path) and surface it.
+                None => {
+                    // No reply will ever come — a worker died
+                    // mid-protocol and the state's location is unknown.
+                    // Restore routing to the source (the only holder in
+                    // every non-crash path) and surface it; a recovery
+                    // pass restores the checkpointed state regardless.
                     self.routing.reroute(group, from);
                     let _ = dst.send(Msg::CancelReceive { kg: group });
                     report.failed.push(fail(MigrationFailure::ProtocolAborted));
@@ -1267,7 +1640,26 @@ impl Runtime {
     /// Terminate every marked node whose key groups have all been drained
     /// (Algorithm 1, lines 1-3): settle in-flight tuples, stop the worker,
     /// join its thread and release the node. Returns the terminated ids.
+    ///
+    /// With a crashed, unrecovered worker anywhere in the cluster this
+    /// returns an empty list (the controlled drain cannot run — see
+    /// [`Runtime::try_terminate_drained`], which surfaces the typed
+    /// error); the controller's recovery phase clears the condition
+    /// before the next drain attempt.
     pub fn terminate_drained(&mut self) -> Vec<NodeId> {
+        self.try_terminate_drained().unwrap_or_default()
+    }
+
+    /// [`Runtime::terminate_drained`], surfacing the failure mode: a
+    /// worker thread that is dead outside the drain lifecycle (crash or
+    /// panic) makes the drain's quiesce unsafe — this used to block
+    /// forever on an acknowledgement the corpse could never send (and
+    /// then on its join handle); now it is a typed error telling the
+    /// caller to run [`Runtime::recover`] first.
+    pub fn try_terminate_drained(&mut self) -> Result<Vec<NodeId>, TerminateError> {
+        if let Some(&node) = self.crashed_workers().first() {
+            return Err(TerminateError::WorkerCrashed(node));
+        }
         let drained: Vec<NodeId> = {
             let routing = self.routing.read();
             self.cluster
@@ -1277,7 +1669,7 @@ impl Runtime {
                 .collect()
         };
         if drained.is_empty() {
-            return drained;
+            return Ok(drained);
         }
         // Nothing routes to a drained node any more, but tuples forwarded
         // to it before its last group moved away may still sit in its
@@ -1300,16 +1692,214 @@ impl Runtime {
             }
             self.cluster.terminate(node);
         }
-        drained
+        Ok(drained)
     }
 
-    /// Serialized state of one key group, fetched from its hosting worker.
+    /// Serialized state of one key group, fetched from its hosting worker
+    /// (`None` if the group has no state or its worker is dead).
     pub fn probe_state(&self, kg: KeyGroupId) -> Option<Vec<u8>> {
         let node = self.routing.node_of(kg);
         let sender = self.senders.read().get(&node).cloned()?;
         let (tx, rx) = unbounded();
         sender.send(Msg::ProbeState { kg, reply: tx }).ok()?;
-        rx.recv().ok().flatten()
+        self.wait_reply(&rx, &[node]).flatten()
+    }
+
+    /// Abruptly kill a live worker thread — the runtime's fault-injection
+    /// hook. The worker dies at its next message boundary (which keeps
+    /// scripted fault schedules deterministic), dropping every in-memory
+    /// key-group state it holds; its sender stays published and its
+    /// cluster entry intact, exactly like a real crash the engine has not
+    /// noticed yet. Returns `false` if the node is unknown or already
+    /// dead. [`Runtime::recover`] (run by the controller at the top of
+    /// every adaptation round) detects and repairs the damage.
+    pub fn inject_fault(&mut self, node: NodeId) -> bool {
+        if !self.worker_alive(node) {
+            return false;
+        }
+        let Some(s) = self.senders.read().get(&node).cloned() else {
+            return false;
+        };
+        if s.send(Msg::Crash).is_err() {
+            return false;
+        }
+        // Wait (bounded) for the thread to actually exit, so a scripted
+        // kill has taken full effect before the script continues.
+        let deadline = Instant::now() + FAULT_PATIENCE;
+        while self.worker_alive(node) && Instant::now() < deadline {
+            std::thread::sleep(PRESSURE_POLL);
+        }
+        !self.worker_alive(node)
+    }
+
+    /// Detect crashed workers and recover them: re-home their key groups
+    /// onto the survivors, roll *every* worker back to the latest
+    /// period-aligned checkpoint through the same install path a
+    /// migration uses, and replay the post-checkpoint delta from the
+    /// inject-side log. With checkpointing enabled
+    /// ([`Runtime::configure_recovery`]) this is exactly-once: final
+    /// states equal a fault-free run's. Without it, recovery is
+    /// availability-only (groups restart empty).
+    ///
+    /// A worker that dies *during* recovery is picked up by the next
+    /// pass of the internal loop — rollback + replay are idempotent, so
+    /// the repeated pass is safe.
+    pub fn recover(&mut self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        if self.crashed_workers().is_empty() {
+            return report;
+        }
+        let t0 = Instant::now();
+        // Hold the injection fence for the whole repair: no external
+        // tuple may be logged-then-delivered across the rollback
+        // boundary. Replay itself bypasses the gate (it re-injects
+        // through the unlogged path), so this cannot self-deadlock.
+        let log = Arc::clone(&self.replay_log);
+        let _gate = log.is_enabled().then(|| log.gate.write());
+        // Stale batches parked in terminated workers' channels must
+        // re-enter routing *before* the rollback, or they would replay
+        // on top of already-replayed state afterwards.
+        self.drain_graveyard();
+        let mut log_truncated = 0;
+        for _pass in 0..=self.cluster.len() {
+            let crashed = self.crashed_workers();
+            if crashed.is_empty() {
+                break;
+            }
+            for node in crashed {
+                if !report.failed.contains(&node) {
+                    report.failed.push(node);
+                }
+                // Unpublish, join the corpse, and drop its channel:
+                // everything still queued there is covered by the
+                // rollback + replay below.
+                self.senders.write().remove(&node);
+                self.gauges.write().remove(&node);
+                if let Some(pos) = self.handles.iter().position(|(id, _)| *id == node) {
+                    let (_, handle) = self.handles.remove(pos);
+                    let _ = handle.join();
+                }
+                self.cluster.terminate(node);
+            }
+            // Settle the survivors so no pre-crash tuple is still in
+            // flight when the rollback discards and rebuilds state.
+            self.quiesce(self.settle_rounds);
+            let survivors: Vec<NodeId> = self.cluster.alive().map(|n| n.id).collect();
+            if survivors.is_empty() {
+                // Total loss: nothing to restore onto. Routing still
+                // points at the dead nodes; the report says so.
+                break;
+            }
+            // Re-home the lost groups deterministically — the simulator
+            // runs the identical placement, which is what makes a
+            // FaultPlan substrate-equivalent.
+            let mut lost: Vec<KeyGroupId> = Vec::new();
+            {
+                let routing = self.routing.snapshot();
+                for &node in &report.failed {
+                    lost.extend(routing.groups_on(node));
+                }
+            }
+            for (kg, to) in recovery_placement(&lost, &survivors) {
+                self.routing.reroute(kg, to);
+            }
+            report.groups_restored += lost.len();
+            // Restore the checkpoint and replay the delta; a crash in
+            // the middle of either sends us around the loop again. With
+            // checkpointing disabled there is nothing to restore *from*:
+            // survivors keep their live state and only the dead node's
+            // groups restart empty (availability-only recovery).
+            if self.checkpoint_interval > 0 {
+                if self.rollback_to_checkpoint().is_err() {
+                    continue;
+                }
+                let (replayed, truncated) = self.replay_log_entries();
+                report.tuples_replayed = replayed;
+                log_truncated = truncated;
+                self.quiesce(self.settle_rounds);
+            }
+        }
+        report.checkpoint_period = self.checkpoint.as_ref().map(|c| c.period);
+        report.log_truncated = log_truncated;
+        report.recovery_secs = t0.elapsed().as_secs_f64();
+        // Tuples past the log bound could not be replayed: surface the
+        // loss through the period's dropped counter.
+        self.inject_dropped
+            .fetch_add(log_truncated, Ordering::Relaxed);
+        self.pending_recovery.failed_nodes += report.failed.len();
+        self.pending_recovery.groups_restored += report.groups_restored;
+        self.pending_recovery.tuples_replayed += report.tuples_replayed as f64;
+        self.pending_recovery.recovery_secs += report.recovery_secs;
+        report
+    }
+
+    /// Reset every worker to the latest checkpoint: clear all state,
+    /// buffers and period counters, then install the checkpointed states
+    /// at their current routing targets (the shared migration install
+    /// path). Errs with the node if a worker dies mid-rollback.
+    fn rollback_to_checkpoint(&mut self) -> Result<(), NodeId> {
+        // The rollback also rewinds the period's measurement: counters
+        // recorded for work that is about to be discarded and replayed
+        // would otherwise double-count (workers clear their collectors in
+        // the Rollback handler; the inject-edge counter is cleared here).
+        self.inject_dropped.store(0, Ordering::Relaxed);
+        let routing = self.routing.snapshot();
+        let mut per_node: HashMap<NodeId, Vec<(u32, Vec<u8>)>> = HashMap::new();
+        if let Some(cp) = &self.checkpoint {
+            for (g, bytes) in &cp.states {
+                per_node
+                    .entry(routing.node_of(KeyGroupId::new(*g)))
+                    .or_default()
+                    .push((*g, bytes.clone()));
+            }
+        }
+        let (ack_tx, ack_rx) = unbounded();
+        let mut involved = Vec::new();
+        for (node, sender) in self.alive_senders() {
+            let states = per_node.remove(&node).unwrap_or_default();
+            if sender
+                .send(Msg::Rollback {
+                    states,
+                    ack: ack_tx.clone(),
+                })
+                .is_ok()
+            {
+                involved.push(node);
+            }
+        }
+        drop(ack_tx);
+        let acked = self.gather(&ack_rx, &involved).len();
+        if acked < involved.len() {
+            let dead = involved
+                .iter()
+                .find(|&&n| !self.worker_alive(n))
+                .copied()
+                .unwrap_or(involved[0]);
+            return Err(dead);
+        }
+        Ok(())
+    }
+
+    /// Re-inject the logged post-checkpoint delta in arrival order,
+    /// without re-logging it. Returns `(tuples replayed, tuples lost to
+    /// the log bound)`.
+    fn replay_log_entries(&self) -> (u64, u64) {
+        let (entries, truncated) = self.replay_log.snapshot();
+        let n = entries.len() as u64;
+        if n > 0 {
+            let injector = self.injector();
+            let mut i = 0;
+            while i < entries.len() {
+                let op = entries[i].0;
+                let j = entries[i..]
+                    .iter()
+                    .position(|(o, _)| *o != op)
+                    .map_or(entries.len(), |p| i + p);
+                injector.inject_inner(op, entries[i..j].iter().map(|(_, t)| t.clone()), false);
+                i = j;
+            }
+        }
+        (n, truncated)
     }
 
     /// Metric history, one record per completed period.
@@ -1375,6 +1965,14 @@ impl ReconfigEngine for Runtime {
 
     fn history(&self) -> &[PeriodRecord] {
         Runtime::history(self)
+    }
+
+    fn inject_fault(&mut self, node: NodeId) -> bool {
+        Runtime::inject_fault(self, node)
+    }
+
+    fn recover(&mut self) -> RecoveryReport {
+        Runtime::recover(self)
     }
 }
 
@@ -1884,6 +2482,200 @@ mod tests {
             8.0,
             "stale source entry must not shadow the grown state"
         );
+        rt.shutdown();
+    }
+
+    /// Read a `Counting` group's u64 state (0 when absent).
+    fn count_of(rt: &Runtime, kg: KeyGroupId) -> u64 {
+        rt.probe_state(kg)
+            .map(|b| {
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(&b[..8]);
+                u64::from_le_bytes(arr)
+            })
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn crash_recovery_restores_checkpoint_and_replays_the_delta() {
+        let (mut rt, src, cnt) = two_op_runtime(2);
+        rt.configure_recovery(1, DEFAULT_REPLAY_LOG_CAPACITY);
+        let key = 9i32;
+        let kg = rt.topology().group_for_key(cnt, hash_key(&key));
+
+        // 50 tuples into the checkpoint, 30 into the post-checkpoint log.
+        rt.inject(
+            src,
+            (0..50).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        let _ = rt.end_period(); // checkpoint covers the 50
+        rt.inject(
+            src,
+            (50..80).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+
+        // Kill the worker hosting the counter group: its state (80) dies
+        // with it.
+        let victim = rt.routing_snapshot().node_of(kg);
+        assert!(rt.inject_fault(victim));
+        assert!(!rt.inject_fault(victim), "double-kill is rejected");
+
+        let report = rt.recover();
+        assert_eq!(report.failed, vec![victim]);
+        assert!(report.groups_restored > 0);
+        assert_eq!(report.tuples_replayed, 30);
+        assert_eq!(report.checkpoint_period, Some(0));
+        assert_eq!(report.log_truncated, 0);
+        assert!(report.recovery_secs > 0.0);
+
+        // Exactly-once across the recovery: checkpoint (50) + delta (30).
+        let survivor = rt.routing_snapshot().node_of(kg);
+        assert_ne!(survivor, victim);
+        assert!(rt.cluster().get(victim).is_none(), "corpse released");
+        assert_eq!(count_of(&rt, kg), 80, "state equals the fault-free run");
+
+        // The recovered pipeline keeps processing, with clean accounting.
+        rt.inject(
+            src,
+            (80..100).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        let stats = rt.end_period();
+        assert_eq!(stats.dropped_tuples, 0.0);
+        assert_eq!(count_of(&rt, kg), 100);
+        let rec = rt.history().last().unwrap();
+        assert_eq!(rec.failed_nodes, 1);
+        assert_eq!(rec.groups_restored, report.groups_restored);
+        assert_eq!(rec.tuples_replayed, 30.0);
+        assert!(rec.recovery_secs > 0.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn recovery_without_checkpointing_is_availability_only() {
+        let (mut rt, src, cnt) = two_op_runtime(2);
+        let key = 4i32;
+        rt.inject(
+            src,
+            (0..40).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        let kg = rt.topology().group_for_key(cnt, hash_key(&key));
+        let victim = rt.routing_snapshot().node_of(kg);
+        assert!(rt.inject_fault(victim));
+        let report = rt.recover();
+        assert_eq!(report.failed, vec![victim]);
+        assert_eq!(report.tuples_replayed, 0);
+        assert_eq!(report.checkpoint_period, None);
+        // The group is re-homed and serviceable, but its state restarted.
+        assert_ne!(rt.routing_snapshot().node_of(kg), victim);
+        rt.inject(
+            src,
+            (0..5).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        assert_eq!(count_of(&rt, kg), 5, "counter restarted from empty");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn truncated_replay_log_is_surfaced_as_dropped() {
+        let (mut rt, src, _) = two_op_runtime(2);
+        rt.configure_recovery(1, 10);
+        let _ = rt.end_period();
+        rt.inject(
+            src,
+            (0..50).map(|i| Tuple::keyed(&(i % 4), Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        assert!(rt.inject_fault(NodeId::new(1)));
+        let report = rt.recover();
+        assert_eq!(report.tuples_replayed, 10);
+        assert_eq!(report.log_truncated, 40);
+        let stats = rt.end_period();
+        assert!(
+            stats.dropped_tuples >= 40.0,
+            "unreplayable tuples must be counted, got {}",
+            stats.dropped_tuples
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn terminate_drained_on_a_crashed_worker_is_a_typed_error_not_a_hang() {
+        // Regression: draining quiesces all workers, and a crashed worker
+        // (channel open, thread gone) could never acknowledge — the old
+        // code blocked forever waiting on it before ever reaching the
+        // join handle. Now the condition is surfaced as a typed error.
+        let (mut rt, src, _) = two_op_runtime(2);
+        rt.inject(
+            src,
+            (0..40).map(|i| Tuple::keyed(&(i % 8), Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        rt.end_period();
+
+        // Mark node 1 and drain it — a legitimate scale-in in progress.
+        let victim = NodeId::new(1);
+        let _ = rt.apply(&ReconfigPlan {
+            migrations: rt
+                .routing_snapshot()
+                .groups_on(victim)
+                .into_iter()
+                .map(|group| Migration {
+                    group,
+                    to: NodeId::new(0),
+                })
+                .collect(),
+            add_nodes: vec![],
+            mark_removal: vec![victim],
+        });
+        // ... then the drained worker crashes before termination.
+        assert!(rt.inject_fault(victim));
+        assert_eq!(
+            rt.try_terminate_drained(),
+            Err(TerminateError::WorkerCrashed(victim))
+        );
+        // The trait path degrades to "nothing terminated this round".
+        assert!(Runtime::terminate_drained(&mut rt).is_empty());
+        // Recovery clears the condition (the corpse is released there).
+        let report = rt.recover();
+        assert_eq!(report.failed, vec![victim]);
+        assert!(rt.cluster().get(victim).is_none());
+        assert_eq!(rt.try_terminate_drained(), Ok(vec![]));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn migration_involving_a_crashed_worker_fails_fast_instead_of_hanging() {
+        let (mut rt, src, cnt) = two_op_runtime(2);
+        let key = 6i32;
+        rt.inject(
+            src,
+            (0..20).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        let kg = rt.topology().group_for_key(cnt, hash_key(&key));
+        let from = rt.routing_snapshot().node_of(kg);
+        let to = if from == NodeId::new(0) {
+            NodeId::new(1)
+        } else {
+            NodeId::new(0)
+        };
+        // Crash the destination: unlike sever_worker, the channel stays
+        // open, so only the liveness check (not a failing send) can
+        // prevent the protocol from waiting forever.
+        assert!(rt.inject_fault(to));
+        let report = rt.migrate(&[Migration { group: kg, to }]);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(
+            report.failed[0].reason,
+            MigrationFailure::DestinationUnavailable
+        );
+        assert_eq!(rt.routing_snapshot().node_of(kg), from);
+        assert_eq!(count_of(&rt, kg), 20, "state never left the source");
         rt.shutdown();
     }
 

@@ -24,6 +24,7 @@ use albic_types::{KeyGroupId, NodeId, Period, PeriodClock};
 
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
+use crate::fault::{recovery_placement, RecoveryReport};
 use crate::migration::{Migration, MigrationReport};
 use crate::reconfig::{ClusterView, ReconfigPlan};
 use crate::routing::RoutingTable;
@@ -63,6 +64,17 @@ pub struct SimEngine<W: WorkloadModel> {
     history: Vec<PeriodRecord>,
     last_stats: Option<PeriodStats>,
     last_snapshot: Option<WorkloadSnapshot>,
+    /// Checkpoint every n-th period boundary (0 = disabled). The
+    /// simulator models state at the rate level, so its "checkpoint" is
+    /// the period marker recovery reports restoring from.
+    checkpoint_interval: u64,
+    /// The period the latest modeled checkpoint was captured at.
+    last_checkpoint: Option<u64>,
+    /// Nodes failed by [`SimEngine::inject_fault`], pending recovery.
+    failed: Vec<NodeId>,
+    /// Recovery accounting folded into the next period's record:
+    /// `(failed nodes, groups restored, modeled recovery seconds)`.
+    pending_recovery: (usize, usize, f64),
 }
 
 impl<W: WorkloadModel> SimEngine<W> {
@@ -82,6 +94,10 @@ impl<W: WorkloadModel> SimEngine<W> {
             history: Vec::new(),
             last_stats: None,
             last_snapshot: None,
+            checkpoint_interval: 0,
+            last_checkpoint: None,
+            failed: Vec::new(),
+            pending_recovery: (0, 0, 0.0),
         }
     }
 
@@ -118,6 +134,16 @@ impl<W: WorkloadModel> SimEngine<W> {
         self.last_stats.as_ref()
     }
 
+    /// Checkpoint at every `interval`-th period boundary (0 disables),
+    /// mirroring the cadence of
+    /// [`crate::runtime::Runtime::configure_recovery`]: the simulator's
+    /// state is the
+    /// workload model, so the checkpoint is a period marker, but the
+    /// alignment keeps the two substrates' recovery reports comparable.
+    pub fn set_checkpoint_interval(&mut self, interval: u64) {
+        self.checkpoint_interval = interval;
+    }
+
     /// Advance one statistics period: draw the workload, measure, record.
     pub fn tick(&mut self) -> PeriodStats {
         let period = self.clock.advance();
@@ -125,6 +151,8 @@ impl<W: WorkloadModel> SimEngine<W> {
         let stats = self.stats_from_snapshot(period, &snap);
         self.last_snapshot = Some(snap);
 
+        let (failed_nodes, groups_restored, recovery_secs) =
+            std::mem::take(&mut self.pending_recovery);
         self.history.push(PeriodRecord {
             period: period.index(),
             load_distance: stats.load_distance(&self.cluster),
@@ -137,7 +165,14 @@ impl<W: WorkloadModel> SimEngine<W> {
             num_nodes: self.cluster.len(),
             marked_nodes: self.cluster.marked().count(),
             dropped_tuples: 0.0,
+            failed_nodes,
+            groups_restored,
+            tuples_replayed: 0.0,
+            recovery_secs,
         });
+        if self.checkpoint_interval > 0 && (period.index() + 1) % self.checkpoint_interval == 0 {
+            self.last_checkpoint = Some(period.index());
+        }
         self.last_stats = Some(stats.clone());
         stats
     }
@@ -256,6 +291,65 @@ impl<W: WorkloadModel> SimEngine<W> {
         }
         terminated
     }
+
+    /// Fail a simulated node abruptly: it keeps its routing entries (its
+    /// groups strand, exactly like a crashed worker's) until
+    /// [`SimEngine::recover`] re-homes them. Returns `false` for unknown
+    /// or already-failed nodes.
+    pub fn inject_fault(&mut self, node: NodeId) -> bool {
+        if self.cluster.get(node).is_none() || self.failed.contains(&node) {
+            return false;
+        }
+        self.failed.push(node);
+        true
+    }
+
+    /// Recover failed nodes: re-home their key groups onto the surviving
+    /// alive nodes with the *same* deterministic placement the threaded
+    /// runtime uses ([`recovery_placement`]), release the dead nodes, and
+    /// model the restore cost — restoring a group from a checkpoint costs
+    /// what migrating its state would (`mc_k = α·|σ_k|`), the integrative
+    /// point of sharing one mechanism.
+    pub fn recover(&mut self) -> RecoveryReport {
+        if self.failed.is_empty() {
+            return RecoveryReport::default();
+        }
+        let mut report = RecoveryReport {
+            failed: std::mem::take(&mut self.failed),
+            checkpoint_period: self.last_checkpoint,
+            ..RecoveryReport::default()
+        };
+        let survivors: Vec<NodeId> = self
+            .cluster
+            .alive()
+            .map(|n| n.id)
+            .filter(|n| !report.failed.contains(n))
+            .collect();
+        if !survivors.is_empty() {
+            let mut lost: Vec<KeyGroupId> = Vec::new();
+            for &node in &report.failed {
+                lost.extend(self.routing.groups_on(node));
+            }
+            let state_sizes: Vec<f64> = self
+                .last_stats
+                .as_ref()
+                .map(|s| s.group_state_bytes.clone())
+                .unwrap_or_default();
+            for (kg, to) in recovery_placement(&lost, &survivors) {
+                self.routing.reroute(kg, to);
+                let bytes = state_sizes.get(kg.index()).copied().unwrap_or(0.0) as usize;
+                report.recovery_secs += self.cost.migration_pause(self.cost.migration_cost(bytes));
+            }
+            report.groups_restored = lost.len();
+        }
+        for &node in &report.failed {
+            self.cluster.terminate(node);
+        }
+        self.pending_recovery.0 += report.failed.len();
+        self.pending_recovery.1 += report.groups_restored;
+        self.pending_recovery.2 += report.recovery_secs;
+        report
+    }
 }
 
 impl<W: WorkloadModel> ReconfigEngine for SimEngine<W> {
@@ -282,6 +376,14 @@ impl<W: WorkloadModel> ReconfigEngine for SimEngine<W> {
 
     fn history(&self) -> &[PeriodRecord] {
         SimEngine::history(self)
+    }
+
+    fn inject_fault(&mut self, node: NodeId) -> bool {
+        SimEngine::inject_fault(self, node)
+    }
+
+    fn recover(&mut self) -> RecoveryReport {
+        SimEngine::recover(self)
     }
 }
 
@@ -475,6 +577,60 @@ mod tests {
         let _ = e.apply(&plan);
         assert_eq!(e.terminate_drained(), vec![NodeId::new(1)]);
         assert_eq!(e.cluster().len(), 2);
+    }
+
+    #[test]
+    fn fault_and_recovery_rehome_groups_and_record_accounting() {
+        let mut e = engine(4, 2);
+        e.set_checkpoint_interval(1);
+        e.tick();
+
+        assert!(!e.inject_fault(NodeId::new(99)), "unknown node");
+        assert!(e.inject_fault(NodeId::new(0)));
+        assert!(!e.inject_fault(NodeId::new(0)), "double-kill rejected");
+
+        let lost = e.routing().groups_on(NodeId::new(0));
+        assert!(!lost.is_empty());
+        let report = e.recover();
+        assert_eq!(report.failed, vec![NodeId::new(0)]);
+        assert_eq!(report.groups_restored, lost.len());
+        assert_eq!(report.checkpoint_period, Some(0));
+        assert!(
+            report.recovery_secs > 0.0,
+            "restoring 1 KiB states has modeled cost"
+        );
+        // Everything now lives on the survivor; the corpse is gone.
+        assert_eq!(e.cluster().len(), 1);
+        assert!(e.routing().groups_on(NodeId::new(0)).is_empty());
+        assert_eq!(
+            e.routing().groups_on(NodeId::new(1)).len(),
+            e.routing().len()
+        );
+        // A second recover is a no-op.
+        assert_eq!(e.recover(), crate::fault::RecoveryReport::default());
+        // The accounting lands in the next period's record.
+        e.tick();
+        let rec = e.history().last().unwrap();
+        assert_eq!(rec.failed_nodes, 1);
+        assert_eq!(rec.groups_restored, lost.len());
+        assert!(rec.recovery_secs > 0.0);
+        assert_eq!(rec.num_nodes, 1);
+    }
+
+    #[test]
+    fn recovery_placement_matches_the_shared_helper() {
+        // 3 nodes, 6 groups round-robin; killing node 1 must land its
+        // groups exactly where `recovery_placement` says.
+        let mut e = engine(6, 3);
+        e.tick();
+        let lost = e.routing().groups_on(NodeId::new(1));
+        let survivors = [NodeId::new(0), NodeId::new(2)];
+        let expected = crate::fault::recovery_placement(&lost, &survivors);
+        assert!(e.inject_fault(NodeId::new(1)));
+        let _ = e.recover();
+        for (kg, node) in expected {
+            assert_eq!(e.routing().node_of(kg), node);
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use albic_types::{KeyGroupId, NodeId};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::RecoveryReport;
 use crate::migration::MigrationReport;
 use crate::reconfig::{ClusterView, ReconfigPlan};
 use crate::stats::PeriodStats;
@@ -44,6 +45,17 @@ pub struct PeriodRecord {
     /// Tuples whose destination worker was unreachable this period —
     /// surfaced drops, always 0 on the simulator and in healthy runs.
     pub dropped_tuples: f64,
+    /// Workers that crashed and were recovered before this period closed.
+    pub failed_nodes: usize,
+    /// Key groups restored from the latest checkpoint onto survivors by
+    /// those recoveries.
+    pub groups_restored: usize,
+    /// Tuples replayed from the inject-side log during recovery (0 on the
+    /// simulator, which models recovery at the rate level).
+    pub tuples_replayed: f64,
+    /// Seconds spent recovering — measured on the runtime, modeled via
+    /// the migration cost model on the simulator.
+    pub recovery_secs: f64,
 }
 
 /// Why an individual migration could not be executed.
@@ -165,6 +177,29 @@ pub trait ReconfigEngine {
 
     /// Metric history, one record per completed period.
     fn history(&self) -> &[PeriodRecord];
+
+    /// Abruptly fail a node — the deterministic fault-injection hook.
+    /// On the threaded runtime the worker thread dies at its next message
+    /// boundary, dropping all in-memory key-group state; on the simulator
+    /// the node is marked failed and its groups strand until recovery.
+    /// Returns `false` if the node is unknown or already dead. The
+    /// default (an engine without a failure model) injects nothing.
+    fn inject_fault(&mut self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
+    /// Detect dead workers and recover their key groups: re-home them
+    /// onto survivors ([`crate::fault::recovery_placement`]), restore
+    /// state from the latest period-aligned checkpoint through the same
+    /// install path a migration uses, and replay the post-checkpoint
+    /// delta from the inject-side log. Controllers call this at the top
+    /// of every adaptation round; with no dead worker it is a cheap
+    /// no-op. The default (an engine without a failure model) reports
+    /// nothing.
+    fn recover(&mut self) -> RecoveryReport {
+        RecoveryReport::default()
+    }
 }
 
 impl<E: ReconfigEngine + ?Sized> ReconfigEngine for &mut E {
@@ -185,6 +220,12 @@ impl<E: ReconfigEngine + ?Sized> ReconfigEngine for &mut E {
     }
     fn history(&self) -> &[PeriodRecord] {
         (**self).history()
+    }
+    fn inject_fault(&mut self, node: NodeId) -> bool {
+        (**self).inject_fault(node)
+    }
+    fn recover(&mut self) -> RecoveryReport {
+        (**self).recover()
     }
 }
 

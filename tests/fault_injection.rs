@@ -1,0 +1,291 @@
+//! Deterministic fault injection against the threaded runtime: a scripted
+//! worker kill during sustained load must lose no key group, and the
+//! recovered counter states must be bit-equal to a fault-free oracle run
+//! of the same schedule (exactly-once across recovery). Recovery shares
+//! the migration machinery — checkpointed state comes back through the
+//! same install path, re-homing goes through the routing table — so these
+//! tests are also the proof of the paper's integrative thesis extended to
+//! fault tolerance.
+
+use albic::engine::fault::{FaultInjector, FaultPlan};
+use albic::engine::operator::{Counting, Identity};
+use albic::engine::tuple::{Tuple, Value};
+use albic::engine::{PeriodRecord, Runtime};
+use albic::job::{Job, Policy};
+use albic::types::{KeyGroupId, NodeId};
+
+const KEYS: u64 = 24;
+const PERIODS: u64 = 5;
+const NODES: usize = 4;
+
+/// Deterministic skewed per-key tuple counts for one period.
+fn tuples_of(key: u64, period: u64) -> u64 {
+    2 + (key * 5 + period * 3) % 11
+}
+
+/// Run the standard 4-worker pipeline for [`PERIODS`] periods under the
+/// given fault plan; returns the per-group final counter states and the
+/// metric history.
+fn run(plan: FaultPlan) -> (Vec<u64>, Vec<PeriodRecord>) {
+    let mut job = Job::builder()
+        .source("events", 8, Identity)
+        .operator("count", 8, Counting)
+        .edge("events", "count")
+        .nodes(NODES)
+        .checkpoint_interval(1)
+        .policy(Policy::noop())
+        .build_threaded()
+        .expect("valid job spec");
+    let mut faults = FaultInjector::new(plan);
+    for p in 0..PERIODS {
+        let killed = faults.advance(job.engine_mut());
+        for v in &killed {
+            assert!(job.cluster().get(*v).is_some(), "victim existed pre-step");
+        }
+        for k in 0..KEYS {
+            let n = tuples_of(k, p);
+            job.inject(
+                "events",
+                (0..n).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
+            );
+        }
+        let report = job.step();
+        assert_eq!(
+            report.recovery.failed.len(),
+            killed.len(),
+            "period {p}: every scripted kill must be recovered in its step"
+        );
+        assert!(report.apply.failed.is_empty());
+    }
+    job.settle();
+    let counts = final_counts(job.engine());
+    let history = job.history().to_vec();
+    job.shutdown();
+    (counts, history)
+}
+
+/// The per-group u64 counter states (0 for stateless/untouched groups).
+fn final_counts(rt: &Runtime) -> Vec<u64> {
+    let cnt = rt.topology().operator_by_name("count").unwrap();
+    (0..rt.topology().num_key_groups())
+        .map(|g| {
+            let kg = KeyGroupId::new(g);
+            if rt.topology().operator_of_group(kg) != cnt {
+                return 0;
+            }
+            rt.probe_state(kg)
+                .map(|b| {
+                    let mut arr = [0u8; 8];
+                    arr.copy_from_slice(&b[..8]);
+                    u64::from_le_bytes(arr)
+                })
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[test]
+fn scripted_kill_of_one_of_four_workers_is_exactly_once() {
+    let (oracle, oracle_history) = run(FaultPlan::new());
+    let (counts, history) = run(FaultPlan::new().kill(2, NodeId::new(1)));
+
+    // No key group lost, counter states bit-equal to the fault-free run.
+    assert_eq!(counts, oracle, "recovered states diverge from the oracle");
+    let total: u64 = (0..PERIODS)
+        .flat_map(|p| (0..KEYS).map(move |k| tuples_of(k, p)))
+        .sum();
+    assert_eq!(counts.iter().sum::<u64>(), total, "arithmetic ground truth");
+
+    // Nothing was dropped on the way — recovery, not loss.
+    for rec in &history {
+        assert_eq!(rec.dropped_tuples, 0.0, "period {}", rec.period);
+    }
+    // Recovery accounting is surfaced in the period the kill hit.
+    let rec = &history[2];
+    assert_eq!(rec.failed_nodes, 1);
+    assert!(rec.groups_restored > 0, "the victim hosted groups");
+    assert!(
+        rec.tuples_replayed > 0.0,
+        "the post-checkpoint delta was replayed"
+    );
+    assert!(rec.recovery_secs > 0.0);
+    assert_eq!(rec.num_nodes, NODES - 1, "the corpse left the cluster");
+    // Healthy periods carry zeroed recovery accounting.
+    assert_eq!(history[1].failed_nodes, 0);
+    assert_eq!(history[1].tuples_replayed, 0.0);
+    for rec in &oracle_history {
+        assert_eq!((rec.failed_nodes, rec.groups_restored), (0, 0));
+    }
+}
+
+#[test]
+fn kill_with_tuples_in_flight_is_exactly_once() {
+    // The scripted injector kills at step boundaries; this variant kills
+    // *after* injection, while the period's tuples are still queued in
+    // worker channels — the batches parked in the victim's inbox die with
+    // it and must come back via the replay log.
+    let (oracle, _) = run(FaultPlan::new());
+    let mut job = Job::builder()
+        .source("events", 8, Identity)
+        .operator("count", 8, Counting)
+        .edge("events", "count")
+        .nodes(NODES)
+        .checkpoint_interval(1)
+        .policy(Policy::noop())
+        .build_threaded()
+        .expect("valid job spec");
+    for p in 0..PERIODS {
+        for k in 0..KEYS {
+            let n = tuples_of(k, p);
+            job.inject(
+                "events",
+                (0..n).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
+            );
+        }
+        if p == 2 {
+            assert!(job.engine_mut().inject_fault(NodeId::new(2)));
+        }
+        let report = job.step();
+        if p == 2 {
+            assert_eq!(report.recovery.failed, vec![NodeId::new(2)]);
+            assert!(report.recovery.tuples_replayed > 0);
+        }
+    }
+    job.settle();
+    let counts = final_counts(job.engine());
+    assert_eq!(counts, oracle, "in-flight tuples were lost or doubled");
+    assert_eq!(job.cluster().len(), NODES - 1);
+    job.shutdown();
+}
+
+#[test]
+fn simultaneous_double_kill_is_exactly_once() {
+    let (oracle, _) = run(FaultPlan::new());
+    let (counts, history) = run(FaultPlan::new()
+        .kill(1, NodeId::new(0))
+        .kill(1, NodeId::new(3)));
+    assert_eq!(counts, oracle);
+    assert_eq!(history[1].failed_nodes, 2);
+    assert_eq!(history.last().unwrap().num_nodes, NODES - 2);
+}
+
+#[test]
+fn second_kill_after_recovery_rehits_the_recovered_groups() {
+    // The second victim hosts groups the first recovery re-homed onto it
+    // (round-robin over sorted survivors puts node 1's lost groups on
+    // nodes 0 and 2) — recovering already-recovered state must still be
+    // exactly-once.
+    let (oracle, _) = run(FaultPlan::new());
+    let (counts, history) = run(FaultPlan::new()
+        .kill(1, NodeId::new(1))
+        .kill(2, NodeId::new(2)));
+    assert_eq!(counts, oracle, "re-recovered states diverge from oracle");
+    assert_eq!(history[1].failed_nodes, 1);
+    assert_eq!(history[2].failed_nodes, 1);
+    assert_eq!(history.last().unwrap().num_nodes, NODES - 2);
+    for rec in &history {
+        assert_eq!(rec.dropped_tuples, 0.0, "period {}", rec.period);
+    }
+}
+
+#[test]
+fn kill_before_the_first_checkpoint_replays_from_the_start() {
+    // A fault at step 0 hits before any checkpoint exists: recovery rolls
+    // back to the implicit empty initial checkpoint and replays the whole
+    // log — still exactly-once.
+    let (oracle, _) = run(FaultPlan::new());
+    let (counts, history) = run(FaultPlan::new().kill(0, NodeId::new(1)));
+    assert_eq!(counts, oracle);
+    assert_eq!(history[0].failed_nodes, 1);
+}
+
+#[test]
+fn concurrent_producers_racing_a_kill_lose_nothing() {
+    // Producer threads stream through cloned injectors while a worker is
+    // killed and recovered underneath them. The injection fence makes
+    // each producer call atomic w.r.t. the rollback — a tuple is either
+    // fully pre-rollback (logged, rolled back, replayed: counted once)
+    // or fully post-recovery (counted once) — so the final counter total
+    // must equal everything produced, exactly once.
+    const PRODUCERS: i64 = 3;
+    const PER_PRODUCER: i64 = 400;
+    let mut job = Job::builder()
+        .source("events", 8, Identity)
+        .operator("count", 8, Counting)
+        .edge("events", "count")
+        .nodes(3)
+        .checkpoint_interval(1)
+        .policy(Policy::noop())
+        .build_threaded()
+        .expect("valid job spec");
+    let handles: Vec<_> = (0..PRODUCERS)
+        .map(|t| {
+            let inj = job.injector("events");
+            std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    inj.inject([Tuple::keyed(
+                        &((t * PER_PRODUCER + i) % 16),
+                        Value::Int(i),
+                        i as u64,
+                    )]);
+                }
+            })
+        })
+        .collect();
+    // Kill a worker while the producers are mid-stream, then recover.
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    assert!(job.engine_mut().inject_fault(NodeId::new(1)));
+    let report = job.step();
+    assert_eq!(report.recovery.failed, vec![NodeId::new(1)]);
+    for h in handles {
+        h.join().unwrap();
+    }
+    job.settle();
+    let counts = final_counts(job.engine());
+    assert_eq!(
+        counts.iter().sum::<u64>(),
+        (PRODUCERS * PER_PRODUCER) as u64,
+        "every produced tuple counted exactly once across the recovery"
+    );
+    job.shutdown();
+}
+
+#[test]
+fn policies_see_recovery_as_ordinary_reconfiguration_input() {
+    // After a kill, a balancing policy keeps planning over the smaller
+    // cluster — the post-recovery placement is ordinary statistics, and
+    // its plan runs through the same executor recovery used.
+    let mut job = Job::builder()
+        .source("events", 8, Identity)
+        .operator("count", 8, Counting)
+        .edge("events", "count")
+        .nodes(3)
+        .checkpoint_interval(1)
+        .policy(Policy::milp())
+        .build_threaded()
+        .expect("valid job spec");
+    let mut faults = FaultInjector::new(FaultPlan::new().kill(2, NodeId::new(0)));
+    for p in 0..4u64 {
+        let _ = faults.advance(job.engine_mut());
+        for k in 0..KEYS {
+            job.inject(
+                "events",
+                (0..tuples_of(k, p)).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
+            );
+        }
+        let report = job.step();
+        assert!(report.apply.failed.is_empty(), "{:?}", report.apply.failed);
+    }
+    assert_eq!(job.cluster().len(), 2);
+    // Every group is routed to a live node and the engine still measures.
+    let routing = job.engine().routing_snapshot();
+    for (kg, node) in routing.iter() {
+        assert!(
+            job.cluster().get(node).is_some(),
+            "group {kg:?} routed to dead node {node:?}"
+        );
+    }
+    let stats = job.measure();
+    assert_eq!(stats.dropped_tuples, 0.0);
+    job.shutdown();
+}

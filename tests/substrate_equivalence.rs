@@ -8,13 +8,14 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
+use albic::engine::fault::{FaultInjector, FaultPlan};
 use albic::engine::operator::{Counting, Identity};
 use albic::engine::sim::{WorkloadModel, WorkloadSnapshot};
 use albic::engine::tuple::{hash_key, Tuple, Value};
 use albic::engine::{PeriodStats, ReconfigPlan, RuntimeConfig};
 use albic::job::{Job, JobBuilder, Policy};
 use albic::milp::MigrationBudget;
-use albic::types::{KeyGroupId, Period};
+use albic::types::{KeyGroupId, NodeId, Period};
 
 const KEYS: u64 = 40;
 const PERIODS: usize = 4;
@@ -215,6 +216,161 @@ fn assert_substrate_equivalence(cfg: RuntimeConfig) {
     assert_eq!(
         rt_assignment, sim_assignment,
         "final routing assignments diverge"
+    );
+}
+
+/// Recovery is substrate-equivalent too: the same [`FaultPlan`] (kill
+/// node 1 before step 2) on the threaded runtime and on the simulator
+/// yields bit-identical post-recovery decision signals, identical plans
+/// every period, and identical final routing assignments — both engines
+/// re-home lost groups through the one shared `recovery_placement`, and
+/// the runtime's checkpoint-rollback + log-replay makes its measured
+/// statistics count each logical tuple exactly once despite the crash.
+#[test]
+fn fault_plan_is_substrate_equivalent() {
+    const NODES: usize = 3;
+    let plan = || FaultPlan::new().kill(2, NodeId::new(1));
+    let fault_builder = || {
+        Job::builder()
+            .source("events", 8, Identity)
+            .operator("count", 8, Counting)
+            .edge("events", "count")
+            .nodes(NODES)
+            .checkpoint_interval(1)
+            .policy(Policy::milp().with_budget(MigrationBudget::Count(6)))
+    };
+
+    // --- Substrate A: the threaded runtime. ---
+    let mut rt_job = fault_builder().build_threaded().expect("valid job spec");
+    let topology = rt_job.engine().topology().clone();
+    let num_groups = topology.num_key_groups();
+    let (src, cnt) = (
+        topology.operator_by_name("events").unwrap(),
+        topology.operator_by_name("count").unwrap(),
+    );
+    let key_groups: Vec<(KeyGroupId, KeyGroupId)> = (0..KEYS)
+        .map(|k| {
+            let h = hash_key(&k);
+            (
+                topology.group_for_key(src, h),
+                topology.group_for_key(cnt, h),
+            )
+        })
+        .collect();
+
+    let mut rt_faults = FaultInjector::new(plan());
+    let mut rt_plans: Vec<ReconfigPlan> = Vec::new();
+    let mut rt_stats: Vec<PeriodStats> = Vec::new();
+    for p in 0..PERIODS as u64 {
+        let killed = rt_faults.advance(rt_job.engine_mut());
+        assert_eq!(killed.len(), usize::from(p == 2));
+        for k in 0..KEYS {
+            let n = tuples_of(k, p);
+            rt_job.inject(
+                "events",
+                (0..n).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
+            );
+        }
+        let report = rt_job.step();
+        assert_eq!(report.recovery.failed.len(), usize::from(p == 2));
+        assert!(report.apply.failed.is_empty(), "{:?}", report.apply.failed);
+        rt_stats.push(report.stats);
+        rt_plans.push(report.plan);
+    }
+    let rt_assignment = rt_job.engine().routing_snapshot().assignment().to_vec();
+    let rt_history = rt_job.history().to_vec();
+    rt_job.shutdown();
+
+    // --- Substrate B: the simulator replaying the rate-level view of
+    // the same schedule, under the same FaultPlan. ---
+    let mut snapshots = Vec::with_capacity(PERIODS);
+    let mut ever_active: Vec<bool> = vec![false; num_groups as usize];
+    for p in 0..PERIODS as u64 {
+        let mut group_tuples = vec![0.0; num_groups as usize];
+        let mut comm: HashMap<(KeyGroupId, KeyGroupId), f64> = HashMap::new();
+        for k in 0..KEYS {
+            let n = tuples_of(k, p) as f64;
+            let (gs, gc) = key_groups[k as usize];
+            group_tuples[gs.index()] += n;
+            group_tuples[gc.index()] += n;
+            *comm.entry((gs, gc)).or_insert(0.0) += n;
+            ever_active[gs.index()] = true;
+            ever_active[gc.index()] = true;
+        }
+        let state_bytes: Vec<f64> = (0..num_groups)
+            .map(|g| {
+                let kg = KeyGroupId::new(g);
+                if ever_active[kg.index()] && topology.operator_of_group(kg) == cnt {
+                    8.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        snapshots.push(WorkloadSnapshot {
+            group_tuples,
+            group_cost: vec![1.0; num_groups as usize],
+            comm: comm.into_iter().map(|((a, b), n)| (a, b, n)).collect(),
+            state_bytes,
+        });
+    }
+    let mut sim_job = fault_builder()
+        .build_simulated(Recorded {
+            groups: num_groups,
+            snapshots,
+        })
+        .expect("valid job spec");
+    let mut sim_faults = FaultInjector::new(plan());
+    let mut sim_plans: Vec<ReconfigPlan> = Vec::new();
+    let mut sim_stats: Vec<PeriodStats> = Vec::new();
+    for _ in 0..PERIODS {
+        let _ = sim_faults.advance(sim_job.engine_mut());
+        let report = sim_job.step();
+        sim_stats.push(report.stats);
+        sim_plans.push(report.plan);
+    }
+    let sim_assignment = sim_job.engine().routing().assignment().to_vec();
+    let sim_history = sim_job.history().to_vec();
+
+    // --- Identical signals, identical decisions, identical placement. ---
+    for p in 0..PERIODS {
+        assert_eq!(
+            rt_stats[p].allocation, sim_stats[p].allocation,
+            "period {p}: post-recovery allocation snapshots diverge"
+        );
+        for g in 0..num_groups as usize {
+            assert!(
+                (rt_stats[p].group_loads[g] - sim_stats[p].group_loads[g]).abs() < 1e-9,
+                "period {p}, group {g}: loads diverge ({} vs {})",
+                rt_stats[p].group_loads[g],
+                sim_stats[p].group_loads[g]
+            );
+        }
+        assert_eq!(rt_stats[p].total_tuples, sim_stats[p].total_tuples);
+        assert_eq!(rt_stats[p].cross_tuples, sim_stats[p].cross_tuples);
+        assert_eq!(rt_stats[p].dropped_tuples, 0.0);
+        assert_eq!(sim_stats[p].dropped_tuples, 0.0);
+        assert_eq!(
+            rt_plans[p].migrations, sim_plans[p].migrations,
+            "period {p}: post-recovery migration decisions diverge"
+        );
+        assert_eq!(rt_plans[p].add_nodes, sim_plans[p].add_nodes);
+        assert_eq!(rt_plans[p].mark_removal, sim_plans[p].mark_removal);
+        assert_eq!(
+            rt_history[p].failed_nodes, sim_history[p].failed_nodes,
+            "period {p}: recovery accounting diverges"
+        );
+        assert_eq!(
+            rt_history[p].groups_restored,
+            sim_history[p].groups_restored
+        );
+        assert_eq!(rt_history[p].num_nodes, sim_history[p].num_nodes);
+    }
+    assert_eq!(rt_history[2].failed_nodes, 1, "the kill really landed");
+    assert!(rt_history[2].groups_restored > 0);
+    assert_eq!(
+        rt_assignment, sim_assignment,
+        "final post-recovery routing assignments diverge"
     );
 }
 
