@@ -1,12 +1,15 @@
 //! Recovery scenario (beyond the paper): a scripted worker kill on the
-//! threaded runtime — recovery latency and replayed delta vs checkpoint
-//! interval, via the checkpoint/restore machinery migration shares.
+//! threaded runtime — replayed delta vs checkpoint interval, via the
+//! checkpoint/restore machinery migration shares. The default table is
+//! byte-deterministic; pass `--timings` to add the machine-dependent
+//! `recovery_ms` column.
 
 use albic_bench::experiments::fig_recovery;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
-    for (name, table) in fig_recovery(fast) {
+    let timings = std::env::args().any(|a| a == "--timings");
+    for (name, table) in fig_recovery(fast, timings) {
         table.save(&name);
     }
 }

@@ -19,7 +19,8 @@ fn main() {
     all.extend(exp::fig13(fast));
     all.extend(exp::fig14(fast));
     all.extend(exp::fig15_live_runtime(fast));
-    all.extend(exp::fig_recovery(fast));
+    // No `--timings`: the saved recovery TSV stays byte-deterministic.
+    all.extend(exp::fig_recovery(fast, false));
     for (name, table) in &all {
         table.save(name);
     }

@@ -663,10 +663,13 @@ pub fn fig15_live_runtime(_fast: bool) -> Vec<(String, Table)> {
 /// replay — the classic recovery-latency vs checkpoint-overhead
 /// trade-off, measured on real worker threads.
 ///
-/// `recovery_ms` is wall-clock and therefore machine-dependent (like
-/// `BENCH_runtime.json`); `tuples_replayed` and `groups_restored` are
-/// deterministic.
-pub fn fig_recovery(fast: bool) -> Vec<(String, Table)> {
+/// `recovery_ms` is wall-clock and therefore machine-dependent, so it
+/// is emitted only with `timings: true` (the `--timings` flag): the
+/// default table holds nothing but deterministic columns
+/// (`tuples_replayed`, `groups_restored`, `replayed_periods`) and is
+/// byte-identical across runs and machines — the figure TSVs can be
+/// diffed, the wall-clock numbers live in `BENCH_runtime.json`.
+pub fn fig_recovery(fast: bool, timings: bool) -> Vec<(String, Table)> {
     banner(
         "fig_recovery: checkpoint-based recovery on the live runtime",
         "reconfiguration and fault tolerance share one mechanism: a killed \
@@ -680,13 +683,16 @@ pub fn fig_recovery(fast: bool) -> Vec<(String, Table)> {
     let fault_at = 7u64; // deltas of 1/2/4/8 periods for intervals 1/2/4/8
     let rate = 1500i64;
 
-    let mut table = Table::new(&[
+    let mut header = vec![
         "checkpoint_interval",
-        "recovery_ms",
         "tuples_replayed",
         "groups_restored",
         "replayed_periods",
-    ]);
+    ];
+    if timings {
+        header.push("recovery_ms");
+    }
+    let mut table = Table::new(&header);
     for &interval in intervals {
         let mut job = Job::builder()
             .source("events", 16, Identity)
@@ -709,13 +715,16 @@ pub fn fig_recovery(fast: bool) -> Vec<(String, Table)> {
         }
         let rec = &job.history()[fault_at as usize];
         assert_eq!(rec.failed_nodes, 1, "the scripted kill must land");
-        table.row(vec![
+        let mut row = vec![
             interval as f64,
-            rec.recovery_secs * 1e3,
             rec.tuples_replayed,
             rec.groups_restored as f64,
             (rec.tuples_replayed / rate as f64).round(),
-        ]);
+        ];
+        if timings {
+            row.push(rec.recovery_secs * 1e3);
+        }
+        table.row(row);
         job.shutdown();
     }
 

@@ -1,0 +1,57 @@
+//! The saved `fig_recovery` series must be byte-deterministic by
+//! default: wall-clock recovery latency is machine-dependent, so it
+//! only appears behind the `--timings` flag. Two full runs of the
+//! experiment — real threaded runtimes, real scripted kills — must
+//! render to the identical TSV, and that TSV must not contain a
+//! wall-clock column.
+
+use albic_bench::experiments::fig_recovery;
+
+#[test]
+fn default_recovery_table_is_byte_deterministic() {
+    let first = fig_recovery(true, false);
+    let second = fig_recovery(true, false);
+    assert_eq!(first.len(), 1);
+    let (name, table) = &first[0];
+    assert_eq!(name, "fig_recovery");
+    assert!(
+        !table.header.iter().any(|h| h == "recovery_ms"),
+        "the default table must exclude wall-clock columns: {:?}",
+        table.header
+    );
+    assert_eq!(
+        table.to_tsv(),
+        second[0].1.to_tsv(),
+        "two runs must render byte-identical TSVs"
+    );
+    // The deterministic content itself: the replayed delta grows with
+    // the checkpoint interval (the trade-off the figure plots).
+    let replayed: Vec<f64> = table
+        .rows
+        .iter()
+        .map(|r| {
+            r[table
+                .header
+                .iter()
+                .position(|h| h == "tuples_replayed")
+                .unwrap()]
+        })
+        .collect();
+    assert!(replayed.windows(2).all(|w| w[0] <= w[1]), "{replayed:?}");
+}
+
+#[test]
+fn timings_flag_appends_the_wall_clock_column() {
+    let tables = fig_recovery(true, true);
+    let table = &tables[0].1;
+    assert_eq!(
+        table.header.last().map(String::as_str),
+        Some("recovery_ms"),
+        "--timings must append recovery_ms last, after the deterministic columns"
+    );
+    let idx = table.header.len() - 1;
+    assert!(
+        table.rows.iter().all(|r| r[idx] > 0.0),
+        "a scripted kill always takes measurable wall-clock to recover"
+    );
+}

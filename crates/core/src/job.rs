@@ -46,8 +46,8 @@ use albic_engine::sim::{SimEngine, WorkloadModel};
 use albic_engine::topology::{Topology, TopologyBuilder, TopologyError};
 use albic_engine::tuple::Tuple;
 use albic_engine::{
-    ApplyReport, Cluster, CostModel, PeriodRecord, PeriodStats, ReconfigEngine, ReconfigPlan,
-    ReconfigPolicy, RoutingTable,
+    ApplyReport, Cluster, CostModel, PeriodRecord, PeriodStats, ReconfigEngine, ReconfigMode,
+    ReconfigPlan, ReconfigPolicy, RoutingTable,
 };
 use albic_milp::MigrationBudget;
 use albic_types::NodeId;
@@ -481,6 +481,7 @@ pub struct JobBuilder {
     runtime: RuntimeConfig,
     checkpoint_interval: u64,
     replay_log_capacity: usize,
+    reconfig_mode: ReconfigMode,
 }
 
 impl Default for JobBuilder {
@@ -496,6 +497,7 @@ impl Default for JobBuilder {
             runtime: RuntimeConfig::default(),
             checkpoint_interval: 0,
             replay_log_capacity: albic_engine::runtime::DEFAULT_REPLAY_LOG_CAPACITY,
+            reconfig_mode: ReconfigMode::Quiesce,
         }
     }
 }
@@ -647,6 +649,17 @@ impl JobBuilder {
         self
     }
 
+    /// How plans are executed: [`ReconfigMode::Quiesce`] (the default)
+    /// pauses the whole data plane around migrations;
+    /// [`ReconfigMode::Epoch`] aligns numbered barriers per edge so only
+    /// the migrating groups pause while everything else keeps streaming.
+    /// Both modes produce identical final states, routing and statistics
+    /// — epoch mode just does it without the global pause.
+    pub fn reconfig_mode(mut self, mode: ReconfigMode) -> Self {
+        self.reconfig_mode = mode;
+        self
+    }
+
     /// Resolve the fluent operator declarations into a validated
     /// [`Topology`], or `None` when nothing was declared.
     fn resolve_topology(
@@ -791,12 +804,14 @@ impl JobBuilder {
     pub fn build_threaded(self) -> Result<Job<Runtime>, JobError> {
         let runtime = self.runtime;
         let (checkpoint, log_capacity) = (self.checkpoint_interval, self.replay_log_capacity);
+        let mode = self.reconfig_mode;
         let (topology, cluster, routing, policy, cost) = self.prepare(None)?;
         let topology = topology.expect("prepare rejects threaded jobs without a topology");
         let mut engine = Runtime::start_with_config(topology, cluster, routing, cost, runtime);
         if checkpoint > 0 {
             engine.configure_recovery(checkpoint, log_capacity);
         }
+        engine.set_reconfig_mode(mode);
         Ok(Job {
             ctl: Controller::new(engine),
             policy,
@@ -812,9 +827,11 @@ impl JobBuilder {
     ) -> Result<Job<SimEngine<W>>, JobError> {
         let groups = workload.num_groups();
         let checkpoint = self.checkpoint_interval;
+        let mode = self.reconfig_mode;
         let (_topology, cluster, routing, policy, cost) = self.prepare(Some(groups))?;
         let mut engine = SimEngine::new(workload, cluster, routing, cost);
         engine.set_checkpoint_interval(checkpoint);
+        engine.set_reconfig_mode(mode);
         Ok(Job {
             ctl: Controller::new(engine),
             policy,
@@ -952,8 +969,14 @@ impl<E: ReconfigEngine> Job<E> {
     }
 
     /// Apply an explicit reconfiguration plan, bypassing the policy.
+    /// Executes through the engine's configured
+    /// [`JobBuilder::reconfig_mode`], exactly like a policy-driven apply.
     pub fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport {
-        self.ctl.engine_mut().apply(plan)
+        let engine = self.ctl.engine_mut();
+        match engine.reconfig_mode() {
+            ReconfigMode::Epoch => engine.apply_epoch(plan),
+            ReconfigMode::Quiesce => engine.apply(plan),
+        }
     }
 
     /// Metric history so far, one record per completed period.

@@ -104,6 +104,8 @@ pub use routing::RoutingTable;
 pub use runtime::{Injector, Runtime, RuntimeConfig};
 pub use sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
 pub use stats::{NodePressure, PeriodStats};
-pub use substrate::{ApplyReport, FailedMigration, MigrationFailure, PeriodRecord, ReconfigEngine};
+pub use substrate::{
+    ApplyReport, FailedMigration, MigrationFailure, PeriodRecord, ReconfigEngine, ReconfigMode,
+};
 pub use topology::{OperatorSpec, Topology, TopologyBuilder};
 pub use tuple::{Tuple, Value};

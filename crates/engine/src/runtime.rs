@@ -15,6 +15,39 @@
 //! 5. tuples that still reach the source (in flight before the flip) are
 //!    forwarded per the routing table, so nothing is lost.
 //!
+//! # Epoch-aligned reconfiguration
+//!
+//! The protocol above is driven in one of two modes
+//! ([`crate::substrate::ReconfigMode`]):
+//!
+//! * **Quiesce** (the default, and the differential-test oracle): the
+//!   coordinator settles the whole data plane around the migrations —
+//!   with recovery enabled the injection fence even blocks external
+//!   producers for the duration, an honest stop-the-world.
+//! * **Epoch** ([`Runtime::apply_epoch`]): a numbered *epoch barrier* is
+//!   broadcast to every live worker. A worker receiving its barrier
+//!   flips its local routing cache for the epoch's moves (the shared
+//!   table's version is untouched, so no cache refresh can clobber the
+//!   flip) and announces the barrier to every other participant; because
+//!   each inbox is FIFO per sender, a worker that has seen the
+//!   announcement from every peer knows all pre-barrier traffic on its
+//!   inbound edges has drained. At that point — *alignment* — it
+//!   extracts the states it is the source of and ships them directly to
+//!   their destinations, whose receive windows were opened (and acked)
+//!   before the wave started. Only the moving edges ever pause;
+//!   unrelated operators, and the external producers, keep streaming.
+//!   The coordinator flips the authoritative routing table once every
+//!   participant has completed and every move's state is installed. A
+//!   worker crashing mid-wave aborts the epoch: nothing authoritative
+//!   has flipped, surviving destinations cancel their windows, and the
+//!   next recovery pass rolls back and clears the in-flight epoch
+//!   bookkeeping — exactly-once is preserved by checkpoint + replay
+//!   exactly as for a crash outside a wave.
+//!
+//! With [`RuntimeConfig::barrier_interval`] set, the ingestion edge also
+//! injects periodic *no-op* epoch barriers (numbered from the same
+//! counter) so alignment is continuously exercised under load.
+//!
 //! # Data plane
 //!
 //! Tuples travel in `DataBatch` messages, never individually: each
@@ -100,7 +133,7 @@ use crate::reconfig::{ClusterView, ReconfigPlan};
 use crate::routing::RoutingTable;
 use crate::stats::{FastMap, NodePressure, PeriodStats, StatsCollector};
 use crate::substrate::{
-    ApplyReport, FailedMigration, MigrationFailure, PeriodRecord, ReconfigEngine,
+    ApplyReport, FailedMigration, MigrationFailure, PeriodRecord, ReconfigEngine, ReconfigMode,
 };
 use crate::topology::Topology;
 use crate::tuple::Tuple;
@@ -119,6 +152,12 @@ pub struct RuntimeConfig {
     /// Maximum age of a pending outbound batch while a worker is busy;
     /// idle workers and control barriers flush immediately.
     pub flush_interval: Duration,
+    /// In [`ReconfigMode::Epoch`], inject a numbered no-op epoch barrier
+    /// wave after every `barrier_interval` externally injected tuples so
+    /// barrier alignment is continuously exercised under load. `0` (the
+    /// default) disables the periodic waves; reconfiguration waves are
+    /// unaffected. Ignored in quiesce mode.
+    pub barrier_interval: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -127,6 +166,7 @@ impl Default for RuntimeConfig {
             batch_size: 64,
             channel_capacity: 1024,
             flush_interval: Duration::from_micros(200),
+            barrier_interval: 0,
         }
     }
 }
@@ -301,6 +341,35 @@ impl WorkerGauge {
 type GaugeMap = Arc<RwLock<HashMap<NodeId, Arc<WorkerGauge>>>>;
 type SenderMap = Arc<RwLock<HashMap<NodeId, Sender<Msg>>>>;
 
+/// One epoch's migration set: `(group, from, to)` per move. Shared by
+/// every worker of the wave through an `Arc`.
+type EpochMoves = Arc<Vec<(KeyGroupId, NodeId, NodeId)>>;
+
+/// State shared between the runtime and every [`Injector`] handle for
+/// epoch-aligned reconfiguration: the global epoch counter (numbering
+/// both reconfiguration waves and the ingestion edge's periodic no-op
+/// waves), the injected-tuple counter driving
+/// [`RuntimeConfig::barrier_interval`], and the mode flag injectors
+/// consult before emitting a wave.
+struct EpochShared {
+    /// Next epoch number (monotonic, shared by all wave emitters).
+    counter: AtomicU64,
+    /// Externally injected tuples so far (for the barrier interval).
+    injected: AtomicU64,
+    /// `true` while the runtime is in [`ReconfigMode::Epoch`].
+    epoch_mode: AtomicBool,
+}
+
+impl EpochShared {
+    fn new() -> Self {
+        EpochShared {
+            counter: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            epoch_mode: AtomicBool::new(false),
+        }
+    }
+}
+
 /// The live routing table plus a version stamp bumped on every mutation.
 /// Workers keep a lock-free local copy and re-clone only when the version
 /// moved: reconfigurations are rare, lookups happen per tuple, and a
@@ -388,6 +457,14 @@ impl RoutingShared {
         self.table.write().reroute(kg, to);
         self.version.fetch_add(1, Ordering::Release);
     }
+
+    /// Bump the version without changing the table, forcing every worker
+    /// cache back in sync with the authoritative table. Used to abort an
+    /// epoch wave: workers flipped their caches ahead of the
+    /// authoritative flip, and a touch un-flips every survivor.
+    fn touch(&self) {
+        self.version.fetch_add(1, Ordering::Release);
+    }
 }
 
 /// What the migration source reports back through the `done` channel of a
@@ -420,20 +497,41 @@ enum Msg {
     /// into normal routing (migration destination).
     CancelReceive { kg: KeyGroupId },
     /// Serialize and ship a key group's state to `dest` (migration
-    /// source); `done` eventually carries the [`ExtractReply`] — from the
-    /// destination on success, from the source if the destination is gone.
+    /// source); `done` eventually carries the group id and the
+    /// [`ExtractReply`] — from the destination on success, from the
+    /// source if the destination is gone. The group id lets an epoch
+    /// coordinator attribute replies when several moves share one
+    /// channel.
     Extract {
         kg: KeyGroupId,
         dest: NodeId,
-        done: Sender<ExtractReply>,
+        done: Sender<(KeyGroupId, ExtractReply)>,
     },
     /// Install shipped state and replay the buffer (migration destination).
     Install {
         kg: KeyGroupId,
         op: OperatorId,
         bytes: Vec<u8>,
-        done: Sender<ExtractReply>,
+        done: Sender<(KeyGroupId, ExtractReply)>,
     },
+    /// An epoch barrier from the coordinator (or a no-op wave from the
+    /// ingestion edge): flip the local routing cache for `moves`, tell
+    /// every other participant this worker reached the barrier, and once
+    /// all peers have announced the same epoch — i.e. all pre-barrier
+    /// traffic on every inbound edge has drained (channels are FIFO per
+    /// sender) — extract and ship the states this worker owns under
+    /// `moves`, then acknowledge on `done`.
+    EpochBarrier {
+        epoch: u64,
+        moves: EpochMoves,
+        participants: Arc<Vec<NodeId>>,
+        install_done: Sender<(KeyGroupId, ExtractReply)>,
+        done: Sender<NodeId>,
+    },
+    /// A peer worker announces it has reached epoch `epoch`: everything
+    /// it sent before its barrier is already ahead of this message in
+    /// our FIFO inbox, so this inbound edge is aligned.
+    PeerBarrier { epoch: u64, from: NodeId },
     /// FIFO barrier: flush the outbox, then reply.
     Barrier(Sender<()>),
     /// Flush operator windows (period end).
@@ -468,6 +566,26 @@ enum Msg {
     Shutdown,
 }
 
+/// What a worker remembers about its own pending [`Msg::EpochBarrier`]
+/// between receiving it (phase 1: flip the cache, announce to peers) and
+/// alignment (phase 2: extract owned moving state, acknowledge).
+struct EpochWave {
+    moves: EpochMoves,
+    participants: Arc<Vec<NodeId>>,
+    install_done: Sender<(KeyGroupId, ExtractReply)>,
+    done: Sender<NodeId>,
+}
+
+/// Per-epoch alignment progress. `wave` is `None` while only peer
+/// announcements have arrived (a peer can reach its barrier before the
+/// coordinator's own barrier message lands here — channels are FIFO per
+/// sender, not globally).
+#[derive(Default)]
+struct EpochProgress {
+    wave: Option<EpochWave>,
+    peers_seen: Vec<NodeId>,
+}
+
 struct WorkerCtx {
     node: NodeId,
     topology: Arc<Topology>,
@@ -487,6 +605,8 @@ struct WorkerCtx {
     states: FastMap<u32, StateBox>,
     /// Buffers for key groups mid-migration (destination side).
     buffers: FastMap<u32, Vec<(OperatorId, Tuple)>>,
+    /// In-flight epoch barrier alignment, keyed by epoch number.
+    epochs: FastMap<u64, EpochProgress>,
     /// Pending outbound batch per destination worker.
     outbox: FastMap<NodeId, DataBatch>,
     /// When the oldest pending outbound tuple was enqueued.
@@ -599,46 +719,7 @@ impl WorkerCtx {
                 }
             }
             Msg::Extract { kg, dest, done } => {
-                let op = self.topology.operator_of_group(kg);
-                let logic = Arc::clone(&self.topology.operator(op).logic);
-                let state = self.states.remove(&kg.raw());
-                // The state leaves this worker: drop the stale size so
-                // the merged period stats only see the destination's
-                // fresh measurement (stats.reset() keeps state sizes).
-                self.stats.clear_state_bytes(kg);
-                let bytes = match &state {
-                    Some(state) => logic.serialize_state(state),
-                    None => logic.serialize_state(&logic.new_state()),
-                };
-                let sender = self.senders.read().get(&dest).cloned();
-                // A failed send returns the message, so `done` (and the
-                // bytes) can be recovered instead of silently dropped.
-                let undelivered = match sender {
-                    Some(s) => s
-                        .send(Msg::Install {
-                            kg,
-                            op,
-                            bytes,
-                            done,
-                        })
-                        .err()
-                        .map(|e| e.0),
-                    None => Some(Msg::Install {
-                        kg,
-                        op,
-                        bytes,
-                        done,
-                    }),
-                };
-                if let Some(Msg::Install { done, .. }) = undelivered {
-                    // The destination worker is unreachable: the state
-                    // never left this node, so keep serving it here and
-                    // tell the coordinator explicitly.
-                    if let Some(state) = state {
-                        self.states.insert(kg.raw(), state);
-                    }
-                    let _ = done.send(ExtractReply::DestinationGone);
-                }
+                self.extract_and_ship(kg, dest, done);
             }
             Msg::Install {
                 kg,
@@ -651,9 +732,25 @@ impl WorkerCtx {
                 for (bop, tuple) in buffered {
                     self.on_data(bop, kg, tuple);
                 }
-                let _ = done.send(ExtractReply::Installed {
-                    state_bytes: bytes.len(),
-                });
+                let _ = done.send((
+                    kg,
+                    ExtractReply::Installed {
+                        state_bytes: bytes.len(),
+                    },
+                ));
+            }
+            Msg::EpochBarrier {
+                epoch,
+                moves,
+                participants,
+                install_done,
+                done,
+            } => {
+                self.on_epoch_barrier(epoch, moves, participants, install_done, done);
+            }
+            Msg::PeerBarrier { epoch, from } => {
+                self.epochs.entry(epoch).or_default().peers_seen.push(from);
+                self.check_epoch_alignment(epoch);
             }
             Msg::Barrier(ack) => {
                 let _ = ack.send(());
@@ -695,6 +792,14 @@ impl WorkerCtx {
                 self.states.clear();
                 self.buffers.clear();
                 self.stats = StatsCollector::new();
+                // Any epoch wave caught by the fault is aborted by the
+                // coordinator; its bookkeeping must not survive the
+                // rollback. The cache is re-synced to the authoritative
+                // table (version first, same order as worker spawn) so
+                // phase-1 flips of an aborted wave are undone.
+                self.epochs.clear();
+                self.routing_version = self.routing.version();
+                self.routing_cache = self.routing.snapshot();
                 for (raw, bytes) in states {
                     let kg = KeyGroupId::new(raw);
                     let op = self.topology.operator_of_group(kg);
@@ -716,6 +821,141 @@ impl WorkerCtx {
         let logic = Arc::clone(&self.topology.operator(op).logic);
         let state = logic.deserialize_state(bytes);
         self.states.insert(kg.raw(), state);
+    }
+
+    /// Serialize `kg`'s state and ship it to `dest` as a [`Msg::Install`];
+    /// replies `DestinationGone` on `done` itself if the destination is
+    /// unreachable (the state never leaves this worker then). Shared by
+    /// the quiesced [`Msg::Extract`] path and epoch-barrier phase 2.
+    fn extract_and_ship(
+        &mut self,
+        kg: KeyGroupId,
+        dest: NodeId,
+        done: Sender<(KeyGroupId, ExtractReply)>,
+    ) {
+        let op = self.topology.operator_of_group(kg);
+        let logic = Arc::clone(&self.topology.operator(op).logic);
+        let state = self.states.remove(&kg.raw());
+        // The state leaves this worker: drop the stale size so
+        // the merged period stats only see the destination's
+        // fresh measurement (stats.reset() keeps state sizes).
+        self.stats.clear_state_bytes(kg);
+        let bytes = match &state {
+            Some(state) => logic.serialize_state(state),
+            None => logic.serialize_state(&logic.new_state()),
+        };
+        let sender = self.senders.read().get(&dest).cloned();
+        // A failed send returns the message, so `done` (and the
+        // bytes) can be recovered instead of silently dropped.
+        let undelivered = match sender {
+            Some(s) => s
+                .send(Msg::Install {
+                    kg,
+                    op,
+                    bytes,
+                    done,
+                })
+                .err()
+                .map(|e| e.0),
+            None => Some(Msg::Install {
+                kg,
+                op,
+                bytes,
+                done,
+            }),
+        };
+        if let Some(Msg::Install { done, .. }) = undelivered {
+            // The destination worker is unreachable: the state
+            // never left this node, so keep serving it here and
+            // tell the coordinator explicitly.
+            if let Some(state) = state {
+                self.states.insert(kg.raw(), state);
+            }
+            let _ = done.send((kg, ExtractReply::DestinationGone));
+        }
+    }
+
+    /// Phase 1 of an epoch barrier: sync the routing cache to the
+    /// authoritative version if it moved (so the flips below cannot be
+    /// clobbered by a later refresh), flip the cache for every move of
+    /// the wave *without* touching the version stamp (the authoritative
+    /// table flips only on coordinator success), announce the barrier to
+    /// every other participant, and check alignment (a single-participant
+    /// wave aligns immediately).
+    fn on_epoch_barrier(
+        &mut self,
+        epoch: u64,
+        moves: EpochMoves,
+        participants: Arc<Vec<NodeId>>,
+        install_done: Sender<(KeyGroupId, ExtractReply)>,
+        done: Sender<NodeId>,
+    ) {
+        let v = self.routing.version();
+        if v != self.routing_version {
+            self.routing_cache = self.routing.snapshot();
+            self.routing_version = v;
+        }
+        for &(kg, _, to) in moves.iter() {
+            self.routing_cache.reroute(kg, to);
+        }
+        let senders = self.senders.read().clone();
+        for &peer in participants.iter() {
+            if peer == self.node {
+                continue;
+            }
+            if let Some(s) = senders.get(&peer) {
+                // A dead peer's send failure is fine: the coordinator
+                // detects the corpse and aborts the wave.
+                let _ = s.send(Msg::PeerBarrier {
+                    epoch,
+                    from: self.node,
+                });
+            }
+        }
+        let entry = self.epochs.entry(epoch).or_default();
+        entry.wave = Some(EpochWave {
+            moves,
+            participants,
+            install_done,
+            done,
+        });
+        self.check_epoch_alignment(epoch);
+    }
+
+    /// Phase 2 gate: once every other participant of `epoch` has
+    /// announced its barrier, every pre-barrier batch on every inbound
+    /// edge has already been dequeued (FIFO per sender), so it is safe to
+    /// extract the moving states this worker owns and acknowledge the
+    /// wave. Tuples for moved groups arriving later are forwarded by the
+    /// flipped cache like any in-flight tuple.
+    fn check_epoch_alignment(&mut self, epoch: u64) {
+        let Some(progress) = self.epochs.get(&epoch) else {
+            return;
+        };
+        let Some(wave) = &progress.wave else {
+            return;
+        };
+        let others = wave
+            .participants
+            .iter()
+            .filter(|&&p| p != self.node)
+            .count();
+        let seen = progress
+            .peers_seen
+            .iter()
+            .filter(|p| wave.participants.contains(p))
+            .count();
+        if seen < others {
+            return;
+        }
+        let progress = self.epochs.remove(&epoch).expect("checked above");
+        let wave = progress.wave.expect("checked above");
+        for &(kg, from, to) in wave.moves.iter() {
+            if from == self.node {
+                self.extract_and_ship(kg, to, wave.install_done.clone());
+            }
+        }
+        let _ = wave.done.send(self.node);
     }
 
     /// Serialize every local key-group state, sorted by group id so a
@@ -890,6 +1130,7 @@ pub struct Injector {
     gauges: GaugeMap,
     dropped: Arc<AtomicU64>,
     log: Arc<ReplayLog>,
+    epoch: Arc<EpochShared>,
     cfg: RuntimeConfig,
 }
 
@@ -909,15 +1150,67 @@ impl Injector {
         // concurrent rollback-and-replay: a tuple logged before the
         // rollback but delivered after it would otherwise count twice.
         let _gate = self.log.is_enabled().then(|| self.log.gate.read());
-        self.inject_inner(op, tuples, true);
+        let n = self.inject_inner(op, tuples, true);
+        self.maybe_barrier(n);
+    }
+
+    /// In epoch mode with [`RuntimeConfig::barrier_interval`] set, emit a
+    /// numbered no-op barrier wave whenever the global injected-tuple
+    /// counter crosses an interval boundary — barrier alignment then runs
+    /// continuously under load, not only when a plan migrates. The wave
+    /// moves nothing and nobody collects its acknowledgements (the reply
+    /// receivers are dropped immediately; worker sends fail silently).
+    fn maybe_barrier(&self, n: usize) {
+        if n == 0
+            || self.cfg.barrier_interval == 0
+            || !self.epoch.epoch_mode.load(Ordering::Acquire)
+        {
+            return;
+        }
+        let interval = self.cfg.barrier_interval as u64;
+        let before = self.epoch.injected.fetch_add(n as u64, Ordering::Relaxed);
+        if (before + n as u64) / interval == before / interval {
+            return;
+        }
+        let epoch = self.epoch.counter.fetch_add(1, Ordering::Relaxed);
+        let senders: Vec<(NodeId, Sender<Msg>)> = self
+            .senders
+            .read()
+            .iter()
+            .map(|(node, s)| (*node, s.clone()))
+            .collect();
+        let mut participants: Vec<NodeId> = senders.iter().map(|(node, _)| *node).collect();
+        participants.sort_unstable();
+        let participants = Arc::new(participants);
+        let moves: EpochMoves = Arc::new(Vec::new());
+        let (install_tx, _install_rx) = unbounded();
+        let (done_tx, _done_rx) = unbounded();
+        for (_, s) in senders {
+            // A worker that dies mid-wave simply never announces; the
+            // stalled entry is memory-only and cleared by the next
+            // rollback.
+            let _ = s.send(Msg::EpochBarrier {
+                epoch,
+                moves: Arc::clone(&moves),
+                participants: Arc::clone(&participants),
+                install_done: install_tx.clone(),
+                done: done_tx.clone(),
+            });
+        }
     }
 
     /// [`Injector::inject`] with control over replay logging: external
     /// injections are logged (when checkpointing is enabled) so recovery
     /// can replay them; the recovery replay itself re-injects *without*
     /// logging, or every fault would double the log.
-    fn inject_inner(&self, op: OperatorId, tuples: impl IntoIterator<Item = Tuple>, log: bool) {
+    fn inject_inner(
+        &self,
+        op: OperatorId,
+        tuples: impl IntoIterator<Item = Tuple>,
+        log: bool,
+    ) -> usize {
         let log = log && self.log.is_enabled();
+        let mut total = 0usize;
         // Few destinations (one per node): a linear-scan Vec beats
         // hashing on this per-tuple path.
         let mut buckets: Vec<(NodeId, DataBatch)> = Vec::new();
@@ -932,6 +1225,7 @@ impl Injector {
                 chunk.push((self.topology.group_for_key(op, tuple.key), tuple));
             }
             let consumed = chunk.len();
+            total += consumed;
             if consumed > 0 {
                 // Log before delivery: a tuple that lands in a crashing
                 // worker's channel must already be recoverable.
@@ -961,6 +1255,7 @@ impl Injector {
                 self.deliver(node, batch, INJECT_ATTEMPTS);
             }
         }
+        total
     }
 
     /// Tuples this injector's runtime failed to deliver so far (folded
@@ -1046,6 +1341,11 @@ pub struct Runtime {
     checkpoint: Option<Checkpoint>,
     /// Recovery accounting folded into the next period's record.
     pending_recovery: RecoveryAccounting,
+    /// How [`ReconfigEngine::apply_epoch`] executes plans (and whether
+    /// injectors emit periodic no-op barrier waves).
+    mode: ReconfigMode,
+    /// Epoch counter + injected-tuple counter shared with injectors.
+    epoch: Arc<EpochShared>,
 }
 
 impl Runtime {
@@ -1088,6 +1388,8 @@ impl Runtime {
             checkpoint_interval: 0,
             checkpoint: None,
             pending_recovery: RecoveryAccounting::default(),
+            mode: ReconfigMode::Quiesce,
+            epoch: Arc::new(EpochShared::new()),
         };
         let nodes: Vec<NodeId> = rt.cluster.nodes().iter().map(|n| n.id).collect();
         for node in nodes {
@@ -1131,6 +1433,7 @@ impl Runtime {
             inbox: rx,
             states: FastMap::default(),
             buffers: FastMap::default(),
+            epochs: FastMap::default(),
             outbox: FastMap::default(),
             oldest_pending: None,
             emission_pool: Vec::new(),
@@ -1189,8 +1492,24 @@ impl Runtime {
             gauges: Arc::clone(&self.gauges),
             dropped: Arc::clone(&self.inject_dropped),
             log: Arc::clone(&self.replay_log),
+            epoch: Arc::clone(&self.epoch),
             cfg: self.cfg,
         }
+    }
+
+    /// Select how [`ReconfigEngine::apply_epoch`] executes plans. In
+    /// [`ReconfigMode::Epoch`], injectors additionally emit a no-op
+    /// barrier wave every [`RuntimeConfig::barrier_interval`] tuples.
+    pub fn set_reconfig_mode(&mut self, mode: ReconfigMode) {
+        self.mode = mode;
+        self.epoch
+            .epoch_mode
+            .store(mode == ReconfigMode::Epoch, Ordering::Release);
+    }
+
+    /// The currently selected reconfiguration mode.
+    pub fn reconfig_mode(&self) -> ReconfigMode {
+        self.mode
     }
 
     /// Enable checkpoint-based recovery: a snapshot of every key group's
@@ -1302,13 +1621,20 @@ impl Runtime {
     /// drains what raced in and returns short instead of hanging (the
     /// next [`Runtime::recover`] handles the corpse).
     fn gather<T>(&self, rx: &Receiver<T>, involved: &[NodeId]) -> Vec<T> {
-        let mut got = Vec::with_capacity(involved.len());
-        while got.len() < involved.len() {
+        self.gather_n(rx, involved.len(), involved)
+    }
+
+    /// [`Runtime::gather`] with an explicit reply count: the epoch
+    /// protocol expects one reply per *move* while watching the liveness
+    /// of the participating *workers* — the two cardinalities differ.
+    fn gather_n<T>(&self, rx: &Receiver<T>, expect: usize, watched: &[NodeId]) -> Vec<T> {
+        let mut got = Vec::with_capacity(expect);
+        while got.len() < expect {
             match rx.try_recv() {
                 Ok(v) => got.push(v),
                 Err(TryRecvError::Disconnected) => break,
                 Err(TryRecvError::Empty) => {
-                    if involved.iter().any(|&n| !self.worker_alive(n)) {
+                    if watched.iter().any(|&n| !self.worker_alive(n)) {
                         while let Ok(v) = rx.try_recv() {
                             got.push(v);
                         }
@@ -1576,7 +1902,7 @@ impl Runtime {
                 continue;
             }
             match self.wait_reply(&done_rx, &[from, to]) {
-                Some(ExtractReply::Installed { state_bytes, .. }) => {
+                Some((_, ExtractReply::Installed { state_bytes, .. })) => {
                     report.migrations.push(MigrationReport::from_cost_model(
                         group,
                         from,
@@ -1585,7 +1911,7 @@ impl Runtime {
                         &self.cost,
                     ));
                 }
-                Some(ExtractReply::DestinationGone) => {
+                Some((_, ExtractReply::DestinationGone)) => {
                     // The source kept the state; point routing back at it
                     // and abort the destination's buffering window (a
                     // no-op if the destination really is dead).
@@ -1615,15 +1941,238 @@ impl Runtime {
         report
     }
 
+    /// Execute migrations with the epoch-barrier protocol: one numbered
+    /// barrier wave is broadcast to every live worker, each worker flips
+    /// its routing cache and announces the barrier to its peers, and a
+    /// source extracts a moving group only once every peer has announced
+    /// — i.e. once all pre-barrier traffic on its inbound edges has
+    /// drained. Nothing is quiesced; operators untouched by the plan
+    /// keep streaming throughout, which is the point of the protocol.
+    ///
+    /// The destination buffer windows open *before* the wave (same
+    /// pre-round as [`Runtime::migrate`]), so a tuple arriving at its
+    /// new owner ahead of the state install is buffered, never processed
+    /// into a ghost state. The authoritative routing table flips only on
+    /// success, per installed move; a wave aborted by a worker death
+    /// un-flips every surviving cache with a routing-version bump and
+    /// reports the unresolved moves as failed — the recovery pass then
+    /// restores exactly-once from the checkpoint.
+    pub fn migrate_epoch(&mut self, migrations: &[Migration]) -> ApplyReport {
+        let mut report = ApplyReport::default();
+        // Validation + destination pre-round, move by move: a move that
+        // cannot start drops out alone, it never takes the wave down.
+        let mut live: Vec<(KeyGroupId, NodeId, NodeId)> = Vec::new();
+        for &Migration { group, to } in migrations {
+            let from = self.routing.node_of(group);
+            if from == to {
+                continue;
+            }
+            let fail = |reason| FailedMigration {
+                group,
+                from,
+                to,
+                reason,
+            };
+            if self.cluster.get(to).is_none() {
+                report
+                    .failed
+                    .push(fail(MigrationFailure::UnknownDestination));
+                continue;
+            }
+            let senders = self.senders.read();
+            let (src, dst) = (senders.get(&from).cloned(), senders.get(&to).cloned());
+            drop(senders);
+            if src.filter(|_| self.worker_alive(from)).is_none() {
+                report
+                    .failed
+                    .push(fail(MigrationFailure::SourceUnavailable));
+                continue;
+            }
+            let Some(dst) = dst.filter(|_| self.worker_alive(to)) else {
+                report
+                    .failed
+                    .push(fail(MigrationFailure::DestinationUnavailable));
+                continue;
+            };
+            let (prep_tx, prep_rx) = unbounded();
+            if dst
+                .send(Msg::PrepareReceive {
+                    kg: group,
+                    ack: prep_tx,
+                })
+                .is_err()
+                || self.wait_reply(&prep_rx, &[to]).is_none()
+            {
+                report
+                    .failed
+                    .push(fail(MigrationFailure::DestinationUnavailable));
+                continue;
+            }
+            live.push((group, from, to));
+        }
+        if live.is_empty() {
+            return report;
+        }
+        // One wave over every live worker. The participant list is part
+        // of the barrier message: each worker knows exactly whose
+        // announcements to await.
+        let senders = self.alive_senders();
+        let mut participants: Vec<NodeId> = senders.iter().map(|(node, _)| *node).collect();
+        participants.sort_unstable();
+        // An endpoint that died between validation and this snapshot is
+        // outside the wave and its move could never resolve — fail it
+        // now instead of waiting on a reply no one will send.
+        let (live, raced): (Vec<_>, Vec<_>) = live
+            .into_iter()
+            .partition(|&(_, f, t)| participants.contains(&f) && participants.contains(&t));
+        for (group, from, to) in raced {
+            let reason = if participants.contains(&from) {
+                MigrationFailure::DestinationUnavailable
+            } else {
+                MigrationFailure::SourceUnavailable
+            };
+            report.failed.push(FailedMigration {
+                group,
+                from,
+                to,
+                reason,
+            });
+        }
+        if live.is_empty() {
+            return report;
+        }
+        let epoch = self.epoch.counter.fetch_add(1, Ordering::Relaxed);
+        let participants = Arc::new(participants);
+        let moves: EpochMoves = Arc::new(live.clone());
+        let (install_tx, install_rx) = unbounded();
+        let (done_tx, done_rx) = unbounded();
+        let mut involved = Vec::new();
+        for (node, s) in &senders {
+            if s.send(Msg::EpochBarrier {
+                epoch,
+                moves: Arc::clone(&moves),
+                participants: Arc::clone(&participants),
+                install_done: install_tx.clone(),
+                done: done_tx.clone(),
+            })
+            .is_ok()
+            {
+                involved.push(*node);
+            }
+        }
+        drop(install_tx);
+        drop(done_tx);
+        // Alignment needs *every* participant, so a death anywhere in the
+        // wave (not just at a move endpoint) stalls it — both waits watch
+        // the full participant set and return short on a corpse.
+        let _acks = self.gather(&done_rx, &involved);
+        let replies = self.gather_n(&install_rx, live.len(), &involved);
+        let mut installed: HashMap<u32, usize> = HashMap::new();
+        let mut gone: Vec<u32> = Vec::new();
+        for (kg, reply) in replies {
+            match reply {
+                ExtractReply::Installed { state_bytes } => {
+                    installed.insert(kg.raw(), state_bytes);
+                }
+                ExtractReply::DestinationGone => gone.push(kg.raw()),
+            }
+        }
+        // Authoritative flips for the moves that completed; everything
+        // else aborts. The un-flip must precede the cancels: a canceled
+        // window replays its buffer through `on_data`, which must no
+        // longer believe the group lives there.
+        let mut aborted: Vec<(KeyGroupId, NodeId, NodeId, MigrationFailure)> = Vec::new();
+        for &(group, from, to) in &live {
+            if let Some(&state_bytes) = installed.get(&group.raw()) {
+                self.routing.reroute(group, to);
+                report.migrations.push(MigrationReport::from_cost_model(
+                    group,
+                    from,
+                    to,
+                    state_bytes,
+                    &self.cost,
+                ));
+            } else if gone.contains(&group.raw()) {
+                aborted.push((group, from, to, MigrationFailure::DestinationUnavailable));
+            } else {
+                aborted.push((group, from, to, MigrationFailure::ProtocolAborted));
+            }
+        }
+        if !aborted.is_empty() {
+            self.routing.touch();
+            for &(group, from, to, reason) in &aborted {
+                if let Some(dst) = self.senders.read().get(&to).cloned() {
+                    let _ = dst.send(Msg::CancelReceive { kg: group });
+                }
+                report.failed.push(FailedMigration {
+                    group,
+                    from,
+                    to,
+                    reason,
+                });
+            }
+        }
+        if let Some(rec) = self.history.last_mut() {
+            rec.migrations += report.migrations.len();
+            rec.migration_cost += report.total_cost();
+            // Moves of one wave pause their edges concurrently: the
+            // wave's pause is the slowest move, not the sum — this is
+            // the modeled counterpart of the measured dip `fig_epoch`
+            // reports, and the simulator folds the identical maximum.
+            rec.migration_pause_secs += report
+                .migrations
+                .iter()
+                .map(|m| m.pause_secs)
+                .fold(0.0, f64::max);
+        }
+        report
+    }
+
+    /// [`Runtime::apply`] with epoch-aligned migration execution: node
+    /// acquisition and removal marking are identical, only the migration
+    /// step runs through [`Runtime::migrate_epoch`] instead of the
+    /// quiesced protocol.
+    pub fn apply_epoch(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        let added: Vec<NodeId> = plan.add_nodes.iter().map(|&c| self.add_worker(c)).collect();
+        let mut report = self.migrate_epoch(&plan.migrations);
+        report.added = added;
+        for &node in &plan.mark_removal {
+            if self.cluster.mark_for_removal(node) {
+                report.marked.push(node);
+            }
+        }
+        if let Some(rec) = self.history.last_mut() {
+            rec.num_nodes = self.cluster.len();
+            rec.marked_nodes = self.cluster.marked().count();
+        }
+        report
+    }
+
     /// Execute a full reconfiguration plan: spawn a worker per acquired
     /// node, run the plan's migrations with the real state migration
     /// protocol, and mark nodes for removal. Accounting is folded into the
     /// most recent period's history record, mirroring the simulator.
+    ///
+    /// With recovery configured, a plan that migrates is executed
+    /// stop-the-world: the injection fence is held (producers block) and
+    /// the data plane is quiesced around the migrations — the honest
+    /// baseline the epoch-aligned path is measured against, and the
+    /// consistency guarantee that no logged tuple is in flight while
+    /// state changes hands.
     pub fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport {
         // Nodes are acquired before migrations run, so a plan may target
         // the ids it previewed with `Cluster::peek_next_ids`.
         let added: Vec<NodeId> = plan.add_nodes.iter().map(|&c| self.add_worker(c)).collect();
+        let stop_the_world = !plan.migrations.is_empty() && self.replay_log.is_enabled();
+        let log = Arc::clone(&self.replay_log);
+        let _gate = stop_the_world.then(|| log.gate.write());
+        if stop_the_world {
+            self.quiesce(self.settle_rounds);
+        }
         let mut report = self.migrate(&plan.migrations);
+        if stop_the_world {
+            self.quiesce(self.settle_rounds);
+        }
         report.added = added;
         for &node in &plan.mark_removal {
             if self.cluster.mark_for_removal(node) {
@@ -1963,6 +2512,14 @@ impl ReconfigEngine for Runtime {
         Runtime::apply(self, plan)
     }
 
+    fn reconfig_mode(&self) -> ReconfigMode {
+        self.mode
+    }
+
+    fn apply_epoch(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        Runtime::apply_epoch(self, plan)
+    }
+
     fn history(&self) -> &[PeriodRecord] {
         Runtime::history(self)
     }
@@ -2161,6 +2718,215 @@ mod tests {
             u64::from_le_bytes(arr),
             300,
             "every tuple counted exactly once"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn epoch_migration_preserves_counter_state() {
+        let (mut rt, src, cnt) = two_op_runtime(2);
+        rt.set_reconfig_mode(ReconfigMode::Epoch);
+        let key = 3i32;
+        rt.inject(
+            src,
+            (0..50).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        let _ = rt.end_period();
+
+        let kg = rt.topology().group_for_key(cnt, hash_key(&key));
+        let from = rt.routing_snapshot().node_of(kg);
+        let to = rt
+            .cluster()
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .find(|&n| n != from)
+            .unwrap();
+        let report = rt.migrate_epoch(&[Migration { group: kg, to }]);
+        assert_eq!(report.migrations.len(), 1);
+        assert!(report.failed.is_empty(), "{:?}", report.failed);
+        assert_eq!(report.migrations[0].from, from);
+        assert_eq!(report.migrations[0].to, to);
+        assert_eq!(report.migrations[0].state_bytes, 8, "u64 counter state");
+        assert_eq!(rt.routing_snapshot().node_of(kg), to);
+
+        rt.inject(
+            src,
+            (50..60).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        rt.quiesce(4);
+        let bytes = rt.probe_state(kg).expect("state exists on destination");
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&bytes[..8]);
+        assert_eq!(u64::from_le_bytes(arr), 60, "state survived the wave");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn epoch_migration_with_tuples_in_flight_is_exactly_once() {
+        // Inject, start the wave with the stream un-settled, keep
+        // injecting — every tuple must be counted exactly once whether
+        // it crossed the barrier before or after the flip.
+        let (mut rt, src, cnt) = two_op_runtime(2);
+        rt.set_reconfig_mode(ReconfigMode::Epoch);
+        let key = 7i32;
+        rt.inject(
+            src,
+            (0..200).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        let kg = rt.topology().group_for_key(cnt, hash_key(&key));
+        let from = rt.routing_snapshot().node_of(kg);
+        let to = rt
+            .cluster()
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .find(|&n| n != from)
+            .unwrap();
+        let report = rt.migrate_epoch(&[Migration { group: kg, to }]);
+        assert!(report.failed.is_empty(), "{:?}", report.failed);
+        rt.inject(
+            src,
+            (200..300).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        rt.quiesce(6);
+
+        let bytes = rt.probe_state(kg).expect("state present");
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&bytes[..8]);
+        assert_eq!(
+            u64::from_le_bytes(arr),
+            300,
+            "every tuple counted exactly once across the wave"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn epoch_wave_pause_is_the_slowest_move_not_the_sum() {
+        // Two equal-sized moves in one wave: the period is charged one
+        // move's pause (edge-local concurrency), while the report still
+        // carries both for cost accounting.
+        let (mut rt, src, cnt) = two_op_runtime(2);
+        rt.set_reconfig_mode(ReconfigMode::Epoch);
+        let k1 = 3i32;
+        let g1 = rt.topology().group_for_key(cnt, hash_key(&k1));
+        let k2 = (0..64i32)
+            .find(|k| rt.topology().group_for_key(cnt, hash_key(k)) != g1)
+            .expect("some key lands in another group");
+        for k in [k1, k2] {
+            rt.inject(src, (0..20).map(|i| Tuple::keyed(&k, Value::Int(i), 0)));
+        }
+        rt.quiesce(4);
+        let _ = rt.end_period();
+        let moves: Vec<Migration> = [k1, k2]
+            .iter()
+            .map(|k| {
+                let kg = rt.topology().group_for_key(cnt, hash_key(k));
+                let from = rt.routing_snapshot().node_of(kg);
+                let to = rt
+                    .cluster()
+                    .nodes()
+                    .iter()
+                    .map(|n| n.id)
+                    .find(|&n| n != from)
+                    .unwrap();
+                Migration { group: kg, to }
+            })
+            .collect();
+        assert_ne!(moves[0].group, moves[1].group, "distinct groups");
+        let report = rt.migrate_epoch(&moves);
+        assert_eq!(report.migrations.len(), 2, "{:?}", report.failed);
+        let max_pause = report
+            .migrations
+            .iter()
+            .map(|m| m.pause_secs)
+            .fold(0.0, f64::max);
+        let rec = rt.history().last().unwrap();
+        assert_eq!(rec.migrations, 2);
+        assert_eq!(rec.migration_pause_secs, max_pause);
+        assert!(report.total_pause_secs() > max_pause, "sum exceeds max");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn noop_barrier_waves_stream_through_under_load() {
+        // A small barrier interval keeps no-op epoch waves continuously
+        // in flight between data batches; they must align, move nothing,
+        // and lose nothing.
+        let cfg = RuntimeConfig {
+            barrier_interval: 32,
+            ..Default::default()
+        };
+        let (mut rt, src, cnt) = two_op_runtime_config(2, cfg);
+        rt.set_reconfig_mode(ReconfigMode::Epoch);
+        let routing_before = rt.routing_snapshot();
+        let key = 5i32;
+        for chunk in 0..10 {
+            rt.inject(
+                src,
+                (chunk * 50..(chunk + 1) * 50).map(|i| Tuple::keyed(&key, Value::Int(i), 0)),
+            );
+        }
+        rt.quiesce(6);
+        let kg = rt.topology().group_for_key(cnt, hash_key(&key));
+        let bytes = rt.probe_state(kg).expect("state present");
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&bytes[..8]);
+        assert_eq!(u64::from_le_bytes(arr), 500, "no tuple lost to a wave");
+        let stats = rt.end_period();
+        assert_eq!(stats.dropped_tuples, 0.0);
+        // No-op waves flip nothing, authoritatively or locally.
+        assert_eq!(
+            rt.routing_snapshot().assignment(),
+            routing_before.assignment()
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn epoch_wave_racing_a_crash_aborts_cleanly() {
+        // Kill a wave participant with the barrier in flight: the raw
+        // Crash message races the EpochBarrier in the victim's inbox, so
+        // either the pre-round already fails or the coordinator detects
+        // the corpse mid-wave and aborts. In every interleaving the call
+        // must return (no hang), account for the move, keep routing
+        // consistent, and leave the cluster recoverable.
+        let (mut rt, src, cnt) = two_op_runtime(3);
+        rt.set_reconfig_mode(ReconfigMode::Epoch);
+        let key = 9i32;
+        rt.inject(
+            src,
+            (0..100).map(|i| Tuple::keyed(&key, Value::Int(i), i as u64)),
+        );
+        let kg = rt.topology().group_for_key(cnt, hash_key(&key));
+        let from = rt.routing_snapshot().node_of(kg);
+        let to = rt
+            .cluster()
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .find(|&n| n != from)
+            .unwrap();
+        // Crash the destination without waiting for the death, so the
+        // wave and the crash genuinely race.
+        let victim_sender = rt.senders.read().get(&to).cloned().unwrap();
+        assert!(victim_sender.send(Msg::Crash).is_ok());
+        let report = rt.migrate_epoch(&[Migration { group: kg, to }]);
+        assert_eq!(
+            report.migrations.len() + report.failed.len(),
+            1,
+            "the move is accounted either way"
+        );
+        let owner = rt.routing_snapshot().node_of(kg);
+        assert!(owner == from || owner == to, "routing stays consistent");
+        let recovery = rt.recover();
+        assert_eq!(recovery.failed, vec![to], "the corpse was recovered");
+        rt.quiesce(4);
+        assert!(
+            rt.cluster().get(to).is_none(),
+            "the victim left the cluster"
         );
         rt.shutdown();
     }

@@ -29,7 +29,7 @@ use crate::migration::{Migration, MigrationReport};
 use crate::reconfig::{ClusterView, ReconfigPlan};
 use crate::routing::RoutingTable;
 use crate::stats::{PeriodStats, StatsCollector};
-use crate::substrate::{ApplyReport, ReconfigEngine};
+use crate::substrate::{ApplyReport, ReconfigEngine, ReconfigMode};
 
 pub use crate::substrate::PeriodRecord;
 
@@ -75,6 +75,8 @@ pub struct SimEngine<W: WorkloadModel> {
     /// Recovery accounting folded into the next period's record:
     /// `(failed nodes, groups restored, modeled recovery seconds)`.
     pending_recovery: (usize, usize, f64),
+    /// How [`ReconfigEngine::apply_epoch`] models plan execution.
+    mode: ReconfigMode,
 }
 
 impl<W: WorkloadModel> SimEngine<W> {
@@ -98,6 +100,7 @@ impl<W: WorkloadModel> SimEngine<W> {
             last_checkpoint: None,
             failed: Vec::new(),
             pending_recovery: (0, 0, 0.0),
+            mode: ReconfigMode::Quiesce,
         }
     }
 
@@ -142,6 +145,21 @@ impl<W: WorkloadModel> SimEngine<W> {
     /// alignment keeps the two substrates' recovery reports comparable.
     pub fn set_checkpoint_interval(&mut self, interval: u64) {
         self.checkpoint_interval = interval;
+    }
+
+    /// Select how [`ReconfigEngine::apply_epoch`] models plan execution,
+    /// mirroring [`crate::runtime::Runtime::set_reconfig_mode`]. The mode
+    /// only changes the *pause* accounting (epoch waves pause edges
+    /// concurrently, so the wave costs its slowest move, not the sum);
+    /// every decision signal — loads, flows, allocations — is identical,
+    /// which is what keeps the substrates equivalent in both modes.
+    pub fn set_reconfig_mode(&mut self, mode: ReconfigMode) {
+        self.mode = mode;
+    }
+
+    /// The currently selected reconfiguration mode.
+    pub fn reconfig_mode(&self) -> ReconfigMode {
+        self.mode
     }
 
     /// Advance one statistics period: draw the workload, measure, record.
@@ -206,6 +224,19 @@ impl<W: WorkloadModel> SimEngine<W> {
     /// mark nodes for removal. Accounting is attached to the most recent
     /// period's record.
     pub fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        self.apply_inner(plan, false)
+    }
+
+    /// [`SimEngine::apply`] with epoch-aligned pause accounting: the
+    /// migrations of a plan execute as one barrier wave whose edges pause
+    /// concurrently, so the period is charged the slowest move's pause
+    /// instead of the sum. Migration cost (`mc_k`) and every decision
+    /// signal are identical to the quiesced model.
+    pub fn apply_epoch(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        self.apply_inner(plan, true)
+    }
+
+    fn apply_inner(&mut self, plan: &ReconfigPlan, epoch: bool) -> ApplyReport {
         let mut report = ApplyReport::default();
         let state_sizes: Vec<f64> = self
             .last_stats
@@ -262,7 +293,18 @@ impl<W: WorkloadModel> SimEngine<W> {
         if let Some(rec) = self.history.last_mut() {
             rec.migrations += report.migrations.len();
             rec.migration_cost += report.total_cost();
-            rec.migration_pause_secs += report.total_pause_secs();
+            rec.migration_pause_secs += if epoch {
+                // Edge-local concurrency: the wave pauses as long as its
+                // slowest move — the same maximum the threaded runtime
+                // folds for an epoch wave.
+                report
+                    .migrations
+                    .iter()
+                    .map(|m| m.pause_secs)
+                    .fold(0.0, f64::max)
+            } else {
+                report.total_pause_secs()
+            };
             rec.num_nodes = self.cluster.len();
             rec.marked_nodes = self.cluster.marked().count();
             if let Some(stats) = &refreshed {
@@ -372,6 +414,14 @@ impl<W: WorkloadModel> ReconfigEngine for SimEngine<W> {
 
     fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport {
         SimEngine::apply(self, plan)
+    }
+
+    fn reconfig_mode(&self) -> ReconfigMode {
+        self.mode
+    }
+
+    fn apply_epoch(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        SimEngine::apply_epoch(self, plan)
     }
 
     fn history(&self) -> &[PeriodRecord] {

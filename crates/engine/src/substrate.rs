@@ -58,6 +58,26 @@ pub struct PeriodRecord {
     pub recovery_secs: f64,
 }
 
+/// How an engine executes the migrations of a plan.
+///
+/// The two modes are observationally equivalent — identical final states,
+/// routing and per-period statistics (`tests/epoch.rs` pins it) — and
+/// differ only in what they pause while state moves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReconfigMode {
+    /// Stop-the-world: the whole data plane is quiesced around the
+    /// migrations. Simple, and the differential-test oracle for the
+    /// epoch-aligned path.
+    #[default]
+    Quiesce,
+    /// Barrier-aligned: sources inject numbered epoch barriers, workers
+    /// forward a barrier only after draining pre-barrier traffic per
+    /// inbound edge, and routing flips plus state extract/install happen
+    /// edge-locally when the barrier passes — unrelated operators keep
+    /// streaming throughout.
+    Epoch,
+}
+
 /// Why an individual migration could not be executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MigrationFailure {
@@ -175,6 +195,22 @@ pub trait ReconfigEngine {
     /// Execute a reconfiguration plan.
     fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport;
 
+    /// Which apply path this engine is configured to use. Controllers
+    /// route plans through [`apply_epoch`](ReconfigEngine::apply_epoch)
+    /// when this returns [`ReconfigMode::Epoch`]. The default (an engine
+    /// without a barrier-aligned path) is [`ReconfigMode::Quiesce`].
+    fn reconfig_mode(&self) -> ReconfigMode {
+        ReconfigMode::Quiesce
+    }
+
+    /// Execute a reconfiguration plan with epoch-aligned (non-quiescent)
+    /// migrations: only the moving edges pause while unrelated operators
+    /// keep streaming. Engines without a barrier-aligned path fall back
+    /// to the quiesce-style [`apply`](ReconfigEngine::apply).
+    fn apply_epoch(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        self.apply(plan)
+    }
+
     /// Metric history, one record per completed period.
     fn history(&self) -> &[PeriodRecord];
 
@@ -217,6 +253,12 @@ impl<E: ReconfigEngine + ?Sized> ReconfigEngine for &mut E {
     }
     fn apply(&mut self, plan: &ReconfigPlan) -> ApplyReport {
         (**self).apply(plan)
+    }
+    fn reconfig_mode(&self) -> ReconfigMode {
+        (**self).reconfig_mode()
+    }
+    fn apply_epoch(&mut self, plan: &ReconfigPlan) -> ApplyReport {
+        (**self).apply_epoch(plan)
     }
     fn history(&self) -> &[PeriodRecord] {
         (**self).history()

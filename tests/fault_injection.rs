@@ -10,7 +10,7 @@
 use albic::engine::fault::{FaultInjector, FaultPlan};
 use albic::engine::operator::{Counting, Identity};
 use albic::engine::tuple::{Tuple, Value};
-use albic::engine::{PeriodRecord, Runtime};
+use albic::engine::{Migration, PeriodRecord, ReconfigMode, ReconfigPlan, Runtime, RuntimeConfig};
 use albic::job::{Job, Policy};
 use albic::types::{KeyGroupId, NodeId};
 
@@ -285,6 +285,108 @@ fn policies_see_recovery_as_ordinary_reconfiguration_input() {
             "group {kg:?} routed to dead node {node:?}"
         );
     }
+    let stats = job.measure();
+    assert_eq!(stats.dropped_tuples, 0.0);
+    job.shutdown();
+}
+
+/// Scripted round of epoch migrations: rotate each group in `groups` to
+/// `to`, skipping moves that are already home. Normalization happens here
+/// so every apply sees a well-formed plan.
+fn rotate_plan(rt: &Runtime, groups: &[u32], to: NodeId) -> ReconfigPlan {
+    let routing = rt.routing_snapshot();
+    let mut plan = ReconfigPlan::noop();
+    for &g in groups {
+        let kg = KeyGroupId::new(g);
+        if routing.node_of(kg) != to {
+            plan.migrations.push(Migration { group: kg, to });
+        }
+    }
+    plan
+}
+
+#[test]
+fn epoch_migrations_racing_producers_and_a_kill_stay_exactly_once() {
+    // The epoch-mode stress scenario: producer threads stream through
+    // cloned injectors (which also emit periodic no-op barrier waves, so
+    // alignment is continuously exercised), while back-to-back epoch
+    // migrations run underneath them and a worker is killed with a wave
+    // in flight. Every wave must terminate — each move either installs or
+    // aborts cleanly, never hangs — and the final counter total must
+    // equal everything produced, exactly once across the recovery.
+    const PRODUCERS: i64 = 3;
+    const PER_PRODUCER: i64 = 400;
+    let victim = NodeId::new(1);
+    let mut job = Job::builder()
+        .source("events", 8, Identity)
+        .operator("count", 8, Counting)
+        .edge("events", "count")
+        .nodes(3)
+        .checkpoint_interval(1)
+        .runtime_config(RuntimeConfig {
+            batch_size: 8,
+            channel_capacity: 64,
+            barrier_interval: 64,
+            ..RuntimeConfig::default()
+        })
+        .reconfig_mode(ReconfigMode::Epoch)
+        .policy(Policy::noop())
+        .build_threaded()
+        .expect("valid job spec");
+    let handles: Vec<_> = (0..PRODUCERS)
+        .map(|t| {
+            let inj = job.injector("events");
+            std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    inj.inject([Tuple::keyed(
+                        &((t * PER_PRODUCER + i) % 16),
+                        Value::Int(i),
+                        i as u64,
+                    )]);
+                }
+            })
+        })
+        .collect();
+    // Back-to-back epoch waves while the producers are mid-stream; no
+    // kill yet, so every move must land.
+    for round in 0..3u32 {
+        let to = NodeId::new(round % 3);
+        let plan = rotate_plan(job.engine(), &[2, 7, 11], to);
+        let report = job.apply(&plan);
+        assert!(
+            report.failed.is_empty(),
+            "round {round}: healthy epoch wave must not abort: {:?}",
+            report.failed
+        );
+    }
+    // Kill a worker, then immediately launch another wave against the
+    // corpse — one move targets the dead node outright. The wave must
+    // abort cleanly per move (no hang, no ghost state), not stall on an
+    // alignment that can never complete.
+    assert!(job.engine_mut().inject_fault(victim));
+    let plan = rotate_plan(job.engine(), &[2, 7, 11], victim);
+    let report = job.apply(&plan);
+    assert_eq!(
+        report.migrations.len() + report.failed.len(),
+        plan.migrations.len(),
+        "every move of the racing wave terminated one way or the other"
+    );
+    let report = job.step();
+    assert_eq!(report.recovery.failed, vec![victim]);
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The epoch executor works again on the recovered two-node cluster.
+    let plan = rotate_plan(job.engine(), &[2, 7, 11], NodeId::new(2));
+    let report = job.apply(&plan);
+    assert!(report.failed.is_empty(), "{:?}", report.failed);
+    job.settle();
+    let counts = final_counts(job.engine());
+    assert_eq!(
+        counts.iter().sum::<u64>(),
+        (PRODUCERS * PER_PRODUCER) as u64,
+        "every produced tuple counted exactly once across kill + waves"
+    );
     let stats = job.measure();
     assert_eq!(stats.dropped_tuples, 0.0);
     job.shutdown();

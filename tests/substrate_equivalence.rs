@@ -12,7 +12,7 @@ use albic::engine::fault::{FaultInjector, FaultPlan};
 use albic::engine::operator::{Counting, Identity};
 use albic::engine::sim::{WorkloadModel, WorkloadSnapshot};
 use albic::engine::tuple::{hash_key, Tuple, Value};
-use albic::engine::{PeriodStats, ReconfigPlan, RuntimeConfig};
+use albic::engine::{PeriodStats, ReconfigMode, ReconfigPlan, RuntimeConfig};
 use albic::job::{Job, JobBuilder, Policy};
 use albic::milp::MigrationBudget;
 use albic::types::{KeyGroupId, NodeId, Period};
@@ -59,30 +59,61 @@ fn builder() -> JobBuilder {
 /// deliberately starved channel that forces backpressure on every hop.
 #[test]
 fn equivalent_with_default_batching() {
-    assert_substrate_equivalence(RuntimeConfig::default());
+    assert_substrate_equivalence(RuntimeConfig::default(), ReconfigMode::Quiesce);
 }
 
 #[test]
 fn equivalent_with_per_tuple_data_plane() {
-    assert_substrate_equivalence(RuntimeConfig {
-        batch_size: 1,
-        ..RuntimeConfig::default()
-    });
+    assert_substrate_equivalence(
+        RuntimeConfig {
+            batch_size: 1,
+            ..RuntimeConfig::default()
+        },
+        ReconfigMode::Quiesce,
+    );
 }
 
 #[test]
 fn equivalent_with_tiny_channel_capacity() {
-    assert_substrate_equivalence(RuntimeConfig {
-        batch_size: 7,
-        channel_capacity: 2,
-        flush_interval: Duration::from_micros(50),
-    });
+    assert_substrate_equivalence(
+        RuntimeConfig {
+            batch_size: 7,
+            channel_capacity: 2,
+            flush_interval: Duration::from_micros(50),
+            ..RuntimeConfig::default()
+        },
+        ReconfigMode::Quiesce,
+    );
 }
 
-fn assert_substrate_equivalence(cfg: RuntimeConfig) {
+/// Epoch-aligned applies must be invisible to the decision layer: the
+/// same workload and policy in epoch mode, on both substrates, produce
+/// the identical signals, plans and final routing the quiesced mode
+/// does — migrations just execute without the global pause.
+#[test]
+fn equivalent_in_epoch_mode() {
+    assert_substrate_equivalence(RuntimeConfig::default(), ReconfigMode::Epoch);
+}
+
+/// Epoch mode with periodic no-op barrier waves streaming through the
+/// data plane: alignment runs continuously under load and still changes
+/// nothing observable.
+#[test]
+fn equivalent_in_epoch_mode_with_barrier_interval() {
+    assert_substrate_equivalence(
+        RuntimeConfig {
+            barrier_interval: 128,
+            ..RuntimeConfig::default()
+        },
+        ReconfigMode::Epoch,
+    );
+}
+
+fn assert_substrate_equivalence(cfg: RuntimeConfig, mode: ReconfigMode) {
     // --- Substrate A: the threaded runtime. ---
     let mut rt_job = builder()
         .runtime_config(cfg)
+        .reconfig_mode(mode)
         .build_threaded()
         .expect("valid job spec");
     let topology = rt_job.engine().topology().clone();
@@ -162,6 +193,7 @@ fn assert_substrate_equivalence(cfg: RuntimeConfig) {
     // --- Substrate B: the simulator, replaying the same workload through
     // the identical builder call. ---
     let mut sim_job = builder()
+        .reconfig_mode(mode)
         .build_simulated(Recorded {
             groups: num_groups,
             snapshots,
