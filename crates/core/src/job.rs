@@ -41,7 +41,7 @@ use std::sync::Arc;
 
 use albic_engine::operator::Operator;
 use albic_engine::reconfig::NoopPolicy;
-use albic_engine::runtime::{Injector, Runtime, RuntimeConfig};
+use albic_engine::runtime::{DataPlane, Injector, Runtime, RuntimeConfig};
 use albic_engine::sim::{SimEngine, WorkloadModel};
 use albic_engine::topology::{Topology, TopologyBuilder, TopologyError};
 use albic_engine::tuple::Tuple;
@@ -615,6 +615,16 @@ impl JobBuilder {
     /// to [`RuntimeConfig::default`].
     pub fn runtime_config(mut self, cfg: RuntimeConfig) -> Self {
         self.runtime = cfg;
+        self
+    }
+
+    /// Select the threaded runtime's data plane: columnar
+    /// [`StreamChunk`](albic_engine::StreamChunk) batches (the default)
+    /// or the row-batch oracle. Shorthand for setting
+    /// [`RuntimeConfig::data_plane`] through
+    /// [`JobBuilder::runtime_config`]; simulated jobs ignore it.
+    pub fn data_plane(mut self, plane: DataPlane) -> Self {
+        self.runtime.data_plane = plane;
         self
     }
 

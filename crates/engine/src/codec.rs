@@ -84,21 +84,67 @@ impl Writer {
         }
     }
 
-    /// Write a string-keyed map of `f64` (a very common window-state shape).
-    pub fn put_map_f64(&mut self, m: &BTreeMap<String, f64>) {
-        self.put_u64(m.len() as u64);
-        for (k, v) in m {
-            self.put_str(k);
-            self.put_f64(*v);
+    /// Write raw bytes with no length prefix (the caller records the
+    /// count — the per-column convention of [`crate::chunk`]).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write a `u64` column as one flat little-endian buffer (no length
+    /// prefix; the caller records the count).
+    pub fn put_u64_slice(&mut self, vals: &[u64]) {
+        self.buf.reserve(vals.len() * 8);
+        for &v in vals {
+            self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
-    /// Write a u64-keyed map of `f64`.
+    /// Write an `i64` column as one flat little-endian buffer.
+    pub fn put_i64_slice(&mut self, vals: &[i64]) {
+        self.buf.reserve(vals.len() * 8);
+        for &v in vals {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Write an `f64` column as one flat little-endian buffer.
+    pub fn put_f64_slice(&mut self, vals: &[f64]) {
+        self.buf.reserve(vals.len() * 8);
+        for &v in vals {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Write a `u32` column as one flat little-endian buffer.
+    pub fn put_u32_slice(&mut self, vals: &[u32]) {
+        self.buf.reserve(vals.len() * 4);
+        for &v in vals {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Write a string-keyed map of `f64` (a very common window-state
+    /// shape) in per-column layout: count, every key, then all values as
+    /// one flat `f64` buffer.
+    pub fn put_map_f64(&mut self, m: &BTreeMap<String, f64>) {
+        self.put_u64(m.len() as u64);
+        for k in m.keys() {
+            self.put_str(k);
+        }
+        for &v in m.values() {
+            self.put_f64(v);
+        }
+    }
+
+    /// Write a u64-keyed map of `f64` in per-column layout: count, then
+    /// the key column and the value column as flat buffers.
     pub fn put_map_u64_f64(&mut self, m: &BTreeMap<u64, f64>) {
         self.put_u64(m.len() as u64);
-        for (k, v) in m {
-            self.put_u64(*k);
-            self.put_f64(*v);
+        for &k in m.keys() {
+            self.put_u64(k);
+        }
+        for &v in m.values() {
+            self.put_f64(v);
         }
     }
 }
@@ -186,34 +232,78 @@ impl<'a> Reader<'a> {
         })
     }
 
-    /// Read a string-keyed `f64` map.
+    /// Read `n` raw bytes (count recorded by the caller, matching
+    /// [`Writer::put_bytes`]).
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Read an `n`-element `u64` column written by
+    /// [`Writer::put_u64_slice`]. Bounds-checked before allocating, so a
+    /// bogus on-wire count cannot trigger a huge reservation.
+    pub fn get_u64_vec(&mut self, n: usize) -> Result<Vec<u64>, DecodeError> {
+        let bytes = self.take(n.checked_mul(8).ok_or(DecodeError)?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read an `n`-element `i64` column written by
+    /// [`Writer::put_i64_slice`].
+    pub fn get_i64_vec(&mut self, n: usize) -> Result<Vec<i64>, DecodeError> {
+        let bytes = self.take(n.checked_mul(8).ok_or(DecodeError)?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read an `n`-element `f64` column written by
+    /// [`Writer::put_f64_slice`].
+    pub fn get_f64_vec(&mut self, n: usize) -> Result<Vec<f64>, DecodeError> {
+        let bytes = self.take(n.checked_mul(8).ok_or(DecodeError)?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read an `n`-element `u32` column written by
+    /// [`Writer::put_u32_slice`].
+    pub fn get_u32_vec(&mut self, n: usize) -> Result<Vec<u32>, DecodeError> {
+        let bytes = self.take(n.checked_mul(4).ok_or(DecodeError)?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read a string-keyed `f64` map (per-column layout, see
+    /// [`Writer::put_map_f64`]).
     pub fn get_map_f64(&mut self) -> Result<BTreeMap<String, f64>, DecodeError> {
         let n = self.get_u64()? as usize;
         if n > self.buf.len() {
             return Err(DecodeError);
         }
-        let mut m = BTreeMap::new();
+        let mut keys = Vec::with_capacity(n);
         for _ in 0..n {
-            let k = self.get_str()?;
-            let v = self.get_f64()?;
-            m.insert(k, v);
+            keys.push(self.get_str()?);
         }
-        Ok(m)
+        let vals = self.get_f64_vec(n)?;
+        Ok(keys.into_iter().zip(vals).collect())
     }
 
-    /// Read a u64-keyed `f64` map.
+    /// Read a u64-keyed `f64` map (per-column layout, see
+    /// [`Writer::put_map_u64_f64`]).
     pub fn get_map_u64_f64(&mut self) -> Result<BTreeMap<u64, f64>, DecodeError> {
         let n = self.get_u64()? as usize;
         if n > self.buf.len() {
             return Err(DecodeError);
         }
-        let mut m = BTreeMap::new();
-        for _ in 0..n {
-            let k = self.get_u64()?;
-            let v = self.get_f64()?;
-            m.insert(k, v);
-        }
-        Ok(m)
+        let keys = self.get_u64_vec(n)?;
+        let vals = self.get_f64_vec(n)?;
+        Ok(keys.into_iter().zip(vals).collect())
     }
 }
 
@@ -277,6 +367,34 @@ mod tests {
         w.put_map_u64_f64(&m2);
         let bytes = w.into_bytes();
         assert_eq!(Reader::new(&bytes).get_map_u64_f64().unwrap(), m2);
+    }
+
+    #[test]
+    fn column_slices_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u64(3);
+        w.put_u64_slice(&[1, 2, 3]);
+        w.put_i64_slice(&[-1, 0, i64::MAX]);
+        w.put_f64_slice(&[0.5, -2.25, 1e9]);
+        w.put_u32_slice(&[7, 8, 9]);
+        w.put_bytes(b"abc");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let n = r.get_u64().unwrap() as usize;
+        assert_eq!(r.get_u64_vec(n).unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_i64_vec(n).unwrap(), vec![-1, 0, i64::MAX]);
+        assert_eq!(r.get_f64_vec(n).unwrap(), vec![0.5, -2.25, 1e9]);
+        assert_eq!(r.get_u32_vec(n).unwrap(), vec![7, 8, 9]);
+        assert_eq!(r.get_bytes(3).unwrap(), b"abc");
+        assert!(r.is_done());
+        // Empty columns are zero bytes.
+        let mut w = Writer::new();
+        w.put_u64_slice(&[]);
+        assert!(w.into_bytes().is_empty());
+        // A bogus element count fails before allocating.
+        let mut r = Reader::new(&[0u8; 16]);
+        assert!(r.get_u64_vec(usize::MAX).is_err());
+        assert!(r.get_u64_vec(3).is_err());
     }
 
     #[test]

@@ -79,6 +79,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod cluster;
 pub mod codec;
 pub mod cost;
@@ -94,6 +95,7 @@ pub mod substrate;
 pub mod topology;
 pub mod tuple;
 
+pub use chunk::{ChunkEmissions, ChunkSlice, ChunkSorter, StreamChunk};
 pub use cluster::{Cluster, NodeInfo};
 pub use cost::CostModel;
 pub use fault::{FaultInjector, FaultPlan, RecoveryReport, TerminateError};
@@ -101,7 +103,7 @@ pub use migration::{Migration, MigrationReport};
 pub use operator::{Emissions, Operator, StateBox};
 pub use reconfig::{ClusterView, ReconfigPlan, ReconfigPolicy};
 pub use routing::RoutingTable;
-pub use runtime::{Injector, Runtime, RuntimeConfig};
+pub use runtime::{DataPlane, Injector, Runtime, RuntimeConfig};
 pub use sim::{SimEngine, WorkloadModel, WorkloadSnapshot};
 pub use stats::{NodePressure, PeriodStats};
 pub use substrate::{

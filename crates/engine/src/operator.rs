@@ -8,6 +8,7 @@
 
 use std::any::Any;
 
+use crate::chunk::{ChunkEmissions, ChunkSlice};
 use crate::tuple::Tuple;
 
 /// Opaque per-key-group state. Each operator downcasts to its concrete
@@ -84,6 +85,30 @@ pub trait Operator: Send + Sync {
     /// Process one input tuple against the state of its key group.
     fn process(&self, tuple: &Tuple, state: &mut StateBox, out: &mut Emissions);
 
+    /// Process a whole run of same-key-group rows in one call — the
+    /// columnar data plane's entry point (`DataPlane::Columnar`), paying
+    /// one virtual dispatch per batch instead of per tuple.
+    ///
+    /// The default bridges to [`Operator::process`] row by row, so every
+    /// operator is columnar-capable unchanged; vectorizable operators
+    /// override it to work on the columns directly (see
+    /// [`Identity`]/[`Counting`]). Overrides must emit exactly what the
+    /// row path would: the differential suite pins the two planes to
+    /// bit-identical results.
+    fn process_chunk(&self, rows: &ChunkSlice<'_>, state: &mut StateBox, out: &mut ChunkEmissions) {
+        let mut tmp = Emissions::new();
+        for i in 0..rows.len() {
+            if !rows.is_visible(i) {
+                continue;
+            }
+            let tuple = rows.tuple_at(i);
+            self.process(&tuple, state, &mut tmp);
+        }
+        for t in tmp.drain() {
+            out.emit(t);
+        }
+    }
+
     /// Called at the end of every statistics period — operators with
     /// windows flush aggregates here.
     fn on_period_end(&self, _state: &mut StateBox, _out: &mut Emissions) {}
@@ -114,6 +139,15 @@ impl Operator for Identity {
     }
     fn process(&self, tuple: &Tuple, _state: &mut StateBox, out: &mut Emissions) {
         out.emit(tuple.clone());
+    }
+    fn process_chunk(
+        &self,
+        rows: &ChunkSlice<'_>,
+        _state: &mut StateBox,
+        out: &mut ChunkEmissions,
+    ) {
+        // Pass-through is a flat column splice: no per-row work at all.
+        out.emit_slice(rows);
     }
 }
 
@@ -146,6 +180,21 @@ impl Operator for Counting {
             crate::tuple::Value::Int(*count as i64),
             tuple.ts,
         ));
+    }
+    fn process_chunk(&self, rows: &ChunkSlice<'_>, state: &mut StateBox, out: &mut ChunkEmissions) {
+        // One downcast per run, counts emitted straight into the column.
+        let count = state.downcast_mut::<u64>().expect("counting state");
+        for i in 0..rows.len() {
+            if !rows.is_visible(i) {
+                continue;
+            }
+            *count += 1;
+            out.emit_raw(
+                rows.key_at(i),
+                crate::tuple::Value::Int(*count as i64),
+                rows.ts_at(i),
+            );
+        }
     }
 }
 
@@ -203,5 +252,69 @@ mod tests {
     #[test]
     fn default_cost_is_baseline() {
         assert_eq!(Identity.cost_per_tuple(), 1.0);
+    }
+
+    #[test]
+    fn chunk_overrides_match_the_row_path() {
+        use crate::chunk::StreamChunk;
+        let tuples: Vec<Tuple> = (0..10)
+            .map(|i| Tuple::raw(i % 3, Value::Int(i as i64), i))
+            .collect();
+        let chunk = StreamChunk::from_tuples(tuples.clone());
+        for op in [&Identity as &dyn Operator, &Counting as &dyn Operator] {
+            // Row path.
+            let mut row_state = op.new_state();
+            let mut row_out = Emissions::new();
+            for t in &tuples {
+                op.process(t, &mut row_state, &mut row_out);
+            }
+            // Chunk path (the override), then the default bridge.
+            let mut chunk_state = op.new_state();
+            let mut chunk_out = ChunkEmissions::new();
+            op.process_chunk(&ChunkSlice::whole(&chunk), &mut chunk_state, &mut chunk_out);
+            assert_eq!(chunk_out.into_chunk().to_tuples(), row_out.drain());
+            assert_eq!(
+                op.serialize_state(&chunk_state),
+                op.serialize_state(&row_state)
+            );
+        }
+    }
+
+    #[test]
+    fn default_process_chunk_bridges_and_skips_hidden_rows() {
+        use crate::chunk::StreamChunk;
+        // An operator with no override exercises the default bridge.
+        struct Doubling;
+        impl Operator for Doubling {
+            fn name(&self) -> &str {
+                "doubling"
+            }
+            fn new_state(&self) -> StateBox {
+                Box::new(())
+            }
+            fn serialize_state(&self, _state: &StateBox) -> Vec<u8> {
+                Vec::new()
+            }
+            fn deserialize_state(&self, _bytes: &[u8]) -> StateBox {
+                Box::new(())
+            }
+            fn process(&self, tuple: &Tuple, _state: &mut StateBox, out: &mut Emissions) {
+                let v = tuple.value.as_int().unwrap_or(0);
+                out.emit(Tuple::raw(tuple.key, Value::Int(2 * v), tuple.ts));
+            }
+        }
+        let mut chunk =
+            StreamChunk::from_tuples((0..4).map(|i| Tuple::raw(i, Value::Int(i as i64), i)));
+        chunk.hide(1);
+        let mut state = Doubling.new_state();
+        let mut out = ChunkEmissions::new();
+        Doubling.process_chunk(&ChunkSlice::whole(&chunk), &mut state, &mut out);
+        let emitted: Vec<i64> = out
+            .into_chunk()
+            .to_tuples()
+            .iter()
+            .map(|t| t.value.as_int().unwrap())
+            .collect();
+        assert_eq!(emitted, vec![0, 4, 6]);
     }
 }

@@ -124,6 +124,7 @@ use parking_lot::{Mutex, RwLock};
 
 use albic_types::{KeyGroupId, NodeId, OperatorId, PeriodClock};
 
+use crate::chunk::{ChunkEmissions, ChunkSlice, ChunkSorter, StreamChunk};
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
 use crate::fault::{recovery_placement, RecoveryReport, TerminateError};
@@ -158,6 +159,28 @@ pub struct RuntimeConfig {
     /// default) disables the periodic waves; reconfiguration waves are
     /// unaffected. Ignored in quiesce mode.
     pub barrier_interval: usize,
+    /// Which hot-path representation the data plane moves: columnar
+    /// [`StreamChunk`]s (the default) or row batches (the differential
+    /// oracle, and the shape of `BENCH_runtime.json`'s historical
+    /// numbers). The two planes are observationally equivalent —
+    /// `tests/columnar.rs` pins multiset-equal delivery and bit-identical
+    /// period statistics — and differ only in throughput.
+    pub data_plane: DataPlane,
+}
+
+/// Hot-path tuple representation of the threaded data plane (see
+/// [`RuntimeConfig::data_plane`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DataPlane {
+    /// Row batches (`Vec<(operator, group, tuple)>`): one virtual call,
+    /// one hash lookup and one routing lookup per tuple. Kept as the
+    /// differential oracle for the columnar plane.
+    Row,
+    /// Columnar [`StreamChunk`]s: vectorized key-group assignment, one
+    /// counting sort per chunk, one virtual call per key-group run, and
+    /// flat column splices into per-destination outboxes.
+    #[default]
+    Columnar,
 }
 
 impl Default for RuntimeConfig {
@@ -167,6 +190,7 @@ impl Default for RuntimeConfig {
             channel_capacity: 1024,
             flush_interval: Duration::from_micros(200),
             barrier_interval: 0,
+            data_plane: DataPlane::Columnar,
         }
     }
 }
@@ -386,19 +410,26 @@ struct RoutingShared {
 /// The gated hand-off shared by the worker and injector send paths: wait
 /// up to `patience` for queue credit (re-checking that the destination is
 /// still published), overshoot with overflow accounting once patience
-/// expires, send, and return the batch if the destination is gone — the
+/// expires, send, and return the message if the destination is gone — the
 /// caller picks the loss policy (retry at the ingestion edge, a dropped
-/// counter inside a worker).
+/// counter inside a worker). `msg` must be a data message
+/// ([`Msg::DataBatch`] or [`Msg::DataChunk`]): those are the gauge-gated
+/// kinds, and the only ones a caller needs returned on failure.
+// The large `Err` is the point: the undeliverable message comes back by
+// value so the caller can retry or account it, and it is moved, not
+// copied, on every path.
+#[allow(clippy::result_large_err)]
 fn send_gated(
     senders: &SenderMap,
     gauges: &GaugeMap,
     capacity: usize,
     patience: Duration,
     dest: NodeId,
-    batch: DataBatch,
-) -> Result<(), DataBatch> {
+    msg: Msg,
+) -> Result<(), Msg> {
+    debug_assert!(matches!(msg, Msg::DataBatch(_) | Msg::DataChunk(_)));
     let Some(sender) = senders.read().get(&dest).cloned() else {
-        return Err(batch);
+        return Err(msg);
     };
     let gauge = gauges.read().get(&dest).cloned();
     if let Some(g) = &gauge {
@@ -407,7 +438,7 @@ fn send_gated(
             std::thread::sleep(PRESSURE_POLL);
             waited += PRESSURE_POLL;
             if !senders.read().contains_key(&dest) {
-                return Err(batch);
+                return Err(msg);
             }
         }
         if g.at_capacity(capacity) {
@@ -415,17 +446,32 @@ fn send_gated(
         }
         g.enqueued();
     }
-    match sender.send(Msg::DataBatch(batch)) {
+    match sender.send(msg) {
         Ok(()) => Ok(()),
         Err(e) => {
             if let Some(g) = &gauge {
                 g.dequeued();
             }
-            match e.0 {
-                Msg::DataBatch(batch) => Err(batch),
-                _ => Ok(()),
-            }
+            Err(e.0)
         }
+    }
+}
+
+/// Iterate the contiguous group runs of a routed chunk: `f(group, start,
+/// end)` per run. After a [`ChunkSorter`] pass each group appears as one
+/// run; on merely concatenated chunks a group may yield several runs,
+/// which every caller handles identically (same destination).
+fn for_each_group_run(chunk: &StreamChunk, mut f: impl FnMut(KeyGroupId, usize, usize)) {
+    let n = chunk.len();
+    let mut start = 0;
+    while start < n {
+        let g = chunk.group_at(start);
+        let mut end = start + 1;
+        while end < n && chunk.group_at(end) == g {
+            end += 1;
+        }
+        f(KeyGroupId::new(g), start, end);
+        start = end;
     }
 }
 
@@ -480,10 +526,21 @@ enum ExtractReply {
 }
 
 /// Messages a worker can receive.
+// `DataChunk` dwarfs the control variants, but boxing it would put a
+// heap allocation on every data hand-off — the chunk pool exists
+// precisely to avoid that — and data messages outnumber control
+// messages by orders of magnitude.
+#[allow(clippy::large_enum_variant)]
 enum Msg {
     /// A batch of data tuples, each routed to `(operator, key group)`.
-    /// The only message kind gated by the channel-capacity gauge.
+    /// Gated by the channel-capacity gauge (the row data plane).
     DataBatch(DataBatch),
+    /// A columnar batch with a routed group column; the operator of each
+    /// row is derived from its global group id. Gated by the
+    /// channel-capacity gauge like [`Msg::DataBatch`] (the columnar data
+    /// plane). Chunks on the wire are always fully visible: emitters
+    /// splice visible rows only.
+    DataChunk(StreamChunk),
     /// Start buffering tuples for a key group (migration destination).
     /// `ack` fires once the buffer exists: the coordinator must not flip
     /// the routing table before then, or the destination could process a
@@ -609,11 +666,24 @@ struct WorkerCtx {
     epochs: FastMap<u64, EpochProgress>,
     /// Pending outbound batch per destination worker.
     outbox: FastMap<NodeId, DataBatch>,
+    /// Pending outbound chunk per destination worker (columnar plane).
+    chunk_outbox: FastMap<NodeId, StreamChunk>,
     /// When the oldest pending outbound tuple was enqueued.
     oldest_pending: Option<Instant>,
     /// Recycled emission buffers (one `Vec` allocation per processed
     /// tuple otherwise).
     emission_pool: Vec<Vec<Tuple>>,
+    /// Recycled [`StreamChunk`] allocations for the columnar plane
+    /// (sort targets, emission collectors, local re-dispatch).
+    chunk_pool: Vec<StreamChunk>,
+    /// Counting-sort scratch for bucketing inbound chunks by group.
+    sorter: ChunkSorter,
+    /// Second sorter for emission routing, which nests inside the
+    /// inbound-chunk run loop while `sorter` is in use.
+    emit_sorter: ChunkSorter,
+    /// Locally emitted chunks awaiting routing (the columnar analogue of
+    /// `on_data` recursion, kept iterative).
+    chunk_worklist: Vec<StreamChunk>,
     stats: StatsCollector,
     /// Set by [`Msg::Crash`]: die without the graceful-shutdown drain.
     crashed: bool,
@@ -672,6 +742,11 @@ impl WorkerCtx {
                         self.on_data(op, kg, tuple);
                     }
                 }
+                Msg::DataChunk(chunk) => {
+                    self.gauge.dequeued();
+                    self.stats.record_ingest(chunk.visible_len() as f64);
+                    self.on_chunk(chunk);
+                }
                 Msg::Barrier(ack) => {
                     let _ = ack.send(());
                 }
@@ -693,7 +768,7 @@ impl WorkerCtx {
             self.crashed = true;
             return false;
         }
-        if !matches!(msg, Msg::DataBatch(_)) {
+        if !matches!(msg, Msg::DataBatch(_) | Msg::DataChunk(_)) {
             self.flush_outbox();
         }
         match msg {
@@ -703,6 +778,11 @@ impl WorkerCtx {
                 for (op, kg, tuple) in batch {
                     self.on_data(op, kg, tuple);
                 }
+            }
+            Msg::DataChunk(chunk) => {
+                self.gauge.dequeued();
+                self.stats.record_ingest(chunk.visible_len() as f64);
+                self.on_chunk(chunk);
             }
             Msg::PrepareReceive { kg, ack } => {
                 self.buffers.entry(kg.raw()).or_default();
@@ -1071,17 +1151,26 @@ impl WorkerCtx {
         }
     }
 
-    /// Flush every pending outbound batch.
+    /// Flush every pending outbound batch and chunk.
     fn flush_outbox(&mut self) {
         self.oldest_pending = None;
-        if self.outbox.is_empty() {
-            return;
+        if !self.outbox.is_empty() {
+            let dests: Vec<NodeId> = self.outbox.keys().copied().collect();
+            for dest in dests {
+                if let Some(batch) = self.outbox.remove(&dest) {
+                    if !batch.is_empty() {
+                        self.send_batch(dest, batch);
+                    }
+                }
+            }
         }
-        let dests: Vec<NodeId> = self.outbox.keys().copied().collect();
-        for dest in dests {
-            if let Some(batch) = self.outbox.remove(&dest) {
-                if !batch.is_empty() {
-                    self.send_batch(dest, batch);
+        if !self.chunk_outbox.is_empty() {
+            let dests: Vec<NodeId> = self.chunk_outbox.keys().copied().collect();
+            for dest in dests {
+                if let Some(chunk) = self.chunk_outbox.remove(&dest) {
+                    if !chunk.is_empty() {
+                        self.send_chunk(dest, chunk);
+                    }
                 }
             }
         }
@@ -1103,7 +1192,213 @@ impl WorkerCtx {
             self.cfg.channel_capacity,
             WORKER_SEND_PATIENCE,
             dest,
-            batch,
+            Msg::DataBatch(batch),
+        ) {
+            Ok(()) => self.stats.record_emit(n),
+            Err(_) => self.stats.record_dropped(n),
+        }
+    }
+
+    // ---- Columnar data plane -------------------------------------------
+
+    /// Take a cleared chunk allocation from the pool (or a fresh one).
+    fn take_chunk(&mut self) -> StreamChunk {
+        match self.chunk_pool.pop() {
+            Some(mut c) => {
+                c.clear();
+                c
+            }
+            None => StreamChunk::new(),
+        }
+    }
+
+    /// Return a chunk's allocation to the pool for reuse.
+    fn recycle_chunk(&mut self, chunk: StreamChunk) {
+        if self.chunk_pool.len() < 16 {
+            self.chunk_pool.push(chunk);
+        }
+    }
+
+    /// Entry point for an inbound [`Msg::DataChunk`]: route and process
+    /// the chunk, then drain every locally emitted chunk iteratively —
+    /// the columnar analogue of `on_data`'s recursion through `dispatch`.
+    fn on_chunk(&mut self, chunk: StreamChunk) {
+        let mut work = std::mem::take(&mut self.chunk_worklist);
+        work.push(chunk);
+        while let Some(c) = work.pop() {
+            self.route_chunk(c, &mut work);
+        }
+        self.chunk_worklist = work;
+    }
+
+    /// Bucket a routed chunk by its group column (one stable counting
+    /// pass yielding a selection vector — no sorted copy is ever
+    /// materialized, and even the pass is skipped when the chunk is
+    /// already in group order), then handle each group run as a unit:
+    /// groups buffering for a migration capture their rows, groups owned
+    /// elsewhere are spliced into the outbox, and owned runs get one
+    /// virtual call each.
+    fn route_chunk(&mut self, chunk: StreamChunk, work: &mut Vec<StreamChunk>) {
+        if chunk.is_empty() {
+            self.recycle_chunk(chunk);
+            return;
+        }
+        let num_groups = self.topology.num_key_groups() as usize;
+        let mut sorter = std::mem::take(&mut self.sorter);
+        let permuted = sorter.bucket(&chunk, num_groups);
+        for &(g, start, end) in sorter.runs() {
+            let kg = KeyGroupId::new(g);
+            let (start, end) = (start as usize, end as usize);
+            let rows = if permuted {
+                ChunkSlice::selected(&chunk, &sorter.perm()[start..end])
+            } else {
+                ChunkSlice::new(&chunk, start, end)
+            };
+            // Buffering during migration takes priority (mirrors on_data).
+            if !self.buffers.is_empty() && self.buffers.contains_key(&kg.raw()) {
+                let op = self.topology.operator_of_group(kg);
+                let buf = self.buffers.get_mut(&kg.raw()).expect("checked above");
+                for i in 0..rows.len() {
+                    buf.push((op, rows.tuple_at(i)));
+                }
+                continue;
+            }
+            let owner = self.owner_of(kg);
+            if owner != self.node {
+                // In-flight rows for a group that moved away: forward.
+                self.splice_out(owner, &rows);
+            } else {
+                self.process_run(kg, &rows, work);
+            }
+        }
+        self.sorter = sorter;
+        self.recycle_chunk(chunk);
+    }
+
+    /// Process one owned key-group run with a single
+    /// [`crate::operator::Operator::process_chunk`] call and dispatch
+    /// what it emitted.
+    fn process_run(&mut self, kg: KeyGroupId, rows: &ChunkSlice<'_>, work: &mut Vec<StreamChunk>) {
+        let op = self.topology.operator_of_group(kg);
+        let logic = Arc::clone(&self.topology.operator(op).logic);
+        let out_buf = self.take_chunk();
+        let state = self
+            .states
+            .entry(kg.raw())
+            .or_insert_with(|| logic.new_state());
+        let mut out = ChunkEmissions::from_chunk(out_buf);
+        logic.process_chunk(rows, state, &mut out);
+        self.stats
+            .record_processed(kg, rows.len() as f64, logic.cost_per_tuple());
+        let emitted = out.into_chunk();
+        if emitted.is_empty() {
+            self.recycle_chunk(emitted);
+            return;
+        }
+        self.dispatch_chunk(op, kg, emitted, work);
+    }
+
+    /// Route a run's emissions to every downstream operator: one
+    /// vectorized group assignment per operator, then comm accounting and
+    /// splicing per destination run.
+    fn dispatch_chunk(
+        &mut self,
+        op: OperatorId,
+        from_kg: KeyGroupId,
+        mut emitted: StreamChunk,
+        work: &mut Vec<StreamChunk>,
+    ) {
+        // Borrow the topology through a cloned Arc so the downstream
+        // list needs no per-dispatch Vec allocation.
+        let topology = Arc::clone(&self.topology);
+        let downstream = topology.downstream(op);
+        let Some(last) = downstream.len().checked_sub(1) else {
+            self.recycle_chunk(emitted);
+            return;
+        };
+        for (i, &dop) in downstream.iter().enumerate() {
+            let mut c = if i == last {
+                std::mem::take(&mut emitted)
+            } else {
+                emitted.clone()
+            };
+            c.assign_groups(dop, &topology);
+            self.route_emitted(from_kg, c, work);
+        }
+    }
+
+    /// Route one emissions chunk already routed for its destination
+    /// operator: record comm per destination run, splice cross-node runs
+    /// into the outbox, and queue locally owned rows on the worklist.
+    fn route_emitted(
+        &mut self,
+        from_kg: KeyGroupId,
+        chunk: StreamChunk,
+        work: &mut Vec<StreamChunk>,
+    ) {
+        if chunk.is_empty() {
+            self.recycle_chunk(chunk);
+            return;
+        }
+        let num_groups = self.topology.num_key_groups() as usize;
+        // A dedicated sorter: this runs nested inside `route_chunk`, which
+        // holds `self.sorter` for the duration of its own run loop.
+        let mut sorter = std::mem::take(&mut self.emit_sorter);
+        let permuted = sorter.bucket(&chunk, num_groups);
+        let mut local: Option<StreamChunk> = None;
+        for &(g, start, end) in sorter.runs() {
+            let dkg = KeyGroupId::new(g);
+            let (start, end) = (start as usize, end as usize);
+            let rows = if permuted {
+                ChunkSlice::selected(&chunk, &sorter.perm()[start..end])
+            } else {
+                ChunkSlice::new(&chunk, start, end)
+            };
+            let dest = self.owner_of(dkg);
+            let crossed = dest != self.node;
+            self.stats
+                .record_comm(from_kg, dkg, rows.len() as f64, crossed);
+            if crossed {
+                self.splice_out(dest, &rows);
+            } else {
+                if local.is_none() {
+                    local = Some(self.take_chunk());
+                }
+                local.as_mut().expect("just filled").append_slice(&rows);
+            }
+        }
+        self.emit_sorter = sorter;
+        if let Some(l) = local {
+            work.push(l);
+        }
+        self.recycle_chunk(chunk);
+    }
+
+    /// Splice a run into the pending outbound chunk for `dest`; hand the
+    /// chunk off once it reaches the batch size.
+    fn splice_out(&mut self, dest: NodeId, rows: &ChunkSlice<'_>) {
+        let out = self.chunk_outbox.entry(dest).or_default();
+        out.append_slice(rows);
+        let full = out.len() >= self.cfg.batch_size;
+        self.oldest_pending.get_or_insert_with(Instant::now);
+        if full {
+            if let Some(c) = self.chunk_outbox.remove(&dest) {
+                self.send_chunk(dest, c);
+            }
+        }
+    }
+
+    /// Hand a chunk to a peer worker through the same gated hand-off as
+    /// row batches; undeliverable rows are counted as dropped.
+    fn send_chunk(&mut self, dest: NodeId, chunk: StreamChunk) {
+        let n = chunk.visible_len() as f64;
+        match send_gated(
+            &self.senders,
+            &self.gauges,
+            self.cfg.channel_capacity,
+            WORKER_SEND_PATIENCE,
+            dest,
+            Msg::DataChunk(chunk),
         ) {
             Ok(()) => self.stats.record_emit(n),
             Err(_) => self.stats.record_dropped(n),
@@ -1209,6 +1504,20 @@ impl Injector {
         tuples: impl IntoIterator<Item = Tuple>,
         log: bool,
     ) -> usize {
+        match self.cfg.data_plane {
+            DataPlane::Row => self.inject_rows(op, tuples, log),
+            DataPlane::Columnar => self.inject_chunks(op, tuples, log),
+        }
+    }
+
+    /// Row-batch ingestion: the original per-tuple bucketing, kept as the
+    /// differential oracle for the columnar plane.
+    fn inject_rows(
+        &self,
+        op: OperatorId,
+        tuples: impl IntoIterator<Item = Tuple>,
+        log: bool,
+    ) -> usize {
         let log = log && self.log.is_enabled();
         let mut total = 0usize;
         // Few destinations (one per node): a linear-scan Vec beats
@@ -1258,6 +1567,74 @@ impl Injector {
         total
     }
 
+    /// Columnar ingestion: pack rows straight into [`StreamChunk`]s, do
+    /// group assignment as one vectorized pass over the key column, and
+    /// splice per-destination chunks under a single routing read per
+    /// input batch. Same locking discipline as [`Injector::inject_rows`]:
+    /// the caller's iterator is drained outside the routing lock, and the
+    /// lock is released before any (potentially blocking) delivery.
+    fn inject_chunks(
+        &self,
+        op: OperatorId,
+        tuples: impl IntoIterator<Item = Tuple>,
+        log: bool,
+    ) -> usize {
+        let log = log && self.log.is_enabled();
+        let mut total = 0usize;
+        // Few destinations (one per node): linear scan beats hashing.
+        let mut buckets: Vec<(NodeId, StreamChunk)> = Vec::new();
+        let mut staging: Vec<Tuple> = Vec::with_capacity(self.cfg.batch_size);
+        let range = self.topology.groups_of(op);
+        let (base, span) = (range.start, (range.end - range.start) as u64);
+        let mut iter = tuples.into_iter();
+        loop {
+            // Pull a batch from the caller's iterator *outside* the
+            // routing lock — user code (e.g. an iterator blocking on a
+            // socket) must never stall a concurrent reconfiguration.
+            staging.clear();
+            staging.extend(iter.by_ref().take(self.cfg.batch_size));
+            if log {
+                // Log before delivery: a tuple that lands in a crashing
+                // worker's channel must already be recoverable.
+                self.log.record(op, staging.iter());
+            }
+            let consumed = staging.len();
+            total += consumed;
+            if consumed > 0 {
+                // Pack each tuple straight into its destination bucket:
+                // one columnar append per row, no intermediate chunk and
+                // no injector-side sort — receivers bucket by group.
+                let routing = self.routing.read();
+                for tuple in staging.drain(..) {
+                    let g = base + (tuple.key % span) as u32;
+                    let node = routing.node_of(KeyGroupId::new(g));
+                    match buckets.iter_mut().find(|(n, _)| *n == node) {
+                        Some((_, c)) => c.push_routed(tuple, g),
+                        None => {
+                            let mut c = StreamChunk::with_capacity(self.cfg.batch_size);
+                            c.push_routed(tuple, g);
+                            buckets.push((node, c));
+                        }
+                    }
+                }
+            }
+            for (node, c) in &mut buckets {
+                if c.len() >= self.cfg.batch_size {
+                    self.deliver_chunk(*node, std::mem::take(c), INJECT_ATTEMPTS);
+                }
+            }
+            if consumed < self.cfg.batch_size {
+                break;
+            }
+        }
+        for (node, c) in buckets {
+            if !c.is_empty() {
+                self.deliver_chunk(node, c, INJECT_ATTEMPTS);
+            }
+        }
+        total
+    }
+
     /// Tuples this injector's runtime failed to deliver so far (folded
     /// into the next period's [`PeriodStats::dropped_tuples`]).
     pub fn dropped_so_far(&self) -> u64 {
@@ -1269,15 +1646,58 @@ impl Injector {
     /// quickly; a vanished worker is detected by the aliveness re-check
     /// or, at the latest, by the failing send after the patience window.
     fn deliver(&self, dest: NodeId, batch: DataBatch, attempts: usize) {
-        if let Err(batch) = send_gated(
+        if let Err(Msg::DataBatch(batch)) = send_gated(
             &self.senders,
             &self.gauges,
             self.cfg.channel_capacity,
             INJECT_PATIENCE,
             dest,
-            batch,
+            Msg::DataBatch(batch),
         ) {
             self.retry_or_drop(batch, attempts);
+        }
+    }
+
+    /// [`Injector::deliver`] for the columnar plane.
+    fn deliver_chunk(&self, dest: NodeId, chunk: StreamChunk, attempts: usize) {
+        if let Err(Msg::DataChunk(chunk)) = send_gated(
+            &self.senders,
+            &self.gauges,
+            self.cfg.channel_capacity,
+            INJECT_PATIENCE,
+            dest,
+            Msg::DataChunk(chunk),
+        ) {
+            self.retry_or_drop_chunk(chunk, attempts);
+        }
+    }
+
+    /// A chunk delivery failed: re-bucket its group runs against a fresh
+    /// routing read and try again; once attempts are exhausted, count the
+    /// loss.
+    fn retry_or_drop_chunk(&self, chunk: StreamChunk, attempts: usize) {
+        if attempts == 0 {
+            self.dropped
+                .fetch_add(chunk.visible_len() as u64, Ordering::Relaxed);
+            return;
+        }
+        let mut rebucketed: Vec<(NodeId, StreamChunk)> = Vec::new();
+        {
+            let routing = self.routing.read();
+            for_each_group_run(&chunk, |kg, start, end| {
+                let node = routing.node_of(kg);
+                match rebucketed.iter_mut().find(|(n, _)| *n == node) {
+                    Some((_, c)) => c.append_range(&chunk, start, end),
+                    None => {
+                        let mut c = StreamChunk::new();
+                        c.append_range(&chunk, start, end);
+                        rebucketed.push((node, c));
+                    }
+                }
+            });
+        }
+        for (node, c) in rebucketed {
+            self.deliver_chunk(node, c, attempts - 1);
         }
     }
 
@@ -1437,6 +1857,11 @@ impl Runtime {
             outbox: FastMap::default(),
             oldest_pending: None,
             emission_pool: Vec::new(),
+            chunk_outbox: FastMap::default(),
+            chunk_pool: Vec::new(),
+            sorter: ChunkSorter::new(),
+            emit_sorter: ChunkSorter::new(),
+            chunk_worklist: Vec::new(),
             stats: StatsCollector::new(),
             crashed: false,
         };
@@ -1566,7 +1991,39 @@ impl Runtime {
                                 self.cfg.channel_capacity,
                                 WORKER_SEND_PATIENCE,
                                 node,
-                                b,
+                                Msg::DataBatch(b),
+                            )
+                            .is_err()
+                            {
+                                self.inject_dropped.fetch_add(n, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Msg::DataChunk(chunk) => {
+                        let mut rebucketed: Vec<(NodeId, StreamChunk)> = Vec::new();
+                        {
+                            let routing = self.routing.read();
+                            for_each_group_run(&chunk, |kg, start, end| {
+                                let node = routing.node_of(kg);
+                                match rebucketed.iter_mut().find(|(n, _)| *n == node) {
+                                    Some((_, c)) => c.append_range(&chunk, start, end),
+                                    None => {
+                                        let mut c = StreamChunk::new();
+                                        c.append_range(&chunk, start, end);
+                                        rebucketed.push((node, c));
+                                    }
+                                }
+                            });
+                        }
+                        for (node, c) in rebucketed {
+                            let n = c.visible_len() as u64;
+                            if send_gated(
+                                &self.senders,
+                                &self.gauges,
+                                self.cfg.channel_capacity,
+                                WORKER_SEND_PATIENCE,
+                                node,
+                                Msg::DataChunk(c),
                             )
                             .is_err()
                             {

@@ -80,6 +80,7 @@ impl StatsCollector {
 
     /// Record `n` tuples processed by group `kg` whose operator has the
     /// given CPU multiplier.
+    #[inline]
     pub fn record_processed(&mut self, kg: KeyGroupId, n: f64, op_cost: f64) {
         *self.tuples_in.entry(kg.raw()).or_insert(0.0) += n;
         self.group_cost.insert(kg.raw(), op_cost);
@@ -87,6 +88,7 @@ impl StatsCollector {
 
     /// Record `n` tuples flowing from `from` to `to`; `crossed` marks
     /// whether the flow crossed a node boundary.
+    #[inline]
     pub fn record_comm(&mut self, from: KeyGroupId, to: KeyGroupId, n: f64, crossed: bool) {
         *self.out_matrix.entry((from.raw(), to.raw())).or_insert(0.0) += n;
         if crossed {
@@ -108,16 +110,19 @@ impl StatsCollector {
     }
 
     /// Record `n` tuples dequeued from the data plane (channel ingest).
+    #[inline]
     pub fn record_ingest(&mut self, n: f64) {
         self.ingested += n;
     }
 
     /// Record `n` tuples handed off to another worker (channel emit).
+    #[inline]
     pub fn record_emit(&mut self, n: f64) {
         self.emitted += n;
     }
 
     /// Record `n` tuples whose destination worker was unreachable.
+    #[inline]
     pub fn record_dropped(&mut self, n: f64) {
         self.dropped += n;
     }

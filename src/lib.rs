@@ -66,3 +66,4 @@ pub use albic_workloads as workloads;
 pub use albic_core::job;
 pub use albic_core::job::{Job, JobBuilder, JobError, JobSummary, Policy};
 pub use albic_engine::ReconfigMode;
+pub use albic_engine::{ChunkSorter, DataPlane, RuntimeConfig, StreamChunk};
