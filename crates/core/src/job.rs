@@ -44,6 +44,7 @@ use albic_engine::reconfig::NoopPolicy;
 use albic_engine::runtime::{DataPlane, Injector, Runtime, RuntimeConfig};
 use albic_engine::sim::{SimEngine, WorkloadModel};
 use albic_engine::topology::{Topology, TopologyBuilder, TopologyError};
+use albic_engine::transport::TransportOptions;
 use albic_engine::tuple::Tuple;
 use albic_engine::{
     ApplyReport, Cluster, CostModel, PeriodRecord, PeriodStats, ReconfigEngine, ReconfigMode,
@@ -132,6 +133,9 @@ pub enum JobError {
         /// The preset it cannot apply to.
         policy: &'static str,
     },
+    /// The configured [`JobBuilder::transport`] backend failed to come
+    /// up (listener bind, worker launch, or handshake error).
+    TransportFailed(String),
 }
 
 impl std::fmt::Display for JobError {
@@ -188,6 +192,7 @@ impl std::fmt::Display for JobError {
                 f,
                 "Policy::{option} does not apply to the {policy:?} preset and would be silently ignored; remove it"
             ),
+            JobError::TransportFailed(e) => write!(f, "transport failed to start: {e}"),
         }
     }
 }
@@ -479,6 +484,7 @@ pub struct JobBuilder {
     cost: CostModel,
     policy: Option<Policy>,
     runtime: RuntimeConfig,
+    transport: TransportOptions,
     checkpoint_interval: u64,
     replay_log_capacity: usize,
     reconfig_mode: ReconfigMode,
@@ -495,6 +501,7 @@ impl Default for JobBuilder {
             cost: CostModel::default(),
             policy: None,
             runtime: RuntimeConfig::default(),
+            transport: TransportOptions::default(),
             checkpoint_interval: 0,
             replay_log_capacity: albic_engine::runtime::DEFAULT_REPLAY_LOG_CAPACITY,
             reconfig_mode: ReconfigMode::Quiesce,
@@ -615,6 +622,14 @@ impl JobBuilder {
     /// to [`RuntimeConfig::default`].
     pub fn runtime_config(mut self, cfg: RuntimeConfig) -> Self {
         self.runtime = cfg;
+        self
+    }
+
+    /// Which worker substrate [`JobBuilder::build_threaded`] runs on:
+    /// in-process worker threads (the default) or networked worker
+    /// processes ([`TransportOptions::Net`]). Simulated jobs ignore it.
+    pub fn transport(mut self, transport: TransportOptions) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -813,11 +828,14 @@ impl JobBuilder {
     /// live worker thread per node, real state migration).
     pub fn build_threaded(self) -> Result<Job<Runtime>, JobError> {
         let runtime = self.runtime;
+        let transport = self.transport.clone();
         let (checkpoint, log_capacity) = (self.checkpoint_interval, self.replay_log_capacity);
         let mode = self.reconfig_mode;
         let (topology, cluster, routing, policy, cost) = self.prepare(None)?;
         let topology = topology.expect("prepare rejects threaded jobs without a topology");
-        let mut engine = Runtime::start_with_config(topology, cluster, routing, cost, runtime);
+        let mut engine =
+            Runtime::start_with_options(topology, cluster, routing, cost, runtime, transport)
+                .map_err(|e| JobError::TransportFailed(e.to_string()))?;
         if checkpoint > 0 {
             engine.configure_recovery(checkpoint, log_capacity);
         }

@@ -29,7 +29,7 @@
 
 use albic_types::OperatorId;
 
-use crate::codec::{DecodeError, Reader, Writer};
+use crate::codec::{DecodeError, Found, Reader, Writer};
 use crate::topology::Topology;
 use crate::tuple::{Key, Tuple, Value};
 
@@ -499,7 +499,11 @@ impl StreamChunk {
         let str_data = r.get_bytes(str_len)?.to_vec();
         let n_lists = r.get_u64()? as usize;
         if n_lists > len {
-            return Err(DecodeError);
+            return Err(DecodeError::new(
+                r.offset(),
+                "list count <= row count",
+                Found::Length(n_lists as u64),
+            ));
         }
         let mut lists = Vec::with_capacity(n_lists);
         for _ in 0..n_lists {
@@ -515,7 +519,11 @@ impl StreamChunk {
         let n_vis = r.get_u64()? as usize;
         let vis = r.get_u64_vec(n_vis)?;
         if !vis.is_empty() && vis.len() != len.div_ceil(64) {
-            return Err(DecodeError);
+            return Err(DecodeError::new(
+                r.offset(),
+                "visibility bitmap sized to row count",
+                Found::Length(vis.len() as u64),
+            ));
         }
         // Rebuild dense-union offsets and validate variant counts.
         let mut offsets = Vec::with_capacity(len);
@@ -539,23 +547,45 @@ impl StreamChunk {
                     offsets.push(cl);
                     cl += 1;
                 }
-                _ => return Err(DecodeError),
+                _ => {
+                    return Err(DecodeError::new(
+                        r.offset(),
+                        "chunk value tag 0..=4",
+                        Found::Tag(tag),
+                    ))
+                }
             }
         }
         if ci as usize != n_ints || cf as usize != n_floats || cs as usize != n_strs {
-            return Err(DecodeError);
+            return Err(DecodeError::new(
+                r.offset(),
+                "variant column lengths matching tag counts",
+                Found::Length(n_ints.max(n_floats).max(n_strs) as u64),
+            ));
         }
         if cl as usize != n_lists {
-            return Err(DecodeError);
+            return Err(DecodeError::new(
+                r.offset(),
+                "list column length matching tag count",
+                Found::Length(n_lists as u64),
+            ));
         }
         if str_ends.last().is_some_and(|&e| e as usize != str_len)
             || (str_ends.is_empty() && str_len != 0)
             || !str_ends.windows(2).all(|w| w[0] <= w[1])
         {
-            return Err(DecodeError);
+            return Err(DecodeError::new(
+                r.offset(),
+                "monotone string offsets ending at buffer length",
+                Found::Length(str_len as u64),
+            ));
         }
         if std::str::from_utf8(&str_data).is_err() {
-            return Err(DecodeError);
+            return Err(DecodeError::new(
+                r.offset(),
+                "UTF-8 string buffer",
+                Found::InvalidUtf8,
+            ));
         }
         let hidden = if vis.is_empty() {
             0

@@ -156,13 +156,69 @@ pub struct Reader<'a> {
     pos: usize,
 }
 
-/// Decoding failure: truncated or malformed input.
+/// What a failing decoder actually found at the error offset (see
+/// [`DecodeError::found`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DecodeError;
+pub enum Found {
+    /// The input ended early: only `remaining` bytes were left where the
+    /// decoder needed more.
+    Truncated {
+        /// Bytes left in the input at the failure point.
+        remaining: usize,
+    },
+    /// An unknown or out-of-place tag byte.
+    Tag(u8),
+    /// A length or element-count prefix larger than the input could
+    /// possibly back (a hostile prefix must fail before any allocation).
+    Length(u64),
+    /// Bytes that are not valid UTF-8 where a string was expected.
+    InvalidUtf8,
+}
+
+impl std::fmt::Display for Found {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Found::Truncated { remaining } => write!(f, "only {remaining} bytes remaining"),
+            Found::Tag(t) => write!(f, "tag byte {t:#04x}"),
+            Found::Length(n) => write!(f, "length prefix {n}"),
+            Found::InvalidUtf8 => write!(f, "invalid UTF-8"),
+        }
+    }
+}
+
+/// Decoding failure: truncated or malformed input, carrying the byte
+/// offset at which decoding failed, what the decoder expected there, and
+/// what it found instead — enough to diagnose a bad frame that arrived
+/// off a socket, not just that *something* was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset into the input at which decoding failed.
+    pub offset: usize,
+    /// What the decoder was trying to read (a static description such as
+    /// `"u64"` or `"value tag"`).
+    pub expected: &'static str,
+    /// What it found instead.
+    pub found: Found,
+}
+
+impl DecodeError {
+    /// Construct an error for a failure at `offset`.
+    pub fn new(offset: usize, expected: &'static str, found: Found) -> Self {
+        DecodeError {
+            offset,
+            expected,
+            found,
+        }
+    }
+}
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "truncated or malformed state bytes")
+        write!(
+            f,
+            "decode error at byte {}: expected {}, found {}",
+            self.offset, self.expected, self.found
+        )
     }
 }
 impl std::error::Error for DecodeError {}
@@ -178,57 +234,112 @@ impl<'a> Reader<'a> {
         self.pos >= self.buf.len()
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.buf.len() {
-            return Err(DecodeError);
+    /// Current read offset (the position decode errors report).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// An error at the current offset.
+    fn err(&self, expected: &'static str, found: Found) -> DecodeError {
+        DecodeError::new(self.pos, expected, found)
+    }
+
+    fn err_truncated(&self, expected: &'static str) -> DecodeError {
+        self.err(
+            expected,
+            Found::Truncated {
+                remaining: self.remaining(),
+            },
+        )
+    }
+
+    fn take_for(&mut self, n: usize, expected: &'static str) -> Result<&'a [u8], DecodeError> {
+        // Checked add: a hostile `n` near `usize::MAX` must not wrap
+        // around into a bogus in-bounds range.
+        match self.pos.checked_add(n) {
+            Some(end) if end <= self.buf.len() => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            _ => Err(self.err_truncated(expected)),
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take_for(n, "raw bytes")
+    }
+
+    /// Read an element count that is about to drive a loop or an
+    /// allocation: each element needs at least `min_size` more bytes, so
+    /// any count the remaining input cannot back is rejected *before*
+    /// anything is allocated.
+    fn get_count(&mut self, min_size: usize, expected: &'static str) -> Result<usize, DecodeError> {
+        let at = self.pos;
+        let raw = self.get_u64()?;
+        let n: usize = raw
+            .try_into()
+            .map_err(|_| DecodeError::new(at, expected, Found::Length(raw)))?;
+        let need = n.checked_mul(min_size.max(1));
+        match need {
+            Some(need) if need <= self.remaining() => Ok(n),
+            _ => Err(DecodeError::new(at, expected, Found::Length(raw))),
+        }
     }
 
     /// Read a `u64`.
     pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take_for(8, "u64")?.try_into().unwrap(),
+        ))
     }
 
     /// Read an `i64`.
     pub fn get_i64(&mut self) -> Result<i64, DecodeError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(
+            self.take_for(8, "i64")?.try_into().unwrap(),
+        ))
     }
 
     /// Read an `f64`.
     pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(
+            self.take_for(8, "f64")?.try_into().unwrap(),
+        ))
     }
 
     /// Read a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<String, DecodeError> {
-        let len = self.get_u64()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError)
+        let len = self.get_count(1, "string length")?;
+        let at = self.pos;
+        let bytes = self.take_for(len, "string bytes")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DecodeError::new(at, "UTF-8 string", Found::InvalidUtf8))
     }
 
     /// Read a [`Value`].
     pub fn get_value(&mut self) -> Result<Value, DecodeError> {
-        let tag = self.take(1)?[0];
+        let at = self.pos;
+        let tag = self.take_for(1, "value tag")?[0];
         Ok(match tag {
             0 => Value::Null,
             1 => Value::Int(self.get_i64()?),
             2 => Value::Float(self.get_f64()?),
             3 => Value::Str(self.get_str()?),
             4 => {
-                let n = self.get_u64()? as usize;
-                if n > self.buf.len() {
-                    return Err(DecodeError); // bogus length guard
-                }
+                let n = self.get_count(1, "list length")?;
                 let mut l = Vec::with_capacity(n);
                 for _ in 0..n {
                     l.push(self.get_value()?);
                 }
                 Value::List(l)
             }
-            _ => return Err(DecodeError),
+            _ => return Err(DecodeError::new(at, "value tag 0..=4", Found::Tag(tag))),
         })
     }
 
@@ -242,7 +353,10 @@ impl<'a> Reader<'a> {
     /// [`Writer::put_u64_slice`]. Bounds-checked before allocating, so a
     /// bogus on-wire count cannot trigger a huge reservation.
     pub fn get_u64_vec(&mut self, n: usize) -> Result<Vec<u64>, DecodeError> {
-        let bytes = self.take(n.checked_mul(8).ok_or(DecodeError)?)?;
+        let total = n
+            .checked_mul(8)
+            .ok_or_else(|| self.err("u64 column", Found::Length(n as u64)))?;
+        let bytes = self.take_for(total, "u64 column")?;
         Ok(bytes
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
@@ -252,7 +366,10 @@ impl<'a> Reader<'a> {
     /// Read an `n`-element `i64` column written by
     /// [`Writer::put_i64_slice`].
     pub fn get_i64_vec(&mut self, n: usize) -> Result<Vec<i64>, DecodeError> {
-        let bytes = self.take(n.checked_mul(8).ok_or(DecodeError)?)?;
+        let total = n
+            .checked_mul(8)
+            .ok_or_else(|| self.err("i64 column", Found::Length(n as u64)))?;
+        let bytes = self.take_for(total, "i64 column")?;
         Ok(bytes
             .chunks_exact(8)
             .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
@@ -262,7 +379,10 @@ impl<'a> Reader<'a> {
     /// Read an `n`-element `f64` column written by
     /// [`Writer::put_f64_slice`].
     pub fn get_f64_vec(&mut self, n: usize) -> Result<Vec<f64>, DecodeError> {
-        let bytes = self.take(n.checked_mul(8).ok_or(DecodeError)?)?;
+        let total = n
+            .checked_mul(8)
+            .ok_or_else(|| self.err("f64 column", Found::Length(n as u64)))?;
+        let bytes = self.take_for(total, "f64 column")?;
         Ok(bytes
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
@@ -272,7 +392,10 @@ impl<'a> Reader<'a> {
     /// Read an `n`-element `u32` column written by
     /// [`Writer::put_u32_slice`].
     pub fn get_u32_vec(&mut self, n: usize) -> Result<Vec<u32>, DecodeError> {
-        let bytes = self.take(n.checked_mul(4).ok_or(DecodeError)?)?;
+        let total = n
+            .checked_mul(4)
+            .ok_or_else(|| self.err("u32 column", Found::Length(n as u64)))?;
+        let bytes = self.take_for(total, "u32 column")?;
         Ok(bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
@@ -282,10 +405,7 @@ impl<'a> Reader<'a> {
     /// Read a string-keyed `f64` map (per-column layout, see
     /// [`Writer::put_map_f64`]).
     pub fn get_map_f64(&mut self) -> Result<BTreeMap<String, f64>, DecodeError> {
-        let n = self.get_u64()? as usize;
-        if n > self.buf.len() {
-            return Err(DecodeError);
-        }
+        let n = self.get_count(8, "map entry count")?;
         let mut keys = Vec::with_capacity(n);
         for _ in 0..n {
             keys.push(self.get_str()?);
@@ -297,10 +417,7 @@ impl<'a> Reader<'a> {
     /// Read a u64-keyed `f64` map (per-column layout, see
     /// [`Writer::put_map_u64_f64`]).
     pub fn get_map_u64_f64(&mut self) -> Result<BTreeMap<u64, f64>, DecodeError> {
-        let n = self.get_u64()? as usize;
-        if n > self.buf.len() {
-            return Err(DecodeError);
-        }
+        let n = self.get_count(16, "map entry count")?;
         let keys = self.get_u64_vec(n)?;
         let vals = self.get_f64_vec(n)?;
         Ok(keys.into_iter().zip(vals).collect())
@@ -403,16 +520,26 @@ mod tests {
         w.put_str("hello world");
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes[..5]);
-        assert_eq!(r.get_str(), Err(DecodeError));
+        let err = r.get_str().unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert_eq!(err.found, Found::Truncated { remaining: 5 });
 
         let mut r = Reader::new(&[]);
-        assert_eq!(r.get_u64(), Err(DecodeError));
+        let err = r.get_u64().unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::new(0, "u64", Found::Truncated { remaining: 0 })
+        );
+        assert!(err.to_string().contains("expected u64"));
     }
 
     #[test]
     fn malformed_tag_errors() {
         let mut r = Reader::new(&[99]);
-        assert_eq!(r.get_value(), Err(DecodeError));
+        let err = r.get_value().unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert_eq!(err.found, Found::Tag(99));
+        assert!(err.to_string().contains("0x63"));
     }
 
     #[test]
@@ -422,6 +549,20 @@ mod tests {
         w.buf.push(4);
         w.put_u64(u64::MAX);
         let bytes = w.into_bytes();
-        assert_eq!(Reader::new(&bytes).get_value(), Err(DecodeError));
+        let err = Reader::new(&bytes).get_value().unwrap_err();
+        assert_eq!(err.found, Found::Length(u64::MAX));
+        // The error points at the length prefix, just past the list tag.
+        assert_eq!(err.offset, 1);
+    }
+
+    #[test]
+    fn invalid_utf8_reports_string_offset() {
+        let mut w = Writer::new();
+        w.put_u64(2);
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let err = Reader::new(&bytes).get_str().unwrap_err();
+        assert_eq!(err.found, Found::InvalidUtf8);
+        assert_eq!(err.offset, 8);
     }
 }

@@ -93,6 +93,7 @@ pub mod sim;
 pub mod stats;
 pub mod substrate;
 pub mod topology;
+pub mod transport;
 pub mod tuple;
 
 pub use chunk::{ChunkEmissions, ChunkSlice, ChunkSorter, StreamChunk};
@@ -110,4 +111,8 @@ pub use substrate::{
     ApplyReport, FailedMigration, MigrationFailure, PeriodRecord, ReconfigEngine, ReconfigMode,
 };
 pub use topology::{OperatorSpec, Topology, TopologyBuilder};
+pub use transport::{
+    InProcessTransport, NetConfig, NetTransport, OperatorRegistry, SocketKind, Transport,
+    TransportOptions,
+};
 pub use tuple::{Tuple, Value};

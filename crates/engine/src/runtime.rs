@@ -137,6 +137,11 @@ use crate::substrate::{
     ApplyReport, FailedMigration, MigrationFailure, PeriodRecord, ReconfigEngine, ReconfigMode,
 };
 use crate::topology::Topology;
+use crate::transport::wire::WireOut;
+use crate::transport::{
+    InProcessTransport, NetTransport, Peers, Transport, TransportOptions, WorkerMailbox,
+    WorkerSpawn,
+};
 use crate::tuple::Tuple;
 
 /// Data-plane tuning of the threaded runtime. Thread through
@@ -207,10 +212,10 @@ impl RuntimeConfig {
 /// How long a *worker* waits for capacity at a peer before overshooting.
 /// Workers must never block indefinitely — two mutually-full workers
 /// would deadlock — so this is a pacing delay, not a hard bound.
-const WORKER_SEND_PATIENCE: Duration = Duration::from_millis(5);
+pub(crate) const WORKER_SEND_PATIENCE: Duration = Duration::from_millis(5);
 /// Poll quantum while waiting for queue capacity (sleep, not spin: the
 /// receiver needs the CPU to drain).
-const PRESSURE_POLL: Duration = Duration::from_micros(100);
+pub(crate) const PRESSURE_POLL: Duration = Duration::from_micros(100);
 /// How long an external [`Injector`] blocks on a full queue before
 /// overshooting one batch as a liveness escape (a healthy worker drains
 /// long before this; a dead one fails the send, which is then surfaced).
@@ -325,12 +330,12 @@ struct RecoveryAccounting {
 }
 
 /// A batch of routed tuples: the unit of worker-to-worker hand-off.
-type DataBatch = Vec<(OperatorId, KeyGroupId, Tuple)>;
+pub(crate) type DataBatch = Vec<(OperatorId, KeyGroupId, Tuple)>;
 
 /// Per-worker inbox gauge: the credit counter that bounds the data plane,
 /// plus the pressure counters exported at period end.
 #[derive(Debug, Default)]
-struct WorkerGauge {
+pub(crate) struct WorkerGauge {
     /// Data batches currently queued in the worker's inbox.
     depth: AtomicUsize,
     /// Largest `depth` observed since the last period collection.
@@ -340,12 +345,12 @@ struct WorkerGauge {
 }
 
 impl WorkerGauge {
-    fn enqueued(&self) {
+    pub(crate) fn enqueued(&self) {
         let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak_depth.fetch_max(d, Ordering::Relaxed);
     }
 
-    fn dequeued(&self) {
+    pub(crate) fn dequeued(&self) {
         self.depth.fetch_sub(1, Ordering::Relaxed);
     }
 
@@ -362,12 +367,12 @@ impl WorkerGauge {
     }
 }
 
-type GaugeMap = Arc<RwLock<HashMap<NodeId, Arc<WorkerGauge>>>>;
-type SenderMap = Arc<RwLock<HashMap<NodeId, Sender<Msg>>>>;
+pub(crate) type GaugeMap = Arc<RwLock<HashMap<NodeId, Arc<WorkerGauge>>>>;
+pub(crate) type SenderMap = Arc<RwLock<HashMap<NodeId, Sender<Msg>>>>;
 
 /// One epoch's migration set: `(group, from, to)` per move. Shared by
 /// every worker of the wave through an `Arc`.
-type EpochMoves = Arc<Vec<(KeyGroupId, NodeId, NodeId)>>;
+pub(crate) type EpochMoves = Arc<Vec<(KeyGroupId, NodeId, NodeId)>>;
 
 /// State shared between the runtime and every [`Injector`] handle for
 /// epoch-aligned reconfiguration: the global epoch counter (numbering
@@ -402,7 +407,7 @@ impl EpochShared {
 /// exactly like any other in-flight tuple (state only ever leaves a
 /// worker inside `Extract` handling, a control message, after which the
 /// worker's cache is refreshed before the next data tuple).
-struct RoutingShared {
+pub(crate) struct RoutingShared {
     table: RwLock<RoutingTable>,
     version: AtomicU64,
 }
@@ -419,7 +424,7 @@ struct RoutingShared {
 // value so the caller can retry or account it, and it is moved, not
 // copied, on every path.
 #[allow(clippy::result_large_err)]
-fn send_gated(
+pub(crate) fn send_gated(
     senders: &SenderMap,
     gauges: &GaugeMap,
     capacity: usize,
@@ -476,18 +481,18 @@ fn for_each_group_run(chunk: &StreamChunk, mut f: impl FnMut(KeyGroupId, usize, 
 }
 
 impl RoutingShared {
-    fn new(table: RoutingTable) -> Self {
+    pub(crate) fn new(table: RoutingTable) -> Self {
         RoutingShared {
             table: RwLock::new(table),
             version: AtomicU64::new(0),
         }
     }
 
-    fn version(&self) -> u64 {
+    pub(crate) fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
 
-    fn read(&self) -> impl std::ops::Deref<Target = RoutingTable> + '_ {
+    pub(crate) fn read(&self) -> impl std::ops::Deref<Target = RoutingTable> + '_ {
         self.table.read()
     }
 
@@ -511,11 +516,20 @@ impl RoutingShared {
     fn touch(&self) {
         self.version.fetch_add(1, Ordering::Release);
     }
+
+    /// Replace the whole table with a broadcast replica (networked
+    /// workers only). The table is written *before* the version stamp
+    /// moves, so a cache refresh racing the install can never clone the
+    /// old table under the new version.
+    pub(crate) fn install(&self, version: u64, assignment: Vec<NodeId>) {
+        *self.table.write() = RoutingTable::from_assignment(assignment);
+        self.version.store(version, Ordering::Release);
+    }
 }
 
 /// What the migration source reports back through the `done` channel of a
 /// [`Msg::Extract`].
-enum ExtractReply {
+pub(crate) enum ExtractReply {
     /// State shipped, installed at the destination, buffer replayed.
     Installed {
         /// Serialized state size `|σ_k|`.
@@ -525,13 +539,40 @@ enum ExtractReply {
     DestinationGone,
 }
 
+/// Where a protocol reply goes: an in-process channel, or a correlation
+/// id answered over a worker socket. Control messages carry these instead
+/// of raw `Sender`s so the same [`Msg`] enum crosses both substrates; see
+/// [`crate::transport::wire`] for the wire side (including `send`, which
+/// is implemented there next to the payload codecs).
+pub(crate) enum ReplyTo<T> {
+    /// In-process: the original crossbeam channel.
+    Chan(Sender<T>),
+    /// Networked: a correlation id. On the worker daemon `out` is the
+    /// socket uplink the encoded reply is written to; on the controller
+    /// (which only *relays* such handles between workers, never answers
+    /// them) it is `None` and `send` is a no-op.
+    Wire { id: u64, out: Option<WireOut> },
+}
+
+impl<T> Clone for ReplyTo<T> {
+    fn clone(&self) -> Self {
+        match self {
+            ReplyTo::Chan(tx) => ReplyTo::Chan(tx.clone()),
+            ReplyTo::Wire { id, out } => ReplyTo::Wire {
+                id: *id,
+                out: out.clone(),
+            },
+        }
+    }
+}
+
 /// Messages a worker can receive.
 // `DataChunk` dwarfs the control variants, but boxing it would put a
 // heap allocation on every data hand-off — the chunk pool exists
 // precisely to avoid that — and data messages outnumber control
 // messages by orders of magnitude.
 #[allow(clippy::large_enum_variant)]
-enum Msg {
+pub(crate) enum Msg {
     /// A batch of data tuples, each routed to `(operator, key group)`.
     /// Gated by the channel-capacity gauge (the row data plane).
     DataBatch(DataBatch),
@@ -548,7 +589,7 @@ enum Msg {
     /// that the later [`Msg::Install`] would silently overwrite (a
     /// same-worker emission never passes through the inbox, so queue
     /// FIFO alone cannot order it behind the buffer window).
-    PrepareReceive { kg: KeyGroupId, ack: Sender<()> },
+    PrepareReceive { kg: KeyGroupId, ack: ReplyTo<()> },
     /// Abort a pending [`Msg::PrepareReceive`]: the migration failed, so
     /// stop buffering and release any tuples caught in the window back
     /// into normal routing (migration destination).
@@ -562,14 +603,14 @@ enum Msg {
     Extract {
         kg: KeyGroupId,
         dest: NodeId,
-        done: Sender<(KeyGroupId, ExtractReply)>,
+        done: ReplyTo<(KeyGroupId, ExtractReply)>,
     },
     /// Install shipped state and replay the buffer (migration destination).
     Install {
         kg: KeyGroupId,
         op: OperatorId,
         bytes: Vec<u8>,
-        done: Sender<(KeyGroupId, ExtractReply)>,
+        done: ReplyTo<(KeyGroupId, ExtractReply)>,
     },
     /// An epoch barrier from the coordinator (or a no-op wave from the
     /// ingestion edge): flip the local routing cache for `moves`, tell
@@ -582,30 +623,30 @@ enum Msg {
         epoch: u64,
         moves: EpochMoves,
         participants: Arc<Vec<NodeId>>,
-        install_done: Sender<(KeyGroupId, ExtractReply)>,
-        done: Sender<NodeId>,
+        install_done: ReplyTo<(KeyGroupId, ExtractReply)>,
+        done: ReplyTo<NodeId>,
     },
     /// A peer worker announces it has reached epoch `epoch`: everything
     /// it sent before its barrier is already ahead of this message in
     /// our FIFO inbox, so this inbound edge is aligned.
     PeerBarrier { epoch: u64, from: NodeId },
     /// FIFO barrier: flush the outbox, then reply.
-    Barrier(Sender<()>),
+    Barrier(ReplyTo<()>),
     /// Flush operator windows (period end).
-    FlushWindows { ack: Sender<()> },
+    FlushWindows { ack: ReplyTo<()> },
     /// Snapshot and reset the worker's statistics.
     CollectStats {
-        reply: Sender<(NodeId, StatsCollector)>,
+        reply: ReplyTo<(NodeId, StatsCollector)>,
     },
     /// Return the serialized state of a key group (diagnostics/tests).
     ProbeState {
         kg: KeyGroupId,
-        reply: Sender<Option<Vec<u8>>>,
+        reply: ReplyTo<Option<Vec<u8>>>,
     },
     /// Serialize every local key-group state (checkpoint capture). Sent
     /// at period boundaries while the data plane is quiesced.
     SnapshotStates {
-        reply: Sender<(NodeId, Vec<(u32, Vec<u8>)>)>,
+        reply: ReplyTo<(NodeId, Vec<(u32, Vec<u8>)>)>,
     },
     /// Reset to a checkpoint: drop all states, buffers and period
     /// counters, then install the given serialized states through the
@@ -613,7 +654,7 @@ enum Msg {
     /// inject-side log replays the discarded delta afterwards.
     Rollback {
         states: Vec<(u32, Vec<u8>)>,
-        ack: Sender<()>,
+        ack: ReplyTo<()>,
     },
     /// Abrupt worker death (fault injection): exit immediately, dropping
     /// all per-group state, without draining the inbox tail or flushing
@@ -621,6 +662,14 @@ enum Msg {
     Crash,
     /// Stop the worker loop.
     Shutdown,
+    /// A routing-table replica refresh for networked workers: the
+    /// in-process worker loop ignores it (its cache already shares the
+    /// authoritative table by `Arc`); a transport stub turns it into a
+    /// `ROUTING` frame for its daemon.
+    RoutingUpdate {
+        version: u64,
+        assignment: Vec<NodeId>,
+    },
 }
 
 /// What a worker remembers about its own pending [`Msg::EpochBarrier`]
@@ -629,8 +678,8 @@ enum Msg {
 struct EpochWave {
     moves: EpochMoves,
     participants: Arc<Vec<NodeId>>,
-    install_done: Sender<(KeyGroupId, ExtractReply)>,
-    done: Sender<NodeId>,
+    install_done: ReplyTo<(KeyGroupId, ExtractReply)>,
+    done: ReplyTo<NodeId>,
 }
 
 /// Per-epoch alignment progress. `wave` is `None` while only peer
@@ -643,7 +692,7 @@ struct EpochProgress {
     peers_seen: Vec<NodeId>,
 }
 
-struct WorkerCtx {
+pub(crate) struct WorkerCtx {
     node: NodeId,
     topology: Arc<Topology>,
     routing: Arc<RoutingShared>,
@@ -687,9 +736,62 @@ struct WorkerCtx {
     stats: StatsCollector,
     /// Set by [`Msg::Crash`]: die without the graceful-shutdown drain.
     crashed: bool,
+    /// Set on a networked worker daemon: the socket uplink every
+    /// outbound peer message is forwarded through (the controller is the
+    /// star hub). `None` in-process, where `senders` holds real channels.
+    uplink: Option<WireOut>,
 }
 
 impl WorkerCtx {
+    /// Assemble a worker loop from a transport spawn request. `uplink`
+    /// distinguishes the in-process worker (`None`: peers are reached
+    /// through `senders`) from a networked daemon (`Some`: peers are
+    /// reached by forwarding frames up the controller socket).
+    pub(crate) fn from_spawn(spawn: WorkerSpawn, uplink: Option<WireOut>) -> WorkerCtx {
+        let WorkerSpawn {
+            node,
+            inbox,
+            gauge,
+            topology,
+            routing,
+            senders,
+            gauges,
+            cfg,
+            ..
+        } = spawn;
+        // Version before table: if a reconfiguration lands between the
+        // two reads the worker refreshes once more on its first lookup,
+        // which is merely redundant — the reverse order could pin a stale
+        // table under a current version.
+        let routing_version = routing.version();
+        let routing_cache = routing.snapshot();
+        WorkerCtx {
+            node,
+            topology,
+            routing,
+            routing_cache,
+            routing_version,
+            senders,
+            gauges,
+            gauge,
+            cfg,
+            inbox,
+            states: FastMap::default(),
+            buffers: FastMap::default(),
+            epochs: FastMap::default(),
+            outbox: FastMap::default(),
+            chunk_outbox: FastMap::default(),
+            oldest_pending: None,
+            emission_pool: Vec::new(),
+            chunk_pool: Vec::new(),
+            sorter: ChunkSorter::default(),
+            emit_sorter: ChunkSorter::default(),
+            chunk_worklist: Vec::new(),
+            stats: StatsCollector::new(),
+            crashed: false,
+            uplink,
+        }
+    }
     /// The worker loop. Returns the inbox receiver so the coordinator
     /// can park it in the graveyard: a sender that cloned this worker's
     /// channel before it was unpublished may complete a send at any
@@ -697,7 +799,7 @@ impl WorkerCtx {
     /// drain below), and a batch that lands after the final `try_recv`
     /// must not be destroyed with the channel — the graveyard is
     /// re-drained at every settle/period boundary instead.
-    fn run(mut self) -> Receiver<Msg> {
+    pub(crate) fn run(mut self) -> Receiver<Msg> {
         loop {
             // Drain without blocking; flush the outbox before sleeping so
             // an idle worker never sits on a partial batch.
@@ -890,6 +992,10 @@ impl WorkerCtx {
             // Intercepted before the outbox flush above.
             Msg::Crash => return false,
             Msg::Shutdown => return false,
+            // Replica refreshes are consumed by transport stubs; the
+            // in-process worker's cache already follows the shared
+            // table's version stamp.
+            Msg::RoutingUpdate { .. } => {}
         }
         true
     }
@@ -911,7 +1017,7 @@ impl WorkerCtx {
         &mut self,
         kg: KeyGroupId,
         dest: NodeId,
-        done: Sender<(KeyGroupId, ExtractReply)>,
+        done: ReplyTo<(KeyGroupId, ExtractReply)>,
     ) {
         let op = self.topology.operator_of_group(kg);
         let logic = Arc::clone(&self.topology.operator(op).logic);
@@ -924,6 +1030,28 @@ impl WorkerCtx {
             Some(state) => logic.serialize_state(state),
             None => logic.serialize_state(&logic.new_state()),
         };
+        if let Some(up) = self.uplink.clone() {
+            // Networked: the Install travels up the socket and is
+            // relayed to `dest` by the controller hub. A broken socket
+            // means this whole worker is about to die with it, so the
+            // state is simply kept local (the reply cannot be delivered
+            // either way).
+            let msg = Msg::Install {
+                kg,
+                op,
+                bytes,
+                done,
+            };
+            if up.forward(dest, &msg).is_err() {
+                if let Msg::Install { done, .. } = msg {
+                    if let Some(state) = state {
+                        self.states.insert(kg.raw(), state);
+                    }
+                    let _ = done.send((kg, ExtractReply::DestinationGone));
+                }
+            }
+            return;
+        }
         let sender = self.senders.read().get(&dest).cloned();
         // A failed send returns the message, so `done` (and the
         // bytes) can be recovered instead of silently dropped.
@@ -967,8 +1095,8 @@ impl WorkerCtx {
         epoch: u64,
         moves: EpochMoves,
         participants: Arc<Vec<NodeId>>,
-        install_done: Sender<(KeyGroupId, ExtractReply)>,
-        done: Sender<NodeId>,
+        install_done: ReplyTo<(KeyGroupId, ExtractReply)>,
+        done: ReplyTo<NodeId>,
     ) {
         let v = self.routing.version();
         if v != self.routing_version {
@@ -978,18 +1106,35 @@ impl WorkerCtx {
         for &(kg, _, to) in moves.iter() {
             self.routing_cache.reroute(kg, to);
         }
-        let senders = self.senders.read().clone();
-        for &peer in participants.iter() {
-            if peer == self.node {
-                continue;
+        if let Some(up) = &self.uplink {
+            // Networked: announcements reach peers via the controller
+            // hub. A dead peer's (or a dead hub's) failure is fine: the
+            // coordinator detects the corpse and aborts the wave.
+            for &peer in participants.iter() {
+                if peer != self.node {
+                    let _ = up.forward(
+                        peer,
+                        &Msg::PeerBarrier {
+                            epoch,
+                            from: self.node,
+                        },
+                    );
+                }
             }
-            if let Some(s) = senders.get(&peer) {
-                // A dead peer's send failure is fine: the coordinator
-                // detects the corpse and aborts the wave.
-                let _ = s.send(Msg::PeerBarrier {
-                    epoch,
-                    from: self.node,
-                });
+        } else {
+            let senders = self.senders.read().clone();
+            for &peer in participants.iter() {
+                if peer == self.node {
+                    continue;
+                }
+                if let Some(s) = senders.get(&peer) {
+                    // A dead peer's send failure is fine: the coordinator
+                    // detects the corpse and aborts the wave.
+                    let _ = s.send(Msg::PeerBarrier {
+                        epoch,
+                        from: self.node,
+                    });
+                }
             }
         }
         let entry = self.epochs.entry(epoch).or_default();
@@ -1184,6 +1329,16 @@ impl WorkerCtx {
     /// never silently discarded.
     fn send_batch(&mut self, dest: NodeId, batch: DataBatch) {
         let n = batch.len() as f64;
+        if let Some(up) = &self.uplink {
+            // Networked: the batch travels up the socket and the
+            // controller's stub for `dest` applies the same gated
+            // hand-off on the far side.
+            match up.forward(dest, &Msg::DataBatch(batch)) {
+                Ok(()) => self.stats.record_emit(n),
+                Err(_) => self.stats.record_dropped(n),
+            }
+            return;
+        }
         // Emit vs dropped is resolved by the hand-off outcome: a tuple
         // never appears in both counters.
         match send_gated(
@@ -1392,6 +1547,13 @@ impl WorkerCtx {
     /// row batches; undeliverable rows are counted as dropped.
     fn send_chunk(&mut self, dest: NodeId, chunk: StreamChunk) {
         let n = chunk.visible_len() as f64;
+        if let Some(up) = &self.uplink {
+            match up.forward(dest, &Msg::DataChunk(chunk)) {
+                Ok(()) => self.stats.record_emit(n),
+                Err(_) => self.stats.record_dropped(n),
+            }
+            return;
+        }
         match send_gated(
             &self.senders,
             &self.gauges,
@@ -1488,8 +1650,8 @@ impl Injector {
                 epoch,
                 moves: Arc::clone(&moves),
                 participants: Arc::clone(&participants),
-                install_done: install_tx.clone(),
-                done: done_tx.clone(),
+                install_done: ReplyTo::Chan(install_tx.clone()),
+                done: ReplyTo::Chan(done_tx.clone()),
             });
         }
     }
@@ -1732,7 +1894,10 @@ pub struct Runtime {
     routing: Arc<RoutingShared>,
     senders: SenderMap,
     gauges: GaugeMap,
-    handles: Vec<(NodeId, JoinHandle<Receiver<Msg>>)>,
+    handles: Vec<(NodeId, JoinHandle<WorkerMailbox>)>,
+    /// The worker boundary: how workers run (threads vs processes) and
+    /// how messages reach them (channels vs sockets).
+    transport: Box<dyn Transport>,
     cluster: Cluster,
     cost: CostModel,
     cfg: RuntimeConfig,
@@ -1780,13 +1945,54 @@ impl Runtime {
         Runtime::start_with_config(topology, cluster, routing, cost, RuntimeConfig::default())
     }
 
-    /// [`Runtime::start`] with explicit data-plane tuning.
+    /// [`Runtime::start`] with explicit data-plane tuning (in-process
+    /// workers).
     pub fn start_with_config(
         topology: Topology,
         cluster: Cluster,
         routing: RoutingTable,
         cost: CostModel,
         cfg: RuntimeConfig,
+    ) -> Runtime {
+        Runtime::start_with_transport(
+            topology,
+            cluster,
+            routing,
+            cost,
+            cfg,
+            Box::new(InProcessTransport),
+        )
+    }
+
+    /// [`Runtime::start_with_config`] with the worker substrate chosen by
+    /// [`TransportOptions`]. Fails only in networked mode, where binding
+    /// the listener or launching worker processes can hit I/O errors.
+    pub fn start_with_options(
+        topology: Topology,
+        cluster: Cluster,
+        routing: RoutingTable,
+        cost: CostModel,
+        cfg: RuntimeConfig,
+        options: TransportOptions,
+    ) -> std::io::Result<Runtime> {
+        let transport: Box<dyn Transport> = match options {
+            TransportOptions::InProcess => Box::new(InProcessTransport),
+            TransportOptions::Net(net) => Box::new(NetTransport::new(net)?),
+        };
+        Ok(Runtime::start_with_transport(
+            topology, cluster, routing, cost, cfg, transport,
+        ))
+    }
+
+    /// [`Runtime::start`] with an explicit [`Transport`] backend — the
+    /// root constructor every other `start_*` delegates to.
+    pub fn start_with_transport(
+        topology: Topology,
+        cluster: Cluster,
+        routing: RoutingTable,
+        cost: CostModel,
+        cfg: RuntimeConfig,
+        transport: Box<dyn Transport>,
     ) -> Runtime {
         assert_eq!(routing.len() as u32, topology.num_key_groups());
         let settle_rounds = 2 * (topology.depth() + 1);
@@ -1796,6 +2002,7 @@ impl Runtime {
             senders: Arc::new(RwLock::new(HashMap::new())),
             gauges: Arc::new(RwLock::new(HashMap::new())),
             handles: Vec::new(),
+            transport,
             cluster,
             cost,
             cfg: cfg.normalized(),
@@ -1835,41 +2042,37 @@ impl Runtime {
         let gauge = Arc::new(WorkerGauge::default());
         self.senders.write().insert(node, tx);
         self.gauges.write().insert(node, Arc::clone(&gauge));
-        // Read the version *before* the snapshot: a reroute landing in
-        // between leaves a fresh table under a stale version, which the
-        // next lookup simply refreshes again.
-        let routing_version = self.routing.version();
-        let routing_cache = self.routing.snapshot();
-        let ctx = WorkerCtx {
+        let spawn = WorkerSpawn {
             node,
+            inbox: rx,
+            gauge,
             topology: Arc::clone(&self.topology),
             routing: Arc::clone(&self.routing),
-            routing_cache,
-            routing_version,
             senders: Arc::clone(&self.senders),
             gauges: Arc::clone(&self.gauges),
-            gauge,
+            dropped: Arc::clone(&self.inject_dropped),
             cfg: self.cfg,
-            inbox: rx,
-            states: FastMap::default(),
-            buffers: FastMap::default(),
-            epochs: FastMap::default(),
-            outbox: FastMap::default(),
-            oldest_pending: None,
-            emission_pool: Vec::new(),
-            chunk_outbox: FastMap::default(),
-            chunk_pool: Vec::new(),
-            sorter: ChunkSorter::new(),
-            emit_sorter: ChunkSorter::new(),
-            chunk_worklist: Vec::new(),
-            stats: StatsCollector::new(),
-            crashed: false,
         };
-        let handle = std::thread::Builder::new()
-            .name(format!("albic-worker-{node}"))
-            .spawn(move || ctx.run())
-            .expect("spawn worker");
+        let handle = self.transport.spawn_worker(spawn);
         self.handles.push((node, handle));
+    }
+
+    /// Push the authoritative routing table to every worker replica.
+    /// In-process this is a no-op (workers share the table by `Arc`);
+    /// networked workers receive a `ROUTING` frame. Must run after the
+    /// authoritative mutation and before any control message that relies
+    /// on workers seeing it.
+    fn broadcast_routing(&self) {
+        let version = self.routing.version();
+        let assignment = self.routing.read().assignment().to_vec();
+        self.transport
+            .broadcast_routing(version, &assignment, &Peers(&self.senders));
+    }
+
+    /// Flip one routing entry and propagate it to worker replicas.
+    fn set_route(&self, kg: KeyGroupId, to: NodeId) {
+        self.routing.reroute(kg, to);
+        self.broadcast_routing();
     }
 
     /// Elastic scale-out: acquire a node of the given relative capacity and
@@ -2135,7 +2338,7 @@ impl Runtime {
             let (ack_tx, ack_rx) = unbounded();
             let mut involved = Vec::new();
             for (node, s) in self.alive_senders() {
-                if s.send(Msg::Barrier(ack_tx.clone())).is_ok() {
+                if s.send(Msg::Barrier(ReplyTo::Chan(ack_tx.clone()))).is_ok() {
                     involved.push(node);
                 }
             }
@@ -2157,7 +2360,7 @@ impl Runtime {
         let mut involved = Vec::new();
         for (node, s) in &senders {
             if s.send(Msg::FlushWindows {
-                ack: ack_tx.clone(),
+                ack: ReplyTo::Chan(ack_tx.clone()),
             })
             .is_ok()
             {
@@ -2175,7 +2378,7 @@ impl Runtime {
         let mut involved = Vec::new();
         for (node, s) in &senders {
             if s.send(Msg::CollectStats {
-                reply: reply_tx.clone(),
+                reply: ReplyTo::Chan(reply_tx.clone()),
             })
             .is_ok()
             {
@@ -2237,6 +2440,9 @@ impl Runtime {
         if self.checkpoint_interval > 0 && (period.index() + 1) % self.checkpoint_interval == 0 {
             self.capture_checkpoint(period.index());
         }
+        // The data plane is settled: a safe point for transport
+        // housekeeping (e.g. pruning resolved reply correlations).
+        self.transport.end_period();
         stats
     }
 
@@ -2253,7 +2459,11 @@ impl Runtime {
         let (tx, rx) = unbounded();
         let mut involved = Vec::new();
         for (node, s) in self.alive_senders() {
-            if s.send(Msg::SnapshotStates { reply: tx.clone() }).is_ok() {
+            if s.send(Msg::SnapshotStates {
+                reply: ReplyTo::Chan(tx.clone()),
+            })
+            .is_ok()
+            {
                 involved.push(node);
             }
         }
@@ -2329,7 +2539,7 @@ impl Runtime {
             if dst
                 .send(Msg::PrepareReceive {
                     kg: group,
-                    ack: prep_tx,
+                    ack: ReplyTo::Chan(prep_tx),
                 })
                 .is_err()
                 || self.wait_reply(&prep_rx, &[to]).is_none()
@@ -2341,17 +2551,17 @@ impl Runtime {
                     .push(fail(MigrationFailure::DestinationUnavailable));
                 continue;
             }
-            self.routing.reroute(group, to);
+            self.set_route(group, to);
             let (done_tx, done_rx) = unbounded();
             if src
                 .send(Msg::Extract {
                     kg: group,
                     dest: to,
-                    done: done_tx,
+                    done: ReplyTo::Chan(done_tx),
                 })
                 .is_err()
             {
-                self.routing.reroute(group, from);
+                self.set_route(group, from);
                 let _ = dst.send(Msg::CancelReceive { kg: group });
                 report
                     .failed
@@ -2372,7 +2582,7 @@ impl Runtime {
                     // The source kept the state; point routing back at it
                     // and abort the destination's buffering window (a
                     // no-op if the destination really is dead).
-                    self.routing.reroute(group, from);
+                    self.set_route(group, from);
                     let _ = dst.send(Msg::CancelReceive { kg: group });
                     report
                         .failed
@@ -2384,7 +2594,7 @@ impl Runtime {
                     // Restore routing to the source (the only holder in
                     // every non-crash path) and surface it; a recovery
                     // pass restores the checkpointed state regardless.
-                    self.routing.reroute(group, from);
+                    self.set_route(group, from);
                     let _ = dst.send(Msg::CancelReceive { kg: group });
                     report.failed.push(fail(MigrationFailure::ProtocolAborted));
                 }
@@ -2455,7 +2665,7 @@ impl Runtime {
             if dst
                 .send(Msg::PrepareReceive {
                     kg: group,
-                    ack: prep_tx,
+                    ack: ReplyTo::Chan(prep_tx),
                 })
                 .is_err()
                 || self.wait_reply(&prep_rx, &[to]).is_none()
@@ -2509,8 +2719,8 @@ impl Runtime {
                 epoch,
                 moves: Arc::clone(&moves),
                 participants: Arc::clone(&participants),
-                install_done: install_tx.clone(),
-                done: done_tx.clone(),
+                install_done: ReplyTo::Chan(install_tx.clone()),
+                done: ReplyTo::Chan(done_tx.clone()),
             })
             .is_ok()
             {
@@ -2557,6 +2767,15 @@ impl Runtime {
         }
         if !aborted.is_empty() {
             self.routing.touch();
+        }
+        // One replica broadcast covers both outcomes: completed flips and
+        // the abort's version bump. It must land on each worker's socket
+        // *before* the CancelReceive below, so a canceled window replays
+        // its buffer against the restored (un-flipped) table.
+        if !report.migrations.is_empty() || !aborted.is_empty() {
+            self.broadcast_routing();
+        }
+        if !aborted.is_empty() {
             for &(group, from, to, reason) in &aborted {
                 if let Some(dst) = self.senders.read().get(&to).cloned() {
                     let _ = dst.send(Msg::CancelReceive { kg: group });
@@ -2693,9 +2912,10 @@ impl Runtime {
                 if let Ok(rx) = handle.join() {
                     // Keep the dead worker's channel: a late send from a
                     // pre-unpublish sender clone may still land in it.
-                    self.graveyard.push(rx);
+                    self.graveyard.push(rx.0);
                 }
             }
+            self.transport.worker_gone(node);
             self.cluster.terminate(node);
         }
         Ok(drained)
@@ -2707,7 +2927,12 @@ impl Runtime {
         let node = self.routing.node_of(kg);
         let sender = self.senders.read().get(&node).cloned()?;
         let (tx, rx) = unbounded();
-        sender.send(Msg::ProbeState { kg, reply: tx }).ok()?;
+        sender
+            .send(Msg::ProbeState {
+                kg,
+                reply: ReplyTo::Chan(tx),
+            })
+            .ok()?;
         self.wait_reply(&rx, &[node]).flatten()
     }
 
@@ -2723,10 +2948,9 @@ impl Runtime {
         if !self.worker_alive(node) {
             return false;
         }
-        let Some(s) = self.senders.read().get(&node).cloned() else {
-            return false;
-        };
-        if s.send(Msg::Crash).is_err() {
+        // The transport owns the kill mechanism: a poison message for
+        // in-process workers, a real SIGKILL for child processes.
+        if !self.transport.inject_fault(node, &Peers(&self.senders)) {
             return false;
         }
         // Wait (bounded) for the thread to actually exit, so a scripted
@@ -2785,6 +3009,7 @@ impl Runtime {
                     let (_, handle) = self.handles.remove(pos);
                     let _ = handle.join();
                 }
+                self.transport.worker_gone(node);
                 self.cluster.terminate(node);
             }
             // Settle the survivors so no pre-crash tuple is still in
@@ -2809,6 +3034,9 @@ impl Runtime {
             for (kg, to) in recovery_placement(&lost, &survivors) {
                 self.routing.reroute(kg, to);
             }
+            // Survivors' replicas must see the re-homed placement before
+            // the rollback installs states at their new owners.
+            self.broadcast_routing();
             report.groups_restored += lost.len();
             // Restore the checkpoint and replay the delta; a crash in
             // the middle of either sends us around the loop again. With
@@ -2866,7 +3094,7 @@ impl Runtime {
             if sender
                 .send(Msg::Rollback {
                     states,
-                    ack: ack_tx.clone(),
+                    ack: ReplyTo::Chan(ack_tx.clone()),
                 })
                 .is_ok()
             {
@@ -2922,6 +3150,7 @@ impl Runtime {
         for (_, h) in self.handles.drain(..) {
             let _ = h.join();
         }
+        self.transport.shutdown();
     }
 
     /// Kill a worker thread while leaving its sender published and its

@@ -1,0 +1,177 @@
+//! The worker-boundary transport subsystem.
+//!
+//! Everything that crosses between the controller and a worker — data
+//! batches/chunks, quiesce and epoch barriers, migration extract/install,
+//! checkpoint snapshot/rollback, stats gathers — goes through a
+//! [`Transport`]. Two backends implement it:
+//!
+//! * [`InProcessTransport`] (the default): workers are threads wired with
+//!   crossbeam channels, exactly the substrate every existing test runs
+//!   on.
+//! * [`NetTransport`]: workers are real child processes connected over
+//!   length-prefixed TCP or Unix-domain sockets. The controller launches
+//!   each worker from a daemon binary (see [`worker_main`]), performs a
+//!   hello/init handshake carrying the worker's identity, and bridges
+//!   each socket onto the same channel fabric with a per-peer stub
+//!   thread.
+//!
+//! The bridge is deliberately thin: a stub thread *is* the worker as far
+//! as the runtime can tell. It pulls from the worker's inbox channel and
+//! writes frames; it reads reply frames and resolves them into the
+//! original reply channels. When the socket dies, the stub thread exits —
+//! and because all liveness in the runtime keys off
+//! `JoinHandle::is_finished`, a dead socket degrades *exactly* like a
+//! crashed in-process worker: `alive_senders` stops waiting on it,
+//! `wait_reply` returns short, and recovery takes over. Fault injection
+//! upgrades accordingly: in networked mode, [`Transport::inject_fault`]
+//! SIGKILLs the child process rather than sending a simulated crash
+//! message, driving checkpoint/replay recovery end-to-end over the
+//! network.
+//!
+//! See `docs/TRANSPORT.md` for the frame format, handshake, and failure
+//! semantics.
+
+pub(crate) mod wire;
+
+mod net;
+mod worker;
+
+pub use net::{NetConfig, NetTransport, SocketKind};
+pub use worker::{worker_main, OperatorRegistry};
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::Receiver;
+
+use albic_types::NodeId;
+
+use crate::codec::Reader;
+use crate::runtime::{GaugeMap, Msg, RoutingShared, RuntimeConfig, SenderMap, WorkerGauge};
+use crate::topology::Topology;
+
+/// Everything a transport needs to bring one worker to life. Opaque
+/// outside the engine crate: the runtime assembles it, a [`Transport`]
+/// consumes it.
+pub struct WorkerSpawn {
+    pub(crate) node: NodeId,
+    pub(crate) inbox: Receiver<Msg>,
+    pub(crate) gauge: Arc<WorkerGauge>,
+    pub(crate) topology: Arc<Topology>,
+    pub(crate) routing: Arc<RoutingShared>,
+    pub(crate) senders: SenderMap,
+    pub(crate) gauges: GaugeMap,
+    pub(crate) dropped: Arc<AtomicU64>,
+    pub(crate) cfg: RuntimeConfig,
+}
+
+/// What a finished worker leaves behind: its inbox receiver, which the
+/// runtime drains into the graveyard so in-flight tuples are not lost.
+pub struct WorkerMailbox(pub(crate) Receiver<Msg>);
+
+/// A borrowed view of the per-worker sender map, letting transports
+/// address control messages to live peers.
+pub struct Peers<'a>(pub(crate) &'a SenderMap);
+
+/// The worker boundary. Implementations own how workers run (threads vs
+/// processes) and how messages reach them (channels vs sockets); the
+/// runtime's reconfiguration, recovery, and statistics logic is identical
+/// above either backend.
+pub trait Transport: Send {
+    /// Bring one worker to life. The returned handle's `is_finished` is
+    /// the worker's liveness signal: it must become true when — and only
+    /// when — the worker can no longer process messages.
+    fn spawn_worker(&mut self, spawn: WorkerSpawn) -> JoinHandle<WorkerMailbox>;
+
+    /// Push a routing-table update to every worker. In-process workers
+    /// share the routing table by `Arc`, so the default substrate does
+    /// nothing; networked workers each hold a replica that must be
+    /// refreshed before migration traffic referencing the new version
+    /// reaches them.
+    fn broadcast_routing(&self, version: u64, assignment: &[NodeId], peers: &Peers<'_>);
+
+    /// Kill one worker for fault injection. Returns `false` if the worker
+    /// is already gone. In-process this delivers a poison message;
+    /// networked, it SIGKILLs the child process.
+    fn inject_fault(&mut self, node: NodeId, peers: &Peers<'_>) -> bool;
+
+    /// The runtime observed this worker dead and reclaimed its handle;
+    /// release any per-worker resources (e.g. reap the child process).
+    fn worker_gone(&mut self, node: NodeId);
+
+    /// A statistics period ended and the data plane is settled — a safe
+    /// point for housekeeping (e.g. pruning resolved reply correlations).
+    fn end_period(&mut self) {}
+
+    /// The job is over; tear down all transport resources.
+    fn shutdown(&mut self) {}
+}
+
+/// The default backend: workers are threads in this process, wired with
+/// the same crossbeam channels the runtime has always used.
+#[derive(Debug, Default)]
+pub struct InProcessTransport;
+
+impl Transport for InProcessTransport {
+    fn spawn_worker(&mut self, spawn: WorkerSpawn) -> JoinHandle<WorkerMailbox> {
+        let node = spawn.node;
+        std::thread::Builder::new()
+            .name(format!("albic-worker-{node}"))
+            .spawn(move || WorkerMailbox(crate::runtime::WorkerCtx::from_spawn(spawn, None).run()))
+            .expect("spawn worker thread")
+    }
+
+    fn broadcast_routing(&self, _version: u64, _assignment: &[NodeId], _peers: &Peers<'_>) {}
+
+    fn inject_fault(&mut self, node: NodeId, peers: &Peers<'_>) -> bool {
+        match peers.0.read().get(&node) {
+            Some(tx) => tx.send(Msg::Crash).is_ok(),
+            None => false,
+        }
+    }
+
+    fn worker_gone(&mut self, _node: NodeId) {}
+}
+
+/// Which transport a job runs on — see [`crate::runtime::Runtime::start_with_options`].
+#[derive(Debug, Clone, Default)]
+pub enum TransportOptions {
+    /// Workers are threads in this process (the default, and the test
+    /// substrate).
+    #[default]
+    InProcess,
+    /// Workers are child processes connected over TCP or Unix-domain
+    /// sockets.
+    Net(NetConfig),
+}
+
+/// Drive every frame decoder with arbitrary bytes. Exists for the
+/// fail-closed property test: whatever `bytes` contains, this must
+/// return without panicking and without attacker-sized allocations.
+pub fn fuzz_decode(bytes: &[u8]) {
+    // Through the frame assembler first, as a socket would.
+    let mut fb = wire::FrameBuffer::new();
+    fb.extend(bytes);
+    while let Ok(Some((kind, body))) = fb.next_frame() {
+        let mut r = Reader::new(&body);
+        let _ = match kind {
+            wire::FRAME_HELLO => wire::decode_hello(&mut r).map(|_| ()),
+            wire::FRAME_INIT => wire::decode_init(&mut r).map(|_| ()),
+            wire::FRAME_MSG => wire::decode_msg(&mut r, None).map(|_| ()),
+            wire::FRAME_FORWARD => r
+                .get_u64()
+                .and_then(|_| wire::decode_msg(&mut r, None))
+                .map(|_| ()),
+            wire::FRAME_ROUTING => wire::decode_routing(&mut r).map(|_| ()),
+            _ => Ok(()),
+        };
+    }
+    // And each body decoder on the raw bytes, bypassing framing.
+    let _ = wire::decode_msg(&mut Reader::new(bytes), None);
+    let _ = wire::decode_init(&mut Reader::new(bytes));
+    let _ = wire::decode_hello(&mut Reader::new(bytes));
+    let _ = wire::decode_routing(&mut Reader::new(bytes));
+    let _ = crate::chunk::StreamChunk::decode(&mut Reader::new(bytes));
+    let _ = Reader::new(bytes).get_value();
+}

@@ -1,0 +1,682 @@
+//! The networked transport backend: worker child processes over
+//! length-prefixed TCP or Unix-domain sockets.
+//!
+//! Topology is a star: the controller owns one listener and one socket
+//! per worker; workers never connect to each other. Peer traffic (data
+//! hand-off, state installs, epoch announcements) travels up the
+//! sender's socket as a `FORWARD` frame and is relayed by the sender's
+//! controller-side stub into the destination worker's inbox channel —
+//! from where the destination's stub writes it down the other socket.
+//! Two hops instead of one, but every existing coordinator wait, FIFO
+//! argument and liveness check keeps working unchanged, because each
+//! stub thread *is* its worker as far as the runtime can tell.
+//!
+//! A stub's socket is nonblocking in both directions, with a manual
+//! outbound byte buffer. While that buffer is non-empty the stub does
+//! not pull from its inbox — so the worker's credit gauge keeps
+//! counting queued-but-unsent batches and injection backpressure works
+//! exactly as in-process. Reads are drained before writes each turn,
+//! so a reply can never be starved by bulk data: the two directions
+//! cannot deadlock because every wait in the protocol is bounded.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, TryRecvError};
+
+use albic_types::NodeId;
+
+use crate::codec::{Reader, Writer};
+use crate::runtime::{
+    send_gated, GaugeMap, Msg, RuntimeConfig, SenderMap, PRESSURE_POLL, WORKER_SEND_PATIENCE,
+};
+use crate::transport::wire::{self, Correlator, FrameBuffer};
+use crate::transport::{Peers, Transport, WorkerMailbox, WorkerSpawn};
+
+/// How long the controller waits for a freshly launched worker process
+/// to connect and say hello.
+const HANDSHAKE_PATIENCE: Duration = Duration::from_secs(10);
+/// How long [`Transport::worker_gone`] and shutdown wait for a child to
+/// exit on its own before escalating to SIGKILL.
+const REAP_PATIENCE: Duration = Duration::from_secs(5);
+/// Socket read/write scratch size.
+const IO_CHUNK: usize = 64 * 1024;
+
+/// Environment variable carrying the controller address a worker daemon
+/// must connect back to (`tcp:host:port` or `uds:/path`).
+pub(crate) const ENV_CONNECT: &str = "ALBIC_WORKER_CONNECT";
+/// Environment variable carrying the node id the worker was launched for.
+pub(crate) const ENV_NODE: &str = "ALBIC_WORKER_NODE";
+
+/// Monotonic counter making UDS socket paths unique within a process.
+static UDS_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Which socket family the controller listens on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketKind {
+    /// TCP on `127.0.0.1` (an OS-assigned port).
+    Tcp,
+    /// A Unix-domain socket under the system temp directory.
+    #[cfg(unix)]
+    Uds,
+}
+
+/// Configuration for [`NetTransport`]: where the worker daemon binary
+/// lives and which socket family to use.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Path to the worker daemon executable (a binary calling
+    /// [`crate::transport::worker_main`]).
+    pub worker_cmd: PathBuf,
+    /// Socket family for the controller↔worker connections.
+    pub kind: SocketKind,
+}
+
+impl NetConfig {
+    /// TCP-loopback config for the given worker binary.
+    pub fn tcp(worker_cmd: impl Into<PathBuf>) -> Self {
+        NetConfig {
+            worker_cmd: worker_cmd.into(),
+            kind: SocketKind::Tcp,
+        }
+    }
+
+    /// Unix-domain-socket config for the given worker binary.
+    #[cfg(unix)]
+    pub fn uds(worker_cmd: impl Into<PathBuf>) -> Self {
+        NetConfig {
+            worker_cmd: worker_cmd.into(),
+            kind: SocketKind::Uds,
+        }
+    }
+}
+
+/// One connected worker socket, TCP or UDS, behind a common face.
+pub(crate) enum Conn {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Conn {
+    pub(crate) fn try_clone(&self) -> io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Conn::Uds(s) => Conn::Uds(s.try_clone()?),
+        })
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nonblocking(nb),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.flush(),
+        }
+    }
+}
+
+/// Connect to a controller address of the form `tcp:host:port` or
+/// `uds:/path` (the format [`NetTransport`] advertises via
+/// [`ENV_CONNECT`]).
+pub(crate) fn connect(addr: &str) -> io::Result<Conn> {
+    if let Some(hostport) = addr.strip_prefix("tcp:") {
+        return Ok(Conn::Tcp(TcpStream::connect(hostport)?));
+    }
+    #[cfg(unix)]
+    if let Some(path) = addr.strip_prefix("uds:") {
+        return Ok(Conn::Uds(UnixStream::connect(path)?));
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("unsupported worker address {addr:?}"),
+    ))
+}
+
+/// Read one complete frame off a blocking connection (the handshake and
+/// daemon reader path). A read timeout surfaces as the underlying
+/// `WouldBlock`/`TimedOut` error.
+pub(crate) fn read_frame_blocking(
+    conn: &mut Conn,
+    fb: &mut FrameBuffer,
+) -> io::Result<(u8, Vec<u8>)> {
+    let mut buf = [0u8; IO_CHUNK];
+    loop {
+        if let Some(frame) = fb
+            .next_frame()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        {
+            return Ok(frame);
+        }
+        let n = match conn.read(&mut buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        fb.extend(&buf[..n]);
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Uds(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Uds(l) => l.accept().map(|(s, _)| Conn::Uds(s)),
+        }
+    }
+}
+
+/// The networked [`Transport`]: launches one worker process per node,
+/// handshakes it onto a framed socket, and bridges that socket onto the
+/// runtime's channel fabric with a per-worker stub thread. Fault
+/// injection SIGKILLs the child process — a real crash, recovered
+/// through the same checkpoint/replay path as in-process faults.
+pub struct NetTransport {
+    listener: Listener,
+    /// The address workers connect back to (also what [`ENV_CONNECT`]
+    /// carries).
+    connect_addr: String,
+    worker_cmd: PathBuf,
+    children: HashMap<NodeId, Child>,
+    /// Reply correlations, shared across every stub: a migration's reply
+    /// registered while encoding for worker A resolves off worker B's
+    /// socket.
+    correlator: Arc<Correlator>,
+    /// The UDS path to unlink on shutdown, if any.
+    uds_path: Option<PathBuf>,
+}
+
+impl NetTransport {
+    /// Bind the controller listener (TCP `127.0.0.1:0`, or a fresh UDS
+    /// path under the temp directory).
+    pub fn new(cfg: NetConfig) -> io::Result<NetTransport> {
+        let (listener, connect_addr, uds_path) = match cfg.kind {
+            SocketKind::Tcp => {
+                let l = TcpListener::bind("127.0.0.1:0")?;
+                let addr = format!("tcp:{}", l.local_addr()?);
+                (Listener::Tcp(l), addr, None)
+            }
+            #[cfg(unix)]
+            SocketKind::Uds => {
+                let path = std::env::temp_dir().join(format!(
+                    "albic-{}-{}.sock",
+                    std::process::id(),
+                    UDS_COUNTER.fetch_add(1, Ordering::Relaxed)
+                ));
+                let l = UnixListener::bind(&path)?;
+                let addr = format!("uds:{}", path.display());
+                (Listener::Uds(l), addr, Some(path))
+            }
+        };
+        match &listener {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            #[cfg(unix)]
+            Listener::Uds(l) => l.set_nonblocking(true)?,
+        }
+        Ok(NetTransport {
+            listener,
+            connect_addr,
+            worker_cmd: cfg.worker_cmd,
+            children: HashMap::new(),
+            correlator: Arc::new(Correlator::new()),
+            uds_path,
+        })
+    }
+
+    /// Launch the child, accept its connection, verify its hello, and
+    /// send the job bootstrap. Returns the connected (still blocking)
+    /// socket.
+    fn spawn_and_handshake(&mut self, spawn: &WorkerSpawn) -> io::Result<(Conn, FrameBuffer)> {
+        let node = spawn.node;
+        let mut child = Command::new(&self.worker_cmd)
+            .env(ENV_CONNECT, &self.connect_addr)
+            .env(ENV_NODE, spawn.node.raw().to_string())
+            .stdin(Stdio::null())
+            .spawn()?;
+        // Accept with a deadline, watching the child: a binary that
+        // crashes on startup must fail the spawn, not hang it.
+        let deadline = Instant::now() + HANDSHAKE_PATIENCE;
+        let mut conn = loop {
+            match self.listener.accept() {
+                Ok(conn) => break conn,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if let Ok(Some(status)) = child.try_wait() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            format!("worker {node} exited before connecting: {status}"),
+                        ));
+                    }
+                    if Instant::now() >= deadline {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("worker {node} never connected"),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(e);
+                }
+            }
+        };
+        // The handshake's frame buffer outlives it: any bytes the HELLO
+        // read pulled in past the frame boundary belong to the stub loop,
+        // not the floor.
+        let mut fb = FrameBuffer::new();
+        let handshake = (|| -> io::Result<()> {
+            conn.set_read_timeout(Some(HANDSHAKE_PATIENCE))?;
+            let (kind, body) = read_frame_blocking(&mut conn, &mut fb)?;
+            let hello = (kind == wire::FRAME_HELLO)
+                .then(|| wire::decode_hello(&mut Reader::new(&body)).ok())
+                .flatten();
+            if hello != Some(node) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("worker {node} sent a bad hello"),
+                ));
+            }
+            // Version before assignment: a reroute racing the snapshot
+            // leaves the replica one broadcast behind, which the next
+            // broadcast repairs — never a fresh table under a stale stamp
+            // masking it.
+            let routing_version = spawn.routing.version();
+            let assignment = spawn.routing.read().assignment().to_vec();
+            let ops = spawn
+                .topology
+                .operators()
+                .iter()
+                .map(|spec| wire::InitOp {
+                    name: spec.name.clone(),
+                    logic: spec.logic.name().to_string(),
+                    key_groups: spec.key_groups,
+                    is_source: spec.is_source,
+                })
+                .collect();
+            let edges = spawn
+                .topology
+                .edges()
+                .iter()
+                .map(|&(a, b)| (a.raw(), b.raw()))
+                .collect();
+            let init = wire::InitMsg {
+                cfg: spawn.cfg,
+                ops,
+                edges,
+                routing_version,
+                assignment,
+            };
+            let mut w = Writer::new();
+            wire::encode_init(&init, &mut w);
+            conn.write_all(&wire::frame_bytes(wire::FRAME_INIT, &w.into_bytes()))?;
+            conn.flush()?;
+            conn.set_read_timeout(None)?;
+            if let Conn::Tcp(s) = &conn {
+                s.set_nodelay(true)?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = handshake {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(e);
+        }
+        self.children.insert(node, child);
+        Ok((conn, fb))
+    }
+
+    /// Wait up to [`REAP_PATIENCE`] for a child to exit, then SIGKILL it;
+    /// always reaps.
+    fn reap(mut child: Child) {
+        let deadline = Instant::now() + REAP_PATIENCE;
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5))
+                }
+                _ => break,
+            }
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+impl Transport for NetTransport {
+    fn spawn_worker(&mut self, spawn: WorkerSpawn) -> JoinHandle<WorkerMailbox> {
+        let node = spawn.node;
+        match self.spawn_and_handshake(&spawn) {
+            Ok((conn, fb)) => {
+                let correlator = Arc::clone(&self.correlator);
+                std::thread::Builder::new()
+                    .name(format!("albic-stub-{node}"))
+                    .spawn(move || WorkerMailbox(stub_loop(conn, fb, spawn, correlator)))
+                    .expect("spawn stub thread")
+            }
+            Err(e) => {
+                // The worker never came up: produce an instant corpse.
+                // Liveness keys off `is_finished`, so the runtime sees
+                // exactly a crashed worker and recovery takes over.
+                eprintln!("albic: failed to launch worker {node}: {e}");
+                std::thread::Builder::new()
+                    .name(format!("albic-stub-{node}"))
+                    .spawn(move || WorkerMailbox(spawn.inbox))
+                    .expect("spawn stub thread")
+            }
+        }
+    }
+
+    fn broadcast_routing(&self, version: u64, assignment: &[NodeId], peers: &Peers<'_>) {
+        // Ships through each worker's inbox so it is FIFO-ordered with
+        // the control messages that rely on it (e.g. the Extract right
+        // after a migration flip).
+        for tx in peers.0.read().values() {
+            let _ = tx.send(Msg::RoutingUpdate {
+                version,
+                assignment: assignment.to_vec(),
+            });
+        }
+    }
+
+    fn inject_fault(&mut self, node: NodeId, _peers: &Peers<'_>) -> bool {
+        // A real kill: SIGKILL the worker process. Its socket drops, its
+        // stub thread exits, and the runtime observes a corpse exactly as
+        // with an in-process crash.
+        match self.children.remove(&node) {
+            Some(mut child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn worker_gone(&mut self, node: NodeId) {
+        if let Some(child) = self.children.remove(&node) {
+            Self::reap(child);
+        }
+    }
+
+    fn end_period(&mut self) {
+        self.correlator.advance_gen();
+    }
+
+    fn shutdown(&mut self) {
+        for (_, child) in self.children.drain() {
+            Self::reap(child);
+        }
+        if let Some(path) = self.uds_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for NetTransport {
+    fn drop(&mut self) {
+        // Backstop: never leak worker processes or socket files, even if
+        // the runtime was dropped without a clean shutdown.
+        self.shutdown();
+    }
+}
+
+/// The controller-side bridge between one worker's inbox channel and its
+/// socket. Runs until the socket dies (the stub then exits like a
+/// crashed worker) or a `Shutdown`/`Crash` was flushed (graceful exit).
+/// Returns the inbox for the runtime's graveyard.
+fn stub_loop(
+    mut conn: Conn,
+    mut fb: FrameBuffer,
+    spawn: WorkerSpawn,
+    correlator: Arc<Correlator>,
+) -> Receiver<Msg> {
+    let WorkerSpawn {
+        node,
+        inbox,
+        gauge,
+        senders,
+        gauges,
+        dropped,
+        cfg,
+        ..
+    } = spawn;
+    if conn.set_nonblocking(true).is_err() {
+        return inbox;
+    }
+    // Outbound bytes not yet accepted by the socket; `woff` is the
+    // consumed prefix. While non-empty, the inbox is not pulled — that
+    // is what carries backpressure through to the credit gauge.
+    let mut pending: Vec<u8> = Vec::new();
+    let mut woff = 0usize;
+    let mut closing = false;
+    let mut buf = [0u8; IO_CHUNK];
+    'stub: loop {
+        let mut progress = false;
+        // 1. Drain the socket; a closed or garbled peer kills the stub.
+        loop {
+            match conn.read(&mut buf) {
+                Ok(0) => break 'stub,
+                Ok(n) => {
+                    progress = true;
+                    fb.extend(&buf[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break 'stub,
+            }
+        }
+        loop {
+            match fb.next_frame() {
+                Ok(Some((kind, body))) => {
+                    if let Err(e) =
+                        handle_frame(kind, &body, &correlator, &senders, &gauges, &dropped, &cfg)
+                    {
+                        // A garbled peer is treated as a dead one; say
+                        // why before degrading, because the runtime only
+                        // sees "worker crashed".
+                        eprintln!("albic: worker {node} sent an undecodable frame: {e}");
+                        break 'stub;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("albic: worker {node} broke framing: {e}");
+                    break 'stub;
+                }
+            }
+        }
+        // 2. Flush as much of the outbound buffer as the socket takes.
+        while woff < pending.len() {
+            match conn.write(&pending[woff..]) {
+                Ok(0) => break 'stub,
+                Ok(n) => {
+                    progress = true;
+                    woff += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break 'stub,
+            }
+        }
+        if woff > 0 && woff == pending.len() {
+            pending.clear();
+            woff = 0;
+        }
+        if closing && pending.is_empty() {
+            break;
+        }
+        // 3. Encode inbox messages only once the buffer drained, a
+        // bounded burst per turn so inbound replies stay interleaved.
+        if pending.is_empty() && !closing {
+            for _ in 0..64 {
+                let msg = match inbox.try_recv() {
+                    Ok(msg) => msg,
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        closing = true;
+                        break;
+                    }
+                };
+                progress = true;
+                if matches!(msg, Msg::DataBatch(_) | Msg::DataChunk(_)) {
+                    // The batch left the queue for the wire: release its
+                    // credit (the daemon meters its own inbox).
+                    gauge.dequeued();
+                }
+                if matches!(msg, Msg::Shutdown | Msg::Crash) {
+                    closing = true;
+                }
+                match msg {
+                    Msg::RoutingUpdate {
+                        version,
+                        assignment,
+                    } => pending.extend_from_slice(&wire::frame_bytes(
+                        wire::FRAME_ROUTING,
+                        &wire::encode_routing(version, &assignment),
+                    )),
+                    msg => {
+                        let mut w = Writer::new();
+                        wire::encode_msg(&msg, &mut w, &mut |p| correlator.register(p));
+                        pending.extend_from_slice(&wire::frame_bytes(
+                            wire::FRAME_MSG,
+                            &w.into_bytes(),
+                        ));
+                    }
+                }
+                if closing {
+                    break;
+                }
+            }
+        }
+        if !progress {
+            std::thread::sleep(PRESSURE_POLL);
+        }
+    }
+    inbox
+}
+
+/// One inbound frame on a stub's socket: a reply to resolve, or a
+/// message to relay to a peer worker's inbox.
+fn handle_frame(
+    kind: u8,
+    body: &[u8],
+    correlator: &Correlator,
+    senders: &SenderMap,
+    gauges: &GaugeMap,
+    dropped: &Arc<AtomicU64>,
+    cfg: &RuntimeConfig,
+) -> Result<(), crate::codec::DecodeError> {
+    let mut r = Reader::new(body);
+    match kind {
+        wire::FRAME_REPLY => {
+            let id = r.get_u64()?;
+            correlator.fire(id, &mut r)?;
+        }
+        wire::FRAME_FORWARD => {
+            let dest = NodeId::new(r.get_u64()? as u32);
+            // Decoded without an uplink: any reply handle inside is a
+            // passthrough that survives the destination stub's re-encode
+            // with its correlation id intact.
+            let msg = wire::decode_msg(&mut r, None)?;
+            match msg {
+                msg @ (Msg::DataBatch(_) | Msg::DataChunk(_)) => {
+                    let n = match &msg {
+                        Msg::DataBatch(b) => b.len() as u64,
+                        Msg::DataChunk(c) => c.visible_len() as u64,
+                        _ => 0,
+                    };
+                    // The same gated hand-off a worker thread uses,
+                    // including the bounded patience and overflow
+                    // accounting on the destination's gauge.
+                    if send_gated(
+                        senders,
+                        gauges,
+                        cfg.channel_capacity,
+                        WORKER_SEND_PATIENCE,
+                        dest,
+                        msg,
+                    )
+                    .is_err()
+                    {
+                        dropped.fetch_add(n, Ordering::Relaxed);
+                    }
+                }
+                msg => {
+                    // Control relays are never gated (matching the
+                    // in-process rule); a dead destination's loss is
+                    // handled by the liveness-aware coordinator waits.
+                    if let Some(tx) = senders.read().get(&dest).cloned() {
+                        let _ = tx.send(msg);
+                    }
+                }
+            }
+        }
+        // Unknown frame kinds are ignored for forward compatibility.
+        _ => {}
+    }
+    Ok(())
+}

@@ -1,0 +1,872 @@
+//! Frame and message codecs for the networked transport.
+//!
+//! Everything that crosses a worker socket is a **length-prefixed
+//! frame**: `[u32 len LE][u8 kind][body]`, where `len` counts the kind
+//! byte plus the body. Bodies are encoded with the existing
+//! [`crate::codec`] primitives, so the transport inherits the codec's
+//! hardened, fail-closed decode discipline ([`DecodeError`] carries the
+//! offset and what was expected vs found).
+//!
+//! Reply channels cannot cross a process boundary, so every
+//! `Sender`-carrying control message is rewritten in terms of
+//! [`ReplyTo`]: in-process it wraps the original channel; on the wire it
+//! becomes a correlation id registered in the controller-side
+//! [`Correlator`], and the daemon answers with a `REPLY` frame carrying
+//! the id plus the encoded payload.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use albic_types::{KeyGroupId, NodeId, OperatorId};
+
+use crate::chunk::StreamChunk;
+use crate::codec::{DecodeError, Found, Reader, Writer};
+use crate::runtime::{DataPlane, ExtractReply, Msg, ReplyTo, RuntimeConfig};
+use crate::stats::StatsCollector;
+use crate::tuple::Tuple;
+
+/// Handshake magic ("ALBIC_W1"): rejects a stray client that is not an
+/// albic worker speaking this protocol revision.
+pub(crate) const WIRE_MAGIC: u64 = 0x414c_4249_435f_5731;
+
+/// Worker → controller: identity announcement, first frame on a fresh
+/// connection.
+pub(crate) const FRAME_HELLO: u8 = 1;
+/// Controller → worker: job bootstrap (config, operator specs, edges,
+/// initial routing), sent once in response to a valid hello.
+pub(crate) const FRAME_INIT: u8 = 2;
+/// Controller → worker: one encoded [`Msg`] for the worker's inbox.
+pub(crate) const FRAME_MSG: u8 = 3;
+/// Worker → controller: a [`Msg`] to relay to peer `dest` (the
+/// controller is the star hub; workers have no direct sockets to each
+/// other).
+pub(crate) const FRAME_FORWARD: u8 = 4;
+/// Worker → controller: a protocol reply `[u64 id][payload]` resolving a
+/// pending [`Correlator`] registration.
+pub(crate) const FRAME_REPLY: u8 = 5;
+/// Controller → worker: a routing-table update `[version][assignment]`,
+/// applied by the daemon's reader thread *before* later frames are
+/// enqueued — the FIFO that makes migration's flip-then-extract ordering
+/// hold across the network.
+pub(crate) const FRAME_ROUTING: u8 = 6;
+
+/// Upper bound on one frame. A length prefix beyond this is treated as
+/// protocol corruption, not an allocation request — a hostile or garbled
+/// prefix must never make the decoder reserve gigabytes.
+pub(crate) const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Assemble one frame: `[u32 len LE][kind][body]`.
+pub(crate) fn frame_bytes(kind: u8, body: &[u8]) -> Vec<u8> {
+    debug_assert!(body.len() < MAX_FRAME_LEN);
+    let mut out = Vec::with_capacity(5 + body.len());
+    out.extend_from_slice(&((body.len() as u32 + 1).to_le_bytes()));
+    out.push(kind);
+    out.extend_from_slice(body);
+    out
+}
+
+/// Incremental frame assembler: feed it raw socket bytes, pop complete
+/// frames. Fails closed on a zero or oversized length prefix.
+#[derive(Default)]
+pub(crate) struct FrameBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuffer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, `Ok(None)` if more bytes are needed.
+    pub(crate) fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, DecodeError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(DecodeError::new(
+                self.pos,
+                "frame length in 1..=64MiB",
+                Found::Length(len as u64),
+            ));
+        }
+        if avail < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let kind = self.buf[self.pos + 4];
+        let body = self.buf[self.pos + 5..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        self.compact();
+        Ok(Some((kind, body)))
+    }
+
+    /// Drop the consumed prefix once it dominates the buffer, so the
+    /// assembler's memory stays proportional to unparsed bytes.
+    fn compact(&mut self) {
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// The daemon's shared write half: worker thread (data forwards, epoch
+/// announcements) and decoded reply handles all write framed output
+/// through one mutex, so frames never interleave.
+#[derive(Clone)]
+pub(crate) struct WireOut(Arc<Mutex<Box<dyn Write + Send>>>);
+
+impl WireOut {
+    pub(crate) fn new(w: Box<dyn Write + Send>) -> Self {
+        WireOut(Arc::new(Mutex::new(w)))
+    }
+
+    /// Write one frame (single `write_all` + flush under the lock).
+    pub(crate) fn send_frame(&self, kind: u8, body: &[u8]) -> io::Result<()> {
+        let frame = frame_bytes(kind, body);
+        let mut w = self.0.lock();
+        w.write_all(&frame)?;
+        w.flush()
+    }
+
+    /// Relay `msg` to peer `dest` through the controller hub. Only called
+    /// on the daemon side, where every [`ReplyTo`] inside `msg` is
+    /// already a wire id.
+    pub(crate) fn forward(&self, dest: NodeId, msg: &Msg) -> io::Result<()> {
+        let mut w = Writer::new();
+        w.put_u64(dest.raw() as u64);
+        encode_msg(msg, &mut w, &mut |_| {
+            unreachable!("daemon-side reply handles are always wire ids")
+        });
+        self.send_frame(FRAME_FORWARD, &w.into_bytes())
+    }
+}
+
+// ---- Reply payloads ----------------------------------------------------
+
+/// A protocol reply payload that can cross the wire — one impl per reply
+/// channel type the [`Msg`] enum carries.
+pub(crate) trait ReplyPayload: Sized {
+    fn encode_payload(&self, w: &mut Writer);
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+impl ReplyPayload for () {
+    fn encode_payload(&self, _w: &mut Writer) {}
+    fn decode_payload(_r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(())
+    }
+}
+
+impl ReplyPayload for NodeId {
+    fn encode_payload(&self, w: &mut Writer) {
+        w.put_u64(self.raw() as u64);
+    }
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(NodeId::new(r.get_u64()? as u32))
+    }
+}
+
+impl ReplyPayload for (KeyGroupId, ExtractReply) {
+    fn encode_payload(&self, w: &mut Writer) {
+        w.put_u64(self.0.raw() as u64);
+        match &self.1 {
+            ExtractReply::Installed { state_bytes } => {
+                w.put_u64(0);
+                w.put_u64(*state_bytes as u64);
+            }
+            ExtractReply::DestinationGone => w.put_u64(1),
+        }
+    }
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let kg = KeyGroupId::new(r.get_u64()? as u32);
+        let reply = match r.get_u64()? {
+            0 => ExtractReply::Installed {
+                state_bytes: r.get_u64()? as usize,
+            },
+            1 => ExtractReply::DestinationGone,
+            tag => {
+                return Err(DecodeError::new(
+                    r.offset(),
+                    "extract-reply tag 0..=1",
+                    Found::Length(tag),
+                ))
+            }
+        };
+        Ok((kg, reply))
+    }
+}
+
+impl ReplyPayload for (NodeId, StatsCollector) {
+    fn encode_payload(&self, w: &mut Writer) {
+        w.put_u64(self.0.raw() as u64);
+        encode_stats(&self.1, w);
+    }
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let node = NodeId::new(r.get_u64()? as u32);
+        Ok((node, decode_stats(r)?))
+    }
+}
+
+impl ReplyPayload for Option<Vec<u8>> {
+    fn encode_payload(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u64(0),
+            Some(bytes) => {
+                w.put_u64(1);
+                put_byte_vec(w, bytes);
+            }
+        }
+    }
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u64()? {
+            0 => Ok(None),
+            1 => Ok(Some(get_byte_vec(r)?)),
+            tag => Err(DecodeError::new(
+                r.offset(),
+                "option tag 0..=1",
+                Found::Length(tag),
+            )),
+        }
+    }
+}
+
+impl ReplyPayload for (NodeId, Vec<(u32, Vec<u8>)>) {
+    fn encode_payload(&self, w: &mut Writer) {
+        w.put_u64(self.0.raw() as u64);
+        encode_states(&self.1, w);
+    }
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let node = NodeId::new(r.get_u64()? as u32);
+        Ok((node, decode_states(r)?))
+    }
+}
+
+impl<T: ReplyPayload> ReplyTo<T> {
+    /// Deliver a reply: through the channel in-process, as a `REPLY`
+    /// frame up the daemon's socket, or silently dropped on the
+    /// controller-relay passthrough (`Wire` without an uplink — the
+    /// controller only re-encodes such handles, it never answers them).
+    /// Returns the payload on failure so callers keep their existing
+    /// loss handling.
+    pub(crate) fn send(&self, v: T) -> Result<(), T> {
+        match self {
+            ReplyTo::Chan(tx) => tx.send(v).map_err(|e| e.0),
+            ReplyTo::Wire { id, out: Some(o) } => {
+                let mut w = Writer::new();
+                w.put_u64(*id);
+                v.encode_payload(&mut w);
+                match o.send_frame(FRAME_REPLY, &w.into_bytes()) {
+                    Ok(()) => Ok(()),
+                    Err(_) => Err(v),
+                }
+            }
+            ReplyTo::Wire { out: None, .. } => Ok(()),
+        }
+    }
+}
+
+// ---- Correlator --------------------------------------------------------
+
+/// A reply channel parked on the controller while its wire id is in
+/// flight. Cloned out of the table to fire, so decode + send happen
+/// outside the lock.
+#[derive(Clone)]
+pub(crate) enum Pending {
+    Ack(Sender<()>),
+    Extract(Sender<(KeyGroupId, ExtractReply)>),
+    EpochDone(Sender<NodeId>),
+    Stats(Sender<(NodeId, StatsCollector)>),
+    Probe(Sender<Option<Vec<u8>>>),
+    Snapshot(Sender<(NodeId, Vec<(u32, Vec<u8>)>)>),
+}
+
+impl Pending {
+    /// Decode the reply payload for this registration's type and deliver
+    /// it. A closed receiver is normal (no-op barrier waves drop theirs
+    /// immediately), so channel send errors are ignored.
+    fn fire(&self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        match self {
+            Pending::Ack(tx) => {
+                let _ = tx.send(ReplyPayload::decode_payload(r)?);
+            }
+            Pending::Extract(tx) => {
+                let _ = tx.send(ReplyPayload::decode_payload(r)?);
+            }
+            Pending::EpochDone(tx) => {
+                let _ = tx.send(ReplyPayload::decode_payload(r)?);
+            }
+            Pending::Stats(tx) => {
+                let _ = tx.send(ReplyPayload::decode_payload(r)?);
+            }
+            Pending::Probe(tx) => {
+                let _ = tx.send(ReplyPayload::decode_payload(r)?);
+            }
+            Pending::Snapshot(tx) => {
+                let _ = tx.send(ReplyPayload::decode_payload(r)?);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Controller-side registry mapping wire ids to parked reply channels.
+/// Shared by every per-worker stub thread — essential for migration,
+/// where the `done` handle registered while encoding an `Extract` to
+/// worker A is resolved by a `REPLY` frame arriving from worker B.
+///
+/// Entries are multi-shot (an epoch wave's `install_done` fires once per
+/// move) and garbage-collected by generation: [`Correlator::advance_gen`]
+/// runs at period boundaries, when the data plane is settled and no
+/// pre-boundary protocol reply can still be in flight.
+pub(crate) struct Correlator {
+    next: AtomicU64,
+    gen: AtomicU64,
+    entries: Mutex<HashMap<u64, (u64, Pending)>>,
+}
+
+impl Correlator {
+    pub(crate) fn new() -> Self {
+        Correlator {
+            next: AtomicU64::new(1),
+            gen: AtomicU64::new(0),
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Park a reply channel, returning its wire id.
+    pub(crate) fn register(&self, p: Pending) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let gen = self.gen.load(Ordering::Relaxed);
+        self.entries.lock().insert(id, (gen, p));
+        id
+    }
+
+    /// Resolve a `REPLY` frame: decode the payload with the parked
+    /// channel's type and deliver it. An unknown id (pruned generation,
+    /// or a duplicate reply racing the GC) is ignored.
+    pub(crate) fn fire(&self, id: u64, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        let pending = self.entries.lock().get(&id).map(|(_, p)| p.clone());
+        match pending {
+            Some(p) => p.fire(r),
+            None => Ok(()),
+        }
+    }
+
+    /// Start a new generation and prune registrations older than the
+    /// previous one. Called at period boundaries: any registration from
+    /// two settles ago has either fired or can never fire.
+    pub(crate) fn advance_gen(&self) {
+        let gen = self.gen.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(cutoff) = gen.checked_sub(1) {
+            self.entries.lock().retain(|_, (g, _)| *g >= cutoff);
+        }
+    }
+}
+
+// ---- Message codec -----------------------------------------------------
+
+fn encode_tuple(t: &Tuple, w: &mut Writer) {
+    w.put_u64(t.key);
+    w.put_value(&t.value);
+    w.put_u64(t.ts);
+}
+
+fn decode_tuple(r: &mut Reader<'_>) -> Result<Tuple, DecodeError> {
+    let key = r.get_u64()?;
+    let value = r.get_value()?;
+    let ts = r.get_u64()?;
+    Ok(Tuple::raw(key, value, ts))
+}
+
+/// Length-prefixed byte blob; [`Writer::put_bytes`] itself is raw, so
+/// every blob on the wire goes through this pair.
+fn put_byte_vec(w: &mut Writer, bytes: &[u8]) {
+    w.put_u64(bytes.len() as u64);
+    w.put_bytes(bytes);
+}
+
+fn get_byte_vec(r: &mut Reader<'_>) -> Result<Vec<u8>, DecodeError> {
+    let n = r.get_u64()? as usize;
+    Ok(r.get_bytes(n)?.to_vec())
+}
+
+fn encode_states(states: &[(u32, Vec<u8>)], w: &mut Writer) {
+    w.put_u64(states.len() as u64);
+    for (g, bytes) in states {
+        w.put_u64(*g as u64);
+        put_byte_vec(w, bytes);
+    }
+}
+
+fn decode_states(r: &mut Reader<'_>) -> Result<Vec<(u32, Vec<u8>)>, DecodeError> {
+    let n = r.get_u64()?;
+    let mut states = Vec::new();
+    for _ in 0..n {
+        let g = r.get_u64()? as u32;
+        states.push((g, get_byte_vec(r)?));
+    }
+    Ok(states)
+}
+
+/// Encode a stats collector with deterministic (sorted) map order, so a
+/// loopback run's collected bytes are bit-stable.
+fn encode_stats(c: &StatsCollector, w: &mut Writer) {
+    for m in [
+        &c.tuples_in,
+        &c.cross_in,
+        &c.cross_out,
+        &c.state_bytes,
+        &c.group_cost,
+    ] {
+        let mut keys: Vec<u32> = m.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_u64(keys.len() as u64);
+        for k in keys {
+            w.put_u64(k as u64);
+            w.put_f64(m[&k]);
+        }
+    }
+    let mut cells: Vec<(u32, u32)> = c.out_matrix.keys().copied().collect();
+    cells.sort_unstable();
+    w.put_u64(cells.len() as u64);
+    for (i, j) in cells {
+        w.put_u64(i as u64);
+        w.put_u64(j as u64);
+        w.put_f64(c.out_matrix[&(i, j)]);
+    }
+    w.put_f64(c.ingested);
+    w.put_f64(c.emitted);
+    w.put_f64(c.dropped);
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<StatsCollector, DecodeError> {
+    let mut c = StatsCollector::new();
+    {
+        let maps = [
+            &mut c.tuples_in,
+            &mut c.cross_in,
+            &mut c.cross_out,
+            &mut c.state_bytes,
+            &mut c.group_cost,
+        ];
+        for m in maps {
+            let n = r.get_u64()?;
+            for _ in 0..n {
+                let k = r.get_u64()? as u32;
+                let v = r.get_f64()?;
+                m.insert(k, v);
+            }
+        }
+    }
+    let n = r.get_u64()?;
+    for _ in 0..n {
+        let i = r.get_u64()? as u32;
+        let j = r.get_u64()? as u32;
+        let v = r.get_f64()?;
+        c.out_matrix.insert((i, j), v);
+    }
+    c.ingested = r.get_f64()?;
+    c.emitted = r.get_f64()?;
+    c.dropped = r.get_f64()?;
+    Ok(c)
+}
+
+fn reply_id<T>(
+    reply: &ReplyTo<T>,
+    reg: &mut dyn FnMut(Pending) -> u64,
+    wrap: fn(Sender<T>) -> Pending,
+) -> u64 {
+    match reply {
+        ReplyTo::Chan(tx) => reg(wrap(tx.clone())),
+        ReplyTo::Wire { id, .. } => *id,
+    }
+}
+
+fn wire_reply<T>(r: &mut Reader<'_>, out: Option<&WireOut>) -> Result<ReplyTo<T>, DecodeError> {
+    Ok(ReplyTo::Wire {
+        id: r.get_u64()?,
+        out: out.cloned(),
+    })
+}
+
+/// Encode one [`Msg`] body (no frame header). `reg` parks each in-process
+/// reply channel in the correlator and returns its wire id; already-wire
+/// handles pass their id through unchanged (the controller relaying a
+/// worker-to-worker `Install` must preserve the originator's id).
+pub(crate) fn encode_msg(msg: &Msg, w: &mut Writer, reg: &mut dyn FnMut(Pending) -> u64) {
+    match msg {
+        Msg::DataBatch(batch) => {
+            w.put_u64(0);
+            w.put_u64(batch.len() as u64);
+            for (op, kg, t) in batch {
+                w.put_u64(op.raw() as u64);
+                w.put_u64(kg.raw() as u64);
+                encode_tuple(t, w);
+            }
+        }
+        Msg::DataChunk(chunk) => {
+            w.put_u64(1);
+            chunk.encode(w);
+        }
+        Msg::PrepareReceive { kg, ack } => {
+            w.put_u64(2);
+            w.put_u64(kg.raw() as u64);
+            w.put_u64(reply_id(ack, reg, Pending::Ack));
+        }
+        Msg::CancelReceive { kg } => {
+            w.put_u64(3);
+            w.put_u64(kg.raw() as u64);
+        }
+        Msg::Extract { kg, dest, done } => {
+            w.put_u64(4);
+            w.put_u64(kg.raw() as u64);
+            w.put_u64(dest.raw() as u64);
+            w.put_u64(reply_id(done, reg, Pending::Extract));
+        }
+        Msg::Install {
+            kg,
+            op,
+            bytes,
+            done,
+        } => {
+            w.put_u64(5);
+            w.put_u64(kg.raw() as u64);
+            w.put_u64(op.raw() as u64);
+            put_byte_vec(w, bytes);
+            w.put_u64(reply_id(done, reg, Pending::Extract));
+        }
+        Msg::EpochBarrier {
+            epoch,
+            moves,
+            participants,
+            install_done,
+            done,
+        } => {
+            w.put_u64(6);
+            w.put_u64(*epoch);
+            w.put_u64(moves.len() as u64);
+            for (kg, from, to) in moves.iter() {
+                w.put_u64(kg.raw() as u64);
+                w.put_u64(from.raw() as u64);
+                w.put_u64(to.raw() as u64);
+            }
+            w.put_u64(participants.len() as u64);
+            for p in participants.iter() {
+                w.put_u64(p.raw() as u64);
+            }
+            w.put_u64(reply_id(install_done, reg, Pending::Extract));
+            w.put_u64(reply_id(done, reg, Pending::EpochDone));
+        }
+        Msg::PeerBarrier { epoch, from } => {
+            w.put_u64(7);
+            w.put_u64(*epoch);
+            w.put_u64(from.raw() as u64);
+        }
+        Msg::Barrier(ack) => {
+            w.put_u64(8);
+            w.put_u64(reply_id(ack, reg, Pending::Ack));
+        }
+        Msg::FlushWindows { ack } => {
+            w.put_u64(9);
+            w.put_u64(reply_id(ack, reg, Pending::Ack));
+        }
+        Msg::CollectStats { reply } => {
+            w.put_u64(10);
+            w.put_u64(reply_id(reply, reg, Pending::Stats));
+        }
+        Msg::ProbeState { kg, reply } => {
+            w.put_u64(11);
+            w.put_u64(kg.raw() as u64);
+            w.put_u64(reply_id(reply, reg, Pending::Probe));
+        }
+        Msg::SnapshotStates { reply } => {
+            w.put_u64(12);
+            w.put_u64(reply_id(reply, reg, Pending::Snapshot));
+        }
+        Msg::Rollback { states, ack } => {
+            w.put_u64(13);
+            encode_states(states, w);
+            w.put_u64(reply_id(ack, reg, Pending::Ack));
+        }
+        Msg::Crash => w.put_u64(14),
+        Msg::Shutdown => w.put_u64(15),
+        Msg::RoutingUpdate {
+            version,
+            assignment,
+        } => {
+            w.put_u64(16);
+            w.put_u64(*version);
+            w.put_u64(assignment.len() as u64);
+            for n in assignment {
+                w.put_u64(n.raw() as u64);
+            }
+        }
+    }
+}
+
+/// Decode one [`Msg`] body. With `out` set (daemon side) every reply
+/// handle becomes a live wire handle answering up that socket; without
+/// it (controller relay) the handles are inert passthroughs that only
+/// survive re-encoding.
+pub(crate) fn decode_msg(r: &mut Reader<'_>, out: Option<&WireOut>) -> Result<Msg, DecodeError> {
+    let at = r.offset();
+    let tag = r.get_u64()?;
+    Ok(match tag {
+        0 => {
+            let n = r.get_u64()?;
+            let mut batch = Vec::new();
+            for _ in 0..n {
+                let op = OperatorId::new(r.get_u64()? as u32);
+                let kg = KeyGroupId::new(r.get_u64()? as u32);
+                batch.push((op, kg, decode_tuple(r)?));
+            }
+            Msg::DataBatch(batch)
+        }
+        1 => Msg::DataChunk(StreamChunk::decode(r)?),
+        2 => Msg::PrepareReceive {
+            kg: KeyGroupId::new(r.get_u64()? as u32),
+            ack: wire_reply(r, out)?,
+        },
+        3 => Msg::CancelReceive {
+            kg: KeyGroupId::new(r.get_u64()? as u32),
+        },
+        4 => Msg::Extract {
+            kg: KeyGroupId::new(r.get_u64()? as u32),
+            dest: NodeId::new(r.get_u64()? as u32),
+            done: wire_reply(r, out)?,
+        },
+        5 => Msg::Install {
+            kg: KeyGroupId::new(r.get_u64()? as u32),
+            op: OperatorId::new(r.get_u64()? as u32),
+            bytes: get_byte_vec(r)?,
+            done: wire_reply(r, out)?,
+        },
+        6 => {
+            let epoch = r.get_u64()?;
+            let n = r.get_u64()?;
+            let mut moves = Vec::new();
+            for _ in 0..n {
+                let kg = KeyGroupId::new(r.get_u64()? as u32);
+                let from = NodeId::new(r.get_u64()? as u32);
+                let to = NodeId::new(r.get_u64()? as u32);
+                moves.push((kg, from, to));
+            }
+            let n = r.get_u64()?;
+            let mut participants = Vec::new();
+            for _ in 0..n {
+                participants.push(NodeId::new(r.get_u64()? as u32));
+            }
+            Msg::EpochBarrier {
+                epoch,
+                moves: Arc::new(moves),
+                participants: Arc::new(participants),
+                install_done: wire_reply(r, out)?,
+                done: wire_reply(r, out)?,
+            }
+        }
+        7 => Msg::PeerBarrier {
+            epoch: r.get_u64()?,
+            from: NodeId::new(r.get_u64()? as u32),
+        },
+        8 => Msg::Barrier(wire_reply(r, out)?),
+        9 => Msg::FlushWindows {
+            ack: wire_reply(r, out)?,
+        },
+        10 => Msg::CollectStats {
+            reply: wire_reply(r, out)?,
+        },
+        11 => Msg::ProbeState {
+            kg: KeyGroupId::new(r.get_u64()? as u32),
+            reply: wire_reply(r, out)?,
+        },
+        12 => Msg::SnapshotStates {
+            reply: wire_reply(r, out)?,
+        },
+        13 => Msg::Rollback {
+            states: decode_states(r)?,
+            ack: wire_reply(r, out)?,
+        },
+        14 => Msg::Crash,
+        15 => Msg::Shutdown,
+        16 => {
+            let version = r.get_u64()?;
+            let n = r.get_u64()?;
+            let mut assignment = Vec::new();
+            for _ in 0..n {
+                assignment.push(NodeId::new(r.get_u64()? as u32));
+            }
+            Msg::RoutingUpdate {
+                version,
+                assignment,
+            }
+        }
+        tag => {
+            return Err(DecodeError::new(
+                at,
+                "message tag 0..=16",
+                Found::Length(tag),
+            ))
+        }
+    })
+}
+
+// ---- Handshake & bootstrap codecs --------------------------------------
+
+/// `HELLO` body: magic + the node id the worker was launched for.
+pub(crate) fn encode_hello(node: NodeId) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(WIRE_MAGIC);
+    w.put_u64(node.raw() as u64);
+    w.into_bytes()
+}
+
+pub(crate) fn decode_hello(r: &mut Reader<'_>) -> Result<NodeId, DecodeError> {
+    let at = r.offset();
+    let magic = r.get_u64()?;
+    if magic != WIRE_MAGIC {
+        return Err(DecodeError::new(at, "wire magic", Found::Length(magic)));
+    }
+    Ok(NodeId::new(r.get_u64()? as u32))
+}
+
+/// One operator of the `INIT` bootstrap: the daemon rebuilds the
+/// topology from these, resolving `logic` against its local registry.
+pub(crate) struct InitOp {
+    pub(crate) name: String,
+    pub(crate) logic: String,
+    pub(crate) key_groups: u32,
+    pub(crate) is_source: bool,
+}
+
+/// The `INIT` bootstrap a daemon needs to become a worker: data-plane
+/// config, the operator network, and the initial routing table.
+pub(crate) struct InitMsg {
+    pub(crate) cfg: RuntimeConfig,
+    pub(crate) ops: Vec<InitOp>,
+    pub(crate) edges: Vec<(u32, u32)>,
+    pub(crate) routing_version: u64,
+    pub(crate) assignment: Vec<NodeId>,
+}
+
+pub(crate) fn encode_init(init: &InitMsg, w: &mut Writer) {
+    w.put_u64(init.cfg.batch_size as u64);
+    w.put_u64(init.cfg.channel_capacity as u64);
+    w.put_u64(init.cfg.flush_interval.as_nanos() as u64);
+    w.put_u64(init.cfg.barrier_interval as u64);
+    w.put_u64(match init.cfg.data_plane {
+        DataPlane::Row => 0,
+        DataPlane::Columnar => 1,
+    });
+    w.put_u64(init.ops.len() as u64);
+    for op in &init.ops {
+        w.put_str(&op.name);
+        w.put_str(&op.logic);
+        w.put_u64(op.key_groups as u64);
+        w.put_u64(op.is_source as u64);
+    }
+    w.put_u64(init.edges.len() as u64);
+    for (from, to) in &init.edges {
+        w.put_u64(*from as u64);
+        w.put_u64(*to as u64);
+    }
+    w.put_u64(init.routing_version);
+    w.put_u64(init.assignment.len() as u64);
+    for n in &init.assignment {
+        w.put_u64(n.raw() as u64);
+    }
+}
+
+pub(crate) fn decode_init(r: &mut Reader<'_>) -> Result<InitMsg, DecodeError> {
+    let batch_size = r.get_u64()? as usize;
+    let channel_capacity = r.get_u64()? as usize;
+    let flush_nanos = r.get_u64()?;
+    let barrier_interval = r.get_u64()? as usize;
+    let at = r.offset();
+    let data_plane = match r.get_u64()? {
+        0 => DataPlane::Row,
+        1 => DataPlane::Columnar,
+        tag => {
+            return Err(DecodeError::new(
+                at,
+                "data-plane tag 0..=1",
+                Found::Length(tag),
+            ))
+        }
+    };
+    let cfg = RuntimeConfig {
+        batch_size,
+        channel_capacity,
+        flush_interval: std::time::Duration::from_nanos(flush_nanos),
+        barrier_interval,
+        data_plane,
+    };
+    let n = r.get_u64()?;
+    let mut ops = Vec::new();
+    for _ in 0..n {
+        let name = r.get_str()?;
+        let logic = r.get_str()?;
+        let key_groups = r.get_u64()? as u32;
+        let is_source = r.get_u64()? != 0;
+        ops.push(InitOp {
+            name,
+            logic,
+            key_groups,
+            is_source,
+        });
+    }
+    let n = r.get_u64()?;
+    let mut edges = Vec::new();
+    for _ in 0..n {
+        edges.push((r.get_u64()? as u32, r.get_u64()? as u32));
+    }
+    let routing_version = r.get_u64()?;
+    let n = r.get_u64()?;
+    let mut assignment = Vec::new();
+    for _ in 0..n {
+        assignment.push(NodeId::new(r.get_u64()? as u32));
+    }
+    Ok(InitMsg {
+        cfg,
+        ops,
+        edges,
+        routing_version,
+        assignment,
+    })
+}
+
+/// `ROUTING` body: version stamp + full assignment.
+pub(crate) fn encode_routing(version: u64, assignment: &[NodeId]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(version);
+    w.put_u64(assignment.len() as u64);
+    for n in assignment {
+        w.put_u64(n.raw() as u64);
+    }
+    w.into_bytes()
+}
+
+pub(crate) fn decode_routing(r: &mut Reader<'_>) -> Result<(u64, Vec<NodeId>), DecodeError> {
+    let version = r.get_u64()?;
+    let n = r.get_u64()?;
+    let mut assignment = Vec::new();
+    for _ in 0..n {
+        assignment.push(NodeId::new(r.get_u64()? as u32));
+    }
+    Ok((version, assignment))
+}

@@ -1,0 +1,227 @@
+//! The worker daemon: what runs inside a networked worker process.
+//!
+//! A worker binary is a few lines — build an [`OperatorRegistry`] with
+//! the operator logic the job may reference, then hand control to
+//! [`worker_main`]:
+//!
+//! ```no_run
+//! use albic_engine::transport::{worker_main, OperatorRegistry};
+//!
+//! std::process::exit(worker_main(OperatorRegistry::with_builtins()));
+//! ```
+//!
+//! The daemon connects back to the address in `ALBIC_WORKER_CONNECT`,
+//! introduces itself with a `HELLO` frame carrying the node id from
+//! `ALBIC_WORKER_NODE`, and receives an `INIT` bootstrap: data-plane
+//! config, the operator network (logic resolved by name against the
+//! registry — operators are code, and code does not cross the wire), and
+//! the initial routing table. It then runs the *identical*
+//! [`WorkerCtx`](crate::runtime) event loop as an in-process worker
+//! thread: the only differences are an uplink socket where channel sends
+//! would be, and a reader thread feeding the inbox from the socket.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use albic_types::{NodeId, OperatorId};
+
+use crate::codec::Reader;
+use crate::operator::{Counting, Identity, Operator};
+use crate::routing::RoutingTable;
+use crate::runtime::{Msg, RoutingShared, WorkerCtx, WorkerGauge};
+use crate::topology::TopologyBuilder;
+use crate::transport::net;
+use crate::transport::wire::{self, FrameBuffer, WireOut};
+use crate::transport::WorkerSpawn;
+
+/// Operator logic available to a worker daemon, keyed by
+/// [`Operator::name`]. The `INIT` bootstrap names each operator's logic;
+/// the daemon refuses to start if any name is missing here — a worker
+/// binary must be built with the same operator set as the controller.
+#[derive(Default)]
+pub struct OperatorRegistry {
+    ops: HashMap<String, Arc<dyn Operator>>,
+}
+
+impl OperatorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry with the engine's built-in operators
+    /// ([`Identity`], [`Counting`]).
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::new();
+        reg.register(Arc::new(Identity));
+        reg.register(Arc::new(Counting));
+        reg
+    }
+
+    /// Add one operator logic, keyed by its [`Operator::name`]. Replaces
+    /// any previous registration under the same name.
+    pub fn register(&mut self, logic: Arc<dyn Operator>) -> &mut Self {
+        self.ops.insert(logic.name().to_string(), logic);
+        self
+    }
+
+    /// Look up logic by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Operator>> {
+        self.ops.get(name).cloned()
+    }
+}
+
+impl std::fmt::Debug for OperatorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.ops.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("OperatorRegistry")
+            .field("ops", &names)
+            .finish()
+    }
+}
+
+/// Run a worker daemon to completion: connect back to the controller
+/// named by `ALBIC_WORKER_CONNECT`, handshake as the node in
+/// `ALBIC_WORKER_NODE`, and serve the worker event loop until shutdown
+/// or connection loss. Returns the process exit code.
+pub fn worker_main(registry: OperatorRegistry) -> i32 {
+    match run_worker(&registry) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("albic-worker: {e}");
+            1
+        }
+    }
+}
+
+fn env_var(name: &str) -> io::Result<String> {
+    std::env::var(name)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, format!("{name} is not set")))
+}
+
+fn bad_data(msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn run_worker(registry: &OperatorRegistry) -> io::Result<()> {
+    let addr = env_var(net::ENV_CONNECT)?;
+    let node_raw: u32 = env_var(net::ENV_NODE)?
+        .parse()
+        .map_err(|e| bad_data(format!("bad {}: {e}", net::ENV_NODE)))?;
+    let node = NodeId::new(node_raw);
+
+    let mut conn = net::connect(&addr)?;
+    conn.write_all(&wire::frame_bytes(
+        wire::FRAME_HELLO,
+        &wire::encode_hello(node),
+    ))?;
+    conn.flush()?;
+
+    let mut fb = FrameBuffer::new();
+    let (kind, body) = net::read_frame_blocking(&mut conn, &mut fb)?;
+    if kind != wire::FRAME_INIT {
+        return Err(bad_data(format!("expected INIT frame, got kind {kind}")));
+    }
+    let init = wire::decode_init(&mut Reader::new(&body)).map_err(bad_data)?;
+
+    // Rebuild the topology: operator ids are dense and in `INIT` order,
+    // so the builder reassigns the same ids the controller has.
+    let mut builder = TopologyBuilder::new();
+    for op in &init.ops {
+        let logic = registry
+            .get(&op.logic)
+            .ok_or_else(|| bad_data(format!("operator logic {:?} is not registered", op.logic)))?;
+        if op.is_source {
+            builder.source(op.name.clone(), op.key_groups, logic);
+        } else {
+            builder.operator(op.name.clone(), op.key_groups, logic);
+        }
+    }
+    for &(from, to) in &init.edges {
+        builder.edge(OperatorId::new(from), OperatorId::new(to));
+    }
+    let topology = Arc::new(builder.build().map_err(|e| bad_data(format!("{e:?}")))?);
+
+    // The local routing replica, refreshed by ROUTING frames.
+    let routing = Arc::new(RoutingShared::new(RoutingTable::from_assignment(
+        init.assignment.clone(),
+    )));
+    routing.install(init.routing_version, init.assignment);
+
+    let uplink = WireOut::new(Box::new(conn.try_clone()?));
+    let (tx, rx) = unbounded();
+    let gauge = Arc::new(WorkerGauge::default());
+
+    // Reader thread: socket → inbox. It owns the only sender, so a dead
+    // socket drops the channel and the event loop below exits — the same
+    // signal an in-process worker gets from a disconnected inbox. It
+    // inherits the INIT read's frame buffer: the read that completed the
+    // INIT frame may have pulled in the prefix (or whole) of whatever the
+    // controller sent next, and a fresh buffer would silently drop it.
+    let reader = {
+        let mut rconn = conn.try_clone()?;
+        let uplink = uplink.clone();
+        let gauge = Arc::clone(&gauge);
+        let routing = Arc::clone(&routing);
+        let mut fb = fb;
+        std::thread::Builder::new()
+            .name("albic-uplink-reader".into())
+            .spawn(move || {
+                while let Ok((kind, body)) = net::read_frame_blocking(&mut rconn, &mut fb) {
+                    let mut r = Reader::new(&body);
+                    match kind {
+                        wire::FRAME_MSG => {
+                            let msg = match wire::decode_msg(&mut r, Some(&uplink)) {
+                                Ok(msg) => msg,
+                                Err(_) => break,
+                            };
+                            if matches!(msg, Msg::DataBatch(_) | Msg::DataChunk(_)) {
+                                // Meter before the send: the event loop
+                                // decrements on dequeue, and the pair is
+                                // what the controller's credit gauge
+                                // mirrors.
+                                gauge.enqueued();
+                            }
+                            if tx.send(msg).is_err() {
+                                break;
+                            }
+                        }
+                        wire::FRAME_ROUTING => match wire::decode_routing(&mut r) {
+                            Ok((version, assignment)) => routing.install(version, assignment),
+                            Err(_) => break,
+                        },
+                        // Unknown kinds are ignored for forward
+                        // compatibility.
+                        _ => {}
+                    }
+                }
+            })
+            .expect("spawn uplink reader")
+    };
+
+    // The daemon has no local peers: sender/gauge maps stay empty, so
+    // every remote destination takes the uplink branch of the worker's
+    // send paths.
+    let spawn = WorkerSpawn {
+        node,
+        inbox: rx,
+        gauge,
+        topology,
+        routing,
+        senders: Arc::default(),
+        gauges: Arc::default(),
+        dropped: Arc::default(),
+        cfg: init.cfg,
+    };
+    let _leftover = WorkerCtx::from_spawn(spawn, Some(uplink)).run();
+    // The reader may still be parked in a blocking read on its clone of
+    // the socket; it is detached rather than joined — the process exit
+    // right after this return is what tears the socket down.
+    drop(conn);
+    drop(reader);
+    Ok(())
+}

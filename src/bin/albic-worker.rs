@@ -1,0 +1,10 @@
+//! The stock worker daemon: serves any job built from the engine's
+//! built-in operators. Jobs using custom operator logic need their own
+//! binary — a few lines registering that logic before handing off to
+//! [`albic::engine::transport::worker_main`].
+
+fn main() {
+    std::process::exit(albic::engine::transport::worker_main(
+        albic::engine::transport::OperatorRegistry::with_builtins(),
+    ));
+}

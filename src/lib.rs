@@ -67,3 +67,4 @@ pub use albic_core::job;
 pub use albic_core::job::{Job, JobBuilder, JobError, JobSummary, Policy};
 pub use albic_engine::ReconfigMode;
 pub use albic_engine::{ChunkSorter, DataPlane, RuntimeConfig, StreamChunk};
+pub use albic_engine::{NetConfig, SocketKind, TransportOptions};

@@ -327,4 +327,26 @@ proptest! {
         let back = Reader::new(&bytes).get_value().unwrap();
         prop_assert_eq!(back, v);
     }
+
+    /// The transport's frame and body decoders fail closed on arbitrary
+    /// bytes: whatever a peer writes into the socket, decoding returns an
+    /// error instead of panicking or allocating attacker-sized buffers.
+    #[test]
+    fn frame_decoders_survive_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        albic::engine::transport::fuzz_decode(&bytes);
+    }
+
+    /// The same with well-formed framing wrapped around a garbage body,
+    /// so the fuzz gets past the length prefix and into every per-kind
+    /// body decoder.
+    #[test]
+    fn frame_decoders_survive_framed_garbage(
+        kind in 0u8..8,
+        body in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut framed = ((body.len() as u32) + 1).to_le_bytes().to_vec();
+        framed.push(kind);
+        framed.extend_from_slice(&body);
+        albic::engine::transport::fuzz_decode(&framed);
+    }
 }

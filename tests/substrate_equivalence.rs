@@ -406,6 +406,82 @@ fn fault_plan_is_substrate_equivalent() {
     );
 }
 
+/// Drive one threaded job (in-process or networked — the builder decides)
+/// through the standard skewed workload, returning the per-period decision
+/// signals and the final routing assignment.
+fn run_threaded(builder: JobBuilder) -> (Vec<PeriodStats>, Vec<ReconfigPlan>, Vec<NodeId>) {
+    let mut job = builder.build_threaded().expect("valid job spec");
+    let mut plans = Vec::new();
+    let mut stats = Vec::new();
+    for p in 0..PERIODS as u64 {
+        for k in 0..KEYS {
+            let n = tuples_of(k, p);
+            job.inject(
+                "events",
+                (0..n).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
+            );
+        }
+        let report = job.step();
+        assert!(report.apply.failed.is_empty(), "{:?}", report.apply.failed);
+        stats.push(report.stats);
+        plans.push(report.plan);
+    }
+    let assignment = job.engine().routing_snapshot().assignment().to_vec();
+    job.shutdown();
+    (stats, plans, assignment)
+}
+
+/// The networked substrate is equivalent too: the same job on real worker
+/// processes over loopback TCP observes bit-identical statistics signals,
+/// makes the identical migration decisions every period, and ends with the
+/// identical routing assignment as the in-process runtime. (Wall-clock
+/// pressure gauges are excluded — queue depths depend on socket timing.)
+#[test]
+fn networked_tcp_runtime_matches_in_process_bit_for_bit() {
+    let (in_stats, in_plans, in_assignment) = run_threaded(builder());
+    let net =
+        albic::TransportOptions::Net(albic::NetConfig::tcp(env!("CARGO_BIN_EXE_albic-worker")));
+    let (net_stats, net_plans, net_assignment) = run_threaded(builder().transport(net));
+
+    let num_groups = in_stats[0].group_loads.len();
+    for p in 0..PERIODS {
+        assert_eq!(
+            in_stats[p].allocation, net_stats[p].allocation,
+            "period {p}: allocation snapshots diverge across the wire"
+        );
+        for g in 0..num_groups {
+            assert!(
+                (in_stats[p].group_loads[g] - net_stats[p].group_loads[g]).abs() < 1e-9,
+                "period {p}, group {g}: loads diverge ({} vs {})",
+                in_stats[p].group_loads[g],
+                net_stats[p].group_loads[g]
+            );
+        }
+        assert_eq!(
+            in_stats[p].total_tuples, net_stats[p].total_tuples,
+            "period {p}: tuple totals diverge across the wire"
+        );
+        assert_eq!(
+            in_stats[p].cross_tuples, net_stats[p].cross_tuples,
+            "period {p}: cross-node traffic diverges across the wire"
+        );
+        assert_eq!(in_stats[p].dropped_tuples, 0.0);
+        assert_eq!(net_stats[p].dropped_tuples, 0.0);
+        assert_eq!(
+            in_plans[p].migrations, net_plans[p].migrations,
+            "period {p}: migration decisions diverge across the wire"
+        );
+        assert_eq!(in_plans[p].add_nodes, net_plans[p].add_nodes);
+        assert_eq!(in_plans[p].mark_removal, net_plans[p].mark_removal);
+    }
+    let migrated: usize = in_plans.iter().map(|p| p.migrations.len()).sum();
+    assert!(migrated > 0, "the scenario must actually migrate over TCP");
+    assert_eq!(
+        in_assignment, net_assignment,
+        "final routing assignments diverge across the wire"
+    );
+}
+
 /// The runtime executes the decisions for real: after the equivalent run,
 /// the counter state of a migrated group lives on its new node and counts
 /// every injected tuple exactly once.
