@@ -82,6 +82,8 @@ mod tests {
             migrations: migs,
             migration_cost: 0.0,
             migration_pause_secs: pause,
+            migration_state_bytes: 0,
+            migration_wire_bytes: 0,
             num_nodes: 2,
             marked_nodes: 0,
             dropped_tuples: 0.0,

@@ -66,7 +66,23 @@ impl RecoveryReport {
     }
 }
 
-/// A scripted fault schedule: which nodes to kill before which steps.
+/// What a scripted fault does to its victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Kill the worker itself (thread poison / process `SIGKILL`). The
+    /// node's key groups are lost and must be recovered from the latest
+    /// checkpoint.
+    Kill,
+    /// Sever only the worker's *connection* (networked transport). The
+    /// process stays alive and holds its state; the transport's
+    /// [`crate::transport::ReconnectPolicy`] decides whether the session
+    /// resumes or degrades into a [`FaultKind::Kill`]-equivalent crash.
+    /// A no-op on substrates without sockets.
+    DropSocket,
+}
+
+/// A scripted fault schedule: which nodes to kill (or disconnect) before
+/// which steps.
 ///
 /// Steps are counted by the driving [`FaultInjector`], one per
 /// [`FaultInjector::advance`] call — by convention one adaptation round
@@ -74,7 +90,7 @@ impl RecoveryReport {
 /// after two completed rounds, before the third.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    faults: Vec<(u64, NodeId)>,
+    faults: Vec<(u64, FaultKind, NodeId)>,
 }
 
 impl FaultPlan {
@@ -85,16 +101,33 @@ impl FaultPlan {
 
     /// Schedule `node` to be killed before `step`.
     pub fn kill(mut self, step: u64, node: NodeId) -> Self {
-        self.faults.push((step, node));
+        self.faults.push((step, FaultKind::Kill, node));
         self
     }
 
-    /// Nodes scheduled to die before `step`, in schedule order.
+    /// Schedule `node`'s connection to be severed before `step` (the
+    /// process survives; see [`FaultKind::DropSocket`]).
+    pub fn drop_socket(mut self, step: u64, node: NodeId) -> Self {
+        self.faults.push((step, FaultKind::DropSocket, node));
+        self
+    }
+
+    /// Nodes scheduled to *die* before `step`, in schedule order.
+    /// Socket drops are not included — they are not expected to kill
+    /// anyone (use [`FaultPlan::scheduled_at`] for the full schedule).
     pub fn victims_at(&self, step: u64) -> impl Iterator<Item = NodeId> + '_ {
         self.faults
             .iter()
-            .filter(move |(s, _)| *s == step)
-            .map(|(_, n)| *n)
+            .filter(move |(s, k, _)| *s == step && *k == FaultKind::Kill)
+            .map(|(_, _, n)| *n)
+    }
+
+    /// Every fault scheduled before `step`, in schedule order.
+    pub fn scheduled_at(&self, step: u64) -> impl Iterator<Item = (FaultKind, NodeId)> + '_ {
+        self.faults
+            .iter()
+            .filter(move |(s, _, _)| *s == step)
+            .map(|(_, k, n)| (*k, *n))
     }
 
     /// Number of scripted faults.
@@ -137,14 +170,22 @@ impl FaultInjector {
     }
 
     /// Apply every fault scripted for the current step to `engine`, then
-    /// move to the next step. Returns the nodes actually killed (a node
-    /// that is unknown or already dead is skipped).
+    /// move to the next step. Returns the nodes actually *killed* (a node
+    /// that is unknown or already dead is skipped; socket drops are
+    /// applied but never reported here — they are not deaths).
     pub fn advance<E: ReconfigEngine + ?Sized>(&mut self, engine: &mut E) -> Vec<NodeId> {
-        let victims: Vec<NodeId> = self.plan.victims_at(self.step).collect();
+        let scheduled: Vec<(FaultKind, NodeId)> = self.plan.scheduled_at(self.step).collect();
         self.step += 1;
-        victims
+        scheduled
             .into_iter()
-            .filter(|&v| engine.inject_fault(v))
+            .filter(|&(kind, node)| match kind {
+                FaultKind::Kill => engine.inject_fault(node),
+                FaultKind::DropSocket => {
+                    let _ = engine.drop_socket(node);
+                    false
+                }
+            })
+            .map(|(_, node)| node)
             .collect()
     }
 }
@@ -201,12 +242,22 @@ mod tests {
         let plan = FaultPlan::new()
             .kill(1, NodeId::new(3))
             .kill(1, NodeId::new(4))
+            .drop_socket(1, NodeId::new(2))
             .kill(5, NodeId::new(0));
-        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.len(), 4);
         assert!(!plan.is_empty());
+        // victims_at reports kills only: a socket drop is not a death.
         assert_eq!(
             plan.victims_at(1).collect::<Vec<_>>(),
             vec![NodeId::new(3), NodeId::new(4)]
+        );
+        assert_eq!(
+            plan.scheduled_at(1).collect::<Vec<_>>(),
+            vec![
+                (FaultKind::Kill, NodeId::new(3)),
+                (FaultKind::Kill, NodeId::new(4)),
+                (FaultKind::DropSocket, NodeId::new(2)),
+            ]
         );
         assert_eq!(plan.victims_at(0).count(), 0);
         assert_eq!(plan.victims_at(5).collect::<Vec<_>>(), vec![NodeId::new(0)]);

@@ -99,7 +99,7 @@ pub mod tuple;
 pub use chunk::{ChunkEmissions, ChunkSlice, ChunkSorter, StreamChunk};
 pub use cluster::{Cluster, NodeInfo};
 pub use cost::CostModel;
-pub use fault::{FaultInjector, FaultPlan, RecoveryReport, TerminateError};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, RecoveryReport, TerminateError};
 pub use migration::{Migration, MigrationReport};
 pub use operator::{Emissions, Operator, StateBox};
 pub use reconfig::{ClusterView, ReconfigPlan, ReconfigPolicy};
@@ -112,7 +112,7 @@ pub use substrate::{
 };
 pub use topology::{OperatorSpec, Topology, TopologyBuilder};
 pub use transport::{
-    InProcessTransport, NetConfig, NetTransport, OperatorRegistry, SocketKind, Transport,
-    TransportOptions,
+    InProcessTransport, NetConfig, NetTransport, OperatorRegistry, ReconnectPolicy, SocketKind,
+    Transport, TransportError, TransportOptions,
 };
 pub use tuple::{Tuple, Value};

@@ -30,6 +30,10 @@ pub struct MigrationReport {
     pub to: NodeId,
     /// Serialized state size `|σ_k|` in bytes.
     pub state_bytes: usize,
+    /// Bytes the state occupied on the wire. Equal to `state_bytes`
+    /// in-process or with compression off; smaller when the networked
+    /// transport LZ4-compressed the blob.
+    pub wire_bytes: usize,
     /// Migration cost `mc_k = α·|σ_k|`.
     pub cost: f64,
     /// Seconds the key group's processing was paused.
@@ -51,9 +55,17 @@ impl MigrationReport {
             from,
             to,
             state_bytes,
+            wire_bytes: state_bytes,
             cost,
             pause_secs: cost_model.migration_pause(cost),
         }
+    }
+
+    /// Record what the state actually cost on the wire (the networked
+    /// transport's measurement; defaults to `state_bytes`).
+    pub fn with_wire_bytes(mut self, wire_bytes: usize) -> Self {
+        self.wire_bytes = wire_bytes;
+        self
     }
 }
 
@@ -92,6 +104,10 @@ mod tests {
         assert_eq!(r.cost, 5.0);
         assert_eq!(r.pause_secs, 10.0);
         assert_eq!(r.state_bytes, 500);
+        // Wire bytes default to the raw size until a transport measures
+        // the compressed payload.
+        assert_eq!(r.wire_bytes, 500);
+        assert_eq!(r.with_wire_bytes(123).wire_bytes, 123);
     }
 
     #[test]

@@ -198,6 +198,61 @@ impl Operator for Counting {
     }
 }
 
+/// [`Counting`] with a deliberately fat, highly compressible serialized
+/// form: the 8-byte LE count followed by 16 KiB of constant padding.
+/// Exists to exercise wire-level state compression end-to-end (the
+/// networked transport's LZ4 path has something real to shrink); the
+/// count still lives in the first 8 bytes, so state probes read it the
+/// same way they read [`Counting`]'s.
+#[derive(Debug, Default)]
+pub struct PaddedCounting;
+
+/// Padding bytes [`PaddedCounting`] appends to its serialized state.
+pub const PADDED_STATE_PAD: usize = 16 * 1024;
+
+impl Operator for PaddedCounting {
+    fn name(&self) -> &str {
+        "padded-counting"
+    }
+    fn new_state(&self) -> StateBox {
+        Box::new(0u64)
+    }
+    fn serialize_state(&self, state: &StateBox) -> Vec<u8> {
+        let count = *state.downcast_ref::<u64>().expect("padded-counting state");
+        let mut bytes = count.to_le_bytes().to_vec();
+        bytes.resize(8 + PADDED_STATE_PAD, (count % 251) as u8);
+        bytes
+    }
+    fn deserialize_state(&self, bytes: &[u8]) -> StateBox {
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&bytes[..8]);
+        Box::new(u64::from_le_bytes(arr))
+    }
+    fn process(&self, tuple: &Tuple, state: &mut StateBox, out: &mut Emissions) {
+        let count = state.downcast_mut::<u64>().expect("padded-counting state");
+        *count += 1;
+        out.emit(Tuple::raw(
+            tuple.key,
+            crate::tuple::Value::Int(*count as i64),
+            tuple.ts,
+        ));
+    }
+    fn process_chunk(&self, rows: &ChunkSlice<'_>, state: &mut StateBox, out: &mut ChunkEmissions) {
+        let count = state.downcast_mut::<u64>().expect("padded-counting state");
+        for i in 0..rows.len() {
+            if !rows.is_visible(i) {
+                continue;
+            }
+            *count += 1;
+            out.emit_raw(
+                rows.key_at(i),
+                crate::tuple::Value::Int(*count as i64),
+                rows.ts_at(i),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

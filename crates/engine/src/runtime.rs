@@ -142,6 +142,31 @@ use crate::transport::{
     InProcessTransport, NetTransport, Peers, Transport, TransportOptions, WorkerMailbox,
     WorkerSpawn,
 };
+
+/// A worker's liveness handle: a live bridging thread, or a corpse — a
+/// worker whose spawn failed outright, recorded with its unclaimed
+/// mailbox so the normal crashed-worker machinery (graveyard drain,
+/// recovery) applies uniformly instead of the job aborting.
+enum WorkerHandle {
+    Live(JoinHandle<WorkerMailbox>),
+    Corpse(Option<WorkerMailbox>),
+}
+
+impl WorkerHandle {
+    fn is_finished(&self) -> bool {
+        match self {
+            WorkerHandle::Live(h) => h.is_finished(),
+            WorkerHandle::Corpse(_) => true,
+        }
+    }
+
+    fn join(self) -> Option<WorkerMailbox> {
+        match self {
+            WorkerHandle::Live(h) => h.join().ok(),
+            WorkerHandle::Corpse(m) => m,
+        }
+    }
+}
 use crate::tuple::Tuple;
 
 /// Data-plane tuning of the threaded runtime. Thread through
@@ -520,9 +545,17 @@ impl RoutingShared {
     /// Replace the whole table with a broadcast replica (networked
     /// workers only). The table is written *before* the version stamp
     /// moves, so a cache refresh racing the install can never clone the
-    /// old table under the new version.
+    /// old table under the new version. Monotone: a stale (lower- or
+    /// same-versioned) replica is ignored — after a session resume, a
+    /// replayed `ROUTING` frame may arrive *behind* the fresh snapshot
+    /// the controller tops the stream up with, and must not regress the
+    /// table.
     pub(crate) fn install(&self, version: u64, assignment: Vec<NodeId>) {
-        *self.table.write() = RoutingTable::from_assignment(assignment);
+        let mut table = self.table.write();
+        if version <= self.version.load(Ordering::Acquire) && version != 0 {
+            return;
+        }
+        *table = RoutingTable::from_assignment(assignment);
         self.version.store(version, Ordering::Release);
     }
 }
@@ -534,6 +567,9 @@ pub(crate) enum ExtractReply {
     Installed {
         /// Serialized state size `|σ_k|`.
         state_bytes: usize,
+        /// Bytes the state actually occupied on the wire (compression);
+        /// equals `state_bytes` in-process.
+        wire_bytes: usize,
     },
     /// The destination worker is gone; the state never left the source.
     DestinationGone,
@@ -610,6 +646,11 @@ pub(crate) enum Msg {
         kg: KeyGroupId,
         op: OperatorId,
         bytes: Vec<u8>,
+        /// How many bytes the state blob occupied on the wire (equal to
+        /// `bytes.len()` in-process or with compression off; smaller when
+        /// the transport compressed it). Decoded from the frame, echoed
+        /// into the [`ExtractReply`] for migration cost accounting.
+        wire_bytes: usize,
         done: ReplyTo<(KeyGroupId, ExtractReply)>,
     },
     /// An epoch barrier from the coordinator (or a no-op wave from the
@@ -907,6 +948,7 @@ impl WorkerCtx {
                 kg,
                 op,
                 bytes,
+                wire_bytes,
                 done,
             } => {
                 self.install_state(kg, op, &bytes);
@@ -918,6 +960,7 @@ impl WorkerCtx {
                     kg,
                     ExtractReply::Installed {
                         state_bytes: bytes.len(),
+                        wire_bytes,
                     },
                 ));
             }
@@ -1039,6 +1082,7 @@ impl WorkerCtx {
             let msg = Msg::Install {
                 kg,
                 op,
+                wire_bytes: bytes.len(),
                 bytes,
                 done,
             };
@@ -1060,6 +1104,7 @@ impl WorkerCtx {
                 .send(Msg::Install {
                     kg,
                     op,
+                    wire_bytes: bytes.len(),
                     bytes,
                     done,
                 })
@@ -1068,6 +1113,7 @@ impl WorkerCtx {
             None => Some(Msg::Install {
                 kg,
                 op,
+                wire_bytes: bytes.len(),
                 bytes,
                 done,
             }),
@@ -1894,7 +1940,7 @@ pub struct Runtime {
     routing: Arc<RoutingShared>,
     senders: SenderMap,
     gauges: GaugeMap,
-    handles: Vec<(NodeId, JoinHandle<WorkerMailbox>)>,
+    handles: Vec<(NodeId, WorkerHandle)>,
     /// The worker boundary: how workers run (threads vs processes) and
     /// how messages reach them (channels vs sockets).
     transport: Box<dyn Transport>,
@@ -1977,7 +2023,21 @@ impl Runtime {
     ) -> std::io::Result<Runtime> {
         let transport: Box<dyn Transport> = match options {
             TransportOptions::InProcess => Box::new(InProcessTransport),
-            TransportOptions::Net(net) => Box::new(NetTransport::new(net)?),
+            TransportOptions::Net(net) => {
+                if let Some(expected) = net.expected_workers {
+                    let nodes = cluster.nodes().len();
+                    if expected != nodes {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            format!(
+                                "expected_workers ({expected}) must match the cluster \
+                                 size ({nodes}): every node needs exactly one joined worker"
+                            ),
+                        ));
+                    }
+                }
+                Box::new(NetTransport::new(net)?)
+            }
         };
         Ok(Runtime::start_with_transport(
             topology, cluster, routing, cost, cfg, transport,
@@ -2053,7 +2113,17 @@ impl Runtime {
             dropped: Arc::clone(&self.inject_dropped),
             cfg: self.cfg,
         };
-        let handle = self.transport.spawn_worker(spawn);
+        let handle = match self.transport.spawn_worker(spawn) {
+            Ok(h) => WorkerHandle::Live(h),
+            Err(failed) => {
+                // The worker never came up: degrade to the crashed-worker
+                // path (the corpse is detected and recovered like any
+                // other death) instead of taking the whole job down.
+                let (error, mailbox) = failed.into_parts();
+                eprintln!("albic: {error}; degrading to crashed-worker recovery");
+                WorkerHandle::Corpse(Some(mailbox))
+            }
+        };
         self.handles.push((node, handle));
     }
 
@@ -2426,6 +2496,8 @@ impl Runtime {
             migrations: 0,
             migration_cost: 0.0,
             migration_pause_secs: 0.0,
+            migration_state_bytes: 0,
+            migration_wire_bytes: 0,
             num_nodes: self.cluster.len(),
             marked_nodes: self.cluster.marked().count(),
             dropped_tuples: stats.dropped_tuples,
@@ -2569,14 +2641,17 @@ impl Runtime {
                 continue;
             }
             match self.wait_reply(&done_rx, &[from, to]) {
-                Some((_, ExtractReply::Installed { state_bytes, .. })) => {
-                    report.migrations.push(MigrationReport::from_cost_model(
-                        group,
-                        from,
-                        to,
+                Some((
+                    _,
+                    ExtractReply::Installed {
                         state_bytes,
-                        &self.cost,
-                    ));
+                        wire_bytes,
+                    },
+                )) => {
+                    report.migrations.push(
+                        MigrationReport::from_cost_model(group, from, to, state_bytes, &self.cost)
+                            .with_wire_bytes(wire_bytes),
+                    );
                 }
                 Some((_, ExtractReply::DestinationGone)) => {
                     // The source kept the state; point routing back at it
@@ -2604,6 +2679,8 @@ impl Runtime {
             rec.migrations += report.migrations.len();
             rec.migration_cost += report.total_cost();
             rec.migration_pause_secs += report.total_pause_secs();
+            rec.migration_state_bytes += report.total_state_bytes();
+            rec.migration_wire_bytes += report.total_wire_bytes();
         }
         report
     }
@@ -2734,12 +2811,15 @@ impl Runtime {
         // the full participant set and return short on a corpse.
         let _acks = self.gather(&done_rx, &involved);
         let replies = self.gather_n(&install_rx, live.len(), &involved);
-        let mut installed: HashMap<u32, usize> = HashMap::new();
+        let mut installed: HashMap<u32, (usize, usize)> = HashMap::new();
         let mut gone: Vec<u32> = Vec::new();
         for (kg, reply) in replies {
             match reply {
-                ExtractReply::Installed { state_bytes } => {
-                    installed.insert(kg.raw(), state_bytes);
+                ExtractReply::Installed {
+                    state_bytes,
+                    wire_bytes,
+                } => {
+                    installed.insert(kg.raw(), (state_bytes, wire_bytes));
                 }
                 ExtractReply::DestinationGone => gone.push(kg.raw()),
             }
@@ -2750,15 +2830,12 @@ impl Runtime {
         // longer believe the group lives there.
         let mut aborted: Vec<(KeyGroupId, NodeId, NodeId, MigrationFailure)> = Vec::new();
         for &(group, from, to) in &live {
-            if let Some(&state_bytes) = installed.get(&group.raw()) {
+            if let Some(&(state_bytes, wire_bytes)) = installed.get(&group.raw()) {
                 self.routing.reroute(group, to);
-                report.migrations.push(MigrationReport::from_cost_model(
-                    group,
-                    from,
-                    to,
-                    state_bytes,
-                    &self.cost,
-                ));
+                report.migrations.push(
+                    MigrationReport::from_cost_model(group, from, to, state_bytes, &self.cost)
+                        .with_wire_bytes(wire_bytes),
+                );
             } else if gone.contains(&group.raw()) {
                 aborted.push((group, from, to, MigrationFailure::DestinationUnavailable));
             } else {
@@ -2800,6 +2877,8 @@ impl Runtime {
                 .iter()
                 .map(|m| m.pause_secs)
                 .fold(0.0, f64::max);
+            rec.migration_state_bytes += report.total_state_bytes();
+            rec.migration_wire_bytes += report.total_wire_bytes();
         }
         report
     }
@@ -2909,7 +2988,7 @@ impl Runtime {
             }
             if let Some(pos) = self.handles.iter().position(|(id, _)| *id == node) {
                 let (_, handle) = self.handles.remove(pos);
-                if let Ok(rx) = handle.join() {
+                if let Some(rx) = handle.join() {
                     // Keep the dead worker's channel: a late send from a
                     // pre-unpublish sender clone may still land in it.
                     self.graveyard.push(rx.0);
@@ -2960,6 +3039,16 @@ impl Runtime {
             std::thread::sleep(PRESSURE_POLL);
         }
         !self.worker_alive(node)
+    }
+
+    /// Sever a worker's transport *connection* while leaving the worker
+    /// itself untouched — a scripted network fault. Networked sessions
+    /// must survive this through the `RESUME` protocol (the point of the
+    /// reconnect suite); in-process there is no socket, so this returns
+    /// `false` and nothing happens. Contrast [`Runtime::inject_fault`],
+    /// which kills the worker and defeats the reconnect policy.
+    pub fn drop_socket(&mut self, node: NodeId) -> bool {
+        self.transport.drop_connection(node)
     }
 
     /// Detect crashed workers and recover them: re-home their key groups
@@ -3212,6 +3301,10 @@ impl ReconfigEngine for Runtime {
 
     fn inject_fault(&mut self, node: NodeId) -> bool {
         Runtime::inject_fault(self, node)
+    }
+
+    fn drop_socket(&mut self, node: NodeId) -> bool {
+        Runtime::drop_socket(self, node)
     }
 
     fn recover(&mut self) -> RecoveryReport {

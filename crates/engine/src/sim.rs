@@ -180,6 +180,8 @@ impl<W: WorkloadModel> SimEngine<W> {
             migrations: 0,
             migration_cost: 0.0,
             migration_pause_secs: 0.0,
+            migration_state_bytes: 0,
+            migration_wire_bytes: 0,
             num_nodes: self.cluster.len(),
             marked_nodes: self.cluster.marked().count(),
             dropped_tuples: 0.0,
@@ -305,6 +307,10 @@ impl<W: WorkloadModel> SimEngine<W> {
             } else {
                 report.total_pause_secs()
             };
+            // The simulator never serializes state, so wire bytes equal
+            // the modeled state size (no compression to measure).
+            rec.migration_state_bytes += report.total_state_bytes();
+            rec.migration_wire_bytes += report.total_wire_bytes();
             rec.num_nodes = self.cluster.len();
             rec.marked_nodes = self.cluster.marked().count();
             if let Some(stats) = &refreshed {

@@ -38,6 +38,12 @@ pub struct PeriodRecord {
     pub migration_cost: f64,
     /// Total pause seconds incurred by those migrations.
     pub migration_pause_secs: f64,
+    /// Total serialized state bytes those migrations shipped.
+    pub migration_state_bytes: usize,
+    /// Total bytes those migrations' state blobs occupied on the wire
+    /// (equals `migration_state_bytes` unless the networked transport
+    /// compressed them).
+    pub migration_wire_bytes: usize,
     /// Number of nodes present (alive + marked).
     pub num_nodes: usize,
     /// Number of nodes marked for removal.
@@ -133,6 +139,13 @@ impl ApplyReport {
         self.migrations.iter().map(|r| r.state_bytes).sum()
     }
 
+    /// Total bytes those states occupied on the wire (smaller than
+    /// [`ApplyReport::total_state_bytes`] when the transport compressed
+    /// them).
+    pub fn total_wire_bytes(&self) -> usize {
+        self.migrations.iter().map(|r| r.wire_bytes).sum()
+    }
+
     /// Total modeled migration cost.
     pub fn total_cost(&self) -> f64 {
         self.migrations.iter().map(|r| r.cost).sum()
@@ -225,6 +238,16 @@ pub trait ReconfigEngine {
         false
     }
 
+    /// Sever a node's transport *connection* without failing the node —
+    /// the scripted network-fault hook. The networked runtime cuts the
+    /// worker's socket with `shutdown(2)` and the session is expected to
+    /// `RESUME`; engines without a connection to cut (the simulator,
+    /// in-process workers) return `false` and nothing happens.
+    fn drop_socket(&mut self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+
     /// Detect dead workers and recover their key groups: re-home them
     /// onto survivors ([`crate::fault::recovery_placement`]), restore
     /// state from the latest period-aligned checkpoint through the same
@@ -265,6 +288,9 @@ impl<E: ReconfigEngine + ?Sized> ReconfigEngine for &mut E {
     }
     fn inject_fault(&mut self, node: NodeId) -> bool {
         (**self).inject_fault(node)
+    }
+    fn drop_socket(&mut self, node: NodeId) -> bool {
+        (**self).drop_socket(node)
     }
     fn recover(&mut self) -> RecoveryReport {
         (**self).recover()

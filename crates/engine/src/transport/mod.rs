@@ -8,37 +8,44 @@
 //! * [`InProcessTransport`] (the default): workers are threads wired with
 //!   crossbeam channels, exactly the substrate every existing test runs
 //!   on.
-//! * [`NetTransport`]: workers are real child processes connected over
-//!   length-prefixed TCP or Unix-domain sockets. The controller launches
-//!   each worker from a daemon binary (see [`worker_main`]), performs a
-//!   hello/init handshake carrying the worker's identity, and bridges
-//!   each socket onto the same channel fabric with a per-peer stub
-//!   thread.
+//! * [`NetTransport`]: workers are real processes connected over
+//!   length-prefixed TCP or Unix-domain sockets — launched as children by
+//!   the controller, or started on *other machines* and admitted through
+//!   an authenticated `HELLO` join handshake (see
+//!   [`NetConfig::joinable`]). Each socket is bridged onto the same
+//!   channel fabric by a per-peer stub thread.
 //!
 //! The bridge is deliberately thin: a stub thread *is* the worker as far
 //! as the runtime can tell. It pulls from the worker's inbox channel and
 //! writes frames; it reads reply frames and resolves them into the
-//! original reply channels. When the socket dies, the stub thread exits —
-//! and because all liveness in the runtime keys off
-//! `JoinHandle::is_finished`, a dead socket degrades *exactly* like a
-//! crashed in-process worker: `alive_senders` stops waiting on it,
-//! `wait_reply` returns short, and recovery takes over. Fault injection
-//! upgrades accordingly: in networked mode, [`Transport::inject_fault`]
-//! SIGKILLs the child process rather than sending a simulated crash
-//! message, driving checkpoint/replay recovery end-to-end over the
-//! network.
+//! original reply channels. Liveness keys off the stub's
+//! `JoinHandle::is_finished` — but socket death is *not* stub death: the
+//! link runs a sequence-numbered session (see [`session`]) and a cut
+//! socket is held open for the worker to `RESUME` under the configured
+//! [`ReconnectPolicy`], replaying exactly the frames
+//! the other side never delivered. Only when that policy is exhausted
+//! does the stub exit and degrade *exactly* like a crashed in-process
+//! worker: `alive_senders` stops waiting on it, `wait_reply` returns
+//! short, and checkpoint recovery takes over. Fault injection upgrades
+//! accordingly: in networked mode, [`Transport::inject_fault`] poisons
+//! the session *and then* SIGKILLs the worker process, so a real kill
+//! deterministically defeats the reconnect policy rather than racing it.
 //!
-//! See `docs/TRANSPORT.md` for the frame format, handshake, and failure
-//! semantics.
+//! See `docs/TRANSPORT.md` for the frame format, session/reconnect
+//! semantics, and the two-machine join workflow.
 
+pub(crate) mod lz4;
+pub mod session;
 pub(crate) mod wire;
 
 mod net;
 mod worker;
 
 pub use net::{NetConfig, NetTransport, SocketKind};
+pub use session::{ReconnectPolicy, RecvSequencer, SendSequencer, SeqVerdict};
 pub use worker::{worker_main, OperatorRegistry};
 
+use std::fmt;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -74,6 +81,69 @@ pub struct WorkerMailbox(pub(crate) Receiver<Msg>);
 /// address control messages to live peers.
 pub struct Peers<'a>(pub(crate) &'a SenderMap);
 
+/// A typed transport failure, surfaced instead of a generic io error so
+/// callers (and log readers) can tell a handshake timeout from a binary
+/// that would not launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// The worker did not complete its `HELLO` handshake within the
+    /// patience window (launched workers) or join deadline (joiners).
+    HandshakeTimeout {
+        /// The worker that never said hello.
+        node: NodeId,
+    },
+    /// The worker could not be brought up at all — the binary failed to
+    /// launch, or the bridging thread could not be spawned.
+    SpawnFailed {
+        /// The worker that failed to spawn.
+        node: NodeId,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::HandshakeTimeout { node } => {
+                write!(f, "worker {node} timed out before completing its handshake")
+            }
+            TransportError::SpawnFailed { node, reason } => {
+                write!(f, "worker {node} failed to spawn: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A [`Transport::spawn_worker`] failure that still hands the worker's
+/// inbox back, so the runtime can treat the node as instantly crashed
+/// (drain the mailbox into the graveyard, recover its groups) instead of
+/// aborting the job.
+pub struct FailedSpawn {
+    /// What went wrong.
+    pub error: TransportError,
+    /// The unclaimed inbox, for the crashed-worker path.
+    pub(crate) mailbox: WorkerMailbox,
+}
+
+impl FailedSpawn {
+    /// Reclaim the mailbox for the graveyard.
+    pub(crate) fn into_parts(self) -> (TransportError, WorkerMailbox) {
+        (self.error, self.mailbox)
+    }
+}
+
+impl fmt::Debug for FailedSpawn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FailedSpawn")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The worker boundary. Implementations own how workers run (threads vs
 /// processes) and how messages reach them (channels vs sockets); the
 /// runtime's reconfiguration, recovery, and statistics logic is identical
@@ -81,8 +151,13 @@ pub struct Peers<'a>(pub(crate) &'a SenderMap);
 pub trait Transport: Send {
     /// Bring one worker to life. The returned handle's `is_finished` is
     /// the worker's liveness signal: it must become true when — and only
-    /// when — the worker can no longer process messages.
-    fn spawn_worker(&mut self, spawn: WorkerSpawn) -> JoinHandle<WorkerMailbox>;
+    /// when — the worker can no longer process messages. On failure the
+    /// worker's inbox rides back in the [`FailedSpawn`] so the runtime
+    /// can degrade to the crashed-worker path instead of aborting.
+    fn spawn_worker(
+        &mut self,
+        spawn: WorkerSpawn,
+    ) -> Result<JoinHandle<WorkerMailbox>, FailedSpawn>;
 
     /// Push a routing-table update to every worker. In-process workers
     /// share the routing table by `Arc`, so the default substrate does
@@ -93,8 +168,17 @@ pub trait Transport: Send {
 
     /// Kill one worker for fault injection. Returns `false` if the worker
     /// is already gone. In-process this delivers a poison message;
-    /// networked, it SIGKILLs the child process.
+    /// networked, it poisons the session (so the kill cannot race the
+    /// reconnect policy) and SIGKILLs the worker process.
     fn inject_fault(&mut self, node: NodeId, peers: &Peers<'_>) -> bool;
+
+    /// Sever one worker's *connection* without touching the worker
+    /// itself — a scripted network fault. Returns `true` if a live
+    /// connection was cut. Meaningless in-process (no socket exists), so
+    /// the default returns `false`.
+    fn drop_connection(&mut self, _node: NodeId) -> bool {
+        false
+    }
 
     /// The runtime observed this worker dead and reclaimed its handle;
     /// release any per-worker resources (e.g. reap the child process).
@@ -114,12 +198,40 @@ pub trait Transport: Send {
 pub struct InProcessTransport;
 
 impl Transport for InProcessTransport {
-    fn spawn_worker(&mut self, spawn: WorkerSpawn) -> JoinHandle<WorkerMailbox> {
+    fn spawn_worker(
+        &mut self,
+        spawn: WorkerSpawn,
+    ) -> Result<JoinHandle<WorkerMailbox>, FailedSpawn> {
         let node = spawn.node;
+        // The spawn rides through a cell so a failed thread spawn can
+        // hand the inbox back for the crashed-worker path (the closure
+        // is consumed by the failed Builder::spawn either way).
+        let cell = Arc::new(std::sync::Mutex::new(Some(spawn)));
+        let cell2 = Arc::clone(&cell);
         std::thread::Builder::new()
             .name(format!("albic-worker-{node}"))
-            .spawn(move || WorkerMailbox(crate::runtime::WorkerCtx::from_spawn(spawn, None).run()))
-            .expect("spawn worker thread")
+            .spawn(move || {
+                let spawn = cell2
+                    .lock()
+                    .expect("worker cell")
+                    .take()
+                    .expect("worker spawn consumed once");
+                WorkerMailbox(crate::runtime::WorkerCtx::from_spawn(spawn, None).run())
+            })
+            .map_err(|e| {
+                let spawn = cell
+                    .lock()
+                    .expect("worker cell")
+                    .take()
+                    .expect("worker spawn consumed once");
+                FailedSpawn {
+                    error: TransportError::SpawnFailed {
+                        node,
+                        reason: format!("spawn worker thread: {e}"),
+                    },
+                    mailbox: WorkerMailbox(spawn.inbox),
+                }
+            })
     }
 
     fn broadcast_routing(&self, _version: u64, _assignment: &[NodeId], _peers: &Peers<'_>) {}
@@ -141,8 +253,8 @@ pub enum TransportOptions {
     /// substrate).
     #[default]
     InProcess,
-    /// Workers are child processes connected over TCP or Unix-domain
-    /// sockets.
+    /// Workers are child processes (or joined remote daemons) connected
+    /// over TCP or Unix-domain sockets.
     Net(NetConfig),
 }
 
@@ -158,12 +270,23 @@ pub fn fuzz_decode(bytes: &[u8]) {
         let _ = match kind {
             wire::FRAME_HELLO => wire::decode_hello(&mut r).map(|_| ()),
             wire::FRAME_INIT => wire::decode_init(&mut r).map(|_| ()),
-            wire::FRAME_MSG => wire::decode_msg(&mut r, None).map(|_| ()),
-            wire::FRAME_FORWARD => r
-                .get_u64()
-                .and_then(|_| wire::decode_msg(&mut r, None))
+            wire::FRAME_RESUME => wire::decode_resume(&mut r).map(|_| ()),
+            wire::FRAME_RESUMED => wire::decode_resumed(&mut r).map(|_| ()),
+            wire::FRAME_ACK => wire::decode_ack(&mut r).map(|_| ()),
+            // Session-bearing kinds: split the (seq, ack) header, then
+            // decode the payload as the stub/daemon would.
+            wire::FRAME_MSG => wire::split_session(&body)
+                .and_then(|(_, _, p)| wire::decode_msg(&mut Reader::new(p), None))
                 .map(|_| ()),
-            wire::FRAME_ROUTING => wire::decode_routing(&mut r).map(|_| ()),
+            wire::FRAME_FORWARD => wire::split_session(&body).and_then(|(_, _, p)| {
+                let mut pr = Reader::new(p);
+                pr.get_u64()
+                    .and_then(|_| wire::decode_msg(&mut pr, None))
+                    .map(|_| ())
+            }),
+            wire::FRAME_ROUTING => wire::split_session(&body)
+                .and_then(|(_, _, p)| wire::decode_routing(&mut Reader::new(p)))
+                .map(|_| ()),
             _ => Ok(()),
         };
     }
@@ -171,7 +294,13 @@ pub fn fuzz_decode(bytes: &[u8]) {
     let _ = wire::decode_msg(&mut Reader::new(bytes), None);
     let _ = wire::decode_init(&mut Reader::new(bytes));
     let _ = wire::decode_hello(&mut Reader::new(bytes));
+    let _ = wire::decode_resume(&mut Reader::new(bytes));
+    let _ = wire::decode_resumed(&mut Reader::new(bytes));
+    let _ = wire::decode_ack(&mut Reader::new(bytes));
     let _ = wire::decode_routing(&mut Reader::new(bytes));
+    let _ = wire::split_session(bytes);
+    // The LZ4 decompressor also faces the network (inside state blobs).
+    let _ = lz4::decompress(bytes, 4096);
     let _ = crate::chunk::StreamChunk::decode(&mut Reader::new(bytes));
     let _ = Reader::new(bytes).get_value();
 }

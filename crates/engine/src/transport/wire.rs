@@ -16,44 +16,61 @@
 
 use std::collections::HashMap;
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
 
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 
 use albic_types::{KeyGroupId, NodeId, OperatorId};
 
+use super::lz4;
+use super::net::Conn;
+use super::session::{ReconnectPolicy, SendSequencer, SeqVerdict, ACK_EVERY, SEND_QUEUE_LIMIT};
 use crate::chunk::StreamChunk;
 use crate::codec::{DecodeError, Found, Reader, Writer};
 use crate::runtime::{DataPlane, ExtractReply, Msg, ReplyTo, RuntimeConfig};
 use crate::stats::StatsCollector;
 use crate::tuple::Tuple;
 
-/// Handshake magic ("ALBIC_W1"): rejects a stray client that is not an
-/// albic worker speaking this protocol revision.
-pub(crate) const WIRE_MAGIC: u64 = 0x414c_4249_435f_5731;
+/// Handshake magic ("ALBIC_W2"): rejects a stray client that is not an
+/// albic worker speaking this protocol revision (revision 2 added
+/// sessions, join tokens, and compressed state blobs).
+pub(crate) const WIRE_MAGIC: u64 = 0x414c_4249_435f_5732;
 
-/// Worker → controller: identity announcement, first frame on a fresh
-/// connection.
+/// Worker → controller: identity announcement + join token, first frame
+/// on a fresh connection.
 pub(crate) const FRAME_HELLO: u8 = 1;
 /// Controller → worker: job bootstrap (config, operator specs, edges,
-/// initial routing), sent once in response to a valid hello.
+/// initial routing, session policy), sent once in response to a valid
+/// hello.
 pub(crate) const FRAME_INIT: u8 = 2;
 /// Controller → worker: one encoded [`Msg`] for the worker's inbox.
+/// Session-bearing: body is `[u64 seq][u64 ack][payload]`.
 pub(crate) const FRAME_MSG: u8 = 3;
 /// Worker → controller: a [`Msg`] to relay to peer `dest` (the
 /// controller is the star hub; workers have no direct sockets to each
-/// other).
+/// other). Session-bearing.
 pub(crate) const FRAME_FORWARD: u8 = 4;
 /// Worker → controller: a protocol reply `[u64 id][payload]` resolving a
-/// pending [`Correlator`] registration.
+/// pending [`Correlator`] registration. Session-bearing.
 pub(crate) const FRAME_REPLY: u8 = 5;
 /// Controller → worker: a routing-table update `[version][assignment]`,
 /// applied by the daemon's reader thread *before* later frames are
 /// enqueued — the FIFO that makes migration's flip-then-extract ordering
-/// hold across the network.
+/// hold across the network. Session-bearing.
 pub(crate) const FRAME_ROUTING: u8 = 6;
+/// Worker → controller: re-attach to an existing session after a socket
+/// death — `[magic][node][token][delivered][routing_version]`.
+pub(crate) const FRAME_RESUME: u8 = 7;
+/// Controller → worker: accept a `RESUME` — `[delivered]`, the
+/// controller's own delivery high-water mark on this session.
+pub(crate) const FRAME_RESUMED: u8 = 8;
+/// Either direction: an explicit cumulative ack `[u64 ack]`, sent when
+/// one side has delivered [`ACK_EVERY`] frames without reverse traffic
+/// to piggyback on.
+pub(crate) const FRAME_ACK: u8 = 9;
 
 /// Upper bound on one frame. A length prefix beyond this is treated as
 /// protocol corruption, not an allocation request — a hostile or garbled
@@ -68,6 +85,35 @@ pub(crate) fn frame_bytes(kind: u8, body: &[u8]) -> Vec<u8> {
     out.push(kind);
     out.extend_from_slice(body);
     out
+}
+
+/// Assemble one session-bearing frame: `[u32 len LE][kind][u64 seq][u64
+/// ack][payload]`. `ack` piggybacks the sender's current delivery
+/// high-water mark for the peer's stream.
+pub(crate) fn session_frame(kind: u8, seq: u64, ack: u64, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() + 16 < MAX_FRAME_LEN);
+    let mut out = Vec::with_capacity(21 + payload.len());
+    out.extend_from_slice(&((payload.len() as u32 + 17).to_le_bytes()));
+    out.push(kind);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&ack.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Split a session-bearing frame body into `(seq, ack, payload)`.
+/// Fail-closed on short bodies.
+pub(crate) fn split_session(body: &[u8]) -> Result<(u64, u64, &[u8]), DecodeError> {
+    if body.len() < 16 {
+        return Err(DecodeError::new(
+            0,
+            "session header (seq + ack)",
+            Found::Length(body.len() as u64),
+        ));
+    }
+    let seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+    let ack = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    Ok((seq, ack, &body[16..]))
 }
 
 /// Incremental frame assembler: feed it raw socket bytes, pop complete
@@ -125,23 +171,167 @@ impl FrameBuffer {
     }
 }
 
-/// The daemon's shared write half: worker thread (data forwards, epoch
+/// The daemon's shared session link: worker thread (data forwards, epoch
 /// announcements) and decoded reply handles all write framed output
-/// through one mutex, so frames never interleave.
+/// through one lock, so frames never interleave — and every
+/// session-bearing frame is parked in the link's [`SendSequencer`] until
+/// the controller acks it, which is what lets the reader thread resume a
+/// dead socket and replay exactly the unseen suffix.
 #[derive(Clone)]
-pub(crate) struct WireOut(Arc<Mutex<Box<dyn Write + Send>>>);
+pub(crate) struct WireOut {
+    inner: Arc<LinkInner>,
+}
+
+struct LinkInner {
+    state: StdMutex<SendHalf>,
+    room: Condvar,
+    /// Contiguous inbound delivery mark (the reader advances it; writers
+    /// stamp it as the piggybacked ack on every outbound frame).
+    delivered: AtomicU64,
+    /// Highest delivery mark the controller has been told about.
+    acked_mark: AtomicU64,
+    /// Set when the reconnect policy is exhausted: all further sends
+    /// fail immediately and blocked writers wake.
+    dead: AtomicBool,
+    compress: bool,
+}
+
+struct SendHalf {
+    conn: Option<Conn>,
+    seq: SendSequencer,
+}
 
 impl WireOut {
-    pub(crate) fn new(w: Box<dyn Write + Send>) -> Self {
-        WireOut(Arc::new(Mutex::new(w)))
+    pub(crate) fn new(conn: Conn, compress: bool) -> Self {
+        WireOut {
+            inner: Arc::new(LinkInner {
+                state: StdMutex::new(SendHalf {
+                    conn: Some(conn),
+                    seq: SendSequencer::new(SEND_QUEUE_LIMIT),
+                }),
+                room: Condvar::new(),
+                delivered: AtomicU64::new(0),
+                acked_mark: AtomicU64::new(0),
+                dead: AtomicBool::new(false),
+                compress,
+            }),
+        }
     }
 
-    /// Write one frame (single `write_all` + flush under the lock).
+    /// Whether state blobs on this link are LZ4-compressed.
+    pub(crate) fn compress(&self) -> bool {
+        self.inner.compress
+    }
+
+    /// Send one session-bearing frame: assign a sequence number, park the
+    /// payload for resend, and write it if the socket is up. Blocks while
+    /// the resend queue is full (backpressure during an outage); a write
+    /// error is *not* an error here — the frame stays parked and the
+    /// reader thread's reconnect loop replays it.
     pub(crate) fn send_frame(&self, kind: u8, body: &[u8]) -> io::Result<()> {
-        let frame = frame_bytes(kind, body);
-        let mut w = self.0.lock();
-        w.write_all(&frame)?;
-        w.flush()
+        let mut st = self.inner.state.lock().expect("link lock");
+        while !st.seq.has_room() {
+            if self.inner.dead.load(Ordering::Acquire) {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "session is dead (reconnect policy exhausted)",
+                ));
+            }
+            let (guard, _) = self
+                .inner
+                .room
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("link lock");
+            st = guard;
+        }
+        if self.inner.dead.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "session is dead (reconnect policy exhausted)",
+            ));
+        }
+        let seq = st.seq.push(kind, body.to_vec());
+        let ack = self.inner.delivered.load(Ordering::Acquire);
+        if let Some(conn) = st.conn.as_mut() {
+            let frame = session_frame(kind, seq, ack, body);
+            if conn.write_all(&frame).and_then(|()| conn.flush()).is_err() {
+                // Socket died under us: drop the write half and let the
+                // reader's reconnect loop take over. The frame is parked.
+                st.conn = None;
+            } else {
+                self.inner.acked_mark.store(ack, Ordering::Release);
+            }
+        }
+        Ok(())
+    }
+
+    /// Classify one inbound sequence number (reader thread only).
+    pub(crate) fn accept(&self, seq: u64) -> SeqVerdict {
+        let delivered = self.inner.delivered.load(Ordering::Acquire);
+        if seq == delivered + 1 {
+            self.inner.delivered.store(seq, Ordering::Release);
+            SeqVerdict::Fresh
+        } else if seq <= delivered {
+            SeqVerdict::Duplicate
+        } else {
+            SeqVerdict::Gap
+        }
+    }
+
+    /// Inbound delivery high-water mark (what a `RESUME` advertises).
+    pub(crate) fn delivered(&self) -> u64 {
+        self.inner.delivered.load(Ordering::Acquire)
+    }
+
+    /// Apply the controller's cumulative ack to the resend queue.
+    pub(crate) fn peer_ack(&self, upto: u64) {
+        let mut st = self.inner.state.lock().expect("link lock");
+        if st.seq.ack(upto) {
+            self.inner.room.notify_all();
+        }
+    }
+
+    /// Send an explicit `ACK` if enough unacknowledged deliveries have
+    /// accumulated (reader thread, after draining a read).
+    pub(crate) fn flush_ack(&self) {
+        let delivered = self.inner.delivered.load(Ordering::Acquire);
+        if delivered - self.inner.acked_mark.load(Ordering::Acquire) < ACK_EVERY {
+            return;
+        }
+        let mut st = self.inner.state.lock().expect("link lock");
+        if let Some(conn) = st.conn.as_mut() {
+            let frame = frame_bytes(FRAME_ACK, &delivered.to_le_bytes());
+            if conn.write_all(&frame).and_then(|()| conn.flush()).is_ok() {
+                self.inner.acked_mark.store(delivered, Ordering::Release);
+            } else {
+                st.conn = None;
+            }
+        }
+    }
+
+    /// Install a fresh socket after a successful `RESUME`/`RESUMED`
+    /// exchange: prune everything the controller already delivered, then
+    /// replay the parked suffix in order.
+    pub(crate) fn resume(&self, mut conn: Conn, peer_delivered: u64) -> io::Result<()> {
+        let mut st = self.inner.state.lock().expect("link lock");
+        st.seq.ack(peer_delivered);
+        let ack = self.inner.delivered.load(Ordering::Acquire);
+        for (seq, kind, body) in st.seq.pending(peer_delivered) {
+            let frame = session_frame(kind, seq, ack, body);
+            conn.write_all(&frame)?;
+        }
+        conn.flush()?;
+        self.inner.acked_mark.store(ack, Ordering::Release);
+        st.conn = Some(conn);
+        self.inner.room.notify_all();
+        Ok(())
+    }
+
+    /// The reconnect policy is exhausted: fail all current and future
+    /// sends so the worker loop winds down.
+    pub(crate) fn mark_dead(&self) {
+        self.inner.dead.store(true, Ordering::Release);
+        self.inner.room.notify_all();
     }
 
     /// Relay `msg` to peer `dest` through the controller hub. Only called
@@ -150,7 +340,7 @@ impl WireOut {
     pub(crate) fn forward(&self, dest: NodeId, msg: &Msg) -> io::Result<()> {
         let mut w = Writer::new();
         w.put_u64(dest.raw() as u64);
-        encode_msg(msg, &mut w, &mut |_| {
+        encode_msg(msg, &mut w, self.inner.compress, &mut |_| {
             unreachable!("daemon-side reply handles are always wire ids")
         });
         self.send_frame(FRAME_FORWARD, &w.into_bytes())
@@ -160,21 +350,22 @@ impl WireOut {
 // ---- Reply payloads ----------------------------------------------------
 
 /// A protocol reply payload that can cross the wire — one impl per reply
-/// channel type the [`Msg`] enum carries.
+/// channel type the [`Msg`] enum carries. `compress` governs state-blob
+/// payloads (checkpoint snapshots); scalar payloads ignore it.
 pub(crate) trait ReplyPayload: Sized {
-    fn encode_payload(&self, w: &mut Writer);
+    fn encode_payload(&self, w: &mut Writer, compress: bool);
     fn decode_payload(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
 }
 
 impl ReplyPayload for () {
-    fn encode_payload(&self, _w: &mut Writer) {}
+    fn encode_payload(&self, _w: &mut Writer, _compress: bool) {}
     fn decode_payload(_r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         Ok(())
     }
 }
 
 impl ReplyPayload for NodeId {
-    fn encode_payload(&self, w: &mut Writer) {
+    fn encode_payload(&self, w: &mut Writer, _compress: bool) {
         w.put_u64(self.raw() as u64);
     }
     fn decode_payload(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -183,12 +374,16 @@ impl ReplyPayload for NodeId {
 }
 
 impl ReplyPayload for (KeyGroupId, ExtractReply) {
-    fn encode_payload(&self, w: &mut Writer) {
+    fn encode_payload(&self, w: &mut Writer, _compress: bool) {
         w.put_u64(self.0.raw() as u64);
         match &self.1 {
-            ExtractReply::Installed { state_bytes } => {
+            ExtractReply::Installed {
+                state_bytes,
+                wire_bytes,
+            } => {
                 w.put_u64(0);
                 w.put_u64(*state_bytes as u64);
+                w.put_u64(*wire_bytes as u64);
             }
             ExtractReply::DestinationGone => w.put_u64(1),
         }
@@ -198,6 +393,7 @@ impl ReplyPayload for (KeyGroupId, ExtractReply) {
         let reply = match r.get_u64()? {
             0 => ExtractReply::Installed {
                 state_bytes: r.get_u64()? as usize,
+                wire_bytes: r.get_u64()? as usize,
             },
             1 => ExtractReply::DestinationGone,
             tag => {
@@ -213,7 +409,7 @@ impl ReplyPayload for (KeyGroupId, ExtractReply) {
 }
 
 impl ReplyPayload for (NodeId, StatsCollector) {
-    fn encode_payload(&self, w: &mut Writer) {
+    fn encode_payload(&self, w: &mut Writer, _compress: bool) {
         w.put_u64(self.0.raw() as u64);
         encode_stats(&self.1, w);
     }
@@ -224,7 +420,7 @@ impl ReplyPayload for (NodeId, StatsCollector) {
 }
 
 impl ReplyPayload for Option<Vec<u8>> {
-    fn encode_payload(&self, w: &mut Writer) {
+    fn encode_payload(&self, w: &mut Writer, _compress: bool) {
         match self {
             None => w.put_u64(0),
             Some(bytes) => {
@@ -247,9 +443,9 @@ impl ReplyPayload for Option<Vec<u8>> {
 }
 
 impl ReplyPayload for (NodeId, Vec<(u32, Vec<u8>)>) {
-    fn encode_payload(&self, w: &mut Writer) {
+    fn encode_payload(&self, w: &mut Writer, compress: bool) {
         w.put_u64(self.0.raw() as u64);
-        encode_states(&self.1, w);
+        encode_states(&self.1, w, compress);
     }
     fn decode_payload(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let node = NodeId::new(r.get_u64()? as u32);
@@ -270,7 +466,7 @@ impl<T: ReplyPayload> ReplyTo<T> {
             ReplyTo::Wire { id, out: Some(o) } => {
                 let mut w = Writer::new();
                 w.put_u64(*id);
-                v.encode_payload(&mut w);
+                v.encode_payload(&mut w, o.compress());
                 match o.send_frame(FRAME_REPLY, &w.into_bytes()) {
                     Ok(()) => Ok(()),
                     Err(_) => Err(v),
@@ -331,13 +527,20 @@ impl Pending {
 /// worker A is resolved by a `REPLY` frame arriving from worker B.
 ///
 /// Entries are multi-shot (an epoch wave's `install_done` fires once per
-/// move) and garbage-collected by generation: [`Correlator::advance_gen`]
-/// runs at period boundaries, when the data plane is settled and no
-/// pre-boundary protocol reply can still be in flight.
+/// move) and garbage-collected on two axes:
+///
+/// * **generation** — [`Correlator::advance_gen`] runs at period
+///   boundaries, when the data plane is settled and no pre-boundary
+///   protocol reply can still be in flight;
+/// * **session** — [`Correlator::purge_session`] runs when the runtime
+///   declares a worker dead, dropping every entry registered before the
+///   death so a reply id replayed by a *resumed* (or impersonated)
+///   session cannot resolve a stale channel.
 pub(crate) struct Correlator {
     next: AtomicU64,
     gen: AtomicU64,
-    entries: Mutex<HashMap<u64, (u64, Pending)>>,
+    session: AtomicU64,
+    entries: Mutex<HashMap<u64, (u64, u64, Pending)>>,
 }
 
 impl Correlator {
@@ -345,6 +548,7 @@ impl Correlator {
         Correlator {
             next: AtomicU64::new(1),
             gen: AtomicU64::new(0),
+            session: AtomicU64::new(0),
             entries: Mutex::new(HashMap::new()),
         }
     }
@@ -353,15 +557,16 @@ impl Correlator {
     pub(crate) fn register(&self, p: Pending) -> u64 {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         let gen = self.gen.load(Ordering::Relaxed);
-        self.entries.lock().insert(id, (gen, p));
+        let session = self.session.load(Ordering::Relaxed);
+        self.entries.lock().insert(id, (gen, session, p));
         id
     }
 
     /// Resolve a `REPLY` frame: decode the payload with the parked
-    /// channel's type and deliver it. An unknown id (pruned generation,
-    /// or a duplicate reply racing the GC) is ignored.
+    /// channel's type and deliver it. An unknown id (pruned generation or
+    /// session, or a duplicate reply racing the GC) is ignored.
     pub(crate) fn fire(&self, id: u64, r: &mut Reader<'_>) -> Result<(), DecodeError> {
-        let pending = self.entries.lock().get(&id).map(|(_, p)| p.clone());
+        let pending = self.entries.lock().get(&id).map(|(_, _, p)| p.clone());
         match pending {
             Some(p) => p.fire(r),
             None => Ok(()),
@@ -374,8 +579,18 @@ impl Correlator {
     pub(crate) fn advance_gen(&self) {
         let gen = self.gen.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(cutoff) = gen.checked_sub(1) {
-            self.entries.lock().retain(|_, (g, _)| *g >= cutoff);
+            self.entries.lock().retain(|_, (g, _, _)| *g >= cutoff);
         }
+    }
+
+    /// A worker died: start a new session epoch and drop every entry
+    /// registered under an older one. Safe because the runtime only
+    /// declares death after its liveness-aware waits have returned — any
+    /// channel parked before the death is either resolved or abandoned by
+    /// its waiter.
+    pub(crate) fn purge_session(&self) {
+        let session = self.session.fetch_add(1, Ordering::Relaxed) + 1;
+        self.entries.lock().retain(|_, (_, s, _)| *s >= session);
     }
 }
 
@@ -406,11 +621,63 @@ fn get_byte_vec(r: &mut Reader<'_>) -> Result<Vec<u8>, DecodeError> {
     Ok(r.get_bytes(n)?.to_vec())
 }
 
-fn encode_states(states: &[(u32, Vec<u8>)], w: &mut Writer) {
+/// Write one state blob, optionally LZ4-compressed:
+/// `[u64 codec tag][if lz4: u64 raw_len][length-prefixed payload]`.
+/// The encoding is self-describing, so decode never consults config.
+/// Compression is skipped for tiny blobs and whenever it fails to
+/// shrink. Returns the number of payload bytes that hit the wire.
+pub(crate) fn put_state_blob(w: &mut Writer, bytes: &[u8], compress: bool) -> usize {
+    if compress && bytes.len() >= 64 {
+        let packed = lz4::compress(bytes);
+        if packed.len() < bytes.len() {
+            w.put_u64(1);
+            w.put_u64(bytes.len() as u64);
+            put_byte_vec(w, &packed);
+            return packed.len();
+        }
+    }
+    w.put_u64(0);
+    put_byte_vec(w, bytes);
+    bytes.len()
+}
+
+/// Read one state blob, returning `(raw bytes, wire payload bytes)`.
+/// Fail-closed: the claimed raw length is bounded by [`MAX_FRAME_LEN`]
+/// before any allocation, and LZ4 decompression is strictly checked.
+pub(crate) fn get_state_blob(r: &mut Reader<'_>) -> Result<(Vec<u8>, usize), DecodeError> {
+    let at = r.offset();
+    match r.get_u64()? {
+        0 => {
+            let bytes = get_byte_vec(r)?;
+            let n = bytes.len();
+            Ok((bytes, n))
+        }
+        1 => {
+            let raw_len = r.get_u64()? as usize;
+            if raw_len > MAX_FRAME_LEN {
+                return Err(DecodeError::new(
+                    at,
+                    "raw length within 64MiB",
+                    Found::Length(raw_len as u64),
+                ));
+            }
+            let packed = get_byte_vec(r)?;
+            let wire = packed.len();
+            Ok((lz4::decompress(&packed, raw_len)?, wire))
+        }
+        tag => Err(DecodeError::new(
+            at,
+            "state-blob codec tag 0..=1",
+            Found::Length(tag),
+        )),
+    }
+}
+
+fn encode_states(states: &[(u32, Vec<u8>)], w: &mut Writer, compress: bool) {
     w.put_u64(states.len() as u64);
     for (g, bytes) in states {
         w.put_u64(*g as u64);
-        put_byte_vec(w, bytes);
+        put_state_blob(w, bytes, compress);
     }
 }
 
@@ -419,7 +686,7 @@ fn decode_states(r: &mut Reader<'_>) -> Result<Vec<(u32, Vec<u8>)>, DecodeError>
     let mut states = Vec::new();
     for _ in 0..n {
         let g = r.get_u64()? as u32;
-        states.push((g, get_byte_vec(r)?));
+        states.push((g, get_state_blob(r)?.0));
     }
     Ok(states)
 }
@@ -509,7 +776,14 @@ fn wire_reply<T>(r: &mut Reader<'_>, out: Option<&WireOut>) -> Result<ReplyTo<T>
 /// reply channel in the correlator and returns its wire id; already-wire
 /// handles pass their id through unchanged (the controller relaying a
 /// worker-to-worker `Install` must preserve the originator's id).
-pub(crate) fn encode_msg(msg: &Msg, w: &mut Writer, reg: &mut dyn FnMut(Pending) -> u64) {
+/// `compress` applies LZ4 to state blobs (`Install` payloads and
+/// `Rollback` checkpoint states).
+pub(crate) fn encode_msg(
+    msg: &Msg,
+    w: &mut Writer,
+    compress: bool,
+    reg: &mut dyn FnMut(Pending) -> u64,
+) {
     match msg {
         Msg::DataBatch(batch) => {
             w.put_u64(0);
@@ -544,11 +818,12 @@ pub(crate) fn encode_msg(msg: &Msg, w: &mut Writer, reg: &mut dyn FnMut(Pending)
             op,
             bytes,
             done,
+            ..
         } => {
             w.put_u64(5);
             w.put_u64(kg.raw() as u64);
             w.put_u64(op.raw() as u64);
-            put_byte_vec(w, bytes);
+            put_state_blob(w, bytes, compress);
             w.put_u64(reply_id(done, reg, Pending::Extract));
         }
         Msg::EpochBarrier {
@@ -601,7 +876,7 @@ pub(crate) fn encode_msg(msg: &Msg, w: &mut Writer, reg: &mut dyn FnMut(Pending)
         }
         Msg::Rollback { states, ack } => {
             w.put_u64(13);
-            encode_states(states, w);
+            encode_states(states, w, compress);
             w.put_u64(reply_id(ack, reg, Pending::Ack));
         }
         Msg::Crash => w.put_u64(14),
@@ -651,12 +926,18 @@ pub(crate) fn decode_msg(r: &mut Reader<'_>, out: Option<&WireOut>) -> Result<Ms
             dest: NodeId::new(r.get_u64()? as u32),
             done: wire_reply(r, out)?,
         },
-        5 => Msg::Install {
-            kg: KeyGroupId::new(r.get_u64()? as u32),
-            op: OperatorId::new(r.get_u64()? as u32),
-            bytes: get_byte_vec(r)?,
-            done: wire_reply(r, out)?,
-        },
+        5 => {
+            let kg = KeyGroupId::new(r.get_u64()? as u32);
+            let op = OperatorId::new(r.get_u64()? as u32);
+            let (bytes, wire_bytes) = get_state_blob(r)?;
+            Msg::Install {
+                kg,
+                op,
+                bytes,
+                wire_bytes,
+                done: wire_reply(r, out)?,
+            }
+        }
         6 => {
             let epoch = r.get_u64()?;
             let n = r.get_u64()?;
@@ -728,21 +1009,78 @@ pub(crate) fn decode_msg(r: &mut Reader<'_>, out: Option<&WireOut>) -> Result<Ms
 
 // ---- Handshake & bootstrap codecs --------------------------------------
 
-/// `HELLO` body: magic + the node id the worker was launched for.
-pub(crate) fn encode_hello(node: NodeId) -> Vec<u8> {
+/// `HELLO` body: magic + the node id the worker was launched (or is
+/// joining) for + the shared-secret join token.
+pub(crate) fn encode_hello(node: NodeId, token: &str) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u64(WIRE_MAGIC);
     w.put_u64(node.raw() as u64);
+    w.put_str(token);
     w.into_bytes()
 }
 
-pub(crate) fn decode_hello(r: &mut Reader<'_>) -> Result<NodeId, DecodeError> {
+pub(crate) fn decode_hello(r: &mut Reader<'_>) -> Result<(NodeId, String), DecodeError> {
     let at = r.offset();
     let magic = r.get_u64()?;
     if magic != WIRE_MAGIC {
         return Err(DecodeError::new(at, "wire magic", Found::Length(magic)));
     }
-    Ok(NodeId::new(r.get_u64()? as u32))
+    let node = NodeId::new(r.get_u64()? as u32);
+    let token = r.get_str()?;
+    Ok((node, token))
+}
+
+/// A worker's `RESUME` request: re-attach to node `node`'s session after
+/// a socket death.
+pub(crate) struct ResumeMsg {
+    pub(crate) node: NodeId,
+    pub(crate) token: String,
+    /// The worker's contiguous inbound delivery mark — the controller
+    /// resends everything after it.
+    pub(crate) delivered: u64,
+    /// The routing version the worker last installed; the controller
+    /// tops the resumed stream up with a fresh snapshot if it moved on.
+    pub(crate) routing_version: u64,
+}
+
+pub(crate) fn encode_resume(msg: &ResumeMsg) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(WIRE_MAGIC);
+    w.put_u64(msg.node.raw() as u64);
+    w.put_str(&msg.token);
+    w.put_u64(msg.delivered);
+    w.put_u64(msg.routing_version);
+    w.into_bytes()
+}
+
+pub(crate) fn decode_resume(r: &mut Reader<'_>) -> Result<ResumeMsg, DecodeError> {
+    let at = r.offset();
+    let magic = r.get_u64()?;
+    if magic != WIRE_MAGIC {
+        return Err(DecodeError::new(at, "wire magic", Found::Length(magic)));
+    }
+    Ok(ResumeMsg {
+        node: NodeId::new(r.get_u64()? as u32),
+        token: r.get_str()?,
+        delivered: r.get_u64()?,
+        routing_version: r.get_u64()?,
+    })
+}
+
+/// `RESUMED` body: the controller's own delivery mark on the session.
+pub(crate) fn encode_resumed(delivered: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(delivered);
+    w.into_bytes()
+}
+
+pub(crate) fn decode_resumed(r: &mut Reader<'_>) -> Result<u64, DecodeError> {
+    r.get_u64()
+}
+
+/// `ACK` body: one cumulative ack.
+pub(crate) fn decode_ack(r: &mut Reader<'_>) -> Result<u64, DecodeError> {
+    r.get_u64()
 }
 
 /// One operator of the `INIT` bootstrap: the daemon rebuilds the
@@ -755,13 +1093,17 @@ pub(crate) struct InitOp {
 }
 
 /// The `INIT` bootstrap a daemon needs to become a worker: data-plane
-/// config, the operator network, and the initial routing table.
+/// config, the operator network, the initial routing table, and the
+/// session policy (reconnect schedule + compression) both peers must
+/// agree on.
 pub(crate) struct InitMsg {
     pub(crate) cfg: RuntimeConfig,
     pub(crate) ops: Vec<InitOp>,
     pub(crate) edges: Vec<(u32, u32)>,
     pub(crate) routing_version: u64,
     pub(crate) assignment: Vec<NodeId>,
+    pub(crate) compression: bool,
+    pub(crate) reconnect: ReconnectPolicy,
 }
 
 pub(crate) fn encode_init(init: &InitMsg, w: &mut Writer) {
@@ -790,6 +1132,11 @@ pub(crate) fn encode_init(init: &InitMsg, w: &mut Writer) {
     for n in &init.assignment {
         w.put_u64(n.raw() as u64);
     }
+    w.put_u64(init.compression as u64);
+    w.put_u64(init.reconnect.attempts as u64);
+    w.put_u64(init.reconnect.base_backoff.as_nanos() as u64);
+    w.put_u64(init.reconnect.max_backoff.as_nanos() as u64);
+    w.put_f64(init.reconnect.jitter);
 }
 
 pub(crate) fn decode_init(r: &mut Reader<'_>) -> Result<InitMsg, DecodeError> {
@@ -841,12 +1188,21 @@ pub(crate) fn decode_init(r: &mut Reader<'_>) -> Result<InitMsg, DecodeError> {
     for _ in 0..n {
         assignment.push(NodeId::new(r.get_u64()? as u32));
     }
+    let compression = r.get_u64()? != 0;
+    let reconnect = ReconnectPolicy {
+        attempts: r.get_u64()?.min(u32::MAX as u64) as u32,
+        base_backoff: std::time::Duration::from_nanos(r.get_u64()?),
+        max_backoff: std::time::Duration::from_nanos(r.get_u64()?),
+        jitter: r.get_f64()?.clamp(0.0, 1.0),
+    };
     Ok(InitMsg {
         cfg,
         ops,
         edges,
         routing_version,
         assignment,
+        compression,
+        reconnect,
     })
 }
 

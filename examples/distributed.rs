@@ -1,8 +1,14 @@
 //! Distributed: the quickstart job on real worker *processes* connected
 //! over loopback TCP — skewed load rebalanced with state migrations over
-//! the wire, then a SIGKILL of one worker process mid-run, recovered
-//! exactly-once from the latest checkpoint. Emits one TSV row per period
-//! (the bench binaries' format) and verifies the final counter totals.
+//! the wire, then a scripted mid-run fault, recovered exactly-once.
+//! Emits one TSV row per period (the bench binaries' format) and
+//! verifies the final counter totals.
+//!
+//! The fault defaults to a SIGKILL of one worker process (checkpoint
+//! recovery). With `--drop-socket` the fault is instead a severed
+//! connection: the process survives, the session resumes under the
+//! reconnect policy, and *no* recovery may fire. `--compress` turns on
+//! LZ4 wire compression for migrated state.
 //!
 //! The worker side is the stock `albic-worker` daemon built by this
 //! workspace (`cargo build --release` builds it alongside the example);
@@ -20,7 +26,7 @@ use albic::{NetConfig, TransportOptions};
 const NODES: usize = 3;
 const PERIODS: u64 = 5;
 const KEYS: u64 = 16;
-const KILL_AT: u64 = 2;
+const FAULT_AT: u64 = 2;
 
 /// Skewed per-key tuple counts: a few hot keys, deterministic.
 fn tuples_of(key: u64, period: u64) -> u64 {
@@ -51,6 +57,9 @@ fn worker_bin() -> PathBuf {
 }
 
 fn main() -> Result<(), JobError> {
+    let drop_socket = std::env::args().any(|a| a == "--drop-socket");
+    let compress = std::env::args().any(|a| a == "--compress");
+    let net = NetConfig::tcp(worker_bin()).compressed(compress);
     let mut job = Job::builder()
         .source("events", 4, Identity)
         .operator("count", 4, Counting)
@@ -59,18 +68,32 @@ fn main() -> Result<(), JobError> {
         .routing_all_on_first()
         .checkpoint_interval(1)
         .policy(Policy::milp())
-        .transport(TransportOptions::Net(NetConfig::tcp(worker_bin())))
+        .transport(TransportOptions::Net(net))
         .build_threaded()?;
+    let fault = if drop_socket {
+        "socket drop"
+    } else {
+        "SIGKILL"
+    };
     println!(
-        "# {NODES} worker processes over loopback TCP; SIGKILL of node 1 before period {KILL_AT}"
+        "# {NODES} worker processes over loopback TCP; {fault} on node 1 before period \
+         {FAULT_AT}; compression {}",
+        if compress { "on" } else { "off" }
     );
     println!("# period\ttuples\tcross\tdropped\tmigrations\tfailed_nodes\trestored_groups");
 
-    let mut faults = FaultInjector::new(FaultPlan::new().kill(KILL_AT, NodeId::new(1)));
+    let plan = if drop_socket {
+        FaultPlan::new().drop_socket(FAULT_AT, NodeId::new(1))
+    } else {
+        FaultPlan::new().kill(FAULT_AT, NodeId::new(1))
+    };
+    let mut faults = FaultInjector::new(plan);
     for p in 0..PERIODS {
         let killed = faults.advance(job.engine_mut());
         if !killed.is_empty() {
             eprintln!("(sent SIGKILL to the worker process of {killed:?})");
+        } else if drop_socket && p == FAULT_AT {
+            eprintln!("(severed the connection of node 1; the process survives)");
         }
         for k in 0..KEYS {
             let n = tuples_of(k, p);
@@ -91,10 +114,16 @@ fn main() -> Result<(), JobError> {
             entry.failed_nodes,
             entry.groups_restored,
         );
+        if drop_socket {
+            assert_eq!(
+                entry.failed_nodes, 0,
+                "a dropped socket resumed its session; recovery must not fire"
+            );
+        }
     }
 
     // Exactly-once verification: every injected tuple counted once,
-    // despite the wire migrations and the killed worker process.
+    // despite the wire migrations and the scripted fault.
     let rt = job.into_engine();
     let cnt = rt.topology().operator_by_name("count").expect("operator");
     let mut total = 0u64;
@@ -111,7 +140,7 @@ fn main() -> Result<(), JobError> {
             arr.copy_from_slice(&bytes[..8]);
             u64::from_le_bytes(arr)
         });
-        assert_eq!(got, expected, "group {g:?}: exactly-once after SIGKILL");
+        assert_eq!(got, expected, "group {g:?}: exactly-once after {fault}");
         total += got;
     }
     rt.shutdown();

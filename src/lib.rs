@@ -67,4 +67,4 @@ pub use albic_core::job;
 pub use albic_core::job::{Job, JobBuilder, JobError, JobSummary, Policy};
 pub use albic_engine::ReconfigMode;
 pub use albic_engine::{ChunkSorter, DataPlane, RuntimeConfig, StreamChunk};
-pub use albic_engine::{NetConfig, SocketKind, TransportOptions};
+pub use albic_engine::{NetConfig, ReconnectPolicy, SocketKind, TransportError, TransportOptions};

@@ -1,15 +1,21 @@
 //! Networked-transport integration: jobs whose workers are real child
 //! processes connected over TCP or Unix-domain sockets must behave
 //! exactly like the in-process substrate — including state migration
-//! over the wire and exactly-once recovery from a SIGKILLed worker
-//! process.
+//! over the wire, session resumption after a dropped socket (the process
+//! survives, so nothing may be lost or recovered), exactly-once recovery
+//! from a SIGKILLed worker process even under a generous reconnect
+//! policy, LZ4-compressed state blobs, and token-authenticated workers
+//! that join a controller they were not spawned by.
+
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 use albic::engine::fault::{FaultInjector, FaultPlan};
-use albic::engine::operator::{Counting, Identity};
+use albic::engine::operator::{Counting, Identity, PaddedCounting, PADDED_STATE_PAD};
 use albic::engine::tuple::{hash_key, Tuple, Value};
 use albic::job::{Job, JobBuilder, Policy};
 use albic::types::{KeyGroupId, NodeId};
-use albic::{NetConfig, SocketKind, TransportOptions};
+use albic::{NetConfig, ReconnectPolicy, SocketKind, TransportOptions};
 
 /// The stock worker daemon, built alongside this test by cargo.
 fn worker_bin() -> std::path::PathBuf {
@@ -17,9 +23,10 @@ fn worker_bin() -> std::path::PathBuf {
 }
 
 fn net(kind: SocketKind) -> TransportOptions {
-    TransportOptions::Net(NetConfig {
-        worker_cmd: worker_bin(),
-        kind,
+    TransportOptions::Net(match kind {
+        SocketKind::Tcp => NetConfig::tcp(worker_bin()),
+        #[cfg(unix)]
+        SocketKind::Uds => NetConfig::uds(worker_bin()),
     })
 }
 
@@ -36,11 +43,17 @@ fn two_stage(nodes: usize) -> JobBuilder {
         .policy(Policy::milp())
 }
 
-/// Run a 3-period skewed workload and return the final per-group counter
-/// values, keyed by counter key group.
-fn run_and_probe(builder: JobBuilder) -> Vec<(KeyGroupId, u64)> {
+/// Drive `builder` through `periods` rounds of the skewed workload while
+/// `plan` injects scripted faults, and return the final per-group counter
+/// values. Recovery must never fire: this runner is for fault plans
+/// (socket drops, or none at all) that the transport must absorb without
+/// declaring a worker dead.
+fn run_with_plan(builder: JobBuilder, plan: FaultPlan, periods: u64) -> Vec<(KeyGroupId, u64)> {
     let mut job = builder.build_threaded().expect("job starts");
-    for p in 0..3u64 {
+    let mut faults = FaultInjector::new(plan);
+    for p in 0..periods {
+        let killed = faults.advance(job.engine_mut());
+        assert!(killed.is_empty(), "this runner scripts no kills");
         for k in 0..12u64 {
             let n = 10 + (k * 3 + p) % 7;
             job.inject(
@@ -50,6 +63,11 @@ fn run_and_probe(builder: JobBuilder) -> Vec<(KeyGroupId, u64)> {
         }
         let report = job.step();
         assert!(report.apply.failed.is_empty(), "{:?}", report.apply.failed);
+        assert!(
+            report.recovery.failed.is_empty(),
+            "period {p}: a dropped socket is not a dead worker — recovery must not fire"
+        );
+        assert_eq!(report.stats.dropped_tuples, 0.0, "period {p}: no drops");
     }
     let rt = job.into_engine();
     let cnt = rt.topology().operator_by_name("count").unwrap();
@@ -72,15 +90,20 @@ fn run_and_probe(builder: JobBuilder) -> Vec<(KeyGroupId, u64)> {
     probed
 }
 
-/// What the counters must hold after `run_and_probe`'s workload: every
-/// injected tuple counted exactly once, grouped by the counter's key
-/// groups.
-fn expected_counts(groups: &[(KeyGroupId, u64)]) -> Vec<(KeyGroupId, u64)> {
+/// Run the 3-period workload fault-free.
+fn run_and_probe(builder: JobBuilder) -> Vec<(KeyGroupId, u64)> {
+    run_with_plan(builder, FaultPlan::new(), 3)
+}
+
+/// What the counters must hold after `periods` rounds of the workload:
+/// every injected tuple counted exactly once, grouped by the counter's
+/// key groups.
+fn expected_counts(groups: &[(KeyGroupId, u64)], periods: u64) -> Vec<(KeyGroupId, u64)> {
     let mut expect: Vec<(KeyGroupId, u64)> = groups.iter().map(|&(g, _)| (g, 0)).collect();
     // Reconstruct the counter group of each key with the same topology
     // declaration (4 groups at the counter, offset by the source's 4).
     for k in 0..12u64 {
-        let total: u64 = (0..3u64).map(|p| 10 + (k * 3 + p) % 7).sum();
+        let total: u64 = (0..periods).map(|p| 10 + (k * 3 + p) % 7).sum();
         let g = KeyGroupId::new(4 + (hash_key(&k) % 4) as u32);
         let slot = expect.iter_mut().find(|(eg, _)| *eg == g).unwrap();
         slot.1 += total;
@@ -93,7 +116,7 @@ fn expected_counts(groups: &[(KeyGroupId, u64)]) -> Vec<(KeyGroupId, u64)> {
 #[test]
 fn tcp_loopback_job_counts_exactly_once() {
     let probed = run_and_probe(two_stage(2).transport(net(SocketKind::Tcp)));
-    assert_eq!(probed, expected_counts(&probed));
+    assert_eq!(probed, expected_counts(&probed, 3));
     assert!(probed.iter().any(|&(_, n)| n > 0), "counters actually ran");
 }
 
@@ -102,18 +125,88 @@ fn tcp_loopback_job_counts_exactly_once() {
 #[test]
 fn uds_loopback_job_counts_exactly_once() {
     let probed = run_and_probe(two_stage(2).transport(net(SocketKind::Uds)));
-    assert_eq!(probed, expected_counts(&probed));
+    assert_eq!(probed, expected_counts(&probed, 3));
+    assert!(probed.iter().any(|&(_, n)| n > 0), "counters actually ran");
+}
+
+/// Socket death is not worker death: sever both workers' connections at
+/// scripted steps (the processes stay alive and keep their state). The
+/// sessions must resume over fresh sockets — no recovery, no checkpoint
+/// rollback — and the final counters must be bit-identical to the
+/// in-process oracle running the same workload.
+#[test]
+fn dropped_socket_resumes_session_with_exactly_once_counts() {
+    let oracle = run_and_probe(two_stage(2));
+    let mut job = two_stage(2)
+        .transport(net(SocketKind::Tcp))
+        .build_threaded()
+        .expect("job starts");
+    for p in 0..3u64 {
+        // Sever a live connection before periods 1 and 2 — right before
+        // the injections and the migration wave ride the link.
+        if p > 0 {
+            let node = NodeId::new((p % 2) as u32);
+            assert!(
+                job.engine_mut().drop_socket(node),
+                "period {p}: {node:?} had a live connection to sever"
+            );
+        }
+        for k in 0..12u64 {
+            let n = 10 + (k * 3 + p) % 7;
+            job.inject(
+                "events",
+                (0..n).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
+            );
+        }
+        let report = job.step();
+        assert!(report.apply.failed.is_empty(), "{:?}", report.apply.failed);
+        assert!(
+            report.recovery.failed.is_empty(),
+            "period {p}: a dropped socket is not a dead worker — recovery must not fire"
+        );
+        assert_eq!(report.stats.dropped_tuples, 0.0, "period {p}: no drops");
+    }
+    let rt = job.into_engine();
+    let cnt = rt.topology().operator_by_name("count").unwrap();
+    let probed: Vec<(KeyGroupId, u64)> = (0..rt.topology().num_key_groups())
+        .map(KeyGroupId::new)
+        .filter(|&g| rt.topology().operator_of_group(g) == cnt)
+        .map(|g| {
+            let count = rt.probe_state(g).map_or(0, |bytes| {
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(&bytes[..8]);
+                u64::from_le_bytes(arr)
+            });
+            (g, count)
+        })
+        .collect();
+    rt.shutdown();
+    assert_eq!(
+        probed, oracle,
+        "a resumed session must replay into bit-identical state"
+    );
     assert!(probed.iter().any(|&(_, n)| n > 0), "counters actually ran");
 }
 
 /// Process-kill fault injection: a [`FaultPlan`] in networked mode
-/// SIGKILLs the worker's OS process mid-job. Checkpoint rollback plus
+/// SIGKILLs the worker's OS process mid-job — under a *generous*
+/// reconnect policy, which must not help, because the process (and its
+/// state) is actually gone. The transport must refuse to wait out the
+/// policy for a worker it killed itself, and checkpoint rollback plus
 /// replay must still deliver exactly-once counts, deterministically.
 #[test]
 fn sigkilled_worker_process_recovers_exactly_once() {
+    let generous = ReconnectPolicy {
+        attempts: 32,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        jitter: 0.5,
+    };
     let mut job = two_stage(3)
         .checkpoint_interval(1)
-        .transport(net(SocketKind::Tcp))
+        .transport(TransportOptions::Net(
+            NetConfig::tcp(worker_bin()).reconnect(generous),
+        ))
         .build_threaded()
         .expect("job starts");
     let mut faults = FaultInjector::new(FaultPlan::new().kill(2, NodeId::new(1)));
@@ -156,8 +249,119 @@ fn sigkilled_worker_process_recovers_exactly_once() {
     rt.shutdown();
 }
 
-/// A worker command that cannot launch must fail the build with a clear
-/// error, not hang or panic.
+/// Wire compression: the same job with LZ4 state compression on must
+/// produce identical counts, and the migration accounting must show the
+/// compressible state costing far fewer bytes on the wire than raw.
+#[test]
+fn compressed_state_migration_counts_exactly_once_and_shrinks() {
+    let padded = |nodes: usize| {
+        Job::builder()
+            .source("events", 4, Identity)
+            .operator("count", 4, PaddedCounting)
+            .edge("events", "count")
+            .nodes(nodes)
+            .routing_all_on_first()
+            .policy(Policy::milp())
+    };
+    let mut job = padded(2)
+        .transport(TransportOptions::Net(
+            NetConfig::tcp(worker_bin()).compressed(true),
+        ))
+        .build_threaded()
+        .expect("job starts");
+    let (mut state_bytes, mut wire_bytes) = (0usize, 0usize);
+    for p in 0..3u64 {
+        for k in 0..12u64 {
+            let n = 10 + (k * 3 + p) % 7;
+            job.inject(
+                "events",
+                (0..n).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
+            );
+        }
+        let report = job.step();
+        assert!(report.apply.failed.is_empty(), "{:?}", report.apply.failed);
+        state_bytes += report.apply.total_state_bytes();
+        wire_bytes += report.apply.total_wire_bytes();
+    }
+    let rt = job.into_engine();
+    let cnt = rt.topology().operator_by_name("count").unwrap();
+    let probed: Vec<(KeyGroupId, u64)> = (0..rt.topology().num_key_groups())
+        .map(KeyGroupId::new)
+        .filter(|&g| rt.topology().operator_of_group(g) == cnt)
+        .map(|g| {
+            let count = rt.probe_state(g).map_or(0, |bytes| {
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(&bytes[..8]);
+                u64::from_le_bytes(arr)
+            });
+            (g, count)
+        })
+        .collect();
+    rt.shutdown();
+    assert_eq!(probed, expected_counts(&probed, 3));
+    assert!(
+        state_bytes > PADDED_STATE_PAD,
+        "the padded counter must actually have migrated ({state_bytes} state bytes)"
+    );
+    assert!(
+        wire_bytes < state_bytes / 4,
+        "LZ4 must crush the 16 KiB constant padding: {wire_bytes} wire vs {state_bytes} raw"
+    );
+}
+
+/// Kill a daemon process when the test is done with it (pass or panic).
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Launch a worker daemon pointed at `addr` the way an operator would on
+/// another machine: environment only, no controller-side spawn.
+fn spawn_daemon(addr: &str, node: u32, token: &str) -> KillOnDrop {
+    KillOnDrop(
+        Command::new(worker_bin())
+            .env("ALBIC_WORKER_CONNECT", addr)
+            .env("ALBIC_WORKER_NODE", node.to_string())
+            .env("ALBIC_WORKER_TOKEN", token)
+            .stdin(Stdio::null())
+            .spawn()
+            .expect("daemon launches"),
+    )
+}
+
+/// Join mode: the controller spawns nothing. Externally launched daemons
+/// dial in and authenticate with the shared token; a rogue daemon with
+/// the wrong token is turned away and must not poison the slot it tried
+/// to claim. The joined fabric then runs the workload exactly-once.
+#[cfg(unix)]
+#[test]
+fn externally_launched_workers_join_with_token_auth() {
+    let sock = std::env::temp_dir().join(format!("albic-join-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let addr = format!("uds:{}", sock.display());
+    let token = "fabric-join-secret";
+
+    // The rogue goes first, aiming at node 0 with a bad token.
+    let _rogue = spawn_daemon(&addr, 0, "not-the-secret");
+    let _workers: Vec<KillOnDrop> = (0..2u32).map(|n| spawn_daemon(&addr, n, token)).collect();
+
+    let cfg = NetConfig::uds(worker_bin())
+        .listen_on(sock.display().to_string())
+        .with_token(token)
+        .joinable(2)
+        .join_deadline(Duration::from_secs(20));
+    let probed = run_and_probe(two_stage(2).transport(TransportOptions::Net(cfg)));
+    assert_eq!(probed, expected_counts(&probed, 3));
+    assert!(probed.iter().any(|&(_, n)| n > 0), "counters actually ran");
+}
+
+/// A worker command that cannot launch must fail cleanly — the spawn
+/// failure degrades that node to the crashed-worker path (no panic, no
+/// hang), and building still returns.
 #[test]
 fn unlaunchable_worker_binary_fails_cleanly() {
     let result = two_stage(2)
