@@ -2,30 +2,34 @@
 //! default: wall-clock recovery latency is machine-dependent, so it
 //! only appears behind the `--timings` flag. Two full runs of the
 //! experiment — real threaded runtimes, real scripted kills — must
-//! render to the identical TSV, and that TSV must not contain a
-//! wall-clock column.
+//! render to the identical TSVs, and those TSVs must not contain a
+//! wall-clock column. Both tables are covered: the interval sweep and
+//! the large-state full-vs-incremental comparison.
 
 use albic_bench::experiments::fig_recovery;
 
 #[test]
-fn default_recovery_table_is_byte_deterministic() {
+fn default_recovery_tables_are_byte_deterministic() {
     let first = fig_recovery(true, false);
     let second = fig_recovery(true, false);
-    assert_eq!(first.len(), 1);
-    let (name, table) = &first[0];
-    assert_eq!(name, "fig_recovery");
-    assert!(
-        !table.header.iter().any(|h| h == "recovery_ms"),
-        "the default table must exclude wall-clock columns: {:?}",
-        table.header
-    );
-    assert_eq!(
-        table.to_tsv(),
-        second[0].1.to_tsv(),
-        "two runs must render byte-identical TSVs"
-    );
+    assert_eq!(first.len(), 2);
+    assert_eq!(first[0].0, "fig_recovery");
+    assert_eq!(first[1].0, "fig_recovery_large_state");
+    for ((name, table), (_, again)) in first.iter().zip(second.iter()) {
+        assert!(
+            !table.header.iter().any(|h| h == "recovery_ms"),
+            "the default {name} table must exclude wall-clock columns: {:?}",
+            table.header
+        );
+        assert_eq!(
+            table.to_tsv(),
+            again.to_tsv(),
+            "two runs must render byte-identical {name} TSVs"
+        );
+    }
     // The deterministic content itself: the replayed delta grows with
     // the checkpoint interval (the trade-off the figure plots).
+    let table = &first[0].1;
     let replayed: Vec<f64> = table
         .rows
         .iter()
@@ -38,20 +42,31 @@ fn default_recovery_table_is_byte_deterministic() {
         })
         .collect();
     assert!(replayed.windows(2).all(|w| w[0] <= w[1]), "{replayed:?}");
+    // And the large-state claim: the incremental row (second) captures
+    // far fewer steady-state bytes than the full row, and only it
+    // spills cold groups.
+    let large = &first[1].1;
+    let col = |h: &str| large.header.iter().position(|x| x == h).unwrap();
+    let full = &large.rows[0];
+    let incr = &large.rows[1];
+    assert!(incr[col("steady_capture_bytes")] * 4.0 < full[col("steady_capture_bytes")]);
+    assert_eq!(full[col("spilled_groups")], 0.0);
+    assert!(incr[col("spilled_groups")] > 0.0);
 }
 
 #[test]
 fn timings_flag_appends_the_wall_clock_column() {
     let tables = fig_recovery(true, true);
-    let table = &tables[0].1;
-    assert_eq!(
-        table.header.last().map(String::as_str),
-        Some("recovery_ms"),
-        "--timings must append recovery_ms last, after the deterministic columns"
-    );
-    let idx = table.header.len() - 1;
-    assert!(
-        table.rows.iter().all(|r| r[idx] > 0.0),
-        "a scripted kill always takes measurable wall-clock to recover"
-    );
+    for (name, table) in &tables {
+        assert_eq!(
+            table.header.last().map(String::as_str),
+            Some("recovery_ms"),
+            "--timings must append recovery_ms last in {name}, after the deterministic columns"
+        );
+        let idx = table.header.len() - 1;
+        assert!(
+            table.rows.iter().all(|r| r[idx] > 0.0),
+            "a scripted kill always takes measurable wall-clock to recover ({name})"
+        );
+    }
 }

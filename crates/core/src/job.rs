@@ -37,8 +37,10 @@
 //! available for advanced wiring.
 
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::sync::Arc;
 
+use albic_engine::checkpoint::{CheckpointMode, SpillConfig};
 use albic_engine::operator::Operator;
 use albic_engine::reconfig::NoopPolicy;
 use albic_engine::runtime::{DataPlane, Injector, Runtime, RuntimeConfig};
@@ -136,6 +138,18 @@ pub enum JobError {
     /// The configured [`JobBuilder::transport`] backend failed to come
     /// up (listener bind, worker launch, or handshake error).
     TransportFailed(String),
+    /// [`JobBuilder::checkpoint_mode`] selected
+    /// [`CheckpointMode::Incremental`] but checkpointing is disabled
+    /// ([`JobBuilder::checkpoint_interval`] is 0) — the mode would be
+    /// silently inert.
+    IncrementalNeedsCheckpointing,
+    /// [`JobBuilder::spill_dir`] was set without
+    /// [`CheckpointMode::Incremental`]: the spill tier lives in the
+    /// incremental store, so full-snapshot mode would silently ignore it.
+    SpillRequiresIncremental,
+    /// [`JobBuilder::cold_after`] was set to 0 with a spill directory
+    /// configured — every group would spill at the first capture.
+    SpillNeedsColdAfter,
 }
 
 impl std::fmt::Display for JobError {
@@ -193,6 +207,18 @@ impl std::fmt::Display for JobError {
                 "Policy::{option} does not apply to the {policy:?} preset and would be silently ignored; remove it"
             ),
             JobError::TransportFailed(e) => write!(f, "transport failed to start: {e}"),
+            JobError::IncrementalNeedsCheckpointing => write!(
+                f,
+                "checkpoint_mode(Incremental) needs checkpointing enabled; call .checkpoint_interval(n) with n > 0"
+            ),
+            JobError::SpillRequiresIncremental => write!(
+                f,
+                "spill_dir requires checkpoint_mode(Incremental); the full-snapshot store has no spill tier"
+            ),
+            JobError::SpillNeedsColdAfter => write!(
+                f,
+                "cold_after must be > 0 when a spill directory is configured"
+            ),
         }
     }
 }
@@ -486,6 +512,9 @@ pub struct JobBuilder {
     runtime: RuntimeConfig,
     transport: TransportOptions,
     checkpoint_interval: u64,
+    checkpoint_mode: CheckpointMode,
+    spill_dir: Option<PathBuf>,
+    cold_after: u64,
     replay_log_capacity: usize,
     reconfig_mode: ReconfigMode,
 }
@@ -503,6 +532,9 @@ impl Default for JobBuilder {
             runtime: RuntimeConfig::default(),
             transport: TransportOptions::default(),
             checkpoint_interval: 0,
+            checkpoint_mode: CheckpointMode::Full,
+            spill_dir: None,
+            cold_after: 4,
             replay_log_capacity: albic_engine::runtime::DEFAULT_REPLAY_LOG_CAPACITY,
             reconfig_mode: ReconfigMode::Quiesce,
         }
@@ -651,16 +683,48 @@ impl JobBuilder {
     }
 
     /// Enable checkpoint-based failure recovery: capture a period-aligned
-    /// snapshot of every key group's state at each `interval`-th period
-    /// boundary (and, on the threaded runtime, keep a bounded inject-side
-    /// replay log), so a crashed worker's groups are restored onto
-    /// survivors with exactly-once semantics. `0` (the default) disables
+    /// snapshot of key-group state at each `interval`-th period boundary
+    /// (and, on the threaded runtime, keep a bounded inject-side replay
+    /// log), so a crashed worker's groups are restored onto survivors
+    /// with exactly-once semantics. `0` (the default) disables
     /// checkpointing — a crash then recovers availability only, with
-    /// state restarting empty. Interval `1` additionally keeps
-    /// post-recovery statistics measurement-exact (larger intervals
-    /// honestly re-measure the replayed work).
+    /// state restarting empty. Post-recovery statistics are
+    /// measurement-exact at *any* interval: replay log entries are tagged
+    /// with their period, so recovery re-injects prior-period entries
+    /// unmeasured and only the failed period's own tail counts.
     pub fn checkpoint_interval(mut self, interval: u64) -> Self {
         self.checkpoint_interval = interval;
+        self
+    }
+
+    /// How checkpoints are captured: [`CheckpointMode::Full`] (the
+    /// default) snapshots every group's state at each capture;
+    /// [`CheckpointMode::Incremental`] keeps per-group base images plus
+    /// bounded delta layers, so a capture costs O(changed state) — the
+    /// store compacts the layers into the base every
+    /// [`albic_engine::checkpoint::DEFAULT_MAX_DELTA_LAYERS`] captures.
+    /// Incremental mode requires [`JobBuilder::checkpoint_interval`] > 0.
+    pub fn checkpoint_mode(mut self, mode: CheckpointMode) -> Self {
+        self.checkpoint_mode = mode;
+        self
+    }
+
+    /// Enable the cold-state spill tier (incremental mode only): key
+    /// groups untouched for [`JobBuilder::cold_after`] captures serialize
+    /// to one file each under `dir`, leave memory, and are faulted back
+    /// in on access or recovery — total state may exceed memory, and
+    /// recovery ships only the hot set (sublinear in total state). With a
+    /// networked transport the directory must be on a filesystem shared
+    /// by coordinator and workers.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// How many captures without traffic make a key group cold enough to
+    /// spill (default 4). Only meaningful with [`JobBuilder::spill_dir`].
+    pub fn cold_after(mut self, captures: u64) -> Self {
+        self.cold_after = captures;
         self
     }
 
@@ -824,6 +888,25 @@ impl JobBuilder {
         Ok((topology, cluster, routing, policy, self.cost))
     }
 
+    /// Validate the checkpoint knobs against each other and resolve the
+    /// spill tier configuration.
+    fn checkpoint_config(&self) -> Result<(CheckpointMode, Option<SpillConfig>), JobError> {
+        if self.checkpoint_mode == CheckpointMode::Incremental && self.checkpoint_interval == 0 {
+            return Err(JobError::IncrementalNeedsCheckpointing);
+        }
+        if self.spill_dir.is_some() && self.checkpoint_mode != CheckpointMode::Incremental {
+            return Err(JobError::SpillRequiresIncremental);
+        }
+        if self.spill_dir.is_some() && self.cold_after == 0 {
+            return Err(JobError::SpillNeedsColdAfter);
+        }
+        let spill = self.spill_dir.clone().map(|dir| SpillConfig {
+            dir,
+            cold_after: self.cold_after,
+        });
+        Ok((self.checkpoint_mode, spill))
+    }
+
     /// Validate and launch the job on the multi-threaded runtime (one
     /// live worker thread per node, real state migration).
     pub fn build_threaded(self) -> Result<Job<Runtime>, JobError> {
@@ -831,6 +914,7 @@ impl JobBuilder {
         let transport = self.transport.clone();
         let (checkpoint, log_capacity) = (self.checkpoint_interval, self.replay_log_capacity);
         let mode = self.reconfig_mode;
+        let (ckpt_mode, spill) = self.checkpoint_config()?;
         let (topology, cluster, routing, policy, cost) = self.prepare(None)?;
         let topology = topology.expect("prepare rejects threaded jobs without a topology");
         let mut engine =
@@ -838,6 +922,7 @@ impl JobBuilder {
                 .map_err(|e| JobError::TransportFailed(e.to_string()))?;
         if checkpoint > 0 {
             engine.configure_recovery(checkpoint, log_capacity);
+            engine.configure_checkpointing(ckpt_mode, spill);
         }
         engine.set_reconfig_mode(mode);
         Ok(Job {
@@ -856,9 +941,12 @@ impl JobBuilder {
         let groups = workload.num_groups();
         let checkpoint = self.checkpoint_interval;
         let mode = self.reconfig_mode;
+        let cold_after = self.cold_after;
+        let (ckpt_mode, spill) = self.checkpoint_config()?;
         let (_topology, cluster, routing, policy, cost) = self.prepare(Some(groups))?;
         let mut engine = SimEngine::new(workload, cluster, routing, cost);
         engine.set_checkpoint_interval(checkpoint);
+        engine.set_checkpointing(ckpt_mode, cold_after, spill.is_some());
         engine.set_reconfig_mode(mode);
         Ok(Job {
             ctl: Controller::new(engine),
@@ -912,6 +1000,13 @@ pub struct JobSummary {
     pub total_tuples_replayed: f64,
     /// Total seconds spent in recovery.
     pub total_recovery_secs: f64,
+    /// Total bytes captured by checkpoints over the run — in incremental
+    /// mode this is O(changed state) per capture, not O(total state).
+    pub total_checkpoint_bytes: u64,
+    /// Largest un-compacted delta-layer footprint any period reported.
+    pub max_delta_bytes: u64,
+    /// Most key groups any period held on the cold-state spill tier.
+    pub max_spilled_groups: usize,
     /// The raw per-period records (loads, migrations, node counts).
     pub records: Vec<PeriodRecord>,
 }
@@ -936,6 +1031,9 @@ impl JobSummary {
             total_groups_restored: records.iter().map(|r| r.groups_restored).sum(),
             total_tuples_replayed: records.iter().map(|r| r.tuples_replayed).sum(),
             total_recovery_secs: records.iter().map(|r| r.recovery_secs).sum(),
+            total_checkpoint_bytes: records.iter().map(|r| r.checkpoint_bytes).sum(),
+            max_delta_bytes: records.iter().map(|r| r.delta_bytes).max().unwrap_or(0),
+            max_spilled_groups: records.iter().map(|r| r.spilled_groups).max().unwrap_or(0),
             records: records.to_vec(),
         }
     }

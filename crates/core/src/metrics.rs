@@ -91,6 +91,9 @@ mod tests {
             groups_restored: 0,
             tuples_replayed: 0.0,
             recovery_secs: 0.0,
+            checkpoint_bytes: 0,
+            delta_bytes: 0,
+            spilled_groups: 0,
         }
     }
 

@@ -53,6 +53,11 @@ pub struct RecoveryReport {
     /// recovery ran from the implicit empty initial checkpoint (or with
     /// checkpointing disabled).
     pub checkpoint_period: Option<u64>,
+    /// Key groups whose checkpoint image stayed on the spill tier through
+    /// the rollback: they were *not* shipped eagerly — workers fault them
+    /// in from their files on first access, which is what keeps recovery
+    /// time sublinear in total state.
+    pub groups_spilled: usize,
     /// Wall-clock seconds the recovery took — measured on the threaded
     /// runtime, modeled (restore cost of the lost state, via the same
     /// `mc_k = α·|σ_k|` migration cost model) on the simulator.

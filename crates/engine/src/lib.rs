@@ -19,6 +19,10 @@
 //! * [`cost`] — the load/cost model: processing cost, cross-node
 //!   serialization/deserialization cost (what collocation saves), the
 //!   migration cost model `mc_k = α·|σ_k|`.
+//! * [`checkpoint`] — the incremental, log-structured checkpoint store:
+//!   per-key-group base images plus bounded delta layers compacted at
+//!   period boundaries, with a spill tier for cold key groups so total
+//!   state can exceed memory.
 //! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`] /
 //!   [`fault::FaultInjector`]) and the recovery vocabulary: recovery
 //!   shares the migration machinery (checkpointed state restored through
@@ -79,6 +83,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod chunk;
 pub mod cluster;
 pub mod codec;
@@ -96,6 +101,7 @@ pub mod topology;
 pub mod transport;
 pub mod tuple;
 
+pub use checkpoint::{CheckpointMode, CheckpointStore, SpillConfig};
 pub use chunk::{ChunkEmissions, ChunkSlice, ChunkSorter, StreamChunk};
 pub use cluster::{Cluster, NodeInfo};
 pub use cost::CostModel;

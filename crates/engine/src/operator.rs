@@ -113,6 +113,16 @@ pub trait Operator: Send + Sync {
     /// windows flush aggregates here.
     fn on_period_end(&self, _state: &mut StateBox, _out: &mut Emissions) {}
 
+    /// Whether [`Operator::on_period_end`] mutates the state it is given.
+    /// Operators whose period flush clears or rewrites state (window
+    /// operators) must return `true`, or incremental checkpoints would
+    /// miss the flush-time change; the default (`false`) matches a pure
+    /// emit-only or no-op flush and keeps untouched groups eligible to go
+    /// cold on the spill tier.
+    fn period_end_mutates(&self) -> bool {
+        false
+    }
+
     /// Relative CPU cost of processing one tuple (1.0 = baseline). Feeds
     /// the load model so heavy operators produce hotter key groups.
     fn cost_per_tuple(&self) -> f64 {

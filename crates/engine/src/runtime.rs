@@ -106,14 +106,27 @@
 //! and replays the logged delta. Final states are bit-equal to a
 //! fault-free run's (exactly-once across recovery); the accounting
 //! (groups restored, tuples replayed, recovery seconds) lands in the next
-//! [`PeriodRecord`]. At checkpoint interval 1 the rollback also rewinds
-//! the period's counters, so post-recovery statistics count each logical
-//! tuple exactly once and the policies see the failure only as a smaller
-//! cluster — reconfiguration and recovery literally share the plan
-//! executor. At larger intervals the replayed (re-done) work of earlier
-//! periods is measured again, which the statistics honestly reflect.
+//! [`PeriodRecord`]. The rollback rewinds period statistics to the
+//! checkpoint at *any* interval: log entries are tagged with the period
+//! they were injected in, replay re-measures only the entries of
+//! already-closed periods and discards their re-measured stats before
+//! re-injecting the current period's tail — so post-recovery statistics
+//! count each logical tuple exactly once and the policies see the
+//! failure only as a smaller cluster, regardless of the checkpoint
+//! cadence.
+//!
+//! Checkpoints themselves come in two flavors ([`CheckpointMode`]): the
+//! default full snapshot, and an **incremental log-structured store**
+//! ([`crate::checkpoint`]) where each capture serializes only the key
+//! groups written since the previous one (worker-side dirty sets),
+//! stacked as delta layers over a base image and compacted at period
+//! boundaries — capture cost O(changed state). With a
+//! [`SpillConfig`], key groups cold for `cold_after` periods move to
+//! disk and are faulted back in on access, so total state can exceed
+//! memory and a recovery rollback ships only the hot set eagerly.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -124,6 +137,7 @@ use parking_lot::{Mutex, RwLock};
 
 use albic_types::{KeyGroupId, NodeId, OperatorId, PeriodClock};
 
+use crate::checkpoint::{CheckpointMode, CheckpointStore, SpillConfig};
 use crate::chunk::{ChunkEmissions, ChunkSlice, ChunkSorter, StreamChunk};
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
@@ -277,12 +291,28 @@ struct ReplayLog {
     gate: RwLock<()>,
 }
 
+/// Past this multiple of the configured capacity the log hard-stops
+/// appending and truncates. With checkpointing on, hitting the *soft*
+/// capacity forces an early checkpoint at the next period boundary (which
+/// clears the log), so this ceiling is only reachable if captures keep
+/// being abandoned — a memory backstop, not a normal operating regime.
+const REPLAY_LOG_HARD_FACTOR: usize = 8;
+
 #[derive(Default)]
 struct ReplayLogInner {
-    entries: Vec<(OperatorId, Tuple)>,
+    /// `(inject period, operator, tuple)` — the period tag is what lets
+    /// recovery re-measure only the entries belonging to already-closed
+    /// periods and discard the re-measured stats of the current one, so
+    /// post-recovery period stats are bit-equal to a fault-free run at
+    /// any checkpoint interval. Entries are period-monotonic.
+    entries: Vec<(u64, OperatorId, Tuple)>,
     capacity: usize,
-    /// Tuples that arrived after the log filled: they cannot be replayed,
-    /// so a recovery surfaces them as dropped.
+    /// The period currently being injected into (bumped at each boundary).
+    period: u64,
+    /// Tuples dropped past the hard ceiling: they cannot be replayed, so
+    /// a recovery surfaces them as dropped. Stays 0 whenever checkpoint
+    /// captures succeed, because overflow now forces an early capture
+    /// instead of truncating.
     truncated: u64,
 }
 
@@ -308,22 +338,48 @@ impl ReplayLog {
     }
 
     /// Append one injected chunk (called before delivery, so a tuple that
-    /// ends up in a dead worker's channel is already recoverable).
+    /// ends up in a dead worker's channel is already recoverable). The
+    /// configured capacity is *soft*: the runtime checks
+    /// [`ReplayLog::over_capacity`] at every period boundary and forces an
+    /// early checkpoint (clearing the log) instead of losing the delta —
+    /// only the hard ceiling truncates.
     fn record<'a>(&self, op: OperatorId, tuples: impl Iterator<Item = &'a Tuple>) {
         let mut inner = self.inner.lock();
+        let hard = inner.capacity.saturating_mul(REPLAY_LOG_HARD_FACTOR);
+        let period = inner.period;
         for tuple in tuples {
-            if inner.entries.len() < inner.capacity {
-                inner.entries.push((op, tuple.clone()));
+            if inner.entries.len() < hard {
+                inner.entries.push((period, op, tuple.clone()));
             } else {
                 inner.truncated += 1;
             }
         }
     }
 
+    /// Whether the log has reached its soft capacity — the runtime's cue
+    /// to pull the next checkpoint forward to the current boundary.
+    fn over_capacity(&self) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let inner = self.inner.lock();
+        inner.entries.len() >= inner.capacity
+    }
+
     /// Entries and overflow count, for replay.
-    fn snapshot(&self) -> (Vec<(OperatorId, Tuple)>, u64) {
+    fn snapshot(&self) -> (Vec<(u64, OperatorId, Tuple)>, u64) {
         let inner = self.inner.lock();
         (inner.entries.clone(), inner.truncated)
+    }
+
+    /// The period new injections are tagged with.
+    fn current_period(&self) -> u64 {
+        self.inner.lock().period
+    }
+
+    /// Advance the injection period tag (called at each period boundary).
+    fn set_period(&self, period: u64) {
+        self.inner.lock().period = period;
     }
 
     /// Forget everything (a fresh checkpoint covers it now).
@@ -332,16 +388,6 @@ impl ReplayLog {
         inner.entries.clear();
         inner.truncated = 0;
     }
-}
-
-/// A period-aligned snapshot of every key group's serialized state,
-/// captured while the data plane is quiesced — the restore source for
-/// [`Runtime::recover`].
-struct Checkpoint {
-    /// The period at whose end the snapshot was taken.
-    period: u64,
-    /// `(key group, serialized state)`, sorted by group id.
-    states: Vec<(u32, Vec<u8>)>,
 }
 
 /// Recovery accounting accumulated between period boundaries, folded into
@@ -684,19 +730,37 @@ pub(crate) enum Msg {
         kg: KeyGroupId,
         reply: ReplyTo<Option<Vec<u8>>>,
     },
-    /// Serialize every local key-group state (checkpoint capture). Sent
-    /// at period boundaries while the data plane is quiesced.
+    /// Serialize local key-group state (checkpoint capture). Sent at
+    /// period boundaries while the data plane is quiesced. With
+    /// `delta_only` set, only groups written since the previous capture
+    /// are serialized (the worker's dirty set); a full capture also
+    /// reads back the raw bytes of worker-spilled groups so the image is
+    /// complete. Either way the dirty set is drained by the capture.
     SnapshotStates {
+        delta_only: bool,
         reply: ReplyTo<(NodeId, Vec<(u32, Vec<u8>)>)>,
     },
     /// Reset to a checkpoint: drop all states, buffers and period
     /// counters, then install the given serialized states through the
-    /// same install path a migration [`Msg::Install`] uses. The
-    /// inject-side log replays the discarded delta afterwards.
+    /// same install path a migration [`Msg::Install`] uses. `spilled`
+    /// lists the cold groups whose images stay on disk under `spill_dir`
+    /// — the worker faults those in lazily on first access instead of
+    /// installing them eagerly, which keeps rollback cost sublinear in
+    /// total state. The inject-side log replays the discarded delta
+    /// afterwards.
     Rollback {
         states: Vec<(u32, Vec<u8>)>,
+        spilled: Vec<u32>,
+        spill_dir: Option<String>,
         ack: ReplyTo<()>,
     },
+    /// Drop the in-memory copy of cold key groups whose checkpoint image
+    /// now lives as a file under `dir` (the coordinator's spill tier).
+    /// The worker keeps any group it has written since the last capture
+    /// (its file would be stale) and faults dropped groups back in from
+    /// their files on next access. Carries the full current spilled set,
+    /// so a missed message is healed by the next one.
+    SpillGroups { dir: String, groups: Vec<u32> },
     /// Abrupt worker death (fault injection): exit immediately, dropping
     /// all per-group state, without draining the inbox tail or flushing
     /// the outbox — a crash, not a shutdown.
@@ -775,6 +839,18 @@ pub(crate) struct WorkerCtx {
     /// `on_data` recursion, kept iterative).
     chunk_worklist: Vec<StreamChunk>,
     stats: StatsCollector,
+    /// Key groups written since the last checkpoint capture — what an
+    /// incremental [`Msg::SnapshotStates`] serializes. Populated on every
+    /// state-mutating path (process, install, mutating period-end flush)
+    /// and drained by captures; costs one fast-hash insert per write.
+    dirty: FastMap<u32, ()>,
+    /// Key groups whose newest checkpoint image lives on the spill tier
+    /// instead of in this worker's memory. A data tuple, probe or extract
+    /// for one of these faults the state back in from its file first.
+    spilled: FastMap<u32, ()>,
+    /// Where the spill files live (set by the first [`Msg::SpillGroups`]
+    /// or [`Msg::Rollback`] that carries a directory).
+    spill_dir: Option<PathBuf>,
     /// Set by [`Msg::Crash`]: die without the graceful-shutdown drain.
     crashed: bool,
     /// Set on a networked worker daemon: the socket uplink every
@@ -829,6 +905,9 @@ impl WorkerCtx {
             emit_sorter: ChunkSorter::default(),
             chunk_worklist: Vec::new(),
             stats: StatsCollector::new(),
+            dirty: FastMap::default(),
+            spilled: FastMap::default(),
+            spill_dir: None,
             crashed: false,
             uplink,
         }
@@ -1001,14 +1080,21 @@ impl WorkerCtx {
             }
             Msg::ProbeState { kg, reply } => {
                 let op = self.topology.operator_of_group(kg);
+                self.ensure_resident(kg, op);
                 let logic = Arc::clone(&self.topology.operator(op).logic);
                 let bytes = self.states.get(&kg.raw()).map(|s| logic.serialize_state(s));
                 let _ = reply.send(bytes);
             }
-            Msg::SnapshotStates { reply } => {
-                let _ = reply.send((self.node, self.snapshot_states()));
+            Msg::SnapshotStates { delta_only, reply } => {
+                let states = self.snapshot_states(delta_only);
+                let _ = reply.send((self.node, states));
             }
-            Msg::Rollback { states, ack } => {
+            Msg::Rollback {
+                states,
+                spilled,
+                spill_dir,
+                ack,
+            } => {
                 // Back to the checkpoint: every post-checkpoint state,
                 // buffered tuple and period counter on this worker is
                 // discarded (the inject-side log replays the delta), then
@@ -1030,7 +1116,37 @@ impl WorkerCtx {
                     let op = self.topology.operator_of_group(kg);
                     self.install_state(kg, op, &bytes);
                 }
+                // Cold groups are not installed eagerly: the worker only
+                // remembers they live on the spill tier and faults each
+                // one in from its file on first access.
+                if let Some(dir) = spill_dir {
+                    self.spill_dir = Some(PathBuf::from(dir));
+                }
+                self.spilled.clear();
+                for g in spilled {
+                    self.spilled.insert(g, ());
+                }
+                // Post-rollback content equals the checkpoint image by
+                // construction, so nothing is dirty relative to it.
+                self.dirty.clear();
                 let _ = ack.send(());
+            }
+            Msg::SpillGroups { dir, groups } => {
+                self.spill_dir = Some(PathBuf::from(dir));
+                // Full-set semantics: the worker's spill view is replaced
+                // wholesale, so a previously missed message heals here.
+                self.spilled.clear();
+                for g in groups {
+                    // Dirty guard: this worker's copy is newer than the
+                    // spill file (written at the last capture), so the
+                    // in-memory state must survive until the next capture
+                    // picks it up and the coordinator re-spills it.
+                    if self.dirty.contains_key(&g) {
+                        continue;
+                    }
+                    self.states.remove(&g);
+                    self.spilled.insert(g, ());
+                }
             }
             // Intercepted before the outbox flush above.
             Msg::Crash => return false,
@@ -1045,11 +1161,42 @@ impl WorkerCtx {
 
     /// The shared install path: rebuild a key group's state from
     /// serialized bytes — migration [`Msg::Install`] and checkpoint
-    /// [`Msg::Rollback`] both restore state through here.
+    /// [`Msg::Rollback`] both restore state through here. An install
+    /// marks the group dirty: from the checkpoint store's point of view a
+    /// migrated-in group changed homes, and over-capturing an unchanged
+    /// blob once is cheap while missing it would lose state (the
+    /// [`Msg::Rollback`] handler clears the dirty set afterwards, since a
+    /// rollback restores exactly the store's own image).
     fn install_state(&mut self, kg: KeyGroupId, op: OperatorId, bytes: &[u8]) {
         let logic = Arc::clone(&self.topology.operator(op).logic);
         let state = logic.deserialize_state(bytes);
         self.states.insert(kg.raw(), state);
+        self.dirty.insert(kg.raw(), ());
+        self.spilled.remove(&kg.raw());
+    }
+
+    /// Fault a spilled key group back into memory from its file before
+    /// anything touches it. A no-op for resident or never-spilled groups;
+    /// if the file cannot be read (stale mark after the group moved away
+    /// and back), the mark is dropped and the caller's normal
+    /// missing-state path creates a fresh state.
+    fn ensure_resident(&mut self, kg: KeyGroupId, op: OperatorId) {
+        let g = kg.raw();
+        if self.states.contains_key(&g) || !self.spilled.contains_key(&g) {
+            return;
+        }
+        self.spilled.remove(&g);
+        let Some(dir) = self.spill_dir.clone() else {
+            return;
+        };
+        if let Ok(bytes) = std::fs::read(crate::checkpoint::spill_file(&dir, g)) {
+            let logic = Arc::clone(&self.topology.operator(op).logic);
+            let state = logic.deserialize_state(&bytes);
+            self.states.insert(g, state);
+            // Faulting in is a read, not a write: the group stays clean
+            // (its checkpoint image on disk is still current) until a
+            // tuple actually mutates it.
+        }
     }
 
     /// Serialize `kg`'s state and ship it to `dest` as a [`Msg::Install`];
@@ -1063,8 +1210,13 @@ impl WorkerCtx {
         done: ReplyTo<(KeyGroupId, ExtractReply)>,
     ) {
         let op = self.topology.operator_of_group(kg);
+        // A spilled group must come back into memory before it can ship:
+        // its newest image is its file, not the empty default state.
+        self.ensure_resident(kg, op);
         let logic = Arc::clone(&self.topology.operator(op).logic);
         let state = self.states.remove(&kg.raw());
+        self.dirty.remove(&kg.raw());
+        self.spilled.remove(&kg.raw());
         // The state leaves this worker: drop the stale size so
         // the merged period stats only see the destination's
         // fresh measurement (stats.reset() keeps state sizes).
@@ -1229,10 +1381,23 @@ impl WorkerCtx {
         let _ = wave.done.send(self.node);
     }
 
-    /// Serialize every local key-group state, sorted by group id so a
-    /// checkpoint's byte layout is deterministic.
-    fn snapshot_states(&self) -> Vec<(u32, Vec<u8>)> {
-        let mut ids: Vec<u32> = self.states.keys().copied().collect();
+    /// Serialize local key-group state for a checkpoint capture, sorted
+    /// by group id so a checkpoint's byte layout is deterministic. With
+    /// `delta_only` set, only groups in the dirty set are serialized
+    /// (spilled groups are never dirty — dropping one requires it clean);
+    /// a full capture additionally reads back the raw file bytes of
+    /// worker-spilled groups so the returned image is complete. Both
+    /// variants drain the dirty set: the store now covers those writes.
+    fn snapshot_states(&mut self, delta_only: bool) -> Vec<(u32, Vec<u8>)> {
+        let mut ids: Vec<u32> = if delta_only {
+            self.dirty
+                .keys()
+                .filter(|g| self.states.contains_key(*g))
+                .copied()
+                .collect()
+        } else {
+            self.states.keys().copied().collect()
+        };
         ids.sort_unstable();
         let mut snap = Vec::with_capacity(ids.len());
         for g in ids {
@@ -1243,6 +1408,22 @@ impl WorkerCtx {
                 snap.push((g, logic.serialize_state(state)));
             }
         }
+        if !delta_only {
+            if let Some(dir) = self.spill_dir.clone() {
+                let mut cold: Vec<u32> = self.spilled.keys().copied().collect();
+                cold.sort_unstable();
+                for g in cold {
+                    if self.states.contains_key(&g) {
+                        continue;
+                    }
+                    if let Ok(bytes) = std::fs::read(crate::checkpoint::spill_file(&dir, g)) {
+                        snap.push((g, bytes));
+                    }
+                }
+                snap.sort_unstable_by_key(|(g, _)| *g);
+            }
+        }
+        self.dirty.clear();
         snap
     }
 
@@ -1273,6 +1454,7 @@ impl WorkerCtx {
     }
 
     fn process_local(&mut self, op: OperatorId, kg: KeyGroupId, tuple: Tuple) {
+        self.ensure_resident(kg, op);
         let logic = Arc::clone(&self.topology.operator(op).logic);
         let state = self
             .states
@@ -1280,6 +1462,7 @@ impl WorkerCtx {
             .or_insert_with(|| logic.new_state());
         let mut out = Emissions::from_buffer(self.emission_pool.pop().unwrap_or_default());
         logic.process(&tuple, state, &mut out);
+        self.dirty.insert(kg.raw(), ());
         self.stats.record_processed(kg, 1.0, logic.cost_per_tuple());
         self.dispatch(op, kg, out);
     }
@@ -1297,6 +1480,9 @@ impl WorkerCtx {
             if let Some(state) = self.states.get_mut(&g) {
                 let mut out = Emissions::from_buffer(self.emission_pool.pop().unwrap_or_default());
                 logic.on_period_end(state, &mut out);
+                if logic.period_end_mutates() {
+                    self.dirty.insert(g, ());
+                }
                 self.dispatch(op, kg, out);
             }
         }
@@ -1481,6 +1667,7 @@ impl WorkerCtx {
     /// what it emitted.
     fn process_run(&mut self, kg: KeyGroupId, rows: &ChunkSlice<'_>, work: &mut Vec<StreamChunk>) {
         let op = self.topology.operator_of_group(kg);
+        self.ensure_resident(kg, op);
         let logic = Arc::clone(&self.topology.operator(op).logic);
         let out_buf = self.take_chunk();
         let state = self
@@ -1489,6 +1676,7 @@ impl WorkerCtx {
             .or_insert_with(|| logic.new_state());
         let mut out = ChunkEmissions::from_chunk(out_buf);
         logic.process_chunk(rows, state, &mut out);
+        self.dirty.insert(kg.raw(), ());
         self.stats
             .record_processed(kg, rows.len() as f64, logic.cost_per_tuple());
         let emitted = out.into_chunk();
@@ -1968,8 +2156,9 @@ pub struct Runtime {
     /// Capture a checkpoint at every `checkpoint_interval`-th period
     /// boundary; 0 = checkpointing (and replay logging) disabled.
     checkpoint_interval: u64,
-    /// The latest period-aligned state snapshot.
-    checkpoint: Option<Checkpoint>,
+    /// The log-structured checkpoint store: base images + delta layers,
+    /// plus the optional cold-state spill tier (see [`crate::checkpoint`]).
+    checkpoint_store: CheckpointStore,
     /// Recovery accounting folded into the next period's record.
     pending_recovery: RecoveryAccounting,
     /// How [`ReconfigEngine::apply_epoch`] executes plans (and whether
@@ -2073,7 +2262,11 @@ impl Runtime {
             settle_rounds,
             replay_log: Arc::new(ReplayLog::disabled()),
             checkpoint_interval: 0,
-            checkpoint: None,
+            checkpoint_store: CheckpointStore::new(
+                CheckpointMode::Full,
+                crate::checkpoint::DEFAULT_MAX_DELTA_LAYERS,
+                None,
+            ),
             pending_recovery: RecoveryAccounting::default(),
             mode: ReconfigMode::Quiesce,
             epoch: Arc::new(EpochShared::new()),
@@ -2226,6 +2419,18 @@ impl Runtime {
         if interval > 0 {
             self.replay_log.enable(log_capacity);
         }
+    }
+
+    /// Select how checkpoints are captured (see [`CheckpointMode`]) and
+    /// optionally enable the cold-state spill tier. Replaces the store,
+    /// so it must be called before the first capture — the job builder
+    /// does this at build time. The spill directory is created here;
+    /// note that spilling requires coordinator and workers to share a
+    /// filesystem (in-process and loopback transports do; a spill tier
+    /// across machines would need a shared mount).
+    pub fn configure_checkpointing(&mut self, mode: CheckpointMode, spill: Option<SpillConfig>) {
+        self.checkpoint_store =
+            CheckpointStore::new(mode, crate::checkpoint::DEFAULT_MAX_DELTA_LAYERS, spill);
     }
 
     /// Inject external tuples into a source operator. Tuples are routed by
@@ -2487,6 +2692,22 @@ impl Runtime {
             PeriodStats::compute(period, &merged, allocation, &self.cluster, &self.cost);
         stats.pressure = pressure;
         let recovery = std::mem::take(&mut self.pending_recovery);
+        // Period-aligned checkpoint: the data plane is quiesced and the
+        // collectors were just drained, so the snapshot plus a fresh log
+        // is a consistent cut of the stream. A replay log at its soft
+        // capacity pulls the capture forward to this boundary regardless
+        // of the schedule — overflow forces an early checkpoint instead
+        // of truncating the delta.
+        let on_schedule = (period.index() + 1) % self.checkpoint_interval.max(1) == 0;
+        let checkpoint_bytes =
+            if self.checkpoint_interval > 0 && (on_schedule || self.replay_log.over_capacity()) {
+                self.capture_checkpoint(period.index())
+            } else {
+                0
+            };
+        // Everything injected from here on belongs to the next period —
+        // the tag replay uses to rewind stats to the checkpoint.
+        self.replay_log.set_period(period.index() + 1);
         self.history.push(PeriodRecord {
             period: period.index(),
             load_distance: stats.load_distance(&self.cluster),
@@ -2505,33 +2726,35 @@ impl Runtime {
             groups_restored: recovery.groups_restored,
             tuples_replayed: recovery.tuples_replayed,
             recovery_secs: recovery.recovery_secs,
+            checkpoint_bytes,
+            delta_bytes: self.checkpoint_store.delta_bytes(),
+            spilled_groups: self.checkpoint_store.spilled_count(),
         });
-        // Period-aligned checkpoint: the data plane is quiesced and the
-        // collectors were just drained, so the snapshot plus a fresh log
-        // is a consistent cut of the stream.
-        if self.checkpoint_interval > 0 && (period.index() + 1) % self.checkpoint_interval == 0 {
-            self.capture_checkpoint(period.index());
-        }
         // The data plane is settled: a safe point for transport
         // housekeeping (e.g. pruning resolved reply correlations).
         self.transport.end_period();
         stats
     }
 
-    /// Capture a checkpoint of every key group's serialized state and
-    /// reset the replay log — everything up to and including `period` is
-    /// now covered by the snapshot.
+    /// Capture a checkpoint and reset the replay log — everything up to
+    /// and including `period` is now covered by the store. In incremental
+    /// mode only dirty groups are serialized; returns the captured bytes
+    /// for the period record.
     ///
     /// The capture must be all-or-nothing: if a worker dies mid-snapshot,
     /// committing the partial cut (and clearing the log that could
     /// rebuild the missing groups) would silently lose state — so an
     /// incomplete capture is abandoned, keeping the previous checkpoint
-    /// and the (still-growing) log, and the next period boundary retries.
-    fn capture_checkpoint(&mut self, period: u64) {
+    /// and the (still-growing) log, and the next period boundary retries
+    /// with a forced full capture (some workers already drained their
+    /// dirty sets into the abandoned cut).
+    fn capture_checkpoint(&mut self, period: u64) -> u64 {
+        let full = self.checkpoint_store.wants_full();
         let (tx, rx) = unbounded();
         let mut involved = Vec::new();
         for (node, s) in self.alive_senders() {
             if s.send(Msg::SnapshotStates {
+                delta_only: !full,
                 reply: ReplyTo::Chan(tx.clone()),
             })
             .is_ok()
@@ -2542,15 +2765,32 @@ impl Runtime {
         drop(tx);
         let snaps = self.gather(&rx, &involved);
         if snaps.len() < involved.len() {
-            return;
+            self.checkpoint_store.abandon();
+            return 0;
         }
         let mut states: Vec<(u32, Vec<u8>)> = Vec::new();
         for (_, snap) in snaps {
             states.extend(snap);
         }
         states.sort_unstable_by_key(|(g, _)| *g);
-        self.checkpoint = Some(Checkpoint { period, states });
+        let outcome = self.checkpoint_store.ingest(period, states, full);
         self.replay_log.clear();
+        // Tell the workers which groups now live on the spill tier (the
+        // full current set, so a previously missed broadcast heals).
+        // Workers keep any group they have re-dirtied since this capture
+        // began — impossible here, as the plane is quiesced — and fault
+        // spilled groups back in from their files on next access.
+        if let Some(dir) = self.checkpoint_store.spill_dir() {
+            let dir = dir.to_string_lossy().into_owned();
+            let groups = self.checkpoint_store.spilled_ids();
+            for (_, s) in self.alive_senders() {
+                let _ = s.send(Msg::SpillGroups {
+                    dir: dir.clone(),
+                    groups: groups.clone(),
+                });
+            }
+        }
+        outcome.captured_bytes
     }
 
     /// Execute migrations with the direct state migration protocol.
@@ -3142,7 +3382,8 @@ impl Runtime {
                 self.quiesce(self.settle_rounds);
             }
         }
-        report.checkpoint_period = self.checkpoint.as_ref().map(|c| c.period);
+        report.checkpoint_period = self.checkpoint_store.period();
+        report.groups_spilled = self.checkpoint_store.spilled_count();
         report.log_truncated = log_truncated;
         report.recovery_secs = t0.elapsed().as_secs_f64();
         // Tuples past the log bound could not be replayed: surface the
@@ -3157,9 +3398,13 @@ impl Runtime {
     }
 
     /// Reset every worker to the latest checkpoint: clear all state,
-    /// buffers and period counters, then install the checkpointed states
-    /// at their current routing targets (the shared migration install
-    /// path). Errs with the node if a worker dies mid-rollback.
+    /// buffers and period counters, then install the checkpointed *hot*
+    /// states at their current routing targets (the shared migration
+    /// install path). Spilled groups are not shipped — the Rollback
+    /// message carries their ids and the spill directory instead, and
+    /// workers fault them in lazily from their files, which is what keeps
+    /// rollback cost proportional to the hot set rather than total
+    /// state. Errs with the node if a worker dies mid-rollback.
     fn rollback_to_checkpoint(&mut self) -> Result<(), NodeId> {
         // The rollback also rewinds the period's measurement: counters
         // recorded for work that is about to be discarded and replayed
@@ -3168,21 +3413,33 @@ impl Runtime {
         self.inject_dropped.store(0, Ordering::Relaxed);
         let routing = self.routing.snapshot();
         let mut per_node: HashMap<NodeId, Vec<(u32, Vec<u8>)>> = HashMap::new();
-        if let Some(cp) = &self.checkpoint {
-            for (g, bytes) in &cp.states {
-                per_node
-                    .entry(routing.node_of(KeyGroupId::new(*g)))
-                    .or_default()
-                    .push((*g, bytes.clone()));
-            }
+        for (g, bytes) in self.checkpoint_store.hot_states() {
+            per_node
+                .entry(routing.node_of(KeyGroupId::new(g)))
+                .or_default()
+                .push((g, bytes));
+        }
+        let spill_dir = self
+            .checkpoint_store
+            .spill_dir()
+            .map(|d| d.to_string_lossy().into_owned());
+        let mut per_node_spilled: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for g in self.checkpoint_store.spilled_ids() {
+            per_node_spilled
+                .entry(routing.node_of(KeyGroupId::new(g)))
+                .or_default()
+                .push(g);
         }
         let (ack_tx, ack_rx) = unbounded();
         let mut involved = Vec::new();
         for (node, sender) in self.alive_senders() {
             let states = per_node.remove(&node).unwrap_or_default();
+            let spilled = per_node_spilled.remove(&node).unwrap_or_default();
             if sender
                 .send(Msg::Rollback {
                     states,
+                    spilled,
+                    spill_dir: spill_dir.clone(),
                     ack: ReplyTo::Chan(ack_tx.clone()),
                 })
                 .is_ok()
@@ -3206,23 +3463,76 @@ impl Runtime {
     /// Re-inject the logged post-checkpoint delta in arrival order,
     /// without re-logging it. Returns `(tuples replayed, tuples lost to
     /// the log bound)`.
+    ///
+    /// Replay is two-phase so post-recovery statistics rewind to the
+    /// checkpoint at *any* interval: entries belonging to already-closed
+    /// periods are re-injected first and their re-measured stats
+    /// discarded at a quiesced cut (their original measurements are
+    /// already in [`Runtime::history`] — measuring them again would
+    /// double-count against the fault-free oracle), then the current
+    /// period's tail replays normally so its work is measured exactly
+    /// once, by the period that will close over it.
     fn replay_log_entries(&self) -> (u64, u64) {
         let (entries, truncated) = self.replay_log.snapshot();
         let n = entries.len() as u64;
-        if n > 0 {
-            let injector = self.injector();
-            let mut i = 0;
-            while i < entries.len() {
-                let op = entries[i].0;
-                let j = entries[i..]
-                    .iter()
-                    .position(|(o, _)| *o != op)
-                    .map_or(entries.len(), |p| i + p);
-                injector.inject_inner(op, entries[i..j].iter().map(|(_, t)| t.clone()), false);
-                i = j;
+        if n == 0 {
+            return (n, truncated);
+        }
+        let current = self.replay_log.current_period();
+        // Entries are period-monotonic (the tag only ever advances).
+        let split = entries.partition_point(|(p, _, _)| *p < current);
+        self.replay_batches(&entries[..split]);
+        if split > 0 {
+            // Settle the replayed prior-period work, then drop the stats
+            // it re-accumulated (worker collectors reset on collection;
+            // state sizes survive a reset by design).
+            self.quiesce(self.settle_rounds);
+            self.discard_period_stats();
+        }
+        self.replay_batches(&entries[split..]);
+        (n, truncated)
+    }
+
+    /// Re-inject a slice of logged entries, batching consecutive
+    /// same-operator runs, without re-logging them.
+    fn replay_batches(&self, entries: &[(u64, OperatorId, Tuple)]) {
+        if entries.is_empty() {
+            return;
+        }
+        let injector = self.injector();
+        let mut i = 0;
+        while i < entries.len() {
+            let op = entries[i].1;
+            let j = entries[i..]
+                .iter()
+                .position(|(_, o, _)| *o != op)
+                .map_or(entries.len(), |p| i + p);
+            injector.inject_inner(op, entries[i..j].iter().map(|(_, _, t)| t.clone()), false);
+            i = j;
+        }
+    }
+
+    /// Collect and discard every worker's period statistics counters.
+    /// The collection itself resets the collectors (state sizes and group
+    /// costs survive, exactly as at a real period boundary); dropping the
+    /// replies erases the re-measured work of replayed prior periods.
+    fn discard_period_stats(&self) {
+        let (tx, rx) = unbounded();
+        let mut involved = Vec::new();
+        for (node, s) in self.alive_senders() {
+            if s.send(Msg::CollectStats {
+                reply: ReplyTo::Chan(tx.clone()),
+            })
+            .is_ok()
+            {
+                involved.push(node);
             }
         }
-        (n, truncated)
+        drop(tx);
+        let _ = self.gather(&rx, &involved);
+        // The inject-edge drop counter also belongs to the discarded
+        // re-measurement window.
+        self.inject_dropped.store(0, Ordering::Relaxed);
     }
 
     /// Metric history, one record per completed period.
@@ -4127,21 +4437,28 @@ mod tests {
 
     #[test]
     fn truncated_replay_log_is_surfaced_as_dropped() {
+        // Overflowing `log_capacity` *within* a period no longer truncates
+        // at the soft capacity — the log stretches to its hard ceiling
+        // (`REPLAY_LOG_HARD_FACTOR`× capacity) and the next period
+        // boundary forces an early capture. Only tuples past the hard
+        // ceiling are unreplayable, and those are surfaced, not silently
+        // lost.
         let (mut rt, src, _) = two_op_runtime(2);
         rt.configure_recovery(1, 10);
         let _ = rt.end_period();
+        let hard = 10 * REPLAY_LOG_HARD_FACTOR as i64;
         rt.inject(
             src,
-            (0..50).map(|i| Tuple::keyed(&(i % 4), Value::Int(i), i as u64)),
+            (0..hard + 20).map(|i| Tuple::keyed(&(i % 4), Value::Int(i), i as u64)),
         );
         rt.quiesce(4);
         assert!(rt.inject_fault(NodeId::new(1)));
         let report = rt.recover();
-        assert_eq!(report.tuples_replayed, 10);
-        assert_eq!(report.log_truncated, 40);
+        assert_eq!(report.tuples_replayed, hard as u64);
+        assert_eq!(report.log_truncated, 20);
         let stats = rt.end_period();
         assert!(
-            stats.dropped_tuples >= 40.0,
+            stats.dropped_tuples >= 20.0,
             "unreplayable tuples must be counted, got {}",
             stats.dropped_tuples
         );

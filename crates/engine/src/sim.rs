@@ -20,8 +20,11 @@
 //! controllers and policies are substrate-agnostic: anything driven here
 //! also runs unchanged on the threaded runtime.
 
+use std::collections::BTreeSet;
+
 use albic_types::{KeyGroupId, NodeId, Period, PeriodClock};
 
+use crate::checkpoint::{CheckpointMode, DEFAULT_MAX_DELTA_LAYERS};
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
 use crate::fault::{recovery_placement, RecoveryReport};
@@ -77,6 +80,32 @@ pub struct SimEngine<W: WorkloadModel> {
     pending_recovery: (usize, usize, f64),
     /// How [`ReconfigEngine::apply_epoch`] models plan execution.
     mode: ReconfigMode,
+    /// Mirror of the runtime's [`CheckpointMode`]: in incremental mode a
+    /// modeled capture costs only the state bytes of groups with traffic
+    /// since the last capture, not total state.
+    ckpt_mode: CheckpointMode,
+    /// Mirror of [`crate::checkpoint::SpillConfig::cold_after`]; only
+    /// meaningful with `spill_enabled`.
+    cold_after: u64,
+    /// Whether the cold-state spill tier is modeled: cold groups leave
+    /// the modeled hot set and recovery skips their restore cost (they
+    /// are faulted in lazily on the runtime).
+    spill_enabled: bool,
+    /// Groups with traffic since the last modeled capture.
+    ckpt_dirty: BTreeSet<u32>,
+    /// Last period index each group saw traffic (`None` = never).
+    last_traffic: Vec<Option<u64>>,
+    /// Un-compacted delta layers since the last base fold.
+    ckpt_layers: usize,
+    /// Groups present in any un-compacted layer (not yet spillable —
+    /// their newest image is a layer entry, mirroring the store).
+    layer_groups: BTreeSet<u32>,
+    /// Modeled un-compacted delta bytes.
+    delta_bytes: u64,
+    /// Groups modeled on the spill tier.
+    spilled: BTreeSet<u32>,
+    /// Whether the (always full) first capture has happened.
+    captured_once: bool,
 }
 
 impl<W: WorkloadModel> SimEngine<W> {
@@ -101,6 +130,16 @@ impl<W: WorkloadModel> SimEngine<W> {
             failed: Vec::new(),
             pending_recovery: (0, 0, 0.0),
             mode: ReconfigMode::Quiesce,
+            ckpt_mode: CheckpointMode::Full,
+            cold_after: 0,
+            spill_enabled: false,
+            ckpt_dirty: BTreeSet::new(),
+            last_traffic: Vec::new(),
+            ckpt_layers: 0,
+            layer_groups: BTreeSet::new(),
+            delta_bytes: 0,
+            spilled: BTreeSet::new(),
+            captured_once: false,
         }
     }
 
@@ -147,6 +186,27 @@ impl<W: WorkloadModel> SimEngine<W> {
         self.checkpoint_interval = interval;
     }
 
+    /// Mirror of [`crate::runtime::Runtime::configure_checkpointing`] at
+    /// the cost-model level. In [`CheckpointMode::Incremental`] a modeled
+    /// capture costs only the state bytes of groups with traffic since the
+    /// last capture (the first capture is always full), delta layers fold
+    /// into the base every [`DEFAULT_MAX_DELTA_LAYERS`] captures, and —
+    /// when `spill` is set — groups without traffic for `cold_after`
+    /// periods move to the modeled spill tier: they stop counting against
+    /// eager recovery cost, exactly like the runtime's lazily faulted-in
+    /// groups. `spill` and `cold_after` are ignored in full mode.
+    pub fn set_checkpointing(&mut self, mode: CheckpointMode, cold_after: u64, spill: bool) {
+        self.ckpt_mode = mode;
+        self.cold_after = cold_after;
+        self.spill_enabled = spill && mode == CheckpointMode::Incremental;
+        self.ckpt_dirty.clear();
+        self.layer_groups.clear();
+        self.spilled.clear();
+        self.ckpt_layers = 0;
+        self.delta_bytes = 0;
+        self.captured_once = false;
+    }
+
     /// Select how [`ReconfigEngine::apply_epoch`] models plan execution,
     /// mirroring [`crate::runtime::Runtime::set_reconfig_mode`]. The mode
     /// only changes the *pause* accounting (epoch waves pause edges
@@ -167,6 +227,29 @@ impl<W: WorkloadModel> SimEngine<W> {
         let period = self.clock.advance();
         let snap = self.workload.snapshot(period);
         let stats = self.stats_from_snapshot(period, &snap);
+
+        // Mirror the runtime's dirty tracking: a group with traffic this
+        // period is dirty for the next capture, and traffic faults a
+        // spilled group back in.
+        self.last_traffic
+            .resize(self.routing.len().max(self.last_traffic.len()), None);
+        for (g, &tuples) in snap.group_tuples.iter().enumerate() {
+            if tuples > 0.0 {
+                self.ckpt_dirty.insert(g as u32);
+                if let Some(slot) = self.last_traffic.get_mut(g) {
+                    *slot = Some(period.index());
+                }
+                self.spilled.remove(&(g as u32));
+            }
+        }
+        let checkpoint_bytes = if self.checkpoint_interval > 0
+            && (period.index() + 1) % self.checkpoint_interval == 0
+        {
+            self.last_checkpoint = Some(period.index());
+            self.capture_cost(period.index(), &snap)
+        } else {
+            0
+        };
         self.last_snapshot = Some(snap);
 
         let (failed_nodes, groups_restored, recovery_secs) =
@@ -189,12 +272,58 @@ impl<W: WorkloadModel> SimEngine<W> {
             groups_restored,
             tuples_replayed: 0.0,
             recovery_secs,
+            checkpoint_bytes,
+            delta_bytes: self.delta_bytes,
+            spilled_groups: self.spilled.len(),
         });
-        if self.checkpoint_interval > 0 && (period.index() + 1) % self.checkpoint_interval == 0 {
-            self.last_checkpoint = Some(period.index());
-        }
         self.last_stats = Some(stats.clone());
         stats
+    }
+
+    /// Model one checkpoint capture at the end of `period`, mirroring
+    /// [`crate::checkpoint::CheckpointStore::ingest`]: a full capture
+    /// costs every group's state bytes, an incremental one only the dirty
+    /// groups'; delta layers fold into the base after
+    /// [`DEFAULT_MAX_DELTA_LAYERS`] captures; then cold groups spill.
+    fn capture_cost(&mut self, period: u64, snap: &WorkloadSnapshot) -> u64 {
+        let state =
+            |g: u32| -> u64 { snap.state_bytes.get(g as usize).copied().unwrap_or(0.0) as u64 };
+        let full = self.ckpt_mode == CheckpointMode::Full || !self.captured_once;
+        let bytes = if full {
+            self.ckpt_layers = 0;
+            self.layer_groups.clear();
+            self.delta_bytes = 0;
+            self.captured_once = true;
+            (0..self.routing.len() as u32).map(state).sum()
+        } else {
+            let captured: u64 = self.ckpt_dirty.iter().map(|&g| state(g)).sum();
+            self.ckpt_layers += 1;
+            self.layer_groups.extend(self.ckpt_dirty.iter().copied());
+            self.delta_bytes += captured;
+            if self.ckpt_layers >= DEFAULT_MAX_DELTA_LAYERS {
+                // Compaction folds the layers into the base.
+                self.ckpt_layers = 0;
+                self.layer_groups.clear();
+                self.delta_bytes = 0;
+            }
+            captured
+        };
+        self.ckpt_dirty.clear();
+        if self.spill_enabled && self.cold_after > 0 {
+            // Mirror of `CheckpointStore::spill_cold`: only base-resident
+            // groups (not in any un-compacted layer) with no traffic for
+            // `cold_after` periods leave the modeled hot set.
+            for g in 0..self.routing.len() as u32 {
+                let idle = match self.last_traffic.get(g as usize).copied().flatten() {
+                    Some(last) => period.saturating_sub(last),
+                    None => period + 1,
+                };
+                if idle >= self.cold_after && !self.layer_groups.contains(&g) {
+                    self.spilled.insert(g);
+                }
+            }
+        }
+        bytes
     }
 
     fn stats_from_snapshot(&self, period: Period, snap: &WorkloadSnapshot) -> PeriodStats {
@@ -385,6 +514,13 @@ impl<W: WorkloadModel> SimEngine<W> {
                 .unwrap_or_default();
             for (kg, to) in recovery_placement(&lost, &survivors) {
                 self.routing.reroute(kg, to);
+                if self.spilled.contains(&(kg.index() as u32)) {
+                    // Spilled groups are faulted in lazily on the runtime:
+                    // re-homing them costs nothing eagerly, which is what
+                    // keeps recovery sublinear in total state.
+                    report.groups_spilled += 1;
+                    continue;
+                }
                 let bytes = state_sizes.get(kg.index()).copied().unwrap_or(0.0) as usize;
                 report.recovery_secs += self.cost.migration_pause(self.cost.migration_cost(bytes));
             }

@@ -62,6 +62,16 @@ pub struct PeriodRecord {
     /// Seconds spent recovering — measured on the runtime, modeled via
     /// the migration cost model on the simulator.
     pub recovery_secs: f64,
+    /// Serialized bytes captured by a checkpoint at this period's
+    /// boundary — 0 on non-checkpoint periods. In incremental mode this
+    /// is O(changed state); in full mode it is the whole state image.
+    pub checkpoint_bytes: u64,
+    /// Un-compacted bytes sitting in the checkpoint store's delta layers
+    /// after this period's boundary (always 0 in full mode).
+    pub delta_bytes: u64,
+    /// Key groups whose checkpoint image lives on the spill tier (cold
+    /// state on disk) after this period's boundary.
+    pub spilled_groups: usize,
 }
 
 /// How an engine executes the migrations of a plan.

@@ -870,13 +870,30 @@ pub(crate) fn encode_msg(
             w.put_u64(kg.raw() as u64);
             w.put_u64(reply_id(reply, reg, Pending::Probe));
         }
-        Msg::SnapshotStates { reply } => {
+        Msg::SnapshotStates { delta_only, reply } => {
             w.put_u64(12);
+            w.put_u64(u64::from(*delta_only));
             w.put_u64(reply_id(reply, reg, Pending::Snapshot));
         }
-        Msg::Rollback { states, ack } => {
+        Msg::Rollback {
+            states,
+            spilled,
+            spill_dir,
+            ack,
+        } => {
             w.put_u64(13);
             encode_states(states, w, compress);
+            w.put_u64(spilled.len() as u64);
+            for g in spilled {
+                w.put_u64(*g as u64);
+            }
+            match spill_dir {
+                Some(dir) => {
+                    w.put_u64(1);
+                    w.put_str(dir);
+                }
+                None => w.put_u64(0),
+            }
             w.put_u64(reply_id(ack, reg, Pending::Ack));
         }
         Msg::Crash => w.put_u64(14),
@@ -890,6 +907,14 @@ pub(crate) fn encode_msg(
             w.put_u64(assignment.len() as u64);
             for n in assignment {
                 w.put_u64(n.raw() as u64);
+            }
+        }
+        Msg::SpillGroups { dir, groups } => {
+            w.put_u64(17);
+            w.put_str(dir);
+            w.put_u64(groups.len() as u64);
+            for g in groups {
+                w.put_u64(*g as u64);
             }
         }
     }
@@ -977,12 +1002,27 @@ pub(crate) fn decode_msg(r: &mut Reader<'_>, out: Option<&WireOut>) -> Result<Ms
             reply: wire_reply(r, out)?,
         },
         12 => Msg::SnapshotStates {
+            delta_only: r.get_u64()? != 0,
             reply: wire_reply(r, out)?,
         },
-        13 => Msg::Rollback {
-            states: decode_states(r)?,
-            ack: wire_reply(r, out)?,
-        },
+        13 => {
+            let states = decode_states(r)?;
+            let n = r.get_u64()?;
+            let mut spilled = Vec::new();
+            for _ in 0..n {
+                spilled.push(r.get_u64()? as u32);
+            }
+            let spill_dir = match r.get_u64()? {
+                0 => None,
+                _ => Some(r.get_str()?),
+            };
+            Msg::Rollback {
+                states,
+                spilled,
+                spill_dir,
+                ack: wire_reply(r, out)?,
+            }
+        }
         14 => Msg::Crash,
         15 => Msg::Shutdown,
         16 => {
@@ -997,10 +1037,19 @@ pub(crate) fn decode_msg(r: &mut Reader<'_>, out: Option<&WireOut>) -> Result<Ms
                 assignment,
             }
         }
+        17 => {
+            let dir = r.get_str()?;
+            let n = r.get_u64()?;
+            let mut groups = Vec::new();
+            for _ in 0..n {
+                groups.push(r.get_u64()? as u32);
+            }
+            Msg::SpillGroups { dir, groups }
+        }
         tag => {
             return Err(DecodeError::new(
                 at,
-                "message tag 0..=16",
+                "message tag 0..=17",
                 Found::Length(tag),
             ))
         }

@@ -147,6 +147,9 @@ impl Operator for TopKWindowOp {
         out.emit(Tuple::keyed(&"global-topk", Value::List(top), 0));
         m.clear();
     }
+    fn period_end_mutates(&self) -> bool {
+        true // the window flush clears the counts
+    }
     fn cost_per_tuple(&self) -> f64 {
         1.5 // window maintenance is heavier than stateless mapping
     }

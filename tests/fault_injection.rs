@@ -7,11 +7,12 @@
 //! tests are also the proof of the paper's integrative thesis extended to
 //! fault tolerance.
 
+use albic::engine::checkpoint::CheckpointMode;
 use albic::engine::fault::{FaultInjector, FaultPlan};
 use albic::engine::operator::{Counting, Identity};
 use albic::engine::tuple::{Tuple, Value};
 use albic::engine::{Migration, PeriodRecord, ReconfigMode, ReconfigPlan, Runtime, RuntimeConfig};
-use albic::job::{Job, Policy};
+use albic::job::{Job, JobBuilder, Policy};
 use albic::types::{KeyGroupId, NodeId};
 
 const KEYS: u64 = 24;
@@ -23,27 +24,50 @@ fn tuples_of(key: u64, period: u64) -> u64 {
     2 + (key * 5 + period * 3) % 11
 }
 
-/// Run the standard 4-worker pipeline for [`PERIODS`] periods under the
-/// given fault plan; returns the per-group final counter states and the
-/// metric history.
-fn run(plan: FaultPlan) -> (Vec<u64>, Vec<PeriodRecord>) {
-    let mut job = Job::builder()
+/// Checkpoint mode the suite runs under: `ALBIC_TEST_CHECKPOINT_MODE=
+/// incremental` switches every `run_cfg`-based scenario to the
+/// incremental store (CI runs the suite once per mode — the exactly-once
+/// guarantees must hold identically in both).
+fn ambient_mode() -> CheckpointMode {
+    match std::env::var("ALBIC_TEST_CHECKPOINT_MODE").as_deref() {
+        Ok("incremental") => CheckpointMode::Incremental,
+        _ => CheckpointMode::Full,
+    }
+}
+
+/// A fresh per-test spill directory under the system temp dir.
+fn spill_tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("albic-fi-spill-{}-{tag}", std::process::id()))
+}
+
+/// Run the standard 4-worker pipeline for `periods` periods under the
+/// given fault plan, with `tuples(key, period)` describing the injection
+/// schedule and `configure` customizing the job (checkpoint interval,
+/// mode, spill tier, ...); returns the per-group final counter states and
+/// the metric history.
+fn run_cfg(
+    plan: FaultPlan,
+    periods: u64,
+    tuples: impl Fn(u64, u64) -> u64,
+    configure: impl FnOnce(JobBuilder) -> JobBuilder,
+) -> (Vec<u64>, Vec<PeriodRecord>) {
+    let base = Job::builder()
         .source("events", 8, Identity)
         .operator("count", 8, Counting)
         .edge("events", "count")
         .nodes(NODES)
         .checkpoint_interval(1)
-        .policy(Policy::noop())
-        .build_threaded()
-        .expect("valid job spec");
+        .checkpoint_mode(ambient_mode())
+        .policy(Policy::noop());
+    let mut job = configure(base).build_threaded().expect("valid job spec");
     let mut faults = FaultInjector::new(plan);
-    for p in 0..PERIODS {
+    for p in 0..periods {
         let killed = faults.advance(job.engine_mut());
         for v in &killed {
             assert!(job.cluster().get(*v).is_some(), "victim existed pre-step");
         }
         for k in 0..KEYS {
-            let n = tuples_of(k, p);
+            let n = tuples(k, p);
             job.inject(
                 "events",
                 (0..n).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
@@ -62,6 +86,11 @@ fn run(plan: FaultPlan) -> (Vec<u64>, Vec<PeriodRecord>) {
     let history = job.history().to_vec();
     job.shutdown();
     (counts, history)
+}
+
+/// [`run_cfg`] with the default schedule and configuration.
+fn run(plan: FaultPlan) -> (Vec<u64>, Vec<PeriodRecord>) {
+    run_cfg(plan, PERIODS, tuples_of, |b| b)
 }
 
 /// The per-group u64 counter states (0 for stateless/untouched groups).
@@ -131,6 +160,7 @@ fn kill_with_tuples_in_flight_is_exactly_once() {
         .edge("events", "count")
         .nodes(NODES)
         .checkpoint_interval(1)
+        .checkpoint_mode(ambient_mode())
         .policy(Policy::noop())
         .build_threaded()
         .expect("valid job spec");
@@ -215,6 +245,7 @@ fn concurrent_producers_racing_a_kill_lose_nothing() {
         .edge("events", "count")
         .nodes(3)
         .checkpoint_interval(1)
+        .checkpoint_mode(ambient_mode())
         .policy(Policy::noop())
         .build_threaded()
         .expect("valid job spec");
@@ -261,6 +292,7 @@ fn policies_see_recovery_as_ordinary_reconfiguration_input() {
         .edge("events", "count")
         .nodes(3)
         .checkpoint_interval(1)
+        .checkpoint_mode(ambient_mode())
         .policy(Policy::milp())
         .build_threaded()
         .expect("valid job spec");
@@ -323,6 +355,7 @@ fn epoch_migrations_racing_producers_and_a_kill_stay_exactly_once() {
         .edge("events", "count")
         .nodes(3)
         .checkpoint_interval(1)
+        .checkpoint_mode(ambient_mode())
         .runtime_config(RuntimeConfig {
             batch_size: 8,
             channel_capacity: 64,
@@ -390,4 +423,130 @@ fn epoch_migrations_racing_producers_and_a_kill_stay_exactly_once() {
     let stats = job.measure();
     assert_eq!(stats.dropped_tuples, 0.0);
     job.shutdown();
+}
+
+#[test]
+fn recovery_at_interval_four_keeps_stats_measurement_exact() {
+    // Regression (stats exactness at checkpoint_interval > 1): replay-log
+    // entries are tagged with the period they were measured in, so a
+    // recovery at interval 4 re-injects prior-period entries *unmeasured*
+    // (their statistics rewind with the checkpoint) and only the failed
+    // period's own tail counts. Before the fix, every replayed tuple was
+    // re-measured into the faulted period, inflating its load signals.
+    let drive = |plan: FaultPlan| -> (Vec<u64>, Vec<f64>, Vec<PeriodRecord>) {
+        let mut job = Job::builder()
+            .source("events", 8, Identity)
+            .operator("count", 8, Counting)
+            .edge("events", "count")
+            .nodes(NODES)
+            .checkpoint_interval(4)
+            .checkpoint_mode(ambient_mode())
+            .policy(Policy::noop())
+            .build_threaded()
+            .expect("valid job spec");
+        let mut faults = FaultInjector::new(plan);
+        let mut totals = Vec::new();
+        for p in 0..PERIODS {
+            let _ = faults.advance(job.engine_mut());
+            for k in 0..KEYS {
+                job.inject(
+                    "events",
+                    (0..tuples_of(k, p)).map(|i| Tuple::keyed(&k, Value::Int(i as i64), p)),
+                );
+            }
+            let report = job.step();
+            totals.push(report.stats.total_tuples);
+        }
+        job.settle();
+        let counts = final_counts(job.engine());
+        let history = job.history().to_vec();
+        job.shutdown();
+        (counts, totals, history)
+    };
+    let (oracle_counts, oracle_totals, _) = drive(FaultPlan::new());
+    // Step 2 is two periods past the last (implicit, empty) checkpoint:
+    // recovery replays periods 0-1 unmeasured and period 2 measured.
+    let (counts, totals, history) = drive(FaultPlan::new().kill(2, NodeId::new(1)));
+    assert_eq!(counts, oracle_counts, "states diverge from the oracle");
+    assert_eq!(
+        totals, oracle_totals,
+        "replayed prior-period work leaked into the measured statistics"
+    );
+    for rec in &history {
+        assert_eq!(rec.dropped_tuples, 0.0, "period {}", rec.period);
+    }
+    assert_eq!(history[2].failed_nodes, 1);
+}
+
+#[test]
+fn log_overflow_forces_an_early_checkpoint_instead_of_truncating() {
+    // Regression (replay-log overflow): each period injects ~170 tuples
+    // against a soft capacity of 100, and the scheduled capture is 8
+    // periods away — every boundary must force an early capture (clearing
+    // the log) instead of truncating, so a kill still recovers
+    // exactly-once with nothing dropped.
+    let cfg = |b: JobBuilder| b.checkpoint_interval(8).replay_log_capacity(100);
+    let (oracle, _) = run_cfg(FaultPlan::new(), PERIODS, tuples_of, cfg);
+    let (counts, history) = run_cfg(
+        FaultPlan::new().kill(3, NodeId::new(1)),
+        PERIODS,
+        tuples_of,
+        cfg,
+    );
+    assert_eq!(counts, oracle, "overflow recovery diverges from oracle");
+    assert!(
+        history
+            .iter()
+            .any(|r| (r.period + 1) % 8 != 0 && r.checkpoint_bytes > 0),
+        "no off-schedule capture despite a continuously overflowing log"
+    );
+    for rec in &history {
+        assert_eq!(rec.dropped_tuples, 0.0, "period {}", rec.period);
+    }
+}
+
+#[test]
+fn kill_after_compaction_restores_base_plus_deltas_exactly_once() {
+    // Incremental mode at interval 1: the first capture is full, the next
+    // ones are delta layers, and the layer stack compacts into the base
+    // every DEFAULT_MAX_DELTA_LAYERS captures — a kill at step 6 restores
+    // from a base that has absorbed at least one compaction plus the
+    // layers on top of it.
+    let cfg = |b: JobBuilder| b.checkpoint_mode(CheckpointMode::Incremental);
+    let (oracle, _) = run_cfg(FaultPlan::new(), 7, tuples_of, cfg);
+    let (counts, history) = run_cfg(FaultPlan::new().kill(6, NodeId::new(2)), 7, tuples_of, cfg);
+    assert_eq!(counts, oracle, "post-compaction restore diverges");
+    assert_eq!(history[6].failed_nodes, 1);
+    // Every period captured (interval 1) and captures carry cost.
+    assert!(history.iter().all(|r| r.checkpoint_bytes > 0));
+}
+
+#[test]
+fn kill_with_spilled_groups_faults_cold_state_back_in() {
+    // Warm every group in period 0, then starve most of them: with
+    // cold_after = 2 the quiet groups spill to disk well before the kill
+    // at step 5. Recovery ships only the hot set eagerly — the spilled
+    // groups fault back in from their files on first access (the final
+    // probe), and the result must still match the fault-free oracle.
+    let skew = |k: u64, p: u64| {
+        if p == 0 || k < 4 {
+            tuples_of(k, p)
+        } else {
+            0
+        }
+    };
+    let (oracle, _) = run_cfg(FaultPlan::new(), 6, skew, |b| b);
+    let dir = spill_tmp("kill-spilled");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (counts, history) = run_cfg(FaultPlan::new().kill(5, NodeId::new(1)), 6, skew, |b| {
+        b.checkpoint_mode(CheckpointMode::Incremental)
+            .spill_dir(dir.clone())
+            .cold_after(2)
+    });
+    assert_eq!(counts, oracle, "spilled state lost or doubled");
+    assert!(
+        history[..5].iter().any(|r| r.spilled_groups > 0),
+        "no group ever went cold before the kill"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -408,3 +408,165 @@ proptest! {
             "every frame delivered exactly once, in order");
     }
 }
+
+/// A fresh, collision-free spill directory for one property case.
+fn prop_spill_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "albic-prop-spill-{}-{tag}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The incremental checkpoint store is indistinguishable from a full
+    /// snapshot: for any interleaving of captures (with arbitrary dirty
+    /// sets), abandoned gathers, compaction schedules, and spill
+    /// configurations, `full_states()` always reproduces the live-state
+    /// oracle map — base + deltas + spilled files lose and double
+    /// nothing.
+    #[test]
+    fn checkpoint_store_matches_a_full_snapshot_oracle(
+        max_layers in 1usize..6,
+        cold_after in 1u64..4,
+        spill in any::<bool>(),
+        captures in proptest::collection::vec(
+            (proptest::collection::vec((0u32..12, 1usize..48), 0..6), 0u8..10),
+            1..20,
+        ),
+    ) {
+        use albic::engine::checkpoint::{CheckpointMode, CheckpointStore, SpillConfig};
+        use std::collections::{BTreeSet, HashMap};
+
+        let dir = prop_spill_dir("store");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = spill.then(|| SpillConfig { dir: dir.clone(), cold_after });
+        let mut store = CheckpointStore::new(CheckpointMode::Incremental, max_layers, cfg);
+        let mut live: HashMap<u32, Vec<u8>> = HashMap::new();
+        let mut dirty: BTreeSet<u32> = BTreeSet::new();
+        for (period, (writes, roll)) in captures.iter().enumerate() {
+            for &(g, len) in writes {
+                live.insert(g, vec![(period as u8) ^ (g as u8); len]);
+                dirty.insert(g);
+            }
+            if *roll == 0 {
+                // A worker died mid-gather: the capture is abandoned and
+                // the next one is forced full.
+                store.abandon();
+                continue;
+            }
+            let full = store.wants_full();
+            let states: Vec<(u32, Vec<u8>)> = if full {
+                let mut all: Vec<_> = live.iter().map(|(&g, b)| (g, b.clone())).collect();
+                all.sort_unstable_by_key(|(g, _)| *g);
+                all
+            } else {
+                dirty.iter().map(|&g| (g, live[&g].clone())).collect()
+            };
+            store.ingest(period as u64, states, full);
+            dirty.clear();
+
+            let mut oracle: Vec<(u32, Vec<u8>)> =
+                live.iter().map(|(&g, b)| (g, b.clone())).collect();
+            oracle.sort_unstable_by_key(|(g, _)| *g);
+            let restored = store.full_states().expect("spill files readable");
+            prop_assert_eq!(&restored, &oracle,
+                "restore diverged at period {} (full={})", period, full);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// End-to-end: incremental checkpoints with a spill tier recover
+    /// exactly-once for any (interval, fault step, cold threshold,
+    /// schedule). The schedule starves half the keys after period 0 so
+    /// groups actually go cold and spill, and the final probe faults them
+    /// back in — the counts must match the arithmetic oracle.
+    #[test]
+    fn incremental_recovery_with_spill_matches_the_oracle(
+        checkpoint_interval in 1u64..4,
+        fault_step in 0u64..5,
+        cold_after in 1u64..4,
+        schedule in proptest::collection::vec((0u64..24, 1u32..12), 2..10),
+    ) {
+        use albic::engine::checkpoint::CheckpointMode;
+
+        const PERIODS: u64 = 5;
+        let dir = prop_spill_dir("e2e");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut job = Job::builder()
+            .source("events", 8, Identity)
+            .operator("count", 8, Counting)
+            .edge("events", "count")
+            .nodes(3)
+            .checkpoint_interval(checkpoint_interval)
+            .checkpoint_mode(CheckpointMode::Incremental)
+            .spill_dir(dir.clone())
+            .cold_after(cold_after)
+            .policy(Policy::noop())
+            .build_threaded()
+            .expect("valid property job");
+        let topology = job.engine().topology().clone();
+        let cnt = topology.operator_by_name("count").unwrap();
+        let victim = NodeId::new(1);
+        let half = schedule.len() / 2;
+        let mut ts = 0u64;
+        for p in 0..PERIODS {
+            if p == fault_step {
+                prop_assert!(job.engine_mut().inject_fault(victim));
+            }
+            let active = if p == 0 { &schedule[..] } else { &schedule[..half] };
+            for &(key, n) in active {
+                job.inject(
+                    "events",
+                    (0..n).map(|_| {
+                        ts += 1;
+                        Tuple::keyed(&key, Value::Int(ts as i64), ts)
+                    }),
+                );
+            }
+            let report = job.step();
+            prop_assert_eq!(
+                report.recovery.failed.len(),
+                usize::from(p == fault_step),
+                "recovery must happen exactly in the fault step"
+            );
+            prop_assert_eq!(report.stats.dropped_tuples, 0.0);
+        }
+        job.settle();
+
+        let mut expected = vec![0u64; topology.num_key_groups() as usize];
+        for (i, &(key, n)) in schedule.iter().enumerate() {
+            let kg = topology.group_for_key(cnt, hash_key(&key));
+            let reps = if i < half { PERIODS } else { 1 };
+            expected[kg.index()] += n as u64 * reps;
+        }
+        let counts: Vec<u64> = (0..topology.num_key_groups())
+            .map(|g| {
+                let kg = KeyGroupId::new(g);
+                if topology.operator_of_group(kg) != cnt {
+                    return 0;
+                }
+                job.engine()
+                    .probe_state(kg)
+                    .map(|b| {
+                        let mut a = [0u8; 8];
+                        a.copy_from_slice(&b[..8]);
+                        u64::from_le_bytes(a)
+                    })
+                    .unwrap_or(0)
+            })
+            .collect();
+        prop_assert_eq!(&counts, &expected,
+            "incremental + spill recovery diverged from the oracle");
+        job.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
